@@ -1,0 +1,185 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section (§V). Each benchmark drives the shared
+// experiment Lab (internal/experiments); the first run of the suite
+// generates the benchmarks and trains every system, later runs hit the
+// lab's caches. The rendered artifact is logged so that
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every paper table/figure in one pass. Key scalar outcomes
+// are also attached as benchmark metrics (accuracy per model), so the
+// result shapes are visible in the benchmark output itself.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+)
+
+// sharedLab returns the process-wide experiment lab at small scale.
+func sharedLab() *experiments.Lab {
+	labOnce.Do(func() { lab = experiments.NewLab(experiments.Small()) })
+	return lab
+}
+
+// benchTable runs a table-producing experiment once per iteration
+// (cached after the first) and logs the rendered artifact.
+func benchTable(b *testing.B, run func() (*report.Table, error)) *report.Table {
+	b.Helper()
+	var last *report.Table
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.Log("\n" + last.Render())
+	return last
+}
+
+// benchText is benchTable for chart-producing experiments.
+func benchText(b *testing.B, run func() (string, error)) string {
+	b.Helper()
+	var last string
+	for i := 0; i < b.N; i++ {
+		s, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	b.Log("\n" + last)
+	return last
+}
+
+func reportAccuracy(b *testing.B, metric string, res *eval.Result) {
+	b.Helper()
+	if res != nil {
+		b.ReportMetric(res.Overall(), metric)
+	}
+}
+
+// BenchmarkTable1_BaselineDifficulty regenerates Table 1: GAP and SMBOP
+// accuracy by SPIDER difficulty level.
+func BenchmarkTable1_BaselineDifficulty(b *testing.B) {
+	l := sharedLab()
+	benchTable(b, l.Table1)
+	reportAccuracy(b, "smbop_overall", l.Baseline("spider", "SMBOP"))
+}
+
+// BenchmarkTable3_BenchmarkStats regenerates Table 3: the statistics of
+// the four generated benchmarks.
+func BenchmarkTable3_BenchmarkStats(b *testing.B) {
+	benchTable(b, sharedLab().Table3)
+}
+
+// BenchmarkTable4_SpiderBreakdown regenerates Table 4: the five systems
+// on the SPIDER validation set by difficulty, plus execution accuracy.
+func BenchmarkTable4_SpiderBreakdown(b *testing.B) {
+	l := sharedLab()
+	benchTable(b, l.Table4)
+	if gar, err := l.GARResult("gar", "spider"); err == nil {
+		reportAccuracy(b, "gar_overall", gar)
+	}
+}
+
+// BenchmarkTable5_ClauseTypes regenerates Table 5: accuracy by SQL
+// clause type (nested / negation / ORDER BY / GROUP BY / others).
+func BenchmarkTable5_ClauseTypes(b *testing.B) {
+	benchTable(b, sharedLab().Table5)
+}
+
+// BenchmarkTable6_PrecisionMRR regenerates Table 6: Precision@{1,3,10}
+// and MRR of GAR on SPIDER and GEO.
+func BenchmarkTable6_PrecisionMRR(b *testing.B) {
+	l := sharedLab()
+	benchTable(b, l.Table6)
+	if gar, err := l.GARResult("gar", "spider"); err == nil {
+		b.ReportMetric(gar.MRR(), "spider_mrr")
+	}
+}
+
+// BenchmarkTable7_MTTEQL regenerates Table 7: the MT-TEQL results with
+// the SPIDER validation set as sample queries (GAP and RAT-SQL N/A).
+func BenchmarkTable7_MTTEQL(b *testing.B) {
+	l := sharedLab()
+	benchTable(b, l.Table7)
+	if gar, err := l.GARResult("gar", "mtteql"); err == nil {
+		reportAccuracy(b, "gar_overall", gar)
+	}
+}
+
+// BenchmarkTable8_Ablation regenerates Table 8: the dialect-builder and
+// re-ranking ablations with per-stage miss counts.
+func BenchmarkTable8_Ablation(b *testing.B) {
+	l := sharedLab()
+	benchTable(b, l.Table8)
+	if nod, err := l.GARResult("nodialect", "spider"); err == nil {
+		reportAccuracy(b, "no_dialect_overall", nod)
+	}
+	if nor, err := l.GARResult("norerank", "spider"); err == nil {
+		reportAccuracy(b, "no_rerank_overall", nor)
+	}
+}
+
+// BenchmarkTable9_ErrorAnalysis regenerates Table 9: per-stage miss
+// counts (data preparation / retrieval / re-ranking) for GAR and GAR-J
+// on SPIDER, GEO and QBEN.
+func BenchmarkTable9_ErrorAnalysis(b *testing.B) {
+	benchTable(b, sharedLab().Table9)
+}
+
+// BenchmarkFig9_OverallAccuracy regenerates Fig. 9: the overall accuracy
+// bars of the five systems on SPIDER and GEO.
+func BenchmarkFig9_OverallAccuracy(b *testing.B) {
+	benchText(b, sharedLab().Fig9)
+}
+
+// BenchmarkFig10_ResponseTime regenerates Fig. 10: average online
+// response time by difficulty for the five systems.
+func BenchmarkFig10_ResponseTime(b *testing.B) {
+	benchTable(b, sharedLab().Fig10)
+}
+
+// BenchmarkFig11_GARJ regenerates Fig. 11: GAR-J vs GAR vs baselines on
+// QBEN, SPIDER and GEO.
+func BenchmarkFig11_GARJ(b *testing.B) {
+	l := sharedLab()
+	benchText(b, l.Fig11)
+	if garj, err := l.GARResult("garj", "qben"); err == nil {
+		reportAccuracy(b, "garj_qben", garj)
+	}
+	if gar, err := l.GARResult("gar", "qben"); err == nil {
+		reportAccuracy(b, "gar_qben", gar)
+	}
+}
+
+// BenchmarkFig12_UserStudy regenerates Fig. 12: the simulated annotation
+// cost box plot per schema-size bucket.
+func BenchmarkFig12_UserStudy(b *testing.B) {
+	benchText(b, sharedLab().Fig12)
+}
+
+// BenchmarkExtensions_FutureWork evaluates the paper's §VII future-work
+// directions: schema-derived component augmentation and backbone-
+// augmented samples, next to plain GAR.
+func BenchmarkExtensions_FutureWork(b *testing.B) {
+	benchTable(b, sharedLab().Extensions)
+}
+
+// BenchmarkAblation_RecompositionRules measures what each of Algorithm
+// 1's recomposition rules contributes to pool size and gold coverage.
+func BenchmarkAblation_RecompositionRules(b *testing.B) {
+	benchTable(b, sharedLab().RuleAblation)
+}

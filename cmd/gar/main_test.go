@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"repro/gar"
+)
+
+func TestDemoSpecParses(t *testing.T) {
+	s := demoSpec()
+	if s.Database.Name != "employee_hire_evaluation" {
+		t.Fatalf("demo database name: %s", s.Database.Name)
+	}
+	if len(s.Database.Tables) != 2 || len(s.Samples) == 0 || len(s.Examples) == 0 {
+		t.Fatal("demo spec incomplete")
+	}
+	if len(s.Content["employee"]) != 4 {
+		t.Fatalf("demo content rows: %d", len(s.Content["employee"]))
+	}
+}
+
+func TestBuildSystemFromSpec(t *testing.T) {
+	sys, content, err := buildSystem(demoSpec(), gar.Options{
+		GeneralizeSize: 200, RetrievalK: 10, Seed: 1,
+		EncoderEpochs: 12, RerankEpochs: 30,
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if content == nil {
+		t.Fatal("content not loaded from spec")
+	}
+	res, err := sys.Translate("how many employees are there")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := gar.ExactMatch(res.SQL, "SELECT COUNT(*) FROM employee")
+	if err != nil || !ok {
+		t.Errorf("demo translation wrong: %s (%v)", res.SQL, err)
+	}
+	rows, err := content.Query(res.SQL)
+	if err != nil || len(rows) != 1 || rows[0][0] != "4" {
+		t.Errorf("demo execution wrong: %v %v", rows, err)
+	}
+}
+
+func TestBuildSystemBadSpec(t *testing.T) {
+	s := demoSpec()
+	s.Samples = append(s.Samples, "NOT SQL")
+	if _, _, err := buildSystem(s, gar.Options{GeneralizeSize: 50}, ""); err == nil {
+		t.Error("bad sample accepted")
+	}
+	s2 := demoSpec()
+	s2.Database.Tables[0].PrimaryKey = []string{"nosuch"}
+	if _, _, err := buildSystem(s2, gar.Options{GeneralizeSize: 50}, ""); err == nil {
+		t.Error("invalid schema accepted")
+	}
+}
+
+func TestBuildSystemLoadModels(t *testing.T) {
+	if _, _, err := buildSystem(demoSpec(), gar.Options{GeneralizeSize: 50}, "/nonexistent/models.gob"); err == nil {
+		t.Error("missing models file accepted")
+	}
+}

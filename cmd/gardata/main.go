@@ -1,0 +1,126 @@
+// Command gardata generates the synthetic NLIDB benchmarks (GEO-like,
+// SPIDER-like, MT-TEQL-like, QBEN-like) and prints their Table 3
+// statistics or dumps sample items for inspection.
+//
+// Usage:
+//
+//	gardata -stats                      # Table 3 over all benchmarks
+//	gardata -bench spider -dump 10      # show 10 validation items
+//	gardata -bench qben -dump 5 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	bench := flag.String("bench", "spider", "benchmark: spider, geo, mtteql, qben")
+	dump := flag.Int("dump", 0, "dump N evaluation items")
+	stats := flag.Bool("stats", false, "print Table 3 statistics for all benchmarks")
+	scale := flag.String("scale", "small", "small or full")
+	out := flag.String("out", "", "export the benchmark as JSON to this file")
+	in := flag.String("in", "", "load a benchmark from a JSON file instead of generating")
+	flag.Parse()
+
+	cfg := experiments.Small()
+	if *scale == "full" {
+		cfg = experiments.Full()
+	}
+	lab := experiments.NewLab(cfg)
+
+	if *stats {
+		t, err := lab.Table3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+		return
+	}
+
+	var b *datasets.Benchmark
+	var items []datasets.Item
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if b, err = datasets.ReadJSON(f); err != nil {
+			fatal(err)
+		}
+		items = b.Test
+		if len(items) == 0 {
+			items = b.Val
+		}
+	}
+	switch {
+	case b != nil:
+		// loaded above
+	default:
+		b, items = generate(lab, *bench)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := b.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchmark written to %s\n", *out)
+	}
+	if *dump <= 0 {
+		st := datasets.StatsOf(b, items)
+		t := &report.Table{
+			Title:   fmt.Sprintf("%s evaluation split", *bench),
+			Columns: []string{"DBs", "AvgTables", "Queries", "Nested", "ORDER BY", "GROUP BY", "Compound"},
+		}
+		t.AddRow(st.Databases, fmt.Sprintf("%.2f", st.AvgTables), st.Queries,
+			st.Nested, st.OrderBy, st.GroupBy, st.Compound)
+		fmt.Println(t.Render())
+		return
+	}
+	for i, it := range items {
+		if i >= *dump {
+			break
+		}
+		fmt.Printf("DB:   %s\nNL:   %s\nSQL:  %s\n\n", it.DB, it.NL, it.Gold)
+	}
+}
+
+// generate builds the named benchmark from the lab and returns its
+// evaluation split.
+func generate(lab *experiments.Lab, bench string) (*datasets.Benchmark, []datasets.Item) {
+	switch bench {
+	case "spider":
+		b := lab.Spider()
+		return b, b.Val
+	case "geo":
+		b := lab.Geo()
+		return b, b.Test
+	case "mtteql":
+		b := lab.MTTEQL()
+		return b, b.Test
+	case "qben":
+		b := lab.QBEN()
+		return b, b.Test
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", bench))
+		return nil, nil
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gardata: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "GAR: A
+// Generate-and-Rank Approach for Natural Language to SQL Translation"
+// (Fan et al., ICDE 2023).
+//
+// The public API lives in repro/gar. The internal packages implement
+// every substrate the paper depends on — SQL parsing and execution,
+// SPIDER-style normalization and difficulty classification, the
+// compositional generalizer, the dialect builder, the two-stage
+// learning-to-rank pipeline, four baseline translators, and synthetic
+// versions of the GEO, SPIDER, MT-TEQL and QBEN benchmarks. The
+// top-level bench_test.go regenerates every table and figure of the
+// paper's evaluation section; see DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,119 @@
+// Pretrained: the production deployment workflow. Ranking models are
+// trained once on a training database, saved to disk, and later loaded
+// and deployed on a different, unseen database — the paper's
+// cross-domain setting (train on SPIDER's training databases, translate
+// on validation databases never seen during training), plus the model
+// persistence this library adds on top.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/gar"
+)
+
+func trainDB() *gar.Database {
+	db := gar.NewDatabase("library")
+	db.AddTable("book", gar.Key("book_id"),
+		gar.NumberColumn("book_id", "book id"),
+		gar.TextColumn("title", "title"),
+		gar.TextColumn("genre", "genre"),
+		gar.NumberColumn("pages", "pages"))
+	db.AddTable("member", gar.Key("member_id"),
+		gar.NumberColumn("member_id", "member id"),
+		gar.TextColumn("name", "name"),
+		gar.NumberColumn("age", "age"))
+	return db
+}
+
+func deployDB() *gar.Database {
+	db := gar.NewDatabase("garage")
+	db.AddTable("mechanic", gar.Key("mechanic_id"),
+		gar.NumberColumn("mechanic_id", "mechanic id"),
+		gar.TextColumn("name", "name"),
+		gar.NumberColumn("salary", "salary"),
+		gar.NumberColumn("certifications", "certifications"))
+	return db
+}
+
+func main() {
+	// Phase 1: train on the library database and save the models.
+	opts := gar.Options{GeneralizeSize: 500, RetrievalK: 10, Seed: 3,
+		EncoderEpochs: 14, RerankEpochs: 40}
+	trainSys, err := gar.New(trainDB(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = trainSys.Prepare([]string{
+		"SELECT title FROM book",
+		"SELECT COUNT(*) FROM book",
+		"SELECT title FROM book WHERE genre = 'fantasy'",
+		"SELECT title FROM book ORDER BY pages DESC LIMIT 1",
+		"SELECT genre, COUNT(*) FROM book GROUP BY genre",
+		"SELECT name FROM member WHERE age > 30",
+		"SELECT AVG(age) FROM member",
+		"SELECT COUNT(*) FROM member",
+		"SELECT COUNT(*) FROM book WHERE pages > 300",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := gar.TrainModels([]gar.TrainingSet{{System: trainSys, Examples: []gar.Example{
+		{Question: "list all book titles", SQL: "SELECT title FROM book"},
+		{Question: "how many books are there", SQL: "SELECT COUNT(*) FROM book"},
+		{Question: "show fantasy books", SQL: "SELECT title FROM book WHERE genre = 'fantasy'"},
+		{Question: "what is the longest book", SQL: "SELECT title FROM book ORDER BY pages DESC LIMIT 1"},
+		{Question: "how many books per genre", SQL: "SELECT genre, COUNT(*) FROM book GROUP BY genre"},
+		{Question: "which members are older than 30", SQL: "SELECT name FROM member WHERE age > 30"},
+		{Question: "what is the average member age", SQL: "SELECT AVG(age) FROM member"},
+		{Question: "how many members are there", SQL: "SELECT COUNT(*) FROM member"},
+		{Question: "how many books have more than 300 pages", SQL: "SELECT COUNT(*) FROM book WHERE pages > 300"},
+	}}}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "gar_models.gob")
+	if err := models.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("models trained on %q and saved to %s\n\n", "library", path)
+
+	// Phase 2: later (or on another machine), load the models and
+	// deploy on a database the models never saw.
+	loaded, err := gar.LoadModelsFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deploySys, err := gar.New(deployDB(), gar.Options{GeneralizeSize: 300, RetrievalK: 8, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = deploySys.Prepare([]string{
+		"SELECT name FROM mechanic",
+		"SELECT COUNT(*) FROM mechanic",
+		"SELECT name FROM mechanic ORDER BY salary DESC LIMIT 1",
+		"SELECT name FROM mechanic WHERE certifications > 2",
+		"SELECT AVG(salary) FROM mechanic",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := deploySys.UseModels(loaded); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{
+		"how many mechanics are there",
+		"who is the best paid mechanic",
+		"what is the average pay",
+	} {
+		res, err := deploySys.Translate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\nSQL: %s\n\n", q, res.SQL)
+	}
+}

@@ -1,0 +1,75 @@
+// SQL2NL: explore GAR's dialect builder (§III-B) — the deterministic
+// SQL-to-natural-language translation underlying the whole approach.
+// Each SQL clause maps to a phrase; schema annotations and key
+// information shape the wording ("one bonus" for compound-key tables,
+// "the number of flights" under GAR-J join annotations).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gar"
+)
+
+func main() {
+	db := gar.NewDatabase("employee_hire_evaluation")
+	db.AddTable("employee", gar.Key("employee_id"),
+		gar.NumberColumn("employee_id", "employee id"),
+		gar.TextColumn("name", "name"),
+		gar.NumberColumn("age", "age"),
+		gar.TextColumn("city", "city"))
+	db.AddTable("evaluation", gar.Key("employee_id", "year_awarded"),
+		gar.NumberColumn("employee_id", "employee id"),
+		gar.TextColumn("year_awarded", "year awarded"),
+		gar.NumberColumn("bonus", "bonus"))
+	db.AddForeignKey("evaluation", "employee_id", "employee", "employee_id")
+	db.AddJoinAnnotation(gar.JoinAnnotation{
+		Tables:      []string{"employee", "evaluation"},
+		Description: "the employees that received evaluations",
+		TableKeys:   "evaluation",
+		Conditions: []gar.JoinCondition{{
+			LeftTable: "employee", LeftColumn: "employee_id",
+			RightTable: "evaluation", RightColumn: "employee_id",
+		}},
+	})
+
+	plain, err := gar.New(db, gar.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	annotated, err := gar.New(db, gar.Options{JoinAnnotations: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		"SELECT name FROM employee",
+		"SELECT DISTINCT city FROM employee",
+		"SELECT COUNT(*) FROM employee",
+		"SELECT AVG(age) FROM employee WHERE city = 'Austin'",
+		"SELECT city, COUNT(*) FROM employee GROUP BY city HAVING COUNT(*) > 2",
+		"SELECT name FROM employee ORDER BY age DESC LIMIT 3",
+		"SELECT name FROM employee WHERE age BETWEEN 30 AND 40",
+		"SELECT name FROM employee WHERE employee_id IN (SELECT employee_id FROM evaluation WHERE bonus > 1000)",
+		"SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)",
+		"SELECT city FROM employee EXCEPT SELECT city FROM employee WHERE age < 30",
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+		"SELECT COUNT(*) FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id",
+	}
+	for _, sql := range queries {
+		p, err := plain.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SQL:    %s\nGAR:    %s\n", sql, p)
+		a, err := annotated.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a != p {
+			fmt.Printf("GAR-J:  %s\n", a)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,339 @@
+// Package gar is the public API of this repository: a Go implementation
+// of GAR, the generate-and-rank approach for natural language to SQL
+// translation (Fan et al., ICDE 2023).
+//
+// GAR translates natural-language questions into SQL for one database in
+// three steps: it generalizes a set of sample SQL queries into a large
+// pool of component-similar candidates, renders each candidate as a
+// natural-language "dialect expression", and ranks the dialects against
+// the user's question with a trained two-stage retrieval/re-ranking
+// pipeline. The SQL behind the best dialect is the translation.
+//
+// Minimal usage:
+//
+//	db := gar.NewDatabase("company")
+//	db.AddTable("employee", gar.Key("employee_id"),
+//	    gar.NumberColumn("employee_id", "employee id"),
+//	    gar.TextColumn("name", "name"),
+//	    gar.NumberColumn("age", "age"))
+//	sys, err := gar.New(db, gar.Options{})
+//	err = sys.Prepare([]string{"SELECT name FROM employee WHERE age > 30"})
+//	err = sys.Train([]gar.Example{{Question: "who is older than 30",
+//	    SQL: "SELECT name FROM employee WHERE age > 30"}})
+//	res, err := sys.Translate("show employees older than 40")
+//	fmt.Println(res.SQL)
+package gar
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ltr"
+	"repro/internal/norm"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// Options configures a GAR system; the zero value is a sensible default.
+type Options struct {
+	// GeneralizeSize caps the candidate pool per database (the paper
+	// uses 20,000; default 2,000).
+	GeneralizeSize int
+	// RetrievalK is the first-stage retrieval threshold (paper: 100).
+	RetrievalK int
+	// Seed makes every random choice reproducible.
+	Seed int64
+	// JoinAnnotations enables GAR-J: the database's join annotations
+	// are used to verbalize joins and asterisks.
+	JoinAnnotations bool
+	// UseIVF switches first-stage retrieval to the clustered index
+	// (faster on very large pools, slightly lossy).
+	UseIVF bool
+	// EncoderEpochs and RerankEpochs control training length.
+	EncoderEpochs int
+	RerankEpochs  int
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{
+		GeneralizeSize:  o.GeneralizeSize,
+		RetrievalK:      o.RetrievalK,
+		Seed:            o.Seed,
+		JoinAnnotations: o.JoinAnnotations,
+		UseIVF:          o.UseIVF,
+		EncoderEpochs:   o.EncoderEpochs,
+		RerankEpochs:    o.RerankEpochs,
+	}
+}
+
+// Example is one supervised training pair.
+type Example struct {
+	Question string
+	SQL      string
+}
+
+// Candidate is one ranked translation.
+type Candidate struct {
+	// SQL is the translated query text.
+	SQL string
+	// Dialect is the natural-language dialect expression of the query.
+	Dialect string
+	// Score is the ranking score (higher is better).
+	Score float64
+}
+
+// Result is the outcome of a translation.
+type Result struct {
+	// SQL is the top-ranked translation.
+	SQL string
+	// Dialect explains the top translation in (stilted) English.
+	Dialect string
+	// Candidates holds the ranked alternatives, best first.
+	Candidates []Candidate
+}
+
+// System is a GAR translator bound to one database.
+type System struct {
+	inner *core.System
+	db    *schema.Database
+}
+
+// New creates a system for the database. The database must validate.
+func New(db *Database, opts Options) (*System, error) {
+	if err := db.inner.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{inner: core.New(db.inner, opts.internal()), db: db.inner}, nil
+}
+
+// Prepare runs the offline data-preparation process on the sample SQL
+// queries: compositional generalization followed by dialect building.
+// It must be called before Train.
+func (s *System) Prepare(sampleSQL []string) error {
+	queries, err := parseAll(sampleSQL)
+	if err != nil {
+		return err
+	}
+	s.inner.Prepare(queries)
+	if s.inner.PoolSize() == 0 {
+		return fmt.Errorf("gar: no sample query binds against database %s", s.db.Name)
+	}
+	return nil
+}
+
+// PoolSize reports how many candidate queries the preparation produced.
+func (s *System) PoolSize() int { return s.inner.PoolSize() }
+
+// Train fits the two-stage ranking models on the examples.
+func (s *System) Train(examples []Example) error {
+	converted, err := convertExamples(examples)
+	if err != nil {
+		return err
+	}
+	return s.inner.Train(converted)
+}
+
+// SetContent attaches table rows used for value linking during
+// post-processing (filling literal values from the question).
+func (s *System) SetContent(content *Content) {
+	s.inner.SetContent(content.inner)
+}
+
+// Translate converts a natural-language question to SQL.
+func (s *System) Translate(question string) (*Result, error) {
+	tr, err := s.inner.Translate(question)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{}
+	for _, c := range tr.Ranked {
+		out.Candidates = append(out.Candidates, Candidate{
+			SQL:     c.SQL.String(),
+			Dialect: c.Dialect,
+			Score:   c.Score,
+		})
+	}
+	if tr.Top != nil {
+		out.SQL = tr.Top.SQL.String()
+		out.Dialect = tr.Top.Dialect
+	}
+	return out, nil
+}
+
+// Explain renders any SQL query as a dialect expression using the
+// system's dialect builder (with join annotations under GAR-J).
+func (s *System) Explain(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if err := s.db.Bind(q); err != nil {
+		return "", err
+	}
+	return s.inner.Builder().Express(q), nil
+}
+
+// Models are trained ranking models reusable across databases (the
+// paper trains once per benchmark and deploys on unseen databases).
+type Models struct{ inner *core.Models }
+
+// TrainModels fits shared models over several prepared systems.
+func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
+	var converted []core.TrainingSet
+	for _, set := range sets {
+		examples, err := convertExamples(set.Examples)
+		if err != nil {
+			return nil, err
+		}
+		converted = append(converted, core.TrainingSet{Sys: set.System.inner, Examples: examples})
+	}
+	m, err := core.TrainModels(converted, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Models{inner: m}, nil
+}
+
+// TrainingSet couples a prepared System with its training examples.
+type TrainingSet struct {
+	System   *System
+	Examples []Example
+}
+
+// UseModels deploys pre-trained models on this (prepared) system,
+// bringing it online without its own training examples.
+func (s *System) UseModels(m *Models) error { return s.inner.UseModels(m.inner) }
+
+// ExactMatch reports whether two SQL queries are equivalent under
+// SPIDER-style normalization (clause sets, alias- and value-invariant).
+func ExactMatch(a, b string) (bool, error) {
+	qa, err := sqlparse.Parse(a)
+	if err != nil {
+		return false, fmt.Errorf("gar: first query: %w", err)
+	}
+	qb, err := sqlparse.Parse(b)
+	if err != nil {
+		return false, fmt.Errorf("gar: second query: %w", err)
+	}
+	return norm.ExactMatch(qa, qb), nil
+}
+
+func parseAll(sqls []string) ([]*sqlast.Query, error) {
+	out := make([]*sqlast.Query, 0, len(sqls))
+	for _, s := range sqls {
+		q, err := sqlparse.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("gar: parsing %q: %w", s, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func convertExamples(examples []Example) ([]ltr.Example, error) {
+	out := make([]ltr.Example, 0, len(examples))
+	for _, ex := range examples {
+		q, err := sqlparse.Parse(ex.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("gar: parsing example %q: %w", ex.SQL, err)
+		}
+		out = append(out, ltr.Example{NL: ex.Question, Gold: q})
+	}
+	return out, nil
+}
+
+// Content holds table rows for value linking and query execution.
+type Content struct {
+	inner *engine.Instance
+}
+
+// NewContent creates an empty content store for the database.
+func NewContent(db *Database) *Content {
+	return &Content{inner: engine.NewInstance(db.inner)}
+}
+
+// Insert appends one row to a table; values may be string, int, int64
+// or float64.
+func (c *Content) Insert(table string, values ...any) error {
+	row := make([]engine.Value, 0, len(values))
+	for _, v := range values {
+		switch x := v.(type) {
+		case string:
+			row = append(row, engine.Str(x))
+		case int:
+			row = append(row, engine.Num(float64(x)))
+		case int64:
+			row = append(row, engine.Num(float64(x)))
+		case float64:
+			row = append(row, engine.Num(x))
+		case nil:
+			row = append(row, engine.NullValue())
+		default:
+			return fmt.Errorf("gar: unsupported value type %T", v)
+		}
+	}
+	return c.inner.Insert(table, row...)
+}
+
+// Query executes a SQL query against the content and returns the result
+// rows as strings.
+func (c *Content) Query(sql string) ([][]string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.inner.Exec(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		row := make([]string, 0, len(r))
+		for _, v := range r {
+			row = append(row, v.String())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Save writes the trained models to w (gob format); reload them with
+// LoadModels and deploy on any prepared system via UseModels, skipping
+// training.
+func (m *Models) Save(w io.Writer) error { return m.inner.Save(w) }
+
+// SaveFile writes the trained models to a file.
+func (m *Models) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModels reads models previously written with Save.
+func LoadModels(r io.Reader) (*Models, error) {
+	inner, err := core.LoadModels(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Models{inner: inner}, nil
+}
+
+// LoadModelsFile reads models from a file.
+func LoadModelsFile(path string) (*Models, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModels(f)
+}

@@ -1,0 +1,92 @@
+package gar_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/gar"
+)
+
+// TestModelPersistenceRoundTrip: trained models saved and reloaded must
+// rank identically to the originals.
+func TestModelPersistenceRoundTrip(t *testing.T) {
+	train := trainedSystem(t)
+	models, err := gar.TrainModels([]gar.TrainingSet{{System: train, Examples: examples()}},
+		gar.Options{Seed: 5, EncoderEpochs: 10, RerankEpochs: 25, RetrievalK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gar.LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deploy both on identical fresh systems and compare translations.
+	mk := func(m *gar.Models) *gar.System {
+		sys, err := gar.New(companyDB(), gar.Options{GeneralizeSize: 400, RetrievalK: 10, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Prepare(samples()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.UseModels(m); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	orig := mk(models)
+	restored := mk(loaded)
+	for _, q := range []string{
+		"how many employees are there",
+		"who is the oldest employee",
+		"which employees are older than 30",
+		"who got the highest one time bonus",
+	} {
+		a, err := orig.Translate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Translate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SQL != b.SQL {
+			t.Errorf("restored models translate %q differently:\n orig: %s\n load: %s", q, a.SQL, b.SQL)
+		}
+		if len(a.Candidates) != len(b.Candidates) {
+			t.Errorf("candidate list sizes differ for %q", q)
+		}
+	}
+}
+
+func TestModelPersistenceFile(t *testing.T) {
+	train := trainedSystem(t)
+	models, err := gar.TrainModels([]gar.TrainingSet{{System: train, Examples: examples()}},
+		gar.Options{Seed: 5, RetrievalK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models.gob")
+	if err := models.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gar.LoadModelsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gar.LoadModelsFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestLoadModelsGarbage(t *testing.T) {
+	if _, err := gar.LoadModels(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage accepted as models")
+	}
+}

@@ -1,0 +1,106 @@
+package gar
+
+import "repro/internal/schema"
+
+// Database is a schema under construction for a GAR system.
+type Database struct {
+	inner *schema.Database
+}
+
+// NewDatabase creates an empty database schema.
+func NewDatabase(name string) *Database {
+	return &Database{inner: &schema.Database{Name: name}}
+}
+
+// TableOption configures a table during AddTable.
+type TableOption func(*schema.Table)
+
+// Column describes one column for AddTable.
+type Column struct {
+	Name string
+	// NL is the natural-language annotation ("employee id"); empty
+	// derives it from the identifier.
+	NL     string
+	Number bool
+}
+
+// TextColumn declares a text column with its NL annotation.
+func TextColumn(name, nl string) Column { return Column{Name: name, NL: nl} }
+
+// NumberColumn declares a numeric column with its NL annotation.
+func NumberColumn(name, nl string) Column { return Column{Name: name, NL: nl, Number: true} }
+
+// Key sets the table's primary key columns; compound keys change the
+// dialect builder's per-row semantics ("one bonus").
+func Key(cols ...string) TableOption {
+	return func(t *schema.Table) { t.PrimaryKey = cols }
+}
+
+// Annotated sets the table's natural-language name.
+func Annotated(nl string) TableOption {
+	return func(t *schema.Table) { t.Annotation = nl }
+}
+
+// AddTable appends a table built from options and columns.
+func (d *Database) AddTable(name string, opts ...any) *Database {
+	t := &schema.Table{Name: name}
+	for _, o := range opts {
+		switch x := o.(type) {
+		case TableOption:
+			x(t)
+		case Column:
+			typ := schema.Text
+			if x.Number {
+				typ = schema.Number
+			}
+			t.Columns = append(t.Columns, &schema.Column{Name: x.Name, Type: typ, Annotation: x.NL})
+		}
+	}
+	d.inner.Tables = append(d.inner.Tables, t)
+	return d
+}
+
+// AddForeignKey declares fromTable.fromColumn → toTable.toColumn.
+func (d *Database) AddForeignKey(fromTable, fromColumn, toTable, toColumn string) *Database {
+	d.inner.ForeignKeys = append(d.inner.ForeignKeys, schema.ForeignKey{
+		FromTable: fromTable, FromColumn: fromColumn,
+		ToTable: toTable, ToColumn: toColumn,
+	})
+	return d
+}
+
+// JoinAnnotation is the GAR-J annotation of one join path (§IV):
+// joining tables, conditions, a description of the joined "new table",
+// and what one row of the join result denotes.
+type JoinAnnotation struct {
+	Tables      []string
+	Conditions  []JoinCondition
+	Description string
+	TableKeys   string
+}
+
+// JoinCondition is one equi-join edge of an annotated path.
+type JoinCondition struct {
+	LeftTable, LeftColumn   string
+	RightTable, RightColumn string
+}
+
+// AddJoinAnnotation attaches a GAR-J join annotation.
+func (d *Database) AddJoinAnnotation(ann JoinAnnotation) *Database {
+	conv := &schema.JoinAnnotation{
+		Tables:      ann.Tables,
+		Description: ann.Description,
+		TableKeys:   ann.TableKeys,
+	}
+	for _, c := range ann.Conditions {
+		conv.Conditions = append(conv.Conditions, schema.JoinEdge{
+			LeftTable: c.LeftTable, LeftColumn: c.LeftColumn,
+			RightTable: c.RightTable, RightColumn: c.RightColumn,
+		})
+	}
+	d.inner.JoinAnnotations = append(d.inner.JoinAnnotations, conv)
+	return d
+}
+
+// Validate checks the schema for consistency.
+func (d *Database) Validate() error { return d.inner.Validate() }

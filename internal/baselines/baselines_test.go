@@ -1,0 +1,227 @@
+package baselines_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/engine"
+	"repro/internal/norm"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+func trainItems() []baselines.TrainItem {
+	db := schematest.Employee()
+	mk := func(nl, sql string) baselines.TrainItem {
+		return baselines.TrainItem{DB: db, NL: nl, Gold: sqlparse.MustParse(sql)}
+	}
+	return []baselines.TrainItem{
+		mk("what are the names of all employees", "SELECT name FROM employee"),
+		mk("how many employees are there", "SELECT COUNT(*) FROM employee"),
+		mk("which employees are older than 30", "SELECT name FROM employee WHERE age > 30"),
+		mk("who is the oldest employee", "SELECT name FROM employee ORDER BY age DESC LIMIT 1"),
+		mk("how many employees live in each city", "SELECT city, COUNT(*) FROM employee GROUP BY city"),
+		mk("what is the average age of employees", "SELECT AVG(age) FROM employee"),
+		mk("what is the total bonus paid", "SELECT SUM(bonus) FROM evaluation"),
+		mk("who is the youngest employee", "SELECT name FROM employee ORDER BY age LIMIT 1"),
+		mk("find the name of the employee who got the highest one time bonus",
+			"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1"),
+		mk("employees with a bonus above the average bonus",
+			"SELECT name FROM employee WHERE employee_id IN (SELECT employee_id FROM evaluation)"),
+		// Additional pairs so the cue statistics separate; the real
+		// benchmarks provide hundreds of training pairs per split.
+		mk("count the shops", "SELECT COUNT(*) FROM shop"),
+		mk("how many evaluations are there", "SELECT COUNT(*) FROM evaluation"),
+		mk("how many shops are there", "SELECT COUNT(*) FROM shop"),
+		mk("list the shop names", "SELECT shop_name FROM shop"),
+		mk("show the location of each shop", "SELECT location FROM shop"),
+		mk("which employees live in Madrid", "SELECT name FROM employee WHERE city = 'Madrid'"),
+		mk("show shops in the Center district", "SELECT shop_name FROM shop WHERE district = 'Center'"),
+		mk("employees younger than 40", "SELECT name FROM employee WHERE age < 40"),
+		mk("shops with more than 100 products", "SELECT shop_name FROM shop WHERE number_products > 100"),
+		mk("which shop has the most products", "SELECT shop_name FROM shop ORDER BY number_products DESC LIMIT 1"),
+		mk("what is the largest bonus", "SELECT MAX(bonus) FROM evaluation"),
+		mk("what is the smallest bonus", "SELECT MIN(bonus) FROM evaluation"),
+		mk("number of shops in each district", "SELECT district, COUNT(*) FROM shop GROUP BY district"),
+		mk("districts with more than 2 shops", "SELECT district FROM shop GROUP BY district HAVING COUNT(*) > 2"),
+		mk("list employee names sorted by age", "SELECT name FROM employee ORDER BY age"),
+	}
+}
+
+func employeeContent() *engine.Instance {
+	in := engine.NewInstance(schematest.Employee())
+	n, s := engine.Num, engine.Str
+	in.MustInsert("employee", n(1), s("George"), n(45), s("Madrid"))
+	in.MustInsert("employee", n(2), s("John"), n(32), s("Austin"))
+	in.MustInsert("evaluation", n(1), s("2017"), n(3200))
+	in.MustInsert("evaluation", n(2), s("2017"), n(4100))
+	return in
+}
+
+func TestLexiconLearnsCues(t *testing.T) {
+	lex := baselines.TrainLexicon(trainItems())
+	if p := lex.FlagProb("order", "who is the oldest employee", schematest.Employee()); p < 0.5 {
+		t.Errorf("order cue not learned: %v", p)
+	}
+	if p := lex.FlagProb("order", "what are the names of all employees", schematest.Employee()); p > 0.5 {
+		t.Errorf("spurious order cue: %v", p)
+	}
+	if p := lex.FlagProb("group", "how many employees live in each city", schematest.Employee()); p < 0.5 {
+		t.Errorf("group cue not learned: %v", p)
+	}
+	if p := lex.FlagProb("aggCount", "how many employees are there", schematest.Employee()); p < 0.5 {
+		t.Errorf("count cue not learned: %v", p)
+	}
+}
+
+func TestBaselinesTranslateEasyQueries(t *testing.T) {
+	lex := baselines.TrainLexicon(trainItems())
+	db := schematest.Employee()
+	content := employeeContent()
+	gold := sqlparse.MustParse("SELECT COUNT(*) FROM employee")
+	for _, m := range baselines.All(lex) {
+		pred := m.Translate(db, content, "how many employees are there")
+		if pred == nil {
+			t.Errorf("%s failed on an easy query", m.Name())
+			continue
+		}
+		if !norm.ExactMatch(pred, gold) {
+			t.Errorf("%s mistranslated easy count: %s", m.Name(), pred)
+		}
+	}
+}
+
+func TestFig1Mistranslations(t *testing.T) {
+	// The paper's Fig. 1: GAP decodes "the most records", SMBOP decodes
+	// "the largest total", on a superlative over a join.
+	lex := baselines.TrainLexicon(trainItems())
+	db := schematest.Employee()
+	content := employeeContent()
+	nl := "find the name of the employee who got the highest one time bonus"
+	gold := sqlparse.MustParse(
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1")
+
+	gap := baselines.NewGAP(lex).Translate(db, content, nl)
+	if gap == nil {
+		t.Fatal("GAP produced nothing")
+	}
+	if norm.ExactMatch(gap, gold) {
+		t.Errorf("GAP should mistranslate Fig. 1: %s", gap)
+	}
+	if !strings.Contains(gap.String(), "GROUP BY") || !strings.Contains(gap.String(), "COUNT(*)") {
+		t.Errorf("GAP should group and count: %s", gap)
+	}
+
+	smbop := baselines.NewSMBOP(lex).Translate(db, content, nl)
+	if smbop == nil {
+		t.Fatal("SMBOP produced nothing")
+	}
+	if !strings.Contains(smbop.String(), "SUM(") {
+		t.Errorf("SMBOP should sum the bonus: %s", smbop)
+	}
+}
+
+func TestRATSQLNeedsContent(t *testing.T) {
+	lex := baselines.TrainLexicon(trainItems())
+	db := schematest.Employee()
+	if q := baselines.NewRATSQL(lex).Translate(db, nil, "how many employees are there"); q != nil {
+		t.Error("RAT-SQL must be N/A without content")
+	}
+	if q := baselines.NewGAP(lex).Translate(db, nil, "how many employees are there"); q != nil {
+		t.Error("GAP must be N/A without content")
+	}
+	if q := baselines.NewSMBOP(lex).Translate(db, nil, "how many employees are there"); q == nil {
+		t.Error("SMBOP must work without content")
+	}
+	if q := baselines.NewBRIDGE(lex).Translate(db, nil, "how many employees are there"); q == nil {
+		t.Error("BRIDGE must work without content")
+	}
+}
+
+func TestBRIDGEValueLinking(t *testing.T) {
+	lex := baselines.TrainLexicon(append(trainItems(), baselines.TrainItem{
+		DB: schematest.Employee(), NL: "which employees live in Madrid",
+		Gold: sqlparse.MustParse("SELECT name FROM employee WHERE city = 'Madrid'"),
+	}))
+	pred := baselines.NewBRIDGE(lex).Translate(schematest.Employee(), employeeContent(),
+		"which employees live in Austin")
+	if pred == nil {
+		t.Fatal("BRIDGE produced nothing")
+	}
+	s := pred.String()
+	if !strings.Contains(s, "city") || !strings.Contains(strings.ToLower(s), "austin") {
+		t.Errorf("BRIDGE value linking failed: %s", s)
+	}
+}
+
+func TestSMBOPFailsExtraHard(t *testing.T) {
+	lex := baselines.TrainLexicon(append(trainItems(),
+		baselines.TrainItem{
+			DB: schematest.Employee(),
+			NL: "for each city of employees older than 30 having more than 2 employees show the city with the most employees",
+			Gold: sqlparse.MustParse(`SELECT city FROM employee WHERE age > 30
+				GROUP BY city HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 1`),
+		}))
+	pred := baselines.NewSMBOP(lex).Translate(schematest.Employee(), employeeContent(),
+		"for each city of employees older than 30 having more than 2 employees show the city with the most employees")
+	if pred == nil {
+		t.Fatal("SMBOP returned nil instead of a trivial query")
+	}
+	// The extra-hard bailout produces a trivially simple query.
+	if strings.Contains(pred.String(), "GROUP BY") || strings.Contains(pred.String(), "HAVING") {
+		t.Errorf("SMBOP extra-hard bailout did not trigger: %s", pred)
+	}
+}
+
+func TestFig7WrongFKEdge(t *testing.T) {
+	// Two FK edges exist between flights and airports; synthesis models
+	// take the first declared one, which for arriving flights is wrong
+	// in direction-specific questions.
+	db := schematest.Flights()
+	lex := baselines.TrainLexicon([]baselines.TrainItem{
+		{DB: db, NL: "which city has most number of arriving flights", Gold: sqlparse.MustParse(
+			`SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport
+			 GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1`)},
+		{DB: db, NL: "which city has the most departing flights", Gold: sqlparse.MustParse(
+			`SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.sourceAirport
+			 GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1`)},
+	})
+	in := engine.NewInstance(db)
+	in.MustInsert("airports", engine.Str("Austin"), engine.Str("AUS"), engine.Str("Bergstrom"), engine.Str("USA"))
+	pred := baselines.NewSMBOP(lex).Translate(db, in, "which city has most number of arriving flights")
+	if pred == nil {
+		t.Skip("SMBOP bailed out; edge preference untestable here")
+	}
+	if strings.Contains(pred.String(), "destAirport") && !strings.Contains(pred.String(), "sourceAirport") {
+		t.Logf("model picked the right edge by luck: %s", pred)
+	}
+}
+
+func TestPredictionsBindOrNil(t *testing.T) {
+	lex := baselines.TrainLexicon(trainItems())
+	db := schematest.Employee()
+	content := employeeContent()
+	queries := []string{
+		"how many employees are there",
+		"which employees are older than 30",
+		"who is the oldest employee",
+		"what is the average age of employees",
+		"cities with more than 2 employees",
+		"employees with a bonus above the average bonus",
+		"show names of employees in Austin or Madrid",
+	}
+	for _, m := range baselines.All(lex) {
+		for _, nl := range queries {
+			pred := m.Translate(db, content, nl)
+			if pred == nil {
+				continue
+			}
+			if err := db.Bind(pred.Clone()); err != nil {
+				t.Errorf("%s produced unbound query for %q: %s: %v", m.Name(), nl, pred, err)
+			}
+			var _ = sqlast.ExprString // keep import
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/text"
+)
+
+// structFlags describes the coarse structure of a SQL query — the part
+// a seq2seq decoder has to get right before any slot filling.
+type structFlags struct {
+	Agg           sqlast.AggFunc // "" for none
+	CountStar     bool
+	CountDistinct bool
+	Where         bool
+	TwoPreds      bool
+	Group         bool
+	Having        bool
+	Order         bool
+	Desc          bool
+	Limit1        bool
+	Nested        bool
+	Compound      bool
+	Join          bool
+	Distinct      bool
+}
+
+// flagsOf extracts structure flags from a gold query.
+func flagsOf(q *sqlast.Query) structFlags {
+	s := q.Select
+	f := structFlags{
+		Where:    s.Where != nil,
+		TwoPreds: len(sqlast.Predicates(s.Where)) > 1,
+		Group:    len(s.GroupBy) > 0,
+		Having:   s.Having != nil,
+		Order:    len(s.OrderBy) > 0,
+		Limit1:   s.Limit == 1,
+		Compound: q.IsCompound(),
+		Join:     len(s.From.Joins) > 0,
+		Distinct: s.Distinct,
+	}
+	if len(s.OrderBy) > 0 {
+		f.Desc = s.OrderBy[0].Desc
+	}
+	for _, it := range s.Items {
+		if a, ok := it.Expr.(*sqlast.Agg); ok {
+			f.Agg = a.Func
+			if a.Arg.IsStar() {
+				f.CountStar = true
+			}
+			if a.Distinct {
+				f.CountDistinct = true
+			}
+		}
+	}
+	sqlast.WalkExprs(s.Where, func(e sqlast.Expr) {
+		switch e.(type) {
+		case *sqlast.In, *sqlast.Exists, *sqlast.Subquery:
+			f.Nested = true
+		}
+	})
+	return f
+}
+
+// Lexicon is the trainable cue model: per-flag naive-Bayes token
+// statistics estimated from (NL, gold) training pairs. It is shared by
+// all four baselines, as the underlying pre-trained encoders are in the
+// paper.
+type Lexicon struct {
+	total     int
+	flagCount map[string]int
+	// tokenFlag[flag][token] = count of token in examples with flag.
+	tokenFlag map[string]map[string]int
+	tokenAll  map[string]int
+}
+
+// flagNames enumerates the predicted binary flags.
+var flagNames = []string{
+	"where", "twoPreds", "group", "having", "order", "desc", "limit1",
+	"nested", "compound", "join", "distinct",
+	"aggCount", "aggSum", "aggAvg", "aggMin", "aggMax", "countStar",
+	"countDistinct",
+}
+
+func boolFlags(f structFlags) map[string]bool {
+	return map[string]bool{
+		"where": f.Where, "twoPreds": f.TwoPreds, "group": f.Group,
+		"having": f.Having, "order": f.Order, "desc": f.Desc,
+		"limit1": f.Limit1, "nested": f.Nested, "compound": f.Compound,
+		"join": f.Join, "distinct": f.Distinct,
+		"aggCount": f.Agg == sqlast.Count, "aggSum": f.Agg == sqlast.Sum,
+		"aggAvg": f.Agg == sqlast.Avg, "aggMin": f.Agg == sqlast.Min,
+		"aggMax": f.Agg == sqlast.Max, "countStar": f.CountStar,
+		"countDistinct": f.CountDistinct,
+	}
+}
+
+// TrainItem is one supervised pair for lexicon training.
+type TrainItem struct {
+	DB   *schema.Database
+	NL   string
+	Gold *sqlast.Query
+}
+
+// TrainLexicon estimates the cue statistics from training pairs.
+// Tokens that name schema elements (tables, columns) are excluded from
+// the cue features: they indicate *which* columns to use, not *what
+// structure* the query has, and letting them vote on structure flags
+// only adds small-sample noise.
+func TrainLexicon(items []TrainItem) *Lexicon {
+	lex := &Lexicon{
+		flagCount: map[string]int{},
+		tokenFlag: map[string]map[string]int{},
+		tokenAll:  map[string]int{},
+	}
+	for _, name := range flagNames {
+		lex.tokenFlag[name] = map[string]int{}
+	}
+	for _, it := range items {
+		lex.total++
+		flags := boolFlags(flagsOf(it.Gold))
+		toks := cueTokens(it.NL, it.DB)
+		for _, t := range toks {
+			lex.tokenAll[t]++
+		}
+		for name, on := range flags {
+			if !on {
+				continue
+			}
+			lex.flagCount[name]++
+			for _, t := range toks {
+				lex.tokenFlag[name][t]++
+			}
+		}
+	}
+	return lex
+}
+
+// cueTokens returns the distinct non-schema content tokens of an NL
+// query.
+func cueTokens(nl string, db *schema.Database) []string {
+	vocab := schemaVocab(db)
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range text.CanonTokens(nl) {
+		if seen[t] || vocab[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// schemaVocab collects the stemmed annotation tokens of a schema.
+func schemaVocab(db *schema.Database) map[string]bool {
+	if db == nil {
+		return nil
+	}
+	vocab := map[string]bool{}
+	for _, t := range db.Tables {
+		for _, tok := range text.CanonTokens(t.NL()) {
+			vocab[tok] = true
+		}
+		for _, c := range t.Columns {
+			for _, tok := range text.CanonTokens(c.NL()) {
+				vocab[tok] = true
+			}
+		}
+	}
+	return vocab
+}
+
+// FlagProb returns the posterior probability of the flag given the NL
+// query under the naive-Bayes cue model. db filters out schema words.
+func (l *Lexicon) FlagProb(flag, nl string, db *schema.Database) float64 {
+	if l.total == 0 {
+		return 0
+	}
+	prior := float64(l.flagCount[flag]+1) / float64(l.total+2)
+	logOdds := math.Log(prior / (1 - prior))
+	nFlag := l.flagCount[flag]
+	for _, t := range cueTokens(nl, db) {
+		all := l.tokenAll[t]
+		if all == 0 {
+			continue
+		}
+		withFlag := l.tokenFlag[flag][t]
+		// P(t|flag) vs P(t|¬flag), smoothed toward the token's global
+		// rate with m pseudo-counts so flags with few (or zero)
+		// training examples stay uninformative instead of defaulting
+		// to 1/2.
+		const m = 5.0
+		p0 := float64(all+1) / float64(l.total+2)
+		pFlag := (float64(withFlag) + m*p0) / (float64(nFlag) + m)
+		pNot := (float64(all-withFlag) + m*p0) / (float64(l.total-nFlag) + m)
+		logOdds += math.Log(pFlag / pNot)
+	}
+	return 1 / (1 + math.Exp(-logOdds))
+}
+
+// Predict thresholds the flag posteriors into a structure prediction.
+func (l *Lexicon) Predict(nl string, db *schema.Database) structFlags {
+	p := func(flag string) bool { return l.FlagProb(flag, nl, db) > 0.5 }
+	f := structFlags{
+		Where:    p("where"),
+		TwoPreds: p("twoPreds"),
+		Group:    p("group"),
+		Having:   p("having"),
+		Order:    p("order"),
+		Desc:     p("desc"),
+		Limit1:   p("limit1"),
+		Nested:   p("nested"),
+		Compound: p("compound"),
+		Join:     p("join"),
+		Distinct: p("distinct"),
+	}
+	bestAgg, bestP := sqlast.AggFunc(""), 0.5
+	for _, cand := range []struct {
+		flag string
+		fn   sqlast.AggFunc
+	}{
+		{"aggCount", sqlast.Count}, {"aggSum", sqlast.Sum},
+		{"aggAvg", sqlast.Avg}, {"aggMin", sqlast.Min}, {"aggMax", sqlast.Max},
+	} {
+		if prob := l.FlagProb(cand.flag, nl, db); prob > bestP {
+			bestAgg, bestP = cand.fn, prob
+		}
+	}
+	f.Agg = bestAgg
+	f.CountStar = f.Agg == sqlast.Count && l.FlagProb("countStar", nl, db) > 0.5
+	f.CountDistinct = f.Agg == sqlast.Count && !f.CountStar && l.FlagProb("countDistinct", nl, db) > 0.5
+	return f
+}

@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Model is one baseline NL2SQL system.
+type Model struct {
+	lex *Lexicon
+	pol policy
+}
+
+// Name returns the model's display name.
+func (m *Model) Name() string { return m.pol.name }
+
+// NeedsContent reports whether the model requires database content for
+// schema linking (GAP and RAT-SQL): such models cannot run on
+// benchmarks that hide the test databases (Table 7's N/A rows).
+func (m *Model) NeedsContent() bool { return m.pol.needsContent }
+
+// Translate synthesizes a SQL prediction for the NL query on the given
+// database. content may be nil for models that do not need it; a nil
+// return is a failed translation.
+func (m *Model) Translate(db *schema.Database, content *engine.Instance, nl string) *sqlast.Query {
+	if m.pol.needsContent && content == nil {
+		return nil
+	}
+	s := newSynthesizer(db, content, m.pol)
+	return s.translate(nl, m.lex.Predict(nl, db))
+}
+
+// NewGAP builds the GAP-like baseline: content-dependent schema linking
+// and the "most records" decoding of superlatives over joins (Fig. 1).
+func NewGAP(lex *Lexicon) *Model {
+	return &Model{lex: lex, pol: policy{
+		name:         "GAP",
+		needsContent: true,
+		supJoin:      "count",
+		wrongFKBias:  true,
+		valueLinking: true,
+	}}
+}
+
+// NewSMBOP builds the SMBOP-like baseline: bottom-up decoding that sums
+// instead of ordering (Fig. 1) and bails out to a trivial query on
+// extra-hard structures (the response-time drop of Fig. 10).
+func NewSMBOP(lex *Lexicon) *Model {
+	return &Model{lex: lex, pol: policy{
+		name:          "SMBOP",
+		supJoin:       "sum",
+		failExtraHard: true,
+		wrongFKBias:   true,
+		valueLinking:  true,
+	}}
+}
+
+// NewRATSQL builds the RAT-SQL-like baseline: relation-aware linking
+// that depends on database content, grammar decoding without set
+// operators.
+func NewRATSQL(lex *Lexicon) *Model {
+	return &Model{lex: lex, pol: policy{
+		name:         "RAT-SQL",
+		needsContent: true,
+		supJoin:      "order",
+		noCompound:   true,
+		wrongFKBias:  true,
+		valueLinking: true,
+	}}
+}
+
+// NewBRIDGE builds the BRIDGE-like baseline: sequential decoding with
+// strong cell-value linking and no content requirement at train time.
+func NewBRIDGE(lex *Lexicon) *Model {
+	return &Model{lex: lex, pol: policy{
+		name:         "BRIDGE",
+		supJoin:      "order",
+		valueLinking: true,
+		wrongFKBias:  true,
+	}}
+}
+
+// All builds the four baselines sharing one trained lexicon, in the
+// paper's reporting order.
+func All(lex *Lexicon) []*Model {
+	return []*Model{NewSMBOP(lex), NewBRIDGE(lex), NewGAP(lex), NewRATSQL(lex)}
+}

@@ -1,0 +1,577 @@
+package baselines
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/text"
+	"repro/internal/values"
+)
+
+// policy encodes one baseline's characteristic assembly behaviour.
+type policy struct {
+	name string
+	// needsContent marks models whose schema linking requires database
+	// content (GAP, RAT-SQL) — they are N/A on benchmarks that hide it.
+	needsContent bool
+	// supJoin is how the model handles a superlative over a join (the
+	// paper's Fig. 1): "order" decodes it correctly, "count" decodes
+	// "the most records" (GAP), "sum" decodes "the largest total"
+	// (SMBOP).
+	supJoin string
+	// failExtraHard makes the model emit a trivial (wrong) query when
+	// the predicted structure stacks too many components (SMBOP's
+	// behaviour on Extra Hard queries).
+	failExtraHard bool
+	// noCompound disables set operators (RAT-SQL-like decoding).
+	noCompound bool
+	// valueLinking anchors WHERE columns on linked cell values
+	// (BRIDGE's distinctive strength).
+	valueLinking bool
+	// wrongFKBias picks the first declared FK edge between two tables
+	// even when several exist (Fig. 7's source/destination confusion).
+	// All synthesis models share it; kept as a knob for tests.
+	wrongFKBias bool
+}
+
+// synthesizer assembles one SQL query from the predicted structure and
+// the linked schema elements.
+type synthesizer struct {
+	db      *schema.Database
+	content *engine.Instance
+	pol     policy
+	lk      *linker
+	vlink   *values.Linker
+}
+
+func newSynthesizer(db *schema.Database, content *engine.Instance, pol policy) *synthesizer {
+	s := &synthesizer{db: db, content: content, pol: pol}
+	s.lk = &linker{db: db, content: content, withContent: pol.needsContent || pol.valueLinking}
+	if pol.valueLinking {
+		s.vlink = values.NewLinker(db, content)
+	} else {
+		s.vlink = values.NewLinker(db, nil)
+	}
+	return s
+}
+
+// translate synthesizes the SQL prediction for one NL query. A nil
+// result means the model failed to produce a query.
+func (s *synthesizer) translate(nl string, f structFlags) *sqlast.Query {
+	cols := s.lk.linkColumns(nl)
+	if len(cols) == 0 {
+		// Fall back to the best-linked table's first data column.
+		tabs := s.lk.linkTables(nl)
+		if len(tabs) == 0 {
+			return nil
+		}
+		t := tabs[0].table
+		for _, c := range t.Columns {
+			cols = append(cols, linkScore{table: t, column: c, score: 0})
+			break
+		}
+	}
+	proj := cols[0]
+	mainT := proj.table
+
+	// BRIDGE-style value linking: a mentioned cell value forces a
+	// filter on its column even when the cue model missed it.
+	if s.pol.valueLinking && !f.Where {
+		for _, v := range s.vlink.Extract(nl) {
+			if !v.IsNum && len(v.Columns) > 0 {
+				f.Where = true
+				break
+			}
+		}
+	}
+
+	// Extra-hard bailout: SMBOP-like models emit a trivial query when
+	// too many components stack up.
+	if s.pol.failExtraHard && componentLoad(f) >= 5 {
+		return &sqlast.Query{Select: &sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: s.colRef(mainT, firstDataColumn(mainT))}},
+			From:  sqlast.From{Tables: []sqlast.TableRef{{Name: mainT.Name}}},
+		}}
+	}
+
+	sel := &sqlast.Select{Distinct: f.Distinct}
+	from := sqlast.From{Tables: []sqlast.TableRef{{Name: mainT.Name}}}
+
+	// Join: when the structure demands one, or the linked columns span
+	// two tables, connect via an FK path (first declared edge wins —
+	// the Fig. 7 failure mode on ambiguous edges).
+	var joinedT *schema.Table
+	if f.Join || secondTable(cols, mainT) != nil {
+		other := secondTable(cols, mainT)
+		if other == nil && f.Join {
+			other = s.mentionedTable(nl, mainT)
+		}
+		if other != nil {
+			if path, fks := fkPath(s.db, mainT, other); path != nil {
+				from = sqlast.From{}
+				for _, t := range path {
+					from.Tables = append(from.Tables, sqlast.TableRef{Name: t.Name})
+				}
+				for _, fk := range fks {
+					from.Joins = append(from.Joins, sqlast.JoinCond{
+						Left:  sqlast.ColumnRef{Table: fk.ToTable, Column: fk.ToColumn},
+						Right: sqlast.ColumnRef{Table: fk.FromTable, Column: fk.FromColumn},
+					})
+				}
+				// Printed FROM order must match join order: the path
+				// starts at mainT.
+				joinedT = path[len(path)-1]
+			}
+		}
+	}
+	sel.From = from
+
+	// Projection.
+	switch {
+	case f.Agg != "" && f.CountStar:
+		sel.Items = []sqlast.SelectItem{{Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}}}}
+	case f.Agg == sqlast.Count:
+		// COUNT over a column: the best-linked column, DISTINCT when
+		// the cue model saw a distinct marker.
+		arg := s.colRef(proj.table, proj.column)
+		sel.Items = []sqlast.SelectItem{{Expr: &sqlast.Agg{Func: sqlast.Count, Distinct: f.CountDistinct, Arg: arg}}}
+	case f.Agg != "":
+		numCol := s.numericColumn(cols, mainT, joinedT)
+		if numCol == nil {
+			sel.Items = []sqlast.SelectItem{{Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}}}}
+		} else {
+			sel.Items = []sqlast.SelectItem{{Expr: &sqlast.Agg{Func: f.Agg, Arg: numCol}}}
+		}
+	default:
+		sel.Items = []sqlast.SelectItem{{Expr: s.colRef(proj.table, proj.column)}}
+	}
+
+	// WHERE.
+	if f.Where {
+		if pred := s.wherePredicate(nl, cols, proj, f.TwoPreds); pred != nil {
+			sel.Where = pred
+		}
+	}
+
+	// Nested predicate (IN-subquery through an FK, or scalar compare).
+	if f.Nested {
+		s.addNested(sel, nl, mainT)
+	}
+
+	// GROUP BY + HAVING + superlative shapes.
+	if f.Group {
+		gcol := s.groupColumn(cols, proj)
+		if gcol != nil {
+			sel.GroupBy = []*sqlast.ColumnRef{gcol}
+			if f.Limit1 && f.Order {
+				sel.OrderBy = []sqlast.OrderItem{{
+					Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+					Desc: true,
+				}}
+				sel.Limit = 1
+			} else if f.Agg == sqlast.Count || f.CountStar {
+				sel.Items = append(sel.Items[:0],
+					sqlast.SelectItem{Expr: &sqlast.ColumnRef{Table: gcol.Table, Column: gcol.Column}},
+					sqlast.SelectItem{Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}}})
+			}
+			if f.Having {
+				sel.Having = &sqlast.Binary{
+					Op: ">",
+					L:  &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+					R:  sqlast.NumberLitOf(s.havingThreshold(nl)),
+				}
+			}
+		}
+	}
+
+	// Superlative / ordering without grouping.
+	if f.Order && len(sel.OrderBy) == 0 {
+		key := s.orderKey(cols, mainT, joinedT, proj, nl)
+		if key != nil {
+			if joinedT != nil && f.Limit1 && s.pol.supJoin != "order" {
+				// The characteristic mistranslations of Fig. 1.
+				switch s.pol.supJoin {
+				case "count":
+					sel.GroupBy = []*sqlast.ColumnRef{s.fkGroupKey(joinedT, mainT)}
+					sel.OrderBy = []sqlast.OrderItem{{
+						Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+						Desc: true,
+					}}
+				case "sum":
+					sel.GroupBy = []*sqlast.ColumnRef{s.fkGroupKey(joinedT, mainT)}
+					sel.OrderBy = []sqlast.OrderItem{{
+						Expr: &sqlast.Agg{Func: sqlast.Sum, Arg: key},
+						Desc: true,
+					}}
+				}
+				sel.Limit = 1
+			} else {
+				sel.OrderBy = []sqlast.OrderItem{{Expr: key, Desc: f.Desc}}
+				if f.Limit1 {
+					sel.Limit = 1
+				}
+			}
+		}
+	}
+
+	q := &sqlast.Query{Select: sel}
+
+	// Compound.
+	if f.Compound && !s.pol.noCompound {
+		if right := s.compoundRight(nl, sel); right != nil {
+			q.Op = sqlast.Union
+			if strings.Contains(strings.ToLower(nl), "also appear") ||
+				strings.Contains(strings.ToLower(nl), "intersect") {
+				q.Op = sqlast.Intersect
+			}
+			if strings.Contains(strings.ToLower(nl), "exclud") ||
+				strings.Contains(strings.ToLower(nl), "but not") ||
+				strings.Contains(strings.ToLower(nl), "leave out") {
+				q.Op = sqlast.Except
+			}
+			q.Right = right
+		}
+	}
+
+	if err := s.db.Bind(q); err != nil {
+		return nil
+	}
+	return q
+}
+
+// componentLoad counts stacked structure components (the extra-hard
+// proxy).
+func componentLoad(f structFlags) int {
+	n := 0
+	for _, on := range []bool{f.Where, f.TwoPreds, f.Group, f.Having,
+		f.Order, f.Limit1, f.Nested, f.Compound, f.Join} {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+func firstDataColumn(t *schema.Table) *schema.Column {
+	for _, c := range t.Columns {
+		if !strings.HasSuffix(strings.ToLower(c.Name), "_id") && !strings.EqualFold(c.Name, "uid") {
+			return c
+		}
+	}
+	return t.Columns[0]
+}
+
+func (s *synthesizer) colRef(t *schema.Table, c *schema.Column) *sqlast.ColumnRef {
+	return &sqlast.ColumnRef{Table: t.Name, Column: c.Name}
+}
+
+// secondTable finds a column on a different table that carries
+// *distinctive* evidence: at least one of its annotation tokens is not
+// provided by any column of the main table. Generic words ("name",
+// "city") that the main table also offers must not trigger a join.
+func secondTable(cols []linkScore, main *schema.Table) *schema.Table {
+	mainToks := map[string]bool{}
+	for _, mc := range main.Columns {
+		for _, t := range text.CanonTokens(mc.NL()) {
+			mainToks[t] = true
+		}
+	}
+	for _, c := range cols {
+		if c.table == main || c.score <= 0.8 || c.column == nil {
+			continue
+		}
+		distinctive := false
+		for _, t := range text.CanonTokens(c.column.NL()) {
+			if !mainToks[t] {
+				distinctive = true
+				break
+			}
+		}
+		if distinctive {
+			return c.table
+		}
+	}
+	return nil
+}
+
+// mentionedTable finds a second table whose own name is mentioned in
+// the NL query (a join target named without any of its columns, as in
+// "players enrolled in the teams").
+func (s *synthesizer) mentionedTable(nl string, main *schema.Table) *schema.Table {
+	nlToks := text.CanonTokens(nl)
+	for _, t := range s.db.Tables {
+		if t == main {
+			continue
+		}
+		if overlap(text.CanonTokens(t.NL()), nlToks) >= 0.99 {
+			return t
+		}
+	}
+	return nil
+}
+
+// numericColumn picks the best-linked numeric column for aggregates.
+func (s *synthesizer) numericColumn(cols []linkScore, main, joined *schema.Table) *sqlast.ColumnRef {
+	for _, c := range cols {
+		if c.column != nil && c.column.Type == schema.Number &&
+			(c.table == main || c.table == joined) &&
+			!strings.HasSuffix(strings.ToLower(c.column.Name), "_id") {
+			return s.colRef(c.table, c.column)
+		}
+	}
+	return nil
+}
+
+// wherePredicate builds the filter from linked columns and NL values.
+func (s *synthesizer) wherePredicate(nl string, cols []linkScore, proj linkScore, two bool) sqlast.Expr {
+	vals := s.vlink.Extract(nl)
+	pred := s.onePredicate(nl, cols, proj, vals, nil)
+	if pred == nil {
+		return nil
+	}
+	if two {
+		if second := s.onePredicate(nl, cols, proj, vals, pred); second != nil {
+			op := "AND"
+			if strings.Contains(strings.ToLower(nl), " or ") {
+				op = "OR"
+			}
+			return &sqlast.Binary{Op: op, L: pred, R: second}
+		}
+	}
+	return pred
+}
+
+func (s *synthesizer) onePredicate(nl string, cols []linkScore, proj linkScore, vals []values.NLValue, used sqlast.Expr) sqlast.Expr {
+	usedStr := ""
+	if used != nil {
+		usedStr = sqlast.ExprString(used)
+	}
+	// Prefer a text column whose cell values match the NL.
+	for _, v := range vals {
+		if v.IsNum {
+			continue
+		}
+		for _, ref := range v.Columns {
+			t, c := s.db.Column(ref.Table, ref.Column)
+			if c == nil || !tableInScope(cols, t) {
+				continue
+			}
+			p := &sqlast.Binary{Op: "=", L: s.colRef(t, c), R: &sqlast.Lit{Kind: sqlast.StringLit, Text: v.Text}}
+			if sqlast.ExprString(p) != usedStr {
+				return p
+			}
+		}
+	}
+	// Numeric comparison with an NL number.
+	for _, v := range vals {
+		if !v.IsNum {
+			continue
+		}
+		for _, c := range cols {
+			if c.column == nil || c.column.Type != schema.Number {
+				continue
+			}
+			op := s.compareOp(nl)
+			p := &sqlast.Binary{Op: op, L: s.colRef(c.table, c.column), R: &sqlast.Lit{Kind: sqlast.NumberLit, Text: v.Text}}
+			if sqlast.ExprString(p) != usedStr {
+				return p
+			}
+		}
+	}
+	// Fallback: equality on the second-best linked text column with a
+	// quoted or capitalized NL token.
+	for _, c := range cols {
+		if c.column == nil || c.column == proj.column || c.column.Type != schema.Text {
+			continue
+		}
+		valText := firstValueText(vals)
+		if valText == "" {
+			return nil
+		}
+		p := &sqlast.Binary{Op: "=", L: s.colRef(c.table, c.column), R: &sqlast.Lit{Kind: sqlast.StringLit, Text: valText}}
+		if sqlast.ExprString(p) != usedStr {
+			return p
+		}
+	}
+	return nil
+}
+
+func firstValueText(vals []values.NLValue) string {
+	for _, v := range vals {
+		if !v.IsNum {
+			return v.Text
+		}
+	}
+	return ""
+}
+
+func tableInScope(cols []linkScore, t *schema.Table) bool {
+	for _, c := range cols {
+		if c.table == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *synthesizer) compareOp(nl string) string {
+	ls := strings.ToLower(nl)
+	switch {
+	case strings.Contains(ls, "at least"):
+		return ">="
+	case strings.Contains(ls, "at most"):
+		return "<="
+	case strings.Contains(ls, "more than"), strings.Contains(ls, "greater"),
+		strings.Contains(ls, "over "), strings.Contains(ls, "above"):
+		return ">"
+	case strings.Contains(ls, "less than"), strings.Contains(ls, "under "),
+		strings.Contains(ls, "below"), strings.Contains(ls, "fewer"):
+		return "<"
+	case strings.Contains(ls, "not "):
+		return "!="
+	default:
+		return "="
+	}
+}
+
+// addNested attaches an IN-subquery (through an FK) or a scalar
+// comparison when the cue model predicts nesting.
+func (s *synthesizer) addNested(sel *sqlast.Select, nl string, mainT *schema.Table) {
+	ls := strings.ToLower(nl)
+	// "above the average X" → scalar compare.
+	if strings.Contains(ls, "average") || strings.Contains(ls, "mean") {
+		if num := firstNumericColumn(mainT); num != nil {
+			sub := &sqlast.Query{Select: &sqlast.Select{
+				Items: []sqlast.SelectItem{{Expr: &sqlast.Agg{Func: sqlast.Avg, Arg: s.colRef(mainT, num)}}},
+				From:  sqlast.From{Tables: []sqlast.TableRef{{Name: mainT.Name}}},
+			}}
+			op := ">"
+			if strings.Contains(ls, "below") || strings.Contains(ls, "under") {
+				op = "<"
+			}
+			pred := &sqlast.Binary{Op: op, L: s.colRef(mainT, num), R: &sqlast.Subquery{Q: sub}}
+			sel.Where = conjoin(sel.Where, pred)
+		}
+		return
+	}
+	// Membership through an FK edge.
+	for _, fk := range s.db.ForeignKeys {
+		if !strings.EqualFold(fk.ToTable, mainT.Name) {
+			continue
+		}
+		inner := s.db.Table(fk.FromTable)
+		if inner == nil {
+			continue
+		}
+		sub := &sqlast.Query{Select: &sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: inner.Name, Column: fk.FromColumn}}},
+			From:  sqlast.From{Tables: []sqlast.TableRef{{Name: inner.Name}}},
+		}}
+		negate := strings.Contains(ls, "no ") || strings.Contains(ls, "without")
+		pred := &sqlast.In{
+			X:      &sqlast.ColumnRef{Table: mainT.Name, Column: fk.ToColumn},
+			Sub:    sub,
+			Negate: negate,
+		}
+		sel.Where = conjoin(sel.Where, pred)
+		return
+	}
+}
+
+func conjoin(a, b sqlast.Expr) sqlast.Expr {
+	if a == nil {
+		return b
+	}
+	return &sqlast.Binary{Op: "AND", L: a, R: b}
+}
+
+func firstNumericColumn(t *schema.Table) *schema.Column {
+	for _, c := range t.Columns {
+		if c.Type == schema.Number && !strings.HasSuffix(strings.ToLower(c.Name), "_id") &&
+			!strings.EqualFold(c.Name, "uid") {
+			return c
+		}
+	}
+	return nil
+}
+
+func (s *synthesizer) groupColumn(cols []linkScore, proj linkScore) *sqlast.ColumnRef {
+	if proj.column != nil && proj.column.Type == schema.Text {
+		return s.colRef(proj.table, proj.column)
+	}
+	for _, c := range cols {
+		if c.column != nil && c.column.Type == schema.Text {
+			return s.colRef(c.table, c.column)
+		}
+	}
+	return nil
+}
+
+func (s *synthesizer) havingThreshold(nl string) int {
+	for _, t := range text.Tokenize(nl) {
+		if n, err := strconv.Atoi(t); err == nil && n > 0 && n < 100 {
+			return n
+		}
+	}
+	return 1
+}
+
+// orderKey picks the ordering key: (1) a linked column other than the
+// projection, (2) the projection itself when it is text and strongly
+// linked (alphabetical listings order by the selected column), (3) any
+// numeric column as a last resort.
+func (s *synthesizer) orderKey(cols []linkScore, main, joined *schema.Table, proj linkScore, nl string) *sqlast.ColumnRef {
+	inScope := func(t *schema.Table) bool { return t == main || t == joined }
+	for _, c := range cols {
+		if c.column == nil || !inScope(c.table) || c.column == proj.column {
+			continue
+		}
+		if c.score < 1.0 {
+			continue
+		}
+		return s.colRef(c.table, c.column)
+	}
+	if proj.column != nil && proj.column.Type == schema.Text &&
+		(strings.Contains(strings.ToLower(nl), "alphabetical") || proj.score >= 2) {
+		return s.colRef(proj.table, proj.column)
+	}
+	for _, t := range []*schema.Table{joined, main} {
+		if t == nil {
+			continue
+		}
+		if c := firstNumericColumn(t); c != nil {
+			return s.colRef(t, c)
+		}
+	}
+	return nil
+}
+
+// fkGroupKey is the column the mistranslating models group by: the FK
+// column of the joined table (matching the paper's Fig. 1 examples,
+// which group by T2.employee_id).
+func (s *synthesizer) fkGroupKey(joined, main *schema.Table) *sqlast.ColumnRef {
+	for _, fk := range s.db.ForeignKeys {
+		if strings.EqualFold(fk.FromTable, joined.Name) && strings.EqualFold(fk.ToTable, main.Name) {
+			return &sqlast.ColumnRef{Table: joined.Name, Column: fk.FromColumn}
+		}
+	}
+	return &sqlast.ColumnRef{Table: joined.Name, Column: joined.Columns[0].Name}
+}
+
+// compoundRight builds the right side of a set operation: the same
+// projection with the second predicate.
+func (s *synthesizer) compoundRight(nl string, left *sqlast.Select) *sqlast.Query {
+	right := left.Clone()
+	right.GroupBy, right.Having, right.OrderBy, right.Limit = nil, nil, nil, 0
+	if b, ok := right.Where.(*sqlast.Binary); ok && (b.Op == "AND" || b.Op == "OR") {
+		right.Where = b.R
+		if lb, ok2 := left.Where.(*sqlast.Binary); ok2 {
+			left.Where = lb.L
+		}
+		return &sqlast.Query{Select: right}
+	}
+	return nil
+}

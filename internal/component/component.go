@@ -1,0 +1,294 @@
+// Package component implements the SQL component model of the GAR paper
+// (Definition 1, Table 2): the seven component types — select, from,
+// where, group, order, join, compound — and the operations the
+// compositional generalizer needs: extracting the components of a parse
+// tree and recomposing a parse tree with a replacement component.
+//
+// Following the paper's Rule 4 (Sub-query Preservation), subqueries are
+// treated as atomic: components are extracted from the top-level SELECT
+// block only, and a predicate containing a subquery moves as a whole
+// inside its where component.
+package component
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// Kind is a component type from Table 2 of the paper.
+type Kind int
+
+// The seven component types.
+const (
+	KindSelect Kind = iota
+	KindFrom        // single-table FROM clause
+	KindJoin        // multi-table FROM clause with its join conditions
+	KindWhere
+	KindGroup // GROUP BY together with HAVING
+	KindOrder // ORDER BY together with LIMIT
+	KindCompound
+)
+
+// Kinds lists all component kinds.
+var Kinds = []Kind{KindSelect, KindFrom, KindJoin, KindWhere, KindGroup, KindOrder, KindCompound}
+
+// String returns the paper's name for the component type.
+func (k Kind) String() string {
+	switch k {
+	case KindSelect:
+		return "select"
+	case KindFrom:
+		return "from"
+	case KindJoin:
+		return "join"
+	case KindWhere:
+		return "where"
+	case KindGroup:
+		return "group"
+	case KindOrder:
+		return "order"
+	case KindCompound:
+		return "compound"
+	default:
+		return "unknown"
+	}
+}
+
+// Component is one extracted subtree. Exactly the fields relevant to its
+// Kind are populated. Payloads share no nodes with the source query
+// (they are deep copies), so components can be stored and reused freely.
+type Component struct {
+	Kind Kind
+
+	// KindSelect
+	Distinct bool
+	Items    []sqlast.SelectItem
+
+	// KindFrom / KindJoin
+	From *sqlast.From
+
+	// KindWhere
+	Where sqlast.Expr
+
+	// KindGroup
+	GroupBy []*sqlast.ColumnRef
+	Having  sqlast.Expr
+
+	// KindOrder
+	OrderBy []sqlast.OrderItem
+	Limit   int
+
+	// KindCompound
+	Op    sqlast.SetOp
+	Right *sqlast.Query
+}
+
+// Extract returns all components present in the query's top-level block
+// (plus its compound component, if any). The query itself is not
+// modified; payloads are deep copies.
+func Extract(q *sqlast.Query) []Component {
+	s := q.Select
+	var out []Component
+	sel := Component{Kind: KindSelect, Distinct: s.Distinct}
+	for _, it := range s.Items {
+		sel.Items = append(sel.Items, sqlast.SelectItem{Expr: sqlast.CloneExpr(it.Expr)})
+	}
+	out = append(out, sel)
+
+	fromKind := KindFrom
+	if len(s.From.Tables) > 1 {
+		fromKind = KindJoin
+	}
+	fc := s.Clone().From
+	out = append(out, Component{Kind: fromKind, From: &fc})
+
+	if s.Where != nil {
+		out = append(out, Component{Kind: KindWhere, Where: sqlast.CloneExpr(s.Where)})
+	}
+	if len(s.GroupBy) > 0 {
+		g := Component{Kind: KindGroup, Having: sqlast.CloneExpr(s.Having)}
+		for _, c := range s.GroupBy {
+			cc := *c
+			g.GroupBy = append(g.GroupBy, &cc)
+		}
+		out = append(out, g)
+	}
+	if len(s.OrderBy) > 0 {
+		o := Component{Kind: KindOrder, Limit: s.Limit}
+		for _, it := range s.OrderBy {
+			o.OrderBy = append(o.OrderBy, sqlast.OrderItem{Expr: sqlast.CloneExpr(it.Expr), Desc: it.Desc})
+		}
+		out = append(out, o)
+	}
+	if q.Op != sqlast.SetNone {
+		out = append(out, Component{Kind: KindCompound, Op: q.Op, Right: q.Right.Clone()})
+	}
+	return out
+}
+
+// Of returns the query's component of the given kind, if present.
+func Of(q *sqlast.Query, k Kind) (Component, bool) {
+	for _, c := range Extract(q) {
+		if c.Kind == k {
+			return c, true
+		}
+	}
+	return Component{}, false
+}
+
+// Has reports whether the query has a component of the given kind.
+func Has(q *sqlast.Query, k Kind) bool {
+	_, ok := Of(q, k)
+	return ok
+}
+
+// Replace returns a deep copy of q with its component of c.Kind replaced
+// by c. Replacing a kind the query does not have installs the component
+// (e.g. attaching an order component to an unordered query); that is how
+// recomposition grows coverage beyond strict swaps.
+func Replace(q *sqlast.Query, c Component) *sqlast.Query {
+	out := q.Clone()
+	s := out.Select
+	switch c.Kind {
+	case KindSelect:
+		s.Distinct = c.Distinct
+		s.Items = nil
+		for _, it := range c.Items {
+			s.Items = append(s.Items, sqlast.SelectItem{Expr: sqlast.CloneExpr(it.Expr)})
+		}
+	case KindFrom, KindJoin:
+		cp := cloneFrom(c.From)
+		s.From = *cp
+	case KindWhere:
+		s.Where = sqlast.CloneExpr(c.Where)
+	case KindGroup:
+		s.GroupBy = nil
+		for _, g := range c.GroupBy {
+			cc := *g
+			s.GroupBy = append(s.GroupBy, &cc)
+		}
+		s.Having = sqlast.CloneExpr(c.Having)
+	case KindOrder:
+		s.OrderBy = nil
+		for _, o := range c.OrderBy {
+			s.OrderBy = append(s.OrderBy, sqlast.OrderItem{Expr: sqlast.CloneExpr(o.Expr), Desc: o.Desc})
+		}
+		s.Limit = c.Limit
+	case KindCompound:
+		out.Op = c.Op
+		out.Right = c.Right.Clone()
+	}
+	return out
+}
+
+// Remove returns a deep copy of q with the component of kind k removed.
+// Select, from and join components cannot be removed (a query needs
+// them); Remove returns nil for those kinds.
+func Remove(q *sqlast.Query, k Kind) *sqlast.Query {
+	switch k {
+	case KindSelect, KindFrom, KindJoin:
+		return nil
+	}
+	out := q.Clone()
+	s := out.Select
+	switch k {
+	case KindWhere:
+		s.Where = nil
+	case KindGroup:
+		s.GroupBy = nil
+		s.Having = nil
+	case KindOrder:
+		s.OrderBy = nil
+		s.Limit = 0
+	case KindCompound:
+		out.Op = sqlast.SetNone
+		out.Right = nil
+	}
+	return out
+}
+
+func cloneFrom(f *sqlast.From) *sqlast.From {
+	out := &sqlast.From{}
+	for _, t := range f.Tables {
+		out.Tables = append(out.Tables, sqlast.TableRef{Name: t.Name, Alias: t.Alias, Sub: t.Sub.Clone()})
+	}
+	out.Joins = append(out.Joins, f.Joins...)
+	return out
+}
+
+// Fingerprint returns a canonical identity string for the component,
+// used for frequency counting and deduplication. Literal values are not
+// masked here; callers mask queries before extraction when desired.
+func (c Component) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(c.Kind.String())
+	b.WriteByte(':')
+	switch c.Kind {
+	case KindSelect:
+		var items []string
+		for _, it := range c.Items {
+			items = append(items, strings.ToLower(sqlast.ExprString(it.Expr)))
+		}
+		sort.Strings(items)
+		if c.Distinct {
+			b.WriteString("distinct ")
+		}
+		b.WriteString(strings.Join(items, ","))
+	case KindFrom, KindJoin:
+		var tables []string
+		for _, t := range c.From.Tables {
+			if t.Sub != nil {
+				tables = append(tables, "("+strings.ToLower(t.Sub.String())+")")
+			} else {
+				tables = append(tables, strings.ToLower(t.Name))
+			}
+		}
+		sort.Strings(tables)
+		var edges []string
+		for _, j := range c.From.Joins {
+			l := strings.ToLower(sqlast.ExprString(&j.Left))
+			r := strings.ToLower(sqlast.ExprString(&j.Right))
+			if r < l {
+				l, r = r, l
+			}
+			edges = append(edges, l+"="+r)
+		}
+		sort.Strings(edges)
+		b.WriteString(strings.Join(tables, ","))
+		b.WriteByte('|')
+		b.WriteString(strings.Join(edges, ","))
+	case KindWhere:
+		b.WriteString(strings.ToLower(sqlast.ExprString(c.Where)))
+	case KindGroup:
+		var keys []string
+		for _, g := range c.GroupBy {
+			keys = append(keys, strings.ToLower(sqlast.ExprString(g)))
+		}
+		sort.Strings(keys)
+		b.WriteString(strings.Join(keys, ","))
+		if c.Having != nil {
+			b.WriteString("|having ")
+			b.WriteString(strings.ToLower(sqlast.ExprString(c.Having)))
+		}
+	case KindOrder:
+		var keys []string
+		for _, o := range c.OrderBy {
+			k := strings.ToLower(sqlast.ExprString(o.Expr))
+			if o.Desc {
+				k += " desc"
+			}
+			keys = append(keys, k)
+		}
+		b.WriteString(strings.Join(keys, ","))
+		if c.Limit > 0 {
+			b.WriteString("|limit")
+		}
+	case KindCompound:
+		b.WriteString(strings.ToLower(c.Op.String()))
+		b.WriteByte(' ')
+		b.WriteString(strings.ToLower(c.Right.String()))
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package component_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/component"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+const gold = "SELECT employee.name FROM employee JOIN evaluation ON employee.employee_id = evaluation.employee_id ORDER BY evaluation.bonus DESC LIMIT 1"
+
+func TestExtractKinds(t *testing.T) {
+	q := sqlparse.MustParse(gold)
+	got := map[component.Kind]bool{}
+	for _, c := range component.Extract(q) {
+		got[c.Kind] = true
+	}
+	for _, want := range []component.Kind{component.KindSelect, component.KindJoin, component.KindOrder} {
+		if !got[want] {
+			t.Errorf("missing component kind %v", want)
+		}
+	}
+	if got[component.KindFrom] {
+		t.Error("a join query must not expose a from component")
+	}
+	if got[component.KindWhere] || got[component.KindGroup] || got[component.KindCompound] {
+		t.Errorf("unexpected kinds present: %v", got)
+	}
+}
+
+func TestExtractAllSeven(t *testing.T) {
+	q := sqlparse.MustParse(`SELECT a FROM t WHERE b = 1 GROUP BY a HAVING COUNT(*) > 2
+		ORDER BY a LIMIT 3 INTERSECT SELECT a FROM s`)
+	kinds := map[component.Kind]bool{}
+	for _, c := range component.Extract(q) {
+		kinds[c.Kind] = true
+	}
+	want := []component.Kind{component.KindSelect, component.KindFrom, component.KindWhere,
+		component.KindGroup, component.KindOrder, component.KindCompound}
+	for _, k := range want {
+		if !kinds[k] {
+			t.Errorf("missing kind %v", k)
+		}
+	}
+}
+
+func TestReplaceSelect(t *testing.T) {
+	q := sqlparse.MustParse(gold)
+	donorQ := sqlparse.MustParse("SELECT employee.age FROM employee")
+	donor, ok := component.Of(donorQ, component.KindSelect)
+	if !ok {
+		t.Fatal("donor select component missing")
+	}
+	out := component.Replace(q, donor)
+	want := "SELECT employee.age FROM employee JOIN evaluation ON employee.employee_id = evaluation.employee_id ORDER BY evaluation.bonus DESC LIMIT 1"
+	if got := out.String(); got != want {
+		t.Errorf("Replace select:\n got %s\nwant %s", got, want)
+	}
+	// The base query must be untouched.
+	if q.String() != gold {
+		t.Error("Replace mutated the base query")
+	}
+}
+
+func TestReplaceOrder(t *testing.T) {
+	base := sqlparse.MustParse("SELECT employee.name FROM employee")
+	donor, _ := component.Of(sqlparse.MustParse(gold), component.KindOrder)
+	out := component.Replace(base, donor)
+	if !strings.Contains(out.String(), "ORDER BY evaluation.bonus DESC LIMIT 1") {
+		t.Errorf("order component not installed: %s", out)
+	}
+}
+
+func TestReplaceCompound(t *testing.T) {
+	base := sqlparse.MustParse("SELECT a FROM t")
+	donor, _ := component.Of(sqlparse.MustParse("SELECT b FROM s UNION SELECT c FROM r"), component.KindCompound)
+	out := component.Replace(base, donor)
+	if out.Op != sqlast.Union || out.Right == nil {
+		t.Errorf("compound component not installed: %s", out)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t WHERE b = 1 ORDER BY a LIMIT 2")
+	out := component.Remove(q, component.KindWhere)
+	if strings.Contains(out.String(), "WHERE") {
+		t.Errorf("where not removed: %s", out)
+	}
+	out = component.Remove(q, component.KindOrder)
+	if strings.Contains(out.String(), "ORDER") || strings.Contains(out.String(), "LIMIT") {
+		t.Errorf("order not removed: %s", out)
+	}
+	if component.Remove(q, component.KindSelect) != nil {
+		t.Error("select removal must be rejected")
+	}
+}
+
+func TestComponentPayloadIsolation(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t WHERE b = 'x'")
+	c, _ := component.Of(q, component.KindWhere)
+	// Mutating the extracted payload must not affect the query.
+	sqlast.WalkExprs(c.Where, func(e sqlast.Expr) {
+		if l, ok := e.(*sqlast.Lit); ok {
+			l.Text = "mutated"
+		}
+	})
+	if strings.Contains(q.String(), "mutated") {
+		t.Error("extracted component shares nodes with the query")
+	}
+}
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	a, _ := component.Of(sqlparse.MustParse("SELECT a, b FROM t"), component.KindSelect)
+	b, _ := component.Of(sqlparse.MustParse("SELECT b, a FROM t"), component.KindSelect)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("select fingerprints differ: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	c, _ := component.Of(sqlparse.MustParse("SELECT a, c FROM t"), component.KindSelect)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different select lists share a fingerprint")
+	}
+}
+
+func TestSubqueryAtomic(t *testing.T) {
+	// Rule 4: the where component carries its subquery whole.
+	q := sqlparse.MustParse("SELECT a FROM t WHERE b IN (SELECT c FROM s WHERE d = 1)")
+	c, ok := component.Of(q, component.KindWhere)
+	if !ok {
+		t.Fatal("where component missing")
+	}
+	if !strings.Contains(sqlast.ExprString(c.Where), "SELECT c FROM s") {
+		t.Errorf("subquery not preserved: %s", sqlast.ExprString(c.Where))
+	}
+}

@@ -1,0 +1,109 @@
+package component_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/component"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// queryPool is a varied set of queries for property tests.
+var queryPool = []string{
+	"SELECT a FROM t",
+	"SELECT a, b FROM t WHERE c = 1",
+	"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+	"SELECT a FROM t ORDER BY b DESC LIMIT 1",
+	"SELECT t.a FROM t JOIN s ON t.id = s.tid WHERE s.x > 5",
+	"SELECT a FROM t WHERE b IN (SELECT c FROM s) ORDER BY a",
+	"SELECT a FROM t WHERE c = 2 INTERSECT SELECT a FROM t WHERE d = 3",
+	"SELECT DISTINCT a FROM t WHERE b BETWEEN 1 AND 9",
+}
+
+var poolCfg = &quick.Config{
+	MaxCount: 200,
+	Values: func(vals []reflect.Value, rng *rand.Rand) {
+		vals[0] = reflect.ValueOf(sqlparse.MustParse(queryPool[rng.Intn(len(queryPool))]))
+		vals[1] = reflect.ValueOf(rng.Int63())
+	},
+}
+
+// TestReplaceSelfIsIdentity: replacing a component with itself preserves
+// the query's fingerprint (Extract ∘ Replace fixed point).
+func TestReplaceSelfIsIdentity(t *testing.T) {
+	if err := quick.Check(func(q *sqlast.Query, seed int64) bool {
+		comps := component.Extract(q)
+		rng := rand.New(rand.NewSource(seed))
+		c := comps[rng.Intn(len(comps))]
+		out := component.Replace(q, c)
+		if sqlast.Fingerprint(out) != sqlast.Fingerprint(q) {
+			t.Logf("self-replace changed %q → %q (kind %v)", q, out, c.Kind)
+			return false
+		}
+		return true
+	}, poolCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplaceNeverMutatesBase: Replace and Remove leave the base query
+// untouched.
+func TestReplaceNeverMutatesBase(t *testing.T) {
+	if err := quick.Check(func(q *sqlast.Query, seed int64) bool {
+		before := q.String()
+		rng := rand.New(rand.NewSource(seed))
+		donorQ := sqlparse.MustParse(queryPool[rng.Intn(len(queryPool))])
+		for _, donor := range component.Extract(donorQ) {
+			_ = component.Replace(q, donor)
+		}
+		for _, k := range component.Kinds {
+			_ = component.Remove(q, k)
+		}
+		return q.String() == before
+	}, poolCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtractedFingerprintsStable: extracting twice yields identical
+// component fingerprints in identical order.
+func TestExtractedFingerprintsStable(t *testing.T) {
+	if err := quick.Check(func(q *sqlast.Query, _ int64) bool {
+		a := component.Extract(q)
+		b := component.Extract(q)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Fingerprint() != b[i].Fingerprint() {
+				return false
+			}
+		}
+		return true
+	}, poolCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRemoveDropsKind: after Remove(k), the query no longer has a
+// component of kind k.
+func TestRemoveDropsKind(t *testing.T) {
+	removable := []component.Kind{
+		component.KindWhere, component.KindGroup,
+		component.KindOrder, component.KindCompound,
+	}
+	if err := quick.Check(func(q *sqlast.Query, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := removable[rng.Intn(len(removable))]
+		out := component.Remove(q, k)
+		if out == nil {
+			return false
+		}
+		return !component.Has(out, k)
+	}, poolCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package core assembles the complete GAR system of the paper: the data
+// preparation process (compositional generalization + dialect building),
+// the two-stage learning-to-rank translation pipeline, the GAR-J join
+// annotation mode, and the value post-processing step. It exposes the
+// per-stage hooks the evaluation harness needs for error attribution
+// (Table 9): data-preparation misses, retrieval misses and re-ranking
+// misses.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dialect"
+	"repro/internal/embed"
+	"repro/internal/engine"
+	"repro/internal/generalize"
+	"repro/internal/ltr"
+	"repro/internal/nn"
+	"repro/internal/rerank"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/text"
+	"repro/internal/values"
+	"repro/internal/vindex"
+)
+
+// Options configures a GAR system. The zero value gives the paper's
+// defaults scaled down to laptop sizes.
+type Options struct {
+	// GeneralizeSize caps the generalized query set per database
+	// (paper: 20,000). Default 2,000.
+	GeneralizeSize int
+	// RetrievalK is the first-stage threshold k (paper: 100).
+	RetrievalK int
+	// Seed drives every random choice in the system.
+	Seed int64
+	// JoinAnnotations enables GAR-J: the dialect builder uses the
+	// database's join annotations.
+	JoinAnnotations bool
+	// NoDialect is the "w/o Dialect Builder" ablation: the ranking
+	// models see raw SQL strings instead of dialect expressions.
+	NoDialect bool
+	// NoRerank is the "w/o Re-ranking Model" ablation: the retrieval
+	// order is final.
+	NoRerank bool
+	// UseIVF selects the clustered vector index instead of the exact
+	// flat index for first-stage retrieval.
+	UseIVF bool
+	// EncoderEpochs / RerankEpochs control training length.
+	EncoderEpochs int
+	RerankEpochs  int
+	// RerankTrainK is the list length used to train the re-ranker
+	// (paper: 100, batch-limited). Default: RetrievalK.
+	RerankTrainK int
+}
+
+func (o *Options) fill() {
+	if o.GeneralizeSize <= 0 {
+		o.GeneralizeSize = 2000
+	}
+	if o.RetrievalK <= 0 {
+		o.RetrievalK = 100
+	}
+	if o.EncoderEpochs <= 0 {
+		o.EncoderEpochs = 6
+	}
+	if o.RerankEpochs <= 0 {
+		o.RerankEpochs = 8
+	}
+	if o.RerankTrainK <= 0 {
+		o.RerankTrainK = o.RetrievalK
+	}
+}
+
+// System is a GAR instance bound to one database.
+type System struct {
+	DB   *schema.Database
+	Opts Options
+
+	builder   *dialect.Builder
+	pool      []ltr.Candidate
+	poolIdx   *ltr.PoolIndex
+	encoder   *embed.Encoder
+	pipeline  *ltr.Pipeline
+	linker    *values.Linker
+	prepStats generalize.Stats
+	trained   bool
+}
+
+// New creates a GAR system for the database.
+func New(db *schema.Database, opts Options) *System {
+	opts.fill()
+	s := &System{DB: db, Opts: opts}
+	if opts.JoinAnnotations {
+		s.builder = dialect.NewJ(db)
+	} else {
+		s.builder = dialect.New(db)
+	}
+	s.linker = values.NewLinker(db, nil)
+	return s
+}
+
+// SetContent attaches a populated instance used for value linking in the
+// post-processing step (cell-value → column hints).
+func (s *System) SetContent(content *engine.Instance) {
+	s.linker = values.NewLinker(s.DB, content)
+}
+
+// Prepare runs the offline data preparation process (Fig. 2 steps 1-2):
+// generalizes the sample queries and renders each generalized query as a
+// dialect expression, building the candidate pool.
+func (s *System) Prepare(samples []*sqlast.Query) {
+	res := generalize.Generalize(s.DB, samples, generalize.Config{
+		TargetSize: s.Opts.GeneralizeSize,
+		Seed:       s.Opts.Seed,
+		Rules:      generalize.AllRules(),
+	})
+	s.prepStats = res.Stats
+	s.pool = s.pool[:0]
+	for _, q := range res.Queries {
+		s.pool = append(s.pool, ltr.Candidate{SQL: q, Dialect: s.expression(q)})
+	}
+	s.poolIdx = ltr.NewPoolIndex(s.pool)
+	s.trained = false
+}
+
+// expression renders a candidate for ranking: a dialect expression, or
+// the raw SQL string under the w/o-Dialect-Builder ablation.
+func (s *System) expression(q *sqlast.Query) string {
+	if s.Opts.NoDialect {
+		return q.String()
+	}
+	return s.builder.Express(q)
+}
+
+// PrepStats reports the generalization statistics of the last Prepare.
+func (s *System) PrepStats() generalize.Stats { return s.prepStats }
+
+// PoolSize returns the candidate pool size.
+func (s *System) PoolSize() int { return len(s.pool) }
+
+// HasCandidate reports whether the pool contains a query exact-matching
+// gold; false means a data-preparation miss.
+func (s *System) HasCandidate(gold *sqlast.Query) bool {
+	return s.poolIdx != nil && s.poolIdx.Find(s.BindGold(gold)) >= 0
+}
+
+// BindGold resolves a benchmark gold query against this database so its
+// canonical form is comparable with the (bound) candidate pool. The
+// original query is not modified; an unbindable query is returned as-is.
+func (s *System) BindGold(q *sqlast.Query) *sqlast.Query {
+	if q == nil {
+		return nil
+	}
+	c := q.Clone()
+	if err := s.DB.Bind(c); err != nil {
+		return q
+	}
+	return c
+}
+
+// bindExamples rebinds every example's gold query against this database.
+func (s *System) bindExamples(examples []ltr.Example) []ltr.Example {
+	out := make([]ltr.Example, len(examples))
+	for i, ex := range examples {
+		out[i] = ltr.Example{NL: ex.NL, Gold: s.BindGold(ex.Gold)}
+	}
+	return out
+}
+
+// Models holds the trained cross-database ranking models: the paper
+// fine-tunes one retrieval encoder and one re-ranker per benchmark on
+// the train-split databases and applies them to the unseen validation
+// databases.
+type Models struct {
+	Encoder  *embed.Encoder
+	Reranker *rerank.Model // nil under the w/o-Re-ranking ablation
+}
+
+// TrainingSet couples a prepared per-database System with its (NL, gold)
+// training examples.
+type TrainingSet struct {
+	Sys      *System
+	Examples []ltr.Example
+}
+
+// TrainModels fits the two-stage ranking models on the training sets,
+// following the paper's training phase (Fig. 3): triplets for the
+// retrieval encoder over each database's candidate pool, then top-k
+// listwise groups for the re-ranker. Every set's System must be
+// Prepared.
+func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
+	opts.fill()
+	var corpus []string
+	for i, set := range sets {
+		if len(set.Sys.pool) == 0 {
+			return nil, fmt.Errorf("core: TrainModels with unprepared system for %s", set.Sys.DB.Name)
+		}
+		sets[i].Examples = set.Sys.bindExamples(set.Examples)
+		for _, c := range set.Sys.pool {
+			corpus = append(corpus, c.Dialect)
+		}
+		for _, ex := range set.Examples {
+			corpus = append(corpus, ex.NL)
+		}
+	}
+
+	// Retrieval model.
+	encoder := embed.NewEncoder(embed.Config{Seed: opts.Seed})
+	encoder.FitIDF(corpus)
+	var triplets []embed.Triplet
+	for i, set := range sets {
+		triplets = append(triplets,
+			ltr.BuildTriplets(set.Examples, set.Sys.pool, set.Sys.poolIdx, 4, opts.Seed+int64(i)+1)...)
+	}
+	encoder.Train(triplets, embed.TrainConfig{Epochs: opts.EncoderEpochs})
+
+	m := &Models{Encoder: encoder}
+	if opts.NoRerank {
+		return m, nil
+	}
+
+	// Re-ranking model over per-database retrieval top-k lists.
+	x := &rerank.Extractor{IDF: text.NewIDF(corpus), Encoder: encoder}
+	model := rerank.New(x, opts.Seed+3)
+	var lists []rerank.TrainingList
+	for _, set := range sets {
+		pipe := &ltr.Pipeline{
+			Encoder: encoder,
+			Index:   buildIndex(set.Sys.pool, encoder, opts),
+			Pool:    set.Sys.pool,
+			PoolIdx: set.Sys.poolIdx,
+			K:       opts.RetrievalK,
+		}
+		lists = append(lists, pipe.BuildLists(set.Examples, opts.RerankTrainK)...)
+	}
+	model.Train(lists, nn.TrainConfig{Epochs: opts.RerankEpochs, Seed: opts.Seed + 4})
+	m.Reranker = model
+	return m, nil
+}
+
+func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) vindex.Index {
+	var index vindex.Index
+	if opts.UseIVF {
+		nlist := len(pool) / 64
+		if nlist < 4 {
+			nlist = 4
+		}
+		index = vindex.NewIVF(nlist, nlist/4+1, opts.Seed+2)
+	} else {
+		index = vindex.NewFlat()
+	}
+	for i, c := range pool {
+		index.Add(i, encoder.Encode(c.Dialect))
+	}
+	return index
+}
+
+// UseModels deploys pre-trained models on this (prepared) system:
+// the candidate pool is embedded and indexed with the trained encoder
+// and the pipeline is assembled. This is how a system for an unseen
+// validation database comes online.
+func (s *System) UseModels(m *Models) error {
+	if len(s.pool) == 0 {
+		return fmt.Errorf("core: UseModels before Prepare (empty candidate pool)")
+	}
+	s.encoder = m.Encoder
+	s.pipeline = &ltr.Pipeline{
+		Encoder:    m.Encoder,
+		Index:      buildIndex(s.pool, m.Encoder, s.Opts),
+		Pool:       s.pool,
+		PoolIdx:    s.poolIdx,
+		K:          s.Opts.RetrievalK,
+		SkipRerank: s.Opts.NoRerank,
+		Reranker:   m.Reranker,
+	}
+	s.trained = true
+	return nil
+}
+
+// Train is the single-database convenience path (used for GEO, whose
+// train and test sets share one database): it trains models on this
+// system's own pool and examples, then deploys them.
+func (s *System) Train(examples []ltr.Example) error {
+	m, err := TrainModels([]TrainingSet{{Sys: s, Examples: examples}}, s.Opts)
+	if err != nil {
+		return err
+	}
+	return s.UseModels(m)
+}
+
+// Candidate is one ranked translation result after value post-processing.
+type Candidate struct {
+	SQL     *sqlast.Query
+	Dialect string
+	Score   float64
+}
+
+// Translation is the output of Translate.
+type Translation struct {
+	// Top is the best candidate (nil when the pool is empty).
+	Top *Candidate
+	// Ranked is the post-processed top-k list, best first.
+	Ranked []Candidate
+}
+
+// Translate runs the full online pipeline on an NL query: two-stage
+// ranking followed by value post-processing (candidate filtering by
+// value-implied columns, then placeholder instantiation).
+func (s *System) Translate(nl string) (*Translation, error) {
+	if !s.trained {
+		return nil, fmt.Errorf("core: Translate before Train")
+	}
+	ranked := s.pipeline.Rank(nl)
+
+	// Value post-processing 1: drop candidates whose dialect lacks a
+	// column implied by a literal value in the NL query. If every
+	// candidate would be dropped, keep the original ranking.
+	filtered := make([]ltr.Ranked, 0, len(ranked))
+	for _, r := range ranked {
+		if s.Opts.NoDialect || s.linker.DialectMentionsColumns(nl, r.Dialect) {
+			filtered = append(filtered, r)
+		}
+	}
+	if len(filtered) == 0 {
+		filtered = ranked
+	}
+
+	out := &Translation{}
+	for _, r := range filtered {
+		// Value post-processing 2: instantiate placeholders from the NL.
+		sql := s.linker.FillPlaceholders(r.SQL, nl)
+		out.Ranked = append(out.Ranked, Candidate{SQL: sql, Dialect: r.Dialect, Score: r.Score})
+	}
+	if len(out.Ranked) > 0 {
+		out.Top = &out.Ranked[0]
+	}
+	return out, nil
+}
+
+// RetrievalContains reports whether the gold query appears in the
+// first-stage top-k for the NL query; used for Table 9 error
+// attribution. It returns false when the gold is not even in the pool.
+func (s *System) RetrievalContains(nl string, gold *sqlast.Query, k int) bool {
+	if !s.trained {
+		return false
+	}
+	goldIdx := s.poolIdx.Find(s.BindGold(gold))
+	if goldIdx < 0 {
+		return false
+	}
+	for _, h := range s.pipeline.Retrieve(nl, k) {
+		if h.ID == goldIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// Pool exposes the candidate pool (read-only use).
+func (s *System) Pool() []ltr.Candidate { return s.pool }
+
+// Builder exposes the dialect builder (used by examples and the eval
+// harness to show expressions).
+func (s *System) Builder() *dialect.Builder { return s.builder }

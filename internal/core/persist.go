@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/embed"
+	"repro/internal/nn"
+	"repro/internal/rerank"
+	"repro/internal/text"
+)
+
+// modelsState is the serialized form of Models. The re-ranker is split
+// into its network and its extractor's IDF statistics; the extractor's
+// encoder reference is re-attached to the (also serialized) retrieval
+// encoder on load.
+type modelsState struct {
+	Encoder   *embed.Encoder
+	HasRerank bool
+	RerankNet *nn.MLP
+	RerankIDF *text.IDF
+}
+
+// Save writes the trained models to w in gob format. Saved models can
+// be reloaded with LoadModels and deployed on any prepared System,
+// skipping training entirely.
+func (m *Models) Save(w io.Writer) error {
+	st := modelsState{Encoder: m.Encoder}
+	if m.Reranker != nil {
+		st.HasRerank = true
+		st.RerankNet = m.Reranker.Net
+		st.RerankIDF = m.Reranker.X.IDF
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: saving models: %w", err)
+	}
+	return nil
+}
+
+// LoadModels reads models previously written by Save.
+func LoadModels(r io.Reader) (*Models, error) {
+	var st modelsState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: loading models: %w", err)
+	}
+	if st.Encoder == nil {
+		return nil, fmt.Errorf("core: loaded models have no encoder")
+	}
+	m := &Models{Encoder: st.Encoder}
+	if st.HasRerank {
+		if st.RerankNet == nil {
+			return nil, fmt.Errorf("core: loaded models have a re-ranker without a network")
+		}
+		m.Reranker = &rerank.Model{
+			X:   &rerank.Extractor{IDF: st.RerankIDF, Encoder: st.Encoder},
+			Net: st.RerankNet,
+		}
+	}
+	return m, nil
+}

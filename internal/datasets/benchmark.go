@@ -1,0 +1,366 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/generalize"
+	"repro/internal/norm"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Item is one NL–SQL pair of a benchmark.
+type Item struct {
+	DB   string // database name
+	NL   string
+	Gold *sqlast.Query
+}
+
+// Benchmark is one generated NLIDB benchmark.
+type Benchmark struct {
+	Name string
+	DBs  map[string]*DBBundle
+	// Train/Val/Test are the usual splits. GEO uses all three on one
+	// database; SPIDER uses Train and Val on disjoint databases.
+	Train, Val, Test []Item
+	// Samples holds QBEN's separate sample-query split (NL is unused
+	// there; the SQL queries are the given samples).
+	Samples []Item
+}
+
+// Bundle returns the named database bundle.
+func (b *Benchmark) Bundle(db string) *DBBundle { return b.DBs[db] }
+
+// DBNames returns the database names of a split in deterministic order.
+func DBNames(items []Item) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, it := range items {
+		if !seen[it.DB] {
+			seen[it.DB] = true
+			out = append(out, it.DB)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoldQueries returns the gold SQL queries of the items on one database.
+func GoldQueries(items []Item, db string) []*sqlast.Query {
+	var out []*sqlast.Query
+	for _, it := range items {
+		if it.DB == db {
+			out = append(out, it.Gold)
+		}
+	}
+	return out
+}
+
+// genItems draws n distinct queries on the bundle and phrases each.
+func genItems(b *DBBundle, dbName string, n int, rng *rand.Rand) []Item {
+	qg := newQueryGen(b, rng)
+	ng := &nlGen{b: b, rng: rng}
+	seen := map[string]bool{}
+	var out []Item
+	for attempts := 0; len(out) < n && attempts < n*40; attempts++ {
+		q := qg.gen()
+		key := norm.Canonical(q)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Item{DB: dbName, NL: ng.phrase(q), Gold: q})
+	}
+	return out
+}
+
+// SpiderConfig sizes the SPIDER-like benchmark. The zero value gives a
+// laptop-scale benchmark preserving the paper's shape (cross-domain
+// train/validation split over disjoint databases).
+type SpiderConfig struct {
+	TrainDBs, ValDBs     int // default 12 / 6 (paper: 146 / 20)
+	TrainPerDB, ValPerDB int // default 50 / 40 (paper: ~59 / ~52)
+	Seed                 int64
+}
+
+func (c *SpiderConfig) fill() {
+	if c.TrainDBs <= 0 {
+		c.TrainDBs = 12
+	}
+	if c.ValDBs <= 0 {
+		c.ValDBs = 6
+	}
+	if c.TrainPerDB <= 0 {
+		c.TrainPerDB = 50
+	}
+	if c.ValPerDB <= 0 {
+		c.ValPerDB = 40
+	}
+}
+
+// SpiderLike generates the SPIDER-like cross-domain benchmark.
+func SpiderLike(cfg SpiderConfig) *Benchmark {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bench := &Benchmark{Name: "spider", DBs: map[string]*DBBundle{}}
+	for i := 0; i < cfg.TrainDBs; i++ {
+		name := fmt.Sprintf("spider_train_%02d", i)
+		b := buildDatabase(name, rng, false)
+		bench.DBs[name] = b
+		bench.Train = append(bench.Train, genItems(b, name, cfg.TrainPerDB, rng)...)
+	}
+	for i := 0; i < cfg.ValDBs; i++ {
+		name := fmt.Sprintf("spider_val_%02d", i)
+		b := buildDatabase(name, rng, false)
+		bench.DBs[name] = b
+		bench.Val = append(bench.Val, genItems(b, name, cfg.ValPerDB, rng)...)
+	}
+	return bench
+}
+
+// GeoConfig sizes the GEO-like benchmark: a single database shared by
+// all splits.
+type GeoConfig struct {
+	Train, Val, Test int // default 150 / 12 / 70 (paper: 585 / 47 / 280)
+	Seed             int64
+}
+
+func (c *GeoConfig) fill() {
+	if c.Train <= 0 {
+		c.Train = 150
+	}
+	if c.Val <= 0 {
+		c.Val = 12
+	}
+	if c.Test <= 0 {
+		c.Test = 70
+	}
+}
+
+// GeoLike generates the GEO-like single-database benchmark.
+func GeoLike(cfg GeoConfig) *Benchmark {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bench := &Benchmark{Name: "geo", DBs: map[string]*DBBundle{}}
+	b := geoBundle(rng)
+	bench.DBs["geo"] = b
+	items := genItems(b, "geo", cfg.Train+cfg.Val+cfg.Test, rng)
+	if len(items) < cfg.Train+cfg.Val+cfg.Test {
+		// The single small schema caps the number of distinct queries;
+		// shrink splits proportionally.
+		total := len(items)
+		cfg.Train = total * cfg.Train / (cfg.Train + cfg.Val + cfg.Test)
+		cfg.Val = total / 12
+		cfg.Test = total - cfg.Train - cfg.Val
+	}
+	bench.Train = items[:cfg.Train]
+	bench.Val = items[cfg.Train : cfg.Train+cfg.Val]
+	bench.Test = items[cfg.Train+cfg.Val:]
+	return bench
+}
+
+// geoBundle builds the single-table geography database (GEObase).
+func geoBundle(rng *rand.Rand) *DBBundle {
+	b := &DBBundle{Syn: map[string][]string{}, BridgeVerb: map[string]string{}}
+	// A one-off archetype mirroring GEObase's state table.
+	arc := archetype{
+		name:     "state",
+		synonyms: []string{"us state"},
+		attrs: []attr{
+			txt("state_name", vWord, "name"),
+			num("population", vBigInt, "number of people", "people"),
+			num("area", vBigInt, "size", "square miles"),
+			txt("capital", vCityName, "capital city"),
+			num("density", vSmallInt, "population density"),
+		},
+	}
+	d := &schema.Database{Name: "geo"}
+	ob := newObfuscator(rng, false)
+	b.entityTable(d, ob, arc, rng)
+	b.Schema = d
+	b.populate(rng)
+	return b
+}
+
+// MTTEQLConfig sizes the MT-TEQL-like benchmark.
+type MTTEQLConfig struct {
+	// N is the number of transformed test samples (paper evaluates a
+	// random 10,000-query subset). Default 400.
+	N int
+	// VariantsPerDB is how many schema-renamed variants of each
+	// validation database are created. Default 3.
+	VariantsPerDB int
+	Seed          int64
+}
+
+func (c *MTTEQLConfig) fill() {
+	if c.N <= 0 {
+		c.N = 400
+	}
+	if c.VariantsPerDB <= 0 {
+		c.VariantsPerDB = 3
+	}
+}
+
+// MTTEQLLike derives the MT-TEQL-like benchmark from a SPIDER-like
+// benchmark's validation set via semantics-preserving metamorphic
+// transformations: utterance-level paraphrases (new frames, synonym
+// substitution, politeness prefixes) and schema-level renames (tables
+// and columns renamed; gold queries rewritten accordingly). The Test
+// split holds the transformed samples.
+func MTTEQLLike(spider *Benchmark, cfg MTTEQLConfig) *Benchmark {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bench := &Benchmark{Name: "mtteql", DBs: map[string]*DBBundle{}}
+
+	// Schema-renamed variants per validation database.
+	variants := map[string][]string{} // original db → variant names
+	for _, dbName := range DBNames(spider.Val) {
+		orig := spider.DBs[dbName]
+		bench.DBs[dbName] = orig
+		variants[dbName] = append(variants[dbName], dbName)
+		for v := 0; v < cfg.VariantsPerDB; v++ {
+			vname := fmt.Sprintf("%s_m%d", dbName, v)
+			bench.DBs[vname] = renameBundle(orig, vname, rng)
+			variants[dbName] = append(variants[dbName], vname)
+		}
+	}
+
+	valByDB := map[string][]Item{}
+	for _, it := range spider.Val {
+		valByDB[it.DB] = append(valByDB[it.DB], it)
+	}
+	dbNames := DBNames(spider.Val)
+	for len(bench.Test) < cfg.N {
+		dbName := dbNames[rng.Intn(len(dbNames))]
+		items := valByDB[dbName]
+		it := items[rng.Intn(len(items))]
+		target := variants[dbName][rng.Intn(len(variants[dbName]))]
+		tb := bench.DBs[target]
+		gold := it.Gold
+		if target != dbName {
+			gold = rewriteQuery(gold, spider.DBs[dbName], tb)
+			if gold == nil {
+				continue
+			}
+		}
+		nl := transformUtterance(rng, &nlGen{b: tb, rng: rng}, gold, it.NL)
+		bench.Test = append(bench.Test, Item{DB: target, NL: nl, Gold: gold})
+	}
+	return bench
+}
+
+// transformUtterance applies one utterance-level transformation: a fresh
+// paraphrase from the NL generator, a politeness prefix, or a filler
+// suffix.
+func transformUtterance(rng *rand.Rand, ng *nlGen, gold *sqlast.Query, nl string) string {
+	switch rng.Intn(4) {
+	case 0:
+		return ng.phrase(gold) // re-paraphrase with new random choices
+	case 1:
+		prefixes := []string{"Could you tell me ", "I would like to know ", "Please show ", "Can you find "}
+		return prefixes[rng.Intn(len(prefixes))] + lowerFirst(nl)
+	case 2:
+		return nl + " Thanks!"
+	default:
+		return nl
+	}
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'A' && b[0] <= 'Z' {
+		b[0] += 'a' - 'A'
+	}
+	return string(b)
+}
+
+// QBENConfig sizes the QBEN-like benchmark.
+type QBENConfig struct {
+	DBs          int // default 7 (paper: 7)
+	SamplesPerDB int // default 20 (paper: ~42)
+	TestPerDB    int // default 12 (paper: ~29)
+	Seed         int64
+}
+
+func (c *QBENConfig) fill() {
+	if c.DBs <= 0 {
+		c.DBs = 7
+	}
+	if c.SamplesPerDB <= 0 {
+		c.SamplesPerDB = 20
+	}
+	if c.TestPerDB <= 0 {
+		c.TestPerDB = 12
+	}
+}
+
+// QBENLike generates the QBEN-like benchmark: databases whose schema
+// identifiers are opaque (t_a1.uid, rel_t_b2.val1, ...) so join
+// semantics cannot be inferred from the identifiers — only the manual
+// join annotations (and the users' vocabulary) carry them. The Samples
+// split holds the given sample queries; Test queries are
+// component-similar to the samples. The train split is SPIDER's, per the
+// paper.
+func QBENLike(cfg QBENConfig) *Benchmark {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bench := &Benchmark{Name: "qben", DBs: map[string]*DBBundle{}}
+	for i := 0; i < cfg.DBs; i++ {
+		name := fmt.Sprintf("qben_%02d", i)
+		var b *DBBundle
+		// Join semantics are QBEN's point: require a multi-table shape.
+		for {
+			b = buildDatabase(name, rng, true)
+			if len(b.Schema.Tables) >= 3 {
+				break
+			}
+		}
+		bench.DBs[name] = b
+		samples := genItems(b, name, cfg.SamplesPerDB, rng)
+		bench.Samples = append(bench.Samples, samples...)
+
+		// Test queries are component-similar to the samples by
+		// construction: they are drawn from the generalization of the
+		// sample set (minus the samples themselves), then concretized
+		// with content values and phrased.
+		var goldSet []*sqlast.Query
+		sampleCanon := map[string]bool{}
+		for _, it := range samples {
+			goldSet = append(goldSet, it.Gold)
+			sampleCanon[norm.Canonical(it.Gold)] = true
+		}
+		res := generalize.Generalize(b.Schema, goldSet, generalize.Config{
+			TargetSize: cfg.SamplesPerDB * 12,
+			Seed:       cfg.Seed + int64(i),
+			Rules:      generalize.AllRules(),
+		})
+		var candidates []*sqlast.Query
+		for _, q := range res.Queries {
+			if !sampleCanon[norm.Canonical(q)] {
+				candidates = append(candidates, q)
+			}
+		}
+		rng.Shuffle(len(candidates), func(a, b int) {
+			candidates[a], candidates[b] = candidates[b], candidates[a]
+		})
+		// Prefer queries with joins: QBEN tests join semantics.
+		sort.SliceStable(candidates, func(a, b int) bool {
+			return len(candidates[a].Select.From.Joins) > len(candidates[b].Select.From.Joins)
+		})
+		ng := &nlGen{b: b, rng: rng}
+		for _, q := range candidates {
+			if len(bench.Test) >= (i+1)*cfg.TestPerDB {
+				break
+			}
+			fillValues(b, q, rng)
+			bench.Test = append(bench.Test, Item{DB: name, NL: ng.phrase(q), Gold: q})
+		}
+	}
+	return bench
+}

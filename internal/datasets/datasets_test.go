@@ -1,0 +1,456 @@
+package datasets
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hardness"
+	"repro/internal/norm"
+	"repro/internal/sqlast"
+)
+
+func TestBuildDatabaseValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		b := buildDatabase("db", rng, false)
+		if err := b.Schema.Validate(); err != nil {
+			t.Fatalf("database %d invalid: %v", i, err)
+		}
+		// Content exists for every table.
+		for _, tab := range b.Schema.Tables {
+			td := b.Content.Tables[strings.ToLower(tab.Name)]
+			if td == nil || len(td.Rows) == 0 {
+				t.Fatalf("table %s has no content", tab.Name)
+			}
+			for _, row := range td.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row arity mismatch in %s", tab.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDatabaseOpaque(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		b := buildDatabase("qdb", rng, true)
+		if err := b.Schema.Validate(); err != nil {
+			t.Fatalf("opaque database invalid: %v", err)
+		}
+		for _, tab := range b.Schema.Tables {
+			if !strings.HasPrefix(tab.Name, "t_") && !strings.HasPrefix(tab.Name, "rel_") {
+				t.Fatalf("table name %q not opaque", tab.Name)
+			}
+			// Table annotations must not leak semantics (they mirror
+			// the opaque identifiers); key columns are opaque uids.
+			if tab.Annotation != strings.ReplaceAll(tab.Name, "_", " ") &&
+				tab.Annotation != "" {
+				t.Fatalf("annotation %q leaks semantics for %s", tab.Annotation, tab.Name)
+			}
+			for _, pk := range tab.PrimaryKey {
+				if !strings.HasPrefix(pk, "uid") && !strings.HasSuffix(pk, "_id") {
+					// Entity keys are uid; compound bridge keys are uid/uid2.
+					t.Fatalf("key column %q not opaque in %s", pk, tab.Name)
+				}
+			}
+		}
+		// The Syn map must still carry real semantics.
+		hasSemantic := false
+		for _, syns := range b.Syn {
+			for _, s := range syns {
+				if !strings.HasPrefix(s, "t_") && !strings.HasPrefix(s, "val") && s != "uid" {
+					hasSemantic = true
+				}
+			}
+		}
+		if !hasSemantic {
+			t.Fatal("opaque bundle lost its semantic vocabulary")
+		}
+		if len(b.Schema.JoinAnnotations) == 0 && len(b.Schema.ForeignKeys) > 0 {
+			t.Fatal("opaque database with FKs lacks join annotations")
+		}
+	}
+}
+
+func TestQueryGenProducesValidQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := buildDatabase("db", rng, false)
+	g := newQueryGen(b, rng)
+	for i := 0; i < 200; i++ {
+		q := g.gen()
+		if err := b.Schema.Bind(q.Clone()); err != nil {
+			t.Fatalf("generated query does not bind: %s: %v", q, err)
+		}
+		// Every generated query must execute on the content.
+		if _, err := b.Content.Exec(q); err != nil {
+			t.Fatalf("generated query does not execute: %s: %v", q, err)
+		}
+	}
+}
+
+func TestQueryGenMixApproximatesTable3(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var nested, order, group, compound, total int
+	for d := 0; d < 8; d++ {
+		b := buildDatabase("db", rng, false)
+		g := newQueryGen(b, rng)
+		for i := 0; i < 100; i++ {
+			q := g.gen()
+			total++
+			if hardness.HasNested(q) {
+				nested++
+			}
+			if hardness.HasOrderBy(q) {
+				order++
+			}
+			if hardness.HasGroupBy(q) {
+				group++
+			}
+			if q.IsCompound() {
+				compound++
+			}
+		}
+	}
+	frac := func(n int) float64 { return float64(n) / float64(total) }
+	// SPIDER train: nested 14%, ORDER BY 21%, GROUP BY 23%, compound 6%.
+	if f := frac(nested); f < 0.08 || f > 0.30 {
+		t.Errorf("nested fraction %.2f out of range", f)
+	}
+	if f := frac(order); f < 0.12 || f > 0.35 {
+		t.Errorf("order fraction %.2f out of range", f)
+	}
+	if f := frac(group); f < 0.12 || f > 0.35 {
+		t.Errorf("group fraction %.2f out of range", f)
+	}
+	if f := frac(compound); f < 0.02 || f > 0.15 {
+		t.Errorf("compound fraction %.2f out of range", f)
+	}
+}
+
+func TestQueryGenCoversDifficulties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := map[hardness.Level]int{}
+	for d := 0; d < 6; d++ {
+		b := buildDatabase("db", rng, false)
+		g := newQueryGen(b, rng)
+		for i := 0; i < 80; i++ {
+			counts[hardness.Classify(g.gen())]++
+		}
+	}
+	for _, lvl := range hardness.Levels {
+		if counts[lvl] == 0 {
+			t.Errorf("difficulty %v never generated (%v)", lvl, counts)
+		}
+	}
+}
+
+func TestNLGenProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := buildDatabase("db", rng, false)
+	g := newQueryGen(b, rng)
+	ng := &nlGen{b: b, rng: rng}
+	for i := 0; i < 100; i++ {
+		q := g.gen()
+		nl := ng.phrase(q)
+		if len(nl) < 8 {
+			t.Fatalf("NL too short for %s: %q", q, nl)
+		}
+		if strings.Contains(nl, "%s") {
+			t.Fatalf("frame not substituted: %q", nl)
+		}
+		lower := strings.ToLower(nl)
+		if strings.Contains(lower, "select ") || strings.Contains(lower, " from ") {
+			t.Fatalf("NL leaks SQL: %q", nl)
+		}
+	}
+}
+
+func TestNLGenVariesPhrasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := buildDatabase("db", rng, false)
+	g := newQueryGen(b, rng)
+	q := g.gen()
+	ng := &nlGen{b: b, rng: rng}
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		seen[ng.phrase(q)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("NL generator produces a single fixed phrasing")
+	}
+}
+
+func TestSpiderLike(t *testing.T) {
+	bench := SpiderLike(SpiderConfig{TrainDBs: 4, ValDBs: 2, TrainPerDB: 20, ValPerDB: 15, Seed: 1})
+	if got := len(DBNames(bench.Train)); got != 4 {
+		t.Errorf("train DBs = %d, want 4", got)
+	}
+	if got := len(DBNames(bench.Val)); got != 2 {
+		t.Errorf("val DBs = %d, want 2", got)
+	}
+	// Cross-domain: no val DB appears in train.
+	trainDBs := map[string]bool{}
+	for _, n := range DBNames(bench.Train) {
+		trainDBs[n] = true
+	}
+	for _, n := range DBNames(bench.Val) {
+		if trainDBs[n] {
+			t.Errorf("val database %s leaks into train", n)
+		}
+	}
+	if len(bench.Train) != 80 || len(bench.Val) != 30 {
+		t.Errorf("split sizes: train %d val %d", len(bench.Train), len(bench.Val))
+	}
+	// Items must be distinct per database.
+	for _, db := range DBNames(bench.Val) {
+		seen := map[string]bool{}
+		for _, q := range GoldQueries(bench.Val, db) {
+			key := norm.Canonical(q)
+			if seen[key] {
+				t.Fatalf("duplicate gold in %s: %s", db, q)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestSpiderLikeDeterministic(t *testing.T) {
+	a := SpiderLike(SpiderConfig{TrainDBs: 2, ValDBs: 1, TrainPerDB: 10, ValPerDB: 10, Seed: 9})
+	b := SpiderLike(SpiderConfig{TrainDBs: 2, ValDBs: 1, TrainPerDB: 10, ValPerDB: 10, Seed: 9})
+	if len(a.Val) != len(b.Val) {
+		t.Fatal("nondeterministic val size")
+	}
+	for i := range a.Val {
+		if a.Val[i].NL != b.Val[i].NL || a.Val[i].Gold.String() != b.Val[i].Gold.String() {
+			t.Fatalf("nondeterministic item %d", i)
+		}
+	}
+}
+
+func TestGeoLike(t *testing.T) {
+	bench := GeoLike(GeoConfig{Train: 40, Val: 5, Test: 20, Seed: 2})
+	if len(bench.DBs) != 1 {
+		t.Fatalf("GEO should have one database, got %d", len(bench.DBs))
+	}
+	if len(bench.Train) == 0 || len(bench.Test) == 0 {
+		t.Fatal("empty GEO splits")
+	}
+	for _, it := range bench.Test {
+		if it.DB != "geo" {
+			t.Fatal("GEO item on wrong database")
+		}
+	}
+}
+
+func TestMTTEQLLike(t *testing.T) {
+	spider := SpiderLike(SpiderConfig{TrainDBs: 2, ValDBs: 2, TrainPerDB: 10, ValPerDB: 15, Seed: 3})
+	mt := MTTEQLLike(spider, MTTEQLConfig{N: 60, VariantsPerDB: 2, Seed: 4})
+	if len(mt.Test) != 60 {
+		t.Fatalf("MT-TEQL test size %d, want 60", len(mt.Test))
+	}
+	renamed := 0
+	for _, it := range mt.Test {
+		b := mt.DBs[it.DB]
+		if b == nil {
+			t.Fatalf("missing bundle %s", it.DB)
+		}
+		if err := b.Schema.Bind(it.Gold.Clone()); err != nil {
+			t.Fatalf("transformed gold does not bind on %s: %s: %v", it.DB, it.Gold, err)
+		}
+		if strings.Contains(it.DB, "_m") {
+			renamed++
+		}
+	}
+	if renamed == 0 {
+		t.Error("no schema-renamed samples generated")
+	}
+}
+
+func TestRenameBundlePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := buildDatabase("db", rng, false)
+	dst := renameBundle(src, "db_m0", rng)
+	if err := dst.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Schema.Tables) != len(src.Schema.Tables) {
+		t.Fatal("table count changed")
+	}
+	for i, tab := range dst.Schema.Tables {
+		if tab.Name == src.Schema.Tables[i].Name {
+			t.Errorf("table %s not renamed", tab.Name)
+		}
+		// Annotations survive so the dialect builder still speaks the
+		// same language.
+		if tab.Annotation == "" {
+			t.Errorf("renamed table %s lost its annotation", tab.Name)
+		}
+	}
+	// Content row counts carried over.
+	for tname, td := range src.Content.Tables {
+		nt := dst.Schema.Tables[indexOfTable(src, tname)]
+		if got := len(dst.Content.Tables[strings.ToLower(nt.Name)].Rows); got != len(td.Rows) {
+			t.Errorf("content rows for %s: %d vs %d", nt.Name, got, len(td.Rows))
+		}
+	}
+}
+
+func indexOfTable(b *DBBundle, lower string) int {
+	for i, t := range b.Schema.Tables {
+		if strings.ToLower(t.Name) == lower {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRewriteQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src := buildDatabase("db", rng, false)
+	dst := renameBundle(src, "db_m0", rng)
+	g := newQueryGen(src, rng)
+	for i := 0; i < 50; i++ {
+		q := g.gen()
+		rw := rewriteQuery(q, src, dst)
+		if rw == nil {
+			t.Fatalf("rewrite failed for %s", q)
+		}
+		if err := dst.Schema.Bind(rw.Clone()); err != nil {
+			t.Fatalf("rewritten query does not bind: %s: %v", rw, err)
+		}
+		// Same structure: canonical forms must match up to renaming.
+		if hardness.Classify(q) != hardness.Classify(rw) {
+			t.Errorf("difficulty changed by rewrite: %s vs %s", q, rw)
+		}
+	}
+}
+
+func TestQBENLike(t *testing.T) {
+	bench := QBENLike(QBENConfig{DBs: 3, SamplesPerDB: 12, TestPerDB: 6, Seed: 5})
+	if len(bench.DBs) != 3 {
+		t.Fatalf("QBEN DBs = %d", len(bench.DBs))
+	}
+	if len(bench.Samples) == 0 || len(bench.Test) == 0 {
+		t.Fatal("empty QBEN splits")
+	}
+	// Opaque identifiers everywhere.
+	for _, b := range bench.DBs {
+		for _, tab := range b.Schema.Tables {
+			if !strings.HasPrefix(tab.Name, "t_") && !strings.HasPrefix(tab.Name, "rel_") {
+				t.Fatalf("QBEN table %q not opaque", tab.Name)
+			}
+		}
+	}
+	// Test golds bind, and none equals a sample (they are new
+	// component-similar queries).
+	sampleCanon := map[string]bool{}
+	for _, it := range bench.Samples {
+		sampleCanon[it.DB+"|"+norm.Canonical(it.Gold)] = true
+	}
+	joins := 0
+	for _, it := range bench.Test {
+		b := bench.DBs[it.DB]
+		if err := b.Schema.Bind(it.Gold.Clone()); err != nil {
+			t.Fatalf("QBEN test gold does not bind: %s: %v", it.Gold, err)
+		}
+		if sampleCanon[it.DB+"|"+norm.Canonical(it.Gold)] {
+			t.Fatalf("test gold equals a sample: %s", it.Gold)
+		}
+		if len(it.Gold.Select.From.Joins) > 0 {
+			joins++
+		}
+		// NL questions must use semantic vocabulary, not opaque names.
+		if strings.Contains(it.NL, "t_") || strings.Contains(it.NL, "rel_") {
+			t.Errorf("QBEN NL leaks opaque identifiers: %q", it.NL)
+		}
+	}
+	if joins == 0 {
+		t.Error("QBEN test set has no join queries")
+	}
+	// No masked placeholders left in test golds.
+	for _, it := range bench.Test {
+		sqlast.WalkQueries(it.Gold, func(sub *sqlast.Query) {
+			sqlast.WalkExprs(sub.Select.Where, func(e sqlast.Expr) {
+				if l, ok := e.(*sqlast.Lit); ok && l.Kind == sqlast.PlaceholderLit {
+					t.Errorf("unfilled placeholder in QBEN gold: %s", it.Gold)
+				}
+			})
+		})
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	bench := SpiderLike(SpiderConfig{TrainDBs: 3, ValDBs: 2, TrainPerDB: 30, ValPerDB: 20, Seed: 6})
+	st := StatsOf(bench, bench.Train)
+	if st.Databases != 3 || st.Queries != 90 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.AvgTables < 1 || st.AvgTables > 5 {
+		t.Errorf("avg tables implausible: %v", st.AvgTables)
+	}
+	if st.OrderBy == 0 || st.GroupBy == 0 {
+		t.Errorf("clause counts empty: %+v", st)
+	}
+}
+
+func TestBenchmarkJSONRoundTrip(t *testing.T) {
+	bench := SpiderLike(SpiderConfig{TrainDBs: 2, ValDBs: 1, TrainPerDB: 10, ValPerDB: 8, Seed: 21})
+	var buf bytes.Buffer
+	if err := bench.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != bench.Name || len(loaded.DBs) != len(bench.DBs) {
+		t.Fatalf("benchmark shape changed: %s %d", loaded.Name, len(loaded.DBs))
+	}
+	if len(loaded.Train) != len(bench.Train) || len(loaded.Val) != len(bench.Val) {
+		t.Fatal("split sizes changed")
+	}
+	for i := range bench.Val {
+		if loaded.Val[i].NL != bench.Val[i].NL {
+			t.Fatalf("NL changed at %d", i)
+		}
+		if norm.Canonical(loaded.Val[i].Gold) != norm.Canonical(bench.Val[i].Gold) {
+			t.Fatalf("gold changed at %d: %s vs %s", i, loaded.Val[i].Gold, bench.Val[i].Gold)
+		}
+	}
+	// Content survives: every loaded gold executes and matches the
+	// original result.
+	for _, it := range bench.Val[:4] {
+		orig := bench.DBs[it.DB]
+		rest := loaded.DBs[it.DB]
+		a, err := orig.Content.Exec(it.Gold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rest.Content.Exec(it.Gold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.ResultsEqual(a, b, false) {
+			t.Fatalf("execution differs after round trip for %s", it.Gold)
+		}
+	}
+	// Synonyms and bridge verbs survive (needed by NL generation).
+	for name, bundle := range bench.DBs {
+		if len(loaded.DBs[name].Syn) != len(bundle.Syn) {
+			t.Fatalf("synonyms lost for %s", name)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","databases":{},"val":[{"db":"d","nl":"q","sql":"not sql"}]}`)); err == nil {
+		t.Error("unparsable SQL accepted")
+	}
+}

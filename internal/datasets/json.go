@@ -1,0 +1,272 @@
+package datasets
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// The JSON form of a benchmark, for exporting generated benchmarks to
+// disk (inspection, external tools, frozen evaluation sets) and loading
+// them back. SQL is serialized as text and re-parsed on load.
+
+type jsonBenchmark struct {
+	Name    string                `json:"name"`
+	DBs     map[string]jsonBundle `json:"databases"`
+	Train   []jsonItem            `json:"train,omitempty"`
+	Val     []jsonItem            `json:"val,omitempty"`
+	Test    []jsonItem            `json:"test,omitempty"`
+	Samples []jsonItem            `json:"samples,omitempty"`
+}
+
+type jsonItem struct {
+	DB  string `json:"db"`
+	NL  string `json:"nl"`
+	SQL string `json:"sql"`
+}
+
+type jsonBundle struct {
+	Schema     jsonSchema            `json:"schema"`
+	Content    map[string][][]string `json:"content"`
+	Syn        map[string][]string   `json:"synonyms,omitempty"`
+	BridgeVerb map[string]string     `json:"bridgeVerbs,omitempty"`
+}
+
+type jsonSchema struct {
+	Name        string            `json:"name"`
+	Tables      []jsonTable       `json:"tables"`
+	ForeignKeys []jsonFK          `json:"foreignKeys,omitempty"`
+	JoinAnns    []jsonJoinAnnJSON `json:"joinAnnotations,omitempty"`
+}
+
+type jsonTable struct {
+	Name       string       `json:"name"`
+	Annotation string       `json:"annotation,omitempty"`
+	PrimaryKey []string     `json:"primaryKey,omitempty"`
+	Columns    []jsonColumn `json:"columns"`
+}
+
+type jsonColumn struct {
+	Name       string `json:"name"`
+	Annotation string `json:"annotation,omitempty"`
+	Number     bool   `json:"number,omitempty"`
+}
+
+type jsonFK struct {
+	FromTable  string `json:"fromTable"`
+	FromColumn string `json:"fromColumn"`
+	ToTable    string `json:"toTable"`
+	ToColumn   string `json:"toColumn"`
+}
+
+type jsonJoinAnnJSON struct {
+	Tables      []string   `json:"tables"`
+	Description string     `json:"description"`
+	TableKeys   string     `json:"tableKeys"`
+	Conditions  []jsonEdge `json:"conditions"`
+}
+
+type jsonEdge struct {
+	LeftTable   string `json:"leftTable"`
+	LeftColumn  string `json:"leftColumn"`
+	RightTable  string `json:"rightTable"`
+	RightColumn string `json:"rightColumn"`
+}
+
+// WriteJSON serializes the benchmark.
+func (b *Benchmark) WriteJSON(w io.Writer) error {
+	out := jsonBenchmark{Name: b.Name, DBs: map[string]jsonBundle{}}
+	for name, bundle := range b.DBs {
+		out.DBs[name] = bundleToJSON(bundle)
+	}
+	conv := func(items []Item) []jsonItem {
+		js := make([]jsonItem, 0, len(items))
+		for _, it := range items {
+			js = append(js, jsonItem{DB: it.DB, NL: it.NL, SQL: it.Gold.String()})
+		}
+		return js
+	}
+	out.Train, out.Val = conv(b.Train), conv(b.Val)
+	out.Test, out.Samples = conv(b.Test), conv(b.Samples)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON loads a benchmark previously written by WriteJSON. Value
+// kinds used only during generation are not round-tripped; loaded
+// benchmarks are for evaluation, not further generation.
+func ReadJSON(r io.Reader) (*Benchmark, error) {
+	var in jsonBenchmark
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("datasets: decoding benchmark: %w", err)
+	}
+	b := &Benchmark{Name: in.Name, DBs: map[string]*DBBundle{}}
+	for name, jb := range in.DBs {
+		bundle, err := bundleFromJSON(jb)
+		if err != nil {
+			return nil, fmt.Errorf("datasets: database %s: %w", name, err)
+		}
+		b.DBs[name] = bundle
+	}
+	conv := func(items []jsonItem) ([]Item, error) {
+		out := make([]Item, 0, len(items))
+		for _, it := range items {
+			q, err := sqlparse.Parse(it.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: parsing %q: %w", it.SQL, err)
+			}
+			out = append(out, Item{DB: it.DB, NL: it.NL, Gold: q})
+		}
+		return out, nil
+	}
+	var err error
+	if b.Train, err = conv(in.Train); err != nil {
+		return nil, err
+	}
+	if b.Val, err = conv(in.Val); err != nil {
+		return nil, err
+	}
+	if b.Test, err = conv(in.Test); err != nil {
+		return nil, err
+	}
+	if b.Samples, err = conv(in.Samples); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func bundleToJSON(b *DBBundle) jsonBundle {
+	out := jsonBundle{
+		Schema:     schemaToJSON(b.Schema),
+		Content:    map[string][][]string{},
+		Syn:        b.Syn,
+		BridgeVerb: b.BridgeVerb,
+	}
+	for tname, td := range b.Content.Tables {
+		rows := make([][]string, 0, len(td.Rows))
+		for _, row := range td.Rows {
+			cells := make([]string, 0, len(row))
+			for _, v := range row {
+				cells = append(cells, v.String())
+			}
+			rows = append(rows, cells)
+		}
+		out.Content[tname] = rows
+	}
+	return out
+}
+
+func bundleFromJSON(jb jsonBundle) (*DBBundle, error) {
+	db := schemaFromJSON(jb.Schema)
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	bundle := &DBBundle{
+		Schema:     db,
+		Syn:        jb.Syn,
+		BridgeVerb: jb.BridgeVerb,
+	}
+	if bundle.Syn == nil {
+		bundle.Syn = map[string][]string{}
+	}
+	if bundle.BridgeVerb == nil {
+		bundle.BridgeVerb = map[string]string{}
+	}
+	in := engine.NewInstance(db)
+	for tname, rows := range jb.Content {
+		t := db.Table(tname)
+		if t == nil {
+			return nil, fmt.Errorf("content for unknown table %q", tname)
+		}
+		for _, cells := range rows {
+			if len(cells) != len(t.Columns) {
+				return nil, fmt.Errorf("row arity mismatch in %s", tname)
+			}
+			row := make([]engine.Value, 0, len(cells))
+			for ci, cell := range cells {
+				if t.Columns[ci].Type == schema.Number {
+					var f float64
+					if _, err := fmt.Sscanf(cell, "%g", &f); err == nil {
+						row = append(row, engine.Num(f))
+						continue
+					}
+				}
+				if cell == "NULL" {
+					row = append(row, engine.NullValue())
+					continue
+				}
+				row = append(row, engine.Str(cell))
+			}
+			in.MustInsert(t.Name, row...)
+		}
+	}
+	bundle.Content = in
+	return bundle, nil
+}
+
+func schemaToJSON(db *schema.Database) jsonSchema {
+	out := jsonSchema{Name: db.Name}
+	for _, t := range db.Tables {
+		jt := jsonTable{Name: t.Name, Annotation: t.Annotation, PrimaryKey: t.PrimaryKey}
+		for _, c := range t.Columns {
+			jt.Columns = append(jt.Columns, jsonColumn{
+				Name: c.Name, Annotation: c.Annotation, Number: c.Type == schema.Number,
+			})
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	for _, fk := range db.ForeignKeys {
+		out.ForeignKeys = append(out.ForeignKeys, jsonFK{
+			FromTable: fk.FromTable, FromColumn: fk.FromColumn,
+			ToTable: fk.ToTable, ToColumn: fk.ToColumn,
+		})
+	}
+	for _, ann := range db.JoinAnnotations {
+		ja := jsonJoinAnnJSON{Tables: ann.Tables, Description: ann.Description, TableKeys: ann.TableKeys}
+		for _, e := range ann.Conditions {
+			ja.Conditions = append(ja.Conditions, jsonEdge{
+				LeftTable: e.LeftTable, LeftColumn: e.LeftColumn,
+				RightTable: e.RightTable, RightColumn: e.RightColumn,
+			})
+		}
+		out.JoinAnns = append(out.JoinAnns, ja)
+	}
+	return out
+}
+
+func schemaFromJSON(js jsonSchema) *schema.Database {
+	db := &schema.Database{Name: js.Name}
+	for _, jt := range js.Tables {
+		t := &schema.Table{Name: jt.Name, Annotation: jt.Annotation, PrimaryKey: jt.PrimaryKey}
+		for _, jc := range jt.Columns {
+			typ := schema.Text
+			if jc.Number {
+				typ = schema.Number
+			}
+			t.Columns = append(t.Columns, &schema.Column{Name: jc.Name, Annotation: jc.Annotation, Type: typ})
+		}
+		db.Tables = append(db.Tables, t)
+	}
+	for _, fk := range js.ForeignKeys {
+		db.ForeignKeys = append(db.ForeignKeys, schema.ForeignKey{
+			FromTable: fk.FromTable, FromColumn: fk.FromColumn,
+			ToTable: fk.ToTable, ToColumn: fk.ToColumn,
+		})
+	}
+	for _, ja := range js.JoinAnns {
+		ann := &schema.JoinAnnotation{Tables: ja.Tables, Description: ja.Description, TableKeys: ja.TableKeys}
+		for _, e := range ja.Conditions {
+			ann.Conditions = append(ann.Conditions, schema.JoinEdge{
+				LeftTable: e.LeftTable, LeftColumn: e.LeftColumn,
+				RightTable: e.RightTable, RightColumn: e.RightColumn,
+			})
+		}
+		db.JoinAnnotations = append(db.JoinAnnotations, ann)
+	}
+	return db
+}

@@ -1,0 +1,327 @@
+package datasets
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// nlGen phrases SQL queries as natural-language questions the way a user
+// would ask them. It is deliberately a separate engine from the dialect
+// builder: different sentence frames, synonym substitution from the
+// bundle's semantic vocabulary, and random surface variation — so
+// ranking dialects against these questions is a learnable but non-trivial
+// matching problem, like ranking MPNet embeddings of real user questions
+// against template dialects is in the paper. For QBEN bundles the
+// vocabulary carries the hidden semantics that the opaque schema
+// identifiers do not.
+type nlGen struct {
+	b   *DBBundle
+	rng *rand.Rand
+}
+
+// phrase renders a bound query as an NL question.
+func (n *nlGen) phrase(q *sqlast.Query) string {
+	s := q.Select
+	body := n.blockPhrase(s)
+	if q.Op != sqlast.SetNone {
+		right := n.blockPhrase(q.Right.Select)
+		switch q.Op {
+		case sqlast.Union:
+			body += n.pick(", and also ", ", together with ") + right
+		case sqlast.Intersect:
+			body += n.pick(" that also appear when you ", " and intersect that with ") + right
+		case sqlast.Except:
+			body += n.pick(", excluding those when you ", ", but leave out those when you ") + right
+		}
+	}
+	frame := n.pick("Show %s.", "List %s.", "Give me %s.", "What are %s?", "Find %s.", "Tell me %s.")
+	// Count questions get their own frames sometimes.
+	if agg, ok := soleAgg(s); ok && agg.Func == sqlast.Count && agg.Arg.IsStar() &&
+		s.Where == nil && len(s.GroupBy) == 0 && q.Op == sqlast.SetNone {
+		return strings.Replace(n.pick("How many %s are there?", "Count the %s.", "What is the total number of %s?"),
+			"%s", plural(n.mainNoun(s)), 1)
+	}
+	return strings.Replace(frame, "%s", body, 1)
+}
+
+func soleAgg(s *sqlast.Select) (*sqlast.Agg, bool) {
+	if len(s.Items) != 1 {
+		return nil, false
+	}
+	a, ok := s.Items[0].Expr.(*sqlast.Agg)
+	return a, ok
+}
+
+func (n *nlGen) pick(opts ...string) string { return opts[n.rng.Intn(len(opts))] }
+
+// mainNoun is the user's word for the primary entity of the block.
+func (n *nlGen) mainNoun(s *sqlast.Select) string {
+	t := s.From.Tables[0].Name
+	return n.b.synOf(n.rng, t)
+}
+
+// blockPhrase builds the noun phrase for one SELECT block.
+func (n *nlGen) blockPhrase(s *sqlast.Select) string {
+	var parts []string
+	parts = append(parts, n.itemsPhrase(s))
+	if join := n.joinPhrase(s); join != "" {
+		parts = append(parts, join)
+	}
+	if s.Where != nil {
+		parts = append(parts, n.condPhrase(s, s.Where))
+	}
+	parts = append(parts, n.shapePhrase(s)...)
+	return strings.Join(parts, " ")
+}
+
+func (n *nlGen) itemsPhrase(s *sqlast.Select) string {
+	noun := n.mainNoun(s)
+	var items []string
+	for _, it := range s.Items {
+		items = append(items, n.valuePhrase(s, it.Expr, noun))
+	}
+	out := strings.Join(items, " and ")
+	if s.Distinct {
+		out = n.pick("the different ", "the distinct ", "all unique ") + strings.TrimPrefix(out, "the ")
+	}
+	return out
+}
+
+func (n *nlGen) valuePhrase(s *sqlast.Select, e sqlast.Expr, noun string) string {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		if x.IsStar() {
+			return n.pick("all information about ", "every detail of ") + plural(noun)
+		}
+		col := n.colWord(s, x)
+		return n.pick(
+			"the "+col+" of each "+noun,
+			"the "+col+" of the "+plural(noun),
+			"each "+noun+"'s "+col,
+		)
+	case *sqlast.Agg:
+		return n.aggPhrase(s, x, noun)
+	default:
+		return sqlast.ExprString(e)
+	}
+}
+
+func (n *nlGen) aggPhrase(s *sqlast.Select, a *sqlast.Agg, noun string) string {
+	if a.Arg.IsStar() {
+		return n.pick("the number of ", "how many ") + plural(n.starNoun(s, noun))
+	}
+	col := n.colWord(s, a.Arg)
+	switch a.Func {
+	case sqlast.Count:
+		if a.Distinct {
+			return n.pick("the number of different ", "how many distinct ") + plural(col)
+		}
+		return "the number of " + plural(col)
+	case sqlast.Sum:
+		return n.pick("the total ", "the combined ") + col + " of all " + plural(noun)
+	case sqlast.Avg:
+		return n.pick("the average ", "the mean ") + col + " of the " + plural(noun)
+	case sqlast.Min:
+		return n.pick("the lowest ", "the smallest ", "the minimum ") + col + " among the " + plural(noun)
+	default:
+		return n.pick("the highest ", "the largest ", "the maximum ") + col + " among the " + plural(noun)
+	}
+}
+
+// starNoun is what COUNT(*) counts: the joined relation noun when the
+// block joins tables, else the main entity.
+func (n *nlGen) starNoun(s *sqlast.Select, noun string) string {
+	if len(s.From.Tables) > 1 {
+		last := s.From.Tables[len(s.From.Tables)-1].Name
+		return n.b.synOf(n.rng, last)
+	}
+	return noun
+}
+
+// colWord picks a user word for a column.
+func (n *nlGen) colWord(s *sqlast.Select, c *sqlast.ColumnRef) string {
+	table := c.Table
+	if table == "" && len(s.From.Tables) == 1 {
+		table = s.From.Tables[0].Name
+	}
+	return n.b.synOf(n.rng, strings.ToLower(table)+"."+strings.ToLower(c.Column))
+}
+
+// joinPhrase verbalizes a join path with the bridge verb: "enrolled in
+// the courses".
+func (n *nlGen) joinPhrase(s *sqlast.Select) string {
+	if len(s.From.Tables) < 2 {
+		return ""
+	}
+	var verbs []string
+	for _, tr := range s.From.Tables[1:] {
+		key := strings.ToLower(tr.Name)
+		verb := n.b.BridgeVerb[key]
+		noun := n.b.Noun(tr.Name)
+		if verb == "" {
+			verbs = append(verbs, n.pick("together with", "combined with")+" their "+plural(noun))
+			continue
+		}
+		verbs = append(verbs, n.pick("that are ", "")+verb+" the "+plural(noun))
+	}
+	return strings.Join(verbs, " ")
+}
+
+func (n *nlGen) condPhrase(s *sqlast.Select, e sqlast.Expr) string {
+	switch x := e.(type) {
+	case *sqlast.Binary:
+		switch x.Op {
+		case "AND":
+			return n.condPhrase(s, x.L) + n.pick(" and ", " and whose ") + n.condPhrase(s, x.R)
+		case "OR":
+			return n.condPhrase(s, x.L) + " or " + n.condPhrase(s, x.R)
+		}
+		return n.comparison(s, x)
+	case *sqlast.Not:
+		return "not " + n.condPhrase(s, x.X)
+	case *sqlast.Between:
+		return "with " + n.lhsWord(s, x.X) + " between " + n.rhs(s, x.Lo) + " and " + n.rhs(s, x.Hi)
+	case *sqlast.In:
+		inner := x.Sub.Select
+		noun := n.b.synOf(n.rng, inner.From.Tables[0].Name)
+		body := n.pick("that appear in the ", "that have entries in the ") + noun + " records"
+		if x.Negate {
+			body = n.pick("that have no ", "without any ") + noun + " records"
+		}
+		if inner.Where != nil {
+			body += " " + n.condPhrase(inner, inner.Where)
+		}
+		return body
+	case *sqlast.Exists:
+		if x.Negate {
+			return "that have no matching records"
+		}
+		return "that have matching records"
+	default:
+		return ""
+	}
+}
+
+func (n *nlGen) comparison(s *sqlast.Select, x *sqlast.Binary) string {
+	lhs := n.lhsWord(s, x.L)
+	rhs := n.rhs(s, x.R)
+	// Scalar subquery comparisons read as "above the average age".
+	if sub, ok := x.R.(*sqlast.Subquery); ok {
+		inner := sub.Q.Select
+		if agg, ok := soleAgg(inner); ok {
+			aggWord := map[sqlast.AggFunc]string{
+				sqlast.Avg: n.pick("the average", "the mean"),
+				sqlast.Max: n.pick("the highest", "the maximum"),
+				sqlast.Min: n.pick("the lowest", "the minimum"),
+				sqlast.Sum: "the total",
+			}[agg.Func]
+			colw := n.colWord(inner, agg.Arg)
+			switch x.Op {
+			case ">", ">=":
+				return n.pick("whose ", "with ") + lhs + " above " + aggWord + " " + colw
+			case "<", "<=":
+				return n.pick("whose ", "with ") + lhs + " below " + aggWord + " " + colw
+			default:
+				return n.pick("whose ", "with ") + lhs + " equal to " + aggWord + " " + colw
+			}
+		}
+	}
+	switch x.Op {
+	case "=":
+		return n.pick("whose ", "with ") + lhs + n.pick(" is ", " equal to ") + rhs
+	case "!=":
+		return "whose " + lhs + " is not " + rhs
+	case ">":
+		return n.pick("whose ", "with ") + lhs + n.pick(" greater than ", " over ", " more than ") + rhs
+	case ">=":
+		return "whose " + lhs + " is at least " + rhs
+	case "<":
+		return n.pick("whose ", "with ") + lhs + n.pick(" less than ", " under ", " below ") + rhs
+	case "<=":
+		return "whose " + lhs + " is at most " + rhs
+	case "LIKE":
+		return "whose " + lhs + " contains " + rhs
+	case "NOT LIKE":
+		return "whose " + lhs + " does not contain " + rhs
+	default:
+		return lhs + " " + strings.ToLower(x.Op) + " " + rhs
+	}
+}
+
+func (n *nlGen) lhsWord(s *sqlast.Select, e sqlast.Expr) string {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		return n.colWord(s, x)
+	case *sqlast.Agg:
+		return n.aggPhrase(s, x, n.mainNoun(s))
+	default:
+		return sqlast.ExprString(e)
+	}
+}
+
+func (n *nlGen) rhs(s *sqlast.Select, e sqlast.Expr) string {
+	switch x := e.(type) {
+	case *sqlast.Lit:
+		return x.Text
+	case *sqlast.ColumnRef:
+		return n.colWord(s, x)
+	default:
+		return sqlast.ExprString(e)
+	}
+}
+
+// shapePhrase verbalizes GROUP BY / HAVING / ORDER BY / LIMIT in
+// user-speak.
+func (n *nlGen) shapePhrase(s *sqlast.Select) []string {
+	var parts []string
+	if len(s.GroupBy) > 0 {
+		var keys []string
+		for _, gkey := range s.GroupBy {
+			keys = append(keys, n.colWord(s, gkey))
+		}
+		parts = append(parts, n.pick("for each ", "per ", "grouped by ")+strings.Join(keys, " and "))
+	}
+	if s.Having != nil {
+		if b, ok := s.Having.(*sqlast.Binary); ok {
+			if agg, ok := b.L.(*sqlast.Agg); ok && agg.Arg.IsStar() {
+				parts = append(parts, n.pick("having more than ", "with over ")+n.rhs(s, b.R)+" "+plural(n.starNoun(s, n.mainNoun(s))))
+			} else {
+				parts = append(parts, "having "+n.condPhrase(s, s.Having))
+			}
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		o := s.OrderBy[0]
+		key := n.lhsWord(s, o.Expr)
+		if agg, ok := o.Expr.(*sqlast.Agg); ok && agg.Arg.IsStar() {
+			key = "number of " + plural(n.starNoun(s, n.mainNoun(s)))
+		}
+		switch {
+		case s.Limit == 1 && o.Desc:
+			parts = append(parts, n.pick("with the most ", "with the highest ", "with the top ")+key)
+		case s.Limit == 1 && !o.Desc:
+			parts = append(parts, n.pick("with the fewest ", "with the lowest ")+key)
+		case s.Limit > 1:
+			dir := "highest"
+			if !o.Desc {
+				dir = "lowest"
+			}
+			parts = append(parts, "limited to the "+numWordNL(s.Limit)+" "+dir+" by "+key)
+		case o.Desc:
+			parts = append(parts, n.pick("in descending order of ", "from highest to lowest by ", "sorted by descending ")+key)
+		default:
+			parts = append(parts, n.pick("sorted by ", "in ascending order of ", "in alphabetical order of ")+key)
+		}
+	}
+	return parts
+}
+
+func numWordNL(n int) string {
+	words := []string{"zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten"}
+	if n >= 0 && n < len(words) {
+		return words[n]
+	}
+	return "several"
+}

@@ -1,0 +1,523 @@
+package datasets
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// queryGen draws SQL queries over one database from a weighted template
+// grammar whose clause-type mix approximates Table 3 of the paper
+// (roughly 14% nested, 21% ORDER BY, 23% GROUP BY, 6% compound).
+type queryGen struct {
+	b   *DBBundle
+	rng *rand.Rand
+	// entity tables (single-column key), for projection-friendly shapes.
+	entities []*schema.Table
+}
+
+func newQueryGen(b *DBBundle, rng *rand.Rand) *queryGen {
+	g := &queryGen{b: b, rng: rng}
+	for _, t := range b.Schema.Tables {
+		if len(t.PrimaryKey) == 1 {
+			g.entities = append(g.entities, t)
+		}
+	}
+	if len(g.entities) == 0 {
+		g.entities = b.Schema.Tables
+	}
+	return g
+}
+
+// gen produces one random query; every query binds against the schema.
+func (g *queryGen) gen() *sqlast.Query {
+	for attempts := 0; attempts < 20; attempts++ {
+		var q *sqlast.Query
+		switch r := g.rng.Float64(); {
+		case r < 0.12:
+			q = g.simpleSelect()
+		case r < 0.26:
+			q = g.selectWhere()
+		case r < 0.36:
+			q = g.aggregate()
+		case r < 0.48:
+			q = g.superlative()
+		case r < 0.54:
+			q = g.orderedList()
+		case r < 0.66:
+			q = g.groupCount()
+		case r < 0.72:
+			q = g.groupHaving()
+		case r < 0.80:
+			q = g.joinQuery()
+		case r < 0.87:
+			q = g.nestedIn()
+		case r < 0.94:
+			q = g.scalarCompare()
+		default:
+			q = g.compound()
+		}
+		if q == nil {
+			continue
+		}
+		if err := g.b.Schema.Bind(q); err != nil {
+			continue
+		}
+		return q
+	}
+	// Fallback that always binds.
+	t := g.entities[g.rng.Intn(len(g.entities))]
+	q := &sqlast.Query{Select: &sqlast.Select{
+		Items: []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: t.Columns[1].Name}}},
+		From:  sqlast.From{Tables: []sqlast.TableRef{{Name: t.Name}}},
+	}}
+	if err := g.b.Schema.Bind(q); err != nil {
+		panic("datasets: fallback query does not bind: " + err.Error())
+	}
+	return q
+}
+
+// randTable picks a random entity table.
+func (g *queryGen) randTable() *schema.Table {
+	return g.entities[g.rng.Intn(len(g.entities))]
+}
+
+// dataColumns returns the non-key columns of a table.
+func (g *queryGen) dataColumns(t *schema.Table) []*schema.Column {
+	var out []*schema.Column
+	for _, c := range t.Columns {
+		if isKeyish(t, c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func isKeyish(t *schema.Table, c *schema.Column) bool {
+	for _, pk := range t.PrimaryKey {
+		if strings.EqualFold(pk, c.Name) {
+			return true
+		}
+	}
+	return strings.HasSuffix(strings.ToLower(c.Name), "_id") || strings.EqualFold(c.Name, "uid")
+}
+
+func (g *queryGen) randColumn(t *schema.Table, typ schema.Type, any bool) *schema.Column {
+	cols := g.dataColumns(t)
+	var match []*schema.Column
+	for _, c := range cols {
+		if any || c.Type == typ {
+			match = append(match, c)
+		}
+	}
+	if len(match) == 0 {
+		return nil
+	}
+	return match[g.rng.Intn(len(match))]
+}
+
+func colRef(t *schema.Table, c *schema.Column) *sqlast.ColumnRef {
+	return &sqlast.ColumnRef{Table: t.Name, Column: c.Name}
+}
+
+func fromTable(t *schema.Table) sqlast.From {
+	return sqlast.From{Tables: []sqlast.TableRef{{Name: t.Name}}}
+}
+
+func selectOf(items ...sqlast.Expr) []sqlast.SelectItem {
+	out := make([]sqlast.SelectItem, 0, len(items))
+	for _, e := range items {
+		out = append(out, sqlast.SelectItem{Expr: e})
+	}
+	return out
+}
+
+// sampleValue draws an actual cell value of the column from the content
+// so predicates are satisfiable and value post-processing is exercised.
+func (g *queryGen) sampleValue(t *schema.Table, c *schema.Column) *sqlast.Lit {
+	td := g.b.Content.Tables[strings.ToLower(t.Name)]
+	if td != nil && len(td.Rows) > 0 {
+		ci := -1
+		for i, name := range td.Columns {
+			if strings.EqualFold(name, c.Name) {
+				ci = i
+				break
+			}
+		}
+		if ci >= 0 {
+			v := td.Rows[g.rng.Intn(len(td.Rows))][ci]
+			if v.IsNum {
+				return &sqlast.Lit{Kind: sqlast.NumberLit, Text: trimFloat(v)}
+			}
+			return &sqlast.Lit{Kind: sqlast.StringLit, Text: v.Str}
+		}
+	}
+	if c.Type == schema.Number {
+		return sqlast.NumberLitOf(10 + g.rng.Intn(50))
+	}
+	return &sqlast.Lit{Kind: sqlast.StringLit, Text: words[g.rng.Intn(len(words))]}
+}
+
+func trimFloat(v engine.Value) string { return v.String() }
+
+// predicate builds one comparison predicate over t's columns.
+func (g *queryGen) predicate(t *schema.Table) sqlast.Expr {
+	c := g.randColumn(t, schema.Text, true)
+	if c == nil {
+		return nil
+	}
+	val := g.sampleValue(t, c)
+	op := "="
+	if c.Type == schema.Number {
+		op = []string{">", "<", ">=", "<=", "=", "!="}[g.rng.Intn(6)]
+	} else if g.rng.Float64() < 0.12 {
+		op = "!="
+	}
+	return &sqlast.Binary{Op: op, L: colRef(t, c), R: val}
+}
+
+func (g *queryGen) simpleSelect() *sqlast.Query {
+	t := g.randTable()
+	c := g.randColumn(t, 0, true)
+	if c == nil {
+		return nil
+	}
+	items := selectOf(colRef(t, c))
+	if g.rng.Float64() < 0.3 {
+		if c2 := g.randColumn(t, 0, true); c2 != nil && c2 != c {
+			items = append(items, sqlast.SelectItem{Expr: colRef(t, c2)})
+		}
+	}
+	sel := &sqlast.Select{Items: items, From: fromTable(t)}
+	if g.rng.Float64() < 0.15 {
+		sel.Distinct = true
+		sel.Items = sel.Items[:1]
+	}
+	return &sqlast.Query{Select: sel}
+}
+
+func (g *queryGen) selectWhere() *sqlast.Query {
+	q := g.simpleSelect()
+	if q == nil {
+		return nil
+	}
+	t := g.b.Schema.Table(q.Select.From.Tables[0].Name)
+	p := g.predicate(t)
+	if p == nil {
+		return nil
+	}
+	if g.rng.Float64() < 0.25 {
+		p2 := g.predicate(t)
+		if p2 != nil {
+			op := "AND"
+			if g.rng.Float64() < 0.35 {
+				op = "OR"
+			}
+			p = &sqlast.Binary{Op: op, L: p, R: p2}
+		}
+	}
+	q.Select.Where = p
+	return q
+}
+
+func (g *queryGen) aggregate() *sqlast.Query {
+	t := g.randTable()
+	var item sqlast.Expr
+	switch g.rng.Intn(4) {
+	case 0:
+		item = &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}}
+	case 1:
+		c := g.randColumn(t, schema.Text, false)
+		if c == nil {
+			return nil
+		}
+		item = &sqlast.Agg{Func: sqlast.Count, Distinct: true, Arg: colRef(t, c)}
+	default:
+		c := g.randColumn(t, schema.Number, false)
+		if c == nil {
+			return nil
+		}
+		fn := []sqlast.AggFunc{sqlast.Sum, sqlast.Avg, sqlast.Min, sqlast.Max}[g.rng.Intn(4)]
+		item = &sqlast.Agg{Func: fn, Arg: colRef(t, c)}
+	}
+	sel := &sqlast.Select{Items: selectOf(item), From: fromTable(t)}
+	if g.rng.Float64() < 0.35 {
+		sel.Where = g.predicate(t)
+	}
+	return &sqlast.Query{Select: sel}
+}
+
+func (g *queryGen) superlative() *sqlast.Query {
+	t := g.randTable()
+	proj := g.randColumn(t, schema.Text, false)
+	key := g.randColumn(t, schema.Number, false)
+	if proj == nil || key == nil {
+		return nil
+	}
+	sel := &sqlast.Select{
+		Items:   selectOf(colRef(t, proj)),
+		From:    fromTable(t),
+		OrderBy: []sqlast.OrderItem{{Expr: colRef(t, key), Desc: g.rng.Float64() < 0.7}},
+		Limit:   1,
+	}
+	return &sqlast.Query{Select: sel}
+}
+
+func (g *queryGen) orderedList() *sqlast.Query {
+	t := g.randTable()
+	proj := g.randColumn(t, 0, true)
+	key := g.randColumn(t, 0, true)
+	if proj == nil || key == nil {
+		return nil
+	}
+	sel := &sqlast.Select{
+		Items:   selectOf(colRef(t, proj)),
+		From:    fromTable(t),
+		OrderBy: []sqlast.OrderItem{{Expr: colRef(t, key), Desc: g.rng.Float64() < 0.4}},
+	}
+	return &sqlast.Query{Select: sel}
+}
+
+func (g *queryGen) groupCount() *sqlast.Query {
+	t := g.randTable()
+	key := g.randColumn(t, schema.Text, false)
+	if key == nil {
+		return nil
+	}
+	sel := &sqlast.Select{
+		Items:   selectOf(colRef(t, key), &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}}),
+		From:    fromTable(t),
+		GroupBy: []*sqlast.ColumnRef{colRef(t, key)},
+	}
+	// Sometimes the "most common X" shape instead of the plain listing.
+	if g.rng.Float64() < 0.4 {
+		sel.Items = sel.Items[:1]
+		sel.OrderBy = []sqlast.OrderItem{{
+			Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+			Desc: true,
+		}}
+		sel.Limit = 1
+	}
+	return &sqlast.Query{Select: sel}
+}
+
+func (g *queryGen) groupHaving() *sqlast.Query {
+	q := g.groupCount()
+	if q == nil || q.Select.Limit > 0 {
+		return g.groupHavingRetry()
+	}
+	q.Select.Having = &sqlast.Binary{
+		Op: ">",
+		L:  &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+		R:  sqlast.NumberLitOf(1 + g.rng.Intn(4)),
+	}
+	return q
+}
+
+func (g *queryGen) groupHavingRetry() *sqlast.Query {
+	t := g.randTable()
+	key := g.randColumn(t, schema.Text, false)
+	if key == nil {
+		return nil
+	}
+	return &sqlast.Query{Select: &sqlast.Select{
+		Items:   selectOf(colRef(t, key)),
+		From:    fromTable(t),
+		GroupBy: []*sqlast.ColumnRef{colRef(t, key)},
+		Having: &sqlast.Binary{
+			Op: ">",
+			L:  &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+			R:  sqlast.NumberLitOf(1 + g.rng.Intn(4)),
+		},
+	}}
+}
+
+// joinPath is one usable FK chain.
+type joinPath struct {
+	tables []*schema.Table
+	joins  []sqlast.JoinCond
+}
+
+// joinPaths enumerates 2-table FK joins and, through bridges, 3-table
+// chains.
+func (g *queryGen) joinPaths() []joinPath {
+	db := g.b.Schema
+	var paths []joinPath
+	for _, fk := range db.ForeignKeys {
+		from, to := db.Table(fk.FromTable), db.Table(fk.ToTable)
+		if from == nil || to == nil {
+			continue
+		}
+		paths = append(paths, joinPath{
+			tables: []*schema.Table{to, from},
+			joins: []sqlast.JoinCond{{
+				Left:  sqlast.ColumnRef{Table: to.Name, Column: fk.ToColumn},
+				Right: sqlast.ColumnRef{Table: from.Name, Column: fk.FromColumn},
+			}},
+		})
+	}
+	// Three-table chains through a shared middle table.
+	for _, fk1 := range db.ForeignKeys {
+		for _, fk2 := range db.ForeignKeys {
+			if fk1.FromTable != fk2.FromTable || fk1.ToTable == fk2.ToTable ||
+				fk1.FromColumn == fk2.FromColumn {
+				continue
+			}
+			t1, mid, t2 := db.Table(fk1.ToTable), db.Table(fk1.FromTable), db.Table(fk2.ToTable)
+			if t1 == nil || mid == nil || t2 == nil {
+				continue
+			}
+			paths = append(paths, joinPath{
+				tables: []*schema.Table{t1, mid, t2},
+				joins: []sqlast.JoinCond{
+					{
+						Left:  sqlast.ColumnRef{Table: t1.Name, Column: fk1.ToColumn},
+						Right: sqlast.ColumnRef{Table: mid.Name, Column: fk1.FromColumn},
+					},
+					{
+						Left:  sqlast.ColumnRef{Table: mid.Name, Column: fk2.FromColumn},
+						Right: sqlast.ColumnRef{Table: t2.Name, Column: fk2.ToColumn},
+					},
+				},
+			})
+		}
+	}
+	return paths
+}
+
+func (g *queryGen) joinQuery() *sqlast.Query {
+	paths := g.joinPaths()
+	if len(paths) == 0 {
+		return nil
+	}
+	p := paths[g.rng.Intn(len(paths))]
+	projT := p.tables[0]
+	proj := g.randColumn(projT, 0, true)
+	if proj == nil {
+		return nil
+	}
+	sel := &sqlast.Select{
+		Items: selectOf(colRef(projT, proj)),
+		From: sqlast.From{
+			Tables: tableRefs(p.tables),
+			Joins:  p.joins,
+		},
+	}
+	last := p.tables[len(p.tables)-1]
+	switch g.rng.Intn(3) {
+	case 0:
+		if pred := g.predicate(last); pred != nil {
+			sel.Where = pred
+		}
+	case 1:
+		if key := g.randColumn(last, schema.Number, false); key != nil {
+			sel.OrderBy = []sqlast.OrderItem{{Expr: colRef(last, key), Desc: true}}
+			sel.Limit = 1
+		}
+	default:
+		// The "which X has the most Y" shape (the paper's Fig. 7).
+		sel.GroupBy = []*sqlast.ColumnRef{colRef(projT, proj)}
+		sel.OrderBy = []sqlast.OrderItem{{
+			Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}},
+			Desc: true,
+		}}
+		sel.Limit = 1
+	}
+	return &sqlast.Query{Select: sel}
+}
+
+func tableRefs(tables []*schema.Table) []sqlast.TableRef {
+	out := make([]sqlast.TableRef, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, sqlast.TableRef{Name: t.Name})
+	}
+	return out
+}
+
+// nestedIn builds SELECT c FROM t WHERE id IN (SELECT fk FROM bridge
+// WHERE pred) using an FK edge.
+func (g *queryGen) nestedIn() *sqlast.Query {
+	db := g.b.Schema
+	if len(db.ForeignKeys) == 0 {
+		return nil
+	}
+	fk := db.ForeignKeys[g.rng.Intn(len(db.ForeignKeys))]
+	outer, inner := db.Table(fk.ToTable), db.Table(fk.FromTable)
+	if outer == nil || inner == nil {
+		return nil
+	}
+	proj := g.randColumn(outer, 0, true)
+	if proj == nil {
+		return nil
+	}
+	sub := &sqlast.Query{Select: &sqlast.Select{
+		Items: selectOf(&sqlast.ColumnRef{Table: inner.Name, Column: fk.FromColumn}),
+		From:  fromTable(inner),
+	}}
+	if pred := g.predicate(inner); pred != nil && g.rng.Float64() < 0.7 {
+		sub.Select.Where = pred
+	}
+	negate := g.rng.Float64() < 0.3
+	return &sqlast.Query{Select: &sqlast.Select{
+		Items: selectOf(colRef(outer, proj)),
+		From:  fromTable(outer),
+		Where: &sqlast.In{
+			X:      &sqlast.ColumnRef{Table: outer.Name, Column: fk.ToColumn},
+			Sub:    sub,
+			Negate: negate,
+		},
+	}}
+}
+
+// scalarCompare builds SELECT c FROM t WHERE num > (SELECT AVG(num) FROM t).
+func (g *queryGen) scalarCompare() *sqlast.Query {
+	t := g.randTable()
+	proj := g.randColumn(t, schema.Text, false)
+	key := g.randColumn(t, schema.Number, false)
+	if proj == nil || key == nil {
+		return nil
+	}
+	fn := sqlast.Avg
+	op := ">"
+	if g.rng.Float64() < 0.3 {
+		fn = sqlast.Max
+		op = "="
+	}
+	sub := &sqlast.Query{Select: &sqlast.Select{
+		Items: selectOf(&sqlast.Agg{Func: fn, Arg: colRef(t, key)}),
+		From:  fromTable(t),
+	}}
+	return &sqlast.Query{Select: &sqlast.Select{
+		Items: selectOf(colRef(t, proj)),
+		From:  fromTable(t),
+		Where: &sqlast.Binary{Op: op, L: colRef(t, key), R: &sqlast.Subquery{Q: sub}},
+	}}
+}
+
+func (g *queryGen) compound() *sqlast.Query {
+	t := g.randTable()
+	proj := g.randColumn(t, 0, true)
+	if proj == nil {
+		return nil
+	}
+	p1 := g.predicate(t)
+	p2 := g.predicate(t)
+	if p1 == nil || p2 == nil {
+		return nil
+	}
+	mk := func(p sqlast.Expr) *sqlast.Query {
+		return &sqlast.Query{Select: &sqlast.Select{
+			Items: selectOf(colRef(t, proj)),
+			From:  fromTable(t),
+			Where: p,
+		}}
+	}
+	q := mk(p1)
+	q.Op = []sqlast.SetOp{sqlast.Union, sqlast.Intersect, sqlast.Except}[g.rng.Intn(3)]
+	q.Right = mk(p2)
+	return q
+}

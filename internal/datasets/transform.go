@@ -1,0 +1,218 @@
+package datasets
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// renameBundle produces a schema-renamed variant of a bundle (an
+// MT-TEQL schema transformation): every table and data column gets a
+// fresh identifier while annotations, synonyms, content and join
+// annotations are carried over, so the database means the same thing
+// under different names.
+func renameBundle(src *DBBundle, name string, rng *rand.Rand) *DBBundle {
+	tMap := map[string]string{} // lower old → new
+	cMap := map[string]string{} // lower "t.c" old → new
+
+	suffixes := []string{"_tab", "_data", "_rec", "_info"}
+	colSuffixes := []string{"_fld", "_col", "_v"}
+	db := &schema.Database{Name: name}
+	for _, t := range src.Schema.Tables {
+		newT := t.Name + suffixes[rng.Intn(len(suffixes))]
+		tMap[strings.ToLower(t.Name)] = newT
+		nt := &schema.Table{Name: newT, Annotation: annOf(t)}
+		for _, c := range t.Columns {
+			newC := c.Name + colSuffixes[rng.Intn(len(colSuffixes))]
+			cMap[strings.ToLower(t.Name)+"."+strings.ToLower(c.Name)] = newC
+			nt.Columns = append(nt.Columns, &schema.Column{
+				Name: newC, Type: c.Type, Annotation: c.NL(),
+			})
+		}
+		for _, pk := range t.PrimaryKey {
+			nt.PrimaryKey = append(nt.PrimaryKey, cMap[strings.ToLower(t.Name)+"."+strings.ToLower(pk)])
+		}
+		db.Tables = append(db.Tables, nt)
+	}
+	for _, fk := range src.Schema.ForeignKeys {
+		db.ForeignKeys = append(db.ForeignKeys, schema.ForeignKey{
+			FromTable:  tMap[strings.ToLower(fk.FromTable)],
+			FromColumn: cMap[strings.ToLower(fk.FromTable)+"."+strings.ToLower(fk.FromColumn)],
+			ToTable:    tMap[strings.ToLower(fk.ToTable)],
+			ToColumn:   cMap[strings.ToLower(fk.ToTable)+"."+strings.ToLower(fk.ToColumn)],
+		})
+	}
+	for _, ann := range src.Schema.JoinAnnotations {
+		na := &schema.JoinAnnotation{Description: ann.Description, TableKeys: ann.TableKeys}
+		for _, t := range ann.Tables {
+			na.Tables = append(na.Tables, tMap[strings.ToLower(t)])
+		}
+		for _, e := range ann.Conditions {
+			na.Conditions = append(na.Conditions, schema.JoinEdge{
+				LeftTable:   tMap[strings.ToLower(e.LeftTable)],
+				LeftColumn:  cMap[strings.ToLower(e.LeftTable)+"."+strings.ToLower(e.LeftColumn)],
+				RightTable:  tMap[strings.ToLower(e.RightTable)],
+				RightColumn: cMap[strings.ToLower(e.RightTable)+"."+strings.ToLower(e.RightColumn)],
+			})
+		}
+		db.JoinAnnotations = append(db.JoinAnnotations, na)
+	}
+
+	out := &DBBundle{
+		Schema:     db,
+		Syn:        map[string][]string{},
+		BridgeVerb: map[string]string{},
+		colKinds:   map[string]vkind{},
+	}
+	for key, syns := range src.Syn {
+		out.Syn[renameKey(key, tMap, cMap)] = syns
+	}
+	for key, verb := range src.BridgeVerb {
+		out.BridgeVerb[renameKey(key, tMap, cMap)] = verb
+	}
+	for key, k := range src.colKinds {
+		out.colKinds[renameKey(key, tMap, cMap)] = k
+	}
+
+	// Copy content under the new names.
+	in := engine.NewInstance(db)
+	for tname, td := range src.Content.Tables {
+		ntd := in.Tables[strings.ToLower(tMap[tname])]
+		if ntd == nil {
+			continue
+		}
+		ntd.Rows = append(ntd.Rows, td.Rows...)
+	}
+	out.Content = in
+	return out
+}
+
+func annOf(t *schema.Table) string {
+	if t.Annotation != "" {
+		return t.Annotation
+	}
+	return t.NL()
+}
+
+func renameKey(key string, tMap, cMap map[string]string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		t := key[:i]
+		if nc, ok := cMap[key]; ok {
+			return strings.ToLower(tMap[t]) + "." + strings.ToLower(nc)
+		}
+		return key
+	}
+	if nt, ok := tMap[key]; ok {
+		return strings.ToLower(nt)
+	}
+	return key
+}
+
+// rewriteQuery translates a query from the source bundle's identifiers
+// to the target (renamed) bundle's identifiers. It returns nil when a
+// reference cannot be mapped.
+func rewriteQuery(q *sqlast.Query, src, dst *DBBundle) *sqlast.Query {
+	bound := q.Clone()
+	if err := src.Schema.Bind(bound); err != nil {
+		return nil
+	}
+	sqlast.ResolveAliases(bound)
+
+	tMap := map[string]string{}
+	cMap := map[string]string{}
+	for i, t := range src.Schema.Tables {
+		nt := dst.Schema.Tables[i]
+		tMap[strings.ToLower(t.Name)] = nt.Name
+		for j, c := range t.Columns {
+			cMap[strings.ToLower(t.Name)+"."+strings.ToLower(c.Name)] = nt.Columns[j].Name
+		}
+	}
+	ok := true
+	sqlast.WalkQueries(bound, func(sub *sqlast.Query) {
+		s := sub.Select
+		for i := range s.From.Tables {
+			tr := &s.From.Tables[i]
+			if tr.Sub != nil {
+				continue
+			}
+			nt, found := tMap[strings.ToLower(tr.Name)]
+			if !found {
+				ok = false
+				return
+			}
+			tr.Name = nt
+		}
+		for _, c := range sqlast.SelectColumns(s) {
+			if c.IsStar() && c.Table == "" {
+				continue
+			}
+			key := strings.ToLower(c.Table) + "." + strings.ToLower(c.Column)
+			if c.IsStar() {
+				if nt, found := tMap[strings.ToLower(c.Table)]; found {
+					c.Table = nt
+				}
+				continue
+			}
+			nc, found := cMap[key]
+			if !found {
+				ok = false
+				return
+			}
+			c.Table = tMap[strings.ToLower(c.Table)]
+			c.Column = nc
+		}
+	})
+	if !ok {
+		return nil
+	}
+	if err := dst.Schema.Bind(bound); err != nil {
+		return nil
+	}
+	return bound
+}
+
+// fillValues replaces masked placeholder literals in a (generalized)
+// query with sampled content values, so the query can be phrased as a
+// concrete NL question. The query is modified in place.
+func fillValues(b *DBBundle, q *sqlast.Query, rng *rand.Rand) {
+	qg := &queryGen{b: b, rng: rng}
+	sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+		s := sub.Select
+		replace := func(lhs, rhs sqlast.Expr) {
+			lit, ok := rhs.(*sqlast.Lit)
+			if !ok || lit.Kind != sqlast.PlaceholderLit {
+				return
+			}
+			c, ok := lhs.(*sqlast.ColumnRef)
+			if !ok {
+				lit.Kind = sqlast.NumberLit
+				lit.Text = "2"
+				return
+			}
+			t, col := b.Schema.ResolveColumn(s, c)
+			if col == nil {
+				lit.Kind = sqlast.NumberLit
+				lit.Text = "1"
+				return
+			}
+			v := qg.sampleValue(t, col)
+			*lit = *v
+		}
+		walk := func(e sqlast.Expr) {
+			sqlast.WalkExprs(e, func(node sqlast.Expr) {
+				switch x := node.(type) {
+				case *sqlast.Binary:
+					replace(x.L, x.R)
+				case *sqlast.Between:
+					replace(x.X, x.Lo)
+					replace(x.X, x.Hi)
+				}
+			})
+		}
+		walk(s.Where)
+		walk(s.Having)
+	})
+}

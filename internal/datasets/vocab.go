@@ -1,0 +1,242 @@
+// Package datasets generates the four synthetic NLIDB benchmarks used by
+// the reproduction: GEO-like (one database, small train set), SPIDER-like
+// (cross-domain, many databases, four difficulty levels), MT-TEQL-like
+// (metamorphic utterance and schema transformations of the SPIDER-like
+// validation set) and QBEN-like (opaque schemas whose join semantics are
+// not inferable from identifiers). The real benchmarks are licensed
+// datasets that cannot ship with this repository; the generators
+// reproduce their *shapes* — domain splits, difficulty mixes, clause-type
+// proportions (Table 3) and join-opacity — which is what the paper's
+// experiments measure. Every generator is deterministic in its seed.
+package datasets
+
+import "repro/internal/schema"
+
+// vkind classifies the value pool an attribute draws from.
+type vkind int
+
+const (
+	vPersonName vkind = iota
+	vCityName
+	vCountryName
+	vWord     // generic category word
+	vYear     // 1990..2020
+	vSmallInt // 1..100
+	vBigInt   // 100..10000
+	vMoney    // 1000..99000
+	vCode     // AAA-style codes
+)
+
+// attr is one attribute archetype.
+type attr struct {
+	name     string // column identifier
+	nl       string // annotation (empty: derived from name)
+	synonyms []string
+	typ      schema.Type
+	kind     vkind
+}
+
+// archetype is one entity archetype; databases are composed from them.
+type archetype struct {
+	name     string // table identifier (singular)
+	synonyms []string
+	attrs    []attr
+}
+
+func num(name string, kind vkind, syns ...string) attr {
+	return attr{name: name, typ: schema.Number, kind: kind, synonyms: syns}
+}
+
+func txt(name string, kind vkind, syns ...string) attr {
+	return attr{name: name, typ: schema.Text, kind: kind, synonyms: syns}
+}
+
+// archetypes is the pool of entity archetypes; SPIDER-like databases are
+// assembled by linking archetypes together.
+var archetypes = []archetype{
+	{name: "student", synonyms: []string{"pupil"}, attrs: []attr{
+		txt("name", vPersonName, "full name"),
+		num("age", vSmallInt),
+		num("gpa", vSmallInt, "grade point average", "grade"),
+		txt("major", vWord, "field of study"),
+		txt("hometown", vCityName, "home city"),
+	}},
+	{name: "teacher", synonyms: []string{"instructor", "professor"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("subject", vWord, "discipline"),
+		num("salary", vMoney, "pay", "wage"),
+	}},
+	{name: "course", synonyms: []string{"class"}, attrs: []attr{
+		txt("title", vWord, "name"),
+		num("credits", vSmallInt, "credit hours"),
+		txt("department", vWord, "dept"),
+		num("enrollment", vBigInt, "number enrolled"),
+	}},
+	{name: "employee", synonyms: []string{"worker", "staff member"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("city", vCityName, "home city"),
+		num("salary", vMoney, "pay", "wage"),
+	}},
+	{name: "company", synonyms: []string{"firm", "corporation"}, attrs: []attr{
+		txt("company_name", vWord, "name"),
+		txt("headquarters", vCityName, "base city"),
+		num("revenue", vMoney, "income", "earnings"),
+		num("founded", vYear, "founding year", "year founded"),
+	}},
+	{name: "shop", synonyms: []string{"store", "outlet"}, attrs: []attr{
+		txt("shop_name", vWord, "name"),
+		txt("location", vCityName, "city"),
+		num("number_products", vBigInt, "number of products", "product count"),
+		num("open_year", vYear, "opening year"),
+	}},
+	{name: "product", synonyms: []string{"item", "good"}, attrs: []attr{
+		txt("product_name", vWord, "name"),
+		num("price", vMoney, "cost"),
+		txt("category", vWord, "type"),
+		num("stock", vBigInt, "quantity in stock", "inventory"),
+	}},
+	{name: "customer", synonyms: []string{"client", "buyer"}, attrs: []attr{
+		txt("name", vPersonName),
+		txt("city", vCityName, "home city"),
+		num("age", vSmallInt),
+		num("loyalty_points", vBigInt, "points"),
+	}},
+	{name: "stadium", synonyms: []string{"arena", "venue"}, attrs: []attr{
+		txt("stadium_name", vWord, "name"),
+		txt("city", vCityName, "location"),
+		num("capacity", vBigInt, "seating capacity", "seats"),
+		num("built_year", vYear, "year built"),
+	}},
+	{name: "concert", synonyms: []string{"show", "performance"}, attrs: []attr{
+		txt("concert_name", vWord, "name", "title"),
+		num("year", vYear, "hosting year"),
+		num("attendance", vBigInt, "audience size"),
+	}},
+	{name: "singer", synonyms: []string{"artist", "vocalist"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("country", vCountryName, "nationality"),
+		num("songs_released", vSmallInt, "number of songs"),
+	}},
+	{name: "driver", synonyms: []string{"racer", "pilot"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("nationality", vCountryName, "country"),
+		num("wins", vSmallInt, "victories", "races won"),
+	}},
+	{name: "race", synonyms: []string{"grand prix", "competition"}, attrs: []attr{
+		txt("race_name", vWord, "name"),
+		txt("track", vWord, "circuit"),
+		num("year", vYear, "season"),
+		num("laps", vSmallInt, "lap count"),
+	}},
+	{name: "doctor", synonyms: []string{"physician", "medic"}, attrs: []attr{
+		txt("name", vPersonName),
+		txt("specialty", vWord, "specialization", "field"),
+		num("experience_years", vSmallInt, "years of experience"),
+		num("salary", vMoney, "pay"),
+	}},
+	{name: "patient", synonyms: []string{"case"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("city", vCityName, "home city"),
+		num("visits", vSmallInt, "visit count", "number of visits"),
+	}},
+	{name: "book", synonyms: []string{"title", "volume"}, attrs: []attr{
+		txt("book_title", vWord, "title", "name"),
+		txt("genre", vWord, "category"),
+		num("pages", vBigInt, "page count", "length"),
+		num("published", vYear, "publication year", "year published"),
+	}},
+	{name: "author", synonyms: []string{"writer"}, attrs: []attr{
+		txt("name", vPersonName),
+		txt("country", vCountryName, "nationality"),
+		num("age", vSmallInt),
+		num("books_written", vSmallInt, "number of books"),
+	}},
+	{name: "movie", synonyms: []string{"film", "picture"}, attrs: []attr{
+		txt("movie_title", vWord, "title", "name"),
+		txt("genre", vWord, "category"),
+		num("release_year", vYear, "year released", "year"),
+		num("gross", vMoney, "box office", "earnings"),
+	}},
+	{name: "actor", synonyms: []string{"performer", "star"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("nationality", vCountryName, "country"),
+		num("awards", vSmallInt, "award count", "number of awards"),
+	}},
+	{name: "airline", synonyms: []string{"carrier"}, attrs: []attr{
+		txt("airline_name", vWord, "name"),
+		txt("country", vCountryName, "home country"),
+		num("fleet_size", vSmallInt, "number of planes", "planes"),
+	}},
+	{name: "airport", synonyms: []string{"airfield", "hub"}, attrs: []attr{
+		txt("airport_name", vWord, "name"),
+		txt("city", vCityName, "location"),
+		num("gates", vSmallInt, "gate count", "number of gates"),
+	}},
+	{name: "team", synonyms: []string{"club", "squad"}, attrs: []attr{
+		txt("team_name", vWord, "name"),
+		txt("home_city", vCityName, "city"),
+		num("founded", vYear, "founding year"),
+		num("championships", vSmallInt, "titles", "titles won"),
+	}},
+	{name: "player", synonyms: []string{"athlete", "sportsman"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		txt("position", vWord, "role"),
+		num("goals", vSmallInt, "goals scored", "score count"),
+	}},
+	{name: "hotel", synonyms: []string{"inn", "lodge"}, attrs: []attr{
+		txt("hotel_name", vWord, "name"),
+		txt("city", vCityName, "location"),
+		num("stars", vSmallInt, "star rating", "rating"),
+		num("rooms", vBigInt, "room count", "number of rooms"),
+	}},
+	{name: "restaurant", synonyms: []string{"diner", "eatery"}, attrs: []attr{
+		txt("restaurant_name", vWord, "name"),
+		txt("cuisine", vWord, "food type"),
+		txt("city", vCityName, "location"),
+		num("rating", vSmallInt, "score"),
+	}},
+	{name: "mechanic", synonyms: []string{"technician", "engineer"}, attrs: []attr{
+		txt("name", vPersonName),
+		num("age", vSmallInt),
+		num("certifications", vSmallInt, "certificates"),
+		num("salary", vMoney, "pay"),
+	}},
+}
+
+// bridgeNames are the identifier patterns for many-to-many bridge
+// tables and their NL verbs ("the students enrolled in the courses").
+var bridgeVerbs = []string{
+	"assigned to", "enrolled in", "belongs to", "works for", "performed at",
+	"participates in", "visits", "borrowed", "ordered", "appears in",
+	"plays for", "stays at",
+}
+
+// value pools shared by the content generator.
+var (
+	personNames = []string{
+		"George", "John", "Alice", "Bob", "Carla", "Daniel", "Emma", "Frank",
+		"Grace", "Henry", "Irene", "Jack", "Karen", "Liam", "Mona", "Nora",
+		"Oscar", "Paula", "Quinn", "Rita", "Sam", "Tina", "Victor", "Wendy",
+	}
+	cityNames = []string{
+		"Madrid", "Austin", "Bristol", "Toronto", "Lyon", "Osaka", "Porto",
+		"Denver", "Seattle", "Geneva", "Dublin", "Oslo", "Prague", "Quito",
+		"Hanoi", "Lima", "Cairo", "Perth",
+	}
+	countryNames = []string{
+		"Spain", "France", "Japan", "Canada", "Brazil", "Norway", "Egypt",
+		"Peru", "Ireland", "Vietnam", "Portugal", "Australia",
+	}
+	words = []string{
+		"falcon", "ember", "cobalt", "willow", "summit", "harbor", "meadow",
+		"quartz", "saffron", "tundra", "velvet", "zephyr", "aurora", "basil",
+		"cedar", "delta", "indigo", "jasper", "maple", "onyx",
+	}
+)

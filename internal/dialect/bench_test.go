@@ -1,0 +1,26 @@
+package dialect_test
+
+import (
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlparse"
+)
+
+// BenchmarkExpress measures dialect generation for a hard join query,
+// the per-candidate cost of the data preparation step.
+func BenchmarkExpress(b *testing.B) {
+	db := schematest.Employee()
+	builder := dialect.New(db)
+	q := sqlparse.MustParse(`SELECT T1.name FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		WHERE T2.bonus > 100 GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1`)
+	if err := db.Bind(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = builder.Express(q)
+	}
+}

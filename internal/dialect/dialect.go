@@ -1,0 +1,424 @@
+// Package dialect implements GAR's template-assisted dialect builder
+// (§III-B): a deterministic SQL-to-NL translation that renders each SQL
+// query as a stilted but semantically faithful "dialect expression". The
+// builder follows the GRAPH-NL style of the paper: each clause subtree of
+// the parse tree maps to an NL phrase, phrases are concatenated in
+// pre-order, schema annotations provide the element labels, and table
+// key information disambiguates per-row semantics ("one bonus" for a
+// compound-key table rather than "the bonus").
+//
+// With UseJoinAnnotations set (GAR-J, §IV), the builder additionally
+// labels join subtrees with the manual join annotations of the database:
+// the join path is verbalized by the annotation's Description, and
+// asterisks (COUNT(*)) are verbalized by the annotation's TableKeys.
+package dialect
+
+import (
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Builder renders SQL queries as dialect expressions for one database.
+type Builder struct {
+	DB *schema.Database
+	// UseJoinAnnotations enables GAR-J mode: join paths and asterisks
+	// are labelled with the database's join annotations when available.
+	UseJoinAnnotations bool
+}
+
+// New returns a plain GAR dialect builder for the database.
+func New(db *schema.Database) *Builder { return &Builder{DB: db} }
+
+// NewJ returns a GAR-J dialect builder that uses join annotations.
+func NewJ(db *schema.Database) *Builder {
+	return &Builder{DB: db, UseJoinAnnotations: true}
+}
+
+// Express renders the query as a dialect expression. The query should be
+// bound against the builder's database; unresolvable elements fall back
+// to their raw identifiers, so Express never fails.
+func (b *Builder) Express(q *sqlast.Query) string {
+	var sb strings.Builder
+	b.query(&sb, q)
+	return strings.TrimSpace(sb.String())
+}
+
+func (b *Builder) query(sb *strings.Builder, q *sqlast.Query) {
+	b.selectBlock(sb, q.Select)
+	if q.Op != sqlast.SetNone {
+		switch q.Op {
+		case sqlast.Intersect:
+			sb.WriteString(" Keep only the results that also appear in: ")
+		case sqlast.Union:
+			sb.WriteString(" Also include the results of: ")
+		case sqlast.Except:
+			sb.WriteString(" Exclude the results of: ")
+		}
+		b.query(sb, q.Right)
+	}
+}
+
+func (b *Builder) selectBlock(sb *strings.Builder, s *sqlast.Select) {
+	ctx := b.newContext(s)
+
+	// Sentence 1: projection over the FROM phrase.
+	sb.WriteString("Find ")
+	if s.Distinct {
+		sb.WriteString("the distinct ")
+	}
+	var items []string
+	for _, it := range s.Items {
+		items = append(items, b.valuePhrase(it.Expr, ctx))
+	}
+	sb.WriteString(joinAnd(items))
+	// Column phrases already name their owning table ("the name of
+	// employee"), so the FROM clause is verbalized separately only when
+	// it carries join or derived-table information, matching the paper's
+	// "Find the city of airports regarding to airports with flights."
+	if ctx.fromSuffix != "" {
+		sb.WriteString(" regarding to ")
+		sb.WriteString(ctx.fromSuffix)
+	}
+	sb.WriteString(".")
+
+	// Sentence 2: filtering.
+	if s.Where != nil {
+		sb.WriteString(" Return results only for ")
+		sb.WriteString(b.condPhrase(s.Where, ctx))
+		sb.WriteString(".")
+	}
+
+	// Sentence 3: grouping, ordering, limiting.
+	if len(s.OrderBy) > 0 || len(s.GroupBy) > 0 || s.Having != nil {
+		sb.WriteString(" ")
+		sb.WriteString(b.shapeSentence(s, ctx))
+	}
+}
+
+// shapeSentence renders GROUP BY / HAVING / ORDER BY / LIMIT, following
+// the paper's example: "Return the top one result for each city of
+// airports in descending order of the number of flights."
+func (b *Builder) shapeSentence(s *sqlast.Select, ctx *context) string {
+	var parts []string
+	if s.Limit > 0 {
+		if s.Limit == 1 {
+			parts = append(parts, "Return the top one result")
+		} else {
+			parts = append(parts, "Return the top "+numWord(s.Limit)+" results")
+		}
+	} else {
+		parts = append(parts, "Return results")
+	}
+	if s.Having != nil {
+		parts = append(parts, "only for "+b.condPhrase(s.Having, ctx))
+	}
+	if len(s.GroupBy) > 0 {
+		var keys []string
+		for _, g := range s.GroupBy {
+			// "for each city of airports", not "for each the city ...".
+			keys = append(keys, strings.TrimPrefix(b.columnPhrase(g, ctx), "the "))
+		}
+		parts = append(parts, "for each "+joinAnd(keys))
+	}
+	if len(s.OrderBy) > 0 {
+		var keys []string
+		desc := s.OrderBy[0].Desc
+		for _, o := range s.OrderBy {
+			keys = append(keys, b.valuePhrase(o.Expr, ctx))
+		}
+		dir := "ascending"
+		if desc {
+			dir = "descending"
+		}
+		parts = append(parts, "in "+dir+" order of "+joinAnd(keys))
+	}
+	return strings.Join(parts, " ") + "."
+}
+
+// context carries the per-block schema information the phrase generators
+// need: the FROM phrase, the join annotation (if matched) and the noun
+// describing one row of the FROM result.
+type context struct {
+	sel        *sqlast.Select
+	fromSuffix string // join/derived phrase after "regarding to"; empty for plain tables
+	rowNoun    string // what one row of the FROM result is
+	joined     bool
+	tablesNL   string // concatenated table NLs, e.g. "employee evaluation"
+}
+
+func (b *Builder) newContext(s *sqlast.Select) *context {
+	ctx := &context{sel: s}
+	tables := s.From.Tables
+	switch {
+	case len(tables) == 1 && tables[0].Sub != nil:
+		ctx.fromSuffix = "the results of (" + b.subExpress(tables[0].Sub) + ")"
+		ctx.rowNoun = "result"
+	case len(tables) == 1:
+		t := b.DB.Table(tables[0].Name)
+		name := tables[0].Name
+		if t != nil {
+			name = t.NL()
+		}
+		ctx.rowNoun = name
+		ctx.tablesNL = name
+	default:
+		ctx.joined = true
+		var names []string
+		for _, tr := range tables {
+			if tr.Sub != nil {
+				names = append(names, "subquery")
+				continue
+			}
+			if t := b.DB.Table(tr.Name); t != nil {
+				names = append(names, t.NL())
+			} else {
+				names = append(names, tr.Name)
+			}
+		}
+		ctx.tablesNL = strings.Join(names, " ")
+		if b.UseJoinAnnotations {
+			edges := schema.JoinEdges(b.DB, s)
+			if ann := b.DB.FindJoinAnnotationSubset(edges); ann != nil {
+				ctx.fromSuffix = ann.Description
+				ctx.rowNoun = ann.TableKeys
+				return ctx
+			}
+		}
+		// Plain GAR verbalizes the join mechanically from the table
+		// names: "airports with flights".
+		ctx.fromSuffix = strings.Join(names, " with ")
+		ctx.rowNoun = ctx.fromSuffix
+	}
+	return ctx
+}
+
+// subExpress renders a nested query (subquery or compound side) inline.
+func (b *Builder) subExpress(q *sqlast.Query) string {
+	var sb strings.Builder
+	b.query(&sb, q)
+	return strings.TrimSpace(sb.String())
+}
+
+// valuePhrase renders a projection or ordering expression.
+func (b *Builder) valuePhrase(e sqlast.Expr, ctx *context) string {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		if x.IsStar() {
+			return "all information of " + ctx.rowNoun
+		}
+		return b.columnPhrase(x, ctx)
+	case *sqlast.Agg:
+		return b.aggPhrase(x, ctx)
+	case *sqlast.Lit:
+		return litPhrase(x)
+	case *sqlast.Subquery:
+		return "the result of (" + b.subExpress(x.Q) + ")"
+	default:
+		return sqlast.ExprString(e)
+	}
+}
+
+// columnPhrase renders a column reference with its schema label and the
+// key-aware "one X" semantics: a non-key column of a compound-key table
+// denotes one observation, not a property of the entity.
+func (b *Builder) columnPhrase(c *sqlast.ColumnRef, ctx *context) string {
+	t, col := b.DB.ResolveColumn(ctx.sel, c)
+	if col == nil {
+		if c.Table != "" {
+			return "the " + strings.ToLower(c.Column) + " of " + strings.ToLower(c.Table)
+		}
+		return "the " + strings.ToLower(c.Column)
+	}
+	owner := t.NL()
+	if ctx.joined && t.HasCompoundKey() && !t.IsKey(col.Name) {
+		// The paper's "one bonus of the employee evaluation".
+		return "one " + col.NL() + " of the " + ctx.tablesNL
+	}
+	return "the " + col.NL() + " of " + owner
+}
+
+// aggPhrase renders an aggregate application.
+func (b *Builder) aggPhrase(a *sqlast.Agg, ctx *context) string {
+	if a.Arg.IsStar() {
+		noun := ctx.rowNoun
+		if b.UseJoinAnnotations || !ctx.joined {
+			noun = plural(noun)
+		}
+		return "the number of " + noun
+	}
+	inner := strings.TrimPrefix(b.columnPhrase(a.Arg, ctx), "the ")
+	distinct := ""
+	if a.Distinct {
+		distinct = "distinct "
+	}
+	switch a.Func {
+	case sqlast.Count:
+		return "the number of " + distinct + inner
+	case sqlast.Sum:
+		return "the total " + distinct + inner
+	case sqlast.Avg:
+		return "the average " + distinct + inner
+	case sqlast.Min:
+		return "the minimum " + distinct + inner
+	default:
+		return "the maximum " + distinct + inner
+	}
+}
+
+// condPhrase renders a boolean condition.
+func (b *Builder) condPhrase(e sqlast.Expr, ctx *context) string {
+	switch x := e.(type) {
+	case *sqlast.Binary:
+		switch x.Op {
+		case "AND":
+			return b.condPhrase(x.L, ctx) + " and " + b.condPhrase(x.R, ctx)
+		case "OR":
+			return b.condPhrase(x.L, ctx) + " or " + b.condPhrase(x.R, ctx)
+		}
+		return b.comparisonPhrase(x, ctx)
+	case *sqlast.Not:
+		return "not " + b.condPhrase(x.X, ctx)
+	case *sqlast.Between:
+		verb := "is between"
+		if x.Negate {
+			verb = "is not between"
+		}
+		return b.subjectPhrase(x.X, ctx) + " " + verb + " " +
+			b.valueOperand(x.Lo, ctx) + " and " + b.valueOperand(x.Hi, ctx)
+	case *sqlast.In:
+		verb := "is one of"
+		if x.Negate {
+			verb = "is not one of"
+		}
+		return b.subjectPhrase(x.X, ctx) + " " + verb + " (" + b.subExpress(x.Sub) + ")"
+	case *sqlast.Exists:
+		if x.Negate {
+			return "there is no result for (" + b.subExpress(x.Sub) + ")"
+		}
+		return "there is some result for (" + b.subExpress(x.Sub) + ")"
+	default:
+		return b.subjectPhrase(e, ctx)
+	}
+}
+
+func (b *Builder) comparisonPhrase(x *sqlast.Binary, ctx *context) string {
+	subject := b.subjectPhrase(x.L, ctx)
+	object := b.valueOperand(x.R, ctx)
+	switch x.Op {
+	case "=":
+		return subject + " is " + object
+	case "!=":
+		return subject + " is not " + object
+	case "<":
+		return subject + " is less than " + object
+	case "<=":
+		return subject + " is at most " + object
+	case ">":
+		return subject + " is greater than " + object
+	case ">=":
+		return subject + " is at least " + object
+	case "LIKE":
+		return subject + " contains " + object
+	case "NOT LIKE":
+		return subject + " does not contain " + object
+	default:
+		return subject + " " + strings.ToLower(x.Op) + " " + object
+	}
+}
+
+// subjectPhrase renders the left-hand side of a predicate. Following the
+// paper's GEO example ("river that length is ..."), the subject names
+// the entity and the column: "<table> that <column>".
+func (b *Builder) subjectPhrase(e sqlast.Expr, ctx *context) string {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		t, col := b.DB.ResolveColumn(ctx.sel, x)
+		if col == nil {
+			return strings.ToLower(x.Column)
+		}
+		return t.NL() + " that " + col.NL()
+	case *sqlast.Agg:
+		return b.aggPhrase(x, ctx)
+	default:
+		return b.valuePhrase(e, ctx)
+	}
+}
+
+// valueOperand renders the right-hand side of a predicate.
+func (b *Builder) valueOperand(e sqlast.Expr, ctx *context) string {
+	switch x := e.(type) {
+	case *sqlast.Lit:
+		return litPhrase(x)
+	case *sqlast.ColumnRef:
+		return b.columnPhrase(x, ctx)
+	case *sqlast.Subquery:
+		return b.scalarSubPhrase(x.Q)
+	case *sqlast.Agg:
+		return b.aggPhrase(x, ctx)
+	default:
+		return sqlast.ExprString(e)
+	}
+}
+
+// scalarSubPhrase inlines a scalar subquery the way the paper's GEO
+// example does: "the maximum length of river that river that traverse is
+// California" — the subquery's select phrase followed by its filter.
+func (b *Builder) scalarSubPhrase(q *sqlast.Query) string {
+	s := q.Select
+	ctx := b.newContext(s)
+	if len(s.Items) != 1 {
+		return "(" + b.subExpress(q) + ")"
+	}
+	phrase := b.valuePhrase(s.Items[0].Expr, ctx)
+	if s.Where != nil {
+		phrase += " that " + b.condPhrase(s.Where, ctx)
+	}
+	return phrase
+}
+
+func litPhrase(l *sqlast.Lit) string {
+	if l.Kind == sqlast.PlaceholderLit {
+		return sqlast.PlaceholderValue
+	}
+	return l.Text
+}
+
+// joinAnd joins phrases with commas and no conjunction, matching the
+// paper's flat enumeration style ("the capacity of stadium, the name of
+// stadium").
+func joinAnd(items []string) string { return strings.Join(items, ", ") }
+
+// plural naively pluralizes a noun for "the number of X" phrases.
+func plural(s string) string {
+	if s == "" || strings.HasSuffix(s, "s") {
+		return s
+	}
+	if strings.HasSuffix(s, "y") && len(s) > 1 && !isVowel(s[len(s)-2]) {
+		return s[:len(s)-1] + "ies"
+	}
+	return s + "s"
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// numWord spells out small limit counts; larger ones stay numeric.
+func numWord(n int) string {
+	words := []string{"zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten"}
+	if n >= 0 && n < len(words) {
+		return words[n]
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

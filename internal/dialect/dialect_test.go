@@ -1,0 +1,231 @@
+package dialect_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+func express(t *testing.T, b *dialect.Builder, src string) string {
+	t.Helper()
+	q := sqlparse.MustParse(src)
+	if err := b.DB.Bind(q); err != nil {
+		t.Fatalf("bind %q: %v", src, err)
+	}
+	return b.Express(q)
+}
+
+func TestFig1Dialect(t *testing.T) {
+	// The paper's running example: the gold query of Fig. 1 must produce
+	// the "one bonus" phrasing because evaluation has a compound key.
+	b := dialect.New(schematest.Employee())
+	got := express(t, b, `SELECT T1.name FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		ORDER BY T2.bonus DESC LIMIT 1`)
+	for _, want := range []string{
+		"Find the name of employee",
+		"regarding to employee with evaluation",
+		"Return the top one result",
+		"descending order of one bonus of the employee evaluation",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dialect missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "total bonus") || strings.Contains(got, "all bonus") {
+		t.Errorf("dialect must not claim total/all bonus: %s", got)
+	}
+}
+
+func TestOneVsTheSemantics(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	// bonus inside a join: compound key of evaluation → "one bonus".
+	joined := express(t, b, `SELECT T2.bonus FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id`)
+	if !strings.Contains(joined, "one bonus") {
+		t.Errorf("expected 'one bonus' in joined context: %s", joined)
+	}
+	// name of employee (single-column key) → "the name".
+	plain := express(t, b, "SELECT name FROM employee")
+	if !strings.Contains(plain, "the name of employee") {
+		t.Errorf("expected 'the name of employee': %s", plain)
+	}
+}
+
+func TestGARJFig7Dialect(t *testing.T) {
+	db := schematest.Flights()
+	gold := `SELECT T1.city FROM airports AS T1
+		JOIN flights AS T2 ON T1.airportCode = T2.destAirport
+		GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1`
+
+	// Plain GAR: mechanical join phrase; COUNT(*) counts the join noun.
+	gar := express(t, dialect.New(db), gold)
+	if !strings.Contains(gar, "regarding to airports with flights") {
+		t.Errorf("GAR join phrase wrong: %s", gar)
+	}
+	if !strings.Contains(gar, "the number of airports with flights") {
+		t.Errorf("GAR asterisk phrase wrong: %s", gar)
+	}
+
+	// GAR-J: annotation description and TableKeys drive the phrasing.
+	garj := express(t, dialect.NewJ(db), gold)
+	if !strings.Contains(garj, "the flights arrive in the airports") {
+		t.Errorf("GAR-J join annotation not used: %s", garj)
+	}
+	if !strings.Contains(garj, "the number of flights") {
+		t.Errorf("GAR-J asterisk not annotated: %s", garj)
+	}
+	if !strings.Contains(garj, "for each city of airports") {
+		t.Errorf("GROUP BY phrase missing: %s", garj)
+	}
+
+	// The two join directions must produce different dialects under
+	// GAR-J (the Fig. 7 failure mode GAR-J fixes).
+	src := strings.Replace(gold, "destAirport", "sourceAirport", 1)
+	garjSrc := express(t, dialect.NewJ(db), src)
+	if garjSrc == garj {
+		t.Error("GAR-J dialects identical for different join directions")
+	}
+	if !strings.Contains(garjSrc, "depart from") {
+		t.Errorf("source join annotation not used: %s", garjSrc)
+	}
+}
+
+func TestAggregatePhrases(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	cases := []struct{ src, want string }{
+		{"SELECT COUNT(*) FROM employee", "the number of employees"},
+		{"SELECT COUNT(DISTINCT city) FROM employee", "the number of distinct city of employee"},
+		{"SELECT SUM(bonus) FROM evaluation", "the total bonus of evaluation"},
+		{"SELECT AVG(age) FROM employee", "the average age of employee"},
+		{"SELECT MIN(age) FROM employee", "the minimum age of employee"},
+		{"SELECT MAX(age) FROM employee", "the maximum age of employee"},
+	}
+	for _, c := range cases {
+		got := express(t, b, c.src)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Express(%q) = %q, want contains %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestWherePhrases(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	cases := []struct{ src, want string }{
+		{"SELECT name FROM employee WHERE age > 30", "employee that age is greater than 30"},
+		{"SELECT name FROM employee WHERE age >= 30", "is at least 30"},
+		{"SELECT name FROM employee WHERE age < 30", "is less than 30"},
+		{"SELECT name FROM employee WHERE age <= 30", "is at most 30"},
+		{"SELECT name FROM employee WHERE city = 'Austin'", "employee that city is Austin"},
+		{"SELECT name FROM employee WHERE city != 'Austin'", "is not Austin"},
+		{"SELECT name FROM employee WHERE name LIKE '%jo%'", "contains %jo%"},
+		{"SELECT name FROM employee WHERE name NOT LIKE '%jo%'", "does not contain"},
+		{"SELECT name FROM employee WHERE age BETWEEN 20 AND 30", "is between 20 and 30"},
+		{"SELECT name FROM employee WHERE age > 20 AND city = 'Austin'", " and "},
+		{"SELECT name FROM employee WHERE age > 20 OR city = 'Austin'", " or "},
+	}
+	for _, c := range cases {
+		got := express(t, b, c.src)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Express(%q) = %q, want contains %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestSubqueryPhrases(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	got := express(t, b, `SELECT name FROM employee WHERE employee_id IN
+		(SELECT employee_id FROM evaluation WHERE bonus > 1000)`)
+	if !strings.Contains(got, "is one of (") {
+		t.Errorf("IN phrase missing: %s", got)
+	}
+	if !strings.Contains(got, "evaluation that bonus is greater than 1000") {
+		t.Errorf("nested filter missing: %s", got)
+	}
+	got = express(t, b, `SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)`)
+	if !strings.Contains(got, "is greater than the average age of employee") {
+		t.Errorf("scalar subquery phrase wrong: %s", got)
+	}
+}
+
+func TestGeoScalarSubqueryStyle(t *testing.T) {
+	// The paper's GEO example: "... river that length is the maximum
+	// length of river that river that traverse is California".
+	b := dialect.New(schematest.Geo())
+	got := express(t, b, `SELECT area FROM state WHERE population = (SELECT MAX(population) FROM state WHERE country_name = 'USA')`)
+	if !strings.Contains(got, "state that population is the maximum population of state that state that country name is USA") {
+		t.Errorf("GEO-style scalar phrase wrong: %s", got)
+	}
+}
+
+func TestCompoundPhrases(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	got := express(t, b, "SELECT city FROM employee INTERSECT SELECT location FROM shop")
+	if !strings.Contains(got, "Keep only the results that also appear in:") {
+		t.Errorf("INTERSECT phrase missing: %s", got)
+	}
+	got = express(t, b, "SELECT city FROM employee EXCEPT SELECT location FROM shop")
+	if !strings.Contains(got, "Exclude the results of:") {
+		t.Errorf("EXCEPT phrase missing: %s", got)
+	}
+	got = express(t, b, "SELECT city FROM employee UNION SELECT location FROM shop")
+	if !strings.Contains(got, "Also include the results of:") {
+		t.Errorf("UNION phrase missing: %s", got)
+	}
+}
+
+func TestPlaceholderRendering(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	q := sqlparse.MustParse("SELECT name FROM employee WHERE city = 'Austin'")
+	if err := b.DB.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+	sqlast.MaskValues(q)
+	got := b.Express(q)
+	if !strings.Contains(got, "city is value") {
+		t.Errorf("placeholder not rendered: %s", got)
+	}
+}
+
+func TestDistinctDialects(t *testing.T) {
+	// Structurally different queries must express differently.
+	b := dialect.New(schematest.Employee())
+	srcs := []string{
+		"SELECT name FROM employee",
+		"SELECT age FROM employee",
+		"SELECT name FROM employee WHERE age > 30",
+		"SELECT name FROM employee ORDER BY age DESC LIMIT 1",
+		"SELECT name FROM employee ORDER BY age LIMIT 1",
+		"SELECT city, COUNT(*) FROM employee GROUP BY city",
+		"SELECT DISTINCT city FROM employee",
+		"SELECT COUNT(DISTINCT city) FROM employee",
+	}
+	seen := map[string]string{}
+	for _, src := range srcs {
+		d := express(t, b, src)
+		if prev, ok := seen[d]; ok {
+			t.Errorf("queries %q and %q share dialect %q", prev, src, d)
+		}
+		seen[d] = src
+	}
+}
+
+func TestExpressDeterministic(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	src := "SELECT city, COUNT(*) FROM employee WHERE age > 30 GROUP BY city HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 3"
+	if express(t, b, src) != express(t, b, src) {
+		t.Error("Express is not deterministic")
+	}
+}
+
+func TestLimitWording(t *testing.T) {
+	b := dialect.New(schematest.Employee())
+	got := express(t, b, "SELECT name FROM employee ORDER BY age DESC LIMIT 3")
+	if !strings.Contains(got, "the top three results") {
+		t.Errorf("limit-3 wording wrong: %s", got)
+	}
+}

@@ -1,0 +1,32 @@
+package embed_test
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+)
+
+// BenchmarkEncode measures single-text encoding, the per-candidate cost
+// of index construction and the per-query cost of retrieval.
+func BenchmarkEncode(b *testing.B) {
+	e := embed.NewEncoder(embed.Config{Seed: 1})
+	const s = "Find the name of employee regarding to employee with evaluation. Return the top one result in descending order of one bonus of the employee evaluation."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Encode(s)
+	}
+}
+
+// BenchmarkTrainStep measures triplet-loss training throughput.
+func BenchmarkTrainStep(b *testing.B) {
+	e := embed.NewEncoder(embed.Config{Seed: 2})
+	trip := []embed.Triplet{{
+		Anchor:   "who is the oldest employee",
+		Positive: "Find the name of employee. Return the top one result in descending order of the age of employee.",
+		Negative: "Find the number of employees.",
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Train(trip, embed.TrainConfig{Epochs: 1})
+	}
+}

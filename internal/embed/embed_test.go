@@ -1,0 +1,115 @@
+package embed_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/vector"
+)
+
+func TestEncodeUnitNorm(t *testing.T) {
+	e := embed.NewEncoder(embed.Config{Seed: 1})
+	v := e.Encode("find the name of the employee")
+	if math.Abs(float64(vector.Norm(v))-1) > 1e-4 {
+		t.Errorf("embedding not unit norm: %v", vector.Norm(v))
+	}
+	if len(v) != e.Dim() {
+		t.Errorf("dimension mismatch: %d vs %d", len(v), e.Dim())
+	}
+	// Stopword-only text yields a zero embedding rather than panicking.
+	z := e.Encode("the of a")
+	if vector.Norm(z) != 0 {
+		t.Errorf("stopword-only text should encode to zero, got norm %v", vector.Norm(z))
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := embed.NewEncoder(embed.Config{Seed: 5})
+	b := embed.NewEncoder(embed.Config{Seed: 5})
+	s := "the highest one time bonus"
+	va, vb := a.Encode(s), b.Encode(s)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("same seed, different embeddings")
+		}
+	}
+}
+
+func TestLexicalOverlapGivesSimilarity(t *testing.T) {
+	// Even untrained, shared tokens must yield higher similarity than
+	// disjoint tokens (the hashed bag-of-features property).
+	e := embed.NewEncoder(embed.Config{Seed: 2})
+	same := e.Similarity("name of the employee", "find the name of employee")
+	diff := e.Similarity("name of the employee", "quantity of widget stock")
+	if same <= diff {
+		t.Errorf("overlap similarity %v not above disjoint %v", same, diff)
+	}
+}
+
+func trainingTriplets() []embed.Triplet {
+	type pair struct{ nl, dialect string }
+	pairs := []pair{
+		{"who is the oldest employee", "Find the name of employee. Return the top one result in descending order of the age of employee."},
+		{"how many employees are there", "Find the number of employees."},
+		{"average bonus of all evaluations", "Find the average bonus of evaluation."},
+		{"list the cities of employees", "Find the city of employee."},
+		{"which shops are in the center district", "Find the name of shop. Return results only for shop that district is value."},
+		{"employees younger than thirty", "Find the name of employee. Return results only for employee that age is less than value."},
+	}
+	var out []embed.Triplet
+	for i, p := range pairs {
+		for j, q := range pairs {
+			if i == j {
+				continue
+			}
+			out = append(out, embed.Triplet{Anchor: p.nl, Positive: p.dialect, Negative: q.dialect})
+		}
+	}
+	return out
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	e := embed.NewEncoder(embed.Config{Seed: 3})
+	var corpus []string
+	for _, tr := range trainingTriplets() {
+		corpus = append(corpus, tr.Anchor, tr.Positive)
+	}
+	e.FitIDF(corpus)
+	losses := e.Train(trainingTriplets(), embed.TrainConfig{Epochs: 8, LR: 0.05})
+	if len(losses) != 8 {
+		t.Fatalf("expected 8 epoch losses, got %d", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("training did not reduce loss: %v", losses)
+	}
+}
+
+func TestTrainImprovesRanking(t *testing.T) {
+	e := embed.NewEncoder(embed.Config{Seed: 4})
+	trips := trainingTriplets()
+	var corpus []string
+	for _, tr := range trips {
+		corpus = append(corpus, tr.Anchor, tr.Positive)
+	}
+	e.FitIDF(corpus)
+
+	rankErrors := func() int {
+		errs := 0
+		for _, tr := range trips {
+			if e.Similarity(tr.Anchor, tr.Positive) <= e.Similarity(tr.Anchor, tr.Negative) {
+				errs++
+			}
+		}
+		return errs
+	}
+	before := rankErrors()
+	e.Train(trips, embed.TrainConfig{Epochs: 12, LR: 0.05})
+	after := rankErrors()
+	if after > before {
+		t.Errorf("training worsened ranking: %d → %d errors", before, after)
+	}
+	if after > len(trips)/4 {
+		t.Errorf("too many ranking errors after training: %d of %d", after, len(trips))
+	}
+}

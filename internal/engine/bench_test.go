@@ -1,0 +1,47 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlparse"
+)
+
+func benchInstance() *engine.Instance {
+	in := engine.NewInstance(schematest.Employee())
+	n, s := engine.Num, engine.Str
+	for i := 0; i < 200; i++ {
+		in.MustInsert("employee", n(float64(i)), s("Name"), n(float64(20+i%40)), s("City"))
+		in.MustInsert("evaluation", n(float64(i)), s("2017"), n(float64(100*i%5000)))
+	}
+	return in
+}
+
+// BenchmarkExecJoinGroup measures the nested-loop join plus grouping
+// path of the engine.
+func BenchmarkExecJoinGroup(b *testing.B) {
+	in := benchInstance()
+	q := sqlparse.MustParse(`SELECT T1.city, COUNT(*) FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecSubquery measures correlated IN-subquery evaluation.
+func BenchmarkExecSubquery(b *testing.B) {
+	in := benchInstance()
+	q := sqlparse.MustParse(`SELECT name FROM employee WHERE employee_id IN
+		(SELECT employee_id FROM evaluation WHERE bonus > 1000)`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

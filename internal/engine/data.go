@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// TableData holds the rows of one table. Columns follow the schema order.
+type TableData struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Instance is a populated database: a schema plus per-table rows.
+type Instance struct {
+	DB     *schema.Database
+	Tables map[string]*TableData // keyed by lower-case table name
+}
+
+// NewInstance creates an empty instance for the schema with all tables
+// present (no rows).
+func NewInstance(db *schema.Database) *Instance {
+	inst := &Instance{DB: db, Tables: make(map[string]*TableData, len(db.Tables))}
+	for _, t := range db.Tables {
+		td := &TableData{}
+		for _, c := range t.Columns {
+			td.Columns = append(td.Columns, c.Name)
+		}
+		inst.Tables[strings.ToLower(t.Name)] = td
+	}
+	return inst
+}
+
+// Insert appends a row to the named table. The row length must match the
+// table's column count.
+func (in *Instance) Insert(table string, row ...Value) error {
+	td, ok := in.Tables[strings.ToLower(table)]
+	if !ok {
+		return errorf("insert into unknown table %q", table)
+	}
+	if len(row) != len(td.Columns) {
+		return errorf("insert into %s: %d values for %d columns", table, len(row), len(td.Columns))
+	}
+	td.Rows = append(td.Rows, row)
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for tests and generators.
+func (in *Instance) MustInsert(table string, row ...Value) {
+	if err := in.Insert(table, row...); err != nil {
+		panic(err)
+	}
+}
+
+// Result is the output of executing a query.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// key returns a canonical comparison key for a row.
+func rowKey(row []Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = strings.ToLower(v.String())
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// ResultsEqual compares two results. When ordered is false the rows are
+// compared as multisets; otherwise in sequence. Column names are ignored
+// (the SPIDER execution metric compares values only), but arity must
+// match.
+func ResultsEqual(a, b *Result, ordered bool) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	if len(a.Rows) > 0 && len(a.Rows[0]) != len(b.Rows[0]) {
+		return false
+	}
+	if ordered {
+		for i := range a.Rows {
+			if rowKey(a.Rows[i]) != rowKey(b.Rows[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	counts := make(map[string]int, len(a.Rows))
+	for _, r := range a.Rows {
+		counts[rowKey(r)]++
+	}
+	for _, r := range b.Rows {
+		k := rowKey(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,243 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlparse"
+)
+
+// employeeInstance populates the Fig. 1 schema with a small data set.
+func employeeInstance() *engine.Instance {
+	in := engine.NewInstance(schematest.Employee())
+	n, s := engine.Num, engine.Str
+	in.MustInsert("employee", n(1), s("George"), n(45), s("Madrid"))
+	in.MustInsert("employee", n(2), s("John"), n(32), s("Austin"))
+	in.MustInsert("employee", n(3), s("Alice"), n(28), s("Austin"))
+	in.MustInsert("employee", n(4), s("Bob"), n(51), s("Bristol"))
+	in.MustInsert("shop", n(1), s("FNAC"), s("Madrid"), s("Center"), n(120), s("Carla"))
+	in.MustInsert("shop", n(2), s("Corner"), s("Austin"), s("South"), n(45), s("Dan"))
+	in.MustInsert("hiring", n(1), n(1), s("2015"), s("T"))
+	in.MustInsert("hiring", n(2), n(2), s("2018"), s("F"))
+	in.MustInsert("hiring", n(2), n(3), s("2019"), s("T"))
+	in.MustInsert("evaluation", n(1), s("2016"), n(2000))
+	in.MustInsert("evaluation", n(1), s("2017"), n(3200))
+	in.MustInsert("evaluation", n(2), s("2017"), n(4100))
+	in.MustInsert("evaluation", n(3), s("2018"), n(1500))
+	return in
+}
+
+func exec(t *testing.T, in *engine.Instance, sql string) *engine.Result {
+	t.Helper()
+	res, err := in.Exec(sqlparse.MustParse(sql))
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func flatten(res *engine.Result) []string {
+	var out []string
+	for _, r := range res.Rows {
+		for _, v := range r {
+			out = append(out, v.String())
+		}
+	}
+	return out
+}
+
+func wantRows(t *testing.T, res *engine.Result, want ...string) {
+	t.Helper()
+	got := flatten(res)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row value %d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSimpleSelect(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT name FROM employee WHERE age > 40 ORDER BY age")
+	wantRows(t, res, "George", "Bob")
+}
+
+func TestPaperGoldQuery(t *testing.T) {
+	// "Find the name of the employee who got the highest one time bonus."
+	in := employeeInstance()
+	res := exec(t, in, `SELECT T1.name FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		ORDER BY T2.bonus DESC LIMIT 1`)
+	wantRows(t, res, "John") // John's single 4100 beats George's best 3200
+}
+
+func TestPaperIncorrectVariantsDiffer(t *testing.T) {
+	// The GAP-style mistranslation (most evaluation records) returns
+	// George, demonstrating that execution accuracy distinguishes them.
+	in := employeeInstance()
+	gap := exec(t, in, `SELECT T1.name FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		GROUP BY T2.employee_id ORDER BY COUNT(*) DESC LIMIT 1`)
+	wantRows(t, gap, "George")
+	smbop := exec(t, in, `SELECT T1.name FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		GROUP BY T2.employee_id ORDER BY SUM(T2.bonus) DESC LIMIT 1`)
+	wantRows(t, smbop, "George") // George's total 5200 beats John's 4100
+}
+
+func TestAggregates(t *testing.T) {
+	in := employeeInstance()
+	wantRows(t, exec(t, in, "SELECT COUNT(*) FROM employee"), "4")
+	wantRows(t, exec(t, in, "SELECT COUNT(DISTINCT city) FROM employee"), "3")
+	wantRows(t, exec(t, in, "SELECT SUM(bonus) FROM evaluation"), "10800")
+	wantRows(t, exec(t, in, "SELECT AVG(bonus) FROM evaluation"), "2700")
+	wantRows(t, exec(t, in, "SELECT MAX(bonus), MIN(bonus) FROM evaluation"), "4100", "1500")
+}
+
+func TestEmptyAggregates(t *testing.T) {
+	in := employeeInstance()
+	wantRows(t, exec(t, in, "SELECT COUNT(*) FROM employee WHERE age > 100"), "0")
+	wantRows(t, exec(t, in, "SELECT MAX(age) FROM employee WHERE age > 100"), "NULL")
+	wantRows(t, exec(t, in, "SELECT SUM(age) FROM employee WHERE age > 100"), "NULL")
+}
+
+func TestGroupByHaving(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT city, COUNT(*) FROM employee GROUP BY city HAVING COUNT(*) > 1")
+	wantRows(t, res, "Austin", "2")
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT employee_id FROM evaluation GROUP BY employee_id ORDER BY SUM(bonus) DESC LIMIT 1")
+	wantRows(t, res, "1")
+}
+
+func TestDistinct(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT DISTINCT city FROM employee ORDER BY city")
+	wantRows(t, res, "Austin", "Bristol", "Madrid")
+}
+
+func TestSetOps(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT city FROM employee INTERSECT SELECT location FROM shop")
+	if len(res.Rows) != 2 {
+		t.Fatalf("INTERSECT rows = %d, want 2 (%v)", len(res.Rows), flatten(res))
+	}
+	res = exec(t, in, "SELECT city FROM employee EXCEPT SELECT location FROM shop")
+	wantRows(t, res, "Bristol")
+	res = exec(t, in, "SELECT location FROM shop UNION SELECT district FROM shop")
+	if len(res.Rows) != 4 {
+		t.Fatalf("UNION rows = %d, want 4 (%v)", len(res.Rows), flatten(res))
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, `SELECT name FROM employee WHERE employee_id IN
+		(SELECT employee_id FROM evaluation WHERE bonus > 3000) ORDER BY name`)
+	wantRows(t, res, "George", "John")
+	res = exec(t, in, `SELECT name FROM employee WHERE employee_id NOT IN
+		(SELECT employee_id FROM evaluation) ORDER BY name`)
+	wantRows(t, res, "Bob")
+}
+
+func TestScalarSubquery(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee) ORDER BY name")
+	wantRows(t, res, "Bob", "George")
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, `SELECT name FROM employee AS T1 WHERE EXISTS
+		(SELECT * FROM evaluation AS T2 WHERE T2.employee_id = T1.employee_id AND T2.bonus > 3000)
+		ORDER BY name`)
+	wantRows(t, res, "George", "John")
+}
+
+func TestLikeBetween(t *testing.T) {
+	in := employeeInstance()
+	wantRows(t, exec(t, in, "SELECT name FROM employee WHERE name LIKE '%o%' ORDER BY name"),
+		"Bob", "George", "John")
+	wantRows(t, exec(t, in, "SELECT name FROM employee WHERE name LIKE '_ob'"), "Bob")
+	wantRows(t, exec(t, in, "SELECT name FROM employee WHERE age BETWEEN 30 AND 50 ORDER BY name"),
+		"George", "John")
+	wantRows(t, exec(t, in, "SELECT name FROM employee WHERE age NOT BETWEEN 30 AND 50 ORDER BY name"),
+		"Alice", "Bob")
+}
+
+func TestMultiJoin(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, `SELECT T3.shop_name FROM employee AS T1
+		JOIN hiring AS T2 ON T1.employee_id = T2.employee_id
+		JOIN shop AS T3 ON T2.shop_id = T3.shop_id
+		WHERE T1.name = 'Alice'`)
+	wantRows(t, res, "Corner")
+}
+
+func TestSelectStar(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT * FROM shop WHERE shop_id = 1")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 6 {
+		t.Fatalf("SELECT * shape wrong: %v", res.Rows)
+	}
+	res = exec(t, in, "SELECT shop.* FROM shop JOIN hiring ON shop.shop_id = hiring.shop_id WHERE hiring.employee_id = 3")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 6 {
+		t.Fatalf("SELECT shop.* shape wrong: %v", res.Rows)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	in := employeeInstance()
+	res := exec(t, in, "SELECT city FROM (SELECT city FROM employee GROUP BY city) AS sub ORDER BY city")
+	wantRows(t, res, "Austin", "Bristol", "Madrid")
+}
+
+func TestResultsEqual(t *testing.T) {
+	a := &engine.Result{Rows: [][]engine.Value{{engine.Num(1)}, {engine.Num(2)}}}
+	b := &engine.Result{Rows: [][]engine.Value{{engine.Num(2)}, {engine.Num(1)}}}
+	if !engine.ResultsEqual(a, b, false) {
+		t.Error("unordered multiset comparison failed")
+	}
+	if engine.ResultsEqual(a, b, true) {
+		t.Error("ordered comparison should fail")
+	}
+	c := &engine.Result{Rows: [][]engine.Value{{engine.Num(1)}, {engine.Num(1)}}}
+	if engine.ResultsEqual(a, c, false) {
+		t.Error("multiset with different multiplicities should differ")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	in := employeeInstance()
+	for _, src := range []string{
+		"SELECT nosuch FROM employee",
+		"SELECT name FROM nosuch",
+		"SELECT name FROM employee UNION SELECT name, age FROM employee",
+	} {
+		if _, err := in.Exec(sqlparse.MustParse(src)); err == nil {
+			t.Errorf("Exec(%q): expected error", src)
+		}
+	}
+}
+
+func TestValueSemantics(t *testing.T) {
+	if !engine.Num(3).Equal(engine.Str("3")) {
+		t.Error("numeric string should equal number")
+	}
+	if engine.NullValue().Equal(engine.NullValue()) {
+		t.Error("NULL = NULL must be false")
+	}
+	if !engine.Str("Austin").Equal(engine.Str("austin")) {
+		t.Error("string equality should be case-insensitive")
+	}
+	if engine.Num(1).Compare(engine.NullValue()) != 1 {
+		t.Error("NULL should sort first")
+	}
+}

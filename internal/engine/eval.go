@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// evalValue evaluates a value expression on a tuple. grp is non-nil when
+// the expression is evaluated in a grouped context, enabling aggregates.
+func (in *Instance) evalValue(e sqlast.Expr, row *env, grp *group) (Value, error) {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		if x.IsStar() {
+			return Value{}, errorf("'*' outside COUNT")
+		}
+		v, ok := row.lookup(key(x.Table, x.Column))
+		if !ok {
+			return Value{}, errorf("unbound column %s.%s", x.Table, x.Column)
+		}
+		return v, nil
+	case *sqlast.Lit:
+		switch x.Kind {
+		case sqlast.NumberLit:
+			f, err := strconv.ParseFloat(x.Text, 64)
+			if err != nil {
+				return Value{}, errorf("bad number %q", x.Text)
+			}
+			return Num(f), nil
+		default:
+			return Str(x.Text), nil
+		}
+	case *sqlast.Agg:
+		if grp == nil {
+			return Value{}, errorf("aggregate %s outside grouped context", x.Func)
+		}
+		return in.evalAgg(x, grp)
+	case *sqlast.Subquery:
+		res, err := in.execQuery(x.Q, row)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(res.Rows) == 0 {
+			return NullValue(), nil
+		}
+		if len(res.Rows[0]) != 1 {
+			return Value{}, errorf("scalar subquery returns %d columns", len(res.Rows[0]))
+		}
+		return res.Rows[0][0], nil
+	default:
+		return Value{}, errorf("unexpected expression %T in value position", e)
+	}
+}
+
+func (in *Instance) evalAgg(a *sqlast.Agg, grp *group) (Value, error) {
+	var vals []Value
+	for _, r := range grp.rows {
+		if a.Arg.IsStar() {
+			vals = append(vals, Num(1))
+			continue
+		}
+		v, ok := r.lookup(key(a.Arg.Table, a.Arg.Column))
+		if !ok {
+			return Value{}, errorf("unbound aggregate column %s.%s", a.Arg.Table, a.Arg.Column)
+		}
+		if v.Null {
+			continue // SQL aggregates skip NULLs
+		}
+		vals = append(vals, v)
+	}
+	if a.Distinct {
+		seen := map[string]bool{}
+		uniq := vals[:0]
+		for _, v := range vals {
+			k := strings.ToLower(v.String())
+			if !seen[k] {
+				seen[k] = true
+				uniq = append(uniq, v)
+			}
+		}
+		vals = uniq
+	}
+	switch a.Func {
+	case sqlast.Count:
+		return Num(float64(len(vals))), nil
+	case sqlast.Sum, sqlast.Avg:
+		if len(vals) == 0 {
+			return NullValue(), nil
+		}
+		total := 0.0
+		for _, v := range vals {
+			f, ok := v.asNum()
+			if !ok {
+				return Value{}, errorf("%s over non-numeric value %q", a.Func, v)
+			}
+			total += f
+		}
+		if a.Func == sqlast.Avg {
+			return Num(total / float64(len(vals))), nil
+		}
+		return Num(total), nil
+	case sqlast.Min, sqlast.Max:
+		if len(vals) == 0 {
+			return NullValue(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := v.Compare(best)
+			if a.Func == sqlast.Min && c < 0 || a.Func == sqlast.Max && c > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Value{}, errorf("unknown aggregate %q", a.Func)
+	}
+}
+
+// evalPred evaluates a boolean condition on a tuple.
+func (in *Instance) evalPred(e sqlast.Expr, row *env, grp *group) (bool, error) {
+	switch x := e.(type) {
+	case *sqlast.Binary:
+		switch x.Op {
+		case "AND":
+			l, err := in.evalPred(x.L, row, grp)
+			if err != nil || !l {
+				return false, err
+			}
+			return in.evalPred(x.R, row, grp)
+		case "OR":
+			l, err := in.evalPred(x.L, row, grp)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return in.evalPred(x.R, row, grp)
+		}
+		lv, err := in.evalValue(x.L, row, grp)
+		if err != nil {
+			return false, err
+		}
+		rv, err := in.evalValue(x.R, row, grp)
+		if err != nil {
+			return false, err
+		}
+		switch x.Op {
+		case "=":
+			return lv.Equal(rv), nil
+		case "!=":
+			if lv.Null || rv.Null {
+				return false, nil
+			}
+			return !lv.Equal(rv), nil
+		case "<", "<=", ">", ">=":
+			if lv.Null || rv.Null {
+				return false, nil
+			}
+			c := lv.Compare(rv)
+			switch x.Op {
+			case "<":
+				return c < 0, nil
+			case "<=":
+				return c <= 0, nil
+			case ">":
+				return c > 0, nil
+			default:
+				return c >= 0, nil
+			}
+		case "LIKE":
+			return lv.Like(rv), nil
+		case "NOT LIKE":
+			if lv.Null || rv.Null {
+				return false, nil
+			}
+			return !lv.Like(rv), nil
+		default:
+			return false, errorf("unknown operator %q", x.Op)
+		}
+	case *sqlast.Not:
+		v, err := in.evalPred(x.X, row, grp)
+		return !v, err
+	case *sqlast.Between:
+		v, err := in.evalValue(x.X, row, grp)
+		if err != nil {
+			return false, err
+		}
+		lo, err := in.evalValue(x.Lo, row, grp)
+		if err != nil {
+			return false, err
+		}
+		hi, err := in.evalValue(x.Hi, row, grp)
+		if err != nil {
+			return false, err
+		}
+		if v.Null || lo.Null || hi.Null {
+			return false, nil
+		}
+		ok := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+		if x.Negate {
+			ok = !ok
+		}
+		return ok, nil
+	case *sqlast.In:
+		v, err := in.evalValue(x.X, row, grp)
+		if err != nil {
+			return false, err
+		}
+		res, err := in.execQuery(x.Sub, row)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for _, r := range res.Rows {
+			if len(r) != 1 {
+				return false, errorf("IN subquery returns %d columns", len(r))
+			}
+			if v.Equal(r[0]) {
+				found = true
+				break
+			}
+		}
+		if x.Negate {
+			return !found, nil
+		}
+		return found, nil
+	case *sqlast.Exists:
+		res, err := in.execQuery(x.Sub, row)
+		if err != nil {
+			return false, err
+		}
+		found := len(res.Rows) > 0
+		if x.Negate {
+			return !found, nil
+		}
+		return found, nil
+	default:
+		return false, errorf("unexpected expression %T in boolean position", e)
+	}
+}

@@ -1,0 +1,398 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// Exec executes a query against the instance and returns its result.
+// The query is cloned and bound against the instance's schema first, so
+// callers may pass queries with unqualified or aliased column references.
+func (in *Instance) Exec(q *sqlast.Query) (*Result, error) {
+	bound := q.Clone()
+	if err := in.DB.Bind(bound); err != nil {
+		return nil, err
+	}
+	return in.execQuery(bound, nil)
+}
+
+// env is one working tuple: qualified column name → value, chained to
+// the enclosing query's tuple for correlated subqueries.
+type env struct {
+	vals   map[string]Value
+	parent *env
+}
+
+func (e *env) lookup(key string) (Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vals[key]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// scopeCol records one visible column of a FROM clause, for asterisk
+// expansion, in declaration order.
+type scopeCol struct {
+	qual, col string // lower-case qualifier and column
+}
+
+func key(qual, col string) string { return strings.ToLower(qual) + "." + strings.ToLower(col) }
+
+func (in *Instance) execQuery(q *sqlast.Query, outer *env) (*Result, error) {
+	left, err := in.execSelect(q.Select, outer)
+	if err != nil {
+		return nil, err
+	}
+	if q.Op == sqlast.SetNone {
+		return left, nil
+	}
+	right, err := in.execQuery(q.Right, outer)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.Rows) > 0 && len(right.Rows) > 0 && len(left.Rows[0]) != len(right.Rows[0]) {
+		return nil, errorf("set operation arity mismatch")
+	}
+	rightSet := make(map[string]bool, len(right.Rows))
+	for _, r := range right.Rows {
+		rightSet[rowKey(r)] = true
+	}
+	out := &Result{Columns: left.Columns}
+	seen := map[string]bool{}
+	appendRow := func(r []Value) {
+		k := rowKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	switch q.Op {
+	case sqlast.Union:
+		for _, r := range left.Rows {
+			appendRow(r)
+		}
+		for _, r := range right.Rows {
+			appendRow(r)
+		}
+	case sqlast.Intersect:
+		for _, r := range left.Rows {
+			if rightSet[rowKey(r)] {
+				appendRow(r)
+			}
+		}
+	case sqlast.Except:
+		for _, r := range left.Rows {
+			if !rightSet[rowKey(r)] {
+				appendRow(r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (in *Instance) execSelect(s *sqlast.Select, outer *env) (*Result, error) {
+	rows, scope, err := in.buildFrom(s, outer)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE.
+	if s.Where != nil {
+		filtered := rows[:0:0]
+		for _, r := range rows {
+			ok, err := in.evalPred(s.Where, r, nil)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	grouped := len(s.GroupBy) > 0 || selectHasAgg(s)
+	type outRow struct {
+		rep  *env
+		grp  *group
+		keys []Value // order keys
+		proj []Value
+	}
+	var outs []outRow
+
+	if grouped {
+		groups, err := in.groupRows(s, rows)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			rep := &env{vals: map[string]Value{}}
+			if len(g.rows) > 0 {
+				rep = g.rows[0]
+			}
+			if s.Having != nil {
+				ok, err := in.evalPred(s.Having, rep, g)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			outs = append(outs, outRow{rep: rep, grp: g})
+		}
+	} else {
+		for _, r := range rows {
+			outs = append(outs, outRow{rep: r})
+		}
+	}
+
+	// Order keys and projections are computed from the same tuple/group.
+	for i := range outs {
+		o := &outs[i]
+		for _, ob := range s.OrderBy {
+			v, err := in.evalValue(ob.Expr, o.rep, o.grp)
+			if err != nil {
+				return nil, err
+			}
+			o.keys = append(o.keys, v)
+		}
+		proj, err := in.project(s, o.rep, o.grp, scope)
+		if err != nil {
+			return nil, err
+		}
+		o.proj = proj
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k, ob := range s.OrderBy {
+				c := outs[i].keys[k].Compare(outs[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	res := &Result{Columns: projColumns(s, scope)}
+	seen := map[string]bool{}
+	for _, o := range outs {
+		if s.Distinct {
+			k := rowKey(o.proj)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		res.Rows = append(res.Rows, o.proj)
+		if s.Limit > 0 && len(res.Rows) >= s.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// buildFrom materializes the FROM clause as a list of tuples and the
+// visible column scope.
+func (in *Instance) buildFrom(s *sqlast.Select, outer *env) ([]*env, []scopeCol, error) {
+	var rows []*env
+	var scope []scopeCol
+	for i := range s.From.Tables {
+		tr := &s.From.Tables[i]
+		qual := tr.Alias
+		var cols []string
+		var data [][]Value
+		if tr.Sub != nil {
+			sub, err := in.execQuery(tr.Sub, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			cols, data = sub.Columns, sub.Rows
+			if qual == "" {
+				qual = "subquery"
+			}
+		} else {
+			td, ok := in.Tables[strings.ToLower(tr.Name)]
+			if !ok {
+				return nil, nil, errorf("no data for table %q", tr.Name)
+			}
+			cols, data = td.Columns, td.Rows
+			if qual == "" {
+				qual = tr.Name
+			}
+		}
+		for _, c := range cols {
+			scope = append(scope, scopeCol{qual: strings.ToLower(qual), col: strings.ToLower(c)})
+		}
+		if i == 0 {
+			for _, dr := range data {
+				rows = append(rows, bindRow(nil, outer, qual, cols, dr))
+			}
+			continue
+		}
+		join := s.From.Joins[i-1]
+		var next []*env
+		for _, left := range rows {
+			for _, dr := range data {
+				combined := bindRow(left, outer, qual, cols, dr)
+				lv, err := in.evalValue(&join.Left, combined, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				rv, err := in.evalValue(&join.Right, combined, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				if lv.Equal(rv) {
+					next = append(next, combined)
+				}
+			}
+		}
+		rows = next
+	}
+	return rows, scope, nil
+}
+
+// bindRow creates a tuple extending base (same query block) with the
+// columns of one source row; outer is the enclosing query's tuple.
+func bindRow(base *env, outer *env, qual string, cols []string, row []Value) *env {
+	e := &env{vals: make(map[string]Value, len(cols)+16), parent: outer}
+	if base != nil {
+		for k, v := range base.vals {
+			e.vals[k] = v
+		}
+	}
+	for i, c := range cols {
+		e.vals[key(qual, c)] = row[i]
+	}
+	return e
+}
+
+// group is one GROUP BY bucket.
+type group struct{ rows []*env }
+
+func (in *Instance) groupRows(s *sqlast.Select, rows []*env) ([]*group, error) {
+	if len(s.GroupBy) == 0 {
+		// Implicit single group (aggregate without GROUP BY). An empty
+		// input still yields one group so COUNT(*) returns 0.
+		return []*group{{rows: rows}}, nil
+	}
+	index := map[string]int{}
+	var groups []*group
+	for _, r := range rows {
+		var parts []string
+		for _, gc := range s.GroupBy {
+			v, err := in.evalValue(gc, r, nil)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, strings.ToLower(v.String()))
+		}
+		k := strings.Join(parts, "\x1f")
+		if gi, ok := index[k]; ok {
+			groups[gi].rows = append(groups[gi].rows, r)
+		} else {
+			index[k] = len(groups)
+			groups = append(groups, &group{rows: []*env{r}})
+		}
+	}
+	return groups, nil
+}
+
+func selectHasAgg(s *sqlast.Select) bool {
+	has := false
+	check := func(e sqlast.Expr) {
+		sqlast.WalkExprs(e, func(n sqlast.Expr) {
+			if _, ok := n.(*sqlast.Agg); ok {
+				has = true
+			}
+		})
+	}
+	for _, it := range s.Items {
+		check(it.Expr)
+	}
+	for _, ob := range s.OrderBy {
+		check(ob.Expr)
+	}
+	check(s.Having)
+	return has
+}
+
+func (in *Instance) project(s *sqlast.Select, rep *env, grp *group, scope []scopeCol) ([]Value, error) {
+	// SELECT * expands the full scope.
+	if len(s.Items) == 1 {
+		if c, ok := s.Items[0].Expr.(*sqlast.ColumnRef); ok && c.IsStar() && c.Table == "" {
+			var out []Value
+			for _, sc := range scope {
+				v, ok := rep.lookup(sc.qual + "." + sc.col)
+				if !ok {
+					return nil, errorf("internal: scope column %s.%s missing", sc.qual, sc.col)
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		}
+	}
+	var out []Value
+	for _, it := range s.Items {
+		if c, ok := it.Expr.(*sqlast.ColumnRef); ok && c.IsStar() && c.Table != "" {
+			q := strings.ToLower(c.Table)
+			for _, sc := range scope {
+				if sc.qual != q {
+					continue
+				}
+				v, _ := rep.lookup(sc.qual + "." + sc.col)
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := in.evalValue(it.Expr, rep, grp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func projColumns(s *sqlast.Select, scope []scopeCol) []string {
+	if len(s.Items) == 1 {
+		if c, ok := s.Items[0].Expr.(*sqlast.ColumnRef); ok && c.IsStar() && c.Table == "" {
+			var cols []string
+			for _, sc := range scope {
+				cols = append(cols, sc.col)
+			}
+			return cols
+		}
+	}
+	var cols []string
+	for _, it := range s.Items {
+		if c, ok := it.Expr.(*sqlast.ColumnRef); ok {
+			if c.IsStar() && c.Table != "" {
+				// "t.*" expands to all of t's columns; the result header
+				// must match the row arity.
+				q := strings.ToLower(c.Table)
+				for _, sc := range scope {
+					if sc.qual == q {
+						cols = append(cols, sc.col)
+					}
+				}
+				continue
+			}
+			if !c.IsStar() {
+				cols = append(cols, strings.ToLower(c.Column))
+				continue
+			}
+		}
+		cols = append(cols, strings.ToLower(sqlast.ExprString(it.Expr)))
+	}
+	return cols
+}

@@ -1,0 +1,178 @@
+package engine_test
+
+import (
+	"math/rand"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+// refLike is a reference implementation of SQL LIKE via regexp.
+func refLike(s, pattern string) bool {
+	var re strings.Builder
+	re.WriteString("(?is)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			re.WriteString(".*")
+		case '_':
+			re.WriteString(".")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	re.WriteString("$")
+	return regexp.MustCompile(re.String()).MatchString(s)
+}
+
+// TestLikeMatchesReference checks the engine's DP LIKE matcher against
+// the regexp reference on random strings and patterns.
+func TestLikeMatchesReference(t *testing.T) {
+	alphabet := []byte("ab%_")
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			mk := func(n int, allowWild bool) string {
+				var b []byte
+				for i := 0; i < n; i++ {
+					c := alphabet[rng.Intn(len(alphabet))]
+					if !allowWild && (c == '%' || c == '_') {
+						c = 'a'
+					}
+					b = append(b, c)
+				}
+				return string(b)
+			}
+			vals[0] = reflect.ValueOf(mk(rng.Intn(8), false))
+			vals[1] = reflect.ValueOf(mk(rng.Intn(6), true))
+		},
+	}
+	if err := quick.Check(func(s, pattern string) bool {
+		got := engine.Str(s).Like(engine.Str(pattern))
+		want := refLike(s, pattern)
+		if got != want {
+			t.Logf("Like(%q, %q) = %v, want %v", s, pattern, got, want)
+		}
+		return got == want
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomRows builds random small result sets for comparison properties.
+func randomRows(rng *rand.Rand) *engine.Result {
+	n := rng.Intn(5)
+	res := &engine.Result{}
+	for i := 0; i < n; i++ {
+		res.Rows = append(res.Rows, []engine.Value{
+			engine.Num(float64(rng.Intn(3))),
+			engine.Str(string(rune('a' + rng.Intn(3)))),
+		})
+	}
+	return res
+}
+
+// TestResultsEqualProperties: reflexive and symmetric, and permutation
+// invariant when unordered.
+func TestResultsEqualProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomRows(rng))
+			vals[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(func(a *engine.Result, seed int64) bool {
+		if !engine.ResultsEqual(a, a, true) || !engine.ResultsEqual(a, a, false) {
+			return false
+		}
+		// Shuffle a copy: unordered comparison must still hold.
+		rng := rand.New(rand.NewSource(seed))
+		b := &engine.Result{Rows: append([][]engine.Value(nil), a.Rows...)}
+		rng.Shuffle(len(b.Rows), func(i, j int) { b.Rows[i], b.Rows[j] = b.Rows[j], b.Rows[i] })
+		if !engine.ResultsEqual(a, b, false) {
+			return false
+		}
+		return engine.ResultsEqual(a, b, false) == engine.ResultsEqual(b, a, false)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValueCompareProperties: Compare is antisymmetric and consistent
+// with Equal for non-null values.
+func TestValueCompareProperties(t *testing.T) {
+	mkValue := func(rng *rand.Rand) engine.Value {
+		switch rng.Intn(3) {
+		case 0:
+			return engine.Num(float64(rng.Intn(5)))
+		case 1:
+			return engine.Str(string(rune('a' + rng.Intn(4))))
+		default:
+			return engine.Str(string(rune('0' + rng.Intn(5)))) // numeric string
+		}
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(mkValue(rng))
+			vals[1] = reflect.ValueOf(mkValue(rng))
+		},
+	}
+	if err := quick.Check(func(a, b engine.Value) bool {
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		if a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		// Equal implies Compare == 0 (numeric strings compare numerically
+		// in both).
+		if a.Equal(b) && a.Compare(b) != 0 {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetOpProperties: INTERSECT ⊆ both sides; EXCEPT ∩ right = ∅;
+// UNION ⊇ both sides — checked through the engine itself.
+func TestSetOpProperties(t *testing.T) {
+	in := employeeInstance()
+	union := exec(t, in, "SELECT city FROM employee UNION SELECT location FROM shop")
+	inter := exec(t, in, "SELECT city FROM employee INTERSECT SELECT location FROM shop")
+	except := exec(t, in, "SELECT city FROM employee EXCEPT SELECT location FROM shop")
+	left := exec(t, in, "SELECT DISTINCT city FROM employee")
+
+	has := func(res *engine.Result, v string) bool {
+		for _, r := range res.Rows {
+			if strings.EqualFold(r[0].String(), v) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range inter.Rows {
+		if !has(union, r[0].String()) || !has(left, r[0].String()) {
+			t.Errorf("INTERSECT row %v outside operands", r)
+		}
+		if has(except, r[0].String()) {
+			t.Errorf("row %v in both INTERSECT and EXCEPT", r)
+		}
+	}
+	for _, r := range left.Rows {
+		if !has(union, r[0].String()) {
+			t.Errorf("UNION missing left row %v", r)
+		}
+	}
+	if len(inter.Rows)+len(except.Rows) != len(left.Rows) {
+		t.Errorf("INTERSECT (%d) + EXCEPT (%d) != DISTINCT left (%d)",
+			len(inter.Rows), len(except.Rows), len(left.Rows))
+	}
+}

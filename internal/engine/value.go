@@ -1,0 +1,146 @@
+// Package engine implements a small in-memory relational engine that
+// executes the SQL subset of package sqlast against tabular data. GAR
+// uses it to measure execution accuracy: the predicted and the gold query
+// are both executed and their result multisets compared. The engine is a
+// straightforward tree-walking interpreter — nested-loop joins, hash
+// grouping — which is ample for benchmark-sized tables.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a SQL value: NULL, a number, or a string.
+type Value struct {
+	Null  bool
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+// Null value singleton-ish constructor.
+func NullValue() Value { return Value{Null: true} }
+
+// Num builds a numeric value.
+func Num(f float64) Value { return Value{IsNum: true, Num: f} }
+
+// Str builds a string value.
+func Str(s string) Value { return Value{Str: s} }
+
+// String renders the value for result display and comparison keys.
+func (v Value) String() string {
+	switch {
+	case v.Null:
+		return "NULL"
+	case v.IsNum:
+		// Trim trailing zeros so 3 and 3.0 compare equal.
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	default:
+		return v.Str
+	}
+}
+
+// Equal reports SQL equality. NULL never equals anything; strings compare
+// case-insensitively (matching how SPIDER's execution comparison treats
+// text values).
+func (v Value) Equal(o Value) bool {
+	if v.Null || o.Null {
+		return false
+	}
+	if v.IsNum && o.IsNum {
+		return v.Num == o.Num
+	}
+	if v.IsNum != o.IsNum {
+		// Numeric strings compare numerically with numbers.
+		a, aok := v.asNum()
+		b, bok := o.asNum()
+		if aok && bok {
+			return a == b
+		}
+		return false
+	}
+	return strings.EqualFold(v.Str, o.Str)
+}
+
+// Compare returns -1, 0 or 1; NULL sorts before everything.
+func (v Value) Compare(o Value) int {
+	switch {
+	case v.Null && o.Null:
+		return 0
+	case v.Null:
+		return -1
+	case o.Null:
+		return 1
+	}
+	a, aok := v.asNum()
+	b, bok := o.asNum()
+	if aok && bok {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	x, y := strings.ToLower(v.Str), strings.ToLower(o.Str)
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (v Value) asNum() (float64, bool) {
+	if v.Null {
+		return 0, false
+	}
+	if v.IsNum {
+		return v.Num, true
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+	return f, err == nil
+}
+
+// Like implements SQL LIKE with % and _ wildcards, case-insensitively.
+func (v Value) Like(pattern Value) bool {
+	if v.Null || pattern.Null {
+		return false
+	}
+	return likeMatch(strings.ToLower(v.String()), strings.ToLower(pattern.String()))
+}
+
+func likeMatch(s, p string) bool {
+	// Dynamic programming over the pattern; patterns are short.
+	n, m := len(s), len(p)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		c := p[j]
+		if c == '%' {
+			for i := 1; i <= n; i++ {
+				dp[i] = dp[i] || dp[i-1]
+			}
+			continue
+		}
+		prevDiag := dp[0]
+		dp[0] = false
+		for i := 1; i <= n; i++ {
+			cur := dp[i]
+			dp[i] = prevDiag && (c == '_' || s[i-1] == c)
+			prevDiag = cur
+		}
+	}
+	return dp[n]
+}
+
+// errorf builds engine errors with a uniform prefix.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("engine: "+format, args...)
+}

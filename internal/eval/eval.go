@@ -1,0 +1,206 @@
+// Package eval implements the evaluation harness: the metrics of §V-A4
+// (translation accuracy, execution accuracy, Precision@K, MRR), the
+// per-difficulty and per-clause-type breakdowns, latency measurement and
+// GAR's per-stage error attribution (Table 9). It also encodes the
+// paper's sample-query protocol (§V-A3): for SPIDER and GEO the sample
+// set is the generalization of the evaluation golds with the golds ruled
+// out; for MT-TEQL and QBEN the given sample sets are used directly.
+package eval
+
+import (
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/engine"
+	"repro/internal/hardness"
+	"repro/internal/norm"
+	"repro/internal/sqlast"
+)
+
+// ItemResult is the outcome of translating one benchmark item.
+type ItemResult struct {
+	Item  datasets.Item
+	Level hardness.Level
+	Tags  hardness.ClauseTags
+	// Correct is top-1 exact match; ExecCorrect compares execution
+	// results of the prediction and the gold on the database content.
+	Correct     bool
+	ExecCorrect bool
+	// GoldRank is the 1-based rank of the gold query in the top-10
+	// ranked results; 0 when absent (GAR only).
+	GoldRank int
+	Latency  time.Duration
+	// Stage attribution (GAR only).
+	PrepMiss, RetrievalMiss, RerankMiss bool
+	// NA marks items a system could not attempt (e.g. content-dependent
+	// models on benchmarks that hide the databases).
+	NA bool
+}
+
+// Result aggregates the item results of one system on one split.
+type Result struct {
+	System string
+	Items  []ItemResult
+}
+
+// NA reports whether the whole run was not applicable.
+func (r *Result) NA() bool {
+	if len(r.Items) == 0 {
+		return true
+	}
+	for _, it := range r.Items {
+		if !it.NA {
+			return false
+		}
+	}
+	return true
+}
+
+// Overall is the translation accuracy over all items.
+func (r *Result) Overall() float64 {
+	return ratio(r.Items, func(it ItemResult) bool { return it.Correct })
+}
+
+// Exec is the execution accuracy over all items.
+func (r *Result) Exec() float64 {
+	return ratio(r.Items, func(it ItemResult) bool { return it.ExecCorrect })
+}
+
+// ByLevel breaks translation accuracy down by difficulty.
+func (r *Result) ByLevel() map[hardness.Level]float64 {
+	out := map[hardness.Level]float64{}
+	for _, lvl := range hardness.Levels {
+		out[lvl] = ratio(filter(r.Items, func(it ItemResult) bool { return it.Level == lvl }),
+			func(it ItemResult) bool { return it.Correct })
+	}
+	return out
+}
+
+// LevelCounts returns how many items fall in each difficulty.
+func (r *Result) LevelCounts() map[hardness.Level]int {
+	out := map[hardness.Level]int{}
+	for _, it := range r.Items {
+		out[it.Level]++
+	}
+	return out
+}
+
+// ByTag breaks translation accuracy down by the Table 5 clause types.
+func (r *Result) ByTag() map[string]float64 {
+	sel := map[string]func(ItemResult) bool{
+		"Nested":   func(it ItemResult) bool { return it.Tags.Nested },
+		"Negation": func(it ItemResult) bool { return it.Tags.Negation },
+		"ORDERBY":  func(it ItemResult) bool { return it.Tags.OrderBy },
+		"GROUPBY":  func(it ItemResult) bool { return it.Tags.GroupBy },
+		"Others":   func(it ItemResult) bool { return it.Tags.Others },
+	}
+	out := map[string]float64{}
+	for name, pred := range sel {
+		out[name] = ratio(filter(r.Items, pred), func(it ItemResult) bool { return it.Correct })
+	}
+	return out
+}
+
+// PrecisionAt computes Precision@K: the fraction of items whose gold
+// appears in the top-K ranked results.
+func (r *Result) PrecisionAt(k int) float64 {
+	return ratio(r.Items, func(it ItemResult) bool { return it.GoldRank > 0 && it.GoldRank <= k })
+}
+
+// MRR computes the mean reciprocal rank over the top-10 results, with
+// rank 0 (absent) contributing 0 per the paper.
+func (r *Result) MRR() float64 {
+	if len(r.Items) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, it := range r.Items {
+		if it.GoldRank > 0 {
+			sum += 1 / float64(it.GoldRank)
+		}
+	}
+	return sum / float64(len(r.Items))
+}
+
+// AvgLatencyByLevel averages translation latency per difficulty level.
+func (r *Result) AvgLatencyByLevel() map[hardness.Level]time.Duration {
+	sums := map[hardness.Level]time.Duration{}
+	counts := map[hardness.Level]int{}
+	for _, it := range r.Items {
+		sums[it.Level] += it.Latency
+		counts[it.Level]++
+	}
+	out := map[hardness.Level]time.Duration{}
+	for lvl, sum := range sums {
+		out[lvl] = sum / time.Duration(counts[lvl])
+	}
+	return out
+}
+
+// MissCounts returns the Table 9 stage-attribution counts.
+func (r *Result) MissCounts() (prep, retrieval, rerank int) {
+	for _, it := range r.Items {
+		switch {
+		case it.PrepMiss:
+			prep++
+		case it.RetrievalMiss:
+			retrieval++
+		case it.RerankMiss:
+			rerank++
+		}
+	}
+	return
+}
+
+func ratio(items []ItemResult, pred func(ItemResult) bool) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	n := 0
+	for _, it := range items {
+		if pred(it) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(items))
+}
+
+func filter(items []ItemResult, pred func(ItemResult) bool) []ItemResult {
+	var out []ItemResult
+	for _, it := range items {
+		if pred(it) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// execMatch executes the prediction and gold on the content and
+// compares results. Ordered comparison applies when the gold orders.
+func execMatch(content *engine.Instance, pred, gold *sqlast.Query) bool {
+	if pred == nil || content == nil {
+		return false
+	}
+	goldRes, err := content.Exec(gold)
+	if err != nil {
+		return false
+	}
+	predRes, err := content.Exec(pred)
+	if err != nil {
+		return false
+	}
+	return engine.ResultsEqual(goldRes, predRes, hardness.HasOrderBy(gold))
+}
+
+// classify fills the shared fields of an item result.
+func classify(it datasets.Item) ItemResult {
+	return ItemResult{
+		Item:  it,
+		Level: hardness.Classify(it.Gold),
+		Tags:  hardness.Tags(it.Gold),
+	}
+}
+
+// exactMatch checks the top prediction against the gold under the
+// benchmark normalization.
+func exactMatch(pred, gold *sqlast.Query) bool { return norm.ExactMatch(pred, gold) }

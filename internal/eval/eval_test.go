@@ -1,0 +1,96 @@
+package eval_test
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+)
+
+// smallSpider builds a small SPIDER-like benchmark shared by the tests.
+func smallSpider(t *testing.T) *datasets.Benchmark {
+	t.Helper()
+	return datasets.SpiderLike(datasets.SpiderConfig{
+		TrainDBs: 6, ValDBs: 3, TrainPerDB: 40, ValPerDB: 25, Seed: 11,
+	})
+}
+
+func garOpts() core.Options {
+	return core.Options{
+		GeneralizeSize: 4000,
+		RetrievalK:     60,
+		Seed:           21,
+		EncoderEpochs:  10,
+		RerankEpochs:   16,
+	}
+}
+
+func TestGARRunnerOnSpider(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline evaluation")
+	}
+	bench := smallSpider(t)
+	runner, err := eval.NewGARRunner(bench, bench, garOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Evaluate("GAR", bench.Val, eval.SamplesFromGeneralization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != len(bench.Val) {
+		t.Fatalf("evaluated %d of %d items", len(res.Items), len(bench.Val))
+	}
+	overall := res.Overall()
+	t.Logf("GAR overall=%.3f exec=%.3f P@1=%.3f P@3=%.3f P@10=%.3f MRR=%.3f",
+		overall, res.Exec(), res.PrecisionAt(1), res.PrecisionAt(3), res.PrecisionAt(10), res.MRR())
+	prep, retr, rer := res.MissCounts()
+	t.Logf("misses: prep=%d retrieval=%d rerank=%d of %d", prep, retr, rer, len(res.Items))
+	if overall < 0.45 {
+		t.Errorf("GAR accuracy implausibly low: %.3f", overall)
+	}
+	// Metric consistency: P@1 equals overall up to value post-processing
+	// reordering; both measure top-1.
+	if res.PrecisionAt(1) < overall-0.1 {
+		t.Errorf("P@1 %.3f inconsistent with overall %.3f", res.PrecisionAt(1), overall)
+	}
+	if res.PrecisionAt(10) < res.PrecisionAt(3) || res.PrecisionAt(3) < res.PrecisionAt(1) {
+		t.Error("precision must be monotone in K")
+	}
+	if res.MRR() < res.PrecisionAt(1) {
+		t.Error("MRR must be at least P@1")
+	}
+}
+
+func TestBaselinesOnSpider(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline evaluation")
+	}
+	bench := smallSpider(t)
+	lex := eval.TrainBaselineLexicon(bench)
+	for _, m := range baselines.All(lex) {
+		res := eval.EvaluateBaseline(m, bench, bench.Val, false)
+		t.Logf("%-8s overall=%.3f exec=%.3f", m.Name(), res.Overall(), res.Exec())
+		if res.Overall() < 0.10 {
+			t.Errorf("%s accuracy implausibly low: %.3f", m.Name(), res.Overall())
+		}
+		by := res.ByLevel()
+		t.Logf("%-8s easy=%.2f medium=%.2f hard=%.2f extra=%.2f counts=%v",
+			m.Name(), by[0], by[1], by[2], by[3], res.LevelCounts())
+	}
+}
+
+func TestBaselineNAWithoutContent(t *testing.T) {
+	bench := datasets.SpiderLike(datasets.SpiderConfig{TrainDBs: 2, ValDBs: 1, TrainPerDB: 15, ValPerDB: 8, Seed: 12})
+	lex := eval.TrainBaselineLexicon(bench)
+	res := eval.EvaluateBaseline(baselines.NewRATSQL(lex), bench, bench.Val, true)
+	if !res.NA() {
+		t.Error("RAT-SQL should be N/A with hidden content")
+	}
+	res = eval.EvaluateBaseline(baselines.NewSMBOP(lex), bench, bench.Val, true)
+	if res.NA() {
+		t.Error("SMBOP should run with hidden content")
+	}
+}

@@ -1,0 +1,137 @@
+package eval_test
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+)
+
+// TestGeoSingleDatabaseMode exercises the GEO protocol: train and test
+// splits share one database; models are trained on the train split and
+// evaluated on the test split with the generalization sample protocol.
+func TestGeoSingleDatabaseMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	bench := datasets.GeoLike(datasets.GeoConfig{Train: 50, Val: 5, Test: 25, Seed: 3})
+	runner, err := eval.NewGARRunner(bench, bench, core.Options{
+		GeneralizeSize: 1200, RetrievalK: 25, Seed: 9,
+		EncoderEpochs: 8, RerankEpochs: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Evaluate("GAR", bench.Test, eval.SamplesFromGeneralization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != len(bench.Test) {
+		t.Fatalf("evaluated %d of %d", len(res.Items), len(bench.Test))
+	}
+	if res.Overall() <= 0 {
+		t.Error("GEO accuracy is zero; single-database pipeline broken")
+	}
+	// Every item must carry a difficulty and latency.
+	for _, it := range res.Items {
+		if it.Latency <= 0 {
+			t.Fatal("missing latency measurement")
+		}
+	}
+}
+
+// TestQBENSamplesGivenMode exercises the QBEN protocol: the benchmark's
+// explicit sample split feeds preparation, models come from a separate
+// (SPIDER-like) train benchmark, and GAR-J must not trail GAR.
+func TestQBENSamplesGivenMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	spider := datasets.SpiderLike(datasets.SpiderConfig{TrainDBs: 3, ValDBs: 1, TrainPerDB: 25, ValPerDB: 5, Seed: 4})
+	qben := datasets.QBENLike(datasets.QBENConfig{DBs: 2, SamplesPerDB: 12, TestPerDB: 8, Seed: 5})
+	opts := core.Options{GeneralizeSize: 1000, RetrievalK: 25, Seed: 10, EncoderEpochs: 8, RerankEpochs: 12}
+
+	run := func(joinAnn bool) *eval.Result {
+		o := opts
+		o.JoinAnnotations = joinAnn
+		runner, err := eval.NewGARRunner(spider, qben, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.Evaluate("x", qben.Test, eval.SamplesGiven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	gar := run(false)
+	garj := run(true)
+	if garj.Overall() < gar.Overall() {
+		t.Errorf("GAR-J (%.3f) below GAR (%.3f) on QBEN", garj.Overall(), gar.Overall())
+	}
+	// The QBEN sample protocol must keep data-preparation misses low:
+	// test queries are component-similar to the given samples.
+	prep, _, _ := gar.MissCounts()
+	if prep > len(gar.Items)/3 {
+		t.Errorf("too many QBEN prep misses: %d of %d", prep, len(gar.Items))
+	}
+}
+
+// TestMTTEQLSamplesAreGoldsMode exercises the MT-TEQL protocol: the
+// (transformed) gold queries themselves are the samples, so there can
+// be no data-preparation misses at all.
+func TestMTTEQLSamplesAreGoldsMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	spider := datasets.SpiderLike(datasets.SpiderConfig{TrainDBs: 3, ValDBs: 2, TrainPerDB: 25, ValPerDB: 10, Seed: 6})
+	mt := datasets.MTTEQLLike(spider, datasets.MTTEQLConfig{N: 30, VariantsPerDB: 1, Seed: 7})
+	runner, err := eval.NewGARRunner(spider, mt, core.Options{
+		GeneralizeSize: 1000, RetrievalK: 25, Seed: 11, EncoderEpochs: 8, RerankEpochs: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Evaluate("GAR", mt.Test, eval.SamplesAreGolds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, _, _ := res.MissCounts()
+	if prep != 0 {
+		t.Errorf("samples-are-golds mode must have zero prep misses, got %d", prep)
+	}
+	if res.Overall() < 0.3 {
+		t.Errorf("MT-TEQL accuracy implausibly low with gold samples: %.3f", res.Overall())
+	}
+}
+
+// TestBackboneAugmentationReducesPrepMisses verifies the §VII extension
+// plumbed through the runner.
+func TestBackboneAugmentationReducesPrepMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	bench := datasets.SpiderLike(datasets.SpiderConfig{TrainDBs: 3, ValDBs: 2, TrainPerDB: 25, ValPerDB: 12, Seed: 8})
+	opts := core.Options{GeneralizeSize: 800, RetrievalK: 25, Seed: 12, EncoderEpochs: 8, RerankEpochs: 12}
+	runner, err := eval.NewGARRunner(bench, bench, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := runner.Evaluate("GAR", bench.Val, eval.SamplesFromGeneralization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := *runner
+	aug.Backbone = baselines.NewBRIDGE(eval.TrainBaselineLexicon(bench))
+	augres, err := aug.Evaluate("GAR+backbone", bench.Val, eval.SamplesFromGeneralization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _, _ := plain.MissCounts()
+	p1, _, _ := augres.MissCounts()
+	if p1 > p0 {
+		t.Errorf("backbone augmentation increased prep misses: %d → %d", p0, p1)
+	}
+}

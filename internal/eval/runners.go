@@ -1,0 +1,265 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/generalize"
+	"repro/internal/ltr"
+	"repro/internal/norm"
+	"repro/internal/sqlast"
+)
+
+// SampleMode selects how the evaluation-time sample queries for a
+// database are obtained (§V-A3 "Sample Queries").
+type SampleMode int
+
+const (
+	// SamplesFromGeneralization generalizes the split's gold queries,
+	// rules the golds out, and uses the remainder as samples (the
+	// SPIDER/GEO protocol).
+	SamplesFromGeneralization SampleMode = iota
+	// SamplesAreGolds uses the split's gold queries directly as samples
+	// (the MT-TEQL protocol, where the SPIDER validation set serves as
+	// the sample set).
+	SamplesAreGolds
+	// SamplesGiven uses the benchmark's explicit Samples split (QBEN).
+	SamplesGiven
+)
+
+// GARRunner evaluates GAR (or GAR-J / an ablation) on a benchmark.
+type GARRunner struct {
+	Bench  *datasets.Benchmark
+	Opts   core.Options
+	Models *core.Models
+
+	// SchemaAugment enables the paper's future-work extension (§VII):
+	// minimal schema-derived component queries are appended to each
+	// evaluation database's sample set, closing Definition 2's coverage
+	// gap for components absent from the samples.
+	SchemaAugment bool
+	// Backbone, when set, enables the other future-work extension: an
+	// existing translation model's outputs on the evaluation questions
+	// augment the sample queries, extending coverage to out-of-domain
+	// queries. Unbindable backbone predictions are dropped.
+	Backbone *baselines.Model
+	// HideContent withholds database content from the system (the
+	// MT-TEQL setting, whose test databases are unpublished): value
+	// post-processing then links only quoted spans and numbers from the
+	// question. The execution metric still runs on our content, as the
+	// benchmark authors could.
+	HideContent bool
+}
+
+// NewGARRunner trains the ranking models on the benchmark's train split
+// (per-database candidate pools from the train golds, as in Fig. 3).
+// trainBench may differ from the evaluation benchmark (QBEN trains on
+// SPIDER's train split).
+func NewGARRunner(trainBench *datasets.Benchmark, evalBench *datasets.Benchmark, opts core.Options) (*GARRunner, error) {
+	var sets []core.TrainingSet
+	for _, dbName := range datasets.DBNames(trainBench.Train) {
+		bundle := trainBench.DBs[dbName]
+		sys := core.New(bundle.Schema, opts)
+		sys.SetContent(bundle.Content)
+		sys.Prepare(datasets.GoldQueries(trainBench.Train, dbName))
+		var examples []ltr.Example
+		for _, it := range trainBench.Train {
+			if it.DB == dbName {
+				examples = append(examples, ltr.Example{NL: it.NL, Gold: it.Gold})
+			}
+		}
+		sets = append(sets, core.TrainingSet{Sys: sys, Examples: examples})
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("eval: no training databases")
+	}
+	models, err := core.TrainModels(sets, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &GARRunner{Bench: evalBench, Opts: opts, Models: models}, nil
+}
+
+// sampleQueries produces the sample set for one evaluation database.
+func (r *GARRunner) sampleQueries(dbName string, items []datasets.Item, mode SampleMode) []*sqlast.Query {
+	golds := datasets.GoldQueries(items, dbName)
+	switch mode {
+	case SamplesAreGolds:
+		return r.augment(dbName, items, golds)
+	case SamplesGiven:
+		return r.augment(dbName, items, datasets.GoldQueries(r.Bench.Samples, dbName))
+	}
+	bundle := r.Bench.DBs[dbName]
+	// The sample stage stays well below the pool stage's budget: the
+	// pool size (GeneralizeSize) includes the samples, so an oversized
+	// sample set would leave no room to re-generate the ruled-out gold
+	// queries and every item would become a data-preparation miss.
+	sampleTarget := 6 * len(golds)
+	if max := r.Opts.GeneralizeSize / 4; sampleTarget > max && max > 0 {
+		sampleTarget = max
+	}
+	if sampleTarget < len(golds)+10 {
+		sampleTarget = len(golds) + 10
+	}
+	res := generalize.Generalize(bundle.Schema, golds, generalize.Config{
+		TargetSize: sampleTarget,
+		Seed:       r.Opts.Seed + 101,
+		Rules:      generalize.AllRules(),
+	})
+	goldCanon := map[string]bool{}
+	for _, g := range golds {
+		c := g.Clone()
+		if err := bundle.Schema.Bind(c); err == nil {
+			g = c
+		}
+		goldCanon[norm.Canonical(g)] = true
+	}
+	var out []*sqlast.Query
+	for _, q := range res.Queries {
+		if !goldCanon[norm.Canonical(q)] {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		out = golds
+	}
+	return r.augment(dbName, items, out)
+}
+
+// augment applies the enabled future-work extensions to a sample set.
+func (r *GARRunner) augment(dbName string, items []datasets.Item, samples []*sqlast.Query) []*sqlast.Query {
+	bundle := r.Bench.DBs[dbName]
+	if r.SchemaAugment {
+		samples = append(samples, generalize.SchemaAugment(bundle.Schema)...)
+	}
+	if r.Backbone != nil {
+		for _, it := range items {
+			if it.DB != dbName {
+				continue
+			}
+			pred := r.Backbone.Translate(bundle.Schema, bundle.Content, it.NL)
+			if pred == nil {
+				continue
+			}
+			if err := bundle.Schema.Bind(pred); err == nil {
+				samples = append(samples, pred)
+			}
+		}
+	}
+	return samples
+}
+
+// SystemFor deploys a GAR system for one evaluation database.
+func (r *GARRunner) SystemFor(dbName string, items []datasets.Item, mode SampleMode) (*core.System, error) {
+	bundle := r.Bench.DBs[dbName]
+	sys := core.New(bundle.Schema, r.Opts)
+	if !r.HideContent {
+		sys.SetContent(bundle.Content)
+	}
+	sys.Prepare(r.sampleQueries(dbName, items, mode))
+	if err := sys.UseModels(r.Models); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Evaluate runs GAR over a split and collects per-item results.
+func (r *GARRunner) Evaluate(name string, items []datasets.Item, mode SampleMode) (*Result, error) {
+	res := &Result{System: name}
+	systems := map[string]*core.System{}
+	for _, dbName := range datasets.DBNames(items) {
+		sys, err := r.SystemFor(dbName, items, mode)
+		if err != nil {
+			return nil, err
+		}
+		systems[dbName] = sys
+	}
+	for _, it := range items {
+		sys := systems[it.DB]
+		bundle := r.Bench.DBs[it.DB]
+		out := classify(it)
+		gold := sys.BindGold(it.Gold)
+
+		start := time.Now()
+		tr, err := sys.Translate(it.NL)
+		out.Latency = time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Top != nil {
+			out.Correct = exactMatch(tr.Top.SQL, gold)
+			out.ExecCorrect = execMatch(bundle.Content, tr.Top.SQL, gold)
+		}
+		for i, c := range tr.Ranked {
+			if i >= 10 {
+				break
+			}
+			if exactMatch(c.SQL, gold) {
+				out.GoldRank = i + 1
+				break
+			}
+		}
+		if !out.Correct {
+			switch {
+			case !sys.HasCandidate(gold):
+				out.PrepMiss = true
+			case !sys.RetrievalContains(it.NL, gold, r.Opts.RetrievalK):
+				out.RetrievalMiss = true
+			default:
+				out.RerankMiss = true
+			}
+		}
+		res.Items = append(res.Items, out)
+	}
+	return res, nil
+}
+
+// EvaluateBaseline runs one baseline model over a split. hideContent
+// reproduces benchmarks whose databases are not published: models that
+// need content become N/A, and the others translate without it (the
+// execution metric still uses our content, as the benchmark authors
+// could).
+func EvaluateBaseline(m *baselines.Model, bench *datasets.Benchmark, items []datasets.Item, hideContent bool) *Result {
+	res := &Result{System: m.Name()}
+	for _, it := range items {
+		bundle := bench.DBs[it.DB]
+		out := classify(it)
+		content := bundle.Content
+		if hideContent {
+			content = nil
+		}
+		if m.NeedsContent() && content == nil {
+			out.NA = true
+			res.Items = append(res.Items, out)
+			continue
+		}
+		start := time.Now()
+		pred := m.Translate(bundle.Schema, content, it.NL)
+		out.Latency = time.Since(start)
+		gold := it.Gold.Clone()
+		if err := bundle.Schema.Bind(gold); err != nil {
+			gold = it.Gold
+		}
+		if pred != nil {
+			out.Correct = exactMatch(pred, gold)
+			out.ExecCorrect = execMatch(bundle.Content, pred, gold)
+		}
+		res.Items = append(res.Items, out)
+	}
+	return res
+}
+
+// TrainBaselineLexicon trains the shared cue lexicon on a benchmark's
+// train split.
+func TrainBaselineLexicon(bench *datasets.Benchmark) *baselines.Lexicon {
+	var items []baselines.TrainItem
+	for _, it := range bench.Train {
+		items = append(items, baselines.TrainItem{
+			DB: bench.DBs[it.DB].Schema, NL: it.NL, Gold: it.Gold,
+		})
+	}
+	return baselines.TrainLexicon(items)
+}

@@ -1,0 +1,212 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+)
+
+// tinyConfig keeps the full experiment suite runnable inside a test.
+func tinyConfig() experiments.Config {
+	return experiments.Config{
+		Spider: datasets.SpiderConfig{TrainDBs: 3, ValDBs: 2, TrainPerDB: 25, ValPerDB: 12, Seed: 11},
+		Geo:    datasets.GeoConfig{Train: 40, Val: 5, Test: 20, Seed: 12},
+		MTTEQL: datasets.MTTEQLConfig{N: 40, VariantsPerDB: 1, Seed: 13},
+		QBEN:   datasets.QBENConfig{DBs: 2, SamplesPerDB: 12, TestPerDB: 8, Seed: 14},
+		GAR: core.Options{
+			GeneralizeSize: 1200,
+			RetrievalK:     30,
+			Seed:           21,
+			EncoderEpochs:  8,
+			RerankEpochs:   12,
+		},
+		Seed: 7,
+	}
+}
+
+func TestFullExperimentSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the complete experiment suite")
+	}
+	lab := experiments.NewLab(tinyConfig())
+
+	// Table 3 must cover all four benchmarks.
+	t3, err := lab.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := t3.Render()
+	for _, want := range []string{"GEO", "SPIDER", "MT-TEQL", "QBEN"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("Table 3 missing %s:\n%s", want, rendered)
+		}
+	}
+
+	// Table 4: GAR must beat every baseline overall, and its accuracy
+	// must decay less from easy to extra-hard than the baselines'.
+	if _, err := lab.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	gar, err := lab.GARResult("gar", "spider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"GAP", "SMBOP", "RAT-SQL", "BRIDGE"} {
+		base := lab.Baseline("spider", name)
+		if gar.Overall() <= base.Overall() {
+			t.Errorf("GAR (%.3f) does not beat %s (%.3f)", gar.Overall(), name, base.Overall())
+		}
+	}
+
+	// Table 6: precision must be monotone and MRR ≥ P@1.
+	if _, err := lab.Table6(); err != nil {
+		t.Fatal(err)
+	}
+	if gar.PrecisionAt(1) > gar.PrecisionAt(3) || gar.PrecisionAt(3) > gar.PrecisionAt(10) {
+		t.Error("precision not monotone in K")
+	}
+	if gar.MRR() < gar.PrecisionAt(1) {
+		t.Error("MRR below P@1")
+	}
+
+	// Table 7: GAP and RAT-SQL must be N/A on MT-TEQL; GAR runs.
+	t7, err := lab.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7 := t7.Render()
+	if !strings.Contains(r7, "N/A") {
+		t.Errorf("Table 7 lacks N/A rows:\n%s", r7)
+	}
+	mtGar, err := lab.GARResult("gar", "mtteql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtGar.Overall() <= lab.Baseline("mtteql", "SMBOP").Overall() {
+		t.Errorf("GAR (%.3f) should beat SMBOP on MT-TEQL", mtGar.Overall())
+	}
+
+	// Table 8: both ablations must hurt.
+	if _, err := lab.Table8(); err != nil {
+		t.Fatal(err)
+	}
+	noDialect, err := lab.GARResult("nodialect", "spider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRerank, err := lab.GARResult("norerank", "spider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noDialect.Overall() >= gar.Overall() {
+		t.Errorf("dialect ablation did not hurt: %.3f vs %.3f", noDialect.Overall(), gar.Overall())
+	}
+	if noRerank.Overall() >= gar.Overall() {
+		t.Errorf("re-ranking ablation did not hurt: %.3f vs %.3f", noRerank.Overall(), gar.Overall())
+	}
+
+	// Fig 11 / Table 9: on QBEN, GAR-J must clearly beat GAR and the
+	// baselines (the join-annotation headline).
+	qbenJ, err := lab.GARResult("garj", "qben")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qbenGar, err := lab.GARResult("gar", "qben")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qbenJ.Overall() <= qbenGar.Overall() {
+		t.Errorf("GAR-J (%.3f) does not beat GAR (%.3f) on QBEN", qbenJ.Overall(), qbenGar.Overall())
+	}
+	for _, name := range []string{"GAP", "SMBOP", "RAT-SQL", "BRIDGE"} {
+		if qbenJ.Overall() <= lab.Baseline("qben", name).Overall() {
+			t.Errorf("GAR-J does not beat %s on QBEN", name)
+		}
+	}
+
+	// Remaining artifacts render without error.
+	if _, err := lab.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Table5(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Table9(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Fig9(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Fig11(); err != nil {
+		t.Fatal(err)
+	}
+	fig12, err := lab.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig12, "Table/DB") {
+		t.Errorf("Fig 12 malformed:\n%s", fig12)
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	lab := experiments.NewLab(tinyConfig())
+	a, err := lab.GARResult("gar", "geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.GARResult("gar", "geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("results not cached")
+	}
+	if lab.Baseline("geo", "SMBOP") != lab.Baseline("geo", "SMBOP") {
+		t.Error("baseline results not cached")
+	}
+	if lab.Baseline("geo", "NOPE") != nil {
+		t.Error("unknown baseline should be nil")
+	}
+}
+
+func TestExtensionsAndRuleAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	lab := experiments.NewLab(tinyConfig())
+
+	ext, err := lab.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := ext.Render()
+	for _, want := range []string{"GAR", "schema components", "backbone"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("extensions table missing %q:\n%s", want, rendered)
+		}
+	}
+	if len(ext.Rows) != 3 {
+		t.Errorf("extensions rows = %d, want 3", len(ext.Rows))
+	}
+
+	rules, err := lab.RuleAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rules.Render()
+	for _, want := range []string{"all rules", "w/o Rule 1", "w/o Rule 2", "w/o Rule 3"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("rule ablation missing %q:\n%s", want, r)
+		}
+	}
+}

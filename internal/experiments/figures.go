@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/hardness"
+	"repro/internal/report"
+	"repro/internal/userstudy"
+)
+
+// Fig9 reproduces the overall-accuracy bar chart on SPIDER and GEO for
+// the five systems.
+func (l *Lab) Fig9() (string, error) {
+	var sb strings.Builder
+	for _, bench := range []string{"spider", "geo"} {
+		gar, err := l.GARResult("gar", bench)
+		if err != nil {
+			return "", err
+		}
+		bars := []report.Bar{{Label: "GAR", Value: gar.Overall()}}
+		for _, name := range []string{"GAP", "SMBOP", "RAT-SQL", "BRIDGE"} {
+			res := l.Baseline(bench, name)
+			bars = append(bars, report.Bar{Label: name, Value: res.Overall()})
+		}
+		label := map[string]string{"spider": "SPIDER", "geo": "GEO"}[bench]
+		sb.WriteString(report.BarChart("Fig 9: Translation accuracy on "+label, bars, 40))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Fig10 reproduces the average response time by difficulty for the five
+// systems (online inference only; all models pre-loaded, candidate
+// pools pre-generated).
+func (l *Lab) Fig10() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fig 10: Average response time on the SPIDER validation set (microseconds)",
+		Columns: []string{"Model", "Easy", "Medium", "Hard", "Extra Hard"},
+	}
+	gar, err := l.GARResult("gar", "spider")
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		name string
+		lat  map[hardness.Level]time.Duration
+	}{{"GAR", gar.AvgLatencyByLevel()}}
+	for _, name := range []string{"GAP", "SMBOP", "RAT-SQL", "BRIDGE"} {
+		rows = append(rows, struct {
+			name string
+			lat  map[hardness.Level]time.Duration
+		}{name, l.Baseline("spider", name).AvgLatencyByLevel()})
+	}
+	for _, row := range rows {
+		cells := []any{row.name}
+		for _, lvl := range hardness.Levels {
+			cells = append(cells, fmt.Sprintf("%d", row.lat[lvl].Microseconds()))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig11 reproduces the GAR-J comparison: translation accuracy on QBEN,
+// SPIDER and GEO for GAR-J, GAR and the four baselines.
+func (l *Lab) Fig11() (string, error) {
+	var sb strings.Builder
+	for _, bench := range []string{"qben", "spider", "geo"} {
+		garj, err := l.GARResult("garj", bench)
+		if err != nil {
+			return "", err
+		}
+		gar, err := l.GARResult("gar", bench)
+		if err != nil {
+			return "", err
+		}
+		bars := []report.Bar{
+			{Label: "GAR-J", Value: garj.Overall()},
+			{Label: "GAR", Value: gar.Overall()},
+		}
+		for _, name := range []string{"GAP", "SMBOP", "RAT-SQL", "BRIDGE"} {
+			res := l.Baseline(bench, name)
+			bars = append(bars, report.Bar{Label: name, Value: res.Overall()})
+		}
+		label := map[string]string{"qben": "QBEN", "spider": "SPIDER", "geo": "GEO"}[bench]
+		sb.WriteString(report.BarChart("Fig 11: Translation accuracy on "+label, bars, 40))
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// Fig12 reproduces the user-study box plot: simulated annotation time
+// per schema-size bucket over the benchmarks' databases.
+func (l *Lab) Fig12() (string, error) {
+	var tasks []userstudy.DatabaseTask
+	add := func(bench string) {
+		b := l.bench(bench)
+		names := make([]string, 0, len(b.DBs))
+		for name := range b.DBs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bundle := b.DBs[name]
+			samples := 0
+			// Sample-query counts: the number of items on the database
+			// across the benchmark's splits.
+			for _, it := range b.Train {
+				if it.DB == name {
+					samples++
+				}
+			}
+			for _, it := range b.Val {
+				if it.DB == name {
+					samples++
+				}
+			}
+			for _, it := range b.Samples {
+				if it.DB == name {
+					samples++
+				}
+			}
+			tasks = append(tasks, userstudy.DatabaseTask{
+				Name:          name,
+				Tables:        len(bundle.Schema.Tables),
+				JoinPaths:     len(bundle.Schema.JoinAnnotations),
+				SampleQueries: samples,
+			})
+		}
+	}
+	add("spider")
+	add("geo")
+	add("qben")
+	// Synthetic larger schemas fill the 6-10 bucket, which the generated
+	// benchmarks (2-4 tables) do not reach.
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, userstudy.DatabaseTask{
+			Name: fmt.Sprintf("wide_%d", i), Tables: 6 + i%5, JoinPaths: 5 + i%4, SampleQueries: 40,
+		})
+	}
+	obs := userstudy.Run(tasks, userstudy.Config{Seed: l.Cfg.Seed})
+	var rows []report.BoxStats
+	for _, b := range userstudy.Buckets(obs) {
+		if len(b.Minutes) == 0 {
+			continue
+		}
+		rows = append(rows, report.BoxStatsOf(b.Label, b.Minutes))
+	}
+	return report.BoxPlot("Fig 12: User study (simulated): annotation time in minutes", rows, 50), nil
+}

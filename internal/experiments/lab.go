@@ -1,0 +1,261 @@
+// Package experiments implements every table and figure of the paper's
+// evaluation (§V): a Lab builds the four benchmarks, trains GAR, GAR-J,
+// the ablations and the four baselines, caches the per-split results,
+// and renders each artifact as a report table or chart. The bench
+// harness (bench_test.go) and the garbench CLI both drive this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Spider / Geo / MTTEQL / QBEN size the generated benchmarks.
+	Spider datasets.SpiderConfig
+	Geo    datasets.GeoConfig
+	MTTEQL datasets.MTTEQLConfig
+	QBEN   datasets.QBENConfig
+	// GAR are the system options (pool size, k, epochs, seed).
+	GAR core.Options
+	// Seed drives benchmark generation.
+	Seed int64
+}
+
+// Small returns the laptop-scale configuration used by tests and the
+// default bench run: everything is scaled down from the paper's sizes
+// but preserves the split structure.
+func Small() Config {
+	return Config{
+		Spider: datasets.SpiderConfig{TrainDBs: 6, ValDBs: 3, TrainPerDB: 40, ValPerDB: 25, Seed: 11},
+		Geo:    datasets.GeoConfig{Train: 80, Val: 8, Test: 40, Seed: 12},
+		MTTEQL: datasets.MTTEQLConfig{N: 120, VariantsPerDB: 2, Seed: 13},
+		QBEN:   datasets.QBENConfig{DBs: 4, SamplesPerDB: 16, TestPerDB: 10, Seed: 14},
+		GAR: core.Options{
+			GeneralizeSize: 4000,
+			RetrievalK:     60,
+			Seed:           21,
+			EncoderEpochs:  10,
+			RerankEpochs:   16,
+		},
+		Seed: 7,
+	}
+}
+
+// Full returns the larger configuration for the complete benchmark
+// harness run (closer to the paper's proportions; minutes of runtime).
+func Full() Config {
+	cfg := Small()
+	cfg.Spider = datasets.SpiderConfig{TrainDBs: 12, ValDBs: 6, TrainPerDB: 50, ValPerDB: 40, Seed: 11}
+	cfg.Geo = datasets.GeoConfig{Train: 150, Val: 12, Test: 70, Seed: 12}
+	cfg.MTTEQL = datasets.MTTEQLConfig{N: 400, VariantsPerDB: 3, Seed: 13}
+	cfg.QBEN = datasets.QBENConfig{DBs: 7, SamplesPerDB: 20, TestPerDB: 12, Seed: 14}
+	cfg.GAR.GeneralizeSize = 6000
+	cfg.GAR.RetrievalK = 80
+	return cfg
+}
+
+// Lab lazily builds and caches benchmarks, trained systems and results.
+type Lab struct {
+	Cfg Config
+
+	benches map[string]*datasets.Benchmark
+	runners map[string]*eval.GARRunner
+	results map[string]*eval.Result
+	lexicon *baselines.Lexicon
+}
+
+// NewLab creates an empty lab for the configuration.
+func NewLab(cfg Config) *Lab {
+	return &Lab{
+		Cfg:     cfg,
+		benches: map[string]*datasets.Benchmark{},
+		runners: map[string]*eval.GARRunner{},
+		results: map[string]*eval.Result{},
+	}
+}
+
+// Spider returns the SPIDER-like benchmark, building it on first use.
+func (l *Lab) Spider() *datasets.Benchmark {
+	if b, ok := l.benches["spider"]; ok {
+		return b
+	}
+	b := datasets.SpiderLike(l.Cfg.Spider)
+	l.benches["spider"] = b
+	return b
+}
+
+// Geo returns the GEO-like benchmark.
+func (l *Lab) Geo() *datasets.Benchmark {
+	if b, ok := l.benches["geo"]; ok {
+		return b
+	}
+	b := datasets.GeoLike(l.Cfg.Geo)
+	l.benches["geo"] = b
+	return b
+}
+
+// MTTEQL returns the MT-TEQL-like benchmark derived from Spider.
+func (l *Lab) MTTEQL() *datasets.Benchmark {
+	if b, ok := l.benches["mtteql"]; ok {
+		return b
+	}
+	b := datasets.MTTEQLLike(l.Spider(), l.Cfg.MTTEQL)
+	l.benches["mtteql"] = b
+	return b
+}
+
+// QBEN returns the QBEN-like benchmark.
+func (l *Lab) QBEN() *datasets.Benchmark {
+	if b, ok := l.benches["qben"]; ok {
+		return b
+	}
+	b := datasets.QBENLike(l.Cfg.QBEN)
+	l.benches["qben"] = b
+	return b
+}
+
+// Lexicon returns the baseline cue lexicon trained on Spider's train
+// split (the shared pre-training of the four baseline models).
+func (l *Lab) Lexicon() *baselines.Lexicon {
+	if l.lexicon == nil {
+		l.lexicon = eval.TrainBaselineLexicon(l.Spider())
+	}
+	return l.lexicon
+}
+
+// runner returns a cached GAR runner. variant selects the system
+// flavour ("gar", "garj", "nodialect", "norerank"); trainBench and
+// evalBench name lab benchmarks.
+func (l *Lab) runner(variant, trainBench, evalBench string) (*eval.GARRunner, error) {
+	key := variant + "/" + trainBench + "/" + evalBench
+	if r, ok := l.runners[key]; ok {
+		return r, nil
+	}
+	opts := l.Cfg.GAR
+	switch variant {
+	case "gar":
+	case "garj":
+		opts.JoinAnnotations = true
+	case "nodialect":
+		opts.NoDialect = true
+	case "norerank":
+		opts.NoRerank = true
+	default:
+		return nil, fmt.Errorf("experiments: unknown variant %q", variant)
+	}
+	r, err := eval.NewGARRunner(l.bench(trainBench), l.bench(evalBench), opts)
+	if err != nil {
+		return nil, err
+	}
+	// MT-TEQL's test databases are unpublished: no system sees their
+	// content (Table 7's setting).
+	r.HideContent = evalBench == "mtteql"
+	l.runners[key] = r
+	return r, nil
+}
+
+func (l *Lab) bench(name string) *datasets.Benchmark {
+	switch name {
+	case "spider":
+		return l.Spider()
+	case "geo":
+		return l.Geo()
+	case "mtteql":
+		return l.MTTEQL()
+	case "qben":
+		return l.QBEN()
+	default:
+		panic("experiments: unknown benchmark " + name)
+	}
+}
+
+// evalItems returns the evaluation split of a benchmark: Spider uses
+// its validation set, the others their test sets.
+func (l *Lab) evalItems(name string) []datasets.Item {
+	b := l.bench(name)
+	if name == "spider" {
+		return b.Val
+	}
+	return b.Test
+}
+
+// sampleMode returns the §V-A3 sample protocol for a benchmark.
+func sampleMode(bench string) eval.SampleMode {
+	switch bench {
+	case "mtteql":
+		return eval.SamplesAreGolds
+	case "qben":
+		return eval.SamplesGiven
+	default:
+		return eval.SamplesFromGeneralization
+	}
+}
+
+// trainBenchFor returns which benchmark trains the models for an
+// evaluation benchmark: QBEN and MT-TEQL train on Spider's train split
+// (per the paper); Spider and GEO train on their own.
+func trainBenchFor(bench string) string {
+	switch bench {
+	case "mtteql", "qben":
+		return "spider"
+	default:
+		return bench
+	}
+}
+
+// GARResult evaluates a GAR variant on a benchmark, cached.
+func (l *Lab) GARResult(variant, bench string) (*eval.Result, error) {
+	key := "res/" + variant + "/" + bench
+	if r, ok := l.results[key]; ok {
+		return r, nil
+	}
+	runner, err := l.runner(variant, trainBenchFor(bench), bench)
+	if err != nil {
+		return nil, err
+	}
+	name := map[string]string{
+		"gar": "GAR", "garj": "GAR-J",
+		"nodialect": "GAR w/o Dialect Builder", "norerank": "GAR w/o Re-ranking",
+	}[variant]
+	res, err := runner.Evaluate(name, l.evalItems(bench), sampleMode(bench))
+	if err != nil {
+		return nil, err
+	}
+	l.results[key] = res
+	return res, nil
+}
+
+// BaselineResults evaluates the four baselines on a benchmark, cached.
+// MT-TEQL hides database content (its test databases are unpublished),
+// making GAP and RAT-SQL N/A, as in Table 7.
+func (l *Lab) BaselineResults(bench string) []*eval.Result {
+	hide := bench == "mtteql"
+	var out []*eval.Result
+	for _, m := range baselines.All(l.Lexicon()) {
+		mkey := "base/" + bench + "/" + m.Name()
+		if r, ok := l.results[mkey]; ok {
+			out = append(out, r)
+			continue
+		}
+		r := eval.EvaluateBaseline(m, l.bench(bench), l.evalItems(bench), hide)
+		l.results[mkey] = r
+		out = append(out, r)
+	}
+	return out
+}
+
+// Baseline returns one baseline's cached result on a benchmark.
+func (l *Lab) Baseline(bench, name string) *eval.Result {
+	for _, r := range l.BaselineResults(bench) {
+		if r.System == name {
+			return r
+		}
+	}
+	return nil
+}

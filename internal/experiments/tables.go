@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/hardness"
+	"repro/internal/report"
+)
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Table1 reproduces the motivating Table 1: GAP and SMBOP translation
+// accuracy on SPIDER by difficulty level.
+func (l *Lab) Table1() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 1: Translation accuracy on SPIDER by SQL difficulty levels",
+		Columns: []string{"Model", "Easy", "Medium", "Hard", "Extra Hard", "Overall"},
+	}
+	for _, name := range []string{"GAP", "SMBOP"} {
+		res := l.Baseline("spider", name)
+		by := res.ByLevel()
+		t.AddRow(name, f3(by[hardness.Easy]), f3(by[hardness.Medium]),
+			f3(by[hardness.Hard]), f3(by[hardness.ExtraHard]), f3(res.Overall()))
+	}
+	return t, nil
+}
+
+// Table3 reproduces the benchmark statistics table.
+func (l *Lab) Table3() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table 3: The statistics of NLIDB benchmarks (generated)",
+		Columns: []string{"Benchmark", "Split", "DBs", "AvgTables/DB", "Queries",
+			"Nested", "ORDER BY", "GROUP BY", "Compound"},
+	}
+	add := func(bench, split string, b *datasets.Benchmark, items []datasets.Item) {
+		if len(items) == 0 {
+			return
+		}
+		st := datasets.StatsOf(b, items)
+		t.AddRow(bench, split, st.Databases, fmt.Sprintf("%.2f", st.AvgTables),
+			st.Queries, st.Nested, st.OrderBy, st.GroupBy, st.Compound)
+	}
+	geo := l.Geo()
+	add("GEO", "train", geo, geo.Train)
+	add("GEO", "val", geo, geo.Val)
+	add("GEO", "test", geo, geo.Test)
+	sp := l.Spider()
+	add("SPIDER", "train", sp, sp.Train)
+	add("SPIDER", "val", sp, sp.Val)
+	mt := l.MTTEQL()
+	add("MT-TEQL", "test", mt, mt.Test)
+	qb := l.QBEN()
+	add("QBEN", "samples", qb, qb.Samples)
+	add("QBEN", "test", qb, qb.Test)
+	return t, nil
+}
+
+// Table4 reproduces the SPIDER validation breakdown: the five systems by
+// difficulty plus execution accuracy.
+func (l *Lab) Table4() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 4: Breakdown results on the SPIDER validation set",
+		Columns: []string{"Model", "Easy", "Medium", "Hard", "Extra Hard", "Overall", "Exec."},
+	}
+	gar, err := l.GARResult("gar", "spider")
+	if err != nil {
+		return nil, err
+	}
+	rows := []*eval.Result{gar}
+	for _, name := range []string{"SMBOP", "BRIDGE", "GAP", "RAT-SQL"} {
+		rows = append(rows, l.Baseline("spider", name))
+	}
+	for _, res := range rows {
+		by := res.ByLevel()
+		t.AddRow(res.System, f3(by[hardness.Easy]), f3(by[hardness.Medium]),
+			f3(by[hardness.Hard]), f3(by[hardness.ExtraHard]), f3(res.Overall()), f3(res.Exec()))
+	}
+	return t, nil
+}
+
+// Table5 reproduces the clause-type breakdown on SPIDER.
+func (l *Lab) Table5() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 5: Translation accuracy on SPIDER by SQL clause types",
+		Columns: []string{"Model", "Nested", "Negation", "ORDERBY", "GROUPBY", "Others"},
+	}
+	gar, err := l.GARResult("gar", "spider")
+	if err != nil {
+		return nil, err
+	}
+	rows := []*eval.Result{gar}
+	for _, name := range []string{"GAP", "SMBOP", "RAT-SQL", "BRIDGE"} {
+		rows = append(rows, l.Baseline("spider", name))
+	}
+	for _, res := range rows {
+		by := res.ByTag()
+		t.AddRow(res.System, f3(by["Nested"]), f3(by["Negation"]),
+			f3(by["ORDERBY"]), f3(by["GROUPBY"]), f3(by["Others"]))
+	}
+	return t, nil
+}
+
+// Table6 reproduces GAR's precision and MRR on SPIDER and GEO.
+func (l *Lab) Table6() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 6: Precision and MRR values of GAR",
+		Columns: []string{"Dataset", "MRR", "Precision@1", "Precision@3", "Precision@10"},
+	}
+	for _, bench := range []string{"spider", "geo"} {
+		res, err := l.GARResult("gar", bench)
+		if err != nil {
+			return nil, err
+		}
+		label := map[string]string{"spider": "SPIDER", "geo": "GEO"}[bench]
+		t.AddRow(label, f3(res.MRR()), f3(res.PrecisionAt(1)), f3(res.PrecisionAt(3)), f3(res.PrecisionAt(10)))
+	}
+	return t, nil
+}
+
+// Table7 reproduces the MT-TEQL results: GAR with the SPIDER validation
+// set as samples versus SMBOP and BRIDGE; GAP and RAT-SQL are N/A since
+// the test databases (content) are not published.
+func (l *Lab) Table7() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 7: Translation results on the MT-TEQL test subset",
+		Columns: []string{"Model", "Overall", "Exec."},
+	}
+	gar, err := l.GARResult("gar", "mtteql")
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("GAR + SPIDER validation set", f3(gar.Overall()), f3(gar.Exec()))
+	for _, name := range []string{"SMBOP", "BRIDGE", "GAP", "RAT-SQL"} {
+		res := l.Baseline("mtteql", name)
+		if res.NA() {
+			t.AddRow(name, "N/A", "N/A")
+			continue
+		}
+		t.AddRow(name, f3(res.Overall()), f3(res.Exec()))
+	}
+	return t, nil
+}
+
+// Table8 reproduces the ablation study: full GAR, w/o dialect builder,
+// w/o re-ranking model, with the per-stage miss counts.
+func (l *Lab) Table8() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 8: The ablation study of GAR on the SPIDER validation set",
+		Columns: []string{"Model", "Retrieval Miss", "Re-ranking Miss", "Overall"},
+	}
+	base, err := l.GARResult("gar", "spider")
+	if err != nil {
+		return nil, err
+	}
+	noDialect, err := l.GARResult("nodialect", "spider")
+	if err != nil {
+		return nil, err
+	}
+	noRerank, err := l.GARResult("norerank", "spider")
+	if err != nil {
+		return nil, err
+	}
+	_, retr, rer := base.MissCounts()
+	t.AddRow("Base Model (GAR)", retr, rer, f3(base.Overall()))
+	_, retr, rer = noDialect.MissCounts()
+	t.AddRow("w/o Dialect Builder", retr, rer, f3(noDialect.Overall()))
+	_, retr, _ = noRerank.MissCounts()
+	t.AddRow("w/o Re-ranking Model", retr, "N/A", f3(noRerank.Overall()))
+	return t, nil
+}
+
+// Table9 reproduces the per-stage error analysis for GAR and GAR-J on
+// the three benchmarks.
+func (l *Lab) Table9() (*report.Table, error) {
+	t := &report.Table{
+		Title: "Table 9: Error analysis on each step of GAR/GAR-J",
+		Columns: []string{"Dataset", "Prep GAR", "Prep GAR-J",
+			"Retrieval GAR", "Retrieval GAR-J", "Re-rank GAR", "Re-rank GAR-J"},
+	}
+	for _, bench := range []string{"spider", "geo", "qben"} {
+		gar, err := l.GARResult("gar", bench)
+		if err != nil {
+			return nil, err
+		}
+		garj, err := l.GARResult("garj", bench)
+		if err != nil {
+			return nil, err
+		}
+		p1, r1, k1 := gar.MissCounts()
+		p2, r2, k2 := garj.MissCounts()
+		label := map[string]string{"spider": "SPIDER", "geo": "GEO", "qben": "QBEN"}[bench]
+		t.AddRow(label, p1, p2, r1, r2, k1, k2)
+	}
+	return t, nil
+}

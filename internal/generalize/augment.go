@@ -1,0 +1,100 @@
+package generalize
+
+import (
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// SchemaAugment implements the paper's final future-work direction
+// (§VII): "augmenting the query components by examining the underlying
+// database schema to get some more basic components for generalization."
+// The current-setting limitation (Definition 2) is that a component
+// absent from the samples — say GROUP BY employee.name when only
+// GROUP BY employee.id was seen — can never be generated. This function
+// synthesizes minimal single-component queries from the schema itself:
+// a projection per column, a GROUP BY per text column, and an ORDER BY
+// per numeric column (ascending and top-1 descending). Appended to the
+// sample set, they put every schema column into the component pool.
+//
+// The augmented queries are deliberately minimal: the recomposition
+// rules still govern how the new components combine, so the Join Rule
+// and the syntactic caps keep the generalized set component-similar in
+// spirit while closing the coverage gap.
+func SchemaAugment(db *schema.Database) []*sqlast.Query {
+	var out []*sqlast.Query
+	for _, t := range db.Tables {
+		from := sqlast.From{Tables: []sqlast.TableRef{{Name: t.Name}}}
+		for _, c := range t.Columns {
+			ref := &sqlast.ColumnRef{Table: t.Name, Column: c.Name}
+			// Projection component.
+			out = append(out, &sqlast.Query{Select: &sqlast.Select{
+				Items: []sqlast.SelectItem{{Expr: ref}},
+				From:  from,
+			}})
+			switch c.Type {
+			case schema.Text:
+				// Grouping component with its count.
+				gRef := *ref
+				out = append(out, &sqlast.Query{Select: &sqlast.Select{
+					Items: []sqlast.SelectItem{
+						{Expr: &sqlast.ColumnRef{Table: t.Name, Column: c.Name}},
+						{Expr: &sqlast.Agg{Func: sqlast.Count, Arg: &sqlast.ColumnRef{Column: "*"}}},
+					},
+					From:    from,
+					GroupBy: []*sqlast.ColumnRef{&gRef},
+				}})
+				// Equality filter component (masked).
+				out = append(out, &sqlast.Query{Select: &sqlast.Select{
+					Items: []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: firstColumn(t)}}},
+					From:  from,
+					Where: &sqlast.Binary{Op: "=",
+						L: &sqlast.ColumnRef{Table: t.Name, Column: c.Name},
+						R: sqlast.Placeholder()},
+				}})
+			case schema.Number:
+				if isKeyColumn(t, c) {
+					continue
+				}
+				// Ordering components, both directions.
+				out = append(out, &sqlast.Query{Select: &sqlast.Select{
+					Items:   []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: firstColumn(t)}}},
+					From:    from,
+					OrderBy: []sqlast.OrderItem{{Expr: ref}},
+				}})
+				out = append(out, &sqlast.Query{Select: &sqlast.Select{
+					Items:   []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: firstColumn(t)}}},
+					From:    from,
+					OrderBy: []sqlast.OrderItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: c.Name}, Desc: true}},
+					Limit:   1,
+				}})
+				// Comparison filter component (masked).
+				out = append(out, &sqlast.Query{Select: &sqlast.Select{
+					Items: []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: firstColumn(t)}}},
+					From:  from,
+					Where: &sqlast.Binary{Op: ">",
+						L: &sqlast.ColumnRef{Table: t.Name, Column: c.Name},
+						R: sqlast.Placeholder()},
+				}})
+			}
+		}
+	}
+	return out
+}
+
+func firstColumn(t *schema.Table) string {
+	for _, c := range t.Columns {
+		if !isKeyColumn(t, c) {
+			return c.Name
+		}
+	}
+	return t.Columns[0].Name
+}
+
+func isKeyColumn(t *schema.Table, c *schema.Column) bool {
+	for _, pk := range t.PrimaryKey {
+		if pk == c.Name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package generalize_test
+
+import (
+	"testing"
+
+	"repro/internal/generalize"
+	"repro/internal/schema/schematest"
+)
+
+// BenchmarkGeneralize measures the compositional generalization of the
+// employee sample set to a 500-query pool (the offline data-preparation
+// cost per database).
+func BenchmarkGeneralize(b *testing.B) {
+	db := schematest.Employee()
+	samples := employeeSamples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := generalize.Generalize(db, samples, generalize.Config{
+			TargetSize: 500, Seed: int64(i), Rules: generalize.AllRules(),
+		})
+		if len(res.Queries) == 0 {
+			b.Fatal("empty generalization")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package generalize_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/generalize"
+	"repro/internal/norm"
+	"repro/internal/schema"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+func parseAll(srcs ...string) []*sqlast.Query {
+	out := make([]*sqlast.Query, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, sqlparse.MustParse(s))
+	}
+	return out
+}
+
+func employeeSamples() []*sqlast.Query {
+	return parseAll(
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+		"SELECT name FROM employee WHERE age > 30",
+		"SELECT age FROM employee WHERE city = 'Austin'",
+		"SELECT city, COUNT(*) FROM employee GROUP BY city",
+		"SELECT avg(bonus) FROM evaluation",
+		"SELECT shop_name FROM shop ORDER BY number_products DESC LIMIT 1",
+		"SELECT name FROM employee WHERE age > 30 AND city = 'Austin'",
+		"SELECT T2.bonus FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id WHERE T1.name = 'John'",
+		"SELECT location FROM shop WHERE number_products > 50",
+	)
+}
+
+func defaultCfg(seed int64, target int) generalize.Config {
+	return generalize.Config{TargetSize: target, Seed: seed, Rules: generalize.AllRules()}
+}
+
+func TestGeneralizeGrowsSet(t *testing.T) {
+	db := schematest.Employee()
+	res := generalize.Generalize(db, employeeSamples(), defaultCfg(1, 200))
+	if res.Stats.Generated < 25 {
+		t.Fatalf("generated only %d queries (stats %+v)", res.Stats.Generated, res.Stats)
+	}
+	if len(res.Queries) != res.Stats.Generated+9 {
+		t.Errorf("query count %d inconsistent with stats %+v", len(res.Queries), res.Stats)
+	}
+}
+
+// TestGeneralizeFig1 reproduces the paper's motivating example: from the
+// gold sample, GAR must generate the component-similar query answering
+// "Find the age of the employee who got the highest one time bonus."
+func TestGeneralizeFig1(t *testing.T) {
+	db := schematest.Employee()
+	res := generalize.Generalize(db, employeeSamples(), defaultCfg(7, 2000))
+	want := sqlparse.MustParse(
+		"SELECT T1.age FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1")
+	for _, q := range res.Queries {
+		if norm.ExactMatch(q, want) {
+			return
+		}
+	}
+	t.Fatalf("component-similar target not generated among %d queries", len(res.Queries))
+}
+
+func TestGeneralizeDeterministic(t *testing.T) {
+	db := schematest.Employee()
+	a := generalize.Generalize(db, employeeSamples(), defaultCfg(42, 300))
+	b := generalize.Generalize(db, employeeSamples(), defaultCfg(42, 300))
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatalf("non-deterministic sizes: %d vs %d", len(a.Queries), len(b.Queries))
+	}
+	for i := range a.Queries {
+		if a.Queries[i].String() != b.Queries[i].String() {
+			t.Fatalf("non-deterministic at %d: %s vs %s", i, a.Queries[i], b.Queries[i])
+		}
+	}
+	c := generalize.Generalize(db, employeeSamples(), defaultCfg(43, 300))
+	same := len(a.Queries) == len(c.Queries)
+	if same {
+		for i := range a.Queries {
+			if a.Queries[i].String() != c.Queries[i].String() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestGeneralizedQueriesAreValidAndMasked(t *testing.T) {
+	db := schematest.Employee()
+	res := generalize.Generalize(db, employeeSamples(), defaultCfg(3, 500))
+	for _, q := range res.Queries {
+		if err := db.Bind(q.Clone()); err != nil {
+			t.Fatalf("generated query does not bind: %s: %v", q, err)
+		}
+		sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+			sqlast.WalkExprs(sub.Select.Where, func(e sqlast.Expr) {
+				if l, ok := e.(*sqlast.Lit); ok && l.Kind != sqlast.PlaceholderLit {
+					if l.Kind == sqlast.StringLit {
+						t.Fatalf("unmasked literal %q in %s", l.Text, q)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestJoinRulePrunesForeignPaths(t *testing.T) {
+	db := schematest.Employee()
+	// Samples join only employee-evaluation; with the Join Rule on, no
+	// generalized query may join via another path (e.g. hiring-shop).
+	res := generalize.Generalize(db, employeeSamples(), defaultCfg(5, 800))
+	for _, q := range res.Queries {
+		edges := schema.JoinEdges(db, q.Select)
+		for _, e := range edges {
+			pair := strings.ToLower(e.LeftTable + "-" + e.RightTable)
+			if strings.Contains(pair, "shop") || strings.Contains(pair, "hiring") {
+				t.Fatalf("join rule violated: %s", q)
+			}
+		}
+	}
+}
+
+func TestJoinRuleAblation(t *testing.T) {
+	db := schematest.Employee()
+	rules := generalize.AllRules()
+	on := generalize.Generalize(db, employeeSamples(), generalize.Config{TargetSize: 800, Seed: 5, Rules: rules})
+	rules.Join = false
+	off := generalize.Generalize(db, employeeSamples(), generalize.Config{TargetSize: 800, Seed: 5, Rules: rules})
+	if on.Stats.RejectedJoinRule == 0 {
+		t.Error("join rule never fired; table substitution is not exercising it")
+	}
+	if off.Stats.RejectedJoinRule != 0 {
+		t.Error("join rule fired while disabled")
+	}
+}
+
+func TestSyntacticRuleCapsPredicates(t *testing.T) {
+	db := schematest.Employee()
+	samples := employeeSamples()
+	res := generalize.Generalize(db, samples, defaultCfg(11, 1500))
+	// Samples have at most 1 predicate per WHERE; predicate conjunction
+	// must be capped at that.
+	for _, q := range res.Queries {
+		if n := len(sqlast.Predicates(q.Select.Where)); n > 2 {
+			t.Fatalf("syntactic rule violated (%d predicates): %s", n, q)
+		}
+	}
+	if res.Stats.RejectedSyntactic == 0 {
+		t.Error("syntactic rule never fired")
+	}
+}
+
+func TestGeneralizeStallStops(t *testing.T) {
+	db := schematest.Employee()
+	// A single sample has nothing new to recompose; the run must stop on
+	// the stall condition quickly.
+	res := generalize.Generalize(db, parseAll("SELECT name FROM employee"), generalize.Config{
+		TargetSize: 100, MaxStall: 50, Seed: 1, Rules: generalize.AllRules(),
+	})
+	if res.Stats.Iterations > 60 {
+		t.Errorf("run did not stall: %+v", res.Stats)
+	}
+	if len(res.Queries) != 1 {
+		t.Errorf("expected only the sample, got %d queries", len(res.Queries))
+	}
+}
+
+func TestGeneralizeDedups(t *testing.T) {
+	db := schematest.Employee()
+	samples := append(employeeSamples(), employeeSamples()...)
+	res := generalize.Generalize(db, samples, defaultCfg(2, 100))
+	fps := map[string]bool{}
+	for _, q := range res.Queries {
+		fp := sqlast.Fingerprint(q)
+		if fps[fp] {
+			t.Fatalf("duplicate query in output: %s", q)
+		}
+		fps[fp] = true
+	}
+}
+
+func TestGeneralizeEmptyInput(t *testing.T) {
+	db := schematest.Employee()
+	res := generalize.Generalize(db, nil, defaultCfg(1, 100))
+	if len(res.Queries) != 0 {
+		t.Errorf("expected empty result, got %d", len(res.Queries))
+	}
+	// Unbindable samples are dropped.
+	res = generalize.Generalize(db, parseAll("SELECT nosuch FROM employee"), defaultCfg(1, 100))
+	if len(res.Queries) != 0 {
+		t.Errorf("unbindable sample kept: %d", len(res.Queries))
+	}
+}

@@ -1,0 +1,259 @@
+// Package hardness classifies SQL queries into the SPIDER difficulty
+// levels (easy / medium / hard / extra hard) and tags the clause types
+// used in Table 5 of the GAR paper (nested, negation, ORDER BY,
+// GROUP BY, others). The difficulty rules follow the official SPIDER
+// evaluation script: difficulty is a function of how many SQL components
+// a query combines.
+package hardness
+
+import (
+	"repro/internal/sqlast"
+)
+
+// Level is a SPIDER difficulty level.
+type Level int
+
+// Difficulty levels, in increasing order.
+const (
+	Easy Level = iota
+	Medium
+	Hard
+	ExtraHard
+)
+
+// Levels lists all levels in ascending difficulty order.
+var Levels = []Level{Easy, Medium, Hard, ExtraHard}
+
+// String returns the SPIDER name of the level.
+func (l Level) String() string {
+	switch l {
+	case Easy:
+		return "Easy"
+	case Medium:
+		return "Medium"
+	case Hard:
+		return "Hard"
+	default:
+		return "Extra Hard"
+	}
+}
+
+// Classify computes the difficulty level of a query following the
+// component-counting rules of the SPIDER evaluation script.
+func Classify(q *sqlast.Query) Level {
+	c1 := countComponent1(q)
+	c2 := countComponent2(q)
+	others := countOthers(q)
+	switch {
+	case c1 <= 1 && others == 0 && c2 == 0:
+		return Easy
+	case (others <= 2 && c1 <= 1 && c2 == 0) || (c1 <= 2 && others < 2 && c2 == 0):
+		return Medium
+	case (others > 2 && c1 <= 2 && c2 == 0) ||
+		(c1 > 2 && c1 <= 3 && others <= 2 && c2 == 0) ||
+		(c1 <= 1 && others == 0 && c2 <= 1):
+		return Hard
+	default:
+		return ExtraHard
+	}
+}
+
+// countComponent1 counts: WHERE, GROUP BY, ORDER BY, LIMIT, JOIN, OR,
+// LIKE occurrences in the top-level block.
+func countComponent1(q *sqlast.Query) int {
+	s := q.Select
+	n := 0
+	if s.Where != nil {
+		n++
+	}
+	if len(s.GroupBy) > 0 {
+		n++
+	}
+	if len(s.OrderBy) > 0 {
+		n++
+	}
+	if s.Limit > 0 {
+		n++
+	}
+	n += len(s.From.Joins)
+	n += countOps(s.Where, "OR") + countOps(s.Having, "OR")
+	n += countOps(s.Where, "LIKE") + countOps(s.Where, "NOT LIKE")
+	return n
+}
+
+// countComponent2 counts nesting: set operators and predicate
+// subqueries anywhere in the query.
+func countComponent2(q *sqlast.Query) int {
+	n := 0
+	if q.Op != sqlast.SetNone {
+		n++
+		n += countComponent2(q.Right)
+	}
+	s := q.Select
+	count := func(e sqlast.Expr) {
+		walkSubqueries(e, func(*sqlast.Query) { n++ })
+	}
+	count(s.Where)
+	count(s.Having)
+	for _, t := range s.From.Tables {
+		if t.Sub != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// countOthers counts: more than one aggregate, more than one select
+// column, more than one WHERE conjunct, more than one GROUP BY key.
+func countOthers(q *sqlast.Query) int {
+	s := q.Select
+	n := 0
+	aggs := 0
+	for _, it := range s.Items {
+		sqlast.WalkExprs(it.Expr, func(e sqlast.Expr) {
+			if _, ok := e.(*sqlast.Agg); ok {
+				aggs++
+			}
+		})
+	}
+	for _, o := range s.OrderBy {
+		sqlast.WalkExprs(o.Expr, func(e sqlast.Expr) {
+			if _, ok := e.(*sqlast.Agg); ok {
+				aggs++
+			}
+		})
+	}
+	if aggs > 1 {
+		n++
+	}
+	if len(s.Items) > 1 {
+		n++
+	}
+	if len(sqlast.Predicates(s.Where)) > 1 {
+		n++
+	}
+	if len(s.GroupBy) > 1 {
+		n++
+	}
+	return n
+}
+
+func countOps(e sqlast.Expr, op string) int {
+	n := 0
+	sqlast.WalkExprs(e, func(x sqlast.Expr) {
+		if b, ok := x.(*sqlast.Binary); ok && b.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+// walkSubqueries calls fn for each predicate subquery directly inside e
+// (without recursing into the subqueries themselves).
+func walkSubqueries(e sqlast.Expr, fn func(*sqlast.Query)) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *sqlast.Binary:
+		walkSubqueries(x.L, fn)
+		walkSubqueries(x.R, fn)
+	case *sqlast.Not:
+		walkSubqueries(x.X, fn)
+	case *sqlast.In:
+		fn(x.Sub)
+	case *sqlast.Exists:
+		fn(x.Sub)
+	case *sqlast.Subquery:
+		fn(x.Q)
+	case *sqlast.Between:
+		walkSubqueries(x.Lo, fn)
+		walkSubqueries(x.Hi, fn)
+	}
+}
+
+// ClauseTags are the Table 5 clause-type categories.
+type ClauseTags struct {
+	Nested   bool
+	Negation bool
+	OrderBy  bool
+	GroupBy  bool
+	// Others is set when none of the other tags apply.
+	Others bool
+}
+
+// Tags computes the clause-type tags of a query. A query may carry
+// several tags; Others is exclusive with the rest.
+func Tags(q *sqlast.Query) ClauseTags {
+	var t ClauseTags
+	for cur := q; cur != nil; cur = cur.Right {
+		s := cur.Select
+		if len(s.OrderBy) > 0 {
+			t.OrderBy = true
+		}
+		if len(s.GroupBy) > 0 {
+			t.GroupBy = true
+		}
+		checkNeg := func(e sqlast.Expr) {
+			sqlast.WalkExprs(e, func(x sqlast.Expr) {
+				switch b := x.(type) {
+				case *sqlast.Not:
+					t.Negation = true
+				case *sqlast.Binary:
+					if b.Op == "!=" || b.Op == "NOT LIKE" {
+						t.Negation = true
+					}
+				case *sqlast.Between:
+					if b.Negate {
+						t.Negation = true
+					}
+				case *sqlast.In:
+					if b.Negate {
+						t.Negation = true
+					}
+					t.Nested = true
+				case *sqlast.Exists:
+					if b.Negate {
+						t.Negation = true
+					}
+					t.Nested = true
+				case *sqlast.Subquery:
+					t.Nested = true
+				}
+			})
+		}
+		checkNeg(s.Where)
+		checkNeg(s.Having)
+		for _, tr := range s.From.Tables {
+			if tr.Sub != nil {
+				t.Nested = true
+			}
+		}
+		if cur.Op == sqlast.SetNone {
+			break
+		}
+	}
+	if !t.Nested && !t.Negation && !t.OrderBy && !t.GroupBy {
+		t.Others = true
+	}
+	return t
+}
+
+// IsCompound reports whether the query uses a set operator; used for the
+// "Having Compound Queries" column of Table 3.
+func IsCompound(q *sqlast.Query) bool { return q.IsCompound() }
+
+// HasNested reports whether the query nests subqueries anywhere
+// (predicate subqueries, derived tables, or set operators), the Table 3
+// "Nested" column.
+func HasNested(q *sqlast.Query) bool {
+	if q.IsCompound() {
+		return true
+	}
+	return Tags(q).Nested
+}
+
+// HasOrderBy reports whether any block of the query has ORDER BY.
+func HasOrderBy(q *sqlast.Query) bool { return Tags(q).OrderBy }
+
+// HasGroupBy reports whether any block of the query has GROUP BY.
+func HasGroupBy(q *sqlast.Query) bool { return Tags(q).GroupBy }

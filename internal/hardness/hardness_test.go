@@ -1,0 +1,94 @@
+package hardness_test
+
+import (
+	"testing"
+
+	"repro/internal/hardness"
+	"repro/internal/sqlparse"
+)
+
+func level(t *testing.T, src string, want hardness.Level) {
+	t.Helper()
+	q := sqlparse.MustParse(src)
+	if got := hardness.Classify(q); got != want {
+		t.Errorf("Classify(%q) = %v, want %v", src, got, want)
+	}
+}
+
+func TestClassifyEasy(t *testing.T) {
+	level(t, "SELECT name FROM employee", hardness.Easy)
+	level(t, "SELECT name FROM employee WHERE age > 30", hardness.Easy)
+	level(t, "SELECT COUNT(*) FROM employee", hardness.Easy)
+}
+
+func TestClassifyMedium(t *testing.T) {
+	level(t, "SELECT name, age FROM employee WHERE age > 30", hardness.Medium)
+	level(t, "SELECT name FROM employee ORDER BY age DESC LIMIT 1", hardness.Medium)
+	level(t, "SELECT city, COUNT(*) FROM employee GROUP BY city", hardness.Medium)
+}
+
+func TestClassifyHard(t *testing.T) {
+	level(t, "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)", hardness.Hard)
+	level(t, "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1", hardness.Hard)
+	// A single set operator with one simple component per side is Hard
+	// under the official component-counting rules (c1<=1, others=0, c2=1).
+	level(t, "SELECT name FROM employee WHERE age > 30 UNION SELECT manager_name FROM shop WHERE district = 'x' ORDER BY name", hardness.Hard)
+}
+
+func TestClassifyExtraHard(t *testing.T) {
+	level(t, `SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		WHERE T2.bonus > 100 GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1`, hardness.ExtraHard)
+	level(t, `SELECT name FROM employee WHERE employee_id IN (SELECT employee_id FROM evaluation)
+		AND age > 30 ORDER BY age DESC LIMIT 1`, hardness.ExtraHard)
+}
+
+func TestClassifyMonotoneExamples(t *testing.T) {
+	// Adding components must not decrease difficulty on this chain.
+	chain := []string{
+		"SELECT name FROM employee",
+		"SELECT name, age FROM employee WHERE age > 30",
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+		"SELECT T1.name, T1.age FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id WHERE T1.age > 30 GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+	}
+	prev := hardness.Easy
+	for _, src := range chain {
+		got := hardness.Classify(sqlparse.MustParse(src))
+		if got < prev {
+			t.Errorf("difficulty decreased at %q: %v < %v", src, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestTags(t *testing.T) {
+	cases := []struct {
+		src  string
+		want hardness.ClauseTags
+	}{
+		{"SELECT a FROM t", hardness.ClauseTags{Others: true}},
+		{"SELECT a FROM t ORDER BY a", hardness.ClauseTags{OrderBy: true}},
+		{"SELECT a FROM t GROUP BY a", hardness.ClauseTags{GroupBy: true}},
+		{"SELECT a FROM t WHERE b != 1", hardness.ClauseTags{Negation: true}},
+		{"SELECT a FROM t WHERE b NOT LIKE 'x%'", hardness.ClauseTags{Negation: true}},
+		{"SELECT a FROM t WHERE b IN (SELECT c FROM s)", hardness.ClauseTags{Nested: true}},
+		{"SELECT a FROM t WHERE b NOT IN (SELECT c FROM s)", hardness.ClauseTags{Nested: true, Negation: true}},
+		{"SELECT a FROM t WHERE b > (SELECT AVG(b) FROM t)", hardness.ClauseTags{Nested: true}},
+	}
+	for _, c := range cases {
+		got := hardness.Tags(sqlparse.MustParse(c.src))
+		if got != c.want {
+			t.Errorf("Tags(%q) = %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTable3Predicates(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t UNION SELECT b FROM s")
+	if !hardness.IsCompound(q) || !hardness.HasNested(q) {
+		t.Error("compound query should be compound and nested")
+	}
+	q = sqlparse.MustParse("SELECT a FROM t ORDER BY a")
+	if !hardness.HasOrderBy(q) || hardness.HasGroupBy(q) {
+		t.Error("order-by tagging wrong")
+	}
+}

@@ -1,0 +1,236 @@
+// Package ltr orchestrates GAR's two-stage learning-to-rank pipeline
+// (§III-C): the training-data construction with the clause-wise
+// similarity score s_i, the first-stage retrieval (Siamese encoder +
+// vector index), and the second-stage re-ranking over the retrieved
+// subset. The paper's Fig. 3 training flow maps onto BuildTriplets /
+// BuildLists; inference maps onto Pipeline.Rank.
+package ltr
+
+import (
+	"math/rand"
+
+	"repro/internal/embed"
+	"repro/internal/norm"
+	"repro/internal/rerank"
+	"repro/internal/sqlast"
+	"repro/internal/vindex"
+)
+
+// clausePenalty is the punishment applied to s_i per differing clause
+// (§III-C1 "Training Data"): s_i starts at 1 and is reduced for each
+// clause of the candidate that differs from the gold query, clamping at
+// 0. Select and compound mismatches hurt most; the remaining clauses
+// share a uniform penalty.
+var clausePenalty = map[string]float64{
+	"select":   0.30,
+	"from":     0.25,
+	"where":    0.20,
+	"group":    0.15,
+	"having":   0.15,
+	"order":    0.20,
+	"compound": 0.30,
+}
+
+// SimilarityScore computes s_i between a candidate query and the gold
+// query: 1 when they match exactly, decreasing with each differing
+// clause, floored at 0.
+func SimilarityScore(cand, gold *sqlast.Query) float64 {
+	if cand == nil || gold == nil {
+		return 0
+	}
+	s := 1.0
+	for clause, equal := range norm.ClauseMatch(cand, gold) {
+		if !equal {
+			s -= clausePenalty[clause]
+		}
+		if s <= 0 {
+			return 0
+		}
+	}
+	return s
+}
+
+// Example is one supervised training example: an NL query and its gold
+// SQL query.
+type Example struct {
+	NL   string
+	Gold *sqlast.Query
+}
+
+// Candidate is one entry of the generated pool: a SQL query and its
+// dialect expression.
+type Candidate struct {
+	SQL     *sqlast.Query
+	Dialect string
+}
+
+// PoolIndex maps canonical query forms to pool positions, so gold
+// lookups are O(1) instead of a scan over the (large) candidate pool.
+type PoolIndex struct {
+	pool    []Candidate
+	byCanon map[string]int
+}
+
+// NewPoolIndex indexes the pool by canonical normalized SQL.
+func NewPoolIndex(pool []Candidate) *PoolIndex {
+	pi := &PoolIndex{pool: pool, byCanon: make(map[string]int, len(pool))}
+	for i, c := range pool {
+		key := norm.Canonical(c.SQL)
+		if _, ok := pi.byCanon[key]; !ok {
+			pi.byCanon[key] = i
+		}
+	}
+	return pi
+}
+
+// Find returns the pool position whose SQL exactly matches the query
+// under SPIDER normalization, or -1.
+func (pi *PoolIndex) Find(q *sqlast.Query) int {
+	if q == nil {
+		return -1
+	}
+	if i, ok := pi.byCanon[norm.Canonical(q)]; ok {
+		return i
+	}
+	return -1
+}
+
+// BuildTriplets constructs the retrieval model's training triples
+// {(q_i, d_i, s_i)} in triplet form: for each example, the dialect of
+// its gold query is the positive and negPerExample sampled low-scoring
+// candidates are the negatives. Examples whose gold query is missing
+// from the pool are skipped (they are data-preparation misses).
+func BuildTriplets(examples []Example, pool []Candidate, pi *PoolIndex, negPerExample int, seed int64) []embed.Triplet {
+	if negPerExample <= 0 {
+		negPerExample = 4
+	}
+	if pi == nil {
+		pi = NewPoolIndex(pool)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []embed.Triplet
+	for _, ex := range examples {
+		posIdx := pi.Find(ex.Gold)
+		if posIdx < 0 {
+			continue
+		}
+		pos := pool[posIdx].Dialect
+		for n := 0; n < negPerExample; n++ {
+			ci := rng.Intn(len(pool))
+			if ci == posIdx {
+				continue
+			}
+			// Hard negatives (structurally close but not equal) teach
+			// the boundary; the s_i score keeps them as negatives, not
+			// positives.
+			if SimilarityScore(pool[ci].SQL, ex.Gold) >= 1 {
+				continue
+			}
+			out = append(out, embed.Triplet{Anchor: ex.NL, Positive: pos, Negative: pool[ci].Dialect})
+		}
+	}
+	return out
+}
+
+// Pipeline is the assembled two-stage ranking pipeline over a candidate
+// pool.
+type Pipeline struct {
+	Encoder  *embed.Encoder
+	Index    vindex.Index
+	Reranker *rerank.Model
+	Pool     []Candidate
+	// PoolIdx accelerates gold lookups; built lazily when nil.
+	PoolIdx *PoolIndex
+	// K is the retrieval threshold (paper: 100).
+	K int
+	// SkipRerank disables the second stage (the "w/o Re-ranking Model"
+	// ablation): retrieval order is final.
+	SkipRerank bool
+}
+
+// Ranked is one ranked translation candidate.
+type Ranked struct {
+	ID      int // index into Pool
+	Score   float64
+	Dialect string
+	SQL     *sqlast.Query
+}
+
+// Retrieve runs the first stage only: the top-k pool ids by encoder
+// similarity.
+func (p *Pipeline) Retrieve(nl string, k int) []vindex.Hit {
+	if k <= 0 {
+		k = p.K
+	}
+	if k <= 0 {
+		k = 100
+	}
+	return p.Index.Search(p.Encoder.Encode(nl), k)
+}
+
+// Rank runs the full two-stage pipeline and returns the candidates in
+// final ranked order.
+func (p *Pipeline) Rank(nl string) []Ranked {
+	hits := p.Retrieve(nl, p.K)
+	out := make([]Ranked, 0, len(hits))
+	if p.SkipRerank || p.Reranker == nil {
+		for _, h := range hits {
+			c := p.Pool[h.ID]
+			out = append(out, Ranked{ID: h.ID, Score: float64(h.Score), Dialect: c.Dialect, SQL: c.SQL})
+		}
+		return out
+	}
+	dialects := make([]string, len(hits))
+	for i, h := range hits {
+		dialects[i] = p.Pool[h.ID].Dialect
+	}
+	order := p.Reranker.Rank(nl, dialects)
+	for _, idx := range order {
+		h := hits[idx]
+		c := p.Pool[h.ID]
+		out = append(out, Ranked{
+			ID:      h.ID,
+			Score:   p.Reranker.Score(nl, c.Dialect),
+			Dialect: c.Dialect,
+			SQL:     c.SQL,
+		})
+	}
+	return out
+}
+
+// BuildLists constructs the re-ranking model's listwise training groups:
+// for each example, the top-k retrieval results form the candidate list
+// and the binary labels mark the gold dialect (§III-C2). Examples whose
+// gold is not retrieved in the top-k contribute their list with the gold
+// appended, so the model still sees a positive (standard practice for
+// training with imperfect first stages).
+func (p *Pipeline) BuildLists(examples []Example, k int) []rerank.TrainingList {
+	if p.PoolIdx == nil {
+		p.PoolIdx = NewPoolIndex(p.Pool)
+	}
+	var lists []rerank.TrainingList
+	for _, ex := range examples {
+		goldIdx := p.PoolIdx.Find(ex.Gold)
+		if goldIdx < 0 {
+			continue
+		}
+		hits := p.Retrieve(ex.NL, k)
+		list := rerank.TrainingList{NL: ex.NL}
+		sawGold := false
+		for _, h := range hits {
+			list.Dialects = append(list.Dialects, p.Pool[h.ID].Dialect)
+			label := 0.0
+			if h.ID == goldIdx {
+				label = 1
+				sawGold = true
+			}
+			list.Labels = append(list.Labels, label)
+		}
+		if !sawGold {
+			list.Dialects = append(list.Dialects, p.Pool[goldIdx].Dialect)
+			list.Labels = append(list.Labels, 1)
+		}
+		lists = append(lists, list)
+	}
+	return lists
+}

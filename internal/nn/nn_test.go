@@ -1,0 +1,127 @@
+package nn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-scalar output")
+		}
+	}()
+	nn.NewMLP([]int{4, 2}, 1)
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	a := nn.NewMLP([]int{4, 8, 1}, 7)
+	b := nn.NewMLP([]int{4, 8, 1}, 7)
+	x := []float64{0.1, -0.5, 0.3, 1}
+	if a.Score(x) != b.Score(x) {
+		t.Error("same seed should give identical networks")
+	}
+	c := nn.NewMLP([]int{4, 8, 1}, 8)
+	if a.Score(x) == c.Score(x) {
+		t.Error("different seeds should give different networks")
+	}
+}
+
+// makeLists builds a synthetic listwise task: the item whose first
+// feature is largest is the relevant one; other features are noise.
+func makeLists(n, listLen int, seed int64) []nn.List {
+	rng := rand.New(rand.NewSource(seed))
+	lists := make([]nn.List, n)
+	for i := range lists {
+		feats := make([][]float64, listLen)
+		labels := make([]float64, listLen)
+		best, bestV := 0, -1.0
+		for j := range feats {
+			f := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			feats[j] = f
+			if f[0] > bestV {
+				best, bestV = j, f[0]
+			}
+		}
+		labels[best] = 1
+		lists[i] = nn.List{Features: feats, Labels: labels}
+	}
+	return lists
+}
+
+func accuracy(m *nn.MLP, lists []nn.List) float64 {
+	correct := 0
+	for _, l := range lists {
+		bestIdx, bestScore := 0, m.Score(l.Features[0])
+		for j := 1; j < len(l.Features); j++ {
+			if s := m.Score(l.Features[j]); s > bestScore {
+				bestIdx, bestScore = j, s
+			}
+		}
+		if l.Labels[bestIdx] == 1 {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(lists))
+}
+
+func TestTrainListwiseLearnsRanking(t *testing.T) {
+	train := makeLists(200, 5, 1)
+	test := makeLists(100, 5, 2)
+	m := nn.NewMLP([]int{3, 16, 1}, 3)
+	before := accuracy(m, test)
+	losses := m.TrainListwise(train, nn.TrainConfig{Epochs: 15, LR: 0.01, Seed: 4})
+	after := accuracy(m, test)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("loss did not decrease: first %.4f last %.4f", losses[0], losses[len(losses)-1])
+	}
+	if after < 0.9 {
+		t.Errorf("test accuracy %.2f too low (was %.2f before training)", after, before)
+	}
+	if after <= before {
+		t.Errorf("training did not improve accuracy: %.2f → %.2f", before, after)
+	}
+}
+
+func TestTrainListwiseGradedLabels(t *testing.T) {
+	// Graded labels (0.5 vs 1.0) must be accepted and the top item learned.
+	rng := rand.New(rand.NewSource(9))
+	var lists []nn.List
+	for i := 0; i < 100; i++ {
+		feats := [][]float64{
+			{1, rng.Float64()},
+			{0.5, rng.Float64()},
+			{0, rng.Float64()},
+		}
+		lists = append(lists, nn.List{Features: feats, Labels: []float64{1, 0.5, 0}})
+	}
+	m := nn.NewMLP([]int{2, 8, 1}, 5)
+	m.TrainListwise(lists, nn.TrainConfig{Epochs: 10, LR: 0.01, Seed: 6})
+	if m.Score([]float64{1, 0.5}) <= m.Score([]float64{0, 0.5}) {
+		t.Error("graded training failed to order scores")
+	}
+}
+
+func TestTrainListwiseEmptyLists(t *testing.T) {
+	m := nn.NewMLP([]int{2, 1}, 1)
+	losses := m.TrainListwise([]nn.List{{}}, nn.TrainConfig{Epochs: 2})
+	if len(losses) != 2 {
+		t.Errorf("expected 2 epochs, got %d", len(losses))
+	}
+}
+
+func TestAllZeroLabelsUniformTarget(t *testing.T) {
+	m := nn.NewMLP([]int{2, 4, 1}, 2)
+	lists := []nn.List{{
+		Features: [][]float64{{1, 0}, {0, 1}},
+		Labels:   []float64{0, 0},
+	}}
+	losses := m.TrainListwise(lists, nn.TrainConfig{Epochs: 3, LR: 0.01})
+	for _, l := range losses {
+		if l <= 0 {
+			t.Errorf("uniform-target loss should be positive: %v", losses)
+		}
+	}
+}

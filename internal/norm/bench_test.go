@@ -1,0 +1,19 @@
+package norm
+
+import (
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// BenchmarkCanonical measures SPIDER-style normalization, the inner loop
+// of exact-match evaluation and pool indexing.
+func BenchmarkCanonical(b *testing.B) {
+	q := sqlparse.MustParse(`SELECT T1.name FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		WHERE T2.bonus > 100 ORDER BY T2.bonus DESC LIMIT 1`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Canonical(q)
+	}
+}

@@ -1,0 +1,311 @@
+// Package norm implements SPIDER-style query normalization and the
+// exact-match comparison used for the translation-accuracy metric. A
+// query is decomposed into its clauses; unordered clauses (projections,
+// conjunctive predicates, join edges, group keys) compare as sets, so two
+// queries that differ only in clause order, alias naming or literal
+// values are considered equal — matching the paper's use of the SPIDER
+// normalization script (§V, "Evaluation Metrics").
+package norm
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sqlast"
+)
+
+// Canonical returns the canonical normalized form of a query. Two
+// queries are exact-match equal iff their canonical forms are identical.
+func Canonical(q *sqlast.Query) string {
+	c := q.Clone()
+	sqlast.ResolveAliases(c)
+	sqlast.MaskValues(c)
+	return canonicalQuery(c)
+}
+
+// ExactMatch reports whether the predicted query matches the gold query
+// under SPIDER-style normalization. A nil prediction never matches.
+func ExactMatch(pred, gold *sqlast.Query) bool {
+	if pred == nil || gold == nil {
+		return false
+	}
+	return Canonical(pred) == Canonical(gold)
+}
+
+func canonicalQuery(q *sqlast.Query) string {
+	if q.Op == sqlast.SetNone {
+		return canonicalSelect(q.Select)
+	}
+	left := canonicalSelect(q.Select)
+	right := canonicalQuery(q.Right)
+	// UNION and INTERSECT are commutative; order the sides canonically.
+	if (q.Op == sqlast.Union || q.Op == sqlast.Intersect) && right < left {
+		left, right = right, left
+	}
+	return left + " " + q.Op.String() + " " + right
+}
+
+func canonicalSelect(s *sqlast.Select) string {
+	var parts []string
+
+	items := make([]string, 0, len(s.Items))
+	for _, it := range s.Items {
+		items = append(items, canonicalExpr(it.Expr))
+	}
+	sort.Strings(items)
+	sel := "select "
+	if s.Distinct {
+		sel += "distinct "
+	}
+	parts = append(parts, sel+strings.Join(items, ", "))
+
+	tables := make([]string, 0, len(s.From.Tables))
+	for _, t := range s.From.Tables {
+		if t.Sub != nil {
+			tables = append(tables, "("+canonicalQuery(t.Sub)+")")
+		} else {
+			tables = append(tables, strings.ToLower(t.Name))
+		}
+	}
+	sort.Strings(tables)
+	parts = append(parts, "from "+strings.Join(tables, ", "))
+
+	if len(s.From.Joins) > 0 {
+		edges := make([]string, 0, len(s.From.Joins))
+		for _, j := range s.From.Joins {
+			a := canonicalExpr(&j.Left)
+			b := canonicalExpr(&j.Right)
+			if b < a {
+				a, b = b, a
+			}
+			edges = append(edges, a+" = "+b)
+		}
+		sort.Strings(edges)
+		parts = append(parts, "on "+strings.Join(edges, " and "))
+	}
+
+	if s.Where != nil {
+		parts = append(parts, "where "+canonicalCond(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, 0, len(s.GroupBy))
+		for _, g := range s.GroupBy {
+			keys = append(keys, canonicalExpr(g))
+		}
+		sort.Strings(keys)
+		parts = append(parts, "group by "+strings.Join(keys, ", "))
+	}
+	if s.Having != nil {
+		parts = append(parts, "having "+canonicalCond(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, 0, len(s.OrderBy))
+		for _, o := range s.OrderBy {
+			k := canonicalExpr(o.Expr)
+			if o.Desc {
+				k += " desc"
+			} else {
+				k += " asc"
+			}
+			keys = append(keys, k)
+		}
+		// Order-by sequence is semantically significant; keep order.
+		parts = append(parts, "order by "+strings.Join(keys, ", "))
+	}
+	if s.Limit > 0 {
+		parts = append(parts, "limit "+itoa(s.Limit))
+	}
+	return strings.Join(parts, " ")
+}
+
+// canonicalCond flattens top-level conjunctions into a sorted set and
+// keeps disjunctions (whose grouping is semantic) as single units with
+// sorted operands.
+func canonicalCond(e sqlast.Expr) string {
+	conjuncts := conjunctsOf(e)
+	parts := make([]string, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		parts = append(parts, canonicalPredicate(c))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " and ")
+}
+
+func conjunctsOf(e sqlast.Expr) []sqlast.Expr {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == "AND" {
+		return append(conjunctsOf(b.L), conjunctsOf(b.R)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+func disjunctsOf(e sqlast.Expr) []sqlast.Expr {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == "OR" {
+		return append(disjunctsOf(b.L), disjunctsOf(b.R)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+func canonicalPredicate(e sqlast.Expr) string {
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == "OR" {
+		ds := disjunctsOf(e)
+		parts := make([]string, 0, len(ds))
+		for _, d := range ds {
+			parts = append(parts, canonicalPredicate(d))
+		}
+		sort.Strings(parts)
+		return "(" + strings.Join(parts, " or ") + ")"
+	}
+	return canonicalExpr(e)
+}
+
+func canonicalExpr(e sqlast.Expr) string {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		if x.Table == "" {
+			return strings.ToLower(x.Column)
+		}
+		return strings.ToLower(x.Table + "." + x.Column)
+	case *sqlast.Agg:
+		s := strings.ToLower(string(x.Func)) + "("
+		if x.Distinct {
+			s += "distinct "
+		}
+		return s + canonicalExpr(x.Arg) + ")"
+	case *sqlast.Lit:
+		if x.Kind == sqlast.NumberLit {
+			return x.Text
+		}
+		return "'" + strings.ToLower(x.Text) + "'"
+	case *sqlast.Binary:
+		op := strings.ToLower(x.Op)
+		l, r := canonicalExpr(x.L), canonicalExpr(x.R)
+		// Equality is symmetric; orient canonically.
+		if x.Op == "=" && r < l {
+			l, r = r, l
+		}
+		return l + " " + op + " " + r
+	case *sqlast.Not:
+		return "not " + canonicalPredicate(x.X)
+	case *sqlast.Between:
+		s := canonicalExpr(x.X)
+		if x.Negate {
+			s += " not"
+		}
+		return s + " between " + canonicalExpr(x.Lo) + " and " + canonicalExpr(x.Hi)
+	case *sqlast.In:
+		s := canonicalExpr(x.X)
+		if x.Negate {
+			s += " not"
+		}
+		return s + " in (" + canonicalQuery(x.Sub) + ")"
+	case *sqlast.Exists:
+		s := "exists (" + canonicalQuery(x.Sub) + ")"
+		if x.Negate {
+			s = "not " + s
+		}
+		return s
+	case *sqlast.Subquery:
+		return "(" + canonicalQuery(x.Q) + ")"
+	default:
+		return "?"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// ClauseMatch reports, clause by clause, whether the predicted query
+// matches the gold query. The result maps clause names (select, from,
+// where, group, having, order, compound) to a boolean. It is used for
+// the partial-credit similarity score of the LTR training data.
+func ClauseMatch(pred, gold *sqlast.Query) map[string]bool {
+	p, g := decompose(pred), decompose(gold)
+	return map[string]bool{
+		"select":   p.selects == g.selects,
+		"from":     p.from == g.from,
+		"where":    p.where == g.where,
+		"group":    p.group == g.group,
+		"having":   p.having == g.having,
+		"order":    p.order == g.order,
+		"compound": p.compound == g.compound,
+	}
+}
+
+type clauses struct {
+	selects, from, where, group, having, order, compound string
+}
+
+func decompose(q *sqlast.Query) clauses {
+	c := q.Clone()
+	sqlast.ResolveAliases(c)
+	sqlast.MaskValues(c)
+	var out clauses
+	s := c.Select
+	items := make([]string, 0, len(s.Items))
+	for _, it := range s.Items {
+		items = append(items, canonicalExpr(it.Expr))
+	}
+	sort.Strings(items)
+	out.selects = strings.Join(items, ",")
+	if s.Distinct {
+		out.selects = "distinct " + out.selects
+	}
+
+	tables := make([]string, 0, len(s.From.Tables))
+	for _, t := range s.From.Tables {
+		if t.Sub != nil {
+			tables = append(tables, "("+canonicalQuery(t.Sub)+")")
+		} else {
+			tables = append(tables, strings.ToLower(t.Name))
+		}
+	}
+	sort.Strings(tables)
+	edges := make([]string, 0, len(s.From.Joins))
+	for _, j := range s.From.Joins {
+		a, b := canonicalExpr(&j.Left), canonicalExpr(&j.Right)
+		if b < a {
+			a, b = b, a
+		}
+		edges = append(edges, a+"="+b)
+	}
+	sort.Strings(edges)
+	out.from = strings.Join(tables, ",") + "|" + strings.Join(edges, ",")
+
+	if s.Where != nil {
+		out.where = canonicalCond(s.Where)
+	}
+	keys := make([]string, 0, len(s.GroupBy))
+	for _, g := range s.GroupBy {
+		keys = append(keys, canonicalExpr(g))
+	}
+	sort.Strings(keys)
+	out.group = strings.Join(keys, ",")
+	if s.Having != nil {
+		out.having = canonicalCond(s.Having)
+	}
+	var order []string
+	for _, o := range s.OrderBy {
+		k := canonicalExpr(o.Expr)
+		if o.Desc {
+			k += " desc"
+		}
+		order = append(order, k)
+	}
+	out.order = strings.Join(order, ",")
+	if s.Limit > 0 {
+		out.order += " limit " + itoa(s.Limit)
+	}
+	if c.Op != sqlast.SetNone {
+		out.compound = c.Op.String() + " " + canonicalQuery(c.Right)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package norm_test
+
+import (
+	"testing"
+
+	"repro/internal/norm"
+	"repro/internal/sqlparse"
+)
+
+func match(t *testing.T, a, b string, want bool) {
+	t.Helper()
+	qa, qb := sqlparse.MustParse(a), sqlparse.MustParse(b)
+	if got := norm.ExactMatch(qa, qb); got != want {
+		t.Errorf("ExactMatch(%q, %q) = %v, want %v\ncanonical a: %s\ncanonical b: %s",
+			a, b, got, want, norm.Canonical(qa), norm.Canonical(qb))
+	}
+}
+
+func TestExactMatchEquivalences(t *testing.T) {
+	// Select-item order.
+	match(t, "SELECT a, b FROM t", "SELECT b, a FROM t", true)
+	// Conjunct order.
+	match(t, "SELECT a FROM t WHERE b = 1 AND c = 2", "SELECT a FROM t WHERE c = 2 AND b = 1", true)
+	// Disjunct order.
+	match(t, "SELECT a FROM t WHERE b = 1 OR c = 2", "SELECT a FROM t WHERE c = 2 OR b = 1", true)
+	// Literal values are masked.
+	match(t, "SELECT a FROM t WHERE b = 'Spain'", "SELECT a FROM t WHERE b = 'France'", true)
+	// Aliases.
+	match(t, "SELECT T1.a FROM t AS T1", "SELECT x.a FROM t AS x", true)
+	// Join edge orientation.
+	match(t,
+		"SELECT T1.a FROM t AS T1 JOIN s AS T2 ON T1.id = T2.tid",
+		"SELECT T1.a FROM t AS T1 JOIN s AS T2 ON T2.tid = T1.id", true)
+	// Equality operand orientation.
+	match(t, "SELECT a FROM t WHERE b = c", "SELECT a FROM t WHERE c = b", true)
+	// UNION commutativity.
+	match(t, "SELECT a FROM t UNION SELECT b FROM s", "SELECT b FROM s UNION SELECT a FROM t", true)
+	// Keyword case.
+	match(t, "select a from t", "SELECT a FROM t", true)
+}
+
+func TestExactMatchDifferences(t *testing.T) {
+	match(t, "SELECT a FROM t", "SELECT b FROM t", false)
+	match(t, "SELECT a FROM t", "SELECT DISTINCT a FROM t", false)
+	match(t, "SELECT a FROM t WHERE b = 1 AND c = 2", "SELECT a FROM t WHERE b = 1 OR c = 2", false)
+	match(t, "SELECT a FROM t ORDER BY a", "SELECT a FROM t ORDER BY a DESC", false)
+	match(t, "SELECT a FROM t ORDER BY a, b", "SELECT a FROM t ORDER BY b, a", false)
+	match(t, "SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 5", false)
+	match(t, "SELECT a FROM t WHERE b > 1", "SELECT a FROM t WHERE b < 1", false)
+	match(t, "SELECT MAX(a) FROM t", "SELECT MIN(a) FROM t", false)
+	match(t, "SELECT COUNT(a) FROM t", "SELECT COUNT(DISTINCT a) FROM t", false)
+	match(t, "SELECT a FROM t EXCEPT SELECT a FROM s", "SELECT a FROM s EXCEPT SELECT a FROM t", false)
+	// Different join paths (the Fig. 7 failure case).
+	match(t,
+		"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport",
+		"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.sourceAirport",
+		false)
+}
+
+func TestExactMatchNested(t *testing.T) {
+	match(t,
+		"SELECT a FROM t WHERE b IN (SELECT c FROM s WHERE d = 1 AND e = 2)",
+		"SELECT a FROM t WHERE b IN (SELECT c FROM s WHERE e = 9 AND d = 7)",
+		true)
+	match(t,
+		"SELECT a FROM t WHERE b IN (SELECT c FROM s)",
+		"SELECT a FROM t WHERE b NOT IN (SELECT c FROM s)",
+		false)
+}
+
+func TestExactMatchNil(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t")
+	if norm.ExactMatch(nil, q) || norm.ExactMatch(q, nil) {
+		t.Error("nil queries must not match")
+	}
+}
+
+func TestClauseMatch(t *testing.T) {
+	a := sqlparse.MustParse("SELECT a FROM t WHERE b = 1 ORDER BY a")
+	b := sqlparse.MustParse("SELECT a FROM t WHERE b = 2 ORDER BY a DESC")
+	m := norm.ClauseMatch(a, b)
+	if !m["select"] || !m["from"] || !m["where"] {
+		t.Errorf("select/from/where should match: %v", m)
+	}
+	if m["order"] {
+		t.Errorf("order should differ: %v", m)
+	}
+	if !m["group"] || !m["having"] || !m["compound"] {
+		t.Errorf("absent clauses should match: %v", m)
+	}
+}
+
+func TestCanonicalStable(t *testing.T) {
+	src := "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1"
+	q := sqlparse.MustParse(src)
+	c1 := norm.Canonical(q)
+	c2 := norm.Canonical(sqlparse.MustParse(src))
+	if c1 != c2 {
+		t.Errorf("canonical form unstable:\n%s\n%s", c1, c2)
+	}
+	// Canonicalization must not mutate the input.
+	if q.String() != sqlparse.MustParse(src).String() {
+		t.Error("Canonical mutated its argument")
+	}
+}

@@ -1,0 +1,199 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple text charts (bars and box plots), one per table/figure of the
+// paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal ASCII bar chart scaled to maxWidth
+// characters; values are annotated numerically.
+func BarChart(title string, bars []Bar, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.Value / maxVal * float64(maxWidth))
+		}
+		fmt.Fprintf(&sb, "%s  %s %.3f\n", pad(b.Label, labelW), strings.Repeat("#", n), b.Value)
+	}
+	return sb.String()
+}
+
+// BoxStats summarizes a sample for a box plot row.
+type BoxStats struct {
+	Label                    string
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxStatsOf computes the five-number summary of values (which must be
+// non-empty and may arrive unsorted).
+func BoxStatsOf(label string, values []float64) BoxStats {
+	sorted := append([]float64(nil), values...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	q := func(p float64) float64 {
+		if len(sorted) == 1 {
+			return sorted[0]
+		}
+		pos := p * float64(len(sorted)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(sorted) {
+			return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		}
+		return sorted[lo]
+	}
+	return BoxStats{
+		Label: label, Min: sorted[0], Q1: q(0.25), Median: q(0.5),
+		Q3: q(0.75), Max: sorted[len(sorted)-1],
+	}
+}
+
+// BoxPlot renders box-plot rows on a shared numeric axis.
+func BoxPlot(title string, rows []BoxStats, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range rows {
+		if r.Max > maxVal {
+			maxVal = r.Max
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	col := func(v float64) int {
+		c := int(v / maxVal * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, r := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := col(r.Min); i <= col(r.Max); i++ {
+			line[i] = '-'
+		}
+		for i := col(r.Q1); i <= col(r.Q3); i++ {
+			line[i] = '='
+		}
+		line[col(r.Median)] = '|'
+		fmt.Fprintf(&sb, "%s  %s  (med %.1f)\n", pad(r.Label, labelW), string(line), r.Median)
+	}
+	return sb.String()
+}

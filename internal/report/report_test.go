@@ -1,0 +1,79 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &report.Table{Title: "T", Columns: []string{"A", "LongHeader"}}
+	tbl.AddRow("x", 1)
+	tbl.AddRow("longer-cell", 0.5)
+	out := tbl.Render()
+	if !strings.HasPrefix(out, "T\n") {
+		t.Errorf("title missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, separator, two rows
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d: %q", len(lines), out)
+	}
+	// Column alignment: the second column starts at the same offset in
+	// every row.
+	idx := strings.Index(lines[1], "LongHeader")
+	if !strings.HasPrefix(lines[3][idx:], "1") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4][idx:], "0.500") {
+		t.Errorf("float formatting wrong: %q", lines[4])
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := report.BarChart("title", []report.Bar{
+		{Label: "a", Value: 1.0},
+		{Label: "bb", Value: 0.5},
+	}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines: %q", out)
+	}
+	long := strings.Count(lines[1], "#")
+	short := strings.Count(lines[2], "#")
+	if long != 10 || short != 5 {
+		t.Errorf("bar scaling wrong: %d and %d", long, short)
+	}
+	if !strings.Contains(lines[1], "1.000") || !strings.Contains(lines[2], "0.500") {
+		t.Errorf("values missing: %q", out)
+	}
+}
+
+func TestBoxStatsOf(t *testing.T) {
+	s := report.BoxStatsOf("x", []float64{5, 1, 3, 2, 4})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("five-number summary wrong: %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles wrong: %+v", s)
+	}
+	single := report.BoxStatsOf("y", []float64{7})
+	if single.Min != 7 || single.Median != 7 || single.Max != 7 {
+		t.Errorf("singleton summary wrong: %+v", single)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	rows := []report.BoxStats{
+		{Label: "a", Min: 0, Q1: 1, Median: 2, Q3: 3, Max: 4},
+		{Label: "b", Min: 2, Q1: 4, Median: 6, Q3: 8, Max: 10},
+	}
+	out := report.BoxPlot("plot", rows, 20)
+	if !strings.Contains(out, "|") || !strings.Contains(out, "=") {
+		t.Errorf("box plot glyphs missing: %q", out)
+	}
+	if !strings.Contains(out, "(med 2.0)") || !strings.Contains(out, "(med 6.0)") {
+		t.Errorf("medians missing: %q", out)
+	}
+}

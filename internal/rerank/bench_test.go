@@ -1,0 +1,20 @@
+package rerank_test
+
+import (
+	"testing"
+
+	"repro/internal/rerank"
+	"repro/internal/text"
+)
+
+// BenchmarkFeatures measures cross-pair feature extraction, the inner
+// loop of second-stage re-ranking (k pairs per translated question).
+func BenchmarkFeatures(b *testing.B) {
+	x := &rerank.Extractor{IDF: text.NewIDF([]string{"find the name of employee"})}
+	const nl = "find the name of the employee who got the highest one time bonus"
+	const d = "Find the name of employee regarding to employee with evaluation. Return the top one result in descending order of one bonus of the employee evaluation."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Features(nl, d)
+	}
+}

@@ -1,0 +1,273 @@
+// Package rerank implements GAR's second-stage re-ranking model
+// (§III-C2). The paper fine-tunes a RoBERTa cross-encoder with a
+// listwise NeuralNDCG objective; this package substitutes a feed-forward
+// network over cross-pair interaction features (lexical overlap, IDF
+// weighted coverage, n-gram and character similarity, length and value
+// signals, and the retrieval encoder's cosine) trained with the ListNet
+// listwise objective — same role: fine-grained relevance scoring of
+// (NL query, dialect expression) pairs, trained per query list.
+package rerank
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/nn"
+	"repro/internal/text"
+)
+
+// FeatureDim is the size of the cross-pair feature vector.
+const FeatureDim = 20
+
+// Extractor computes cross-pair features. The IDF statistics come from
+// the dialect corpus; the encoder contributes its learned similarity.
+type Extractor struct {
+	IDF     *text.IDF
+	Encoder *embed.Encoder
+}
+
+// superlatives are NL markers that align with ORDER BY ... LIMIT 1
+// dialect phrases; mirrored against the dialect template vocabulary.
+var superlatives = map[string]bool{
+	"most": true, "highest": true, "largest": true, "biggest": true,
+	"maximum": true, "max": true, "top": true, "best": true,
+	"fewest": true, "lowest": true, "smallest": true, "minimum": true,
+	"min": true, "least": true, "youngest": true, "oldest": true,
+	"longest": true, "shortest": true, "earliest": true, "latest": true,
+}
+
+var negations = map[string]bool{
+	"not": true, "no": true, "never": true, "without": true,
+	"except": true, "exclude": true, "excluding": true,
+}
+
+var aggregates = map[string]bool{
+	"number": true, "count": true, "many": true, "total": true,
+	"sum": true, "average": true, "mean": true, "maximum": true,
+	"minimum": true, "highest": true, "lowest": true,
+}
+
+// Features computes the feature vector for one (NL, dialect) pair.
+func (x *Extractor) Features(nl, dial string) []float64 {
+	nlToks := text.Tokenize(nl)
+	dToks := text.Tokenize(dial)
+	nlContent := text.CanonTokens(nl)
+	dContent := text.CanonTokens(dial)
+
+	f := make([]float64, 0, FeatureDim)
+	// 0-2: token-set similarity.
+	f = append(f, text.Jaccard(nlContent, dContent))
+	f = append(f, text.OverlapRatio(nlContent, dContent))
+	f = append(f, text.OverlapRatio(dContent, nlContent))
+	// 3: IDF-weighted coverage of the NL query by the dialect.
+	f = append(f, x.IDF.WeightedOverlap(nlContent, dContent))
+	// 4: bigram overlap.
+	f = append(f, text.Jaccard(text.NGrams(nlToks, 2), text.NGrams(dToks, 2)))
+	// 5: character-trigram similarity (robust to morphology).
+	f = append(f, text.Jaccard(charGrams(nlContent), charGrams(dContent)))
+	// 6: normalized token edit distance.
+	ed := text.EditDistance(nlToks, dToks)
+	den := len(nlToks) + len(dToks)
+	if den == 0 {
+		den = 1
+	}
+	f = append(f, 1-float64(ed)/float64(den))
+	// 7-8: length signals.
+	f = append(f, lengthRatio(len(nlToks), len(dToks)))
+	f = append(f, math.Abs(float64(len(nlToks)-len(dToks)))/16)
+	// 9: numeric literal agreement.
+	f = append(f, numberAgreement(nlToks, dToks))
+	// 10-12: superlative / negation / aggregate marker agreement.
+	f = append(f, markerAgreement(nlToks, dToks, superlatives))
+	f = append(f, markerAgreement(nlToks, dToks, negations))
+	f = append(f, markerAgreement(nlToks, dToks, aggregates))
+	// 13: "for each"/"per" vs GROUP BY phrase agreement.
+	f = append(f, boolFeat(hasGroupCue(nl) == strings.Contains(dial, "for each")))
+	// 14: ordering cue agreement.
+	f = append(f, boolFeat(hasOrderCue(nl) == strings.Contains(dial, "order of")))
+	// 15: comparison cue agreement ("more than", "at least", ...).
+	f = append(f, boolFeat(hasCompareCue(nl) == hasCompareCue(dial)))
+	// 16: select-sentence agreement — coverage of the dialect's first
+	// sentence (the projection) by the NL query; separates candidates
+	// that differ only in the selected columns.
+	firstSentence := dial
+	if i := strings.IndexByte(dial, '.'); i > 0 {
+		firstSentence = dial[:i]
+	}
+	f = append(f, text.OverlapRatio(text.CanonTokens(firstSentence), nlContent))
+	// 17: leading-token agreement — the head of the question names the
+	// projection ("find the AGE of ..."), so its first content tokens
+	// must appear in the dialect's projection sentence. This separates
+	// role-swapped candidates (ORDER BY age vs SELECT age) that share a
+	// bag of words.
+	f = append(f, text.OverlapRatio(headTokens(nlContent, 3), text.CanonTokens(firstSentence)))
+	// 18: learned retrieval similarity.
+	if x.Encoder != nil {
+		f = append(f, float64(x.Encoder.Similarity(nl, dial)))
+	} else {
+		f = append(f, 0)
+	}
+	// 19: bias.
+	f = append(f, 1)
+	return f
+}
+
+// headTokens returns the first n tokens of the slice.
+func headTokens(tokens []string, n int) []string {
+	if len(tokens) < n {
+		return tokens
+	}
+	return tokens[:n]
+}
+
+func charGrams(tokens []string) []string {
+	var out []string
+	for _, t := range tokens {
+		out = append(out, text.CharNGrams(t, 3)...)
+	}
+	return out
+}
+
+func lengthRatio(a, b int) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return float64(a) / float64(b)
+}
+
+func numberAgreement(a, b []string) float64 {
+	na, nb := numbers(a), numbers(b)
+	if len(na) == 0 && len(nb) == 0 {
+		return 1
+	}
+	return text.Jaccard(na, nb)
+}
+
+func numbers(tokens []string) []string {
+	var out []string
+	for _, t := range tokens {
+		if t[0] >= '0' && t[0] <= '9' {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func markerAgreement(a, b []string, set map[string]bool) float64 {
+	ha, hb := hasAny(a, set), hasAny(b, set)
+	if ha == hb {
+		return 1
+	}
+	return 0
+}
+
+func hasAny(tokens []string, set map[string]bool) bool {
+	for _, t := range tokens {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func hasGroupCue(s string) bool {
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "for each") || strings.Contains(ls, " per ") ||
+		strings.Contains(ls, "each ") || strings.Contains(ls, "for every")
+}
+
+func hasOrderCue(s string) bool {
+	ls := strings.ToLower(s)
+	for _, cue := range []string{"order of", "sorted", "sort ", "ordered", "alphabetical",
+		"ascending", "descending", "highest", "lowest", "most", "fewest", "largest",
+		"smallest", "top ", "best", "oldest", "youngest", "longest", "shortest"} {
+		if strings.Contains(ls, cue) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasCompareCue(s string) bool {
+	ls := strings.ToLower(s)
+	for _, cue := range []string{"more than", "less than", "greater than", "at least",
+		"at most", "above", "below", "over ", "under ", "exceed"} {
+		if strings.Contains(ls, cue) {
+			return true
+		}
+	}
+	return false
+}
+
+func boolFeat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Model is the trained re-ranking model.
+type Model struct {
+	X   *Extractor
+	Net *nn.MLP
+}
+
+// New builds an untrained re-ranker with the standard architecture
+// (FeatureDim → 24 → 12 → 1).
+func New(x *Extractor, seed int64) *Model {
+	return &Model{X: x, Net: nn.NewMLP([]int{FeatureDim, 24, 12, 1}, seed)}
+}
+
+// Score returns the relevance score of a (NL, dialect) pair.
+func (m *Model) Score(nl, dial string) float64 {
+	return m.Net.Score(m.X.Features(nl, dial))
+}
+
+// TrainingList is one listwise group: an NL query with candidate
+// dialects and their binary (or graded) relevance labels.
+type TrainingList struct {
+	NL       string
+	Dialects []string
+	Labels   []float64
+}
+
+// Train fits the model on listwise groups.
+func (m *Model) Train(lists []TrainingList, cfg nn.TrainConfig) []float64 {
+	nnLists := make([]nn.List, 0, len(lists))
+	for _, l := range lists {
+		list := nn.List{Labels: l.Labels}
+		for _, d := range l.Dialects {
+			list.Features = append(list.Features, m.X.Features(l.NL, d))
+		}
+		nnLists = append(nnLists, list)
+	}
+	return m.Net.TrainListwise(nnLists, cfg)
+}
+
+// Rank scores all candidates for the NL query and returns the indexes in
+// descending score order.
+func (m *Model) Rank(nl string, dialects []string) []int {
+	type scored struct {
+		idx   int
+		score float64
+	}
+	s := make([]scored, len(dialects))
+	for i, d := range dialects {
+		s[i] = scored{idx: i, score: m.Score(nl, d)}
+	}
+	// Insertion sort keeps determinism on ties (stable by index).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].score > s[j-1].score; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]int, len(s))
+	for i, sc := range s {
+		out[i] = sc.idx
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package rerank_test
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/nn"
+	"repro/internal/rerank"
+	"repro/internal/text"
+)
+
+func newExtractor() *rerank.Extractor {
+	corpus := []string{
+		"Find the name of employee.",
+		"Find the age of employee.",
+		"Find the number of employees.",
+		"Find the name of employee. Return the top one result in descending order of the age of employee.",
+		"Find the name of employee. Return results only for employee that age is greater than value.",
+	}
+	enc := embed.NewEncoder(embed.Config{Seed: 1})
+	enc.FitIDF(corpus)
+	return &rerank.Extractor{IDF: text.NewIDF(corpus), Encoder: enc}
+}
+
+func TestFeatureShape(t *testing.T) {
+	x := newExtractor()
+	f := x.Features("who is the oldest employee", "Find the name of employee.")
+	if len(f) != rerank.FeatureDim {
+		t.Fatalf("feature dim %d, want %d", len(f), rerank.FeatureDim)
+	}
+	for i, v := range f {
+		if v != v { // NaN check
+			t.Errorf("feature %d is NaN", i)
+		}
+	}
+	// Empty inputs must not panic or produce NaN.
+	f = x.Features("", "")
+	for i, v := range f {
+		if v != v {
+			t.Errorf("empty-input feature %d is NaN", i)
+		}
+	}
+}
+
+func TestFeaturesFavorMatchingDialect(t *testing.T) {
+	x := newExtractor()
+	nl := "who is the oldest employee"
+	good := "Find the name of employee. Return the top one result in descending order of the age of employee."
+	bad := "Find the number of employees."
+	fg := x.Features(nl, good)
+	fb := x.Features(nl, bad)
+	// The ordering-cue agreement feature (index 14) must separate them.
+	if fg[14] <= fb[14] {
+		t.Errorf("order cue feature does not separate: good %v bad %v", fg[14], fb[14])
+	}
+}
+
+func TestSuperlativeAgreement(t *testing.T) {
+	x := newExtractor()
+	withCue := x.Features("the highest bonus", "Return the top one result in descending order of one bonus.")
+	withoutCue := x.Features("the highest bonus", "Find the bonus of evaluation.")
+	if withCue[10] != 1 {
+		t.Errorf("superlative agreement should be 1: %v", withCue[10])
+	}
+	if withoutCue[10] != 0 {
+		t.Errorf("superlative disagreement should be 0: %v", withoutCue[10])
+	}
+}
+
+func trainingLists() []rerank.TrainingList {
+	return []rerank.TrainingList{
+		{
+			NL: "who is the oldest employee",
+			Dialects: []string{
+				"Find the name of employee. Return the top one result in descending order of the age of employee.",
+				"Find the name of employee.",
+				"Find the number of employees.",
+			},
+			Labels: []float64{1, 0, 0},
+		},
+		{
+			NL: "how many employees are there",
+			Dialects: []string{
+				"Find the number of employees.",
+				"Find the age of employee.",
+				"Find the name of employee. Return results only for employee that age is greater than value.",
+			},
+			Labels: []float64{1, 0, 0},
+		},
+		{
+			NL: "employees older than 30",
+			Dialects: []string{
+				"Find the name of employee. Return results only for employee that age is greater than value.",
+				"Find the name of employee.",
+				"Find the number of employees.",
+			},
+			Labels: []float64{1, 0, 0},
+		},
+		{
+			NL: "list employee ages",
+			Dialects: []string{
+				"Find the age of employee.",
+				"Find the number of employees.",
+				"Find the name of employee. Return the top one result in descending order of the age of employee.",
+			},
+			Labels: []float64{1, 0, 0},
+		},
+	}
+}
+
+func TestTrainAndRank(t *testing.T) {
+	x := newExtractor()
+	m := rerank.New(x, 2)
+	lists := trainingLists()
+	losses := m.Train(lists, nn.TrainConfig{Epochs: 30, LR: 0.01, Seed: 3})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("training loss did not decrease: %v...%v", losses[0], losses[len(losses)-1])
+	}
+	correct := 0
+	for _, l := range lists {
+		order := m.Rank(l.NL, l.Dialects)
+		if l.Labels[order[0]] == 1 {
+			correct++
+		}
+	}
+	if correct < 3 {
+		t.Errorf("re-ranker got only %d/4 training lists right", correct)
+	}
+}
+
+func TestRankDeterministicAndComplete(t *testing.T) {
+	x := newExtractor()
+	m := rerank.New(x, 5)
+	dialects := []string{"a b c", "d e f", "a b d"}
+	o1 := m.Rank("a b", dialects)
+	o2 := m.Rank("a b", dialects)
+	if len(o1) != 3 {
+		t.Fatalf("rank returned %d indexes", len(o1))
+	}
+	seen := map[int]bool{}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("rank not deterministic")
+		}
+		seen[o1[i]] = true
+	}
+	if len(seen) != 3 {
+		t.Error("rank is not a permutation")
+	}
+}

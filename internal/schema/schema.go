@@ -1,0 +1,294 @@
+// Package schema models relational database schemas: tables, columns,
+// types, primary and foreign keys, and the natural-language annotations
+// that the GAR dialect builder relies on. It also defines the join
+// annotations introduced by GAR-J (§IV of the paper).
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a column data type. The subset distinguishes only text and
+// number, which is all the SPIDER-style grammar needs (aggregation and
+// ordering require numbers; LIKE requires text).
+type Type int
+
+// Column types.
+const (
+	Text Type = iota
+	Number
+)
+
+// String returns a readable name for the type.
+func (t Type) String() string {
+	if t == Number {
+		return "number"
+	}
+	return "text"
+}
+
+// Column is a table column.
+type Column struct {
+	Name string
+	Type Type
+	// Annotation is the natural-language name of the column (SPIDER's
+	// "column name original" → "column name" mapping). When empty, the
+	// identifier with underscores replaced by spaces is used.
+	Annotation string
+}
+
+// NL returns the natural-language name of the column.
+func (c *Column) NL() string {
+	if c.Annotation != "" {
+		return c.Annotation
+	}
+	return identifierToNL(c.Name)
+}
+
+// Table is a database table.
+type Table struct {
+	Name string
+	// Annotation is the natural-language name of the table.
+	Annotation string
+	Columns    []*Column
+	// PrimaryKey lists the key column names. Compound keys are
+	// meaningful to the dialect builder: a column of a table with a
+	// compound key describes "one" observation rather than a property of
+	// the entity (the paper's "one bonus" example).
+	PrimaryKey []string
+}
+
+// NL returns the natural-language name of the table.
+func (t *Table) NL() string {
+	if t.Annotation != "" {
+		return t.Annotation
+	}
+	return identifierToNL(t.Name)
+}
+
+// Column returns the named column (case-insensitive) or nil.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// HasCompoundKey reports whether the table's primary key spans more than
+// one column.
+func (t *Table) HasCompoundKey() bool { return len(t.PrimaryKey) > 1 }
+
+// IsKey reports whether the column is the table's entire primary key.
+func (t *Table) IsKey(col string) bool {
+	return len(t.PrimaryKey) == 1 && strings.EqualFold(t.PrimaryKey[0], col)
+}
+
+// ForeignKey is a single-column foreign key reference.
+type ForeignKey struct {
+	FromTable, FromColumn string
+	ToTable, ToColumn     string
+}
+
+// JoinAnnotation captures the semantics of one join operation, per the
+// paper's four-part formulation: the joining tables, the join condition,
+// a description of the joined "new table", and its key semantics (what
+// one row of the join result denotes), which annotates asterisks.
+type JoinAnnotation struct {
+	// Tables are the joined table names.
+	Tables []string
+	// Conditions are the equi-join edges of the path.
+	Conditions []JoinEdge
+	// Description verbalizes the joined table, e.g.
+	// "the flights arrive in the airports".
+	Description string
+	// TableKeys names what a single row of the join result is,
+	// e.g. "flight"; used to verbalize COUNT(*).
+	TableKeys string
+}
+
+// JoinEdge is one equi-join condition between two columns.
+type JoinEdge struct {
+	LeftTable, LeftColumn   string
+	RightTable, RightColumn string
+}
+
+// canonical returns an orientation-independent form of the edge.
+func (e JoinEdge) canonical() string {
+	a := strings.ToLower(e.LeftTable + "." + e.LeftColumn)
+	b := strings.ToLower(e.RightTable + "." + e.RightColumn)
+	if a > b {
+		a, b = b, a
+	}
+	return a + "=" + b
+}
+
+// Database is a complete schema with optional GAR-J join annotations.
+type Database struct {
+	Name        string
+	Tables      []*Table
+	ForeignKeys []ForeignKey
+	// JoinAnnotations holds the manual GAR-J annotations for this
+	// database; empty for plain GAR.
+	JoinAnnotations []*JoinAnnotation
+}
+
+// Table returns the named table (case-insensitive) or nil.
+func (d *Database) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if strings.EqualFold(t.Name, name) {
+			return t
+		}
+	}
+	return nil
+}
+
+// Column resolves table.column (case-insensitive); either return value is
+// nil when not found.
+func (d *Database) Column(table, column string) (*Table, *Column) {
+	t := d.Table(table)
+	if t == nil {
+		return nil, nil
+	}
+	return t, t.Column(column)
+}
+
+// TablesWithColumn returns all tables containing the named column.
+func (d *Database) TablesWithColumn(column string) []*Table {
+	var out []*Table
+	for _, t := range d.Tables {
+		if t.Column(column) != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FKEdge reports whether (t1.c1 = t2.c2) is a declared foreign-key edge
+// in either direction.
+func (d *Database) FKEdge(t1, c1, t2, c2 string) bool {
+	for _, fk := range d.ForeignKeys {
+		if strings.EqualFold(fk.FromTable, t1) && strings.EqualFold(fk.FromColumn, c1) &&
+			strings.EqualFold(fk.ToTable, t2) && strings.EqualFold(fk.ToColumn, c2) {
+			return true
+		}
+		if strings.EqualFold(fk.FromTable, t2) && strings.EqualFold(fk.FromColumn, c2) &&
+			strings.EqualFold(fk.ToTable, t1) && strings.EqualFold(fk.ToColumn, c1) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindJoinAnnotation returns the annotation whose condition set equals
+// the given edges (orientation-independent), or nil.
+func (d *Database) FindJoinAnnotation(edges []JoinEdge) *JoinAnnotation {
+	want := edgeSet(edges)
+	for _, ann := range d.JoinAnnotations {
+		if edgeSetEqual(edgeSet(ann.Conditions), want) {
+			return ann
+		}
+	}
+	return nil
+}
+
+// FindJoinAnnotationSubset returns an annotation whose conditions are a
+// subset of the given edges; among multiple matches the largest wins.
+// This lets an annotated two-table join inform a three-table query.
+func (d *Database) FindJoinAnnotationSubset(edges []JoinEdge) *JoinAnnotation {
+	have := edgeSet(edges)
+	var best *JoinAnnotation
+	for _, ann := range d.JoinAnnotations {
+		sub := true
+		for e := range edgeSet(ann.Conditions) {
+			if !have[e] {
+				sub = false
+				break
+			}
+		}
+		if sub && (best == nil || len(ann.Conditions) > len(best.Conditions)) {
+			best = ann
+		}
+	}
+	return best
+}
+
+func edgeSet(edges []JoinEdge) map[string]bool {
+	m := make(map[string]bool, len(edges))
+	for _, e := range edges {
+		m[e.canonical()] = true
+	}
+	return m
+}
+
+func edgeSetEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural consistency of the schema: unique table and
+// column names, primary keys and foreign keys referencing existing
+// columns.
+func (d *Database) Validate() error {
+	seenT := map[string]bool{}
+	for _, t := range d.Tables {
+		lt := strings.ToLower(t.Name)
+		if seenT[lt] {
+			return fmt.Errorf("schema %s: duplicate table %q", d.Name, t.Name)
+		}
+		seenT[lt] = true
+		seenC := map[string]bool{}
+		for _, c := range t.Columns {
+			lc := strings.ToLower(c.Name)
+			if seenC[lc] {
+				return fmt.Errorf("schema %s: duplicate column %s.%s", d.Name, t.Name, c.Name)
+			}
+			seenC[lc] = true
+		}
+		for _, pk := range t.PrimaryKey {
+			if t.Column(pk) == nil {
+				return fmt.Errorf("schema %s: primary key %s.%s not a column", d.Name, t.Name, pk)
+			}
+		}
+	}
+	for _, fk := range d.ForeignKeys {
+		if _, c := d.Column(fk.FromTable, fk.FromColumn); c == nil {
+			return fmt.Errorf("schema %s: foreign key from %s.%s not found", d.Name, fk.FromTable, fk.FromColumn)
+		}
+		if _, c := d.Column(fk.ToTable, fk.ToColumn); c == nil {
+			return fmt.Errorf("schema %s: foreign key to %s.%s not found", d.Name, fk.ToTable, fk.ToColumn)
+		}
+	}
+	return nil
+}
+
+// identifierToNL converts snake_case or camelCase identifiers to a
+// space-separated lower-case phrase: "employee_id" → "employee id",
+// "destAirport" → "dest airport".
+func identifierToNL(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c == '_':
+			b.WriteByte(' ')
+		case c >= 'A' && c <= 'Z':
+			if i > 0 && id[i-1] != '_' && !(id[i-1] >= 'A' && id[i-1] <= 'Z') {
+				b.WriteByte(' ')
+			}
+			b.WriteByte(c - 'A' + 'a')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

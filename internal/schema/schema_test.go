@@ -1,0 +1,200 @@
+package schema_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlparse"
+)
+
+func TestFixturesValidate(t *testing.T) {
+	for _, db := range []*schema.Database{schematest.Employee(), schematest.Flights(), schematest.Geo()} {
+		if err := db.Validate(); err != nil {
+			t.Errorf("%s: %v", db.Name, err)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	dup := &schema.Database{Name: "x", Tables: []*schema.Table{{Name: "t"}, {Name: "T"}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate table not caught")
+	}
+	dupCol := &schema.Database{Name: "x", Tables: []*schema.Table{{
+		Name:    "t",
+		Columns: []*schema.Column{{Name: "a"}, {Name: "A"}},
+	}}}
+	if err := dupCol.Validate(); err == nil {
+		t.Error("duplicate column not caught")
+	}
+	badPK := &schema.Database{Name: "x", Tables: []*schema.Table{{
+		Name: "t", Columns: []*schema.Column{{Name: "a"}}, PrimaryKey: []string{"b"},
+	}}}
+	if err := badPK.Validate(); err == nil {
+		t.Error("bad primary key not caught")
+	}
+	badFK := &schema.Database{
+		Name:        "x",
+		Tables:      []*schema.Table{{Name: "t", Columns: []*schema.Column{{Name: "a"}}}},
+		ForeignKeys: []schema.ForeignKey{{FromTable: "t", FromColumn: "z", ToTable: "t", ToColumn: "a"}},
+	}
+	if err := badFK.Validate(); err == nil {
+		t.Error("bad foreign key not caught")
+	}
+}
+
+func TestNLNames(t *testing.T) {
+	db := schematest.Flights()
+	_, col := db.Column("flights", "destAirport")
+	if got := col.NL(); got != "destination airport" {
+		t.Errorf("annotated NL = %q", got)
+	}
+	_, col = db.Column("airlines", "abbreviation")
+	if got := col.NL(); got != "abbreviation" {
+		t.Errorf("identifier NL = %q", got)
+	}
+	emp := schematest.Employee()
+	_, col = emp.Column("employee", "employee_id")
+	if got := col.NL(); got != "employee id" {
+		t.Errorf("snake_case NL = %q", got)
+	}
+}
+
+func TestCompoundKey(t *testing.T) {
+	db := schematest.Employee()
+	if !db.Table("evaluation").HasCompoundKey() {
+		t.Error("evaluation should have a compound key")
+	}
+	if db.Table("employee").HasCompoundKey() {
+		t.Error("employee should not have a compound key")
+	}
+	if !db.Table("employee").IsKey("employee_id") {
+		t.Error("employee_id should be the key of employee")
+	}
+}
+
+func TestBindQualifiesColumns(t *testing.T) {
+	db := schematest.Employee()
+	q := sqlparse.MustParse("SELECT name FROM employee WHERE age > 30")
+	if err := db.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT employee.name FROM employee WHERE employee.age > 30"
+	if got := q.String(); got != want {
+		t.Errorf("Bind: got %q, want %q", got, want)
+	}
+}
+
+func TestBindAliases(t *testing.T) {
+	db := schematest.Employee()
+	q := sqlparse.MustParse("SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1")
+	if err := db.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindAmbiguous(t *testing.T) {
+	db := schematest.Employee()
+	// employee_id exists in employee, hiring and evaluation.
+	q := sqlparse.MustParse("SELECT employee_id FROM employee JOIN evaluation ON employee.employee_id = evaluation.employee_id")
+	if err := db.Bind(q); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	db := schematest.Employee()
+	for _, src := range []string{
+		"SELECT name FROM nosuch",
+		"SELECT nosuch FROM employee",
+		"SELECT T9.name FROM employee AS T1",
+		"SELECT employee.nosuch FROM employee",
+		"SELECT name FROM employee WHERE salary > 10",
+	} {
+		q := sqlparse.MustParse(src)
+		if err := db.Bind(q); err == nil {
+			t.Errorf("Bind(%q): expected error", src)
+		}
+	}
+}
+
+func TestBindSubqueryCorrelation(t *testing.T) {
+	db := schematest.Employee()
+	q := sqlparse.MustParse("SELECT name FROM employee AS T1 WHERE EXISTS (SELECT * FROM evaluation AS T2 WHERE T2.employee_id = T1.employee_id)")
+	if err := db.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindDerivedTable(t *testing.T) {
+	db := schematest.Employee()
+	q := sqlparse.MustParse("SELECT city FROM (SELECT city FROM employee GROUP BY city) AS sub")
+	if err := db.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFKEdge(t *testing.T) {
+	db := schematest.Flights()
+	if !db.FKEdge("flights", "destAirport", "airports", "airportCode") {
+		t.Error("forward FK edge not found")
+	}
+	if !db.FKEdge("airports", "airportCode", "flights", "destAirport") {
+		t.Error("reversed FK edge not found")
+	}
+	if db.FKEdge("flights", "flightNo", "airports", "city") {
+		t.Error("phantom FK edge found")
+	}
+}
+
+func TestJoinEdgesAndAnnotations(t *testing.T) {
+	db := schematest.Flights()
+	q := sqlparse.MustParse("SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1")
+	if err := db.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+	edges := schema.JoinEdges(db, q.Select)
+	if len(edges) != 1 {
+		t.Fatalf("JoinEdges = %d, want 1", len(edges))
+	}
+	ann := db.FindJoinAnnotation(edges)
+	if ann == nil {
+		t.Fatal("annotation not found")
+	}
+	if ann.Description != "the flights arrive in the airports" {
+		t.Errorf("wrong annotation matched: %q", ann.Description)
+	}
+	// The source-airport join must match the other annotation.
+	q2 := sqlparse.MustParse("SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.sourceAirport")
+	if err := db.Bind(q2); err != nil {
+		t.Fatal(err)
+	}
+	ann2 := db.FindJoinAnnotation(schema.JoinEdges(db, q2.Select))
+	if ann2 == nil || ann2.Description != "the flights depart from the airports" {
+		t.Errorf("source join annotation wrong: %+v", ann2)
+	}
+}
+
+func TestFindJoinAnnotationSubset(t *testing.T) {
+	db := schematest.Flights()
+	edges := []schema.JoinEdge{
+		{LeftTable: "airports", LeftColumn: "airportCode", RightTable: "flights", RightColumn: "destAirport"},
+		{LeftTable: "flights", LeftColumn: "airline", RightTable: "airlines", RightColumn: "uid"},
+	}
+	if ann := db.FindJoinAnnotation(edges); ann != nil {
+		t.Error("exact match should fail for superset")
+	}
+	ann := db.FindJoinAnnotationSubset(edges)
+	if ann == nil || ann.TableKeys != "flight" {
+		t.Errorf("subset match failed: %+v", ann)
+	}
+}
+
+func TestTablesWithColumn(t *testing.T) {
+	db := schematest.Employee()
+	if got := len(db.TablesWithColumn("employee_id")); got != 3 {
+		t.Errorf("TablesWithColumn(employee_id) = %d, want 3", got)
+	}
+}

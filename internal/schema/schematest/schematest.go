@@ -1,0 +1,150 @@
+// Package schematest provides example database schemas used by tests
+// across the repository. The schemas are the two running examples of the
+// GAR paper (employee/evaluation from Fig. 1 and airports/flights from
+// Fig. 7) plus a small single-table GEO-like database.
+package schematest
+
+import "repro/internal/schema"
+
+// Employee returns the Fig. 1 schema: employee, evaluation (compound
+// key), shop, and hiring.
+func Employee() *schema.Database {
+	return &schema.Database{
+		Name: "employee_hire_evaluation",
+		Tables: []*schema.Table{
+			{
+				Name: "employee",
+				Columns: []*schema.Column{
+					{Name: "employee_id", Type: schema.Number},
+					{Name: "name", Type: schema.Text},
+					{Name: "age", Type: schema.Number},
+					{Name: "city", Type: schema.Text},
+				},
+				PrimaryKey: []string{"employee_id"},
+			},
+			{
+				Name: "shop",
+				Columns: []*schema.Column{
+					{Name: "shop_id", Type: schema.Number},
+					{Name: "shop_name", Type: schema.Text, Annotation: "name"},
+					{Name: "location", Type: schema.Text},
+					{Name: "district", Type: schema.Text},
+					{Name: "number_products", Type: schema.Number, Annotation: "number of products"},
+					{Name: "manager_name", Type: schema.Text, Annotation: "manager name"},
+				},
+				PrimaryKey: []string{"shop_id"},
+			},
+			{
+				Name: "hiring",
+				Columns: []*schema.Column{
+					{Name: "shop_id", Type: schema.Number},
+					{Name: "employee_id", Type: schema.Number},
+					{Name: "start_from", Type: schema.Text, Annotation: "start from"},
+					{Name: "is_full_time", Type: schema.Text, Annotation: "is full time"},
+				},
+				PrimaryKey: []string{"employee_id"},
+			},
+			{
+				Name: "evaluation",
+				Columns: []*schema.Column{
+					{Name: "employee_id", Type: schema.Number},
+					{Name: "year_awarded", Type: schema.Text, Annotation: "year awarded"},
+					{Name: "bonus", Type: schema.Number},
+				},
+				PrimaryKey: []string{"employee_id", "year_awarded"},
+			},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "hiring", FromColumn: "shop_id", ToTable: "shop", ToColumn: "shop_id"},
+			{FromTable: "hiring", FromColumn: "employee_id", ToTable: "employee", ToColumn: "employee_id"},
+			{FromTable: "evaluation", FromColumn: "employee_id", ToTable: "employee", ToColumn: "employee_id"},
+		},
+	}
+}
+
+// Flights returns the Fig. 7 schema: airlines, airports, flights, where
+// flights references airports twice (source and destination).
+func Flights() *schema.Database {
+	db := &schema.Database{
+		Name: "flight_2",
+		Tables: []*schema.Table{
+			{
+				Name: "airlines",
+				Columns: []*schema.Column{
+					{Name: "uid", Type: schema.Number},
+					{Name: "airline", Type: schema.Text},
+					{Name: "abbreviation", Type: schema.Text},
+					{Name: "country", Type: schema.Text},
+				},
+				PrimaryKey: []string{"uid"},
+			},
+			{
+				Name: "airports",
+				Columns: []*schema.Column{
+					{Name: "city", Type: schema.Text},
+					{Name: "airportCode", Type: schema.Text, Annotation: "airport code"},
+					{Name: "airportName", Type: schema.Text, Annotation: "airport name"},
+					{Name: "country", Type: schema.Text},
+				},
+				PrimaryKey: []string{"airportCode"},
+			},
+			{
+				Name: "flights",
+				Columns: []*schema.Column{
+					{Name: "airline", Type: schema.Number},
+					{Name: "flightNo", Type: schema.Number, Annotation: "flight number"},
+					{Name: "sourceAirport", Type: schema.Text, Annotation: "source airport"},
+					{Name: "destAirport", Type: schema.Text, Annotation: "destination airport"},
+				},
+				PrimaryKey: []string{"airline", "flightNo"},
+			},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "flights", FromColumn: "sourceAirport", ToTable: "airports", ToColumn: "airportCode"},
+			{FromTable: "flights", FromColumn: "destAirport", ToTable: "airports", ToColumn: "airportCode"},
+			{FromTable: "flights", FromColumn: "airline", ToTable: "airlines", ToColumn: "uid"},
+		},
+	}
+	db.JoinAnnotations = []*schema.JoinAnnotation{
+		{
+			Tables: []string{"airports", "flights"},
+			Conditions: []schema.JoinEdge{{
+				LeftTable: "airports", LeftColumn: "airportCode",
+				RightTable: "flights", RightColumn: "destAirport",
+			}},
+			Description: "the flights arrive in the airports",
+			TableKeys:   "flight",
+		},
+		{
+			Tables: []string{"airports", "flights"},
+			Conditions: []schema.JoinEdge{{
+				LeftTable: "airports", LeftColumn: "airportCode",
+				RightTable: "flights", RightColumn: "sourceAirport",
+			}},
+			Description: "the flights depart from the airports",
+			TableKeys:   "flight",
+		},
+	}
+	return db
+}
+
+// Geo returns a single-table GEO-like database (states of the USA).
+func Geo() *schema.Database {
+	return &schema.Database{
+		Name: "geo",
+		Tables: []*schema.Table{
+			{
+				Name: "state",
+				Columns: []*schema.Column{
+					{Name: "state_name", Type: schema.Text, Annotation: "state name"},
+					{Name: "population", Type: schema.Number},
+					{Name: "area", Type: schema.Number},
+					{Name: "country_name", Type: schema.Text, Annotation: "country name"},
+					{Name: "capital", Type: schema.Text},
+					{Name: "density", Type: schema.Number},
+				},
+				PrimaryKey: []string{"state_name"},
+			},
+		},
+	}
+}

@@ -1,0 +1,206 @@
+// Package sqlast defines the abstract syntax tree for the SQL subset used
+// by GAR, together with printing, cloning, traversal and structural
+// comparison. The subset mirrors the SPIDER benchmark grammar: single-block
+// SELECT queries with joins, filtering, grouping, having, ordering and
+// limits, composed with UNION/INTERSECT/EXCEPT, and nested subqueries in
+// predicates.
+package sqlast
+
+import "strconv"
+
+// SetOp is a compound-query operator.
+type SetOp int
+
+// Set operators. SetNone marks a plain (non-compound) query.
+const (
+	SetNone SetOp = iota
+	Union
+	Intersect
+	Except
+)
+
+// String returns the SQL keyword for the operator.
+func (op SetOp) String() string {
+	switch op {
+	case Union:
+		return "UNION"
+	case Intersect:
+		return "INTERSECT"
+	case Except:
+		return "EXCEPT"
+	default:
+		return ""
+	}
+}
+
+// Query is a full SQL query: a SELECT block optionally combined with
+// another query by a set operator. Compound queries associate to the
+// right, matching the parser.
+type Query struct {
+	Select *Select
+	Op     SetOp  // SetNone when the query is a single block
+	Right  *Query // non-nil iff Op != SetNone
+}
+
+// Select is a single SELECT block.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     From
+	Where    Expr // nil when absent
+	GroupBy  []*ColumnRef
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // 0 when absent; the subset only uses positive limits
+}
+
+// SelectItem is one projection in the select list.
+type SelectItem struct {
+	Expr Expr // *ColumnRef or *Agg
+}
+
+// From is the FROM clause: a base table followed by zero or more
+// equi-joins. Joins[i] connects Tables[i+1] to the tables before it.
+type From struct {
+	Tables []TableRef
+	Joins  []JoinCond
+}
+
+// TableRef names a base table or a derived table (subquery) with an
+// optional alias.
+type TableRef struct {
+	Name  string // empty when Sub != nil
+	Alias string
+	Sub   *Query // derived table, rare in the subset
+}
+
+// JoinCond is the ON condition of an equi-join.
+type JoinCond struct {
+	Left  ColumnRef
+	Right ColumnRef
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr // *ColumnRef or *Agg
+	Desc bool
+}
+
+// Expr is a SQL expression node.
+type Expr interface{ isExpr() }
+
+// ColumnRef names a column, optionally qualified by a table name or
+// alias. Column "*" denotes the asterisk.
+type ColumnRef struct {
+	Table  string // table name or alias; may be empty
+	Column string
+}
+
+// AggFunc is an aggregate function name.
+type AggFunc string
+
+// Aggregate functions of the subset.
+const (
+	Count AggFunc = "COUNT"
+	Sum   AggFunc = "SUM"
+	Avg   AggFunc = "AVG"
+	Min   AggFunc = "MIN"
+	Max   AggFunc = "MAX"
+)
+
+// Agg is an aggregate application such as COUNT(DISTINCT t.c) or COUNT(*).
+type Agg struct {
+	Func     AggFunc
+	Distinct bool
+	Arg      *ColumnRef
+}
+
+// LitKind classifies a literal.
+type LitKind int
+
+// Literal kinds. PlaceholderLit is the masked value used after value
+// masking in the generalization step.
+const (
+	NumberLit LitKind = iota
+	StringLit
+	PlaceholderLit
+)
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	Text string // source text; for PlaceholderLit the canonical text is "value"
+}
+
+// Binary is a binary operation. Op is one of the comparison operators
+// (= != < <= > >=), LIKE, NOT LIKE, or the logical connectives AND / OR.
+type Binary struct {
+	Op string
+	L  Expr
+	R  Expr
+}
+
+// Not negates a predicate.
+type Not struct{ X Expr }
+
+// Between is X [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	X      Expr
+	Lo, Hi Expr
+	Negate bool
+}
+
+// In is X [NOT] IN (subquery).
+type In struct {
+	X      Expr
+	Sub    *Query
+	Negate bool
+}
+
+// Exists is [NOT] EXISTS (subquery).
+type Exists struct {
+	Sub    *Query
+	Negate bool
+}
+
+// Subquery is a scalar subquery used as an operand, e.g.
+// bonus = (SELECT MAX(bonus) FROM evaluation).
+type Subquery struct{ Q *Query }
+
+func (*ColumnRef) isExpr() {}
+func (*Agg) isExpr()       {}
+func (*Lit) isExpr()       {}
+func (*Binary) isExpr()    {}
+func (*Not) isExpr()       {}
+func (*Between) isExpr()   {}
+func (*In) isExpr()        {}
+func (*Exists) isExpr()    {}
+func (*Subquery) isExpr()  {}
+
+// NumberLitOf builds a numeric literal node from an integer.
+func NumberLitOf(n int) *Lit { return &Lit{Kind: NumberLit, Text: strconv.Itoa(n)} }
+
+// PlaceholderValue is the canonical masked-literal text.
+const PlaceholderValue = "value"
+
+// Placeholder returns a fresh masked-literal node.
+func Placeholder() *Lit { return &Lit{Kind: PlaceholderLit, Text: PlaceholderValue} }
+
+// IsStar reports whether the column reference is an asterisk.
+func (c *ColumnRef) IsStar() bool { return c != nil && c.Column == "*" }
+
+// IsCompound reports whether the query uses a set operator.
+func (q *Query) IsCompound() bool { return q != nil && q.Op != SetNone }
+
+// Blocks returns all SELECT blocks of the query in left-to-right order,
+// not descending into predicate subqueries.
+func (q *Query) Blocks() []*Select {
+	var out []*Select
+	for cur := q; cur != nil; cur = cur.Right {
+		out = append(out, cur.Select)
+		if cur.Op == SetNone {
+			break
+		}
+	}
+	return out
+}

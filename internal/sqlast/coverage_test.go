@@ -1,0 +1,143 @@
+package sqlast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+func TestResolveAliasesDerivedTable(t *testing.T) {
+	q := sqlparse.MustParse("SELECT sub.a FROM (SELECT T1.a FROM t AS T1) AS sub")
+	sqlast.ResolveAliases(q)
+	s := q.String()
+	// The inner alias resolves to the base table; the derived table's
+	// alias is kept (there is no underlying name to substitute).
+	if strings.Contains(s, "T1") {
+		t.Errorf("inner alias not resolved: %s", s)
+	}
+	if !strings.Contains(s, "AS sub") {
+		t.Errorf("derived-table alias must be kept: %s", s)
+	}
+}
+
+func TestMaskValuesBetweenAndNested(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t WHERE b BETWEEN 1 AND 9 AND c IN (SELECT d FROM s WHERE e = 'x')")
+	sqlast.MaskValues(q)
+	s := q.String()
+	if strings.Contains(s, "1") || strings.Contains(s, "9") || strings.Contains(s, "'x'") {
+		t.Errorf("literals not masked: %s", s)
+	}
+	if got := strings.Count(s, "'value'"); got != 3 {
+		t.Errorf("expected 3 placeholders, got %d: %s", got, s)
+	}
+}
+
+func TestSelectColumnsIncludesJoinsAndHaving(t *testing.T) {
+	q := sqlparse.MustParse(`SELECT t.a FROM t JOIN s ON t.id = s.tid
+		GROUP BY t.a HAVING COUNT(*) > 2 ORDER BY t.b`)
+	cols := sqlast.SelectColumns(q.Select)
+	names := map[string]bool{}
+	for _, c := range cols {
+		names[c.Column] = true
+	}
+	for _, want := range []string{"a", "id", "tid", "b"} {
+		if !names[want] {
+			t.Errorf("SelectColumns missing %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestWalkExprsBetweenAndNot(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t WHERE NOT (b BETWEEN 1 AND 2)")
+	var lits int
+	sqlast.WalkExprs(q.Select.Where, func(e sqlast.Expr) {
+		if _, ok := e.(*sqlast.Lit); ok {
+			lits++
+		}
+	})
+	if lits != 2 {
+		t.Errorf("WalkExprs saw %d literals, want 2", lits)
+	}
+}
+
+func TestValuedFingerprintKeepsValues(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t WHERE b = 'Spain'")
+	vf := sqlast.ValuedFingerprint(q)
+	if !strings.Contains(vf, "spain") {
+		t.Errorf("valued fingerprint lost the literal: %s", vf)
+	}
+	f := sqlast.Fingerprint(q)
+	if strings.Contains(f, "spain") {
+		t.Errorf("fingerprint kept the literal: %s", f)
+	}
+}
+
+func TestCloneExprAllNodes(t *testing.T) {
+	exprs := []string{
+		"SELECT a FROM t WHERE b NOT BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE NOT b = 1",
+		"SELECT a FROM t WHERE EXISTS (SELECT c FROM s)",
+		"SELECT a FROM t WHERE b NOT IN (SELECT c FROM s)",
+		"SELECT a FROM t WHERE b > (SELECT MAX(c) FROM s)",
+		"SELECT COUNT(DISTINCT a) FROM t",
+	}
+	for _, src := range exprs {
+		q := sqlparse.MustParse(src)
+		c := q.Clone()
+		if c.String() != q.String() {
+			t.Errorf("clone differs for %q: %s", src, c)
+		}
+		// Mutating the clone must not touch the original.
+		sqlast.MaskValues(c)
+		if q.String() != sqlparse.MustParse(src).String() {
+			t.Errorf("clone shares nodes for %q", src)
+		}
+	}
+	if sqlast.CloneExpr(nil) != nil {
+		t.Error("CloneExpr(nil) should be nil")
+	}
+}
+
+func TestQueryColumnsDerivedTables(t *testing.T) {
+	q := sqlparse.MustParse("SELECT x.a FROM (SELECT a, b FROM t WHERE c = 1) AS x WHERE x.a > 2")
+	cols := sqlast.QueryColumns(q)
+	names := map[string]bool{}
+	for _, c := range cols {
+		names[c.Column] = true
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !names[want] {
+			t.Errorf("QueryColumns missing %q", want)
+		}
+	}
+}
+
+func TestEqualAndPlaceholderHelpers(t *testing.T) {
+	a := sqlparse.MustParse("SELECT a FROM t WHERE b = 'x'")
+	b := sqlparse.MustParse("SELECT a FROM t WHERE b = 'y'")
+	if !sqlast.Equal(a, b) {
+		t.Error("value-masked equality failed")
+	}
+	p := sqlast.Placeholder()
+	if p.Kind != sqlast.PlaceholderLit || p.Text != sqlast.PlaceholderValue {
+		t.Errorf("Placeholder() wrong: %+v", p)
+	}
+	star := &sqlast.ColumnRef{Column: "*"}
+	if !star.IsStar() {
+		t.Error("IsStar failed")
+	}
+	var nilRef *sqlast.ColumnRef
+	if nilRef.IsStar() {
+		t.Error("nil IsStar should be false")
+	}
+}
+
+func TestOrderByMultiKeyPrint(t *testing.T) {
+	q := sqlparse.MustParse("SELECT a FROM t ORDER BY b DESC, c")
+	want := "SELECT a FROM t ORDER BY b DESC, c"
+	if got := q.String(); got != want {
+		t.Errorf("multi-key order print: %q", got)
+	}
+}

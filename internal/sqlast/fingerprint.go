@@ -1,0 +1,118 @@
+package sqlast
+
+import "strings"
+
+// ResolveAliases rewrites the query in place so that every column
+// reference is qualified with its underlying table name rather than an
+// alias, and removes the aliases. After resolution two queries that
+// differ only in alias naming print identically. Aliases of derived
+// tables are kept, since there is no underlying name to substitute.
+func ResolveAliases(q *Query) {
+	resolveQuery(q, nil)
+}
+
+func resolveQuery(q *Query, outer map[string]string) {
+	for cur := q; cur != nil; cur = cur.Right {
+		resolveSelect(cur.Select, outer)
+		if cur.Op == SetNone {
+			break
+		}
+	}
+}
+
+func resolveSelect(s *Select, outer map[string]string) {
+	if s == nil {
+		return
+	}
+	scope := make(map[string]string, len(s.From.Tables)+len(outer))
+	for k, v := range outer {
+		scope[k] = v
+	}
+	for i := range s.From.Tables {
+		t := &s.From.Tables[i]
+		if t.Sub != nil {
+			resolveQuery(t.Sub, scope)
+			if t.Alias != "" {
+				scope[strings.ToLower(t.Alias)] = t.Alias
+			}
+			continue
+		}
+		if t.Alias != "" {
+			scope[strings.ToLower(t.Alias)] = t.Name
+			t.Alias = ""
+		}
+	}
+	rewrite := func(c *ColumnRef) {
+		if c.Table == "" {
+			return
+		}
+		if name, ok := scope[strings.ToLower(c.Table)]; ok {
+			c.Table = name
+		}
+	}
+	rewriteExpr := func(e Expr) {
+		WalkExprs(e, func(n Expr) {
+			if c, ok := n.(*ColumnRef); ok {
+				rewrite(c)
+			}
+		})
+	}
+	for _, it := range s.Items {
+		rewriteExpr(it.Expr)
+	}
+	for i := range s.From.Joins {
+		rewrite(&s.From.Joins[i].Left)
+		rewrite(&s.From.Joins[i].Right)
+	}
+	for _, g := range s.GroupBy {
+		rewrite(g)
+	}
+	for _, o := range s.OrderBy {
+		rewriteExpr(o.Expr)
+	}
+	// Predicate subqueries may correlate with this block's tables, so the
+	// scope is passed down.
+	rewriteExpr(s.Where)
+	rewriteExpr(s.Having)
+	resolvePredSubqueries(s.Where, scope)
+	resolvePredSubqueries(s.Having, scope)
+}
+
+func resolvePredSubqueries(e Expr, scope map[string]string) {
+	switch x := e.(type) {
+	case *Binary:
+		resolvePredSubqueries(x.L, scope)
+		resolvePredSubqueries(x.R, scope)
+	case *Not:
+		resolvePredSubqueries(x.X, scope)
+	case *In:
+		resolveQuery(x.Sub, scope)
+	case *Exists:
+		resolveQuery(x.Sub, scope)
+	case *Subquery:
+		resolveQuery(x.Q, scope)
+	}
+}
+
+// Fingerprint returns a canonical string identifying the query's
+// structure: aliases resolved, identifiers lower-cased and literal values
+// masked. Two queries with equal fingerprints are component-identical up
+// to literal values.
+func Fingerprint(q *Query) string {
+	c := q.Clone()
+	ResolveAliases(c)
+	MaskValues(c)
+	return strings.ToLower(c.String())
+}
+
+// ValuedFingerprint is like Fingerprint but keeps literal values, so it
+// distinguishes queries that differ only in constants.
+func ValuedFingerprint(q *Query) string {
+	c := q.Clone()
+	ResolveAliases(c)
+	return strings.ToLower(c.String())
+}
+
+// Equal reports whether two queries are structurally identical up to
+// aliases and literal values.
+func Equal(a, b *Query) bool { return Fingerprint(a) == Fingerprint(b) }

@@ -1,0 +1,201 @@
+package sqlast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the query as SQL text.
+func (q *Query) String() string {
+	var b strings.Builder
+	printQuery(&b, q)
+	return b.String()
+}
+
+// String renders the SELECT block as SQL text.
+func (s *Select) String() string {
+	var b strings.Builder
+	printSelect(&b, s)
+	return b.String()
+}
+
+func printQuery(b *strings.Builder, q *Query) {
+	printSelect(b, q.Select)
+	if q.Op != SetNone {
+		b.WriteByte(' ')
+		b.WriteString(q.Op.String())
+		b.WriteByte(' ')
+		printQuery(b, q.Right)
+	}
+}
+
+func printSelect(b *strings.Builder, s *Select) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		printExpr(b, it.Expr)
+	}
+	b.WriteString(" FROM ")
+	printFrom(b, &s.From)
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		printExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, c)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		printExpr(b, s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit > 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(s.Limit))
+	}
+}
+
+func printFrom(b *strings.Builder, f *From) {
+	for i, t := range f.Tables {
+		if i > 0 {
+			b.WriteString(" JOIN ")
+		}
+		printTableRef(b, t)
+		if i > 0 {
+			j := f.Joins[i-1]
+			b.WriteString(" ON ")
+			printExpr(b, &j.Left)
+			b.WriteString(" = ")
+			printExpr(b, &j.Right)
+		}
+	}
+}
+
+func printTableRef(b *strings.Builder, t TableRef) {
+	if t.Sub != nil {
+		b.WriteByte('(')
+		printQuery(b, t.Sub)
+		b.WriteByte(')')
+	} else {
+		b.WriteString(t.Name)
+	}
+	if t.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(t.Alias)
+	}
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Column)
+	case *Agg:
+		b.WriteString(string(x.Func))
+		b.WriteByte('(')
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		printExpr(b, x.Arg)
+		b.WriteByte(')')
+	case *Lit:
+		switch x.Kind {
+		case StringLit:
+			b.WriteByte('\'')
+			b.WriteString(x.Text)
+			b.WriteByte('\'')
+		case PlaceholderLit:
+			b.WriteByte('\'')
+			b.WriteString(PlaceholderValue)
+			b.WriteByte('\'')
+		default:
+			b.WriteString(x.Text)
+		}
+	case *Binary:
+		// Parenthesize OR under AND explicitly; the parser produces a
+		// left-deep shape, so re-print conservatively.
+		printOperand(b, x.L, x.Op)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		printOperand(b, x.R, x.Op)
+	case *Not:
+		b.WriteString("NOT ")
+		printExpr(b, x.X)
+	case *Between:
+		printExpr(b, x.X)
+		if x.Negate {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		printExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		printExpr(b, x.Hi)
+	case *In:
+		printExpr(b, x.X)
+		if x.Negate {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		printQuery(b, x.Sub)
+		b.WriteByte(')')
+	case *Exists:
+		if x.Negate {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		printQuery(b, x.Sub)
+		b.WriteByte(')')
+	case *Subquery:
+		b.WriteByte('(')
+		printQuery(b, x.Q)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<?expr %T>", e)
+	}
+}
+
+// printOperand parenthesizes an OR operand appearing under an AND so the
+// printed text re-parses with the same structure.
+func printOperand(b *strings.Builder, e Expr, parentOp string) {
+	if bin, ok := e.(*Binary); ok && parentOp == "AND" && bin.Op == "OR" {
+		b.WriteByte('(')
+		printExpr(b, e)
+		b.WriteByte(')')
+		return
+	}
+	printExpr(b, e)
+}
+
+// ExprString renders a single expression as SQL text.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e)
+	return b.String()
+}

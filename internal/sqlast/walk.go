@@ -1,0 +1,154 @@
+package sqlast
+
+// WalkQueries calls fn on q and on every subquery nested anywhere inside
+// it (compound right-hand sides, predicate subqueries, derived tables).
+func WalkQueries(q *Query, fn func(*Query)) {
+	if q == nil {
+		return
+	}
+	fn(q)
+	walkSelectQueries(q.Select, fn)
+	WalkQueries(q.Right, fn)
+}
+
+func walkSelectQueries(s *Select, fn func(*Query)) {
+	if s == nil {
+		return
+	}
+	for _, t := range s.From.Tables {
+		WalkQueries(t.Sub, fn)
+	}
+	walkExprQueries(s.Where, fn)
+	walkExprQueries(s.Having, fn)
+}
+
+func walkExprQueries(e Expr, fn func(*Query)) {
+	switch x := e.(type) {
+	case *Binary:
+		walkExprQueries(x.L, fn)
+		walkExprQueries(x.R, fn)
+	case *Not:
+		walkExprQueries(x.X, fn)
+	case *Between:
+		walkExprQueries(x.Lo, fn)
+		walkExprQueries(x.Hi, fn)
+	case *In:
+		WalkQueries(x.Sub, fn)
+	case *Exists:
+		WalkQueries(x.Sub, fn)
+	case *Subquery:
+		WalkQueries(x.Q, fn)
+	}
+}
+
+// WalkExprs calls fn on every expression node reachable from e, in
+// pre-order, without descending into subqueries.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Agg:
+		if x.Arg != nil {
+			fn(x.Arg)
+		}
+	case *Binary:
+		WalkExprs(x.L, fn)
+		WalkExprs(x.R, fn)
+	case *Not:
+		WalkExprs(x.X, fn)
+	case *Between:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Lo, fn)
+		WalkExprs(x.Hi, fn)
+	case *In:
+		WalkExprs(x.X, fn)
+	}
+}
+
+// SelectColumns returns every column reference mentioned anywhere in the
+// SELECT block, excluding subqueries. Asterisks are included.
+func SelectColumns(s *Select) []*ColumnRef {
+	var cols []*ColumnRef
+	add := func(e Expr) {
+		if c, ok := e.(*ColumnRef); ok {
+			cols = append(cols, c)
+		}
+	}
+	for _, it := range s.Items {
+		WalkExprs(it.Expr, add)
+	}
+	WalkExprs(s.Where, add)
+	for _, g := range s.GroupBy {
+		cols = append(cols, g)
+	}
+	WalkExprs(s.Having, add)
+	for _, o := range s.OrderBy {
+		WalkExprs(o.Expr, add)
+	}
+	for i := range s.From.Joins {
+		cols = append(cols, &s.From.Joins[i].Left, &s.From.Joins[i].Right)
+	}
+	return cols
+}
+
+// QueryColumns returns every column reference in the query including all
+// nested subqueries.
+func QueryColumns(q *Query) []*ColumnRef {
+	var cols []*ColumnRef
+	WalkQueries(q, func(sub *Query) {
+		cols = append(cols, SelectColumns(sub.Select)...)
+	})
+	return cols
+}
+
+// Predicates returns the atomic predicates of a boolean expression,
+// flattening AND/OR connectives.
+func Predicates(e Expr) []Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Binary:
+		if x.Op == "AND" || x.Op == "OR" {
+			return append(Predicates(x.L), Predicates(x.R)...)
+		}
+	}
+	return []Expr{e}
+}
+
+// MaskValues replaces every literal in the query (including nested
+// subqueries) with the placeholder literal, except LIMIT counts, which are
+// structural. The query is modified in place.
+func MaskValues(q *Query) {
+	WalkQueries(q, func(sub *Query) {
+		maskExpr(sub.Select.Where)
+		maskExpr(sub.Select.Having)
+	})
+}
+
+func maskExpr(e Expr) {
+	WalkExprs(e, func(n Expr) {
+		switch x := n.(type) {
+		case *Binary:
+			if l, ok := x.L.(*Lit); ok {
+				mask(l)
+			}
+			if r, ok := x.R.(*Lit); ok {
+				mask(r)
+			}
+		case *Between:
+			if l, ok := x.Lo.(*Lit); ok {
+				mask(l)
+			}
+			if h, ok := x.Hi.(*Lit); ok {
+				mask(h)
+			}
+		}
+	})
+}
+
+func mask(l *Lit) {
+	l.Kind = PlaceholderLit
+	l.Text = PlaceholderValue
+}

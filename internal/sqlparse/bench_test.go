@@ -1,0 +1,27 @@
+package sqlparse
+
+import "testing"
+
+// BenchmarkParse measures parsing of a representative hard query.
+func BenchmarkParse(b *testing.B) {
+	const src = `SELECT T1.name, COUNT(*) FROM employee AS T1
+		JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id
+		WHERE T1.age > 30 AND T1.city = 'Austin'
+		GROUP BY T1.city HAVING COUNT(*) > 2
+		ORDER BY COUNT(*) DESC LIMIT 1`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrint measures SQL re-serialization.
+func BenchmarkPrint(b *testing.B) {
+	q := MustParse("SELECT a, b FROM t JOIN s ON t.id = s.tid WHERE a > 1 ORDER BY b DESC LIMIT 3")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.String()
+	}
+}

@@ -1,0 +1,544 @@
+// Package sqlparse implements a recursive-descent parser for the SQL
+// subset defined in package sqlast. The grammar follows the SPIDER
+// benchmark query language:
+//
+//	query      = select { ("UNION"|"INTERSECT"|"EXCEPT") query }
+//	select     = "SELECT" ["DISTINCT"] items "FROM" from
+//	             ["WHERE" cond] ["GROUP" "BY" cols] ["HAVING" cond]
+//	             ["ORDER" "BY" orders] ["LIMIT" number]
+//	from       = tableref { "JOIN" tableref "ON" col "=" col }
+//	tableref   = ident ["AS" ident] | "(" query ")" ["AS" ident]
+//	cond       = andCond { "OR" andCond }
+//	andCond    = predicate { "AND" predicate }
+//	predicate  = operand comparison | operand ["NOT"] "IN" "(" query ")"
+//	           | operand ["NOT"] "BETWEEN" value "AND" value
+//	           | ["NOT"] "EXISTS" "(" query ")" | "NOT" predicate
+//	operand    = column | aggregate | value | "(" query ")"
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlast"
+	"repro/internal/sqltoken"
+)
+
+// Parse parses a complete SQL query.
+func Parse(src string) (*sqlast.Query, error) {
+	toks, err := sqltoken.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().Kind == sqltoken.Symbol && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != sqltoken.EOF {
+		return nil, p.errorf("unexpected %s after end of query", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse parses src and panics on error. It is intended for tests and
+// statically-known queries such as templates.
+func MustParse(src string) *sqlast.Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("sqlparse.MustParse(%q): %v", src, err))
+	}
+	return q
+}
+
+type parser struct {
+	toks []sqltoken.Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() sqltoken.Token { return p.toks[p.pos] }
+
+func (p *parser) next() sqltoken.Token {
+	t := p.toks[p.pos]
+	if t.Kind != sqltoken.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().Pos, p.src)
+}
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == sqltoken.Keyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) symbol(sym string) bool {
+	t := p.peek()
+	if t.Kind == sqltoken.Symbol && t.Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.symbol(sym) {
+		return p.errorf("expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*sqlast.Query, error) {
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q := &sqlast.Query{Select: sel}
+	for _, op := range []struct {
+		kw string
+		op sqlast.SetOp
+	}{{"UNION", sqlast.Union}, {"INTERSECT", sqlast.Intersect}, {"EXCEPT", sqlast.Except}} {
+		if p.keyword(op.kw) {
+			// UNION ALL folds to UNION in the subset.
+			p.keyword("ALL")
+			right, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			q.Op = op.op
+			q.Right = right
+			return q, nil
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*sqlast.Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &sqlast.Select{}
+	s.Distinct = p.keyword("DISTINCT")
+	for {
+		e, err := p.parseValueExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, sqlast.SelectItem{Expr: e})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+	s.From = *from
+	if p.keyword("WHERE") {
+		if s.Where, err = p.parseCond(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("HAVING") {
+		if s.Having, err = p.parseCond(); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseValueExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlast.OrderItem{Expr: e}
+			if p.keyword("DESC") {
+				item.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != sqltoken.Number {
+			return nil, p.errorf("expected LIMIT count, found %s", t)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("invalid LIMIT count %q", t.Text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseFrom() (*sqlast.From, error) {
+	f := &sqlast.From{}
+	t, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	f.Tables = append(f.Tables, *t)
+	for {
+		// INNER JOIN and LEFT [OUTER] JOIN all fold to the plain join of
+		// the subset.
+		save := p.pos
+		p.keyword("INNER")
+		if p.keyword("LEFT") {
+			p.keyword("OUTER")
+		}
+		if !p.keyword("JOIN") {
+			p.pos = save
+			break
+		}
+		t, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		f.Tables = append(f.Tables, *t)
+		f.Joins = append(f.Joins, sqlast.JoinCond{Left: *left, Right: *right})
+	}
+	return f, nil
+}
+
+func (p *parser) parseTableRef() (*sqlast.TableRef, error) {
+	t := &sqlast.TableRef{}
+	if p.symbol("(") {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		t.Sub = q
+	} else {
+		tok := p.peek()
+		if tok.Kind != sqltoken.Ident {
+			return nil, p.errorf("expected table name, found %s", tok)
+		}
+		p.next()
+		t.Name = tok.Text
+	}
+	if p.keyword("AS") {
+		tok := p.peek()
+		if tok.Kind != sqltoken.Ident {
+			return nil, p.errorf("expected alias after AS, found %s", tok)
+		}
+		p.next()
+		t.Alias = tok.Text
+	} else if p.peek().Kind == sqltoken.Ident {
+		// Bare alias: FROM employee e
+		t.Alias = p.next().Text
+	}
+	return t, nil
+}
+
+// parseCond parses a boolean condition with OR at the lowest precedence.
+func (p *parser) parseCond() (sqlast.Expr, error) {
+	left, err := p.parseAndCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAndCond()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndCond() (sqlast.Expr, error) {
+	left, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		left = &sqlast.Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredicate() (sqlast.Expr, error) {
+	if p.keyword("NOT") {
+		if p.keyword("EXISTS") {
+			return p.parseExistsBody(true)
+		}
+		x, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Not{X: x}, nil
+	}
+	if p.keyword("EXISTS") {
+		return p.parseExistsBody(false)
+	}
+	if p.symbol("(") {
+		// Either a parenthesized condition or a scalar subquery operand.
+		if p.peek().Kind == sqltoken.Keyword && p.peek().Text == "SELECT" {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return p.parsePredicateTail(&sqlast.Subquery{Q: q})
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return cond, nil
+	}
+	operand, err := p.parseValueExpr()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePredicateTail(operand)
+}
+
+func (p *parser) parseExistsBody(negate bool) (sqlast.Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &sqlast.Exists{Sub: q, Negate: negate}, nil
+}
+
+func (p *parser) parsePredicateTail(operand sqlast.Expr) (sqlast.Expr, error) {
+	negate := p.keyword("NOT")
+	switch {
+	case p.keyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &sqlast.In{X: operand, Sub: q, Negate: negate}, nil
+	case p.keyword("BETWEEN"):
+		lo, err := p.parseValueExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseValueExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Between{X: operand, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.keyword("LIKE"):
+		r, err := p.parseValueExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := "LIKE"
+		if negate {
+			op = "NOT LIKE"
+		}
+		return &sqlast.Binary{Op: op, L: operand, R: r}, nil
+	}
+	if negate {
+		return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+	}
+	t := p.peek()
+	if t.Kind != sqltoken.Symbol || !isComparison(t.Text) {
+		return nil, p.errorf("expected comparison operator, found %s", t)
+	}
+	p.next()
+	r, err := p.parseValueExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &sqlast.Binary{Op: t.Text, L: operand, R: r}, nil
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// parseValueExpr parses a column reference, aggregate, literal or scalar
+// subquery.
+func (p *parser) parseValueExpr() (sqlast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case sqltoken.Number:
+		p.next()
+		return &sqlast.Lit{Kind: sqlast.NumberLit, Text: t.Text}, nil
+	case sqltoken.String:
+		p.next()
+		if strings.EqualFold(t.Text, sqlast.PlaceholderValue) || t.Text == "terminal" {
+			return sqlast.Placeholder(), nil
+		}
+		return &sqlast.Lit{Kind: sqlast.StringLit, Text: t.Text}, nil
+	case sqltoken.Keyword:
+		if fn, ok := aggFuncs[t.Text]; ok {
+			p.next()
+			return p.parseAggBody(fn)
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t)
+	case sqltoken.Symbol:
+		if t.Text == "*" {
+			p.next()
+			return &sqlast.ColumnRef{Column: "*"}, nil
+		}
+		if t.Text == "(" {
+			p.next()
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &sqlast.Subquery{Q: q}, nil
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case sqltoken.Ident:
+		return p.parseColumnRef()
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}
+
+var aggFuncs = map[string]sqlast.AggFunc{
+	"COUNT": sqlast.Count, "SUM": sqlast.Sum, "AVG": sqlast.Avg,
+	"MIN": sqlast.Min, "MAX": sqlast.Max,
+}
+
+func (p *parser) parseAggBody(fn sqlast.AggFunc) (sqlast.Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	agg := &sqlast.Agg{Func: fn}
+	agg.Distinct = p.keyword("DISTINCT")
+	if p.symbol("*") {
+		agg.Arg = &sqlast.ColumnRef{Column: "*"}
+	} else {
+		c, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = c
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// parseColumnRef parses ident [. (ident | *)].
+func (p *parser) parseColumnRef() (*sqlast.ColumnRef, error) {
+	t := p.peek()
+	if t.Kind == sqltoken.Symbol && t.Text == "*" {
+		p.next()
+		return &sqlast.ColumnRef{Column: "*"}, nil
+	}
+	if t.Kind != sqltoken.Ident {
+		return nil, p.errorf("expected column name, found %s", t)
+	}
+	p.next()
+	c := &sqlast.ColumnRef{Column: t.Text}
+	if p.symbol(".") {
+		c.Table = t.Text
+		n := p.peek()
+		if n.Kind == sqltoken.Symbol && n.Text == "*" {
+			p.next()
+			c.Column = "*"
+			return c, nil
+		}
+		if n.Kind != sqltoken.Ident {
+			return nil, p.errorf("expected column after %q., found %s", c.Table, n)
+		}
+		p.next()
+		c.Column = n.Text
+	}
+	return c, nil
+}

@@ -1,0 +1,229 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlast"
+)
+
+var roundTripCases = []string{
+	"SELECT name FROM employee",
+	"SELECT DISTINCT name FROM employee",
+	"SELECT name, age FROM employee",
+	"SELECT * FROM employee",
+	"SELECT COUNT(*) FROM employee",
+	"SELECT COUNT(DISTINCT employee.name) FROM employee",
+	"SELECT AVG(age) FROM employee WHERE age > 30",
+	"SELECT name FROM employee WHERE name = 'John'",
+	"SELECT name FROM employee WHERE age >= 18 AND age <= 65",
+	"SELECT name FROM employee WHERE age < 18 OR age > 65",
+	"SELECT name FROM employee WHERE age BETWEEN 18 AND 65",
+	"SELECT name FROM employee WHERE age NOT BETWEEN 18 AND 65",
+	"SELECT name FROM employee WHERE name LIKE '%smith%'",
+	"SELECT name FROM employee WHERE name NOT LIKE '%smith%'",
+	"SELECT name FROM employee WHERE id IN (SELECT employee_id FROM evaluation)",
+	"SELECT name FROM employee WHERE id NOT IN (SELECT employee_id FROM evaluation)",
+	"SELECT name FROM employee WHERE EXISTS (SELECT employee_id FROM evaluation)",
+	"SELECT name FROM employee WHERE NOT EXISTS (SELECT employee_id FROM evaluation)",
+	"SELECT name FROM employee GROUP BY dept",
+	"SELECT dept, COUNT(*) FROM employee GROUP BY dept HAVING COUNT(*) > 5",
+	"SELECT name FROM employee ORDER BY age",
+	"SELECT name FROM employee ORDER BY age DESC",
+	"SELECT name FROM employee ORDER BY age DESC, name",
+	"SELECT name FROM employee ORDER BY age DESC LIMIT 1",
+	"SELECT employee.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id",
+	"SELECT name FROM employee UNION SELECT name FROM manager",
+	"SELECT name FROM employee INTERSECT SELECT name FROM manager",
+	"SELECT name FROM employee EXCEPT SELECT name FROM manager",
+	"SELECT name FROM employee WHERE salary > (SELECT AVG(salary) FROM employee)",
+	"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+	"SELECT a FROM (SELECT a FROM t GROUP BY a) AS sub",
+	"SELECT name FROM employee WHERE age > 18 AND (dept = 'hr' OR dept = 'it')",
+}
+
+// normalizeSpaces collapses whitespace for comparison; the printer uses
+// single spaces, the input cases already do too.
+func normalizeSpaces(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	for _, src := range roundTripCases {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		got := q.String()
+		if normalizeSpaces(got) != normalizeSpaces(src) {
+			t.Errorf("round trip mismatch:\n in: %s\nout: %s", src, got)
+		}
+		// The printed form must re-parse to the same printed form (full
+		// fixed-point check).
+		q2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", got, err)
+		}
+		if q2.String() != got {
+			t.Errorf("reprint mismatch:\n 1: %s\n 2: %s", got, q2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a >",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t ORDER age",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT 0",
+		"SELECT a FROM t JOIN s",
+		"SELECT a FROM t JOIN s ON a",
+		"SELECT a FROM t WHERE a IN b",
+		"SELECT a FROM t WHERE a NOT 5",
+		"SELECT a FROM t WHERE 'unterminated",
+		"SELECT a FROM t; SELECT b FROM t",
+		"SELECT a FROM t WHERE a = 1 %",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select name from employee where age > 30 order by age desc limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT name FROM employee WHERE age > 30 ORDER BY age DESC LIMIT 2"
+	if got := q.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestParseBareAlias(t *testing.T) {
+	q := MustParse("SELECT e.name FROM employee e")
+	if q.Select.From.Tables[0].Alias != "e" {
+		t.Errorf("bare alias not parsed: %+v", q.Select.From.Tables[0])
+	}
+}
+
+func TestParseUnionAllFolds(t *testing.T) {
+	q := MustParse("SELECT a FROM t UNION ALL SELECT a FROM s")
+	if q.Op != sqlast.Union {
+		t.Errorf("expected UNION, got %v", q.Op)
+	}
+}
+
+func TestParseNotEqualVariants(t *testing.T) {
+	a := MustParse("SELECT a FROM t WHERE a != 1")
+	b := MustParse("SELECT a FROM t WHERE a <> 1")
+	if a.String() != b.String() {
+		t.Errorf("!= and <> should normalize identically: %q vs %q", a, b)
+	}
+}
+
+func TestParsePlaceholderLiterals(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE b = 'value'")
+	pred := q.Select.Where.(*sqlast.Binary)
+	lit := pred.R.(*sqlast.Lit)
+	if lit.Kind != sqlast.PlaceholderLit {
+		t.Errorf("expected placeholder literal, got kind %v", lit.Kind)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	q := MustParse("SELECT a FROM t UNION SELECT b FROM s EXCEPT SELECT c FROM r")
+	if n := len(q.Blocks()); n != 3 {
+		t.Errorf("Blocks() = %d, want 3", n)
+	}
+}
+
+func TestMaskValues(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE b = 'John' AND c > 5 ORDER BY a LIMIT 3")
+	sqlast.MaskValues(q)
+	want := "SELECT a FROM t WHERE b = 'value' AND c > 'value' ORDER BY a LIMIT 3"
+	if got := q.String(); got != want {
+		t.Errorf("MaskValues: got %q, want %q", got, want)
+	}
+}
+
+func TestFingerprintAliasInvariance(t *testing.T) {
+	a := MustParse("SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.id = T2.eid WHERE T2.bonus > 100")
+	b := MustParse("SELECT x.name FROM employee AS x JOIN evaluation AS y ON x.id = y.eid WHERE y.bonus > 500")
+	if sqlast.Fingerprint(a) != sqlast.Fingerprint(b) {
+		t.Errorf("fingerprints differ:\n%s\n%s", sqlast.Fingerprint(a), sqlast.Fingerprint(b))
+	}
+	if sqlast.ValuedFingerprint(a) == sqlast.ValuedFingerprint(b) {
+		t.Errorf("valued fingerprints should differ for different constants")
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT a FROM t", "SELECT b FROM t"},
+		{"SELECT a FROM t", "SELECT DISTINCT a FROM t"},
+		{"SELECT a FROM t ORDER BY a", "SELECT a FROM t ORDER BY a DESC"},
+		{"SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 2"},
+		{"SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE b != 1"},
+		{"SELECT MAX(a) FROM t", "SELECT MIN(a) FROM t"},
+	}
+	for _, pr := range pairs {
+		a, b := MustParse(pr[0]), MustParse(pr[1])
+		if sqlast.Equal(a, b) {
+			t.Errorf("Equal(%q, %q) = true, want false", pr[0], pr[1])
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	q := MustParse("SELECT T1.name FROM employee AS T1 WHERE T1.id IN (SELECT eid FROM evaluation WHERE bonus > 10)")
+	c := q.Clone()
+	sqlast.MaskValues(c)
+	if strings.Contains(q.String(), "'value'") {
+		t.Error("masking the clone modified the original")
+	}
+	if !strings.Contains(c.String(), "'value'") {
+		t.Error("clone was not masked")
+	}
+}
+
+func TestResolveAliasesCorrelated(t *testing.T) {
+	q := MustParse("SELECT T1.name FROM employee AS T1 WHERE EXISTS (SELECT * FROM evaluation AS T2 WHERE T2.eid = T1.id)")
+	sqlast.ResolveAliases(q)
+	s := q.String()
+	if strings.Contains(s, "T1") || strings.Contains(s, "T2") {
+		t.Errorf("aliases not fully resolved: %s", s)
+	}
+	if !strings.Contains(s, "evaluation.eid = employee.id") {
+		t.Errorf("correlated reference not resolved: %s", s)
+	}
+}
+
+func TestQueryColumnsFindsNested(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE b IN (SELECT c FROM s WHERE d = 1)")
+	cols := sqlast.QueryColumns(q)
+	names := map[string]bool{}
+	for _, c := range cols {
+		names[c.Column] = true
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !names[want] {
+			t.Errorf("QueryColumns missing %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestPredicatesFlatten(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3")
+	preds := sqlast.Predicates(q.Select.Where)
+	if len(preds) != 3 {
+		t.Errorf("Predicates = %d, want 3", len(preds))
+	}
+}

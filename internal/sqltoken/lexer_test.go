@@ -1,0 +1,137 @@
+package sqltoken_test
+
+import (
+	"testing"
+
+	"repro/internal/sqltoken"
+)
+
+func kinds(toks []sqltoken.Token) []sqltoken.Kind {
+	out := make([]sqltoken.Kind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := sqltoken.Lex("SELECT name FROM employee WHERE age >= 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind sqltoken.Kind
+		text string
+	}{
+		{sqltoken.Keyword, "SELECT"},
+		{sqltoken.Ident, "name"},
+		{sqltoken.Keyword, "FROM"},
+		{sqltoken.Ident, "employee"},
+		{sqltoken.Keyword, "WHERE"},
+		{sqltoken.Ident, "age"},
+		{sqltoken.Symbol, ">="},
+		{sqltoken.Number, "30"},
+		{sqltoken.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := sqltoken.Lex(`'single' "double"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != sqltoken.String || toks[0].Text != "single" {
+		t.Errorf("single-quoted: %v", toks[0])
+	}
+	if toks[1].Kind != sqltoken.String || toks[1].Text != "double" {
+		t.Errorf("double-quoted: %v", toks[1])
+	}
+	if _, err := sqltoken.Lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := sqltoken.Lex("a != b <> c <= d >= e < f > g = h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == sqltoken.Symbol {
+			ops = append(ops, tok.Text)
+		}
+	}
+	// <> normalizes to !=.
+	want := []string{"!=", "!=", "<=", ">=", "<", ">", "="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordCaseFolding(t *testing.T) {
+	toks, err := sqltoken.Lex("select Name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != sqltoken.Keyword || toks[0].Text != "SELECT" {
+		t.Errorf("keyword not upper-cased: %v", toks[0])
+	}
+	// Identifier case is preserved.
+	if toks[1].Kind != sqltoken.Ident || toks[1].Text != "Name" {
+		t.Errorf("identifier case changed: %v", toks[1])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := sqltoken.Lex("1 2.5 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"1", "2.5", "100"} {
+		if toks[i].Kind != sqltoken.Number || toks[i].Text != want {
+			t.Errorf("number %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexBadCharacter(t *testing.T) {
+	if _, err := sqltoken.Lex("a % b"); err == nil {
+		t.Error("unexpected character accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := sqltoken.Lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Errorf("positions wrong: %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[sqltoken.Kind]string{
+		sqltoken.EOF: "EOF", sqltoken.Ident: "Ident", sqltoken.Number: "Number",
+		sqltoken.String: "String", sqltoken.Keyword: "Keyword", sqltoken.Symbol: "Symbol",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

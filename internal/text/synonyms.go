@@ -1,0 +1,101 @@
+package text
+
+// synonymGroups is a small general-English synonym resource standing in
+// for the lexical knowledge of the pre-trained language models used by
+// every system in the paper (MPNet/RoBERTa for GAR, BART/GraPPa-style
+// encoders for the baselines). Each group lists interchangeable nouns;
+// the first entry is the canonical form. Multi-word synonyms are not
+// representable at the token level and are left to character-n-gram and
+// learned-embedding matching.
+var synonymGroups = [][]string{
+	{"student", "pupil", "learner"},
+	{"teacher", "instructor", "professor"},
+	{"course", "class"},
+	{"employee", "worker", "staff"},
+	{"company", "firm", "corporation"},
+	{"shop", "store", "outlet"},
+	{"product", "item", "good"},
+	{"customer", "client", "buyer"},
+	{"stadium", "arena", "venue"},
+	{"concert", "show", "performance"},
+	{"singer", "artist", "vocalist"},
+	{"driver", "racer", "pilot"},
+	{"race", "competition"},
+	{"doctor", "physician", "medic"},
+	{"book", "volume"},
+	{"author", "writer"},
+	{"movie", "film", "picture"},
+	{"actor", "performer", "star"},
+	{"airline", "carrier"},
+	{"airport", "airfield", "hub"},
+	{"team", "club", "squad"},
+	{"player", "athlete", "sportsman"},
+	{"hotel", "inn", "lodge"},
+	{"restaurant", "diner", "eatery"},
+	{"mechanic", "technician", "engineer"},
+	{"salary", "pay", "wage"},
+	{"price", "cost"},
+	{"department", "dept"},
+	{"specialty", "specialization"},
+	{"country", "nationality"},
+	{"revenue", "income", "earnings"},
+	{"gross", "earnings"},
+	{"capacity", "seats"},
+	{"wins", "victories"},
+	{"stock", "inventory"},
+	{"goals", "score"},
+	{"cuisine", "food"},
+	{"track", "circuit"},
+	{"gpa", "grade"},
+	{"fleet", "planes", "plane"},
+	{"certification", "certificate"},
+	{"city", "town", "location"},
+	{"championships", "titles"},
+	{"awards", "award"},
+	{"position", "role"},
+	{"subject", "discipline"},
+	{"major", "field"},
+	{"genre", "category"},
+	{"pages", "length"},
+	{"city", "town"},
+	{"big", "large"},
+	{"small", "little"},
+}
+
+// canonMap maps each stemmed synonym to the stemmed canonical form of
+// its group.
+var canonMap = buildCanonMap()
+
+func buildCanonMap() map[string]string {
+	m := map[string]string{}
+	for _, group := range synonymGroups {
+		canon := Stem(group[0])
+		for _, word := range group {
+			m[Stem(word)] = canon
+		}
+	}
+	return m
+}
+
+// Canon maps a token to its canonical synonym-group representative
+// (after stemming); tokens outside any group are just stemmed.
+func Canon(token string) string {
+	s := Stem(token)
+	if c, ok := canonMap[s]; ok {
+		return c
+	}
+	return s
+}
+
+// CanonTokens tokenizes s, removes stopwords, and canonicalizes each
+// token through the synonym resource.
+func CanonTokens(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0:0]
+	for _, t := range toks {
+		if !stopwords[t] {
+			out = append(out, Canon(t))
+		}
+	}
+	return out
+}

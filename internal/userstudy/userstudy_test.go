@@ -1,0 +1,88 @@
+package userstudy_test
+
+import (
+	"testing"
+
+	"repro/internal/userstudy"
+)
+
+func tasks() []userstudy.DatabaseTask {
+	var out []userstudy.DatabaseTask
+	for i := 0; i < 10; i++ {
+		out = append(out,
+			userstudy.DatabaseTask{Name: "small", Tables: 1 + i%2, JoinPaths: 0, SampleQueries: 10},
+			userstudy.DatabaseTask{Name: "mid", Tables: 3 + i%3, JoinPaths: 2, SampleQueries: 25},
+			userstudy.DatabaseTask{Name: "big", Tables: 6 + i%5, JoinPaths: 5, SampleQueries: 40},
+		)
+	}
+	return out
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := userstudy.Run(tasks(), userstudy.Config{Seed: 1})
+	b := userstudy.Run(tasks(), userstudy.Config{Seed: 1})
+	if len(a) != len(b) {
+		t.Fatal("different observation counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic observations")
+		}
+	}
+	c := userstudy.Run(tasks(), userstudy.Config{Seed: 2})
+	same := true
+	for i := range a {
+		if a[i].Minutes != c[i].Minutes {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical times")
+	}
+}
+
+func TestMonotoneBuckets(t *testing.T) {
+	// The Fig. 12 shape: median annotation time grows with schema size.
+	obs := userstudy.Run(tasks(), userstudy.Config{Seed: 3})
+	buckets := userstudy.Buckets(obs)
+	if len(buckets) != 3 {
+		t.Fatalf("expected 3 buckets, got %d", len(buckets))
+	}
+	medians := make([]float64, 3)
+	for i, b := range buckets {
+		if len(b.Minutes) == 0 {
+			t.Fatalf("bucket %s empty", b.Label)
+		}
+		medians[i] = median(b.Minutes)
+	}
+	if !(medians[0] < medians[1] && medians[1] < medians[2]) {
+		t.Errorf("medians not monotone: %v", medians)
+	}
+	if medians[0] <= 0 {
+		t.Errorf("non-positive annotation time: %v", medians)
+	}
+}
+
+func TestParticipantsAssigned(t *testing.T) {
+	obs := userstudy.Run(tasks(), userstudy.Config{Seed: 4, Participants: 10})
+	seen := map[int]bool{}
+	for _, o := range obs {
+		if o.Participant < 0 || o.Participant >= 10 {
+			t.Fatalf("participant out of range: %d", o.Participant)
+		}
+		seen[o.Participant] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("databases not distributed across participants: %d", len(seen))
+	}
+}
+
+func median(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,120 @@
+package vector_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vector"
+)
+
+func TestDotNormCosine(t *testing.T) {
+	a := vector.Vec{1, 0, 0}
+	b := vector.Vec{0, 1, 0}
+	if vector.Dot(a, b) != 0 {
+		t.Error("orthogonal dot should be 0")
+	}
+	if vector.Cosine(a, a) != 1 {
+		t.Error("self cosine should be 1")
+	}
+	if vector.Cosine(a, vector.Vec{0, 0, 0}) != 0 {
+		t.Error("zero-vector cosine should be 0")
+	}
+	if n := vector.Norm(vector.Vec{3, 4, 0}); n != 5 {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			v := make(vector.Vec, 8)
+			for i := range v {
+				v[i] = rng.Float32()*4 - 2
+			}
+			vals[0] = reflect.ValueOf(v)
+		},
+	}
+	if err := quick.Check(func(v vector.Vec) bool {
+		n0 := vector.Norm(v)
+		vector.Normalize(v)
+		n := vector.Norm(v)
+		if n0 == 0 {
+			return n == 0
+		}
+		return math.Abs(float64(n)-1) < 1e-4
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpyScaleClone(t *testing.T) {
+	a := vector.Vec{1, 2}
+	b := vector.Clone(a)
+	vector.Axpy(a, 2, vector.Vec{1, 1})
+	if a[0] != 3 || a[1] != 4 {
+		t.Errorf("Axpy wrong: %v", a)
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Error("Clone shares storage")
+	}
+	vector.Scale(a, 0.5)
+	if a[0] != 1.5 || a[1] != 2 {
+		t.Errorf("Scale wrong: %v", a)
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vecs []vector.Vec
+	// Two well-separated blobs.
+	for i := 0; i < 50; i++ {
+		vecs = append(vecs, vector.Vec{float32(rng.NormFloat64()*0.1 + 5), 0})
+	}
+	for i := 0; i < 50; i++ {
+		vecs = append(vecs, vector.Vec{float32(rng.NormFloat64()*0.1 - 5), 0})
+	}
+	_, assign := vector.KMeans(vecs, 2, 20, 7)
+	first := assign[0]
+	for i := 1; i < 50; i++ {
+		if assign[i] != first {
+			t.Fatal("first blob split across clusters")
+		}
+	}
+	second := assign[50]
+	if second == first {
+		t.Fatal("blobs merged")
+	}
+	for i := 51; i < 100; i++ {
+		if assign[i] != second {
+			t.Fatal("second blob split across clusters")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if c, a := vector.KMeans(nil, 3, 5, 1); c != nil || a != nil {
+		t.Error("empty input should return nil")
+	}
+	vecs := []vector.Vec{{1, 0}, {0, 1}}
+	c, a := vector.KMeans(vecs, 5, 5, 1)
+	if len(c) != 2 || len(a) != 2 {
+		t.Errorf("k > n should clamp: %d centroids", len(c))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var vecs []vector.Vec
+	for i := 0; i < 30; i++ {
+		vecs = append(vecs, vector.Vec{rng.Float32(), rng.Float32()})
+	}
+	_, a1 := vector.KMeans(vecs, 4, 10, 9)
+	_, a2 := vector.KMeans(vecs, 4, 10, 9)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("KMeans not deterministic for fixed seed")
+	}
+}

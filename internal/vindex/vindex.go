@@ -1,0 +1,148 @@
+// Package vindex provides top-k vector similarity search over unit-norm
+// embeddings: an exact flat index and an IVF-style clustered index (a
+// k-means coarse quantizer over probed inverted lists). It plays the
+// role Faiss plays in the paper's inference pipeline (§V-A2): retrieving
+// the closest dialect-expression embeddings for an NL query embedding.
+package vindex
+
+import (
+	"sort"
+
+	"repro/internal/vector"
+)
+
+// Hit is one search result.
+type Hit struct {
+	ID    int
+	Score float32 // inner product; cosine for unit vectors
+}
+
+// Index is a top-k inner-product search structure.
+type Index interface {
+	// Add inserts a vector under the caller-chosen id.
+	Add(id int, v vector.Vec)
+	// Search returns the k highest-scoring ids in descending score
+	// order. Fewer than k hits are returned when the index is smaller.
+	Search(q vector.Vec, k int) []Hit
+	// Len returns the number of stored vectors.
+	Len() int
+}
+
+// Flat is the exact brute-force index.
+type Flat struct {
+	ids  []int
+	vecs []vector.Vec
+}
+
+// NewFlat returns an empty exact index.
+func NewFlat() *Flat { return &Flat{} }
+
+// Add implements Index.
+func (f *Flat) Add(id int, v vector.Vec) {
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, v)
+}
+
+// Len implements Index.
+func (f *Flat) Len() int { return len(f.ids) }
+
+// Search implements Index.
+func (f *Flat) Search(q vector.Vec, k int) []Hit {
+	return topK(q, f.ids, f.vecs, k)
+}
+
+// IVF is the clustered index: vectors are assigned to the nearest of
+// nlist k-means centroids; a query scans only the nprobe closest lists.
+type IVF struct {
+	nlist, nprobe int
+	seed          int64
+	ids           []int
+	vecs          []vector.Vec
+	centroids     []vector.Vec
+	lists         [][]int // centroid → positions in ids/vecs
+	built         bool
+}
+
+// NewIVF returns an IVF index with nlist clusters probing nprobe lists
+// per query. The index trains lazily on first search.
+func NewIVF(nlist, nprobe int, seed int64) *IVF {
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	return &IVF{nlist: nlist, nprobe: nprobe, seed: seed}
+}
+
+// Add implements Index. Adding invalidates the trained clustering.
+func (iv *IVF) Add(id int, v vector.Vec) {
+	iv.ids = append(iv.ids, id)
+	iv.vecs = append(iv.vecs, v)
+	iv.built = false
+}
+
+// Len implements Index.
+func (iv *IVF) Len() int { return len(iv.ids) }
+
+// Build trains the coarse quantizer; called automatically by Search.
+func (iv *IVF) Build() {
+	if iv.built || len(iv.vecs) == 0 {
+		return
+	}
+	centroids, assign := vector.KMeans(iv.vecs, iv.nlist, 10, iv.seed)
+	iv.centroids = centroids
+	iv.lists = make([][]int, len(centroids))
+	for i, c := range assign {
+		iv.lists[c] = append(iv.lists[c], i)
+	}
+	iv.built = true
+}
+
+// Search implements Index.
+func (iv *IVF) Search(q vector.Vec, k int) []Hit {
+	iv.Build()
+	if len(iv.centroids) == 0 {
+		return nil
+	}
+	// Rank centroids by similarity and scan the top nprobe lists.
+	type cs struct {
+		c     int
+		score float32
+	}
+	order := make([]cs, len(iv.centroids))
+	for i, cent := range iv.centroids {
+		order[i] = cs{c: i, score: vector.Dot(q, cent)}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+	probes := iv.nprobe
+	if probes > len(order) {
+		probes = len(order)
+	}
+	var ids []int
+	var vecs []vector.Vec
+	for _, o := range order[:probes] {
+		for _, pos := range iv.lists[o.c] {
+			ids = append(ids, iv.ids[pos])
+			vecs = append(vecs, iv.vecs[pos])
+		}
+	}
+	return topK(q, ids, vecs, k)
+}
+
+func topK(q vector.Vec, ids []int, vecs []vector.Vec, k int) []Hit {
+	hits := make([]Hit, 0, len(ids))
+	for i, v := range vecs {
+		hits = append(hits, Hit{ID: ids[i], Score: vector.Dot(q, v)})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

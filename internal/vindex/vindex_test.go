@@ -1,0 +1,131 @@
+package vindex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vector"
+	"repro/internal/vindex"
+)
+
+func randomUnit(rng *rand.Rand, dim int) vector.Vec {
+	v := make(vector.Vec, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return vector.Normalize(v)
+}
+
+func TestFlatExactTopK(t *testing.T) {
+	idx := vindex.NewFlat()
+	idx.Add(0, vector.Vec{1, 0})
+	idx.Add(1, vector.Vec{0, 1})
+	idx.Add(2, vector.Normalize(vector.Vec{1, 1}))
+	hits := idx.Search(vector.Vec{1, 0}, 2)
+	if len(hits) != 2 || hits[0].ID != 0 || hits[1].ID != 2 {
+		t.Fatalf("unexpected hits: %+v", hits)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Error("hits not sorted by score")
+	}
+}
+
+func TestFlatKLargerThanIndex(t *testing.T) {
+	idx := vindex.NewFlat()
+	idx.Add(7, vector.Vec{1, 0})
+	hits := idx.Search(vector.Vec{1, 0}, 10)
+	if len(hits) != 1 || hits[0].ID != 7 {
+		t.Fatalf("unexpected hits: %+v", hits)
+	}
+}
+
+func TestIVFMatchesFlatWithFullProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	flat := vindex.NewFlat()
+	ivf := vindex.NewIVF(8, 8, 3) // probing all lists ⇒ exact
+	for i := 0; i < 200; i++ {
+		v := randomUnit(rng, 16)
+		flat.Add(i, v)
+		ivf.Add(i, v)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := randomUnit(rng, 16)
+		fh := flat.Search(q, 5)
+		ih := ivf.Search(q, 5)
+		if len(fh) != len(ih) {
+			t.Fatalf("result sizes differ: %d vs %d", len(fh), len(ih))
+		}
+		for i := range fh {
+			if fh[i].ID != ih[i].ID {
+				t.Fatalf("trial %d: rank %d differs: flat %d vs ivf %d", trial, i, fh[i].ID, ih[i].ID)
+			}
+		}
+	}
+}
+
+func TestIVFRecallWithPartialProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	flat := vindex.NewFlat()
+	ivf := vindex.NewIVF(16, 4, 5)
+	vecs := make([]vector.Vec, 500)
+	for i := range vecs {
+		vecs[i] = randomUnit(rng, 24)
+		flat.Add(i, vecs[i])
+		ivf.Add(i, vecs[i])
+	}
+	// Query near stored points: recall@10 should be high even with a
+	// quarter of the lists probed.
+	hitSum, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		q := vecs[rng.Intn(len(vecs))]
+		want := map[int]bool{}
+		for _, h := range flat.Search(q, 10) {
+			want[h.ID] = true
+		}
+		for _, h := range ivf.Search(q, 10) {
+			if want[h.ID] {
+				hitSum++
+			}
+		}
+		total += 10
+	}
+	recall := float64(hitSum) / float64(total)
+	if recall < 0.6 {
+		t.Errorf("IVF recall@10 too low: %.2f", recall)
+	}
+}
+
+func TestIVFRebuildAfterAdd(t *testing.T) {
+	ivf := vindex.NewIVF(2, 2, 1)
+	ivf.Add(0, vector.Vec{1, 0})
+	if got := ivf.Search(vector.Vec{1, 0}, 1); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("initial search wrong: %+v", got)
+	}
+	ivf.Add(1, vector.Vec{0, 1})
+	got := ivf.Search(vector.Vec{0, 1}, 1)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("vector added after build not found: %+v", got)
+	}
+	if ivf.Len() != 2 {
+		t.Errorf("Len = %d, want 2", ivf.Len())
+	}
+}
+
+func TestSearchEmptyIndex(t *testing.T) {
+	if hits := vindex.NewFlat().Search(vector.Vec{1}, 3); len(hits) != 0 {
+		t.Errorf("empty flat index returned hits: %+v", hits)
+	}
+	if hits := vindex.NewIVF(4, 2, 1).Search(vector.Vec{1}, 3); len(hits) != 0 {
+		t.Errorf("empty ivf index returned hits: %+v", hits)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	idx := vindex.NewFlat()
+	idx.Add(5, vector.Vec{1, 0})
+	idx.Add(3, vector.Vec{1, 0})
+	hits := idx.Search(vector.Vec{1, 0}, 2)
+	if hits[0].ID != 3 || hits[1].ID != 5 {
+		t.Errorf("tie break should order by id: %+v", hits)
+	}
+}
