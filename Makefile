@@ -1,0 +1,22 @@
+# The tier-1 gate: everything a PR must keep green.
+.PHONY: verify test build vet race bench
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# verify is the full robustness gate: build, static checks, and the
+# whole suite (including the fault-injection matrix and the concurrent
+# translate stress test) under the race detector.
+verify: build vet race
+
+bench:
+	go test -bench=. -benchmem

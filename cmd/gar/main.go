@@ -29,6 +29,7 @@
 //	gar -spec db.json -q "who is the oldest employee"
 //	gar -spec db.json            # interactive: one question per line
 //	gar -demo -q "how many employees are there"
+//	gar serve -demo -addr :8765  # HTTP JSON API (see serve.go)
 package main
 
 import (
@@ -82,6 +83,10 @@ type spec struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	specPath := flag.String("spec", "", "path to the JSON database spec")
 	question := flag.String("q", "", "question to translate (omit for interactive mode)")
 	demo := flag.Bool("demo", false, "use the built-in employee demo database")
@@ -92,22 +97,9 @@ func main() {
 	loadModels := flag.String("loadmodels", "", "load ranking models instead of training")
 	flag.Parse()
 
-	var s *spec
-	switch {
-	case *demo:
-		s = demoSpec()
-	case *specPath != "":
-		data, err := os.ReadFile(*specPath)
-		if err != nil {
-			fatal(err)
-		}
-		s = &spec{}
-		if err := json.Unmarshal(data, s); err != nil {
-			fatal(fmt.Errorf("parsing %s: %w", *specPath, err))
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "gar: provide -spec file.json or -demo")
-		os.Exit(2)
+	s, err := loadSpec(*specPath, *demo)
+	if err != nil {
+		fatal(err)
 	}
 
 	// Spec workloads have few training examples, so train longer than
@@ -175,7 +167,31 @@ func main() {
 	}
 }
 
+// loadSpec resolves the -spec/-demo flags to a validated spec.
+func loadSpec(specPath string, demo bool) (*spec, error) {
+	var s *spec
+	switch {
+	case demo:
+		s = demoSpec()
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		s = &spec{}
+		if err := json.Unmarshal(data, s); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", specPath, err)
+		}
+	default:
+		return nil, fmt.Errorf("provide -spec file.json or -demo")
+	}
+	return s, nil
+}
+
 func buildSystem(s *spec, opts gar.Options, loadModels string) (*gar.System, *gar.Content, error) {
+	if err := validateSpec(s); err != nil {
+		return nil, nil, err
+	}
 	db := gar.NewDatabase(s.Database.Name)
 	for _, t := range s.Database.Tables {
 		tableOpts := []any{gar.Key(t.PrimaryKey...)}

@@ -1,0 +1,224 @@
+// The serve mode runs GAR as a small HTTP JSON service:
+//
+//	gar serve -spec db.json -addr :8765
+//	gar serve -demo
+//
+//	POST /translate {"question": "who is the oldest employee"}
+//	GET  /healthz
+//
+// Each request runs under a per-request timeout, the request body is
+// size-limited, panics are recovered into 500 responses, and SIGINT or
+// SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/gar"
+)
+
+// serveConfig holds the tunables of the HTTP service.
+type serveConfig struct {
+	// Timeout bounds each translation (the request context is also
+	// honored, so a disconnecting client cancels its work).
+	Timeout time.Duration
+	// MaxBody caps the request body size in bytes.
+	MaxBody int64
+	// TopK caps the candidates returned per translation.
+	TopK int
+}
+
+type server struct {
+	sys *gar.System
+	cfg serveConfig
+}
+
+type translateRequest struct {
+	Question string `json:"question"`
+}
+
+type candidateJSON struct {
+	SQL     string  `json:"sql"`
+	Dialect string  `json:"dialect"`
+	Score   float64 `json:"score"`
+}
+
+type translateResponse struct {
+	SQL        string          `json:"sql"`
+	Dialect    string          `json:"dialect"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	Warnings   []string        `json:"warnings,omitempty"`
+	Candidates []candidateJSON `json:"candidates"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// newServeHandler assembles the routed handler with the panic-recovery
+// middleware outermost, so no handler bug can kill the process.
+func newServeHandler(sys *gar.System, cfg serveConfig) http.Handler {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 5
+	}
+	s := &server{sys: sys, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/translate", s.handleTranslate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware converts handler panics into JSON 500 responses.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeJSON(w, http.StatusInternalServerError,
+					errorJSON{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"pool":   s.sys.PoolSize(),
+	})
+}
+
+func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use POST"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	var req translateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty question"})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.sys.TranslateContext(ctx, req.Question)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is moot but 499-style
+			// handling keeps logs honest.
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+
+	out := translateResponse{
+		SQL:       res.SQL,
+		Dialect:   res.Dialect,
+		Degraded:  res.Degraded,
+		Warnings:  res.Warnings,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, c := range res.Candidates {
+		if i >= s.cfg.TopK {
+			break
+		}
+		out.Candidates = append(out.Candidates, candidateJSON{SQL: c.SQL, Dialect: c.Dialect, Score: c.Score})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// runServe is the `gar serve` entry point.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("gar serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8765", "listen address")
+	specPath := fs.String("spec", "", "path to the JSON database spec")
+	demo := fs.Bool("demo", false, "use the built-in employee demo database")
+	garJ := fs.Bool("j", false, "enable GAR-J (use join annotations)")
+	pool := fs.Int("pool", 2000, "generalized candidate pool size")
+	loadModels := fs.String("loadmodels", "", "load ranking models instead of training")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request translation timeout")
+	maxBody := fs.Int64("maxbody", 1<<20, "maximum request body size in bytes")
+	topK := fs.Int("top", 5, "number of candidates returned per translation")
+	_ = fs.Parse(args)
+
+	s, err := loadSpec(*specPath, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	sys, _, err := buildSystem(s, gar.Options{
+		GeneralizeSize:  *pool,
+		JoinAnnotations: *garJ,
+		Seed:            1,
+		EncoderEpochs:   14,
+		RerankEpochs:    40,
+	}, *loadModels)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gar serve: %d candidate queries ready on %s\n", sys.PoolSize(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServeHandler(sys, serveConfig{Timeout: *timeout, MaxBody: *maxBody, TopK: *topK}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "gar serve: draining connections")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(err)
+	}
+}

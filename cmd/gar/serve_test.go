@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/gar"
+)
+
+func testHandler(t *testing.T, cfg serveConfig) http.Handler {
+	t.Helper()
+	sys, _, err := buildSystem(demoSpec(), gar.Options{
+		GeneralizeSize: 200, RetrievalK: 10, Seed: 1,
+		EncoderEpochs: 12, RerankEpochs: 30,
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServeHandler(sys, cfg)
+}
+
+func postTranslate(h http.Handler, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/translate", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestServeTranslateAndHealthz(t *testing.T) {
+	h := testHandler(t, serveConfig{})
+
+	rec := postTranslate(h, `{"question": "how many employees are there"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("translate status %d: %s", rec.Code, rec.Body)
+	}
+	var resp translateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := gar.ExactMatch(resp.SQL, "SELECT COUNT(*) FROM employee")
+	if err != nil || !ok {
+		t.Errorf("served translation wrong: %s (%v)", resp.SQL, err)
+	}
+	if resp.Degraded || len(resp.Candidates) == 0 {
+		t.Errorf("unexpected response shape: %+v", resp)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hrec := httptest.NewRecorder()
+	h.ServeHTTP(hrec, req)
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", hrec.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Pool   int    `json:"pool"`
+	}
+	if err := json.Unmarshal(hrec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Pool == 0 {
+		t.Errorf("healthz: %+v", health)
+	}
+}
+
+func TestServeRequestValidation(t *testing.T) {
+	h := testHandler(t, serveConfig{MaxBody: 256})
+
+	if rec := postTranslate(h, `{"question": ""}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty question: status %d", rec.Code)
+	}
+	if rec := postTranslate(h, `not json`); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", rec.Code)
+	}
+	big := `{"question": "` + strings.Repeat("x", 4096) + `"}`
+	if rec := postTranslate(h, big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/translate", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /translate: status %d", rec.Code)
+	}
+	// Every error path must answer JSON with an error field.
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("error response not JSON: %s", rec.Body)
+	}
+}
+
+func TestServeTimeout(t *testing.T) {
+	// A nanosecond budget cannot finish retrieval: the request must
+	// come back 504, not hang or crash.
+	h := testHandler(t, serveConfig{Timeout: time.Nanosecond})
+	rec := postTranslate(h, `{"question": "how many employees are there"}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRecoverMiddleware(t *testing.T) {
+	h := recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("handler bug")) {
+		t.Errorf("panic message lost: %s", rec.Body)
+	}
+}

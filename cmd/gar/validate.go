@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// validateSpec sanity-checks a decoded JSON spec before any expensive
+// preparation runs, so a malformed spec fails fast with a message that
+// names the offending field instead of erroring deep inside Prepare.
+func validateSpec(s *spec) error {
+	if s.Database.Name == "" {
+		return fmt.Errorf("spec: database.name is empty")
+	}
+	if len(s.Database.Tables) == 0 {
+		return fmt.Errorf("spec: database %q has no tables", s.Database.Name)
+	}
+	tables := map[string]map[string]bool{}
+	for _, t := range s.Database.Tables {
+		if t.Name == "" {
+			return fmt.Errorf("spec: database %q has a table with no name", s.Database.Name)
+		}
+		if _, dup := tables[t.Name]; dup {
+			return fmt.Errorf("spec: table %q is defined twice", t.Name)
+		}
+		if len(t.Columns) == 0 {
+			return fmt.Errorf("spec: table %q has no columns", t.Name)
+		}
+		cols := map[string]bool{}
+		for _, c := range t.Columns {
+			if c.Name == "" {
+				return fmt.Errorf("spec: table %q has a column with no name", t.Name)
+			}
+			switch strings.ToLower(c.Type) {
+			case "number", "text":
+			default:
+				return fmt.Errorf("spec: table %q column %q: unknown type %q (want \"number\" or \"text\")",
+					t.Name, c.Name, c.Type)
+			}
+			cols[c.Name] = true
+		}
+		for _, pk := range t.PrimaryKey {
+			if !cols[pk] {
+				return fmt.Errorf("spec: table %q primary key names missing column %q", t.Name, pk)
+			}
+		}
+		tables[t.Name] = cols
+	}
+	for i, fk := range s.Database.ForeignKeys {
+		from, ok := tables[fk.FromTable]
+		if !ok {
+			return fmt.Errorf("spec: foreignKeys[%d] references missing table %q", i, fk.FromTable)
+		}
+		if !from[fk.FromColumn] {
+			return fmt.Errorf("spec: foreignKeys[%d] references missing column %q.%q",
+				i, fk.FromTable, fk.FromColumn)
+		}
+		to, ok := tables[fk.ToTable]
+		if !ok {
+			return fmt.Errorf("spec: foreignKeys[%d] references missing table %q", i, fk.ToTable)
+		}
+		if !to[fk.ToColumn] {
+			return fmt.Errorf("spec: foreignKeys[%d] references missing column %q.%q",
+				i, fk.ToTable, fk.ToColumn)
+		}
+	}
+	for table := range s.Content {
+		if _, ok := tables[table]; !ok {
+			return fmt.Errorf("spec: content references missing table %q", table)
+		}
+	}
+	if len(s.Samples) == 0 {
+		return fmt.Errorf("spec: no sample queries (the candidate pool would be empty)")
+	}
+	return nil
+}

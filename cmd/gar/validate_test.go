@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/gar"
+)
+
+func TestValidateSpecAcceptsDemo(t *testing.T) {
+	if err := validateSpec(demoSpec()); err != nil {
+		t.Fatalf("demo spec rejected: %v", err)
+	}
+}
+
+func TestValidateSpecRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*spec)
+		want   string
+	}{
+		{"unknown column type", func(s *spec) {
+			s.Database.Tables[0].Columns[0].Type = "varchar"
+		}, `unknown type "varchar"`},
+		{"fk missing table", func(s *spec) {
+			s.Database.ForeignKeys[0].ToTable = "nosuch"
+		}, `missing table "nosuch"`},
+		{"fk missing column", func(s *spec) {
+			s.Database.ForeignKeys[0].FromColumn = "ghost"
+		}, `missing column "evaluation"."ghost"`},
+		{"empty samples", func(s *spec) {
+			s.Samples = nil
+		}, "no sample queries"},
+		{"no tables", func(s *spec) {
+			s.Database.Tables = nil
+		}, "no tables"},
+		{"pk missing column", func(s *spec) {
+			s.Database.Tables[0].PrimaryKey = []string{"ghost"}
+		}, `missing column "ghost"`},
+		{"content missing table", func(s *spec) {
+			s.Content["nosuch"] = [][]any{{1}}
+		}, `missing table "nosuch"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := demoSpec()
+			tc.mutate(s)
+			err := validateSpec(s)
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// The same rejection must surface through buildSystem, which
+			// is what the CLI exit path uses.
+			if _, _, berr := buildSystem(s, gar.Options{GeneralizeSize: 50}, ""); berr == nil {
+				t.Fatal("buildSystem accepted the invalid spec")
+			}
+		})
+	}
+}

@@ -2,12 +2,25 @@
 // Generate-and-Rank Approach for Natural Language to SQL Translation"
 // (Fan et al., ICDE 2023).
 //
-// The public API lives in repro/gar. The internal packages implement
+// The public API lives in repro/gar. Translation is available both as
+// System.Translate and as System.TranslateContext, which threads a
+// context.Context through the ranking hot loops (cancellation and
+// deadlines are observed mid-scan), isolates each pipeline stage behind
+// a recover boundary, and degrades gracefully: a re-ranking failure
+// falls back to retrieval order and a value post-processing failure
+// falls back to masked SQL, both flagged on Result.Degraded. A System
+// is safe for concurrent translations, and `gar serve` (cmd/gar) runs
+// it as an HTTP JSON service. See the README's "Serving & robustness"
+// section.
+//
+// The internal packages implement
 // every substrate the paper depends on — SQL parsing and execution,
 // SPIDER-style normalization and difficulty classification, the
 // compositional generalizer, the dialect builder, the two-stage
-// learning-to-rank pipeline, four baseline translators, and synthetic
-// versions of the GEO, SPIDER, MT-TEQL and QBEN benchmarks. The
+// learning-to-rank pipeline, four baseline translators, synthetic
+// versions of the GEO, SPIDER, MT-TEQL and QBEN benchmarks, and a
+// deterministic fault injector (internal/faults) used by the
+// robustness test harness. The
 // top-level bench_test.go regenerates every table and figure of the
 // paper's evaluation section; see DESIGN.md and EXPERIMENTS.md.
 package repro

@@ -25,6 +25,7 @@
 package gar
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -94,6 +95,13 @@ type Result struct {
 	Dialect string
 	// Candidates holds the ranked alternatives, best first.
 	Candidates []Candidate
+	// Degraded reports that a non-fatal pipeline stage (re-ranking or
+	// value post-processing) failed or timed out and a fallback was
+	// used: the result is usable but of reduced quality. Warnings
+	// explains what happened.
+	Degraded bool
+	// Warnings lists each degradation that occurred.
+	Warnings []string
 }
 
 // System is a GAR translator bound to one database.
@@ -145,11 +153,28 @@ func (s *System) SetContent(content *Content) {
 
 // Translate converts a natural-language question to SQL.
 func (s *System) Translate(question string) (*Result, error) {
-	tr, err := s.inner.Translate(question)
+	return s.TranslateContext(context.Background(), question)
+}
+
+// TranslateContext converts a natural-language question to SQL,
+// honoring the context's deadline and cancellation inside the ranking
+// hot loops. Each pipeline stage runs inside a panic-isolation
+// boundary, and non-fatal stage failures degrade gracefully instead of
+// failing the call: a re-ranking failure or timeout returns the
+// first-stage retrieval order, and a value post-processing failure
+// returns the ranked SQL with literal placeholders left masked — both
+// flagged via Result.Degraded with an explanation in Result.Warnings.
+// Only a retrieval failure (or cancellation before a candidate list
+// exists) returns an error.
+//
+// TranslateContext is safe for concurrent use; Prepare and Train may
+// run concurrently with translations.
+func (s *System) TranslateContext(ctx context.Context, question string) (*Result, error) {
+	tr, err := s.inner.TranslateContext(ctx, question)
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{}
+	out := &Result{Degraded: tr.Degraded, Warnings: tr.Warnings}
 	for _, c := range tr.Ranked {
 		out.Candidates = append(out.Candidates, Candidate{
 			SQL:     c.SQL.String(),

@@ -90,3 +90,51 @@ func TestLoadModelsGarbage(t *testing.T) {
 		t.Error("garbage accepted as models")
 	}
 }
+
+// TestLoadModelsCorrupted: a truncated or bit-flipped model stream must
+// return a descriptive error and never panic, for every truncation
+// point and a sweep of corruption offsets.
+func TestLoadModelsCorrupted(t *testing.T) {
+	train := trainedSystem(t)
+	models, err := gar.TrainModels([]gar.TrainingSet{{System: train, Examples: examples()}},
+		gar.Options{Seed: 5, RetrievalK: 10, EncoderEpochs: 4, RerankEpochs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if len(data) < 64 {
+		t.Fatalf("model stream implausibly small: %d bytes", len(data))
+	}
+
+	load := func(t *testing.T, b []byte) error {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("LoadModels panicked: %v", r)
+			}
+		}()
+		_, err := gar.LoadModels(bytes.NewReader(b))
+		return err
+	}
+
+	// Truncations: every length from empty to one byte short, sampled.
+	for _, n := range []int{0, 1, 7, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if err := load(t, data[:n]); err == nil {
+			t.Errorf("truncated stream (%d of %d bytes) accepted", n, len(data))
+		} else if err.Error() == "" {
+			t.Errorf("truncation at %d: empty error message", n)
+		}
+	}
+
+	// Bit flips across the stream. Some flips land in value bytes and
+	// still decode — that is fine; what must never happen is a panic.
+	for off := 0; off < len(data); off += len(data)/37 + 1 {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0xff
+		_ = load(t, corrupt)
+	}
+}

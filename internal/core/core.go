@@ -8,11 +8,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/dialect"
 	"repro/internal/embed"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/generalize"
 	"repro/internal/ltr"
 	"repro/internal/nn"
@@ -73,10 +76,18 @@ func (o *Options) fill() {
 }
 
 // System is a GAR instance bound to one database.
+//
+// A System is safe for concurrent Translate/TranslateContext calls;
+// Prepare, Train, UseModels and SetContent take the write lock and may
+// run concurrently with translations (translations in flight finish
+// against the old state).
 type System struct {
 	DB   *schema.Database
 	Opts Options
 
+	// mu guards every field below. Translations take the read lock for
+	// their full duration; state mutations take the write lock.
+	mu        sync.RWMutex
 	builder   *dialect.Builder
 	pool      []ltr.Candidate
 	poolIdx   *ltr.PoolIndex
@@ -85,6 +96,7 @@ type System struct {
 	linker    *values.Linker
 	prepStats generalize.Stats
 	trained   bool
+	inj       *faults.Injector
 }
 
 // New creates a GAR system for the database.
@@ -103,24 +115,44 @@ func New(db *schema.Database, opts Options) *System {
 // SetContent attaches a populated instance used for value linking in the
 // post-processing step (cell-value → column hints).
 func (s *System) SetContent(content *engine.Instance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.linker = values.NewLinker(s.DB, content)
+}
+
+// SetFaultInjector installs a fault injector fired at every stage
+// boundary of TranslateContext. Pass nil to disable. Intended for the
+// fault-injection test harness and resilience soak runs.
+func (s *System) SetFaultInjector(inj *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = inj
 }
 
 // Prepare runs the offline data preparation process (Fig. 2 steps 1-2):
 // generalizes the sample queries and renders each generalized query as a
 // dialect expression, building the candidate pool.
 func (s *System) Prepare(samples []*sqlast.Query) {
+	// Generalization is the expensive part; run it outside the lock so
+	// in-flight translations are not stalled behind a re-Prepare.
 	res := generalize.Generalize(s.DB, samples, generalize.Config{
 		TargetSize: s.Opts.GeneralizeSize,
 		Seed:       s.Opts.Seed,
 		Rules:      generalize.AllRules(),
 	})
-	s.prepStats = res.Stats
-	s.pool = s.pool[:0]
+	// A fresh slice (not pool[:0]) so snapshots held by concurrent
+	// readers keep seeing the old pool.
+	pool := make([]ltr.Candidate, 0, len(res.Queries))
 	for _, q := range res.Queries {
-		s.pool = append(s.pool, ltr.Candidate{SQL: q, Dialect: s.expression(q)})
+		pool = append(pool, ltr.Candidate{SQL: q, Dialect: s.expression(q)})
 	}
-	s.poolIdx = ltr.NewPoolIndex(s.pool)
+	idx := ltr.NewPoolIndex(pool)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prepStats = res.Stats
+	s.pool = pool
+	s.poolIdx = idx
 	s.trained = false
 }
 
@@ -134,15 +166,33 @@ func (s *System) expression(q *sqlast.Query) string {
 }
 
 // PrepStats reports the generalization statistics of the last Prepare.
-func (s *System) PrepStats() generalize.Stats { return s.prepStats }
+func (s *System) PrepStats() generalize.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.prepStats
+}
 
 // PoolSize returns the candidate pool size.
-func (s *System) PoolSize() int { return len(s.pool) }
+func (s *System) PoolSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pool)
+}
+
+// snapshot returns the current pool and its index under the read lock.
+// The returned slice is never mutated after publication (Prepare swaps
+// in a fresh one), so callers may use it lock-free.
+func (s *System) snapshot() ([]ltr.Candidate, *ltr.PoolIndex) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pool, s.poolIdx
+}
 
 // HasCandidate reports whether the pool contains a query exact-matching
 // gold; false means a data-preparation miss.
 func (s *System) HasCandidate(gold *sqlast.Query) bool {
-	return s.poolIdx != nil && s.poolIdx.Find(s.BindGold(gold)) >= 0
+	_, idx := s.snapshot()
+	return idx != nil && idx.Find(s.BindGold(gold)) >= 0
 }
 
 // BindGold resolves a benchmark gold query against this database so its
@@ -191,16 +241,21 @@ type TrainingSet struct {
 // Prepared.
 func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 	opts.fill()
+	// Snapshot each system's pool once up front: training then proceeds
+	// lock-free even if a concurrent Prepare swaps a pool underneath.
+	pools := make([][]ltr.Candidate, len(sets))
+	poolIdxs := make([]*ltr.PoolIndex, len(sets))
 	var corpus []string
 	for i, set := range sets {
-		if len(set.Sys.pool) == 0 {
+		pools[i], poolIdxs[i] = set.Sys.snapshot()
+		if len(pools[i]) == 0 {
 			return nil, fmt.Errorf("core: TrainModels with unprepared system for %s", set.Sys.DB.Name)
 		}
 		sets[i].Examples = set.Sys.bindExamples(set.Examples)
-		for _, c := range set.Sys.pool {
+		for _, c := range pools[i] {
 			corpus = append(corpus, c.Dialect)
 		}
-		for _, ex := range set.Examples {
+		for _, ex := range sets[i].Examples {
 			corpus = append(corpus, ex.NL)
 		}
 	}
@@ -211,7 +266,7 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 	var triplets []embed.Triplet
 	for i, set := range sets {
 		triplets = append(triplets,
-			ltr.BuildTriplets(set.Examples, set.Sys.pool, set.Sys.poolIdx, 4, opts.Seed+int64(i)+1)...)
+			ltr.BuildTriplets(set.Examples, pools[i], poolIdxs[i], 4, opts.Seed+int64(i)+1)...)
 	}
 	encoder.Train(triplets, embed.TrainConfig{Epochs: opts.EncoderEpochs})
 
@@ -224,15 +279,15 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 	x := &rerank.Extractor{IDF: text.NewIDF(corpus), Encoder: encoder}
 	model := rerank.New(x, opts.Seed+3)
 	var lists []rerank.TrainingList
-	for _, set := range sets {
+	for i := range sets {
 		pipe := &ltr.Pipeline{
 			Encoder: encoder,
-			Index:   buildIndex(set.Sys.pool, encoder, opts),
-			Pool:    set.Sys.pool,
-			PoolIdx: set.Sys.poolIdx,
+			Index:   buildIndex(pools[i], encoder, opts),
+			Pool:    pools[i],
+			PoolIdx: poolIdxs[i],
 			K:       opts.RetrievalK,
 		}
-		lists = append(lists, pipe.BuildLists(set.Examples, opts.RerankTrainK)...)
+		lists = append(lists, pipe.BuildLists(sets[i].Examples, opts.RerankTrainK)...)
 	}
 	model.Train(lists, nn.TrainConfig{Epochs: opts.RerankEpochs, Seed: opts.Seed + 4})
 	m.Reranker = model
@@ -253,6 +308,11 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) vind
 	for i, c := range pool {
 		index.Add(i, encoder.Encode(c.Dialect))
 	}
+	// Train the coarse quantizer eagerly so the first online query does
+	// not pay (or race on) the k-means build.
+	if iv, ok := index.(*vindex.IVF); ok {
+		iv.Build()
+	}
 	return index
 }
 
@@ -261,19 +321,25 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) vind
 // and the pipeline is assembled. This is how a system for an unseen
 // validation database comes online.
 func (s *System) UseModels(m *Models) error {
-	if len(s.pool) == 0 {
+	pool, poolIdx := s.snapshot()
+	if len(pool) == 0 {
 		return fmt.Errorf("core: UseModels before Prepare (empty candidate pool)")
 	}
-	s.encoder = m.Encoder
-	s.pipeline = &ltr.Pipeline{
+	// Index construction is the slow part; do it before taking the
+	// write lock so in-flight translations keep running.
+	pipeline := &ltr.Pipeline{
 		Encoder:    m.Encoder,
-		Index:      buildIndex(s.pool, m.Encoder, s.Opts),
-		Pool:       s.pool,
-		PoolIdx:    s.poolIdx,
+		Index:      buildIndex(pool, m.Encoder, s.Opts),
+		Pool:       pool,
+		PoolIdx:    poolIdx,
 		K:          s.Opts.RetrievalK,
 		SkipRerank: s.Opts.NoRerank,
 		Reranker:   m.Reranker,
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.encoder = m.Encoder
+	s.pipeline = pipeline
 	s.trained = true
 	return nil
 }
@@ -302,36 +368,117 @@ type Translation struct {
 	Top *Candidate
 	// Ranked is the post-processed top-k list, best first.
 	Ranked []Candidate
+	// Degraded reports that a non-fatal stage (re-ranking or value
+	// post-processing) failed and a documented fallback was used; the
+	// result is still usable but of reduced quality.
+	Degraded bool
+	// Warnings describes each degradation that occurred.
+	Warnings []string
 }
 
 // Translate runs the full online pipeline on an NL query: two-stage
 // ranking followed by value post-processing (candidate filtering by
 // value-implied columns, then placeholder instantiation).
 func (s *System) Translate(nl string) (*Translation, error) {
-	if !s.trained {
+	return s.TranslateContext(context.Background(), nl)
+}
+
+// TranslateContext is Translate with cancellation and stage-level fault
+// isolation. Each stage runs inside a recover boundary, so a panic in a
+// ranking stage surfaces as a *StageError instead of crashing the
+// process, and the pipeline degrades gracefully:
+//
+//   - retrieval failure (or cancellation before/while retrieving) is
+//     fatal: there is nothing to fall back to;
+//   - re-ranking failure or timeout falls back to the retrieval-order
+//     candidates, flagged Degraded;
+//   - value post-processing failure falls back to the ranked candidates
+//     with placeholders left masked, flagged Degraded.
+//
+// TranslateContext is safe to call concurrently.
+func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation, error) {
+	s.mu.RLock()
+	trained, pipeline, linker, inj := s.trained, s.pipeline, s.linker, s.inj
+	s.mu.RUnlock()
+	if !trained {
 		return nil, fmt.Errorf("core: Translate before Train")
 	}
-	ranked := s.pipeline.Rank(nl)
 
-	// Value post-processing 1: drop candidates whose dialect lacks a
-	// column implied by a literal value in the NL query. If every
-	// candidate would be dropped, keep the original ranking.
-	filtered := make([]ltr.Ranked, 0, len(ranked))
-	for _, r := range ranked {
-		if s.Opts.NoDialect || s.linker.DialectMentionsColumns(nl, r.Dialect) {
-			filtered = append(filtered, r)
+	// Stage 1: first-stage retrieval over the candidate pool. Fatal on
+	// any failure — every later stage only refines this answer.
+	var hits []vindex.Hit
+	err := runStage(ctx, StageRetrieval, func() error {
+		if ferr := inj.Fire(ctx, faults.Retrieval); ferr != nil {
+			return ferr
 		}
-	}
-	if len(filtered) == 0 {
-		filtered = ranked
+		var rerr error
+		hits, rerr = pipeline.RetrieveContext(ctx, nl, pipeline.K)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := &Translation{}
-	for _, r := range filtered {
-		// Value post-processing 2: instantiate placeholders from the NL.
-		sql := s.linker.FillPlaceholders(r.SQL, nl)
-		out.Ranked = append(out.Ranked, Candidate{SQL: sql, Dialect: r.Dialect, Score: r.Score})
+	degrade := func(stage string, err error) {
+		out.Degraded = true
+		out.Warnings = append(out.Warnings, fmt.Sprintf("%s stage degraded: %v", stage, err))
 	}
+
+	// Stage 2: re-ranking. On failure the retrieval order stands.
+	var ranked []ltr.Ranked
+	err = runStage(ctx, StageRerank, func() error {
+		if ferr := inj.Fire(ctx, faults.Rerank); ferr != nil {
+			return ferr
+		}
+		var rerr error
+		ranked, rerr = pipeline.RerankContext(ctx, nl, hits)
+		return rerr
+	})
+	if err != nil {
+		ranked = pipeline.FromHits(hits)
+		degrade(StageRerank, err)
+	}
+
+	// Stage 3: value post-processing (filter by value-implied columns,
+	// then instantiate placeholders). On failure the ranked SQL is
+	// returned as-is, placeholders still masked.
+	var processed []Candidate
+	err = runStage(ctx, StagePostprocess, func() error {
+		if ferr := inj.Fire(ctx, faults.Postprocess); ferr != nil {
+			return ferr
+		}
+		// Post-processing 1: drop candidates whose dialect lacks a
+		// column implied by a literal value in the NL query. If every
+		// candidate would be dropped, keep the original ranking.
+		filtered := make([]ltr.Ranked, 0, len(ranked))
+		for _, r := range ranked {
+			if s.Opts.NoDialect || linker.DialectMentionsColumns(nl, r.Dialect) {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			filtered = ranked
+		}
+		for _, r := range filtered {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			// Post-processing 2: instantiate placeholders from the NL.
+			sql := linker.FillPlaceholders(r.SQL, nl)
+			processed = append(processed, Candidate{SQL: sql, Dialect: r.Dialect, Score: r.Score})
+		}
+		return nil
+	})
+	if err != nil {
+		processed = processed[:0]
+		for _, r := range ranked {
+			processed = append(processed, Candidate{SQL: r.SQL, Dialect: r.Dialect, Score: r.Score})
+		}
+		degrade(StagePostprocess, err)
+	}
+
+	out.Ranked = processed
 	if len(out.Ranked) > 0 {
 		out.Top = &out.Ranked[0]
 	}
@@ -342,14 +489,17 @@ func (s *System) Translate(nl string) (*Translation, error) {
 // first-stage top-k for the NL query; used for Table 9 error
 // attribution. It returns false when the gold is not even in the pool.
 func (s *System) RetrievalContains(nl string, gold *sqlast.Query, k int) bool {
-	if !s.trained {
+	s.mu.RLock()
+	trained, pipeline, poolIdx := s.trained, s.pipeline, s.poolIdx
+	s.mu.RUnlock()
+	if !trained {
 		return false
 	}
-	goldIdx := s.poolIdx.Find(s.BindGold(gold))
+	goldIdx := poolIdx.Find(s.BindGold(gold))
 	if goldIdx < 0 {
 		return false
 	}
-	for _, h := range s.pipeline.Retrieve(nl, k) {
+	for _, h := range pipeline.Retrieve(nl, k) {
 		if h.ID == goldIdx {
 			return true
 		}
@@ -358,7 +508,10 @@ func (s *System) RetrievalContains(nl string, gold *sqlast.Query, k int) bool {
 }
 
 // Pool exposes the candidate pool (read-only use).
-func (s *System) Pool() []ltr.Candidate { return s.pool }
+func (s *System) Pool() []ltr.Candidate {
+	pool, _ := s.snapshot()
+	return pool
+}
 
 // Builder exposes the dialect builder (used by examples and the eval
 // harness to show expressions).

@@ -38,8 +38,15 @@ func (m *Models) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadModels reads models previously written by Save.
-func LoadModels(r io.Reader) (*Models, error) {
+// LoadModels reads models previously written by Save. A truncated or
+// corrupted stream returns a descriptive error; decoding never panics
+// (a decoder panic on malformed input is recovered into an error).
+func LoadModels(r io.Reader) (m *Models, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			m, err = nil, fmt.Errorf("core: loading models: malformed model data: %v", rec)
+		}
+	}()
 	var st modelsState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: loading models: %w", err)
@@ -47,7 +54,7 @@ func LoadModels(r io.Reader) (*Models, error) {
 	if st.Encoder == nil {
 		return nil, fmt.Errorf("core: loaded models have no encoder")
 	}
-	m := &Models{Encoder: st.Encoder}
+	m = &Models{Encoder: st.Encoder}
 	if st.HasRerank {
 		if st.RerankNet == nil {
 			return nil, fmt.Errorf("core: loaded models have a re-ranker without a network")

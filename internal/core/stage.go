@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// Stage names for StageError; they mirror the faults package's stages.
+const (
+	StageRetrieval   = string(faults.Retrieval)
+	StageRerank      = string(faults.Rerank)
+	StagePostprocess = string(faults.Postprocess)
+)
+
+// StageError is a typed pipeline-stage failure: it records which stage
+// of the translation path failed and why. Panics inside a stage are
+// recovered and surfaced as a StageError wrapping a PanicError, so a
+// bug in one ranking stage never takes down the caller.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("core: %s stage: %v", e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// PanicError wraps a recovered panic value.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// AsStageError unwraps err to a *StageError, if any.
+func AsStageError(err error) (*StageError, bool) {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// runStage executes one pipeline stage inside a recover boundary: a
+// context already done short-circuits, a returned error is wrapped
+// with the stage name, and a panic is converted into a StageError
+// instead of escaping to the caller.
+func runStage(ctx context.Context, stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: stage, Err: &PanicError{Value: r}}
+		}
+	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return &StageError{Stage: stage, Err: cerr}
+	}
+	if ferr := fn(); ferr != nil {
+		if _, ok := AsStageError(ferr); ok {
+			return ferr
+		}
+		return &StageError{Stage: stage, Err: ferr}
+	}
+	return nil
+}

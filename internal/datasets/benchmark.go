@@ -65,7 +65,12 @@ func genItems(b *DBBundle, dbName string, n int, rng *rand.Rand) []Item {
 	seen := map[string]bool{}
 	var out []Item
 	for attempts := 0; len(out) < n && attempts < n*40; attempts++ {
-		q := qg.gen()
+		q, err := qg.gen()
+		if err != nil {
+			// A schema the generator cannot serve: no item can be drawn
+			// from it, so stop rather than spin out the attempt budget.
+			break
+		}
 		key := norm.Canonical(q)
 		if seen[key] {
 			continue

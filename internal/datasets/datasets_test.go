@@ -81,7 +81,7 @@ func TestQueryGenProducesValidQueries(t *testing.T) {
 	b := buildDatabase("db", rng, false)
 	g := newQueryGen(b, rng)
 	for i := 0; i < 200; i++ {
-		q := g.gen()
+		q := mustGen(t, g)
 		if err := b.Schema.Bind(q.Clone()); err != nil {
 			t.Fatalf("generated query does not bind: %s: %v", q, err)
 		}
@@ -99,7 +99,7 @@ func TestQueryGenMixApproximatesTable3(t *testing.T) {
 		b := buildDatabase("db", rng, false)
 		g := newQueryGen(b, rng)
 		for i := 0; i < 100; i++ {
-			q := g.gen()
+			q := mustGen(t, g)
 			total++
 			if hardness.HasNested(q) {
 				nested++
@@ -138,7 +138,7 @@ func TestQueryGenCoversDifficulties(t *testing.T) {
 		b := buildDatabase("db", rng, false)
 		g := newQueryGen(b, rng)
 		for i := 0; i < 80; i++ {
-			counts[hardness.Classify(g.gen())]++
+			counts[hardness.Classify(mustGen(t, g))]++
 		}
 	}
 	for _, lvl := range hardness.Levels {
@@ -154,7 +154,7 @@ func TestNLGenProperties(t *testing.T) {
 	g := newQueryGen(b, rng)
 	ng := &nlGen{b: b, rng: rng}
 	for i := 0; i < 100; i++ {
-		q := g.gen()
+		q := mustGen(t, g)
 		nl := ng.phrase(q)
 		if len(nl) < 8 {
 			t.Fatalf("NL too short for %s: %q", q, nl)
@@ -173,7 +173,7 @@ func TestNLGenVariesPhrasing(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	b := buildDatabase("db", rng, false)
 	g := newQueryGen(b, rng)
-	q := g.gen()
+	q := mustGen(t, g)
 	ng := &nlGen{b: b, rng: rng}
 	seen := map[string]bool{}
 	for i := 0; i < 20; i++ {
@@ -314,7 +314,7 @@ func TestRewriteQuery(t *testing.T) {
 	dst := renameBundle(src, "db_m0", rng)
 	g := newQueryGen(src, rng)
 	for i := 0; i < 50; i++ {
-		q := g.gen()
+		q := mustGen(t, g)
 		rw := rewriteQuery(q, src, dst)
 		if rw == nil {
 			t.Fatalf("rewrite failed for %s", q)
@@ -453,4 +453,14 @@ func TestReadJSONErrors(t *testing.T) {
 	if _, err := ReadJSON(strings.NewReader(`{"name":"x","databases":{},"val":[{"db":"d","nl":"q","sql":"not sql"}]}`)); err == nil {
 		t.Error("unparsable SQL accepted")
 	}
+}
+
+// mustGen draws one query, failing the test on a generator error.
+func mustGen(t *testing.T, g *queryGen) *sqlast.Query {
+	t.Helper()
+	q, err := g.gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
 }

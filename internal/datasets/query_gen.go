@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 
@@ -33,7 +34,9 @@ func newQueryGen(b *DBBundle, rng *rand.Rand) *queryGen {
 }
 
 // gen produces one random query; every query binds against the schema.
-func (g *queryGen) gen() *sqlast.Query {
+// It returns an error (rather than panicking) in the pathological case
+// where not even the fallback query binds — a malformed schema.
+func (g *queryGen) gen() (*sqlast.Query, error) {
 	for attempts := 0; attempts < 20; attempts++ {
 		var q *sqlast.Query
 		switch r := g.rng.Float64(); {
@@ -66,18 +69,18 @@ func (g *queryGen) gen() *sqlast.Query {
 		if err := g.b.Schema.Bind(q); err != nil {
 			continue
 		}
-		return q
+		return q, nil
 	}
-	// Fallback that always binds.
+	// Fallback that always binds on a well-formed schema.
 	t := g.entities[g.rng.Intn(len(g.entities))]
 	q := &sqlast.Query{Select: &sqlast.Select{
 		Items: []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: t.Name, Column: t.Columns[1].Name}}},
 		From:  sqlast.From{Tables: []sqlast.TableRef{{Name: t.Name}}},
 	}}
 	if err := g.b.Schema.Bind(q); err != nil {
-		panic("datasets: fallback query does not bind: " + err.Error())
+		return nil, fmt.Errorf("datasets: fallback query does not bind against %s: %w", g.b.Schema.Name, err)
 	}
-	return q
+	return q, nil
 }
 
 // randTable picks a random entity table.

@@ -46,7 +46,9 @@ func (in *Instance) Insert(table string, row ...Value) error {
 	return nil
 }
 
-// MustInsert is Insert that panics on error; for tests and generators.
+// MustInsert is Insert that panics on error. It is intended ONLY for
+// tests and generators over statically-known rows; serving paths must
+// use Insert and return the error.
 func (in *Instance) MustInsert(table string, row ...Value) {
 	if err := in.Insert(table, row...); err != nil {
 		panic(err)

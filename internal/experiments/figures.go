@@ -96,8 +96,11 @@ func (l *Lab) Fig11() (string, error) {
 // per schema-size bucket over the benchmarks' databases.
 func (l *Lab) Fig12() (string, error) {
 	var tasks []userstudy.DatabaseTask
-	add := func(bench string) {
-		b := l.bench(bench)
+	add := func(bench string) error {
+		b, err := l.bench(bench)
+		if err != nil {
+			return err
+		}
 		names := make([]string, 0, len(b.DBs))
 		for name := range b.DBs {
 			names = append(names, name)
@@ -130,10 +133,13 @@ func (l *Lab) Fig12() (string, error) {
 				SampleQueries: samples,
 			})
 		}
+		return nil
 	}
-	add("spider")
-	add("geo")
-	add("qben")
+	for _, bench := range []string{"spider", "geo", "qben"} {
+		if err := add(bench); err != nil {
+			return "", err
+		}
+	}
 	// Synthetic larger schemas fill the 6-10 bucket, which the generated
 	// benchmarks (2-4 tables) do not reach.
 	for i := 0; i < 8; i++ {

@@ -149,7 +149,15 @@ func (l *Lab) runner(variant, trainBench, evalBench string) (*eval.GARRunner, er
 	default:
 		return nil, fmt.Errorf("experiments: unknown variant %q", variant)
 	}
-	r, err := eval.NewGARRunner(l.bench(trainBench), l.bench(evalBench), opts)
+	tb, err := l.bench(trainBench)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := l.bench(evalBench)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval.NewGARRunner(tb, eb, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -160,29 +168,32 @@ func (l *Lab) runner(variant, trainBench, evalBench string) (*eval.GARRunner, er
 	return r, nil
 }
 
-func (l *Lab) bench(name string) *datasets.Benchmark {
+func (l *Lab) bench(name string) (*datasets.Benchmark, error) {
 	switch name {
 	case "spider":
-		return l.Spider()
+		return l.Spider(), nil
 	case "geo":
-		return l.Geo()
+		return l.Geo(), nil
 	case "mtteql":
-		return l.MTTEQL()
+		return l.MTTEQL(), nil
 	case "qben":
-		return l.QBEN()
+		return l.QBEN(), nil
 	default:
-		panic("experiments: unknown benchmark " + name)
+		return nil, fmt.Errorf("experiments: unknown benchmark %q (want spider, geo, mtteql or qben)", name)
 	}
 }
 
 // evalItems returns the evaluation split of a benchmark: Spider uses
 // its validation set, the others their test sets.
-func (l *Lab) evalItems(name string) []datasets.Item {
-	b := l.bench(name)
-	if name == "spider" {
-		return b.Val
+func (l *Lab) evalItems(name string) ([]datasets.Item, error) {
+	b, err := l.bench(name)
+	if err != nil {
+		return nil, err
 	}
-	return b.Test
+	if name == "spider" {
+		return b.Val, nil
+	}
+	return b.Test, nil
 }
 
 // sampleMode returns the §V-A3 sample protocol for a benchmark.
@@ -223,7 +234,11 @@ func (l *Lab) GARResult(variant, bench string) (*eval.Result, error) {
 		"gar": "GAR", "garj": "GAR-J",
 		"nodialect": "GAR w/o Dialect Builder", "norerank": "GAR w/o Re-ranking",
 	}[variant]
-	res, err := runner.Evaluate(name, l.evalItems(bench), sampleMode(bench))
+	items, err := l.evalItems(bench)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.Evaluate(name, items, sampleMode(bench))
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +251,16 @@ func (l *Lab) GARResult(variant, bench string) (*eval.Result, error) {
 // making GAP and RAT-SQL N/A, as in Table 7.
 func (l *Lab) BaselineResults(bench string) []*eval.Result {
 	hide := bench == "mtteql"
+	b, err := l.bench(bench)
+	if err != nil {
+		// Unknown benchmark: no results, mirroring Baseline's nil-on-
+		// missing contract instead of panicking.
+		return nil
+	}
+	items, err := l.evalItems(bench)
+	if err != nil {
+		return nil
+	}
 	var out []*eval.Result
 	for _, m := range baselines.All(l.Lexicon()) {
 		mkey := "base/" + bench + "/" + m.Name()
@@ -243,7 +268,7 @@ func (l *Lab) BaselineResults(bench string) []*eval.Result {
 			out = append(out, r)
 			continue
 		}
-		r := eval.EvaluateBaseline(m, l.bench(bench), l.evalItems(bench), hide)
+		r := eval.EvaluateBaseline(m, b, items, hide)
 		l.results[mkey] = r
 		out = append(out, r)
 	}

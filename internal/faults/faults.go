@@ -1,0 +1,185 @@
+// Package faults is a deterministic fault injector for the translation
+// path. Tests (and soak harnesses) register per-stage plans — inject an
+// error, a panic, or a delay at the retrieval, re-ranking or value
+// post-processing boundary — and the core pipeline fires the injector at
+// the top of each stage. Probabilistic plans draw from a seeded RNG, so
+// a given seed always produces the same fault schedule.
+//
+// The zero of everything is safe: a nil *Injector never fires, and a
+// stage with no plan is a no-op.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Stage names one boundary of the translation pipeline.
+type Stage string
+
+// The three online stages of GAR's translation path, in order. Later
+// stages refine an answer the earlier stage already produced, which is
+// what makes stage-level degradation possible.
+const (
+	Retrieval   Stage = "retrieval"
+	Rerank      Stage = "rerank"
+	Postprocess Stage = "postprocess"
+)
+
+// Kind selects what a Plan injects when it fires.
+type Kind int
+
+const (
+	// KindError makes Fire return the plan's error.
+	KindError Kind = iota
+	// KindPanic makes Fire panic with the plan's message.
+	KindPanic
+	// KindDelay makes Fire sleep for the plan's duration (or until the
+	// context is done, in which case Fire returns the context error).
+	KindDelay
+)
+
+// Plan describes one fault to inject at a stage boundary.
+type Plan struct {
+	Kind Kind
+	// Err is returned by KindError plans (defaults to a generic error).
+	Err error
+	// Message is the panic value of KindPanic plans.
+	Message string
+	// Delay is how long KindDelay plans block.
+	Delay time.Duration
+	// After skips the first After eligible calls before firing.
+	After int
+	// Times caps how often the plan fires; 0 means no cap.
+	Times int
+	// P is the probability of firing on an eligible call, drawn from
+	// the injector's seeded RNG; outside (0,1) the plan always fires.
+	P float64
+}
+
+type planState struct {
+	Plan
+	calls int // eligible calls seen
+	fired int
+}
+
+// Injector holds per-stage fault plans. It is safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plans map[Stage][]*planState
+	calls map[Stage]int
+	fired map[Stage]int
+}
+
+// NewInjector creates an empty injector; seed drives probabilistic
+// plans.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		plans: map[Stage][]*planState{},
+		calls: map[Stage]int{},
+		fired: map[Stage]int{},
+	}
+}
+
+// Inject registers a plan at a stage. Multiple plans on one stage fire
+// in registration order; the first that triggers wins the call.
+func (in *Injector) Inject(stage Stage, p Plan) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plans[stage] = append(in.plans[stage], &planState{Plan: p})
+	return in
+}
+
+// Fail is shorthand for an always-on error plan.
+func (in *Injector) Fail(stage Stage, err error) *Injector {
+	return in.Inject(stage, Plan{Kind: KindError, Err: err})
+}
+
+// Panic is shorthand for an always-on panic plan.
+func (in *Injector) Panic(stage Stage, message string) *Injector {
+	return in.Inject(stage, Plan{Kind: KindPanic, Message: message})
+}
+
+// Delay is shorthand for an always-on delay plan.
+func (in *Injector) Delay(stage Stage, d time.Duration) *Injector {
+	return in.Inject(stage, Plan{Kind: KindDelay, Delay: d})
+}
+
+// Fire is called by the pipeline at a stage boundary. It executes the
+// first triggering plan: returning an error, panicking, or sleeping.
+// A nil receiver or an unplanned stage is a no-op returning nil.
+func (in *Injector) Fire(ctx context.Context, stage Stage) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.calls[stage]++
+	var chosen *planState
+	for _, ps := range in.plans[stage] {
+		ps.calls++
+		if ps.calls <= ps.After {
+			continue
+		}
+		if ps.Times > 0 && ps.fired >= ps.Times {
+			continue
+		}
+		if ps.P > 0 && ps.P < 1 && in.rng.Float64() >= ps.P {
+			continue
+		}
+		ps.fired++
+		in.fired[stage]++
+		chosen = ps
+		break
+	}
+	in.mu.Unlock()
+	if chosen == nil {
+		return nil
+	}
+	switch chosen.Kind {
+	case KindPanic:
+		msg := chosen.Message
+		if msg == "" {
+			msg = "injected panic"
+		}
+		panic(fmt.Sprintf("faults: %s: %s", stage, msg))
+	case KindDelay:
+		t := time.NewTimer(chosen.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	default: // KindError
+		if chosen.Err != nil {
+			return chosen.Err
+		}
+		return fmt.Errorf("faults: injected error at %s", stage)
+	}
+}
+
+// Calls reports how often Fire was invoked for the stage.
+func (in *Injector) Calls(stage Stage) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[stage]
+}
+
+// Fired reports how often any plan actually triggered at the stage.
+func (in *Injector) Fired(stage Stage) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[stage]
+}

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(context.Background(), Retrieval); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Calls(Retrieval) != 0 || in.Fired(Retrieval) != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestErrorPlan(t *testing.T) {
+	want := errors.New("boom")
+	in := NewInjector(1).Fail(Rerank, want)
+	if err := in.Fire(context.Background(), Rerank); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	if err := in.Fire(context.Background(), Retrieval); err != nil {
+		t.Fatalf("unplanned stage fired: %v", err)
+	}
+	if in.Fired(Rerank) != 1 || in.Calls(Rerank) != 1 {
+		t.Fatalf("counts: fired=%d calls=%d", in.Fired(Rerank), in.Calls(Rerank))
+	}
+}
+
+func TestPanicPlan(t *testing.T) {
+	in := NewInjector(1).Panic(Postprocess, "injected")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_ = in.Fire(context.Background(), Postprocess)
+}
+
+func TestDelayPlanHonorsContext(t *testing.T) {
+	in := NewInjector(1).Delay(Retrieval, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Fire(ctx, Retrieval)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("delay ignored the context")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := NewInjector(1).Inject(Rerank, Plan{Kind: KindError, After: 2, Times: 1})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := in.Fire(ctx, Rerank); err != nil {
+			t.Fatalf("fired during After window (call %d): %v", i, err)
+		}
+	}
+	if err := in.Fire(ctx, Rerank); err == nil {
+		t.Fatal("did not fire after the After window")
+	}
+	if err := in.Fire(ctx, Rerank); err != nil {
+		t.Fatalf("fired beyond Times cap: %v", err)
+	}
+}
+
+func TestProbabilisticPlanIsSeeded(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := NewInjector(seed).Inject(Retrieval, Plan{Kind: KindError, P: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = in.Fire(context.Background(), Retrieval) != nil
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different schedules")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("P=0.5 fired %d/%d times", fired, len(a))
+	}
+}

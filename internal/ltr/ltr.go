@@ -7,6 +7,7 @@
 package ltr
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/embed"
@@ -159,33 +160,54 @@ type Ranked struct {
 // Retrieve runs the first stage only: the top-k pool ids by encoder
 // similarity.
 func (p *Pipeline) Retrieve(nl string, k int) []vindex.Hit {
+	hits, _ := p.RetrieveContext(context.Background(), nl, k)
+	return hits
+}
+
+// RetrieveContext is Retrieve with cancellation: the index scan aborts
+// when ctx is done.
+func (p *Pipeline) RetrieveContext(ctx context.Context, nl string, k int) ([]vindex.Hit, error) {
 	if k <= 0 {
 		k = p.K
 	}
 	if k <= 0 {
 		k = 100
 	}
-	return p.Index.Search(p.Encoder.Encode(nl), k)
+	return p.Index.SearchContext(ctx, p.Encoder.Encode(nl), k)
 }
 
-// Rank runs the full two-stage pipeline and returns the candidates in
-// final ranked order.
-func (p *Pipeline) Rank(nl string) []Ranked {
-	hits := p.Retrieve(nl, p.K)
+// FromHits converts first-stage hits to Ranked candidates in retrieval
+// order, carrying the retrieval score. This is both the "w/o
+// Re-ranking" ablation path and the degraded fallback when the second
+// stage fails.
+func (p *Pipeline) FromHits(hits []vindex.Hit) []Ranked {
 	out := make([]Ranked, 0, len(hits))
+	for _, h := range hits {
+		c := p.Pool[h.ID]
+		out = append(out, Ranked{ID: h.ID, Score: float64(h.Score), Dialect: c.Dialect, SQL: c.SQL})
+	}
+	return out
+}
+
+// RerankContext runs the second stage only: the re-ranker reorders the
+// retrieved hits. The context is observed between forward passes.
+func (p *Pipeline) RerankContext(ctx context.Context, nl string, hits []vindex.Hit) ([]Ranked, error) {
 	if p.SkipRerank || p.Reranker == nil {
-		for _, h := range hits {
-			c := p.Pool[h.ID]
-			out = append(out, Ranked{ID: h.ID, Score: float64(h.Score), Dialect: c.Dialect, SQL: c.SQL})
-		}
-		return out
+		return p.FromHits(hits), nil
 	}
 	dialects := make([]string, len(hits))
 	for i, h := range hits {
 		dialects[i] = p.Pool[h.ID].Dialect
 	}
-	order := p.Reranker.Rank(nl, dialects)
+	order, err := p.Reranker.RankContext(ctx, nl, dialects)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Ranked, 0, len(hits))
 	for _, idx := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		h := hits[idx]
 		c := p.Pool[h.ID]
 		out = append(out, Ranked{
@@ -195,7 +217,23 @@ func (p *Pipeline) Rank(nl string) []Ranked {
 			SQL:     c.SQL,
 		})
 	}
+	return out, nil
+}
+
+// Rank runs the full two-stage pipeline and returns the candidates in
+// final ranked order.
+func (p *Pipeline) Rank(nl string) []Ranked {
+	out, _ := p.RankContext(context.Background(), nl)
 	return out
+}
+
+// RankContext is Rank with cancellation threaded through both stages.
+func (p *Pipeline) RankContext(ctx context.Context, nl string) ([]Ranked, error) {
+	hits, err := p.RetrieveContext(ctx, nl, p.K)
+	if err != nil {
+		return nil, err
+	}
+	return p.RerankContext(ctx, nl, hits)
 }
 
 // BuildLists constructs the re-ranking model's listwise training groups:

@@ -9,6 +9,7 @@
 package rerank
 
 import (
+	"context"
 	"math"
 	"strings"
 
@@ -251,12 +252,23 @@ func (m *Model) Train(lists []TrainingList, cfg nn.TrainConfig) []float64 {
 // Rank scores all candidates for the NL query and returns the indexes in
 // descending score order.
 func (m *Model) Rank(nl string, dialects []string) []int {
+	order, _ := m.RankContext(context.Background(), nl, dialects)
+	return order
+}
+
+// RankContext is Rank with cancellation: the context is checked before
+// every forward pass, so a deadline set over a large candidate list
+// aborts mid-scoring instead of completing the full scan.
+func (m *Model) RankContext(ctx context.Context, nl string, dialects []string) ([]int, error) {
 	type scored struct {
 		idx   int
 		score float64
 	}
 	s := make([]scored, len(dialects))
 	for i, d := range dialects {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s[i] = scored{idx: i, score: m.Score(nl, d)}
 	}
 	// Insertion sort keeps determinism on ties (stable by index).
@@ -269,5 +281,5 @@ func (m *Model) Rank(nl string, dialects []string) []int {
 	for i, sc := range s {
 		out[i] = sc.idx
 	}
-	return out
+	return out, nil
 }

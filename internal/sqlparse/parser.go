@@ -46,8 +46,10 @@ func Parse(src string) (*sqlast.Query, error) {
 	return q, nil
 }
 
-// MustParse parses src and panics on error. It is intended for tests and
-// statically-known queries such as templates.
+// MustParse parses src and panics on error. It is intended ONLY for
+// tests and statically-known queries such as templates; never call it
+// on user-provided input — the serving path must return errors, not
+// panic.
 func MustParse(src string) *sqlast.Query {
 	q, err := Parse(src)
 	if err != nil {

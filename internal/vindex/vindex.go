@@ -3,13 +3,24 @@
 // k-means coarse quantizer over probed inverted lists). It plays the
 // role Faiss plays in the paper's inference pipeline (§V-A2): retrieving
 // the closest dialect-expression embeddings for an NL query embedding.
+//
+// Searches accept a context.Context; cancellation and deadlines are
+// checked inside the scoring loops, so a slow scan over a very large
+// pool can be abandoned mid-flight. Indexes are safe for concurrent
+// searches once populated.
 package vindex
 
 import (
+	"context"
 	"sort"
+	"sync"
 
 	"repro/internal/vector"
 )
+
+// ctxCheckStride is how many scored vectors pass between context
+// checks in the hot loops; a power of two keeps the check a mask.
+const ctxCheckStride = 256
 
 // Hit is one search result.
 type Hit struct {
@@ -19,11 +30,15 @@ type Hit struct {
 
 // Index is a top-k inner-product search structure.
 type Index interface {
-	// Add inserts a vector under the caller-chosen id.
+	// Add inserts a vector under the caller-chosen id. Add must not be
+	// called concurrently with Search.
 	Add(id int, v vector.Vec)
 	// Search returns the k highest-scoring ids in descending score
 	// order. Fewer than k hits are returned when the index is smaller.
 	Search(q vector.Vec, k int) []Hit
+	// SearchContext is Search with cancellation: the scan aborts (and
+	// returns the context error) when ctx is done.
+	SearchContext(ctx context.Context, q vector.Vec, k int) ([]Hit, error)
 	// Len returns the number of stored vectors.
 	Len() int
 }
@@ -48,7 +63,13 @@ func (f *Flat) Len() int { return len(f.ids) }
 
 // Search implements Index.
 func (f *Flat) Search(q vector.Vec, k int) []Hit {
-	return topK(q, f.ids, f.vecs, k)
+	hits, _ := topK(context.Background(), q, f.ids, f.vecs, k)
+	return hits
+}
+
+// SearchContext implements Index.
+func (f *Flat) SearchContext(ctx context.Context, q vector.Vec, k int) ([]Hit, error) {
+	return topK(ctx, q, f.ids, f.vecs, k)
 }
 
 // IVF is the clustered index: vectors are assigned to the nearest of
@@ -60,7 +81,10 @@ type IVF struct {
 	vecs          []vector.Vec
 	centroids     []vector.Vec
 	lists         [][]int // centroid → positions in ids/vecs
-	built         bool
+	// buildMu serializes the lazy clustering so concurrent first
+	// searches do not race; built is only written under buildMu.
+	buildMu sync.Mutex
+	built   bool
 }
 
 // NewIVF returns an IVF index with nlist clusters probing nprobe lists
@@ -77,16 +101,25 @@ func NewIVF(nlist, nprobe int, seed int64) *IVF {
 
 // Add implements Index. Adding invalidates the trained clustering.
 func (iv *IVF) Add(id int, v vector.Vec) {
+	iv.buildMu.Lock()
 	iv.ids = append(iv.ids, id)
 	iv.vecs = append(iv.vecs, v)
 	iv.built = false
+	iv.buildMu.Unlock()
 }
 
 // Len implements Index.
-func (iv *IVF) Len() int { return len(iv.ids) }
+func (iv *IVF) Len() int {
+	iv.buildMu.Lock()
+	defer iv.buildMu.Unlock()
+	return len(iv.ids)
+}
 
 // Build trains the coarse quantizer; called automatically by Search.
+// It is safe to call from concurrent searches.
 func (iv *IVF) Build() {
+	iv.buildMu.Lock()
+	defer iv.buildMu.Unlock()
 	if iv.built || len(iv.vecs) == 0 {
 		return
 	}
@@ -101,9 +134,16 @@ func (iv *IVF) Build() {
 
 // Search implements Index.
 func (iv *IVF) Search(q vector.Vec, k int) []Hit {
+	hits, _ := iv.SearchContext(context.Background(), q, k)
+	return hits
+}
+
+// SearchContext implements Index. The centroid ranking and the probed
+// scans both observe cancellation.
+func (iv *IVF) SearchContext(ctx context.Context, q vector.Vec, k int) ([]Hit, error) {
 	iv.Build()
 	if len(iv.centroids) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	// Rank centroids by similarity and scan the top nprobe lists.
 	type cs struct {
@@ -112,6 +152,11 @@ func (iv *IVF) Search(q vector.Vec, k int) []Hit {
 	}
 	order := make([]cs, len(iv.centroids))
 	for i, cent := range iv.centroids {
+		if i&(ctxCheckStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		order[i] = cs{c: i, score: vector.Dot(q, cent)}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
@@ -122,17 +167,25 @@ func (iv *IVF) Search(q vector.Vec, k int) []Hit {
 	var ids []int
 	var vecs []vector.Vec
 	for _, o := range order[:probes] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, pos := range iv.lists[o.c] {
 			ids = append(ids, iv.ids[pos])
 			vecs = append(vecs, iv.vecs[pos])
 		}
 	}
-	return topK(q, ids, vecs, k)
+	return topK(ctx, q, ids, vecs, k)
 }
 
-func topK(q vector.Vec, ids []int, vecs []vector.Vec, k int) []Hit {
+func topK(ctx context.Context, q vector.Vec, ids []int, vecs []vector.Vec, k int) ([]Hit, error) {
 	hits := make([]Hit, 0, len(ids))
 	for i, v := range vecs {
+		if i&(ctxCheckStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		hits = append(hits, Hit{ID: ids[i], Score: vector.Dot(q, v)})
 	}
 	sort.Slice(hits, func(i, j int) bool {
@@ -144,5 +197,5 @@ func topK(q vector.Vec, ids []int, vecs []vector.Vec, k int) []Hit {
 	if k > 0 && len(hits) > k {
 		hits = hits[:k]
 	}
-	return hits
+	return hits, nil
 }
