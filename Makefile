@@ -1,5 +1,5 @@
 # The tier-1 gate: everything a PR must keep green.
-.PHONY: verify test build vet race bench
+.PHONY: verify test build vet lint garlint race bench
 
 build:
 	go build ./...
@@ -7,16 +7,26 @@ build:
 vet:
 	go vet ./...
 
+# garlint builds the repository's custom vet tool (see cmd/garlint);
+# lint runs its analyzers (nopanic, ctxpass, mustonly) over every
+# package through the go vet driver.
+garlint:
+	go build -o bin/garlint ./cmd/garlint
+
+lint: garlint
+	go vet -vettool=bin/garlint ./...
+
 test:
 	go test ./...
 
 race:
 	go test -race ./...
 
-# verify is the full robustness gate: build, static checks, and the
-# whole suite (including the fault-injection matrix and the concurrent
-# translate stress test) under the race detector.
-verify: build vet race
+# verify is the full robustness gate: build, static checks (go vet plus
+# the custom garlint analyzers), and the whole suite (including the
+# fault-injection matrix and the concurrent translate stress test)
+# under the race detector.
+verify: build vet lint race
 
 bench:
 	go test -bench=. -benchmem

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/generalize"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/sqlcheck"
+	"repro/internal/sqlparse"
+)
+
+// Exit codes of `gar lint`.
+const (
+	lintExitClean = 0 // no error-severity diagnostics
+	lintExitDirty = 1 // at least one error-severity diagnostic
+	lintExitUsage = 2 // bad flags, unreadable spec or input file
+)
+
+// lintFinding is one diagnostic tied to its source statement. It is the
+// JSON output unit of `gar lint -o json`.
+type lintFinding struct {
+	// Source names where the statement came from: an input file path,
+	// "<samples>" for the spec's sample list, or "<pool>" for a
+	// generated candidate.
+	Source string `json:"source"`
+	// Line is the 1-based line of the statement in its file; zero for
+	// samples and pool candidates.
+	Line     int    `json:"line,omitempty"`
+	SQL      string `json:"sql"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	Clause   string `json:"clause,omitempty"`
+}
+
+// lintReport is the full JSON document emitted by `gar lint -o json`.
+type lintReport struct {
+	Checked  int           `json:"checked"`
+	Errors   int           `json:"errors"`
+	Warnings int           `json:"warnings"`
+	Findings []lintFinding `json:"findings"`
+	// PrunedByRule is only present in -pool mode: how many generated
+	// candidates the semantic analyzer discarded, per rule.
+	PrunedByRule map[string]int `json:"prunedByRule,omitempty"`
+}
+
+// lintStmt is one SQL statement to check.
+type lintStmt struct {
+	source string
+	line   int
+	sql    string
+}
+
+// runLint implements `gar lint`: it checks SQL statements against a
+// database spec with the sqlcheck semantic analyzer. Inputs are, in
+// order of precedence, the statement files given as arguments, the
+// generated candidate pool (-pool), or the spec's sample queries.
+func runLint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gar lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "path to the JSON database spec")
+	demo := fs.Bool("demo", false, "use the built-in employee demo database")
+	output := fs.String("o", "text", "output format: text or json")
+	pool := fs.Int("pool", 0, "generalize a candidate pool of this size and lint it")
+	seed := fs.Int64("seed", 1, "generalization seed (with -pool)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gar lint -spec db.json [-o text|json] [-pool N] [file.sql ...]\n\n"+
+			"With no files, the spec's sample queries are checked. Statement files\n"+
+			"hold one SQL statement per line; blank lines and -- comments are\n"+
+			"skipped. Exit status: %d clean, %d diagnostics found, %d usage error.\n\n",
+			lintExitClean, lintExitDirty, lintExitUsage)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return lintExitUsage
+	}
+	if *output != "text" && *output != "json" {
+		fmt.Fprintf(stderr, "gar lint: unknown output format %q (want text or json)\n", *output)
+		return lintExitUsage
+	}
+
+	s, err := loadSpec(*specPath, *demo)
+	if err != nil {
+		fmt.Fprintf(stderr, "gar lint: %v\n", err)
+		return lintExitUsage
+	}
+	db, err := specDatabase(s)
+	if err != nil {
+		fmt.Fprintf(stderr, "gar lint: %v\n", err)
+		return lintExitUsage
+	}
+	checker := sqlcheck.New(db)
+	report := &lintReport{Findings: []lintFinding{}}
+
+	record := func(st lintStmt, diags []sqlcheck.Diagnostic) {
+		report.Checked++
+		for _, d := range diags {
+			report.Findings = append(report.Findings, lintFinding{
+				Source:   st.source,
+				Line:     st.line,
+				SQL:      st.sql,
+				Rule:     d.Rule,
+				Severity: d.Severity.String(),
+				Message:  d.Message,
+				Clause:   d.Clause,
+			})
+			if d.Severity == sqlcheck.Error {
+				report.Errors++
+			} else {
+				report.Warnings++
+			}
+		}
+	}
+
+	switch {
+	case fs.NArg() > 0:
+		if *pool > 0 {
+			fmt.Fprintln(stderr, "gar lint: -pool cannot be combined with statement files")
+			return lintExitUsage
+		}
+		for _, path := range fs.Args() {
+			stmts, err := readStatements(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "gar lint: %v\n", err)
+				return lintExitUsage
+			}
+			for _, st := range stmts {
+				record(st, checkStatement(checker, st.sql))
+			}
+		}
+	case *pool > 0:
+		queries, pruned, err := lintPool(db, s.Samples, *pool, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "gar lint: %v\n", err)
+			return lintExitUsage
+		}
+		report.PrunedByRule = pruned
+		for _, q := range queries {
+			// Pool queries are already bound by the generalizer.
+			record(lintStmt{source: "<pool>", sql: q.String()}, checker.CheckBound(q))
+		}
+	default:
+		for _, sql := range s.Samples {
+			record(lintStmt{source: "<samples>", sql: sql}, checkStatement(checker, sql))
+		}
+	}
+
+	if *output == "json" {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "gar lint: %v\n", err)
+			return lintExitUsage
+		}
+	} else {
+		for _, f := range report.Findings {
+			loc := f.Source
+			if f.Line > 0 {
+				loc = fmt.Sprintf("%s:%d", f.Source, f.Line)
+			}
+			fmt.Fprintf(stdout, "%s: %s: [%s] %s", loc, f.Severity, f.Rule, f.Message)
+			if f.Clause != "" {
+				fmt.Fprintf(stdout, " (%s)", f.Clause)
+			}
+			fmt.Fprintf(stdout, "\n\t%s\n", f.SQL)
+		}
+		for rule, n := range report.PrunedByRule {
+			fmt.Fprintf(stderr, "gar lint: generalizer pruned %d candidates via %s\n", n, rule)
+		}
+		fmt.Fprintf(stderr, "gar lint: %d statements checked, %d errors, %d warnings\n",
+			report.Checked, report.Errors, report.Warnings)
+	}
+	if report.Errors > 0 {
+		return lintExitDirty
+	}
+	return lintExitClean
+}
+
+// checkStatement parses and analyzes one statement. A parse failure is
+// reported as an error-severity finding under the "parse" pseudo-rule so
+// it counts toward the exit status like any other diagnostic.
+func checkStatement(checker *sqlcheck.Analyzer, sql string) []sqlcheck.Diagnostic {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return []sqlcheck.Diagnostic{{
+			Rule:     "parse",
+			Severity: sqlcheck.Error,
+			Message:  err.Error(),
+		}}
+	}
+	return checker.Check(q)
+}
+
+// lintPool runs the generalizer over the spec samples and returns the
+// resulting candidate pool together with its per-rule prune counters.
+func lintPool(db *schema.Database, samples []string, size int, seed int64) ([]*sqlast.Query, map[string]int, error) {
+	var trees []*sqlast.Query
+	for i, sql := range samples {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sample %d: %w", i+1, err)
+		}
+		trees = append(trees, q)
+	}
+	res := generalize.Generalize(db, trees, generalize.Config{
+		TargetSize: size,
+		Seed:       seed,
+		Rules:      generalize.AllRules(),
+	})
+	return res.Queries, res.PrunedByRule, nil
+}
+
+// readStatements loads a statement file: one SQL statement per line,
+// optionally terminated by ';'. Blank lines and lines starting with
+// "--" are skipped.
+func readStatements(path string) ([]lintStmt, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []lintStmt
+	for i, line := range strings.Split(string(data), "\n") {
+		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+		if sql == "" || strings.HasPrefix(sql, "--") {
+			continue
+		}
+		out = append(out, lintStmt{source: path, line: i + 1, sql: sql})
+	}
+	return out, nil
+}
+
+// specDatabase converts a spec's database section to the internal schema
+// form used by the analyzer. Join annotations are not converted: they
+// feed dialect generation, not semantic checking.
+func specDatabase(s *spec) (*schema.Database, error) {
+	if err := validateSpec(s); err != nil {
+		return nil, err
+	}
+	db := &schema.Database{Name: s.Database.Name}
+	for _, t := range s.Database.Tables {
+		tab := &schema.Table{Name: t.Name, Annotation: t.Annotation, PrimaryKey: t.PrimaryKey}
+		for _, c := range t.Columns {
+			typ := schema.Text
+			if strings.EqualFold(c.Type, "number") {
+				typ = schema.Number
+			}
+			tab.Columns = append(tab.Columns, &schema.Column{Name: c.Name, Type: typ, Annotation: c.NL})
+		}
+		db.Tables = append(db.Tables, tab)
+	}
+	for _, fk := range s.Database.ForeignKeys {
+		db.ForeignKeys = append(db.ForeignKeys, schema.ForeignKey{
+			FromTable: fk.FromTable, FromColumn: fk.FromColumn,
+			ToTable: fk.ToTable, ToColumn: fk.ToColumn,
+		})
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

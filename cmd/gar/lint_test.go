@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runLintCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := runLint(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestLintDemoSamplesClean(t *testing.T) {
+	code, stdout, stderr := runLintCapture(t, "-demo")
+	if code != lintExitClean {
+		t.Fatalf("exit = %d, want %d; stderr:\n%s", code, lintExitClean, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run should print no findings, got:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "8 statements checked, 0 errors") {
+		t.Errorf("summary missing from stderr:\n%s", stderr)
+	}
+}
+
+func TestLintFileWithViolations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queries.sql")
+	src := strings.Join([]string{
+		"-- fixture: mixed valid and invalid statements",
+		"SELECT name FROM employee WHERE age > 30;",
+		"",
+		"SELECT name, COUNT(*) FROM employee",
+		"SELECT nosuch FROM employee",
+		"SELECT name FROM employee WHERE age > 'x'",
+		"SELECT FROM WHERE",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runLintCapture(t, "-demo", path)
+	if code != lintExitDirty {
+		t.Fatalf("exit = %d, want %d; stderr:\n%s", code, lintExitDirty, stderr)
+	}
+	for _, want := range []string{
+		path + ":4: error: [agg-group]",
+		path + ":5: error: [schema-bind]",
+		path + ":6: error: [type-compat]",
+		path + ":7: error: [parse]",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("text output missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "5 statements checked, 4 errors") {
+		t.Errorf("summary wrong:\n%s", stderr)
+	}
+}
+
+func TestLintJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.sql")
+	if err := os.WriteFile(path, []byte("SELECT name, COUNT(*) FROM employee\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runLintCapture(t, "-demo", "-o", "json", path)
+	if code != lintExitDirty {
+		t.Fatalf("exit = %d, want %d", code, lintExitDirty)
+	}
+	var rep lintReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Checked != 1 || rep.Errors != 1 {
+		t.Errorf("report = checked %d errors %d, want 1/1", rep.Checked, rep.Errors)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Rule != "agg-group" {
+		t.Errorf("findings = %+v, want one agg-group finding", rep.Findings)
+	}
+	if rep.Findings[0].Line != 1 || rep.Findings[0].Source != path {
+		t.Errorf("finding location = %s:%d, want %s:1",
+			rep.Findings[0].Source, rep.Findings[0].Line, path)
+	}
+}
+
+func TestLintSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "db.json")
+	spec := `{
+	  "database": {
+	    "name": "shop",
+	    "tables": [{
+	      "name": "item", "primaryKey": ["item_id"],
+	      "columns": [
+	        {"name": "item_id", "nl": "item id", "type": "number"},
+	        {"name": "label", "nl": "label", "type": "text"}
+	      ]}]
+	  },
+	  "samples": ["SELECT label FROM item", "SELECT label, COUNT(*) FROM item"]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No statement files: the spec's samples are checked, and the second
+	// sample is semantically invalid.
+	code, stdout, _ := runLintCapture(t, "-spec", specPath)
+	if code != lintExitDirty {
+		t.Fatalf("exit = %d, want %d\n%s", code, lintExitDirty, stdout)
+	}
+	if !strings.Contains(stdout, "<samples>: error: [agg-group]") {
+		t.Errorf("missing samples finding:\n%s", stdout)
+	}
+}
+
+func TestLintPoolMode(t *testing.T) {
+	code, stdout, stderr := runLintCapture(t, "-demo", "-pool", "200", "-o", "json")
+	if code != lintExitClean {
+		t.Fatalf("exit = %d, want %d; stderr:\n%s", code, lintExitClean, stderr)
+	}
+	var rep lintReport
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Checked == 0 || rep.Errors != 0 {
+		t.Errorf("pool report = checked %d errors %d, want >0 checked and 0 errors", rep.Checked, rep.Errors)
+	}
+	var pruned int
+	for _, n := range rep.PrunedByRule {
+		pruned += n
+	}
+	if pruned == 0 {
+		t.Errorf("expected the generalizer to prune candidates, got %v", rep.PrunedByRule)
+	}
+}
+
+func TestLintUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-demo", "-o", "yaml"},           // unknown format
+		{},                                // no spec
+		{"-spec", "/nonexistent/db.json"}, // unreadable spec
+		{"-demo", "-pool", "100", "/tmp/whatever.sql"}, // pool + files
+		{"-demo", "/nonexistent/queries.sql"},          // unreadable input
+	}
+	for _, args := range cases {
+		if code, _, _ := runLintCapture(t, args...); code != lintExitUsage {
+			t.Errorf("runLint(%v) = %d, want %d", args, code, lintExitUsage)
+		}
+	}
+}

@@ -30,6 +30,8 @@
 //	gar -spec db.json            # interactive: one question per line
 //	gar -demo -q "how many employees are there"
 //	gar serve -demo -addr :8765  # HTTP JSON API (see serve.go)
+//	gar lint -spec db.json queries.sql   # semantic SQL checks (see lint.go)
+//	gar lint -demo -pool 500 -o json     # lint a generated candidate pool
 package main
 
 import (
@@ -86,6 +88,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
 		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	specPath := flag.String("spec", "", "path to the JSON database spec")
 	question := flag.String("q", "", "question to translate (omit for interactive mode)")

@@ -1,0 +1,234 @@
+// Command garlint is the repository's custom vet tool. It runs the
+// analyzers of internal/lint (nopanic, ctxpass, mustonly) under the go
+// command's unitchecker protocol:
+//
+//	go build -o bin/garlint ./cmd/garlint
+//	go vet -vettool=bin/garlint ./...
+//
+// The go command drives the tool three ways: `-flags` asks for the
+// supported analyzer flags as JSON, `-V=full` asks for a version line
+// used as the cache key, and otherwise the single argument is a vet.cfg
+// file describing one typechecked package (file set, import map and
+// export data locations). Diagnostics go to stderr as
+// "file:line:col: [analyzer] message" and a nonzero exit marks the
+// package as failing.
+//
+// Unlike x/tools' unitchecker this implementation is dependency-free:
+// packages are typechecked with go/types against the export data the
+// go command already built. Only packages of this module are analyzed;
+// for dependency packages the tool just records an empty facts file so
+// the go command can cache the no-op.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig is the relevant subset of the JSON the go command writes to
+// $objdir/vet.cfg for each package (see cmd/go/internal/work).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	printFlags := flag.Bool("flags", false, "print the analyzer flags as JSON and exit")
+	version := flag.String("V", "", "print the tool version (go vet protocol; pass 'full')")
+	enabled := map[string]*bool{}
+	for _, a := range lint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *printFlags:
+		emitFlags()
+	case *version != "":
+		emitVersion()
+	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
+		os.Exit(run(flag.Arg(0), enabled))
+	default:
+		fmt.Fprintln(os.Stderr, "garlint: run me via `go vet -vettool=$(command -v garlint) ./...`")
+		os.Exit(1)
+	}
+}
+
+// emitFlags answers the go command's `-flags` query: the set of flags
+// it may forward from the `go vet` command line.
+func emitFlags() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var defs []flagDef
+	for _, a := range lint.All() {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	os.Stdout.Write([]byte("\n"))
+}
+
+// emitVersion answers `-V=full`. The line doubles as the go command's
+// cache key for vet results, so it must change whenever the tool's
+// behavior does: hash the executable itself.
+func emitVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("garlint version %x\n", h.Sum(nil)[:12])
+}
+
+// run analyzes the package described by one vet.cfg file.
+func run(cfgPath string, enabled map[string]*bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "garlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist even for skipped packages, or the go
+	// command cannot cache the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
+			return 1
+		}
+	}
+	// Dependencies (including std) are vetted facts-only by the go
+	// command; this tool has no cross-package facts, so they are no-ops.
+	if cfg.VetxOnly || !inModule(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	info := lint.NewInfo()
+	conf := types.Config{
+		Importer:  exportDataImporter(fset, &cfg),
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "garlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if on := enabled[a.Name]; on == nil || *on {
+			analyzers = append(analyzers, a)
+		}
+	}
+	diags := lint.Run(fset, files, pkg, info, analyzers)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// inModule reports whether the import path belongs to this module.
+func inModule(path string) bool {
+	const module = "repro"
+	return path == module || strings.HasPrefix(path, module+"/")
+}
+
+// exportDataImporter resolves imports from the export data the go
+// command listed in the vet config: source import paths go through
+// ImportMap to their canonical form, whose compiled export file is in
+// PackageFile.
+func exportDataImporter(fset *token.FileSet, cfg *vetConfig) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return unsafeAware{importer.ForCompiler(fset, cfg.Compiler, lookup)}
+}
+
+// unsafeAware short-circuits the pseudo-package unsafe, which has no
+// export data.
+type unsafeAware struct{ types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.Importer.Import(path)
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeVetCfg builds a minimal vet.cfg for a single-file package with
+// no imports, which lets run() be tested without the go command.
+func writeVetCfg(t *testing.T, dir, src string) (cfgPath, vetx string) {
+	t.Helper()
+	goFile := filepath.Join(dir, "lib.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx = filepath.Join(dir, "out.vetx")
+	cfg := vetConfig{
+		ID:         "repro/fixture",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "repro/fixture",
+		GoFiles:    []string{goFile},
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetx
+}
+
+// captureStderr runs f with os.Stderr redirected and returns the output.
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	f()
+	w.Close()
+	var buf strings.Builder
+	chunk := make([]byte, 4096)
+	for {
+		n, err := r.Read(chunk)
+		buf.Write(chunk[:n])
+		if err != nil {
+			break
+		}
+	}
+	return buf.String()
+}
+
+func TestRunReportsDiagnostics(t *testing.T) {
+	cfgPath, vetx := writeVetCfg(t, t.TempDir(), `package fixture
+
+func Explode() {
+	panic("boom")
+}
+`)
+	var code int
+	out := captureStderr(t, func() { code = run(cfgPath, nil) })
+	if code != 2 {
+		t.Fatalf("run = %d, want 2; stderr:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[nopanic] panic in library function Explode") {
+		t.Errorf("stderr missing nopanic finding:\n%s", out)
+	}
+	if !strings.Contains(out, "lib.go:4:2") {
+		t.Errorf("stderr missing position:\n%s", out)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	cfgPath, _ := writeVetCfg(t, t.TempDir(), `package fixture
+
+// MustExplode may panic: the Must* convention.
+func MustExplode() {
+	panic("boom")
+}
+`)
+	if code := run(cfgPath, nil); code != 0 {
+		t.Fatalf("run = %d, want 0", code)
+	}
+}
+
+func TestRunAnalyzerDisabled(t *testing.T) {
+	cfgPath, _ := writeVetCfg(t, t.TempDir(), `package fixture
+
+func Explode() {
+	panic("boom")
+}
+`)
+	off := false
+	on := true
+	enabled := map[string]*bool{"nopanic": &off, "ctxpass": &on, "mustonly": &on}
+	var code int
+	captureStderr(t, func() { code = run(cfgPath, enabled) })
+	if code != 0 {
+		t.Fatalf("run with nopanic disabled = %d, want 0", code)
+	}
+}
+
+func TestRunSkipsForeignPackages(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath, vetx := writeVetCfg(t, dir, `package fixture
+
+func Explode() { panic("boom") }
+`)
+	// Rewrite the config to a non-module import path: the tool must
+	// write the facts file and succeed without analyzing.
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ID, cfg.ImportPath = "example.com/dep", "example.com/dep"
+	data, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(cfgPath, nil); code != 0 {
+		t.Fatalf("run on foreign package = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written for skipped package: %v", err)
+	}
+}
+
+func TestRunSucceedOnTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath, _ := writeVetCfg(t, dir, `package fixture
+
+func Broken() undefinedType { return nil }
+`)
+	data, _ := os.ReadFile(cfgPath)
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SucceedOnTypecheckFailure = true
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(cfgPath, nil); code != 0 {
+		t.Fatalf("run = %d, want 0 with SucceedOnTypecheckFailure", code)
+	}
+
+	cfg.SucceedOnTypecheckFailure = false
+	data, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	out := captureStderr(t, func() { code = run(cfgPath, nil) })
+	if code == 0 {
+		t.Fatalf("run = 0, want failure on typecheck error; stderr:\n%s", out)
+	}
+}
+
+// TestVetToolProtocol exercises the real `go vet -vettool` integration:
+// the built tool must answer -flags and -V=full and pass over a clean
+// package of this repository.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "garlint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/garlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tool: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var defs []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	if len(defs) != 3 {
+		t.Errorf("-flags lists %d analyzers, want 3", len(defs))
+	}
+
+	out, err = exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) != 3 || fields[0] != "garlint" || fields[1] != "version" {
+		t.Errorf("-V=full output %q, want \"garlint version <hash>\"", out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./internal/lint/")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool failed on clean package: %v\n%s", err, out)
+	}
+}

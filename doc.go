@@ -13,6 +13,17 @@
 // it as an HTTP JSON service. See the README's "Serving & robustness"
 // section.
 //
+// The repository is statically analyzed on two axes. internal/sqlcheck
+// is a rule-based semantic analyzer for the SQL subset (join-graph
+// connectivity, predicate type compatibility, aggregate/GROUP BY
+// coherence, ORDER BY scope, subquery shape); the generalizer uses it
+// to prune invalid candidates and `gar lint` applies it from the
+// command line. internal/lint plus cmd/garlint form a custom vet tool
+// (run via `go vet -vettool`, wired into `make verify`) whose
+// analyzers enforce the repository's robustness conventions: no panics
+// in library code, context propagation, and Must* helpers confined to
+// tests and generators.
+//
 // The internal packages implement
 // every substrate the paper depends on — SQL parsing and execution,
 // SPIDER-style normalization and difficulty classification, the

@@ -152,6 +152,8 @@ func (s *System) SetContent(content *Content) {
 }
 
 // Translate converts a natural-language question to SQL.
+//
+//garlint:allow ctxpass -- compatibility wrapper over TranslateContext
 func (s *System) Translate(question string) (*Result, error) {
 	return s.TranslateContext(context.Background(), question)
 }

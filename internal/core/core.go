@@ -277,7 +277,10 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 
 	// Re-ranking model over per-database retrieval top-k lists.
 	x := &rerank.Extractor{IDF: text.NewIDF(corpus), Encoder: encoder}
-	model := rerank.New(x, opts.Seed+3)
+	model, err := rerank.New(x, opts.Seed+3)
+	if err != nil {
+		return nil, err
+	}
 	var lists []rerank.TrainingList
 	for i := range sets {
 		pipe := &ltr.Pipeline{
@@ -379,6 +382,8 @@ type Translation struct {
 // Translate runs the full online pipeline on an NL query: two-stage
 // ranking followed by value post-processing (candidate filtering by
 // value-implied columns, then placeholder instantiation).
+//
+//garlint:allow ctxpass -- compatibility wrapper over TranslateContext
 func (s *System) Translate(nl string) (*Translation, error) {
 	return s.TranslateContext(context.Background(), nl)
 }

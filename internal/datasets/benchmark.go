@@ -340,6 +340,10 @@ func QBENLike(cfg QBENConfig) *Benchmark {
 			goldSet = append(goldSet, it.Gold)
 			sampleCanon[norm.Canonical(it.Gold)] = true
 		}
+		// Test golds come from the filtered pool: an unfiltered frontier
+		// draw would admit semantically incoherent golds (ungrouped
+		// selected columns, unscoped ORDER BY) that no analyzer-clean
+		// candidate pool can ever match.
 		res := generalize.Generalize(b.Schema, goldSet, generalize.Config{
 			TargetSize: cfg.SamplesPerDB * 12,
 			Seed:       cfg.Seed + int64(i),

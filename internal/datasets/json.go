@@ -202,7 +202,9 @@ func bundleFromJSON(jb jsonBundle) (*DBBundle, error) {
 				}
 				row = append(row, engine.Str(cell))
 			}
-			in.MustInsert(t.Name, row...)
+			if err := in.Insert(t.Name, row...); err != nil {
+				return nil, err
+			}
 		}
 	}
 	bundle.Content = in

@@ -296,6 +296,8 @@ func (b *DBBundle) kinds(table, column string, k vkind, typ schema.Type) {
 }
 
 // populate fills every table with deterministic content rows.
+//
+//garlint:allow mustonly -- generator: rows are built to match the schema
 func (b *DBBundle) populate(rng *rand.Rand) {
 	in := engine.NewInstance(b.Schema)
 	rowCounts := map[string]int{}

@@ -108,6 +108,9 @@ func (r *GARRunner) sampleQueries(dbName string, items []datasets.Item, mode Sam
 		TargetSize: sampleTarget,
 		Seed:       r.Opts.Seed + 101,
 		Rules:      generalize.AllRules(),
+		// The sample set seeds the pool-stage generalization in Prepare;
+		// keep the raw frontier so its components stay available there.
+		RawFrontier: true,
 	})
 	goldCanon := map[string]bool{}
 	for _, g := range golds {

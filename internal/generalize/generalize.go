@@ -29,6 +29,7 @@ import (
 	"repro/internal/component"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
+	"repro/internal/sqlcheck"
 )
 
 // RuleSet toggles the four recomposition rules; all enabled by default.
@@ -59,6 +60,13 @@ type Config struct {
 	// Rules selects the recomposition rules; zero value disables all
 	// (use AllRules for the paper's configuration).
 	Rules RuleSet
+	// RawFrontier emits the full search frontier instead of applying the
+	// full-rule output filter. Stages that feed the result back into a
+	// later generalization pass set it: frontier queries are
+	// recomposition material there, and filtering them would discard
+	// components that are often the only path to valid queries several
+	// swaps away.
+	RawFrontier bool
 }
 
 // Stats reports what happened during a run.
@@ -69,6 +77,7 @@ type Stats struct {
 	RejectedJoinRule  int
 	RejectedSyntactic int
 	RejectedSemantic  int
+	FilteredOutput    int // frontier queries removed by the full-rule output filter
 	Duplicates        int
 }
 
@@ -79,6 +88,12 @@ type Result struct {
 	// the database (column references qualified).
 	Queries []*sqlast.Query
 	Stats   Stats
+	// PrunedByRule counts, per sqlcheck rule ID, the queries the
+	// semantic analyzer discarded — both candidates rejected by the
+	// in-search Algorithm 1 aggregate check and frontier queries removed
+	// by the full-rule output filter. The sum over all rules equals
+	// Stats.RejectedSemantic.
+	PrunedByRule map[string]int
 }
 
 // limits are the Rule 2 caps collected from the sample set.
@@ -104,7 +119,20 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &Result{}
+	res := &Result{PrunedByRule: map[string]int{}}
+	// Two analyzer configurations drive the semantic pruning. The
+	// in-search check applies the Algorithm 1 aggregate-coherence
+	// conditions: candidates that fail it are discarded before entering
+	// the search frontier, exactly as the paper prunes during
+	// recomposition. The full rule set (join connectivity, predicate
+	// type compatibility, ORDER BY scope, subquery shape, strict
+	// aggregation) is stricter than the search prune and runs as an
+	// output filter after the loop: its rejects stay in the frontier —
+	// their components are legitimate recomposition material and often
+	// the only path to valid queries several swaps away — but are
+	// withheld from the emitted pool.
+	searchCheck := sqlcheck.New(db, sqlcheck.AggGroup{Core: true})
+	checker := sqlcheck.New(db)
 
 	// Normalize samples: bind, resolve aliases (skipped for self-joins),
 	// mask literal values.
@@ -176,8 +204,9 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 			res.Stats.RejectedBind++
 			continue
 		}
-		if !aggConsistent(cand) {
+		if diag := sqlcheck.FirstError(searchCheck.CheckBound(cand)); diag != nil {
 			res.Stats.RejectedSemantic++
+			res.PrunedByRule[diag.Rule]++
 			continue
 		}
 		if cfg.Rules.Join && !joinPathsAllowed(db, cand, allowedJoins) {
@@ -194,42 +223,24 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 		res.Stats.Generated++
 		stall = 0
 	}
-	res.Queries = trees
+	if cfg.RawFrontier {
+		res.Queries = trees
+		return res
+	}
+	// Output filter: the full rule set vets every frontier query
+	// (samples included); failures are counted per rule and withheld
+	// from the emitted pool.
+	res.Queries = make([]*sqlast.Query, 0, len(trees))
+	for _, q := range trees {
+		if diag := sqlcheck.FirstError(checker.CheckBound(q)); diag != nil {
+			res.Stats.RejectedSemantic++
+			res.Stats.FilteredOutput++
+			res.PrunedByRule[diag.Rule]++
+			continue
+		}
+		res.Queries = append(res.Queries, q)
+	}
 	return res
-}
-
-// aggConsistent applies the semantic checks of Algorithm 1 that Bind
-// cannot express: aggregates must not mix with plain columns without a
-// GROUP BY, an aggregate ORDER BY requires grouping (unless the whole
-// projection aggregates), and HAVING requires GROUP BY.
-func aggConsistent(q *sqlast.Query) bool {
-	ok := true
-	sqlast.WalkQueries(q, func(sub *sqlast.Query) {
-		s := sub.Select
-		grouped := len(s.GroupBy) > 0
-		aggItems, plainItems := 0, 0
-		for _, it := range s.Items {
-			if _, isAgg := it.Expr.(*sqlast.Agg); isAgg {
-				aggItems++
-			} else {
-				plainItems++
-			}
-		}
-		if aggItems > 0 && plainItems > 0 && !grouped {
-			ok = false
-		}
-		if !grouped && s.Having != nil {
-			ok = false
-		}
-		if !grouped && aggItems == 0 {
-			for _, o := range s.OrderBy {
-				if _, isAgg := o.Expr.(*sqlast.Agg); isAgg {
-					ok = false
-				}
-			}
-		}
-	})
-	return ok
 }
 
 // prepare binds, alias-resolves and masks one sample; returns nil when
@@ -384,11 +395,11 @@ func collectLimits(trees []*sqlast.Query) limits {
 	for _, t := range trees {
 		sqlast.WalkQueries(t, func(sub *sqlast.Query) {
 			s := sub.Select
-			lim.selectItems = maxInt(lim.selectItems, len(s.Items))
-			lim.wherePreds = maxInt(lim.wherePreds, len(sqlast.Predicates(s.Where)))
-			lim.groupKeys = maxInt(lim.groupKeys, len(s.GroupBy))
-			lim.orderKeys = maxInt(lim.orderKeys, len(s.OrderBy))
-			lim.joins = maxInt(lim.joins, len(s.From.Joins))
+			lim.selectItems = max(lim.selectItems, len(s.Items))
+			lim.wherePreds = max(lim.wherePreds, len(sqlast.Predicates(s.Where)))
+			lim.groupKeys = max(lim.groupKeys, len(s.GroupBy))
+			lim.orderKeys = max(lim.orderKeys, len(s.OrderBy))
+			lim.joins = max(lim.joins, len(s.From.Joins))
 		})
 		if t.IsCompound() {
 			lim.compound = true
@@ -454,11 +465,4 @@ func joinPathKey(db *schema.Database, s *sqlast.Select) string {
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, "&")
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

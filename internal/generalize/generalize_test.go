@@ -9,6 +9,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/schema/schematest"
 	"repro/internal/sqlast"
+	"repro/internal/sqlcheck"
 	"repro/internal/sqlparse"
 )
 
@@ -44,7 +45,7 @@ func TestGeneralizeGrowsSet(t *testing.T) {
 	if res.Stats.Generated < 25 {
 		t.Fatalf("generated only %d queries (stats %+v)", res.Stats.Generated, res.Stats)
 	}
-	if len(res.Queries) != res.Stats.Generated+9 {
+	if len(res.Queries) != res.Stats.Generated+9-res.Stats.FilteredOutput {
 		t.Errorf("query count %d inconsistent with stats %+v", len(res.Queries), res.Stats)
 	}
 }
@@ -196,5 +197,44 @@ func TestGeneralizeEmptyInput(t *testing.T) {
 	res = generalize.Generalize(db, parseAll("SELECT nosuch FROM employee"), defaultCfg(1, 100))
 	if len(res.Queries) != 0 {
 		t.Errorf("unbindable sample kept: %d", len(res.Queries))
+	}
+}
+
+// TestSemanticAnalyzerPrunes proves both sqlcheck pruning stages fire —
+// the in-search Algorithm 1 aggregate check and the full-rule output
+// filter — and that the per-rule counters surfaced in Result account
+// exactly for the rejections.
+func TestSemanticAnalyzerPrunes(t *testing.T) {
+	db := schematest.Employee()
+	res := generalize.Generalize(db, employeeSamples(), defaultCfg(1, 500))
+	if res.Stats.RejectedSemantic == 0 {
+		t.Fatal("semantic analyzer never pruned a candidate")
+	}
+	if res.PrunedByRule["agg-group"] == 0 {
+		t.Errorf("aggregate-coherence pruning never fired: %v", res.PrunedByRule)
+	}
+	if res.Stats.FilteredOutput == 0 {
+		t.Errorf("full-rule output filter never fired: %+v %v", res.Stats, res.PrunedByRule)
+	}
+	sum := 0
+	for _, n := range res.PrunedByRule {
+		sum += n
+	}
+	if sum != res.Stats.RejectedSemantic {
+		t.Errorf("per-rule counters sum to %d, RejectedSemantic is %d", sum, res.Stats.RejectedSemantic)
+	}
+}
+
+// TestPoolIsSemanticallyClean asserts the strong postcondition of the
+// pruning stage: no query in the generalized pool trips any error-level
+// sqlcheck rule.
+func TestPoolIsSemanticallyClean(t *testing.T) {
+	db := schematest.Employee()
+	res := generalize.Generalize(db, employeeSamples(), defaultCfg(9, 600))
+	chk := sqlcheck.New(db)
+	for _, q := range res.Queries {
+		if diags := chk.Check(q); sqlcheck.HasErrors(diags) {
+			t.Fatalf("pool query %s fails analysis: %v", q, diags)
+		}
 	}
 }

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPass enforces context propagation. A function that already
+// receives a context.Context must thread it instead of minting a fresh
+// root with context.Background() or context.TODO() — a fresh root
+// silently severs cancellation and deadlines. Outside such functions a
+// bare Background/TODO is still suspect in library code: only main
+// packages, test files and explicitly documented compatibility wrappers
+// ("//garlint:allow ctxpass") may create root contexts.
+var CtxPass = &Analyzer{
+	Name: "ctxpass",
+	Doc:  "forbid context.Background/TODO where a context should be threaded",
+	Run:  runCtxPass,
+}
+
+func runCtxPass(p *Pass) {
+	for _, f := range p.Files {
+		test := p.IsTestFile(f)
+		for _, fn := range funcDecls(f) {
+			hasCtx := receivesContext(p, fn)
+			allowed := Allowed(p.Analyzer.Name, fn.Doc)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := contextRootCall(p, call)
+				if name == "" {
+					return true
+				}
+				switch {
+				case hasCtx && !allowed:
+					p.Reportf(call.Pos(), "%s receives a context.Context but calls context.%s; thread the parameter",
+						fn.Name.Name, name)
+				case !hasCtx && !allowed && !test && p.Pkg.Name() != "main":
+					p.Reportf(call.Pos(), "context.%s in library function %s; accept a context.Context parameter",
+						name, fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// receivesContext reports whether the function has a context.Context
+// parameter.
+func receivesContext(p *Pass, fn *ast.FuncDecl) bool {
+	obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// contextRootCall returns "Background" or "TODO" when the call creates
+// a root context via the context package, and "" otherwise.
+func contextRootCall(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fnObj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fnObj.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}

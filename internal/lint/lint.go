@@ -1,0 +1,151 @@
+// Package lint implements a minimal go/analysis-style framework and the
+// repository's custom analyzers. The cmd/garlint driver runs them under
+// `go vet -vettool` via the unitchecker protocol; linttest runs them
+// over source fixtures in unit tests.
+//
+// Analyzers:
+//
+//	nopanic  — no panic in library packages outside Must* helpers
+//	ctxpass  — no context.Background()/TODO() where a context is in scope
+//	mustonly — Must* helpers callable only from tests and wrappers
+//
+// A function can opt out of one analyzer with a directive in its doc
+// comment, which doubles as documentation of why the exemption is safe:
+//
+//	//garlint:allow ctxpass -- compatibility wrapper, see RetrieveContext
+//	func (r *Retriever) Retrieve(q string) []int { ... }
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// Analyzer is one static check over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer; it is also its flag name under
+	// `go vet -vettool` and the argument of //garlint:allow.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package and reports findings via Pass.Reportf.
+	Run func(*Pass)
+}
+
+// All returns the full analyzer set in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoPanic, CtxPass, MustOnly}
+}
+
+// Pass carries one package's parsed and typechecked form through one
+// analyzer run and collects its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Diags accumulates the findings in report order.
+	Diags []Diagnostic
+}
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic as "file:line:col: [analyzer] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Diags = append(p.Diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// NewInfo allocates a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run typechecks nothing — the caller provides pkg/info — and executes
+// every analyzer in order, returning the combined diagnostics.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		a.Run(p)
+		out = append(out, p.Diags...)
+	}
+	return out
+}
+
+// Allowed reports whether the doc comment carries a
+// "//garlint:allow <name>" directive for the analyzer. Everything after
+// " -- " is a free-form justification and is ignored.
+func Allowed(analyzer string, doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//garlint:allow")
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		if i := strings.Index(rest, "--"); i >= 0 {
+			rest = rest[:i]
+		}
+		for _, name := range strings.Fields(rest) {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isMustName reports whether name follows the Must* convention: the
+// "Must" prefix followed by nothing or a non-lowercase rune, so
+// "MustParse" and "Must" qualify but "Mustard" does not.
+func isMustName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Must")
+	if !ok {
+		return false
+	}
+	return rest == "" || !unicode.IsLower(rune(rest[0]))
+}
+
+// funcDecls yields the function declarations of a file that have bodies.
+func funcDecls(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			out = append(out, fn)
+		}
+	}
+	return out
+}

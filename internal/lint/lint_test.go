@@ -1,0 +1,99 @@
+package lint_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func docComment(lines ...string) *ast.CommentGroup {
+	g := &ast.CommentGroup{}
+	for _, l := range lines {
+		g.List = append(g.List, &ast.Comment{Text: l})
+	}
+	return g
+}
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata"}, parts...)...)
+}
+
+func TestNoPanic(t *testing.T) {
+	linttest.Run(t, lint.NoPanic, fixture("nopanic", "lib"))
+}
+
+func TestNoPanicMainExempt(t *testing.T) {
+	linttest.Run(t, lint.NoPanic, fixture("nopanic", "mainpkg"))
+}
+
+func TestNoPanicFaultsExempt(t *testing.T) {
+	linttest.Run(t, lint.NoPanic, fixture("nopanic", "faults"))
+}
+
+func TestCtxPass(t *testing.T) {
+	linttest.Run(t, lint.CtxPass, fixture("ctxpass", "lib"))
+}
+
+func TestCtxPassMain(t *testing.T) {
+	linttest.Run(t, lint.CtxPass, fixture("ctxpass", "mainpkg"))
+}
+
+func TestMustOnly(t *testing.T) {
+	linttest.Run(t, lint.MustOnly, fixture("mustonly", "lib"))
+}
+
+func TestAllAnalyzersRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"nopanic", "ctxpass", "mustonly"} {
+		if !names[want] {
+			t.Errorf("analyzer %q missing from All()", want)
+		}
+	}
+}
+
+func TestAllowedDirective(t *testing.T) {
+	// Allowed is exercised end-to-end by the fixtures; this covers the
+	// parsing corners directly.
+	cases := []struct {
+		text     string
+		analyzer string
+		want     bool
+	}{
+		{"//garlint:allow nopanic", "nopanic", true},
+		{"//garlint:allow nopanic ctxpass", "ctxpass", true},
+		{"//garlint:allow nopanic -- reason mentioning ctxpass", "ctxpass", false},
+		{"//garlint:allow", "nopanic", false},
+		{"// garlint:allow nopanic", "nopanic", false}, // not a directive: space after //
+		{"//garlint:allownopanic", "nopanic", false},
+	}
+	for _, c := range cases {
+		doc := docComment(c.text)
+		if got := lint.Allowed(c.analyzer, doc); got != c.want {
+			t.Errorf("Allowed(%q, %q) = %v, want %v", c.analyzer, c.text, got, c.want)
+		}
+	}
+	if lint.Allowed("nopanic", nil) {
+		t.Error("Allowed with nil doc should be false")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "nopanic", Message: "panic in library function f"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "x.go", 3, 7
+	if got := d.String(); !strings.Contains(got, "x.go:3:7") || !strings.Contains(got, "[nopanic]") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package linttest runs lint analyzers over source fixtures, in the
+// style of go/analysis/analysistest: every fixture line that should
+// trigger a finding carries a `// want "regexp"` comment, and the test
+// fails on any unmatched expectation or unexpected diagnostic.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe locates a want comment; quotedRe then extracts its patterns,
+// so `// want "a" "b"` expects two findings on the line.
+var (
+	wantRe   = regexp.MustCompile(`want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// expectation is one `// want` pattern at a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run typechecks the fixture package in dir, executes the analyzer and
+// compares its diagnostics against the fixture's want comments. The
+// package is typechecked with the source importer, so fixtures may
+// import standard-library packages. The fixture's import path is
+// "fixture/<base(dir)>", which lets path-sensitive analyzers (e.g.
+// nopanic's faults exemption) be exercised by directory naming.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		wants = append(wants, collectWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	info := lint.NewInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // collect every error via the returned one
+	}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: typechecking %s: %v", dir, err)
+	}
+
+	diags := lint.Run(fset, files, pkg, info, []*lint.Analyzer{a})
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants parses the `// want "..."` comments of a file.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+				unquoted, err := strconv.Unquote(`"` + q[1] + `"`)
+				if err != nil {
+					t.Fatalf("linttest: bad want pattern %q: %v", q[1], err)
+				}
+				re, err := regexp.Compile(unquoted)
+				if err != nil {
+					t.Fatalf("linttest: bad want regexp %q: %v", unquoted, err)
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return out
+}
+
+// consume marks the first unmatched expectation on the diagnostic's
+// line whose pattern matches, and reports whether one was found.
+func consume(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MustOnly restricts Must* helpers (which panic on failure by
+// convention) to contexts where a panic is acceptable: test files,
+// other Must* wrappers, package-level variable initializers, and
+// functions documented as generators with "//garlint:allow mustonly".
+// Everywhere else the non-panicking variant must be used and its error
+// handled.
+var MustOnly = &Analyzer{
+	Name: "mustonly",
+	Doc:  "restrict Must* helpers to tests, wrappers and generators",
+	Run:  runMustOnly,
+}
+
+func runMustOnly(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		// Only function bodies are walked: a Must* call in a
+		// package-level var initializer runs once at startup, where a
+		// panic is an acceptable configuration failure.
+		for _, fn := range funcDecls(f) {
+			if isMustName(fn.Name.Name) || Allowed(p.Analyzer.Name, fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var callee string
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					callee = fun.Name
+				case *ast.SelectorExpr:
+					callee = fun.Sel.Name
+				default:
+					return true
+				}
+				if isMustName(callee) {
+					p.Reportf(call.Pos(), "call to %s in %s; use the error-returning variant outside tests",
+						callee, fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}

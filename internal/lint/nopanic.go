@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic forbids panic in library code. The translation path is built
+// around graceful degradation (internal/core recovers per stage), so a
+// panic anywhere else is a latent crash: library functions must return
+// errors instead. Exempt are main packages, test files, functions whose
+// name carries the Must* convention, the fault-injection package (whose
+// whole job is to blow up) and functions with a
+// "//garlint:allow nopanic" directive.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in library packages outside Must* helpers",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	if path := p.Pkg.Path(); path == "faults" || strings.HasSuffix(path, "/faults") {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, fn := range funcDecls(f) {
+			if isMustName(fn.Name.Name) || Allowed(p.Analyzer.Name, fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin {
+					return true // a local function shadowing the name
+				}
+				name := fn.Name.Name
+				p.Reportf(call.Pos(), "panic in library function %s; return an error or rename to Must%s",
+					name, strings.ToUpper(name[:1])+name[1:])
+				return true
+			})
+		}
+	}
+}

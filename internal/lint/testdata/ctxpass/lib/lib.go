@@ -1,0 +1,41 @@
+// Package lib exercises the ctxpass analyzer in a library package.
+package lib
+
+import (
+	"context"
+	"time"
+)
+
+// Lookup receives a context but mints a fresh root: both calls are
+// findings regardless of package kind.
+func Lookup(ctx context.Context, key string) string {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want "Lookup receives a context.Context but calls context.Background"
+	defer cancel()
+	_ = context.TODO() // want "Lookup receives a context.Context but calls context.TODO"
+	_ = c
+	return key
+}
+
+// Threaded does it right: derives from the parameter.
+func Threaded(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return c.Err()
+}
+
+// bare has no context parameter, so a root context in a library
+// function is still a finding.
+func bare() context.Context {
+	return context.Background() // want "context.Background in library function bare"
+}
+
+//garlint:allow ctxpass -- compatibility wrapper over the context variant
+func Compat(key string) string {
+	return LookupCtx(context.Background(), key)
+}
+
+// LookupCtx is the context-threading variant Compat wraps.
+func LookupCtx(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}

@@ -1,0 +1,14 @@
+package lib
+
+import "context"
+
+// Test files may create root contexts freely — but only in functions
+// that do not already receive one.
+func helper() context.Context {
+	return context.Background()
+}
+
+// helperCtx still must thread the parameter even in a test file.
+func helperCtx(ctx context.Context) context.Context {
+	return context.TODO() // want "helperCtx receives a context.Context but calls context.TODO"
+}

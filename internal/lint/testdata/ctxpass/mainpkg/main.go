@@ -1,0 +1,14 @@
+// Package main may create root contexts at the program entry point.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+// run receives a context, so even in package main it must thread it.
+func run(ctx context.Context) {
+	_ = context.Background() // want "run receives a context.Context but calls context.Background"
+	_ = ctx
+}

@@ -1,0 +1,35 @@
+// Package lib exercises the mustonly analyzer.
+package lib
+
+import "strconv"
+
+// MustAtoi is a Must* helper; by convention it panics on failure.
+func MustAtoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Sum calls a Must* helper from plain library code: a finding.
+func Sum(a, b string) int {
+	return MustAtoi(a) + MustAtoi(b) // want "call to MustAtoi in Sum" "call to MustAtoi in Sum"
+}
+
+// MustSum is itself a Must* wrapper, so its Must* calls are fine.
+func MustSum(a, b string) int {
+	return MustAtoi(a) + MustAtoi(b)
+}
+
+//garlint:allow mustonly -- code generator, inputs are compile-time constants
+func generate() []int {
+	return []int{MustAtoi("1"), MustAtoi("2")}
+}
+
+// defaultLimit shows the package-level initializer exemption: the call
+// runs once at startup where a panic is an acceptable config failure.
+var defaultLimit = MustAtoi("64")
+
+// Limit exposes the var so the fixture compiles without unused errors.
+func Limit() int { return defaultLimit + len(generate()) }

@@ -1,0 +1,6 @@
+package lib
+
+// Test files may call Must* helpers freely.
+func testHelper() int {
+	return MustAtoi("42")
+}

@@ -1,0 +1,8 @@
+// Package faults mirrors the repository's fault-injection package,
+// which is exempt from nopanic by import path.
+package faults
+
+// Crash panics on purpose; the whole package is exempt.
+func Crash() {
+	panic("injected fault")
+}

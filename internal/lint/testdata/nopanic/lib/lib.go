@@ -1,0 +1,44 @@
+// Package lib exercises the nopanic analyzer in a library package.
+package lib
+
+import "fmt"
+
+// Parse is a plain library function: its panics are findings.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want "panic in library function Parse"
+	}
+	return len(s)
+}
+
+// MustParse follows the Must* convention and may panic.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// nested panics inside closures are attributed to the enclosing
+// declaration, so a non-Must function cannot hide one in a literal.
+func nested() func() {
+	return func() {
+		panic("boom") // want "panic in library function nested"
+	}
+}
+
+//garlint:allow nopanic -- invariant violation is unrecoverable here
+func checked(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+}
+
+// shadowed calls a local function named panic, which is fine.
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+// Report uses fmt so the fixture has a real import.
+func Report() string { return fmt.Sprint(MustParse("x"), nested(), checked) }

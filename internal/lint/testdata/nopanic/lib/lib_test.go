@@ -1,0 +1,6 @@
+package lib
+
+// Test files are exempt from nopanic.
+func testHelper() {
+	panic("fine in tests")
+}

@@ -1,0 +1,7 @@
+// Package main is exempt from nopanic: a command may crash on startup
+// misconfiguration.
+package main
+
+func main() {
+	panic("fine in main packages")
+}

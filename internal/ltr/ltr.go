@@ -159,6 +159,8 @@ type Ranked struct {
 
 // Retrieve runs the first stage only: the top-k pool ids by encoder
 // similarity.
+//
+//garlint:allow ctxpass -- compatibility wrapper over RetrieveContext
 func (p *Pipeline) Retrieve(nl string, k int) []vindex.Hit {
 	hits, _ := p.RetrieveContext(context.Background(), nl, k)
 	return hits
@@ -222,6 +224,8 @@ func (p *Pipeline) RerankContext(ctx context.Context, nl string, hits []vindex.H
 
 // Rank runs the full two-stage pipeline and returns the candidates in
 // final ranked order.
+//
+//garlint:allow ctxpass -- compatibility wrapper over RankContext
 func (p *Pipeline) Rank(nl string) []Ranked {
 	out, _ := p.RankContext(context.Background(), nl)
 	return out

@@ -8,6 +8,7 @@ package nn
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -26,10 +27,16 @@ type MLP struct {
 }
 
 // NewMLP builds a network with the given layer sizes; the last size must
-// be 1 (a scalar score). Weights use scaled uniform initialization.
-func NewMLP(sizes []int, seed int64) *MLP {
+// be 1 (a scalar score) and every size must be positive. Weights use
+// scaled uniform initialization.
+func NewMLP(sizes []int, seed int64) (*MLP, error) {
 	if len(sizes) < 2 || sizes[len(sizes)-1] != 1 {
-		panic("nn: MLP needs at least [in, 1] sizes with scalar output")
+		return nil, fmt.Errorf("nn: MLP needs at least [in, 1] sizes with scalar output, got %v", sizes)
+	}
+	for _, n := range sizes {
+		if n <= 0 {
+			return nil, fmt.Errorf("nn: MLP layer sizes must be positive, got %v", sizes)
+		}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	m := &MLP{sizes: sizes}
@@ -54,7 +61,7 @@ func NewMLP(sizes []int, seed int64) *MLP {
 		m.mB = append(m.mB, make([]float64, out))
 		m.vB = append(m.vB, make([]float64, out))
 	}
-	return m
+	return m, nil
 }
 
 // InputDim returns the expected feature dimension.

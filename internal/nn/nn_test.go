@@ -8,22 +8,35 @@ import (
 )
 
 func TestNewMLPValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-scalar output")
-		}
-	}()
-	nn.NewMLP([]int{4, 2}, 1)
+	if _, err := nn.NewMLP([]int{4, 2}, 1); err == nil {
+		t.Error("expected error for non-scalar output")
+	}
+	if _, err := nn.NewMLP([]int{4}, 1); err == nil {
+		t.Error("expected error for missing input layer")
+	}
+	if _, err := nn.NewMLP([]int{0, 1}, 1); err == nil {
+		t.Error("expected error for non-positive layer size")
+	}
+}
+
+// mustMLP builds a valid network for tests.
+func mustMLP(t *testing.T, sizes []int, seed int64) *nn.MLP {
+	t.Helper()
+	m, err := nn.NewMLP(sizes, seed)
+	if err != nil {
+		t.Fatalf("NewMLP(%v): %v", sizes, err)
+	}
+	return m
 }
 
 func TestScoreDeterministic(t *testing.T) {
-	a := nn.NewMLP([]int{4, 8, 1}, 7)
-	b := nn.NewMLP([]int{4, 8, 1}, 7)
+	a := mustMLP(t, []int{4, 8, 1}, 7)
+	b := mustMLP(t, []int{4, 8, 1}, 7)
 	x := []float64{0.1, -0.5, 0.3, 1}
 	if a.Score(x) != b.Score(x) {
 		t.Error("same seed should give identical networks")
 	}
-	c := nn.NewMLP([]int{4, 8, 1}, 8)
+	c := mustMLP(t, []int{4, 8, 1}, 8)
 	if a.Score(x) == c.Score(x) {
 		t.Error("different seeds should give different networks")
 	}
@@ -70,7 +83,7 @@ func accuracy(m *nn.MLP, lists []nn.List) float64 {
 func TestTrainListwiseLearnsRanking(t *testing.T) {
 	train := makeLists(200, 5, 1)
 	test := makeLists(100, 5, 2)
-	m := nn.NewMLP([]int{3, 16, 1}, 3)
+	m := mustMLP(t, []int{3, 16, 1}, 3)
 	before := accuracy(m, test)
 	losses := m.TrainListwise(train, nn.TrainConfig{Epochs: 15, LR: 0.01, Seed: 4})
 	after := accuracy(m, test)
@@ -97,7 +110,7 @@ func TestTrainListwiseGradedLabels(t *testing.T) {
 		}
 		lists = append(lists, nn.List{Features: feats, Labels: []float64{1, 0.5, 0}})
 	}
-	m := nn.NewMLP([]int{2, 8, 1}, 5)
+	m := mustMLP(t, []int{2, 8, 1}, 5)
 	m.TrainListwise(lists, nn.TrainConfig{Epochs: 10, LR: 0.01, Seed: 6})
 	if m.Score([]float64{1, 0.5}) <= m.Score([]float64{0, 0.5}) {
 		t.Error("graded training failed to order scores")
@@ -105,7 +118,7 @@ func TestTrainListwiseGradedLabels(t *testing.T) {
 }
 
 func TestTrainListwiseEmptyLists(t *testing.T) {
-	m := nn.NewMLP([]int{2, 1}, 1)
+	m := mustMLP(t, []int{2, 1}, 1)
 	losses := m.TrainListwise([]nn.List{{}}, nn.TrainConfig{Epochs: 2})
 	if len(losses) != 2 {
 		t.Errorf("expected 2 epochs, got %d", len(losses))
@@ -113,7 +126,7 @@ func TestTrainListwiseEmptyLists(t *testing.T) {
 }
 
 func TestAllZeroLabelsUniformTarget(t *testing.T) {
-	m := nn.NewMLP([]int{2, 4, 1}, 2)
+	m := mustMLP(t, []int{2, 4, 1}, 2)
 	lists := []nn.List{{
 		Features: [][]float64{{1, 0}, {0, 1}},
 		Labels:   []float64{0, 0},

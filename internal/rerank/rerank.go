@@ -219,8 +219,12 @@ type Model struct {
 
 // New builds an untrained re-ranker with the standard architecture
 // (FeatureDim → 24 → 12 → 1).
-func New(x *Extractor, seed int64) *Model {
-	return &Model{X: x, Net: nn.NewMLP([]int{FeatureDim, 24, 12, 1}, seed)}
+func New(x *Extractor, seed int64) (*Model, error) {
+	net, err := nn.NewMLP([]int{FeatureDim, 24, 12, 1}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{X: x, Net: net}, nil
 }
 
 // Score returns the relevance score of a (NL, dialect) pair.
@@ -251,6 +255,8 @@ func (m *Model) Train(lists []TrainingList, cfg nn.TrainConfig) []float64 {
 
 // Rank scores all candidates for the NL query and returns the indexes in
 // descending score order.
+//
+//garlint:allow ctxpass -- compatibility wrapper over RankContext
 func (m *Model) Rank(nl string, dialects []string) []int {
 	order, _ := m.RankContext(context.Background(), nl, dialects)
 	return order

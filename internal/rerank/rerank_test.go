@@ -110,7 +110,10 @@ func trainingLists() []rerank.TrainingList {
 
 func TestTrainAndRank(t *testing.T) {
 	x := newExtractor()
-	m := rerank.New(x, 2)
+	m, err := rerank.New(x, 2)
+	if err != nil {
+		t.Fatalf("rerank.New: %v", err)
+	}
 	lists := trainingLists()
 	losses := m.Train(lists, nn.TrainConfig{Epochs: 30, LR: 0.01, Seed: 3})
 	if losses[len(losses)-1] >= losses[0] {
@@ -130,7 +133,10 @@ func TestTrainAndRank(t *testing.T) {
 
 func TestRankDeterministicAndComplete(t *testing.T) {
 	x := newExtractor()
-	m := rerank.New(x, 5)
+	m, err := rerank.New(x, 5)
+	if err != nil {
+		t.Fatalf("rerank.New: %v", err)
+	}
 	dialects := []string{"a b c", "d e f", "a b d"}
 	o1 := m.Rank("a b", dialects)
 	o2 := m.Rank("a b", dialects)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/schema"
 	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
 	"repro/internal/sqlparse"
 )
 
@@ -196,5 +197,93 @@ func TestTablesWithColumn(t *testing.T) {
 	db := schematest.Employee()
 	if got := len(db.TablesWithColumn("employee_id")); got != 3 {
 		t.Errorf("TablesWithColumn(employee_id) = %d, want 3", got)
+	}
+}
+
+// TestBindSetOpRightArm verifies that compound queries bind every arm,
+// not just the left-most block: resolution and qualification must reach
+// the right arm, and errors there must surface.
+func TestBindSetOpRightArm(t *testing.T) {
+	db := schematest.Employee()
+	q := sqlparse.MustParse("SELECT name FROM employee UNION SELECT manager_name FROM shop")
+	if err := db.Bind(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Right.Select.Items[0].Expr.(*sqlast.ColumnRef).Table; got != "shop" {
+		t.Errorf("right arm not qualified: table %q, want \"shop\"", got)
+	}
+	// An error in the right arm must be reported.
+	bad := sqlparse.MustParse("SELECT name FROM employee UNION SELECT nosuch FROM shop")
+	if err := db.Bind(bad); err == nil {
+		t.Error("expected binding error from the UNION right arm")
+	}
+	// Each arm has its own scope: the right arm must not see the left
+	// arm's tables.
+	cross := sqlparse.MustParse("SELECT name FROM employee UNION SELECT age FROM shop")
+	if err := db.Bind(cross); err == nil {
+		t.Error("right arm resolved a column from the left arm's scope")
+	}
+}
+
+// TestBindDerivedVsBaseAmbiguity covers an unqualified column provided
+// by both a derived table and a base table in the same FROM scope.
+func TestBindDerivedVsBaseAmbiguity(t *testing.T) {
+	db := schematest.Employee()
+	// "city" is projected by the derived table and owned by employee:
+	// ambiguous.
+	q := sqlparse.MustParse("SELECT city FROM employee JOIN (SELECT city FROM employee) AS d ON employee.city = d.city")
+	if err := db.Bind(q); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("expected ambiguity between base and derived provider, got %v", err)
+	}
+	// A qualified reference disambiguates in either direction.
+	for _, src := range []string{
+		"SELECT d.city FROM employee JOIN (SELECT city FROM employee) AS d ON employee.city = d.city",
+		"SELECT employee.city FROM employee JOIN (SELECT city FROM employee) AS d ON employee.city = d.city",
+	} {
+		q := sqlparse.MustParse(src)
+		if err := db.Bind(q); err != nil {
+			t.Errorf("Bind(%q): %v", src, err)
+		}
+	}
+	// A column only the derived table provides is not ambiguous, and is
+	// qualified with the derived table's alias.
+	uniq := sqlparse.MustParse("SELECT bonus FROM employee JOIN (SELECT employee_id, bonus FROM evaluation) AS d ON employee.employee_id = d.employee_id")
+	if err := db.Bind(uniq); err != nil {
+		t.Fatalf("derived-only column: %v", err)
+	}
+	if got := uniq.Select.Items[0].Expr.(*sqlast.ColumnRef).Table; got != "d" {
+		t.Errorf("derived-only column qualified as %q, want \"d\"", got)
+	}
+}
+
+// TestBindAliasShadowing covers aliases that collide with real table
+// names: the alias must win within the block.
+func TestBindAliasShadowing(t *testing.T) {
+	db := schematest.Employee()
+	// "evaluation" here is an alias for employee, shadowing the real
+	// evaluation table: evaluation.bonus must fail (employee has no
+	// bonus), evaluation.age must succeed.
+	if err := db.Bind(sqlparse.MustParse("SELECT evaluation.bonus FROM employee AS evaluation")); err == nil {
+		t.Error("alias shadowing: evaluation.bonus resolved against the shadowed base table")
+	}
+	if err := db.Bind(sqlparse.MustParse("SELECT evaluation.age FROM employee AS evaluation")); err != nil {
+		t.Errorf("alias shadowing: evaluation.age should resolve via the alias: %v", err)
+	}
+	// An inner block's alias shadows the same alias in the outer block:
+	// T.bonus inside the subquery must resolve against the inner T
+	// (evaluation), not the outer T (employee).
+	q := sqlparse.MustParse("SELECT name FROM employee AS T WHERE T.employee_id IN (SELECT T.employee_id FROM evaluation AS T WHERE T.bonus > 100)")
+	if err := db.Bind(q); err != nil {
+		t.Errorf("inner alias shadowing outer: %v", err)
+	}
+	// Unqualified shadowing: a column of the inner table resolves locally
+	// even though an outer table also provides it.
+	q2 := sqlparse.MustParse("SELECT name FROM employee WHERE EXISTS (SELECT employee_id FROM evaluation WHERE bonus > 100)")
+	if err := db.Bind(q2); err != nil {
+		t.Fatalf("unqualified local resolution: %v", err)
+	}
+	inner := q2.Select.Where.(*sqlast.Exists).Sub
+	if got := inner.Select.Items[0].Expr.(*sqlast.ColumnRef).Table; got != "evaluation" {
+		t.Errorf("inner unqualified column bound to %q, want \"evaluation\"", got)
 	}
 }

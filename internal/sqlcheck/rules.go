@@ -1,0 +1,556 @@
+package sqlcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// ent is one FROM-clause entry visible to a SELECT block, used for type
+// and column resolution by the semantic rules.
+type ent struct {
+	key   string        // lookup key: alias if present, else table name (lower)
+	table *schema.Table // nil for derived tables
+	sub   *sqlast.Select
+}
+
+// blockScope lists the FROM entries of a block. Unknown base tables
+// yield entries with a nil table; binding has already reported those.
+func blockScope(db *schema.Database, s *sqlast.Select) []ent {
+	var scope []ent
+	for i := range s.From.Tables {
+		tr := &s.From.Tables[i]
+		key := strings.ToLower(tr.Alias)
+		if tr.Sub != nil {
+			scope = append(scope, ent{key: key, sub: tr.Sub.Select})
+			continue
+		}
+		if key == "" {
+			key = strings.ToLower(tr.Name)
+		}
+		scope = append(scope, ent{key: key, table: db.Table(tr.Name)})
+	}
+	return scope
+}
+
+// refType resolves the schema type of a column reference within a block
+// scope. The second result is false when the type cannot be determined
+// (stars, unknown tables, derived columns without a base column).
+func refType(db *schema.Database, scope []ent, c *sqlast.ColumnRef) (schema.Type, bool) {
+	if c == nil || c.IsStar() {
+		return 0, false
+	}
+	match := func(e ent) (schema.Type, bool) {
+		if e.table != nil {
+			if col := e.table.Column(c.Column); col != nil {
+				return col.Type, true
+			}
+			return 0, false
+		}
+		if e.sub == nil {
+			return 0, false
+		}
+		inner := blockScope(db, e.sub)
+		for _, it := range e.sub.Items {
+			ic, ok := it.Expr.(*sqlast.ColumnRef)
+			if ok && strings.EqualFold(ic.Column, c.Column) {
+				return refType(db, inner, ic)
+			}
+		}
+		return 0, false
+	}
+	if c.Table != "" {
+		want := strings.ToLower(c.Table)
+		for _, e := range scope {
+			if e.key == want || (e.table != nil && strings.EqualFold(e.table.Name, c.Table)) {
+				return match(e)
+			}
+		}
+		return 0, false
+	}
+	for _, e := range scope {
+		if t, ok := match(e); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// exprType resolves the type of a value expression; ok is false for
+// unknown types (placeholders, stars, unresolvable references).
+func exprType(db *schema.Database, scope []ent, e sqlast.Expr) (schema.Type, bool) {
+	switch x := e.(type) {
+	case *sqlast.ColumnRef:
+		return refType(db, scope, x)
+	case *sqlast.Lit:
+		switch x.Kind {
+		case sqlast.NumberLit:
+			return schema.Number, true
+		case sqlast.StringLit:
+			return schema.Text, true
+		}
+		return 0, false // placeholder: compatible with anything
+	case *sqlast.Agg:
+		switch x.Func {
+		case sqlast.Count, sqlast.Sum, sqlast.Avg:
+			return schema.Number, true
+		default: // MIN/MAX preserve the argument type
+			return refType(db, scope, x.Arg)
+		}
+	case *sqlast.Subquery:
+		if x.Q != nil && x.Q.Select != nil && len(x.Q.Select.Items) == 1 {
+			inner := blockScope(db, x.Q.Select)
+			return exprType(db, inner, x.Q.Select.Items[0].Expr)
+		}
+	}
+	return 0, false
+}
+
+// walkBlocks runs fn over every SELECT block of the query, including
+// compound arms, predicate subqueries and derived tables, passing each
+// block's own FROM scope. WalkQueries already visits compound right
+// arms as their own *Query, so only sub.Select is inspected here.
+func walkBlocks(db *schema.Database, q *sqlast.Query, fn func(s *sqlast.Select, scope []ent)) {
+	sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+		if sub.Select != nil {
+			fn(sub.Select, blockScope(db, sub.Select))
+		}
+	})
+}
+
+// JoinConnectivity rejects FROM clauses whose join graph does not
+// connect every table (cartesian products) and warns about join
+// conditions that are not declared foreign-key edges.
+type JoinConnectivity struct{}
+
+// ID implements Rule.
+func (JoinConnectivity) ID() string { return "join-connect" }
+
+// Doc implements Rule.
+func (JoinConnectivity) Doc() string {
+	return "FROM graph must be connected through join conditions; joins should follow foreign keys"
+}
+
+// Check implements Rule.
+func (JoinConnectivity) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	walkBlocks(db, q, func(s *sqlast.Select, scope []ent) {
+		if len(scope) < 2 {
+			return
+		}
+		// Union-find over scope entries, joined by ON conditions.
+		parent := make([]int, len(scope))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(i int) int {
+			for parent[i] != i {
+				parent[i] = parent[parent[i]]
+				i = parent[i]
+			}
+			return i
+		}
+		locate := func(name string) int {
+			key := strings.ToLower(name)
+			for i, e := range scope {
+				if e.key == key || (e.table != nil && strings.EqualFold(e.table.Name, name)) {
+					return i
+				}
+			}
+			return -1
+		}
+		for _, j := range s.From.Joins {
+			li, ri := locate(j.Left.Table), locate(j.Right.Table)
+			if li < 0 || ri < 0 {
+				continue
+			}
+			parent[find(li)] = find(ri)
+		}
+		root := find(0)
+		for i := 1; i < len(scope); i++ {
+			if find(i) != root {
+				out = append(out, Diagnostic{
+					Rule:     "join-connect",
+					Severity: Error,
+					Message:  fmt.Sprintf("FROM clause is a cartesian product: %q is not connected by any join condition", scope[i].key),
+					Clause:   fromClause(s),
+				})
+				return
+			}
+		}
+		// Every edge should follow a declared foreign key.
+		edges := schema.JoinEdges(db, s)
+		for _, e := range edges {
+			lt, lc := db.Column(e.LeftTable, e.LeftColumn)
+			rt, rc := db.Column(e.RightTable, e.RightColumn)
+			if lc == nil || rc == nil {
+				continue // unknown columns belong to binding
+			}
+			if lt == rt {
+				continue // self-join on the same table
+			}
+			if !db.FKEdge(e.LeftTable, e.LeftColumn, e.RightTable, e.RightColumn) {
+				out = append(out, Diagnostic{
+					Rule:     "join-connect",
+					Severity: Warning,
+					Message: fmt.Sprintf("join %s.%s = %s.%s is not a declared foreign-key edge",
+						e.LeftTable, e.LeftColumn, e.RightTable, e.RightColumn),
+					Clause: fromClause(s),
+				})
+			}
+		}
+	})
+	return out
+}
+
+func fromClause(s *sqlast.Select) string {
+	var b strings.Builder
+	b.WriteString("FROM ")
+	for i, t := range s.From.Tables {
+		if i > 0 {
+			b.WriteString(" JOIN ")
+		}
+		if t.Sub != nil {
+			b.WriteString("(" + t.Sub.String() + ")")
+		} else {
+			b.WriteString(t.Name)
+		}
+		if t.Alias != "" {
+			b.WriteString(" AS " + t.Alias)
+		}
+	}
+	return b.String()
+}
+
+// TypeCompat rejects predicates that compare incompatible types (a
+// numeric literal against a text column, text against a number column,
+// LIKE over numbers) and numeric aggregates over text columns.
+type TypeCompat struct{}
+
+// ID implements Rule.
+func (TypeCompat) ID() string { return "type-compat" }
+
+// Doc implements Rule.
+func (TypeCompat) Doc() string {
+	return "predicate operands and aggregate arguments must have compatible types"
+}
+
+// Check implements Rule.
+func (TypeCompat) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	walkBlocks(db, q, func(s *sqlast.Select, scope []ent) {
+		check := func(e sqlast.Expr) {
+			switch x := e.(type) {
+			case *sqlast.Binary:
+				if x.Op == "AND" || x.Op == "OR" {
+					return
+				}
+				lt, lok := exprType(db, scope, x.L)
+				rt, rok := exprType(db, scope, x.R)
+				if strings.Contains(x.Op, "LIKE") {
+					if lok && lt != schema.Text {
+						out = append(out, Diagnostic{
+							Rule: "type-compat", Severity: Error,
+							Message: "LIKE requires a text operand",
+							Clause:  sqlast.ExprString(x),
+						})
+					}
+					return
+				}
+				if lok && rok && lt != rt {
+					out = append(out, Diagnostic{
+						Rule: "type-compat", Severity: Error,
+						Message: fmt.Sprintf("comparison between %s and %s operands", lt, rt),
+						Clause:  sqlast.ExprString(x),
+					})
+				}
+			case *sqlast.Between:
+				xt, xok := exprType(db, scope, x.X)
+				if !xok {
+					return
+				}
+				for _, bound := range []sqlast.Expr{x.Lo, x.Hi} {
+					bt, bok := exprType(db, scope, bound)
+					if bok && bt != xt {
+						out = append(out, Diagnostic{
+							Rule: "type-compat", Severity: Error,
+							Message: fmt.Sprintf("BETWEEN bound type %s does not match operand type %s", bt, xt),
+							Clause:  sqlast.ExprString(x),
+						})
+						return
+					}
+				}
+			case *sqlast.In:
+				xt, xok := exprType(db, scope, x.X)
+				if !xok || x.Sub == nil || x.Sub.Select == nil || len(x.Sub.Select.Items) != 1 {
+					return
+				}
+				inner := blockScope(db, x.Sub.Select)
+				st, sok := exprType(db, inner, x.Sub.Select.Items[0].Expr)
+				if sok && st != xt {
+					out = append(out, Diagnostic{
+						Rule: "type-compat", Severity: Error,
+						Message: fmt.Sprintf("IN subquery yields %s values for a %s operand", st, xt),
+						Clause:  sqlast.ExprString(x),
+					})
+				}
+			case *sqlast.Agg:
+				if (x.Func == sqlast.Sum || x.Func == sqlast.Avg) && x.Arg != nil && !x.Arg.IsStar() {
+					if t, ok := refType(db, scope, x.Arg); ok && t != schema.Number {
+						out = append(out, Diagnostic{
+							Rule: "type-compat", Severity: Error,
+							Message: fmt.Sprintf("%s over text column %s", x.Func, x.Arg.Column),
+							Clause:  sqlast.ExprString(x),
+						})
+					}
+				}
+			}
+		}
+		sqlast.WalkExprs(s.Where, check)
+		sqlast.WalkExprs(s.Having, check)
+		for _, it := range s.Items {
+			sqlast.WalkExprs(it.Expr, check)
+		}
+		for _, o := range s.OrderBy {
+			sqlast.WalkExprs(o.Expr, check)
+		}
+		for _, j := range s.From.Joins {
+			lt, lok := refType(db, scope, &j.Left)
+			rt, rok := refType(db, scope, &j.Right)
+			if lok && rok && lt != rt {
+				out = append(out, Diagnostic{
+					Rule: "type-compat", Severity: Error,
+					Message: fmt.Sprintf("join compares %s with %s", lt, rt),
+					Clause:  fmt.Sprintf("ON %s = %s", sqlast.ExprString(&j.Left), sqlast.ExprString(&j.Right)),
+				})
+			}
+		}
+	})
+	return out
+}
+
+// AggGroup enforces aggregate / GROUP BY coherence: no mixing of
+// aggregates and bare columns without grouping, selected bare columns
+// must be grouped, HAVING requires GROUP BY, aggregates are not allowed
+// in WHERE, and an aggregate ORDER BY requires grouping unless the whole
+// projection aggregates.
+type AggGroup struct {
+	// Core restricts the rule to the Algorithm 1 conditions the
+	// generalizer applies while searching (aggregate/bare mix without
+	// GROUP BY, HAVING without GROUP BY, aggregate ORDER BY without
+	// grouping or an aggregate projection), skipping the stricter
+	// ungrouped-selected-column and aggregate-in-WHERE checks.
+	Core bool
+}
+
+// ID implements Rule.
+func (AggGroup) ID() string { return "agg-group" }
+
+// Doc implements Rule.
+func (AggGroup) Doc() string {
+	return "aggregates, GROUP BY, HAVING and bare columns must be coherent"
+}
+
+// Check implements Rule.
+func (r AggGroup) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	report := func(msg, clause string) {
+		out = append(out, Diagnostic{Rule: "agg-group", Severity: Error, Message: msg, Clause: clause})
+	}
+	walkBlocks(db, q, func(s *sqlast.Select, scope []ent) {
+		grouped := len(s.GroupBy) > 0
+		inGroup := func(c *sqlast.ColumnRef) bool {
+			for _, g := range s.GroupBy {
+				if strings.EqualFold(g.Column, c.Column) &&
+					(g.Table == "" || c.Table == "" || strings.EqualFold(g.Table, c.Table)) {
+					return true
+				}
+			}
+			return false
+		}
+		aggItems, plainItems := 0, 0
+		for _, it := range s.Items {
+			if _, isAgg := it.Expr.(*sqlast.Agg); isAgg {
+				aggItems++
+				continue
+			}
+			plainItems++
+			if c, ok := it.Expr.(*sqlast.ColumnRef); ok && !r.Core && grouped && !c.IsStar() && !inGroup(c) {
+				report(fmt.Sprintf("column %s is selected but neither grouped nor aggregated", c.Column),
+					sqlast.ExprString(c))
+			}
+		}
+		if aggItems > 0 && plainItems > 0 && !grouped {
+			report("aggregates mixed with bare columns without GROUP BY", "")
+		}
+		if s.Having != nil && !grouped {
+			report("HAVING without GROUP BY", sqlast.ExprString(s.Having))
+		}
+		if !r.Core {
+			sqlast.WalkExprs(s.Where, func(e sqlast.Expr) {
+				if a, ok := e.(*sqlast.Agg); ok {
+					report("aggregate not allowed in WHERE", sqlast.ExprString(a))
+				}
+			})
+		}
+		if !grouped && aggItems == 0 {
+			for _, o := range s.OrderBy {
+				if a, ok := o.Expr.(*sqlast.Agg); ok {
+					report("ORDER BY aggregate requires GROUP BY or an aggregate projection",
+						sqlast.ExprString(a))
+				}
+			}
+		}
+	})
+	return out
+}
+
+// OrderScope enforces ORDER BY scope resolution: in grouped blocks the
+// sort keys must be grouped columns or aggregates, and under SELECT
+// DISTINCT the sort keys must appear in the projection.
+type OrderScope struct{}
+
+// ID implements Rule.
+func (OrderScope) ID() string { return "order-scope" }
+
+// Doc implements Rule.
+func (OrderScope) Doc() string {
+	return "ORDER BY keys must be resolvable from the projection under DISTINCT or GROUP BY"
+}
+
+// Check implements Rule.
+func (OrderScope) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	walkBlocks(db, q, func(s *sqlast.Select, scope []ent) {
+		if len(s.OrderBy) == 0 {
+			return
+		}
+		selected := func(c *sqlast.ColumnRef) bool {
+			for _, it := range s.Items {
+				ic, ok := it.Expr.(*sqlast.ColumnRef)
+				if !ok {
+					continue
+				}
+				if ic.IsStar() {
+					return true
+				}
+				if strings.EqualFold(ic.Column, c.Column) &&
+					(ic.Table == "" || c.Table == "" || strings.EqualFold(ic.Table, c.Table)) {
+					return true
+				}
+			}
+			return false
+		}
+		grouped := func(c *sqlast.ColumnRef) bool {
+			for _, g := range s.GroupBy {
+				if strings.EqualFold(g.Column, c.Column) &&
+					(g.Table == "" || c.Table == "" || strings.EqualFold(g.Table, c.Table)) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, o := range s.OrderBy {
+			c, ok := o.Expr.(*sqlast.ColumnRef)
+			if !ok {
+				continue
+			}
+			if s.Distinct && !selected(c) {
+				out = append(out, Diagnostic{
+					Rule: "order-scope", Severity: Error,
+					Message: fmt.Sprintf("ORDER BY %s is not in the SELECT DISTINCT projection", c.Column),
+					Clause:  sqlast.ExprString(c),
+				})
+				continue
+			}
+			if len(s.GroupBy) > 0 && !grouped(c) && !selected(c) {
+				out = append(out, Diagnostic{
+					Rule: "order-scope", Severity: Error,
+					Message: fmt.Sprintf("ORDER BY %s is neither grouped nor selected", c.Column),
+					Clause:  sqlast.ExprString(c),
+				})
+			}
+		}
+	})
+	return out
+}
+
+// SubqueryShape checks the column arity of subqueries: IN and scalar
+// subqueries must project exactly one column, and compound (set-op) arms
+// must project the same number of columns.
+type SubqueryShape struct{}
+
+// ID implements Rule.
+func (SubqueryShape) ID() string { return "subquery-shape" }
+
+// Doc implements Rule.
+func (SubqueryShape) Doc() string {
+	return "IN/scalar subqueries project one column; set-operation arms agree on arity"
+}
+
+// Check implements Rule.
+func (SubqueryShape) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	arity := func(s *sqlast.Select) int {
+		n := 0
+		for _, it := range s.Items {
+			c, ok := it.Expr.(*sqlast.ColumnRef)
+			if !ok || !c.IsStar() {
+				n++
+				continue
+			}
+			// Resolve the star against the block scope.
+			for _, e := range blockScope(db, s) {
+				if c.Table != "" && e.key != strings.ToLower(c.Table) &&
+					(e.table == nil || !strings.EqualFold(e.table.Name, c.Table)) {
+					continue
+				}
+				switch {
+				case e.table != nil:
+					n += len(e.table.Columns)
+				case e.sub != nil:
+					n += len(e.sub.Items)
+				}
+			}
+		}
+		return n
+	}
+	checkSub := func(sub *sqlast.Query, what string) {
+		if sub == nil || sub.Select == nil {
+			return
+		}
+		if got := arity(sub.Select); got != 1 {
+			out = append(out, Diagnostic{
+				Rule: "subquery-shape", Severity: Error,
+				Message: fmt.Sprintf("%s must project exactly one column, got %d", what, got),
+				Clause:  sub.String(),
+			})
+		}
+	}
+	sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+		if sub.Op != sqlast.SetNone && sub.Right != nil {
+			l, r := arity(sub.Select), arity(sub.Right.Select)
+			if l != r {
+				out = append(out, Diagnostic{
+					Rule: "subquery-shape", Severity: Error,
+					Message: fmt.Sprintf("%s arms project %d vs %d columns", sub.Op, l, r),
+					Clause:  sub.String(),
+				})
+			}
+		}
+		visit := func(e sqlast.Expr) {
+			switch x := e.(type) {
+			case *sqlast.In:
+				checkSub(x.Sub, "IN subquery")
+			case *sqlast.Subquery:
+				checkSub(x.Q, "scalar subquery")
+			}
+		}
+		sqlast.WalkExprs(sub.Select.Where, visit)
+		sqlast.WalkExprs(sub.Select.Having, visit)
+	})
+	return out
+}

@@ -1,0 +1,157 @@
+// Package sqlcheck is a rule-based semantic analyzer for the SQL subset.
+// It checks queries against a database schema and reports typed
+// diagnostics: schema binding failures, disconnected join graphs,
+// predicate type mismatches, aggregate/GROUP BY incoherence, ORDER BY
+// scope violations and malformed subqueries.
+//
+// The analyzer has two consumers: the generalizer runs it as a
+// post-recomposition pruning stage (every candidate that produces an
+// error-severity diagnostic is discarded before entering the pool), and
+// the `gar lint` subcommand checks sample-query files or a generated
+// pool against a database spec.
+//
+// Rules are pluggable: each implements the Rule interface over a bound
+// parse tree, so new semantic checks slot in without touching the
+// consumers.
+package sqlcheck
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities. Errors mark queries that are semantically invalid and
+// prune candidates in the generalizer; warnings mark suspicious but
+// executable constructs.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding of the analyzer.
+type Diagnostic struct {
+	// Rule is the identifier of the rule that fired, e.g. "join-connect".
+	Rule string `json:"rule"`
+	// Severity is Error for semantically invalid queries.
+	Severity Severity `json:"-"`
+	// Message describes the problem.
+	Message string `json:"message"`
+	// Clause renders the offending clause or expression when available.
+	Clause string `json:"clause,omitempty"`
+}
+
+// String formats the diagnostic as "severity: [rule] message (clause)".
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", d.Severity, d.Rule, d.Message)
+	if d.Clause != "" {
+		s += fmt.Sprintf(" (%s)", d.Clause)
+	}
+	return s
+}
+
+// Rule is one semantic check. Check receives a query that has been
+// bound against the database (column references resolved and qualified)
+// and returns any findings.
+type Rule interface {
+	// ID returns the stable rule identifier used in diagnostics and
+	// prune counters.
+	ID() string
+	// Doc returns a one-line description of what the rule enforces.
+	Doc() string
+	// Check analyzes a bound query.
+	Check(db *schema.Database, q *sqlast.Query) []Diagnostic
+}
+
+// RuleBinding is the pseudo-rule ID reported when a query fails
+// schema binding (unknown tables or columns, ambiguous references).
+const RuleBinding = "schema-bind"
+
+// SemanticRules returns the default rule set applied to bound queries:
+// join-graph connectivity, predicate type compatibility, aggregate /
+// GROUP BY coherence, ORDER BY scope resolution and subquery shape.
+func SemanticRules() []Rule {
+	return []Rule{
+		JoinConnectivity{},
+		TypeCompat{},
+		AggGroup{},
+		OrderScope{},
+		SubqueryShape{},
+	}
+}
+
+// Analyzer applies a rule set to queries for one database.
+type Analyzer struct {
+	db    *schema.Database
+	rules []Rule
+}
+
+// New builds an analyzer. With no explicit rules the default
+// SemanticRules set is used.
+func New(db *schema.Database, rules ...Rule) *Analyzer {
+	if len(rules) == 0 {
+		rules = SemanticRules()
+	}
+	return &Analyzer{db: db, rules: rules}
+}
+
+// Rules returns the analyzer's rule set.
+func (a *Analyzer) Rules() []Rule { return a.rules }
+
+// Check validates an arbitrary query: the query is cloned and bound
+// against the database first (a binding failure is reported under the
+// RuleBinding ID and stops the analysis), then every rule runs over the
+// bound tree. The input query is never mutated.
+func (a *Analyzer) Check(q *sqlast.Query) []Diagnostic {
+	bound := q.Clone()
+	if err := a.db.Bind(bound); err != nil {
+		return []Diagnostic{{
+			Rule:     RuleBinding,
+			Severity: Error,
+			Message:  err.Error(),
+		}}
+	}
+	return a.CheckBound(bound)
+}
+
+// CheckBound applies the rule set to a query that is already bound
+// against the database (as candidates inside the generalizer are).
+func (a *Analyzer) CheckBound(q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range a.rules {
+		out = append(out, r.Check(a.db, q)...)
+	}
+	return out
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstError returns the first error-severity diagnostic, or nil.
+func FirstError(diags []Diagnostic) *Diagnostic {
+	for i := range diags {
+		if diags[i].Severity == Error {
+			return &diags[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package sqlcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlcheck"
+	"repro/internal/sqlparse"
+)
+
+// check parses src and runs the full analyzer (bind + semantic rules).
+func check(t *testing.T, src string) []sqlcheck.Diagnostic {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return sqlcheck.New(schematest.Employee()).Check(q)
+}
+
+// errorRules collects the rule IDs of error-severity diagnostics.
+func errorRules(diags []sqlcheck.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		if d.Severity == sqlcheck.Error {
+			out = append(out, d.Rule)
+		}
+	}
+	return out
+}
+
+func wantRule(t *testing.T, src, rule string) {
+	t.Helper()
+	diags := check(t, src)
+	for _, got := range errorRules(diags) {
+		if got == rule {
+			return
+		}
+	}
+	t.Fatalf("query %q: expected %s error, got %v", src, rule, diags)
+}
+
+func TestValidQueriesPass(t *testing.T) {
+	for _, src := range []string{
+		"SELECT name FROM employee WHERE age > 30",
+		"SELECT city, COUNT(*) FROM employee GROUP BY city",
+		"SELECT city, COUNT(*) FROM employee GROUP BY city HAVING COUNT(*) > 2",
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+		"SELECT name FROM employee WHERE employee_id IN (SELECT employee_id FROM evaluation)",
+		"SELECT bonus FROM evaluation WHERE bonus = (SELECT MAX(bonus) FROM evaluation)",
+		"SELECT name FROM employee UNION SELECT manager_name FROM shop",
+		"SELECT DISTINCT city FROM employee ORDER BY city",
+		"SELECT name FROM employee WHERE age BETWEEN 20 AND 30",
+	} {
+		if diags := check(t, src); sqlcheck.HasErrors(diags) {
+			t.Errorf("valid query %q flagged: %v", src, diags)
+		}
+	}
+}
+
+func TestBindingRule(t *testing.T) {
+	wantRule(t, "SELECT salary FROM employee", sqlcheck.RuleBinding)
+	wantRule(t, "SELECT name FROM payroll", sqlcheck.RuleBinding)
+}
+
+func TestJoinConnectivityRule(t *testing.T) {
+	// Two tables with no join condition (the grammar cannot write this,
+	// but recomposition can produce it): cartesian product.
+	q := sqlparse.MustParse("SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id")
+	q.Select.From.Joins = nil
+	diags := sqlcheck.New(schematest.Employee()).Check(q)
+	if !sqlcheck.HasErrors(diags) {
+		t.Fatalf("cartesian FROM not flagged: %v", diags)
+	}
+	if e := sqlcheck.FirstError(diags); e.Rule != "join-connect" {
+		t.Fatalf("expected join-connect, got %v", e)
+	}
+	// Three tables where the ON conditions leave one disconnected.
+	wantRule(t,
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id JOIN shop AS T3 ON T1.employee_id = T2.employee_id",
+		"join-connect")
+}
+
+func TestJoinFKWarning(t *testing.T) {
+	// employee.age = evaluation.bonus is connected but not a foreign key.
+	diags := check(t, "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.age = T2.bonus")
+	found := false
+	for _, d := range diags {
+		if d.Rule == "join-connect" && d.Severity == sqlcheck.Warning {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-FK join produced no warning: %v", diags)
+	}
+}
+
+func TestTypeCompatRule(t *testing.T) {
+	// Numeric literal against a text column.
+	wantRule(t, "SELECT name FROM employee WHERE city > 5", "type-compat")
+	// Text literal against a number column.
+	wantRule(t, "SELECT name FROM employee WHERE age = 'old'", "type-compat")
+	// Column-column mismatch.
+	wantRule(t, "SELECT name FROM employee WHERE age = city", "type-compat")
+	// LIKE over a number column.
+	wantRule(t, "SELECT name FROM employee WHERE age LIKE 'x%'", "type-compat")
+	// Numeric aggregate over a text column.
+	wantRule(t, "SELECT AVG(city) FROM employee", "type-compat")
+	// Mismatched BETWEEN bounds.
+	wantRule(t, "SELECT name FROM employee WHERE city BETWEEN 1 AND 5", "type-compat")
+	// IN subquery of the wrong type.
+	wantRule(t, "SELECT name FROM employee WHERE age IN (SELECT city FROM employee)", "type-compat")
+}
+
+func TestAggGroupRule(t *testing.T) {
+	// Aggregate mixed with a bare column, no GROUP BY.
+	wantRule(t, "SELECT city, COUNT(*) FROM employee", "agg-group")
+	// HAVING without GROUP BY.
+	wantRule(t, "SELECT name FROM employee HAVING COUNT(*) > 2", "agg-group")
+	// Selected column not in the GROUP BY list.
+	wantRule(t, "SELECT name, COUNT(*) FROM employee GROUP BY city", "agg-group")
+	// Aggregate in WHERE.
+	wantRule(t, "SELECT name FROM employee WHERE MAX(age) > 50", "agg-group")
+	// ORDER BY aggregate without grouping or aggregate projection.
+	wantRule(t, "SELECT name FROM employee ORDER BY COUNT(*) DESC", "agg-group")
+}
+
+func TestOrderScopeRule(t *testing.T) {
+	// DISTINCT projection does not include the sort key.
+	wantRule(t, "SELECT DISTINCT name FROM employee ORDER BY age", "order-scope")
+	// Grouped block ordered by an ungrouped, unselected column.
+	wantRule(t, "SELECT city, COUNT(*) FROM employee GROUP BY city ORDER BY name", "order-scope")
+}
+
+func TestSubqueryShapeRule(t *testing.T) {
+	// IN subquery with two columns.
+	wantRule(t, "SELECT name FROM employee WHERE employee_id IN (SELECT employee_id, bonus FROM evaluation)", "subquery-shape")
+	// Scalar subquery with two columns.
+	wantRule(t, "SELECT name FROM employee WHERE age = (SELECT bonus, employee_id FROM evaluation)", "subquery-shape")
+	// UNION arms with different arity.
+	wantRule(t, "SELECT name, age FROM employee UNION SELECT manager_name FROM shop", "subquery-shape")
+}
+
+func TestCheckDoesNotMutate(t *testing.T) {
+	q := sqlparse.MustParse("SELECT name FROM employee WHERE age > 30")
+	before := q.String()
+	sqlcheck.New(schematest.Employee()).Check(q)
+	if q.String() != before {
+		t.Fatalf("Check mutated the query: %q -> %q", before, q.String())
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := sqlcheck.Diagnostic{Rule: "agg-group", Severity: sqlcheck.Error, Message: "HAVING without GROUP BY", Clause: "COUNT(*) > 2"}
+	s := d.String()
+	for _, want := range []string{"error", "agg-group", "HAVING"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRuleMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range sqlcheck.SemanticRules() {
+		if r.ID() == "" || r.Doc() == "" {
+			t.Errorf("rule %T missing metadata", r)
+		}
+		if seen[r.ID()] {
+			t.Errorf("duplicate rule ID %s", r.ID())
+		}
+		seen[r.ID()] = true
+	}
+}

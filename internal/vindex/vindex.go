@@ -62,6 +62,8 @@ func (f *Flat) Add(id int, v vector.Vec) {
 func (f *Flat) Len() int { return len(f.ids) }
 
 // Search implements Index.
+//
+//garlint:allow ctxpass -- compatibility wrapper over SearchContext
 func (f *Flat) Search(q vector.Vec, k int) []Hit {
 	hits, _ := topK(context.Background(), q, f.ids, f.vecs, k)
 	return hits
@@ -133,6 +135,8 @@ func (iv *IVF) Build() {
 }
 
 // Search implements Index.
+//
+//garlint:allow ctxpass -- compatibility wrapper over SearchContext
 func (iv *IVF) Search(q vector.Vec, k int) []Hit {
 	hits, _ := iv.SearchContext(context.Background(), q, k)
 	return hits
