@@ -1,5 +1,5 @@
 # The tier-1 gate: everything a PR must keep green.
-.PHONY: verify test build vet lint garlint race bench
+.PHONY: verify test build vet lint garlint race bench stress
 
 build:
 	go build ./...
@@ -30,3 +30,12 @@ verify: build vet lint race
 
 bench:
 	go test -bench=. -benchmem
+
+# stress runs the overload and resilience suites under the race
+# detector: burst admission (deterministic saturation via fault gates),
+# snapshot-swap races against live traffic, breaker trip/recover
+# cycles, the fault-injection matrix, and torn-write persistence.
+stress:
+	go test -race -timeout 5m -count=1 \
+		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence' \
+		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./gar/

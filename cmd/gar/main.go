@@ -109,7 +109,7 @@ func main() {
 
 	// Spec workloads have few training examples, so train longer than
 	// the benchmark defaults.
-	sys, content, err := buildSystem(s, gar.Options{
+	sys, content, models, err := buildSystemModels(s, gar.Options{
 		GeneralizeSize:  *pool,
 		JoinAnnotations: *garJ,
 		Seed:            1,
@@ -120,15 +120,6 @@ func main() {
 		fatal(err)
 	}
 	if *saveModels != "" {
-		var examples []gar.Example
-		for _, ex := range s.Examples {
-			examples = append(examples, gar.Example{Question: ex.Question, SQL: ex.SQL})
-		}
-		models, err := gar.TrainModels([]gar.TrainingSet{{System: sys, Examples: examples}},
-			gar.Options{Seed: 1, EncoderEpochs: 14, RerankEpochs: 40})
-		if err != nil {
-			fatal(err)
-		}
 		if err := models.SaveFile(*saveModels); err != nil {
 			fatal(err)
 		}
@@ -193,9 +184,18 @@ func loadSpec(specPath string, demo bool) (*spec, error) {
 	return s, nil
 }
 
+// buildSystem assembles, prepares and deploys a system from the spec.
 func buildSystem(s *spec, opts gar.Options, loadModels string) (*gar.System, *gar.Content, error) {
+	sys, content, _, err := buildSystemModels(s, opts, loadModels)
+	return sys, content, err
+}
+
+// buildSystemModels is buildSystem, additionally returning the deployed
+// models (loaded from loadModels, or trained on the spec's examples) so
+// callers can persist them or Swap them into another live system.
+func buildSystemModels(s *spec, opts gar.Options, loadModels string) (*gar.System, *gar.Content, *gar.Models, error) {
 	if err := validateSpec(s); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	db := gar.NewDatabase(s.Database.Name)
 	for _, t := range s.Database.Tables {
@@ -232,7 +232,7 @@ func buildSystem(s *spec, opts gar.Options, loadModels string) (*gar.System, *ga
 
 	sys, err := gar.New(db, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var content *gar.Content
 	if len(s.Content) > 0 {
@@ -240,33 +240,37 @@ func buildSystem(s *spec, opts gar.Options, loadModels string) (*gar.System, *ga
 		for table, rows := range s.Content {
 			for _, row := range rows {
 				if err := content.Insert(table, row...); err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 			}
 		}
 		sys.SetContent(content)
 	}
 	if err := sys.Prepare(s.Samples); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	var models *gar.Models
 	if loadModels != "" {
-		models, err := gar.LoadModelsFile(loadModels)
-		if err != nil {
-			return nil, nil, err
-		}
-		if err := sys.UseModels(models); err != nil {
-			return nil, nil, err
-		}
-		return sys, content, nil
+		models, err = gar.LoadModelsFile(loadModels)
+	} else {
+		models, err = gar.TrainModels([]gar.TrainingSet{{System: sys, Examples: specExamples(s)}}, opts)
 	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := sys.UseModels(models); err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, content, models, nil
+}
+
+// specExamples converts the spec's training examples.
+func specExamples(s *spec) []gar.Example {
 	var examples []gar.Example
 	for _, ex := range s.Examples {
 		examples = append(examples, gar.Example{Question: ex.Question, SQL: ex.SQL})
 	}
-	if err := sys.Train(examples); err != nil {
-		return nil, nil, err
-	}
-	return sys, content, nil
+	return examples
 }
 
 // demoSpec is the paper's Fig. 1 employee database, self-contained.

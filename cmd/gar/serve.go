@@ -4,11 +4,22 @@
 //	gar serve -demo
 //
 //	POST /translate {"question": "who is the oldest employee"}
+//	POST /reload
 //	GET  /healthz
+//	GET  /readyz
 //
 // Each request runs under a per-request timeout, the request body is
 // size-limited, panics are recovered into 500 responses, and SIGINT or
 // SIGTERM drains in-flight requests before exiting.
+//
+// The service is overload-protected: an admission controller bounds
+// how many translations run concurrently, queues a bounded overflow
+// with a deadline-aware wait (a request that would miss its deadline
+// in the queue is shed immediately), and answers sheds with 429 +
+// Retry-After. A circuit breaker trips the re-ranking stage into
+// retrieval-only degraded mode after repeated stage failures, and
+// POST /reload hot-swaps the candidate pool and models from the spec
+// with zero downtime (old snapshot serves until the atomic swap).
 package main
 
 import (
@@ -20,11 +31,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/gar"
+	"repro/internal/admit"
+	"repro/internal/breaker"
 )
 
 // serveConfig holds the tunables of the HTTP service.
@@ -36,11 +51,38 @@ type serveConfig struct {
 	MaxBody int64
 	// TopK caps the candidates returned per translation.
 	TopK int
+
+	// MaxInFlight bounds concurrent translations; MaxQueue bounds how
+	// many more may wait for a slot before new arrivals are shed with
+	// 429. RetryAfter is the back-off hint attached to sheds.
+	MaxInFlight int
+	MaxQueue    int
+	RetryAfter  time.Duration
+
+	// BreakerFailures consecutive re-rank failures trip the breaker
+	// into retrieval-only mode for BreakerCooldown; NoBreaker disables
+	// it.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	NoBreaker       bool
+
+	// Reload rebuilds the system state (pool, models, content) and
+	// swaps it in; wired by runServe to re-read the spec. nil disables
+	// POST /reload.
+	Reload func(ctx context.Context) error
+	// ReloadTimeout bounds one reload (default 5m).
+	ReloadTimeout time.Duration
 }
 
 type server struct {
 	sys *gar.System
 	cfg serveConfig
+	ctl *admit.Controller
+	br  *breaker.Breaker
+
+	// reloadMu serializes POST /reload; a second concurrent reload is
+	// answered 409 instead of queueing behind the first.
+	reloadMu sync.Mutex
 }
 
 type translateRequest struct {
@@ -59,6 +101,7 @@ type translateResponse struct {
 	Degraded   bool            `json:"degraded,omitempty"`
 	Warnings   []string        `json:"warnings,omitempty"`
 	Candidates []candidateJSON `json:"candidates"`
+	Generation uint64          `json:"generation"`
 	ElapsedMS  float64         `json:"elapsed_ms"`
 }
 
@@ -78,10 +121,36 @@ func newServeHandler(sys *gar.System, cfg serveConfig) http.Handler {
 	if cfg.TopK <= 0 {
 		cfg.TopK = 5
 	}
-	s := &server{sys: sys, cfg: cfg}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.ReloadTimeout <= 0 {
+		cfg.ReloadTimeout = 5 * time.Minute
+	}
+	s := &server{
+		sys: sys,
+		cfg: cfg,
+		ctl: admit.New(admit.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			MaxQueue:    cfg.MaxQueue,
+			RetryAfter:  cfg.RetryAfter,
+		}),
+	}
+	if !cfg.NoBreaker {
+		s.br = breaker.New(breaker.Config{
+			FailureThreshold: cfg.BreakerFailures,
+			Cooldown:         cfg.BreakerCooldown,
+		})
+		sys.SetRerankBreaker(s.br)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/translate", s.handleTranslate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/reload", s.handleReload)
 	return recoverMiddleware(mux)
 }
 
@@ -98,20 +167,128 @@ func recoverMiddleware(next http.Handler) http.Handler {
 	})
 }
 
+// breakerJSON reports the re-rank breaker for health endpoints.
+func (s *server) breakerJSON() map[string]any {
+	if s.br == nil {
+		return map[string]any{"state": "disabled"}
+	}
+	snap := s.br.Snapshot()
+	out := map[string]any{
+		"state": snap.State.String(),
+		"trips": snap.Trips,
+	}
+	if snap.ConsecutiveFailures > 0 {
+		out["consecutive_failures"] = snap.ConsecutiveFailures
+	}
+	if snap.CooldownRemaining > 0 {
+		out["cooldown_remaining_ms"] = float64(snap.CooldownRemaining.Microseconds()) / 1000
+	}
+	return out
+}
+
+// handleHealthz reports live service health: pool and generation,
+// breaker position, and admission occupancy. While no translatable
+// snapshot is published (startup, or a bare re-Prepare) it answers
+// 503 so load balancers stop routing here.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use GET"})
 		return
 	}
+	st := s.ctl.Stats()
+	body := map[string]any{
+		"pool":       s.sys.PoolSize(),
+		"generation": s.sys.Generation(),
+		"breaker":    s.breakerJSON(),
+		"admission": map[string]any{
+			"in_flight":       st.InFlight,
+			"queued":          st.Queued,
+			"peak_in_flight":  st.PeakInFlight,
+			"max_in_flight":   s.ctl.MaxInFlight(),
+			"admitted":        st.Admitted,
+			"shed_queue_full": st.ShedQueueFull,
+			"shed_deadline":   st.ShedDeadline,
+		},
+	}
+	if !s.sys.Ready() {
+		body["status"] = "unavailable"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	status := "ok"
+	if s.br != nil && s.br.State() != breaker.Closed {
+		// Serving, but re-ranking is tripped: retrieval-only answers.
+		status = "degraded"
+	}
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz: it
+// answers 200 exactly when a complete translatable snapshot is
+// published, and reports the breaker position so orchestrators can
+// see a degraded-but-serving instance.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use GET"})
+		return
+	}
+	if !s.sys.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":   false,
+			"reason":  "no snapshot published",
+			"breaker": s.breakerJSON(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"pool":   s.sys.PoolSize(),
+		"ready":      true,
+		"generation": s.sys.Generation(),
+		"breaker":    s.breakerJSON(),
+	})
+}
+
+// handleReload rebuilds pool, models and content from the (re-read)
+// spec off to the side and atomically swaps them in; translations keep
+// serving the old snapshot throughout. Reloads are serialized: a
+// concurrent reload answers 409.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use POST"})
+		return
+	}
+	if s.cfg.Reload == nil {
+		writeJSON(w, http.StatusNotImplemented, errorJSON{Error: "reload not configured"})
+		return
+	}
+	if !s.reloadMu.TryLock() {
+		writeJSON(w, http.StatusConflict, errorJSON{Error: "reload already in progress"})
+		return
+	}
+	defer s.reloadMu.Unlock()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ReloadTimeout)
+	defer cancel()
+	start := time.Now()
+	if err := s.cfg.Reload(ctx); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: "reload failed: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": s.sys.Generation(),
+		"pool":       s.sys.PoolSize(),
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
 }
 
 func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use POST"})
+		return
+	}
+	if !s.sys.Ready() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "no snapshot published"})
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
@@ -132,6 +309,24 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+
+	// Admission: take a worker slot, or wait for one only as long as
+	// the deadline allows. Shed requests fail fast with 429 so a
+	// saturated server answers immediately instead of timing everyone
+	// out.
+	release, err := s.ctl.Acquire(ctx)
+	if err != nil {
+		if shed, ok := admit.AsShed(err); ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+			writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error()})
+			return
+		}
+		// The context ended while queued: client gone or deadline hit.
+		writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: err.Error()})
+		return
+	}
+	defer release()
+
 	start := time.Now()
 	res, err := s.sys.TranslateContext(ctx, req.Question)
 	if err != nil {
@@ -149,11 +344,12 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out := translateResponse{
-		SQL:       res.SQL,
-		Dialect:   res.Dialect,
-		Degraded:  res.Degraded,
-		Warnings:  res.Warnings,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		SQL:        res.SQL,
+		Dialect:    res.Dialect,
+		Degraded:   res.Degraded,
+		Warnings:   res.Warnings,
+		Generation: res.Generation,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for i, c := range res.Candidates {
 		if i >= s.cfg.TopK {
@@ -162,6 +358,16 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		out.Candidates = append(out.Candidates, candidateJSON{SQL: c.SQL, Dialect: c.Dialect, Score: c.Score})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// at least 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -182,27 +388,79 @@ func runServe(args []string) {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request translation timeout")
 	maxBody := fs.Int64("maxbody", 1<<20, "maximum request body size in bytes")
 	topK := fs.Int("top", 5, "number of candidates returned per translation")
+	maxInFlight := fs.Int("maxinflight", 8, "maximum concurrent translations")
+	maxQueue := fs.Int("maxqueue", 16, "maximum queued translations before shedding")
+	retryAfter := fs.Duration("retryafter", time.Second, "Retry-After hint on shed (429) responses")
+	breakerFailures := fs.Int("breakfailures", 5, "consecutive re-rank failures that trip the circuit breaker")
+	breakerCooldown := fs.Duration("breakcooldown", 2*time.Second, "how long a tripped breaker stays open before probing")
+	noBreaker := fs.Bool("nobreaker", false, "disable the re-rank circuit breaker")
+	noStageBudget := fs.Bool("nostagebudget", false, "disable per-stage deadline budgets")
 	_ = fs.Parse(args)
 
-	s, err := loadSpec(*specPath, *demo)
-	if err != nil {
-		fatal(err)
-	}
-	sys, _, err := buildSystem(s, gar.Options{
+	opts := gar.Options{
 		GeneralizeSize:  *pool,
 		JoinAnnotations: *garJ,
 		Seed:            1,
 		EncoderEpochs:   14,
 		RerankEpochs:    40,
-	}, *loadModels)
+	}
+	if !*noStageBudget {
+		// Each stage gets a slice of the remaining deadline so a slow
+		// re-rank degrades early instead of starving post-processing.
+		opts.StageBudget = gar.StageBudget{Retrieval: 0.5, Rerank: 0.6, Postprocess: 0.9}
+	}
+
+	s, err := loadSpec(*specPath, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	sys, _, err := buildSystem(s, opts, *loadModels)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "gar serve: %d candidate queries ready on %s\n", sys.PoolSize(), *addr)
 
+	// Reload re-reads the spec (and model file, if any), rebuilds a
+	// complete new state off to the side, and publishes it with one
+	// atomic snapshot swap — in-flight and new translations keep
+	// hitting the old snapshot until the swap.
+	reload := func(ctx context.Context) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fresh, err := loadSpec(*specPath, *demo)
+		if err != nil {
+			return err
+		}
+		_, content, models, err := buildSystemModels(fresh, opts, *loadModels)
+		if err != nil {
+			return err
+		}
+		if content != nil {
+			sys.SetContent(content)
+		}
+		gen, err := sys.Swap(fresh.Samples, models)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gar serve: reloaded, generation %d, %d candidates\n", gen, sys.PoolSize())
+		return nil
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServeHandler(sys, serveConfig{Timeout: *timeout, MaxBody: *maxBody, TopK: *topK}),
+		Addr: *addr,
+		Handler: newServeHandler(sys, serveConfig{
+			Timeout:         *timeout,
+			MaxBody:         *maxBody,
+			TopK:            *topK,
+			MaxInFlight:     *maxInFlight,
+			MaxQueue:        *maxQueue,
+			RetryAfter:      *retryAfter,
+			BreakerFailures: *breakerFailures,
+			BreakerCooldown: *breakerCooldown,
+			NoBreaker:       *noBreaker,
+			Reload:          reload,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

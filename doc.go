@@ -13,6 +13,19 @@
 // it as an HTTP JSON service. See the README's "Serving & robustness"
 // section.
 //
+// The serving state is copy-on-write: pool, index and models live in
+// one immutable snapshot behind an atomic pointer, so a translation
+// always observes a single consistent generation while System.Swap
+// (surfaced as POST /reload) publishes a complete replacement with
+// zero downtime. The server is overload-protected — internal/admit
+// bounds in-flight work with a deadline-aware queue and sheds the
+// excess with 429 + Retry-After, internal/breaker trips a failing
+// re-ranker into retrieval-only degraded mode, and /readyz vs /healthz
+// distinguish "routable" from "healthy". Model files are written
+// crash-safely (temp file + fsync + rename, checksummed envelope) and
+// torn or corrupted streams are rejected with gar.ErrCorruptModels.
+// See the README's "Overload & hot reload" section.
+//
 // The repository is statically analyzed on two axes. internal/sqlcheck
 // is a rule-based semantic analyzer for the SQL subset (join-graph
 // connectivity, predicate type compatibility, aggregate/GROUP BY

@@ -30,8 +30,10 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/ltr"
 	"repro/internal/norm"
 	"repro/internal/schema"
@@ -57,6 +59,20 @@ type Options struct {
 	// EncoderEpochs and RerankEpochs control training length.
 	EncoderEpochs int
 	RerankEpochs  int
+	// StageBudget caps each translation stage at a fraction of the
+	// time remaining until the request deadline when the stage starts,
+	// so one slow stage cannot starve the stages (and fallbacks)
+	// behind it. Fractions outside (0,1) disable budgeting for that
+	// stage; the zero value disables all budgeting.
+	StageBudget StageBudget
+}
+
+// StageBudget holds the per-stage deadline fractions; see
+// Options.StageBudget.
+type StageBudget struct {
+	Retrieval   float64
+	Rerank      float64
+	Postprocess float64
 }
 
 func (o Options) internal() core.Options {
@@ -68,6 +84,11 @@ func (o Options) internal() core.Options {
 		UseIVF:          o.UseIVF,
 		EncoderEpochs:   o.EncoderEpochs,
 		RerankEpochs:    o.RerankEpochs,
+		StageBudget: core.StageBudget{
+			Retrieval:   o.StageBudget.Retrieval,
+			Rerank:      o.StageBudget.Rerank,
+			Postprocess: o.StageBudget.Postprocess,
+		},
 	}
 }
 
@@ -95,6 +116,10 @@ type Result struct {
 	Dialect string
 	// Candidates holds the ranked alternatives, best first.
 	Candidates []Candidate
+	// Generation is the pool generation of the snapshot that served
+	// this translation: every candidate comes from that one snapshot,
+	// even when a Prepare or Swap rebuild ran concurrently.
+	Generation uint64
 	// Degraded reports that a non-fatal pipeline stage (re-ranking or
 	// value post-processing) failed or timed out and a fallback was
 	// used: the result is usable but of reduced quality. Warnings
@@ -151,6 +176,47 @@ func (s *System) SetContent(content *Content) {
 	s.inner.SetContent(content.inner)
 }
 
+// Swap atomically replaces the system's candidate pool and deployed
+// models: the new pool is generalized, rendered and indexed entirely
+// off to the side, then published with a single atomic snapshot swap.
+// Translations in flight finish against the old snapshot; unlike the
+// Prepare+Train/UseModels sequence there is no intermediate window in
+// which the system is unprepared or untrained, which is what `gar
+// serve`'s zero-downtime POST /reload is built on. It returns the new
+// pool generation.
+func (s *System) Swap(sampleSQL []string, m *Models) (uint64, error) {
+	queries, err := parseAll(sampleSQL)
+	if err != nil {
+		return 0, err
+	}
+	return s.inner.Swap(queries, m.inner)
+}
+
+// Generation reports the current pool generation: 0 before the first
+// Prepare, bumped by every Prepare or Swap. Result.Generation records
+// which generation served a translation.
+func (s *System) Generation() uint64 { return s.inner.Generation() }
+
+// Ready reports whether a complete translatable snapshot (prepared
+// pool + deployed models) is published. Serving layers use it for
+// readiness probing: false between process start (or a bare Prepare)
+// and the completing Train/UseModels/Swap.
+func (s *System) Ready() bool { return s.inner.Ready() }
+
+// SetRerankBreaker installs a circuit breaker on the re-ranking stage:
+// after repeated stage failures or timeouts the stage is skipped
+// outright (retrieval-only degraded mode, flagged on Result.Degraded)
+// until a cooldown and successful half-open probes close the breaker
+// again. Pass nil to disable. Intended for serving layers; see
+// internal/breaker for the state machine.
+func (s *System) SetRerankBreaker(b *breaker.Breaker) { s.inner.SetRerankBreaker(b) }
+
+// SetFaultInjector installs a deterministic fault injector fired at
+// every translation stage boundary (see internal/faults). Pass nil to
+// disable. This is a test-harness hook: burst, breaker and soak suites
+// use it to inject errors, delays and gates into a live system.
+func (s *System) SetFaultInjector(inj *faults.Injector) { s.inner.SetFaultInjector(inj) }
+
 // Translate converts a natural-language question to SQL.
 //
 //garlint:allow ctxpass -- compatibility wrapper over TranslateContext
@@ -176,7 +242,7 @@ func (s *System) TranslateContext(ctx context.Context, question string) (*Result
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Degraded: tr.Degraded, Warnings: tr.Warnings}
+	out := &Result{Degraded: tr.Degraded, Warnings: tr.Warnings, Generation: tr.Generation}
 	for _, c := range tr.Ranked {
 		out.Candidates = append(out.Candidates, Candidate{
 			SQL:     c.SQL.String(),
@@ -328,25 +394,27 @@ func (c *Content) Query(sql string) ([][]string, error) {
 	return out, nil
 }
 
-// Save writes the trained models to w (gob format); reload them with
-// LoadModels and deploy on any prepared system via UseModels, skipping
-// training.
+// ErrCorruptModels is wrapped by LoadModels/LoadModelsFile when the
+// model stream fails integrity verification — a torn write, a
+// truncated file, a bit flip. Check with errors.Is to distinguish
+// corruption (restore from a good copy) from ordinary I/O errors.
+var ErrCorruptModels = core.ErrCorruptModels
+
+// Save writes the trained models to w in a checksummed envelope;
+// reload them with LoadModels and deploy on any prepared system via
+// UseModels, skipping training.
 func (m *Models) Save(w io.Writer) error { return m.inner.Save(w) }
 
-// SaveFile writes the trained models to a file.
-func (m *Models) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
-}
+// SaveFile writes the trained models to a file crash-safely: the data
+// is written to a temporary file in the same directory, fsynced, and
+// atomically renamed over path, so a crash mid-save never leaves a
+// torn file behind. A trailing checksum in the stream lets LoadModels
+// reject any torn write that slips through anyway.
+func (m *Models) SaveFile(path string) error { return m.inner.SaveFile(path) }
 
-// LoadModels reads models previously written with Save.
+// LoadModels reads models previously written with Save, verifying the
+// stream checksum first; corrupted streams fail with an error wrapping
+// ErrCorruptModels and never panic.
 func LoadModels(r io.Reader) (*Models, error) {
 	inner, err := core.LoadModels(r)
 	if err != nil {
@@ -355,7 +423,7 @@ func LoadModels(r io.Reader) (*Models, error) {
 	return &Models{inner: inner}, nil
 }
 
-// LoadModelsFile reads models from a file.
+// LoadModelsFile reads models from a file written by SaveFile.
 func LoadModelsFile(path string) (*Models, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -2,6 +2,8 @@ package gar_test
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -73,15 +75,34 @@ func TestModelPersistenceFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(t.TempDir(), "models.gob")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.gob")
 	if err := models.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := gar.LoadModelsFile(path); err != nil {
 		t.Fatal(err)
 	}
+	// The crash-safe write must not leave its temporary file behind.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, ".gar-models-*.tmp")); len(tmps) != 0 {
+		t.Errorf("SaveFile left temp files: %v", tmps)
+	}
 	if _, err := gar.LoadModelsFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
 		t.Error("loading a missing file should fail")
+	}
+
+	// A torn write (file cut mid-stream, as a crash without the atomic
+	// rename would leave) must be rejected as corruption, not half-read.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.gob")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gar.LoadModelsFile(torn); !errors.Is(err, gar.ErrCorruptModels) {
+		t.Errorf("torn file: err = %v, want ErrCorruptModels", err)
 	}
 }
 
@@ -122,19 +143,24 @@ func TestLoadModelsCorrupted(t *testing.T) {
 	}
 
 	// Truncations: every length from empty to one byte short, sampled.
+	// All are integrity failures and must identify as ErrCorruptModels.
 	for _, n := range []int{0, 1, 7, len(data) / 4, len(data) / 2, len(data) - 1} {
-		if err := load(t, data[:n]); err == nil {
+		err := load(t, data[:n])
+		if err == nil {
 			t.Errorf("truncated stream (%d of %d bytes) accepted", n, len(data))
-		} else if err.Error() == "" {
-			t.Errorf("truncation at %d: empty error message", n)
+		} else if !errors.Is(err, gar.ErrCorruptModels) {
+			t.Errorf("truncation at %d: err = %v, want ErrCorruptModels", n, err)
 		}
 	}
 
-	// Bit flips across the stream. Some flips land in value bytes and
-	// still decode — that is fine; what must never happen is a panic.
+	// Bit flips across the stream. The trailing checksum makes every
+	// one of them detectable: each must be rejected as corruption, and
+	// none may panic.
 	for off := 0; off < len(data); off += len(data)/37 + 1 {
 		corrupt := append([]byte(nil), data...)
 		corrupt[off] ^= 0xff
-		_ = load(t, corrupt)
+		if err := load(t, corrupt); !errors.Is(err, gar.ErrCorruptModels) {
+			t.Errorf("bit flip at %d: err = %v, want ErrCorruptModels", off, err)
+		}
 	}
 }

@@ -1,0 +1,218 @@
+// Package admit is the overload-protection front door of the serving
+// layer: a bounded worker pool with a deadline-aware wait queue.
+//
+// At most MaxInFlight requests hold an execution slot at once. A
+// request arriving while every slot is busy waits in a queue of at
+// most MaxQueue entries — but never longer than its own deadline
+// allows: a request that could not finish within its deadline even if
+// admitted right now is shed immediately, and a queued request is shed
+// the moment its remaining deadline budget drops to the minimum
+// service time. Shed requests fail fast with a *ShedError carrying a
+// Retry-After hint, so the HTTP layer can answer 429 instead of
+// letting a saturated server time every client out.
+//
+// A Controller is safe for concurrent use.
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is the shed cause when the wait queue is at capacity.
+var ErrQueueFull = errors.New("admit: queue full")
+
+// ErrDeadline is the shed cause when the request's deadline would
+// expire before it could be admitted and served.
+var ErrDeadline = errors.New("admit: deadline would expire in queue")
+
+// ShedError reports a request refused by admission control.
+type ShedError struct {
+	// Cause is ErrQueueFull or ErrDeadline.
+	Cause error
+	// RetryAfter is the suggested client back-off.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return "admit: request shed: " + e.Cause.Error()
+}
+
+func (e *ShedError) Unwrap() error { return e.Cause }
+
+// AsShed unwraps err to a *ShedError, if any.
+func AsShed(err error) (*ShedError, bool) {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// Config tunes a Controller. The zero value gets sensible defaults.
+type Config struct {
+	// MaxInFlight is the worker-pool size: the number of requests
+	// executing concurrently (default 8).
+	MaxInFlight int
+	// MaxQueue is how many requests may wait for a slot before new
+	// arrivals are shed (default 2×MaxInFlight).
+	MaxQueue int
+	// MinService is the minimum deadline budget a request must still
+	// have when admitted; a queued request is shed once waiting any
+	// longer would leave less than this (default 10ms).
+	MinService time.Duration
+	// RetryAfter is the back-off hint attached to sheds (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *Config) fill() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.MinService <= 0 {
+		c.MinService = 10 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Controller is the admission controller. Use New; the zero value is
+// not valid.
+type Controller struct {
+	cfg Config
+	// slots is the worker pool: holding one element = one in-flight
+	// request.
+	slots chan struct{}
+	// queue bounds how many requests wait for a slot.
+	queue chan struct{}
+
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	queued   atomic.Int64
+	admitted atomic.Uint64
+	shedFull atomic.Uint64
+	shedLate atomic.Uint64
+}
+
+// New creates a Controller.
+func New(cfg Config) *Controller {
+	cfg.fill()
+	return &Controller{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxQueue),
+	}
+}
+
+// Acquire admits the request or sheds it. On success the returned
+// release must be called exactly once when the request finishes
+// (calling it more than once is safe). On failure release is nil and
+// the error is a *ShedError (queue full, or the deadline would expire
+// waiting) or the context's own error if ctx ended while queued.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case c.slots <- struct{}{}:
+		return c.admit(), nil
+	default:
+	}
+
+	// Every slot is busy; the request will have to wait. Budget the
+	// wait against the deadline: waiting past deadline-MinService
+	// guarantees a miss, so shed at that point (immediately, if the
+	// budget is already gone).
+	var timeout <-chan time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		budget := time.Until(dl) - c.cfg.MinService
+		if budget <= 0 {
+			c.shedLate.Add(1)
+			return nil, &ShedError{Cause: ErrDeadline, RetryAfter: c.cfg.RetryAfter}
+		}
+		t := time.NewTimer(budget)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case c.queue <- struct{}{}:
+	default:
+		c.shedFull.Add(1)
+		return nil, &ShedError{Cause: ErrQueueFull, RetryAfter: c.cfg.RetryAfter}
+	}
+	c.queued.Add(1)
+	defer func() {
+		c.queued.Add(-1)
+		<-c.queue
+	}()
+
+	select {
+	case c.slots <- struct{}{}:
+		return c.admit(), nil
+	case <-timeout:
+		c.shedLate.Add(1)
+		return nil, &ShedError{Cause: ErrDeadline, RetryAfter: c.cfg.RetryAfter}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admit records the admission and returns the slot-release closure.
+func (c *Controller) admit() func() {
+	c.admitted.Add(1)
+	n := c.inFlight.Add(1)
+	for {
+		p := c.peak.Load()
+		if n <= p || c.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.inFlight.Add(-1)
+			<-c.slots
+		})
+	}
+}
+
+// Stats is a point-in-time view of the controller for health
+// endpoints.
+type Stats struct {
+	// InFlight is the number of requests currently holding a slot.
+	InFlight int
+	// Queued is the number of requests currently waiting.
+	Queued int
+	// PeakInFlight is the high-water mark of InFlight.
+	PeakInFlight int
+	// Admitted counts requests that got a slot.
+	Admitted uint64
+	// ShedQueueFull counts sheds due to a full queue.
+	ShedQueueFull uint64
+	// ShedDeadline counts sheds due to an expiring deadline.
+	ShedDeadline uint64
+}
+
+// Stats reports current counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		InFlight:      int(c.inFlight.Load()),
+		Queued:        int(c.queued.Load()),
+		PeakInFlight:  int(c.peak.Load()),
+		Admitted:      c.admitted.Load(),
+		ShedQueueFull: c.shedFull.Load(),
+		ShedDeadline:  c.shedLate.Load(),
+	}
+}
+
+// MaxInFlight reports the configured worker-pool size.
+func (c *Controller) MaxInFlight() int { return c.cfg.MaxInFlight }
+
+// MaxQueue reports the configured queue capacity.
+func (c *Controller) MaxQueue() int { return c.cfg.MaxQueue }

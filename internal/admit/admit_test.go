@@ -1,0 +1,211 @@
+package admit_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+)
+
+func TestAcquireFastPath(t *testing.T) {
+	c := admit.New(admit.Config{MaxInFlight: 2, MaxQueue: 2})
+	rel1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.InFlight != 2 || st.Admitted != 2 {
+		t.Fatalf("stats after two admits: %+v", st)
+	}
+	rel1()
+	rel1() // double release must be a no-op
+	rel2()
+	if st := c.Stats(); st.InFlight != 0 || st.PeakInFlight != 2 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+// saturate fills every slot and returns a release-all func.
+func saturate(t *testing.T, c *admit.Controller, n int) func() {
+	t.Helper()
+	releases := make([]func(), 0, n)
+	for i := 0; i < n; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("saturating acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	return func() {
+		for _, rel := range releases {
+			rel()
+		}
+	}
+}
+
+func TestShedQueueFull(t *testing.T) {
+	c := admit.New(admit.Config{MaxInFlight: 1, MaxQueue: 1, RetryAfter: 3 * time.Second})
+	defer saturate(t, c, 1)()
+
+	// One waiter fits in the queue...
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		close(entered)
+		_, err := c.Acquire(ctx)
+		done <- err
+	}()
+	<-entered
+	waitUntil(t, func() bool { return c.Stats().Queued == 1 })
+
+	// ...the next arrival is shed immediately with the retry hint.
+	_, err := c.Acquire(context.Background())
+	se, ok := admit.AsShed(err)
+	if !ok || !errors.Is(err, admit.ErrQueueFull) {
+		t.Fatalf("overflow acquire: %v", err)
+	}
+	if se.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", se.RetryAfter)
+	}
+	if st := c.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire after cancel: %v", err)
+	}
+}
+
+func TestShedDeadlineImmediately(t *testing.T) {
+	// A saturated pool plus a deadline too close to serve: shed without
+	// waiting at all.
+	c := admit.New(admit.Config{MaxInFlight: 1, MaxQueue: 4, MinService: 50 * time.Millisecond})
+	defer saturate(t, c, 1)()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Acquire(ctx)
+	if !errors.Is(err, admit.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("immediate shed took %v", el)
+	}
+	if st := c.Stats(); st.ShedDeadline != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestShedDeadlineInQueue(t *testing.T) {
+	// A queued request is shed once waiting longer would miss its
+	// deadline — before the deadline itself, and without ever getting a
+	// slot.
+	c := admit.New(admit.Config{MaxInFlight: 1, MaxQueue: 4, MinService: 30 * time.Millisecond})
+	defer saturate(t, c, 1)()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Acquire(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, admit.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+	// Shed at ~70ms (100ms deadline − 30ms MinService), never at or
+	// past the deadline.
+	if elapsed >= 100*time.Millisecond {
+		t.Fatalf("request waited %v, past its own deadline", elapsed)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("context expired before the queue shed the request")
+	}
+}
+
+func TestQueuedRequestAdmittedOnRelease(t *testing.T) {
+	c := admit.New(admit.Config{MaxInFlight: 1, MaxQueue: 2})
+	releaseAll := saturate(t, c, 1)
+
+	got := make(chan error, 1)
+	go func() {
+		rel, err := c.Acquire(context.Background())
+		if err == nil {
+			rel()
+		}
+		got <- err
+	}()
+	waitUntil(t, func() bool { return c.Stats().Queued == 1 })
+	releaseAll()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never admitted after release")
+	}
+}
+
+func TestBurstBoundedInFlight(t *testing.T) {
+	const n = 64
+	c := admit.New(admit.Config{MaxInFlight: 3, MaxQueue: 4, RetryAfter: time.Second})
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ok   int
+		shed int
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := c.Acquire(context.Background())
+			if err != nil {
+				if _, isShed := admit.AsShed(err); !isShed {
+					t.Errorf("unexpected acquire error: %v", err)
+				}
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+			mu.Lock()
+			ok++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.PeakInFlight > 3 {
+		t.Fatalf("in-flight exceeded the pool: peak %d", st.PeakInFlight)
+	}
+	if ok+shed != n || st.Admitted != uint64(ok) {
+		t.Fatalf("accounting off: ok=%d shed=%d stats=%+v", ok, shed, st)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("left-over occupancy: %+v", st)
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,231 @@
+// Package breaker implements a circuit breaker for pipeline stages
+// whose failure is survivable but expensive. The translation path can
+// degrade a failing re-ranking stage per request, but paying the
+// failure cost (a timeout, a panic recovery) on every call melts tail
+// latency under load; the breaker converts repeated stage failures
+// into a cheap up-front skip.
+//
+// The breaker is a three-state machine:
+//
+//	Closed    normal operation; consecutive failures are counted and
+//	          FailureThreshold of them trip the breaker.
+//	Open      calls are refused outright (Allow returns false) until
+//	          Cooldown has elapsed.
+//	HalfOpen  after the cooldown, up to MaxProbes in-flight probe
+//	          calls are admitted; SuccessThreshold consecutive probe
+//	          successes close the breaker, any probe failure re-opens
+//	          it and restarts the cooldown.
+//
+// All methods are safe for concurrent use. The clock is injectable so
+// trip/recover sequences are testable without sleeping.
+package breaker
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is the reason reported when a call is refused because the
+// circuit is open (or half-open with all probe slots taken).
+var ErrOpen = errors.New("breaker: circuit open")
+
+// State is the breaker's position.
+type State int32
+
+const (
+	// Closed admits every call.
+	Closed State = iota
+	// Open refuses every call until the cooldown elapses.
+	Open
+	// HalfOpen admits a bounded number of probe calls.
+	HalfOpen
+)
+
+// String names the state for health endpoints and logs.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Config tunes a Breaker. The zero value gets sensible defaults.
+type Config struct {
+	// FailureThreshold is how many consecutive failures trip the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// probes (default 5s).
+	Cooldown time.Duration
+	// SuccessThreshold is how many consecutive probe successes close a
+	// half-open breaker (default 2).
+	SuccessThreshold int
+	// MaxProbes bounds concurrently admitted probe calls in the
+	// half-open state (default: SuccessThreshold).
+	MaxProbes int
+	// Clock overrides the time source (tests inject a fake clock;
+	// default time.Now).
+	Clock func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 2
+	}
+	if c.MaxProbes <= 0 {
+		c.MaxProbes = c.SuccessThreshold
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Breaker is the circuit breaker. Use New; the zero value is not valid.
+type Breaker struct {
+	cfg Config
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probes    int // probes currently admitted while half-open
+	openedAt  time.Time
+	trips     uint64
+}
+
+// New creates a closed breaker.
+func New(cfg Config) *Breaker {
+	cfg.fill()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. Callers that got true must
+// pair it with exactly one Record or Forgive; callers that got false
+// must skip the protected work (and not Record).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.probes = 0
+		b.successes = 0
+	}
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probes < b.cfg.MaxProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default: // Open
+		return false
+	}
+}
+
+// Record reports the outcome of an admitted call. ok=false counts
+// toward tripping (closed) or re-opening (half-open); ok=true resets
+// the failure streak or counts toward closing.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.successes++
+			if b.successes >= b.cfg.SuccessThreshold {
+				b.state = Closed
+				b.failures = 0
+				b.successes = 0
+			}
+			return
+		}
+		b.trip()
+	default: // Open: a stale outcome from a call admitted pre-trip.
+	}
+}
+
+// Forgive releases an admitted call without counting it either way —
+// used when the outcome says nothing about the protected stage (for
+// example the client cancelled the request mid-call).
+func (b *Breaker) Forgive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Clock()
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+	b.trips++
+}
+
+// State returns the current state (open breakers past their cooldown
+// report HalfOpen, matching what the next Allow would see).
+func (b *Breaker) State() State {
+	return b.Snapshot().State
+}
+
+// Snapshot is a point-in-time view of the breaker for health
+// endpoints.
+type Snapshot struct {
+	// State is the current position.
+	State State
+	// ConsecutiveFailures is the failure streak while closed.
+	ConsecutiveFailures int
+	// Trips counts how many times the breaker has opened.
+	Trips uint64
+	// CooldownRemaining is how long an open breaker stays closed to
+	// probes; zero otherwise.
+	CooldownRemaining time.Duration
+}
+
+// Snapshot captures the breaker state for reporting.
+func (b *Breaker) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	snap := Snapshot{
+		State:               b.state,
+		ConsecutiveFailures: b.failures,
+		Trips:               b.trips,
+	}
+	if b.state == Open {
+		if rem := b.cfg.Cooldown - b.cfg.Clock().Sub(b.openedAt); rem > 0 {
+			snap.CooldownRemaining = rem
+		} else {
+			snap.State = HalfOpen
+		}
+	}
+	return snap
+}

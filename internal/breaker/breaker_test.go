@@ -1,0 +1,168 @@
+package breaker_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/breaker"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newTestBreaker(clk *fakeClock) *breaker.Breaker {
+	return breaker.New(breaker.Config{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		SuccessThreshold: 2,
+		Clock:            clk.Now,
+	})
+}
+
+func TestBreakerTripRecover(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+
+	if b.State() != breaker.Closed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+
+	// Two failures do not trip; a success resets the streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a call")
+		}
+		b.Record(false)
+	}
+	b.Record(true)
+	for i := 0; i < 2; i++ {
+		b.Record(false)
+	}
+	if b.State() != breaker.Closed {
+		t.Fatalf("state after reset + 2 failures = %v, want closed", b.State())
+	}
+
+	// The third consecutive failure trips.
+	b.Record(false)
+	if b.State() != breaker.Open {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	snap := b.Snapshot()
+	if snap.Trips != 1 || snap.CooldownRemaining <= 0 {
+		t.Fatalf("open snapshot = %+v", snap)
+	}
+
+	// After the cooldown, probes are admitted — but only MaxProbes of
+	// them at once.
+	clk.Advance(time.Second)
+	if b.State() != breaker.HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open breaker refused probes")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker exceeded MaxProbes")
+	}
+
+	// Two probe successes close it.
+	b.Record(true)
+	b.Record(true)
+	if b.State() != breaker.Closed {
+		t.Fatalf("state after probe successes = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a call")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Record(false)
+	if b.State() != breaker.Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if got := b.Snapshot().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// The cooldown restarted: still open just before it elapses again.
+	clk.Advance(time.Second - time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call before its new cooldown elapsed")
+	}
+	clk.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused after restarted cooldown")
+	}
+}
+
+func TestBreakerForgive(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.Advance(time.Second)
+
+	// A forgiven probe releases its slot without closing or re-opening.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("probes refused")
+	}
+	b.Forgive()
+	b.Forgive()
+	if b.State() != breaker.HalfOpen {
+		t.Fatalf("state after forgiven probes = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Forgive")
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := breaker.New(breaker.Config{FailureThreshold: 10, Cooldown: time.Second, Clock: clk.Now})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					b.Record(i%3 != 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// No assertion beyond the race detector and a sane state.
+	if s := b.State(); s != breaker.Closed && s != breaker.Open && s != breaker.HalfOpen {
+		t.Fatalf("invalid state %v", s)
+	}
+}

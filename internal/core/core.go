@@ -9,9 +9,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/dialect"
 	"repro/internal/embed"
 	"repro/internal/engine"
@@ -26,6 +30,18 @@ import (
 	"repro/internal/values"
 	"repro/internal/vindex"
 )
+
+// StageBudget caps each translation stage at a fraction of the time
+// remaining until the request deadline when the stage starts, so one
+// slow stage cannot eat the entire deadline and starve the stages (and
+// fallbacks) behind it. A fraction outside (0,1) disables budgeting
+// for that stage, and a context without a deadline is never budgeted.
+// The zero value disables all budgeting.
+type StageBudget struct {
+	Retrieval   float64
+	Rerank      float64
+	Postprocess float64
+}
 
 // Options configures a GAR system. The zero value gives the paper's
 // defaults scaled down to laptop sizes.
@@ -55,6 +71,9 @@ type Options struct {
 	// RerankTrainK is the list length used to train the re-ranker
 	// (paper: 100, batch-limited). Default: RetrievalK.
 	RerankTrainK int
+	// StageBudget derives per-stage deadlines from the request
+	// deadline; see StageBudget. Zero disables.
+	StageBudget StageBudget
 }
 
 func (o *Options) fill() {
@@ -75,20 +94,17 @@ func (o *Options) fill() {
 	}
 }
 
-// System is a GAR instance bound to one database.
-//
-// A System is safe for concurrent Translate/TranslateContext calls;
-// Prepare, Train, UseModels and SetContent take the write lock and may
-// run concurrently with translations (translations in flight finish
-// against the old state).
-type System struct {
-	DB   *schema.Database
-	Opts Options
-
-	// mu guards every field below. Translations take the read lock for
-	// their full duration; state mutations take the write lock.
-	mu        sync.RWMutex
-	builder   *dialect.Builder
+// state is one immutable published snapshot of the system: the
+// candidate pool, its lookup index, the deployed models and pipeline,
+// the value linker and the fault injector — everything a translation
+// reads. A state is never mutated after publication; mutators build a
+// fresh one and publish it with a single atomic pointer swap, so a
+// translation that loaded a state once sees a consistent
+// {pool, index, models} triple for its whole lifetime.
+type state struct {
+	// gen is the pool generation, bumped by every Prepare/Swap that
+	// replaces the candidate pool.
+	gen       uint64
 	pool      []ltr.Candidate
 	poolIdx   *ltr.PoolIndex
 	encoder   *embed.Encoder
@@ -97,6 +113,30 @@ type System struct {
 	prepStats generalize.Stats
 	trained   bool
 	inj       *faults.Injector
+}
+
+// System is a GAR instance bound to one database.
+//
+// A System is safe for concurrent Translate/TranslateContext calls.
+// State mutations (Prepare, Train, UseModels, Swap, SetContent) build
+// a complete new snapshot off to the side and publish it with one
+// atomic pointer swap: translations never block on a rebuild — they
+// keep running against the snapshot they loaded — and never observe a
+// half-updated system.
+type System struct {
+	DB   *schema.Database
+	Opts Options
+
+	// builder is immutable after New.
+	builder *dialect.Builder
+
+	// writeMu serializes mutators; readers never take it.
+	writeMu sync.Mutex
+	// state is the published snapshot; see the state type.
+	state atomic.Pointer[state]
+	// rerankBreaker, when set, circuit-breaks the re-ranking stage;
+	// see SetRerankBreaker.
+	rerankBreaker atomic.Pointer[breaker.Breaker]
 }
 
 // New creates a GAR system for the database.
@@ -108,52 +148,83 @@ func New(db *schema.Database, opts Options) *System {
 	} else {
 		s.builder = dialect.New(db)
 	}
-	s.linker = values.NewLinker(db, nil)
+	s.state.Store(&state{linker: values.NewLinker(db, nil)})
 	return s
 }
 
 // SetContent attaches a populated instance used for value linking in the
 // post-processing step (cell-value → column hints).
 func (s *System) SetContent(content *engine.Instance) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.linker = values.NewLinker(s.DB, content)
+	s.mutate(func(st *state) {
+		st.linker = values.NewLinker(s.DB, content)
+	})
 }
 
 // SetFaultInjector installs a fault injector fired at every stage
 // boundary of TranslateContext. Pass nil to disable. Intended for the
 // fault-injection test harness and resilience soak runs.
 func (s *System) SetFaultInjector(inj *faults.Injector) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.inj = inj
+	s.mutate(func(st *state) {
+		st.inj = inj
+	})
 }
 
-// Prepare runs the offline data preparation process (Fig. 2 steps 1-2):
-// generalizes the sample queries and renders each generalized query as a
-// dialect expression, building the candidate pool.
-func (s *System) Prepare(samples []*sqlast.Query) {
-	// Generalization is the expensive part; run it outside the lock so
-	// in-flight translations are not stalled behind a re-Prepare.
+// SetRerankBreaker installs a circuit breaker guarding the re-ranking
+// stage: when the breaker refuses a call, the stage is skipped outright
+// and the translation degrades to retrieval order without paying the
+// failure cost. Stage outcomes (success, error, timeout) are reported
+// to the breaker; client cancellations are forgiven. Pass nil to
+// disable.
+func (s *System) SetRerankBreaker(b *breaker.Breaker) {
+	s.rerankBreaker.Store(b)
+}
+
+// mutate publishes a new snapshot derived from the current one: fn
+// edits a shallow copy, and the single atomic store is the publication
+// point.
+func (s *System) mutate(fn func(st *state)) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	next := *s.state.Load()
+	fn(&next)
+	s.state.Store(&next)
+}
+
+// buildPool runs generalization and dialect rendering; it only reads
+// immutable fields (DB, Opts, builder) and so runs outside any lock.
+func (s *System) buildPool(samples []*sqlast.Query) ([]ltr.Candidate, *ltr.PoolIndex, generalize.Stats) {
 	res := generalize.Generalize(s.DB, samples, generalize.Config{
 		TargetSize: s.Opts.GeneralizeSize,
 		Seed:       s.Opts.Seed,
 		Rules:      generalize.AllRules(),
 	})
-	// A fresh slice (not pool[:0]) so snapshots held by concurrent
-	// readers keep seeing the old pool.
 	pool := make([]ltr.Candidate, 0, len(res.Queries))
 	for _, q := range res.Queries {
 		pool = append(pool, ltr.Candidate{SQL: q, Dialect: s.expression(q)})
 	}
-	idx := ltr.NewPoolIndex(pool)
+	return pool, ltr.NewPoolIndex(pool), res.Stats
+}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.prepStats = res.Stats
-	s.pool = pool
-	s.poolIdx = idx
-	s.trained = false
+// Prepare runs the offline data preparation process (Fig. 2 steps 1-2):
+// generalizes the sample queries and renders each generalized query as a
+// dialect expression, building the candidate pool. The new pool starts
+// a new generation and un-deploys any trained pipeline (it indexes the
+// old pool); use Swap to replace pool and models in one step with no
+// untrained window.
+func (s *System) Prepare(samples []*sqlast.Query) {
+	// Generalization is the expensive part; with copy-on-write
+	// snapshots it runs off to the side and in-flight translations keep
+	// serving the old snapshot untouched.
+	pool, idx, stats := s.buildPool(samples)
+	s.mutate(func(st *state) {
+		st.gen++
+		st.prepStats = stats
+		st.pool = pool
+		st.poolIdx = idx
+		st.encoder = nil
+		st.pipeline = nil
+		st.trained = false
+	})
 }
 
 // expression renders a candidate for ranking: a dialect expression, or
@@ -167,25 +238,47 @@ func (s *System) expression(q *sqlast.Query) string {
 
 // PrepStats reports the generalization statistics of the last Prepare.
 func (s *System) PrepStats() generalize.Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.prepStats
+	return s.state.Load().prepStats
 }
 
 // PoolSize returns the candidate pool size.
 func (s *System) PoolSize() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pool)
+	return len(s.state.Load().pool)
 }
 
-// snapshot returns the current pool and its index under the read lock.
-// The returned slice is never mutated after publication (Prepare swaps
-// in a fresh one), so callers may use it lock-free.
+// Generation reports the current pool generation: 0 before the first
+// Prepare, bumped by every Prepare or Swap. Translation results record
+// the generation they were served from.
+func (s *System) Generation() uint64 {
+	return s.state.Load().gen
+}
+
+// Ready reports whether a translatable snapshot is published: a
+// prepared pool with deployed models. False during the window between
+// process start (or a Prepare) and the completing UseModels/Train/Swap.
+func (s *System) Ready() bool {
+	return s.state.Load().trained
+}
+
+// snapshot returns the current pool and its index. The returned slice
+// is never mutated after publication (mutators swap in a fresh one),
+// so callers may use it lock-free.
 func (s *System) snapshot() ([]ltr.Candidate, *ltr.PoolIndex) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.pool, s.poolIdx
+	st := s.state.Load()
+	return st.pool, st.poolIdx
+}
+
+// PoolDialects returns the dialect rendering of every candidate in the
+// current pool snapshot, in pool order. Generalization is seeded, so a
+// given sample set always produces the same dialect set — which lets
+// tests map a Translation.Generation back to the pool that served it.
+func (s *System) PoolDialects() []string {
+	pool, _ := s.snapshot()
+	out := make([]string, len(pool))
+	for i, c := range pool {
+		out[i] = c.Dialect
+	}
+	return out
 }
 
 // HasCandidate reports whether the pool contains a query exact-matching
@@ -319,32 +412,72 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) vind
 	return index
 }
 
+// newPipeline assembles the online pipeline for a pool with deployed
+// models (the slow part is embedding + indexing the pool).
+func newPipeline(pool []ltr.Candidate, poolIdx *ltr.PoolIndex, m *Models, opts Options) *ltr.Pipeline {
+	return &ltr.Pipeline{
+		Encoder:    m.Encoder,
+		Index:      buildIndex(pool, m.Encoder, opts),
+		Pool:       pool,
+		PoolIdx:    poolIdx,
+		K:          opts.RetrievalK,
+		SkipRerank: opts.NoRerank,
+		Reranker:   m.Reranker,
+	}
+}
+
 // UseModels deploys pre-trained models on this (prepared) system:
 // the candidate pool is embedded and indexed with the trained encoder
 // and the pipeline is assembled. This is how a system for an unseen
 // validation database comes online.
 func (s *System) UseModels(m *Models) error {
-	pool, poolIdx := s.snapshot()
-	if len(pool) == 0 {
+	// The write lock is held across the (slow) index build so the pool
+	// cannot be swapped between reading it and publishing the pipeline
+	// built over it; translations are unaffected — they read the old
+	// snapshot lock-free until the new one is published.
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.state.Load()
+	if len(cur.pool) == 0 {
 		return fmt.Errorf("core: UseModels before Prepare (empty candidate pool)")
 	}
-	// Index construction is the slow part; do it before taking the
-	// write lock so in-flight translations keep running.
-	pipeline := &ltr.Pipeline{
-		Encoder:    m.Encoder,
-		Index:      buildIndex(pool, m.Encoder, s.Opts),
-		Pool:       pool,
-		PoolIdx:    poolIdx,
-		K:          s.Opts.RetrievalK,
-		SkipRerank: s.Opts.NoRerank,
-		Reranker:   m.Reranker,
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.encoder = m.Encoder
-	s.pipeline = pipeline
-	s.trained = true
+	next := *cur
+	next.encoder = m.Encoder
+	next.pipeline = newPipeline(cur.pool, cur.poolIdx, m, s.Opts)
+	next.trained = true
+	s.state.Store(&next)
 	return nil
+}
+
+// Swap builds a complete new snapshot — candidate pool, dialect
+// expressions, vector index and deployed models — entirely off to the
+// side and publishes it with one atomic pointer swap. Unlike the
+// Prepare+UseModels sequence there is no intermediate untrained
+// window: translations serve the old snapshot until the instant the
+// new one is complete, which is what makes zero-downtime hot reload
+// possible. It returns the new pool generation.
+func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
+	if m == nil || m.Encoder == nil {
+		return 0, fmt.Errorf("core: Swap without models")
+	}
+	pool, idx, stats := s.buildPool(samples)
+	if len(pool) == 0 {
+		return 0, fmt.Errorf("core: Swap produced an empty candidate pool for %s", s.DB.Name)
+	}
+	pipeline := newPipeline(pool, idx, m, s.Opts)
+
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	next := *s.state.Load()
+	next.gen++
+	next.pool = pool
+	next.poolIdx = idx
+	next.prepStats = stats
+	next.encoder = m.Encoder
+	next.pipeline = pipeline
+	next.trained = true
+	s.state.Store(&next)
+	return next.gen, nil
 }
 
 // Train is the single-database convenience path (used for GEO, whose
@@ -371,6 +504,9 @@ type Translation struct {
 	Top *Candidate
 	// Ranked is the post-processed top-k list, best first.
 	Ranked []Candidate
+	// Generation is the pool generation of the snapshot that served
+	// this translation; every candidate comes from that one snapshot.
+	Generation uint64
 	// Degraded reports that a non-fatal stage (re-ranking or value
 	// post-processing) failed and a documented fallback was used; the
 	// result is still usable but of reduced quality.
@@ -388,6 +524,24 @@ func (s *System) Translate(nl string) (*Translation, error) {
 	return s.TranslateContext(context.Background(), nl)
 }
 
+// stageCtx derives a stage sub-context capped at frac of the time
+// remaining before the parent deadline. With no deadline or a disabled
+// fraction, the parent context is returned with a no-op cancel.
+func stageCtx(ctx context.Context, frac float64) (context.Context, context.CancelFunc) {
+	if frac <= 0 || frac >= 1 {
+		return ctx, func() {}
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, time.Duration(float64(rem)*frac))
+}
+
 // TranslateContext is Translate with cancellation and stage-level fault
 // isolation. Each stage runs inside a recover boundary, so a panic in a
 // ranking stage surfaces as a *StageError instead of crashing the
@@ -396,61 +550,92 @@ func (s *System) Translate(nl string) (*Translation, error) {
 //   - retrieval failure (or cancellation before/while retrieving) is
 //     fatal: there is nothing to fall back to;
 //   - re-ranking failure or timeout falls back to the retrieval-order
-//     candidates, flagged Degraded;
+//     candidates, flagged Degraded; an installed rerank breaker
+//     (SetRerankBreaker) that is open skips the stage outright with
+//     the same fallback;
 //   - value post-processing failure falls back to the ranked candidates
 //     with placeholders left masked, flagged Degraded.
 //
-// TranslateContext is safe to call concurrently.
+// When Options.StageBudget is set and the context has a deadline, each
+// stage additionally runs under its own slice of the remaining
+// deadline, so a pathologically slow stage degrades early instead of
+// starving the stages behind it.
+//
+// TranslateContext is safe to call concurrently, loads the published
+// snapshot exactly once, and therefore always sees one consistent
+// {pool, index, models} generation even while Prepare/Swap rebuilds
+// run concurrently.
 func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation, error) {
-	s.mu.RLock()
-	trained, pipeline, linker, inj := s.trained, s.pipeline, s.linker, s.inj
-	s.mu.RUnlock()
-	if !trained {
+	st := s.state.Load()
+	if !st.trained {
 		return nil, fmt.Errorf("core: Translate before Train")
 	}
+	pipeline, linker, inj := st.pipeline, st.linker, st.inj
 
 	// Stage 1: first-stage retrieval over the candidate pool. Fatal on
 	// any failure — every later stage only refines this answer.
 	var hits []vindex.Hit
-	err := runStage(ctx, StageRetrieval, func() error {
-		if ferr := inj.Fire(ctx, faults.Retrieval); ferr != nil {
+	rctx, rcancel := stageCtx(ctx, s.Opts.StageBudget.Retrieval)
+	err := runStage(rctx, StageRetrieval, func() error {
+		if ferr := inj.Fire(rctx, faults.Retrieval); ferr != nil {
 			return ferr
 		}
 		var rerr error
-		hits, rerr = pipeline.RetrieveContext(ctx, nl, pipeline.K)
+		hits, rerr = pipeline.RetrieveContext(rctx, nl, pipeline.K)
 		return rerr
 	})
+	rcancel()
 	if err != nil {
 		return nil, err
 	}
 
-	out := &Translation{}
+	out := &Translation{Generation: st.gen}
 	degrade := func(stage string, err error) {
 		out.Degraded = true
 		out.Warnings = append(out.Warnings, fmt.Sprintf("%s stage degraded: %v", stage, err))
 	}
 
-	// Stage 2: re-ranking. On failure the retrieval order stands.
+	// Stage 2: re-ranking. On failure the retrieval order stands. An
+	// open circuit breaker skips the stage without paying the failure
+	// cost per request.
 	var ranked []ltr.Ranked
-	err = runStage(ctx, StageRerank, func() error {
-		if ferr := inj.Fire(ctx, faults.Rerank); ferr != nil {
-			return ferr
-		}
-		var rerr error
-		ranked, rerr = pipeline.RerankContext(ctx, nl, hits)
-		return rerr
-	})
-	if err != nil {
+	br := s.rerankBreaker.Load()
+	if br != nil && !br.Allow() {
 		ranked = pipeline.FromHits(hits)
-		degrade(StageRerank, err)
+		degrade(StageRerank, breaker.ErrOpen)
+	} else {
+		kctx, kcancel := stageCtx(ctx, s.Opts.StageBudget.Rerank)
+		err = runStage(kctx, StageRerank, func() error {
+			if ferr := inj.Fire(kctx, faults.Rerank); ferr != nil {
+				return ferr
+			}
+			var rerr error
+			ranked, rerr = pipeline.RerankContext(kctx, nl, hits)
+			return rerr
+		})
+		kcancel()
+		if br != nil {
+			// A client cancellation says nothing about the re-ranker;
+			// everything else (errors, panics, timeouts) counts.
+			if errors.Is(err, context.Canceled) {
+				br.Forgive()
+			} else {
+				br.Record(err == nil)
+			}
+		}
+		if err != nil {
+			ranked = pipeline.FromHits(hits)
+			degrade(StageRerank, err)
+		}
 	}
 
 	// Stage 3: value post-processing (filter by value-implied columns,
 	// then instantiate placeholders). On failure the ranked SQL is
 	// returned as-is, placeholders still masked.
 	var processed []Candidate
-	err = runStage(ctx, StagePostprocess, func() error {
-		if ferr := inj.Fire(ctx, faults.Postprocess); ferr != nil {
+	pctx, pcancel := stageCtx(ctx, s.Opts.StageBudget.Postprocess)
+	err = runStage(pctx, StagePostprocess, func() error {
+		if ferr := inj.Fire(pctx, faults.Postprocess); ferr != nil {
 			return ferr
 		}
 		// Post-processing 1: drop candidates whose dialect lacks a
@@ -466,7 +651,7 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 			filtered = ranked
 		}
 		for _, r := range filtered {
-			if cerr := ctx.Err(); cerr != nil {
+			if cerr := pctx.Err(); cerr != nil {
 				return cerr
 			}
 			// Post-processing 2: instantiate placeholders from the NL.
@@ -475,6 +660,7 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 		}
 		return nil
 	})
+	pcancel()
 	if err != nil {
 		processed = processed[:0]
 		for _, r := range ranked {
@@ -494,17 +680,15 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 // first-stage top-k for the NL query; used for Table 9 error
 // attribution. It returns false when the gold is not even in the pool.
 func (s *System) RetrievalContains(nl string, gold *sqlast.Query, k int) bool {
-	s.mu.RLock()
-	trained, pipeline, poolIdx := s.trained, s.pipeline, s.poolIdx
-	s.mu.RUnlock()
-	if !trained {
+	st := s.state.Load()
+	if !st.trained {
 		return false
 	}
-	goldIdx := poolIdx.Find(s.BindGold(gold))
+	goldIdx := st.poolIdx.Find(s.BindGold(gold))
 	if goldIdx < 0 {
 		return false
 	}
-	for _, h := range pipeline.Retrieve(nl, k) {
+	for _, h := range st.pipeline.Retrieve(nl, k) {
 		if h.ID == goldIdx {
 			return true
 		}

@@ -40,6 +40,10 @@ const (
 	// KindDelay makes Fire sleep for the plan's duration (or until the
 	// context is done, in which case Fire returns the context error).
 	KindDelay
+	// KindBlock makes Fire park the caller until the plan's Until
+	// channel is closed (or the context is done). Burst and admission
+	// tests use it to hold requests in-flight deterministically.
+	KindBlock
 )
 
 // Plan describes one fault to inject at a stage boundary.
@@ -51,6 +55,8 @@ type Plan struct {
 	Message string
 	// Delay is how long KindDelay plans block.
 	Delay time.Duration
+	// Until releases KindBlock plans when closed.
+	Until <-chan struct{}
 	// After skips the first After eligible calls before firing.
 	After int
 	// Times caps how often the plan fires; 0 means no cap.
@@ -110,6 +116,18 @@ func (in *Injector) Delay(stage Stage, d time.Duration) *Injector {
 	return in.Inject(stage, Plan{Kind: KindDelay, Delay: d})
 }
 
+// Block registers an always-on gate at the stage: every caller reaching
+// the stage parks until the returned release function is invoked (it is
+// idempotent). Callers whose context ends first unpark with the context
+// error. Deterministic saturation for burst tests: admit N requests,
+// wait for them to park, observe the system's behavior, then release.
+func (in *Injector) Block(stage Stage) (release func()) {
+	ch := make(chan struct{})
+	in.Inject(stage, Plan{Kind: KindBlock, Until: ch})
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
 // Fire is called by the pipeline at a stage boundary. It executes the
 // first triggering plan: returning an error, panicking, or sleeping.
 // A nil receiver or an unplanned stage is a no-op returning nil.
@@ -154,6 +172,13 @@ func (in *Injector) Fire(ctx context.Context, stage Stage) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-t.C:
+			return nil
+		}
+	case KindBlock:
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-chosen.Until:
 			return nil
 		}
 	default: // KindError

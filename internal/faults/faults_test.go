@@ -94,3 +94,50 @@ func TestProbabilisticPlanIsSeeded(t *testing.T) {
 		t.Fatalf("P=0.5 fired %d/%d times", fired, len(a))
 	}
 }
+
+// TestBlockGate: a Block plan parks callers until released; a caller
+// whose context ends first unparks with the context error.
+func TestBlockGate(t *testing.T) {
+	in := NewInjector(1)
+	release := in.Block(Retrieval)
+
+	const parked = 3
+	done := make(chan error, parked)
+	for i := 0; i < parked; i++ {
+		go func() { done <- in.Fire(context.Background(), Retrieval) }()
+	}
+	// All callers reach the gate and none get through before release.
+	deadline := time.Now().Add(2 * time.Second)
+	for in.Calls(Retrieval) < parked && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := in.Calls(Retrieval); got != parked {
+		t.Fatalf("%d callers reached the gate, want %d", got, parked)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("caller passed a held gate: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	release()
+	release() // idempotent
+	for i := 0; i < parked; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("released caller got error: %v", err)
+		}
+	}
+	// After release the gate stays open.
+	if err := in.Fire(context.Background(), Retrieval); err != nil {
+		t.Fatalf("gate did not stay open: %v", err)
+	}
+
+	// A fresh gate respects context cancellation.
+	in2 := NewInjector(1)
+	defer in2.Block(Rerank)()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := in2.Fire(ctx, Rerank); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked caller with expired context: %v", err)
+	}
+}
