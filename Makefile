@@ -1,5 +1,5 @@
 # The tier-1 gate: everything a PR must keep green.
-.PHONY: verify test build vet lint garlint race bench stress
+.PHONY: verify test build vet lint garlint race bench bench-translate bench-smoke cover stress
 
 build:
 	go build ./...
@@ -31,11 +31,31 @@ verify: build vet lint race
 bench:
 	go test -bench=. -benchmem
 
+# bench-translate regenerates the committed BENCH_translate.json: the
+# translate hot path measured sequential-vs-batched (with a ranked-
+# output equality assertion) and cache miss-vs-hit.
+bench-translate:
+	go run ./cmd/garbench -bench translate -iters 5 -benchout BENCH_translate.json
+
+# bench-smoke is the CI smoke run: one short iteration proving the
+# benchmark harness still builds, runs, and passes its equality
+# assertion; the JSON goes to a scratch path so CI never dirties the
+# committed numbers.
+bench-smoke:
+	go run ./cmd/garbench -bench translate -iters 1 -benchout /tmp/BENCH_translate.json
+
+# cover is the coverage gate: per-package floors live in
+# coverage_floors.json and a package may not fall more than one point
+# below its floor. After adding tests, ratchet the floors up with
+# `go run ./cmd/covergate -write`.
+cover:
+	go run ./cmd/covergate -floors coverage_floors.json
+
 # stress runs the overload and resilience suites under the race
 # detector: burst admission (deterministic saturation via fault gates),
 # snapshot-swap races against live traffic, breaker trip/recover
 # cycles, the fault-injection matrix, and torn-write persistence.
 stress:
 	go test -race -timeout 5m -count=1 \
-		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence' \
+		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism' \
 		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./gar/

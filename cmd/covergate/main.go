@@ -1,0 +1,151 @@
+// Command covergate enforces per-package test-coverage floors. It runs
+// `go test -cover` over the module, parses the per-package coverage
+// percentages, and fails when any package with a committed floor has
+// dropped more than the tolerance below it — so coverage can only
+// ratchet up, never silently erode.
+//
+// The floors live in coverage_floors.json, a package-path → percentage
+// map committed to the repository. Raise them with -write after adding
+// tests:
+//
+//	covergate              # check against committed floors
+//	covergate -write       # rewrite floors from current coverage
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// coverLine matches the per-package summary go test prints for tested
+// packages, e.g. "ok  repro/internal/core 1.5s coverage: 74.5% of statements".
+var coverLine = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+
+func main() {
+	floorsPath := flag.String("floors", "coverage_floors.json", "committed per-package coverage floors")
+	write := flag.Bool("write", false, "rewrite the floors file from current coverage instead of checking")
+	tolerance := flag.Float64("tolerance", 1.0, "allowed percentage-point slack below a floor")
+	flag.Parse()
+
+	measured, err := measureCoverage()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "covergate: no coverage lines parsed from go test output")
+		os.Exit(1)
+	}
+
+	if *write {
+		if err := writeFloors(*floorsPath, measured); err != nil {
+			fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("covergate: wrote floors for %d packages to %s\n", len(measured), *floorsPath)
+		return
+	}
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v (run with -write to create it)\n", err)
+		os.Exit(1)
+	}
+
+	var failures []string
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		got, ok := measured[pkg]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no coverage reported (floor %.1f%%) — package gone or tests no longer run", pkg, floor))
+			continue
+		}
+		if got < floor-*tolerance {
+			failures = append(failures, fmt.Sprintf("%s: coverage %.1f%% fell below floor %.1f%% (tolerance %.1fpt)", pkg, got, floor, *tolerance))
+		}
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "covergate: FAIL "+f)
+	}
+
+	// New tested packages without a floor are surfaced (not failed) so
+	// they get ratcheted in on the next -write.
+	var unfloored []string
+	for pkg := range measured {
+		if _, ok := floors[pkg]; !ok {
+			unfloored = append(unfloored, pkg)
+		}
+	}
+	sort.Strings(unfloored)
+	for _, pkg := range unfloored {
+		fmt.Printf("covergate: note: %s (%.1f%%) has no floor — add it with -write\n", pkg, measured[pkg])
+	}
+
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("covergate: %d packages at or above their floors\n", len(floors))
+}
+
+// measureCoverage runs `go test -cover ./...` and returns coverage per
+// package import path. Packages without test files or without
+// statements are omitted.
+func measureCoverage() (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-cover", "./...")
+	out, err := cmd.Output()
+	if err != nil {
+		// go test exits non-zero when any test fails; coverage floors
+		// are meaningless on a red suite, so surface the test output.
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go test failed:\n%s%s", out, ee.Stderr)
+		}
+		return nil, err
+	}
+	got := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		m := coverLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		got[m[1]] = pct
+	}
+	return got, sc.Err()
+}
+
+func readFloors(path string) (map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	floors := map[string]float64{}
+	if err := json.Unmarshal(blob, &floors); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return floors, nil
+}
+
+func writeFloors(path string, floors map[string]float64) error {
+	blob, err := json.MarshalIndent(floors, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -196,10 +196,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.ctl.Stats()
+	cs := s.sys.CacheStats()
 	body := map[string]any{
 		"pool":       s.sys.PoolSize(),
 		"generation": s.sys.Generation(),
 		"breaker":    s.breakerJSON(),
+		"caches": map[string]any{
+			"embeddings":   cs.Embeddings,
+			"translations": cs.Translations,
+		},
 		"admission": map[string]any{
 			"in_flight":       st.InFlight,
 			"queued":          st.Queued,
@@ -395,6 +400,9 @@ func runServe(args []string) {
 	breakerCooldown := fs.Duration("breakcooldown", 2*time.Second, "how long a tripped breaker stays open before probing")
 	noBreaker := fs.Bool("nobreaker", false, "disable the re-rank circuit breaker")
 	noStageBudget := fs.Bool("nostagebudget", false, "disable per-stage deadline budgets")
+	workers := fs.Int("workers", 0, "parallel fan-out of encoding and re-rank scoring (0 = one per CPU)")
+	cacheSize := fs.Int("cachesize", 1024, "entries per translation cache (embeddings, results)")
+	noCache := fs.Bool("nocache", false, "disable the translation-path caches")
 	_ = fs.Parse(args)
 
 	opts := gar.Options{
@@ -403,6 +411,9 @@ func runServe(args []string) {
 		Seed:            1,
 		EncoderEpochs:   14,
 		RerankEpochs:    40,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		NoCache:         *noCache,
 	}
 	if !*noStageBudget {
 		// Each stage gets a slice of the remaining deadline so a slow

@@ -118,3 +118,43 @@ func TestRecoverMiddleware(t *testing.T) {
 		t.Errorf("panic message lost: %s", rec.Body)
 	}
 }
+
+// TestServeHealthzReportsCaches pins the cache counters surfaced by
+// /healthz: a repeated question must hit the translation cache, and the
+// hit/miss/size numbers must be visible to operators.
+func TestServeHealthzReportsCaches(t *testing.T) {
+	h := testHandler(t, serveConfig{})
+	for i := 0; i < 2; i++ {
+		if rec := postTranslate(h, `{"question": "how many employees are there"}`); rec.Code != http.StatusOK {
+			t.Fatalf("translate %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var health struct {
+		Caches struct {
+			Translations struct {
+				Hits   uint64 `json:"hits"`
+				Misses uint64 `json:"misses"`
+				Size   int    `json:"size"`
+			} `json:"translations"`
+			Embeddings struct {
+				Size int `json:"size"`
+			} `json:"embeddings"`
+		} `json:"caches"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	tc := health.Caches.Translations
+	if tc.Hits != 1 || tc.Misses != 1 || tc.Size != 1 {
+		t.Errorf("translation cache counters = %+v", tc)
+	}
+	if health.Caches.Embeddings.Size != 1 {
+		t.Errorf("embedding cache size = %d, want 1", health.Caches.Embeddings.Size)
+	}
+}

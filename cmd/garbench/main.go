@@ -27,7 +27,22 @@ func main() {
 	scale := flag.String("scale", "small", "experiment scale: small or full")
 	exp := flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
 	seed := flag.Int64("seed", 0, "override the benchmark seed (0 keeps the default)")
+	bench := flag.String("bench", "", "run a micro-benchmark instead of experiments (id: translate)")
+	iters := flag.Int("iters", 5, "benchmark iterations over the question set")
+	benchOut := flag.String("benchout", "BENCH_translate.json", "benchmark JSON output path")
 	flag.Parse()
+
+	if *bench != "" {
+		if *bench != "translate" {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (want: translate)\n", *bench)
+			os.Exit(1)
+		}
+		if err := runTranslateBench(*iters, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Small()
 	if *scale == "full" {

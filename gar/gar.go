@@ -65,6 +65,17 @@ type Options struct {
 	// behind it. Fractions outside (0,1) disable budgeting for that
 	// stage; the zero value disables all budgeting.
 	StageBudget StageBudget
+	// Workers bounds the fan-out of the parallel sections (pool
+	// encoding at snapshot build, batched retrieval, re-rank scoring).
+	// 0 means one worker per CPU; 1 forces the sequential path. The
+	// ranked output is identical for every setting.
+	Workers int
+	// CacheSize caps each translation-path cache (question embeddings
+	// and full translations, both invalidated automatically when the
+	// pool generation changes) in entries; default 1024.
+	CacheSize int
+	// NoCache disables the translation-path caches entirely.
+	NoCache bool
 }
 
 // StageBudget holds the per-stage deadline fractions; see
@@ -89,6 +100,9 @@ func (o Options) internal() core.Options {
 			Rerank:      o.StageBudget.Rerank,
 			Postprocess: o.StageBudget.Postprocess,
 		},
+		Workers:   o.Workers,
+		CacheSize: o.CacheSize,
+		NoCache:   o.NoCache,
 	}
 }
 
@@ -202,6 +216,14 @@ func (s *System) Generation() uint64 { return s.inner.Generation() }
 // readiness probing: false between process start (or a bare Prepare)
 // and the completing Train/UseModels/Swap.
 func (s *System) Ready() bool { return s.inner.Ready() }
+
+// CacheStats reports hit/miss/size counters for the translation-path
+// caches (question embeddings and full translations); all-zero when
+// caching is disabled. Serving layers surface it in health endpoints.
+type CacheStats = core.CacheStats
+
+// CacheStats returns a point-in-time snapshot of the cache counters.
+func (s *System) CacheStats() CacheStats { return s.inner.CacheStats() }
 
 // SetRerankBreaker installs a circuit breaker on the re-ranking stage:
 // after repeated stage failures or timeouts the stage is skipped

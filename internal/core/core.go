@@ -23,11 +23,14 @@ import (
 	"repro/internal/generalize"
 	"repro/internal/ltr"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/rerank"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/text"
+	"repro/internal/transcache"
 	"repro/internal/values"
+	"repro/internal/vector"
 	"repro/internal/vindex"
 )
 
@@ -74,6 +77,16 @@ type Options struct {
 	// StageBudget derives per-stage deadlines from the request
 	// deadline; see StageBudget. Zero disables.
 	StageBudget StageBudget
+	// Workers bounds the fan-out of parallel sections — pool encoding
+	// at snapshot build, batched retrieval, and re-rank scoring.
+	// 0 means one worker per CPU; 1 forces the sequential path.
+	Workers int
+	// CacheSize caps each translation-path cache (question embeddings,
+	// full translations) in entries. Default 1024. See NoCache.
+	CacheSize int
+	// NoCache disables the translation-path caches entirely (the
+	// benchmark's cold path, and a debugging escape hatch).
+	NoCache bool
 }
 
 func (o *Options) fill() {
@@ -91,6 +104,9 @@ func (o *Options) fill() {
 	}
 	if o.RerankTrainK <= 0 {
 		o.RerankTrainK = o.RetrievalK
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
 	}
 }
 
@@ -137,6 +153,14 @@ type System struct {
 	// rerankBreaker, when set, circuit-breaks the re-ranking stage;
 	// see SetRerankBreaker.
 	rerankBreaker atomic.Pointer[breaker.Breaker]
+
+	// embedCache memoizes question embeddings and transCache whole
+	// translation results, both keyed by (pool generation, NL question).
+	// The generation key makes every Prepare/Swap an implicit flush: an
+	// entry from an older snapshot can never be served after a hot
+	// reload. Nil when Options.NoCache is set (a nil cache never hits).
+	embedCache *transcache.Cache[vector.Vec]
+	transCache *transcache.Cache[*Translation]
 }
 
 // New creates a GAR system for the database.
@@ -149,7 +173,35 @@ func New(db *schema.Database, opts Options) *System {
 		s.builder = dialect.New(db)
 	}
 	s.state.Store(&state{linker: values.NewLinker(db, nil)})
+	if !opts.NoCache {
+		s.embedCache = transcache.New[vector.Vec](s.Opts.CacheSize)
+		s.transCache = transcache.New[*Translation](s.Opts.CacheSize)
+	}
 	return s
+}
+
+// CacheStats reports the hit/miss/size counters of the translation-path
+// caches; all-zero when caching is disabled.
+type CacheStats struct {
+	Embeddings   transcache.Stats `json:"embeddings"`
+	Translations transcache.Stats `json:"translations"`
+}
+
+// CacheStats returns a point-in-time snapshot of the cache counters.
+func (s *System) CacheStats() CacheStats {
+	return CacheStats{
+		Embeddings:   s.embedCache.Stats(),
+		Translations: s.transCache.Stats(),
+	}
+}
+
+// purgeCaches drops every cached embedding and translation. Mutators
+// whose changes are not visible in the pool generation (a new linker, a
+// model redeploy on the same pool) call it so a stale result can never
+// outlive the state that produced it.
+func (s *System) purgeCaches() {
+	s.embedCache.Purge()
+	s.transCache.Purge()
 }
 
 // SetContent attaches a populated instance used for value linking in the
@@ -188,6 +240,9 @@ func (s *System) mutate(fn func(st *state)) {
 	next := *s.state.Load()
 	fn(&next)
 	s.state.Store(&next)
+	// Whatever changed (linker, injector, pool), results computed
+	// against the old state must not be served against the new one.
+	s.purgeCaches()
 }
 
 // buildPool runs generalization and dialect rendering; it only reads
@@ -376,12 +431,15 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 	}
 	var lists []rerank.TrainingList
 	for i := range sets {
+		index, vecs := buildIndex(pools[i], encoder, opts)
 		pipe := &ltr.Pipeline{
-			Encoder: encoder,
-			Index:   buildIndex(pools[i], encoder, opts),
-			Pool:    pools[i],
-			PoolIdx: poolIdxs[i],
-			K:       opts.RetrievalK,
+			Encoder:  encoder,
+			Index:    index,
+			Pool:     pools[i],
+			PoolIdx:  poolIdxs[i],
+			K:        opts.RetrievalK,
+			DialVecs: vecs,
+			Workers:  opts.Workers,
 		}
 		lists = append(lists, pipe.BuildLists(sets[i].Examples, opts.RerankTrainK)...)
 	}
@@ -390,7 +448,20 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 	return m, nil
 }
 
-func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) vindex.Index {
+// buildIndex embeds and indexes the pool. The per-candidate encodes —
+// the dominant cost of a snapshot build — fan out across opts.Workers;
+// the returned vecs (aligned with pool) are the exact vectors the index
+// stores, handed to the pipeline so re-rank scoring never re-encodes a
+// dialect.
+//
+//garlint:allow ctxpass -- snapshot build; no caller context to thread
+func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) (vindex.Index, []vector.Vec) {
+	vecs := make([]vector.Vec, len(pool))
+	// The body never fails and the context cannot be cancelled.
+	_ = parallel.ForEach(context.Background(), len(pool), opts.Workers, func(i int) error {
+		vecs[i] = encoder.Encode(pool[i].Dialect)
+		return nil
+	})
 	var index vindex.Index
 	if opts.UseIVF {
 		nlist := len(pool) / 64
@@ -401,28 +472,31 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) vind
 	} else {
 		index = vindex.NewFlat()
 	}
-	for i, c := range pool {
-		index.Add(i, encoder.Encode(c.Dialect))
+	for i := range pool {
+		index.Add(i, vecs[i])
 	}
 	// Train the coarse quantizer eagerly so the first online query does
 	// not pay (or race on) the k-means build.
 	if iv, ok := index.(*vindex.IVF); ok {
 		iv.Build()
 	}
-	return index
+	return index, vecs
 }
 
 // newPipeline assembles the online pipeline for a pool with deployed
 // models (the slow part is embedding + indexing the pool).
 func newPipeline(pool []ltr.Candidate, poolIdx *ltr.PoolIndex, m *Models, opts Options) *ltr.Pipeline {
+	index, vecs := buildIndex(pool, m.Encoder, opts)
 	return &ltr.Pipeline{
 		Encoder:    m.Encoder,
-		Index:      buildIndex(pool, m.Encoder, opts),
+		Index:      index,
 		Pool:       pool,
 		PoolIdx:    poolIdx,
 		K:          opts.RetrievalK,
 		SkipRerank: opts.NoRerank,
 		Reranker:   m.Reranker,
+		DialVecs:   vecs,
+		Workers:    opts.Workers,
 	}
 }
 
@@ -446,6 +520,8 @@ func (s *System) UseModels(m *Models) error {
 	next.pipeline = newPipeline(cur.pool, cur.poolIdx, m, s.Opts)
 	next.trained = true
 	s.state.Store(&next)
+	// Same pool generation, new models: flush explicitly.
+	s.purgeCaches()
 	return nil
 }
 
@@ -477,6 +553,9 @@ func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
 	next.pipeline = pipeline
 	next.trained = true
 	s.state.Store(&next)
+	// The generation bump already invalidates every cached entry; the
+	// purge just releases their memory eagerly.
+	s.purgeCaches()
 	return next.gen, nil
 }
 
@@ -572,16 +651,41 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 	}
 	pipeline, linker, inj := st.pipeline, st.linker, st.inj
 
+	// With a fault injector installed the caches step aside entirely:
+	// the harness is probing the live stage boundaries, and a cached
+	// answer would mask the injected fault. A context that is already
+	// done also bypasses the cache, so cancellation fails with the same
+	// stage attribution whether or not the answer happens to be cached.
+	useCache := inj == nil && ctx.Err() == nil
+	if useCache {
+		if cached, ok := s.transCache.Get(st.gen, nl); ok {
+			return copyTranslation(cached), nil
+		}
+	}
+
 	// Stage 1: first-stage retrieval over the candidate pool. Fatal on
-	// any failure — every later stage only refines this answer.
+	// any failure — every later stage only refines this answer. The
+	// question embedding is computed at most once per (generation, NL)
+	// pair: a cache hit feeds both retrieval and the re-ranker's
+	// similarity feature.
+	var qvec vector.Vec
+	if useCache {
+		qvec, _ = s.embedCache.Get(st.gen, nl)
+	}
 	var hits []vindex.Hit
 	rctx, rcancel := stageCtx(ctx, s.Opts.StageBudget.Retrieval)
 	err := runStage(rctx, StageRetrieval, func() error {
 		if ferr := inj.Fire(rctx, faults.Retrieval); ferr != nil {
 			return ferr
 		}
+		if qvec == nil {
+			qvec = pipeline.Encoder.Encode(nl)
+			if useCache {
+				s.embedCache.Put(st.gen, nl, qvec)
+			}
+		}
 		var rerr error
-		hits, rerr = pipeline.RetrieveContext(rctx, nl, pipeline.K)
+		hits, rerr = pipeline.RetrieveVecContext(rctx, qvec, pipeline.K)
 		return rerr
 	})
 	rcancel()
@@ -610,7 +714,7 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 				return ferr
 			}
 			var rerr error
-			ranked, rerr = pipeline.RerankContext(kctx, nl, hits)
+			ranked, rerr = pipeline.RerankVecContext(kctx, nl, qvec, hits)
 			return rerr
 		})
 		kcancel()
@@ -673,7 +777,26 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 	if len(out.Ranked) > 0 {
 		out.Top = &out.Ranked[0]
 	}
+	// Only clean, fully-processed results are cached: a degraded answer
+	// must not outlive the transient failure that produced it.
+	if useCache && !out.Degraded {
+		s.transCache.Put(st.gen, nl, copyTranslation(out))
+	}
 	return out, nil
+}
+
+// copyTranslation returns a Translation whose slices are private to the
+// caller, so the cache's copy and the served copy cannot alias through
+// Ranked/Warnings. The Candidates themselves are shared read-only —
+// their SQL was already cloned by placeholder filling.
+func copyTranslation(t *Translation) *Translation {
+	cp := *t
+	cp.Ranked = append([]Candidate(nil), t.Ranked...)
+	cp.Warnings = append([]string(nil), t.Warnings...)
+	if len(cp.Ranked) > 0 {
+		cp.Top = &cp.Ranked[0]
+	}
+	return &cp
 }
 
 // RetrievalContains reports whether the gold query appears in the

@@ -1,0 +1,102 @@
+package dialect_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dialect"
+	"repro/internal/schema"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlparse"
+)
+
+var update = flag.Bool("update", false, "rewrite .golden files with current builder output")
+
+// goldenCase names one dialect rendering pinned in testdata/. Cases are
+// grouped per component type so a change in any clause generator shows
+// up as a focused golden diff rather than a scattered substring failure.
+type goldenCase struct {
+	name string // golden file stem
+	db   func() *schema.Database
+	garj bool // use join annotations (GAR-J)
+	sql  string
+}
+
+func goldenCases() []goldenCase {
+	emp := schematest.Employee
+	fl := schematest.Flights
+	return []goldenCase{
+		// Projection components.
+		{name: "select_columns", db: emp, sql: "SELECT name, age FROM employee"},
+		{name: "select_distinct", db: emp, sql: "SELECT DISTINCT city FROM employee"},
+		{name: "select_star", db: emp, sql: "SELECT * FROM employee"},
+		// Aggregate components.
+		{name: "agg_count_star", db: emp, sql: "SELECT COUNT(*) FROM employee"},
+		{name: "agg_count_distinct", db: emp, sql: "SELECT COUNT(DISTINCT city) FROM employee"},
+		{name: "agg_sum_avg", db: emp, sql: "SELECT SUM(bonus), AVG(bonus) FROM evaluation"},
+		{name: "agg_min_max", db: emp, sql: "SELECT MIN(age), MAX(age) FROM employee"},
+		// Predicate components.
+		{name: "where_compare", db: emp, sql: "SELECT name FROM employee WHERE age >= 30 AND city != 'Austin'"},
+		{name: "where_or_not", db: emp, sql: "SELECT name FROM employee WHERE NOT age < 30 OR city = 'Austin'"},
+		{name: "where_between_like", db: emp, sql: "SELECT name FROM employee WHERE age BETWEEN 20 AND 30 AND name LIKE 'A'"},
+		{name: "where_in_subquery", db: emp, sql: "SELECT name FROM employee WHERE employee_id IN (SELECT employee_id FROM evaluation)"},
+		{name: "where_exists", db: emp, sql: "SELECT name FROM employee WHERE EXISTS (SELECT * FROM evaluation)"},
+		{name: "where_scalar_subquery", db: emp, sql: "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)"},
+		// Shape components: grouping, ordering, limiting.
+		{name: "group_by", db: emp, sql: "SELECT city, COUNT(*) FROM employee GROUP BY city"},
+		{name: "group_having", db: emp, sql: "SELECT city FROM employee GROUP BY city HAVING COUNT(*) > 2"},
+		{name: "order_limit", db: emp, sql: "SELECT name FROM employee ORDER BY age DESC LIMIT 3"},
+		// Set operations.
+		{name: "set_union", db: emp, sql: "SELECT name FROM employee UNION SELECT shop_name FROM shop"},
+		{name: "set_intersect", db: emp, sql: "SELECT city FROM employee INTERSECT SELECT city FROM employee"},
+		{name: "set_except", db: emp, sql: "SELECT city FROM employee EXCEPT SELECT city FROM employee"},
+		// Derived tables.
+		{name: "from_subquery", db: emp, sql: "SELECT name FROM (SELECT name FROM employee) AS sub"},
+		// Join components: plain GAR vs GAR-J annotations, both join
+		// directions (the Fig. 7 distinction join annotations exist for).
+		{name: "join_compound_key", db: emp, sql: "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1"},
+		{name: "join_gar_dest", db: fl, sql: "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1"},
+		{name: "join_garj_dest", db: fl, garj: true, sql: "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1"},
+		{name: "join_garj_source", db: fl, garj: true, sql: "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.sourceAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1"},
+	}
+}
+
+// TestGoldenDialects pins the full dialect expression for one query per
+// component type. Run with -update to rewrite testdata after an
+// intentional builder change; the diff then documents exactly which
+// phrasings moved.
+func TestGoldenDialects(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := tc.db()
+			b := dialect.New(db)
+			if tc.garj {
+				b = dialect.NewJ(db)
+			}
+			q := sqlparse.MustParse(tc.sql)
+			if err := db.Bind(q); err != nil {
+				t.Fatalf("bind: %v", err)
+			}
+			got := b.Express(q) + "\n"
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run: go test ./internal/dialect/ -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("dialect drifted from %s:\n got: %s\nwant: %s", path, got, want)
+			}
+		})
+	}
+}

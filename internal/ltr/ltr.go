@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/embed"
 	"repro/internal/norm"
+	"repro/internal/parallel"
 	"repro/internal/rerank"
 	"repro/internal/sqlast"
+	"repro/internal/vector"
 	"repro/internal/vindex"
 )
 
@@ -147,6 +149,16 @@ type Pipeline struct {
 	// SkipRerank disables the second stage (the "w/o Re-ranking Model"
 	// ablation): retrieval order is final.
 	SkipRerank bool
+	// DialVecs, when non-nil, holds the Encoder embedding of each pool
+	// candidate's dialect, aligned with Pool. Snapshot builds compute
+	// them once (they are the same vectors the index stores), so the
+	// re-ranker's similarity feature reuses them instead of re-encoding
+	// every retrieved dialect on every request. Must be embeddings under
+	// the same encoder the re-ranker's extractor holds.
+	DialVecs []vector.Vec
+	// Workers bounds the fan-out of batched scoring and retrieval
+	// (0 = one per CPU, 1 = sequential).
+	Workers int
 }
 
 // Ranked is one ranked translation candidate.
@@ -169,13 +181,42 @@ func (p *Pipeline) Retrieve(nl string, k int) []vindex.Hit {
 // RetrieveContext is Retrieve with cancellation: the index scan aborts
 // when ctx is done.
 func (p *Pipeline) RetrieveContext(ctx context.Context, nl string, k int) ([]vindex.Hit, error) {
+	return p.RetrieveVecContext(ctx, p.Encoder.Encode(nl), k)
+}
+
+// RetrieveVecContext is RetrieveContext with a precomputed query
+// embedding (the value p.Encoder.Encode(nl) would return), so callers
+// holding a cached embedding skip the encode entirely.
+func (p *Pipeline) RetrieveVecContext(ctx context.Context, qvec vector.Vec, k int) ([]vindex.Hit, error) {
+	return p.Index.SearchContext(ctx, qvec, p.retrievalK(k))
+}
+
+// RetrieveBatchContext answers first-stage retrieval for a batch of
+// questions in one call: the encodes fan out across p.Workers and the
+// index answers all queries through its batched search. out[i] is
+// exactly RetrieveContext(ctx, nls[i], k).
+func (p *Pipeline) RetrieveBatchContext(ctx context.Context, nls []string, k int) ([][]vindex.Hit, error) {
+	vecs := make([]vector.Vec, len(nls))
+	err := parallel.ForEach(ctx, len(nls), p.Workers, func(i int) error {
+		vecs[i] = p.Encoder.Encode(nls[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.Index.SearchBatch(ctx, vecs, p.retrievalK(k))
+}
+
+// retrievalK resolves the effective top-k: the argument, else the
+// pipeline default, else the paper's 100.
+func (p *Pipeline) retrievalK(k int) int {
 	if k <= 0 {
 		k = p.K
 	}
 	if k <= 0 {
 		k = 100
 	}
-	return p.Index.SearchContext(ctx, p.Encoder.Encode(nl), k)
+	return k
 }
 
 // FromHits converts first-stage hits to Ranked candidates in retrieval
@@ -194,27 +235,51 @@ func (p *Pipeline) FromHits(hits []vindex.Hit) []Ranked {
 // RerankContext runs the second stage only: the re-ranker reorders the
 // retrieved hits. The context is observed between forward passes.
 func (p *Pipeline) RerankContext(ctx context.Context, nl string, hits []vindex.Hit) ([]Ranked, error) {
+	return p.RerankVecContext(ctx, nl, nil, hits)
+}
+
+// RerankVecContext is RerankContext with an optional precomputed query
+// embedding (under p.Encoder). Every candidate is scored exactly once:
+// the NL-side features are prepared once per question, the dialect-side
+// embeddings come from DialVecs when the snapshot precomputed them, and
+// the forward passes fan out across p.Workers. The ranked output is
+// bit-identical to sequential per-pair scoring.
+func (p *Pipeline) RerankVecContext(ctx context.Context, nl string, qvec vector.Vec, hits []vindex.Hit) ([]Ranked, error) {
 	if p.SkipRerank || p.Reranker == nil {
 		return p.FromHits(hits), nil
 	}
 	dialects := make([]string, len(hits))
+	var dialVecs []vector.Vec
+	if p.DialVecs != nil {
+		dialVecs = make([]vector.Vec, len(hits))
+	}
 	for i, h := range hits {
 		dialects[i] = p.Pool[h.ID].Dialect
+		if dialVecs != nil {
+			dialVecs[i] = p.DialVecs[h.ID]
+		}
 	}
-	order, err := p.Reranker.RankContext(ctx, nl, dialects)
+	// The cached query embedding substitutes for the extractor's own
+	// encode only when both stages share one encoder (they do in every
+	// snapshot core builds; the guard keeps hand-assembled pipelines
+	// honest).
+	var prep *rerank.Prep
+	if qvec != nil && p.Reranker.X.Encoder == p.Encoder {
+		prep = p.Reranker.X.PrepareVec(nl, qvec)
+	} else {
+		prep = p.Reranker.X.Prepare(nl)
+	}
+	order, scores, err := p.Reranker.RankScoresPrepContext(ctx, prep, dialects, dialVecs, p.Workers)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Ranked, 0, len(hits))
 	for _, idx := range order {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		h := hits[idx]
 		c := p.Pool[h.ID]
 		out = append(out, Ranked{
 			ID:      h.ID,
-			Score:   p.Reranker.Score(nl, c.Dialect),
+			Score:   scores[idx],
 			Dialect: c.Dialect,
 			SQL:     c.SQL,
 		})
@@ -245,19 +310,32 @@ func (p *Pipeline) RankContext(ctx context.Context, nl string) ([]Ranked, error)
 // and the binary labels mark the gold dialect (§III-C2). Examples whose
 // gold is not retrieved in the top-k contribute their list with the gold
 // appended, so the model still sees a positive (standard practice for
-// training with imperfect first stages).
+// training with imperfect first stages). Retrieval for all examples
+// runs as one batched search instead of a per-example loop.
+//
+//garlint:allow ctxpass -- training-time helper with no caller context
 func (p *Pipeline) BuildLists(examples []Example, k int) []rerank.TrainingList {
 	if p.PoolIdx == nil {
 		p.PoolIdx = NewPoolIndex(p.Pool)
 	}
-	var lists []rerank.TrainingList
+	golds := make([]int, 0, len(examples))
+	nls := make([]string, 0, len(examples))
 	for _, ex := range examples {
 		goldIdx := p.PoolIdx.Find(ex.Gold)
 		if goldIdx < 0 {
 			continue
 		}
-		hits := p.Retrieve(ex.NL, k)
-		list := rerank.TrainingList{NL: ex.NL}
+		golds = append(golds, goldIdx)
+		nls = append(nls, ex.NL)
+	}
+	batch, err := p.RetrieveBatchContext(context.Background(), nls, k)
+	if err != nil {
+		return nil
+	}
+	lists := make([]rerank.TrainingList, 0, len(nls))
+	for j, hits := range batch {
+		goldIdx := golds[j]
+		list := rerank.TrainingList{NL: nls[j]}
 		sawGold := false
 		for _, h := range hits {
 			list.Dialects = append(list.Dialects, p.Pool[h.ID].Dialect)

@@ -1,0 +1,167 @@
+package parallel_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 500
+		seen := make([]int32, n)
+		err := parallel.ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachIndexedWritesMatchSequential(t *testing.T) {
+	n := 200
+	seq := make([]int, n)
+	par := make([]int, n)
+	body := func(out []int) func(int) error {
+		return func(i int) error {
+			out[i] = i * i
+			return nil
+		}
+	}
+	if err := parallel.ForEach(context.Background(), n, 1, body(seq)); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.ForEach(context.Background(), n, 8, body(par)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %d != parallel %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	err := parallel.ForEach(context.Background(), 100, workers, func(i int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&peak); got > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestForEachReturnsLowestObservedError(t *testing.T) {
+	errBoom := errors.New("boom")
+	err := parallel.ForEach(context.Background(), 50, 4, func(i int) error {
+		if i == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("got %v, want %v", err, errBoom)
+	}
+}
+
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	var ran int32
+	errHalt := errors.New("halt")
+	_ = parallel.ForEach(context.Background(), 10_000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errHalt
+		}
+		return nil
+	})
+	if got := atomic.LoadInt32(&ran); got == 10_000 {
+		t.Error("error did not stop dispatch: every index ran")
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := parallel.ForEach(ctx, 100_000, 4, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got == 100_000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestForEachRepanicsOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "kaboom" {
+					t.Fatalf("workers=%d: panic value %v, want kaboom", workers, r)
+				}
+			}()
+			_ = parallel.ForEach(context.Background(), 20, workers, func(i int) error {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestForEachEmptyAndDoneContext(t *testing.T) {
+	if err := parallel.ForEach(context.Background(), 0, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := parallel.ForEach(ctx, 10, 1, func(int) error {
+		t.Fatal("body ran under a done context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if parallel.Workers(3) != 3 {
+		t.Error("explicit worker count must pass through")
+	}
+	if parallel.Workers(0) < 1 || parallel.Workers(-5) < 1 {
+		t.Error("non-positive worker counts must resolve to at least 1")
+	}
+}

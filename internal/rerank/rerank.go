@@ -15,7 +15,9 @@ import (
 
 	"repro/internal/embed"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/text"
+	"repro/internal/vector"
 )
 
 // FeatureDim is the size of the cross-pair feature vector.
@@ -49,46 +51,109 @@ var aggregates = map[string]bool{
 	"minimum": true, "highest": true, "lowest": true,
 }
 
+// Prep caches every NL-side artifact of Features — tokenizations,
+// n-grams, cue and marker flags, and the query embedding — so scoring a
+// question against k retrieved candidates pays the NL-side cost once
+// instead of k times. A Prep is immutable after Prepare and safe to
+// share across concurrent scoring workers.
+type Prep struct {
+	nl      string
+	toks    []string
+	content []string
+	bigrams []string
+	grams   []string
+	nums    []string
+
+	hasSuper, hasNeg, hasAgg       bool
+	groupCue, orderCue, compareCue bool
+	head []string
+	// vec is the query embedding under the extractor's encoder; nil
+	// when the extractor has no encoder.
+	vec vector.Vec
+}
+
+// Prepare computes the NL-side feature artifacts for one question.
+func (x *Extractor) Prepare(nl string) *Prep {
+	var vec vector.Vec
+	if x.Encoder != nil {
+		vec = x.Encoder.Encode(nl)
+	}
+	return x.PrepareVec(nl, vec)
+}
+
+// PrepareVec is Prepare with a precomputed query embedding (the exact
+// value x.Encoder.Encode(nl) would return), letting callers that
+// already encoded the question — retrieval did, or a cache holds it —
+// skip the second encode.
+func (x *Extractor) PrepareVec(nl string, vec vector.Vec) *Prep {
+	toks := text.Tokenize(nl)
+	content := text.CanonTokens(nl)
+	return &Prep{
+		nl:         nl,
+		toks:       toks,
+		content:    content,
+		bigrams:    text.NGrams(toks, 2),
+		grams:      charGrams(content),
+		nums:       numbers(toks),
+		hasSuper:   hasAny(toks, superlatives),
+		hasNeg:     hasAny(toks, negations),
+		hasAgg:     hasAny(toks, aggregates),
+		groupCue:   hasGroupCue(nl),
+		orderCue:   hasOrderCue(nl),
+		compareCue: hasCompareCue(nl),
+		head:       headTokens(content, 3),
+		vec:        vec,
+	}
+}
+
 // Features computes the feature vector for one (NL, dialect) pair.
 func (x *Extractor) Features(nl, dial string) []float64 {
-	nlToks := text.Tokenize(nl)
+	return x.FeaturesPrep(x.Prepare(nl), dial, nil)
+}
+
+// FeaturesPrep computes the feature vector for one prepared question
+// against one candidate dialect. dialVec, when non-nil, must be the
+// encoder embedding of dial (pipelines precompute one per pool
+// candidate at snapshot-build time); nil falls back to encoding dial
+// on the spot. Either way the resulting features are bit-identical to
+// Features(nl, dial) — the determinism suite depends on that.
+func (x *Extractor) FeaturesPrep(p *Prep, dial string, dialVec vector.Vec) []float64 {
 	dToks := text.Tokenize(dial)
-	nlContent := text.CanonTokens(nl)
 	dContent := text.CanonTokens(dial)
 
 	f := make([]float64, 0, FeatureDim)
 	// 0-2: token-set similarity.
-	f = append(f, text.Jaccard(nlContent, dContent))
-	f = append(f, text.OverlapRatio(nlContent, dContent))
-	f = append(f, text.OverlapRatio(dContent, nlContent))
+	f = append(f, text.Jaccard(p.content, dContent))
+	f = append(f, text.OverlapRatio(p.content, dContent))
+	f = append(f, text.OverlapRatio(dContent, p.content))
 	// 3: IDF-weighted coverage of the NL query by the dialect.
-	f = append(f, x.IDF.WeightedOverlap(nlContent, dContent))
+	f = append(f, x.IDF.WeightedOverlap(p.content, dContent))
 	// 4: bigram overlap.
-	f = append(f, text.Jaccard(text.NGrams(nlToks, 2), text.NGrams(dToks, 2)))
+	f = append(f, text.Jaccard(p.bigrams, text.NGrams(dToks, 2)))
 	// 5: character-trigram similarity (robust to morphology).
-	f = append(f, text.Jaccard(charGrams(nlContent), charGrams(dContent)))
+	f = append(f, text.Jaccard(p.grams, charGrams(dContent)))
 	// 6: normalized token edit distance.
-	ed := text.EditDistance(nlToks, dToks)
-	den := len(nlToks) + len(dToks)
+	ed := text.EditDistance(p.toks, dToks)
+	den := len(p.toks) + len(dToks)
 	if den == 0 {
 		den = 1
 	}
 	f = append(f, 1-float64(ed)/float64(den))
 	// 7-8: length signals.
-	f = append(f, lengthRatio(len(nlToks), len(dToks)))
-	f = append(f, math.Abs(float64(len(nlToks)-len(dToks)))/16)
+	f = append(f, lengthRatio(len(p.toks), len(dToks)))
+	f = append(f, math.Abs(float64(len(p.toks)-len(dToks)))/16)
 	// 9: numeric literal agreement.
-	f = append(f, numberAgreement(nlToks, dToks))
+	f = append(f, setAgreement(p.nums, numbers(dToks)))
 	// 10-12: superlative / negation / aggregate marker agreement.
-	f = append(f, markerAgreement(nlToks, dToks, superlatives))
-	f = append(f, markerAgreement(nlToks, dToks, negations))
-	f = append(f, markerAgreement(nlToks, dToks, aggregates))
+	f = append(f, boolFeat(p.hasSuper == hasAny(dToks, superlatives)))
+	f = append(f, boolFeat(p.hasNeg == hasAny(dToks, negations)))
+	f = append(f, boolFeat(p.hasAgg == hasAny(dToks, aggregates)))
 	// 13: "for each"/"per" vs GROUP BY phrase agreement.
-	f = append(f, boolFeat(hasGroupCue(nl) == strings.Contains(dial, "for each")))
+	f = append(f, boolFeat(p.groupCue == strings.Contains(dial, "for each")))
 	// 14: ordering cue agreement.
-	f = append(f, boolFeat(hasOrderCue(nl) == strings.Contains(dial, "order of")))
+	f = append(f, boolFeat(p.orderCue == strings.Contains(dial, "order of")))
 	// 15: comparison cue agreement ("more than", "at least", ...).
-	f = append(f, boolFeat(hasCompareCue(nl) == hasCompareCue(dial)))
+	f = append(f, boolFeat(p.compareCue == hasCompareCue(dial)))
 	// 16: select-sentence agreement — coverage of the dialect's first
 	// sentence (the projection) by the NL query; separates candidates
 	// that differ only in the selected columns.
@@ -96,18 +161,21 @@ func (x *Extractor) Features(nl, dial string) []float64 {
 	if i := strings.IndexByte(dial, '.'); i > 0 {
 		firstSentence = dial[:i]
 	}
-	f = append(f, text.OverlapRatio(text.CanonTokens(firstSentence), nlContent))
+	f = append(f, text.OverlapRatio(text.CanonTokens(firstSentence), p.content))
 	// 17: leading-token agreement — the head of the question names the
 	// projection ("find the AGE of ..."), so its first content tokens
 	// must appear in the dialect's projection sentence. This separates
 	// role-swapped candidates (ORDER BY age vs SELECT age) that share a
 	// bag of words.
-	f = append(f, text.OverlapRatio(headTokens(nlContent, 3), text.CanonTokens(firstSentence)))
+	f = append(f, text.OverlapRatio(p.head, text.CanonTokens(firstSentence)))
 	// 18: learned retrieval similarity.
-	if x.Encoder != nil {
-		f = append(f, float64(x.Encoder.Similarity(nl, dial)))
-	} else {
+	switch {
+	case x.Encoder == nil:
 		f = append(f, 0)
+	case dialVec != nil:
+		f = append(f, float64(vector.Dot(p.vec, dialVec)))
+	default:
+		f = append(f, float64(vector.Dot(p.vec, x.Encoder.Encode(dial))))
 	}
 	// 19: bias.
 	f = append(f, 1)
@@ -140,8 +208,9 @@ func lengthRatio(a, b int) float64 {
 	return float64(a) / float64(b)
 }
 
-func numberAgreement(a, b []string) float64 {
-	na, nb := numbers(a), numbers(b)
+// setAgreement compares the numeric-literal sets of both sides: a pair
+// with no numbers anywhere agrees perfectly, otherwise Jaccard.
+func setAgreement(na, nb []string) float64 {
 	if len(na) == 0 && len(nb) == 0 {
 		return 1
 	}
@@ -156,14 +225,6 @@ func numbers(tokens []string) []string {
 		}
 	}
 	return out
-}
-
-func markerAgreement(a, b []string, set map[string]bool) float64 {
-	ha, hb := hasAny(a, set), hasAny(b, set)
-	if ha == hb {
-		return 1
-	}
-	return 0
 }
 
 func hasAny(tokens []string, set map[string]bool) bool {
@@ -232,6 +293,75 @@ func (m *Model) Score(nl, dial string) float64 {
 	return m.Net.Score(m.X.Features(nl, dial))
 }
 
+// ScorePrep scores one prepared question against one candidate.
+// dialVec, when non-nil, must be the encoder embedding of dial. The
+// score is bit-identical to Score(nl, dial).
+func (m *Model) ScorePrep(p *Prep, dial string, dialVec vector.Vec) float64 {
+	return m.Net.Score(m.X.FeaturesPrep(p, dial, dialVec))
+}
+
+// ScoreBatchContext scores the prepared question against every
+// candidate, fanning the forward passes across workers (0 means one
+// per CPU). dialVecs is either nil or aligned with dialects. scores[i]
+// is bit-identical to Score(nl, dialects[i]) regardless of the worker
+// count — each score depends only on its own (Prep, dialect) pair.
+func (m *Model) ScoreBatchContext(ctx context.Context, p *Prep, dialects []string, dialVecs []vector.Vec, workers int) ([]float64, error) {
+	scores := make([]float64, len(dialects))
+	err := parallel.ForEach(ctx, len(dialects), workers, func(i int) error {
+		var dv vector.Vec
+		if dialVecs != nil {
+			dv = dialVecs[i]
+		}
+		scores[i] = m.ScorePrep(p, dialects[i], dv)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// RankScoresPrepContext ranks the candidates for a prepared question
+// and returns both the descending-score index order and the raw score
+// per original candidate index, so callers never re-score a candidate
+// they already ranked.
+func (m *Model) RankScoresPrepContext(ctx context.Context, p *Prep, dialects []string, dialVecs []vector.Vec, workers int) ([]int, []float64, error) {
+	scores, err := m.ScoreBatchContext(ctx, p, dialects, dialVecs, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rankOrder(scores), scores, nil
+}
+
+// RankScoresContext is RankScoresPrepContext over a raw NL question.
+func (m *Model) RankScoresContext(ctx context.Context, nl string, dialects []string, dialVecs []vector.Vec, workers int) ([]int, []float64, error) {
+	return m.RankScoresPrepContext(ctx, m.X.Prepare(nl), dialects, dialVecs, workers)
+}
+
+// rankOrder returns candidate indexes in descending score order using
+// an insertion sort that is stable by original index, so exact score
+// ties rank deterministically no matter how the scores were produced.
+func rankOrder(scores []float64) []int {
+	type scored struct {
+		idx   int
+		score float64
+	}
+	s := make([]scored, len(scores))
+	for i, sc := range scores {
+		s[i] = scored{idx: i, score: sc}
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].score > s[j-1].score; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]int, len(s))
+	for i, sc := range s {
+		out[i] = sc.idx
+	}
+	return out
+}
+
 // TrainingList is one listwise group: an NL query with candidate
 // dialects and their binary (or graded) relevance labels.
 type TrainingList struct {
@@ -245,8 +375,9 @@ func (m *Model) Train(lists []TrainingList, cfg nn.TrainConfig) []float64 {
 	nnLists := make([]nn.List, 0, len(lists))
 	for _, l := range lists {
 		list := nn.List{Labels: l.Labels}
+		p := m.X.Prepare(l.NL)
 		for _, d := range l.Dialects {
-			list.Features = append(list.Features, m.X.Features(l.NL, d))
+			list.Features = append(list.Features, m.X.FeaturesPrep(p, d, nil))
 		}
 		nnLists = append(nnLists, list)
 	}
@@ -262,30 +393,10 @@ func (m *Model) Rank(nl string, dialects []string) []int {
 	return order
 }
 
-// RankContext is Rank with cancellation: the context is checked before
+// RankContext is Rank with cancellation: the context is checked around
 // every forward pass, so a deadline set over a large candidate list
 // aborts mid-scoring instead of completing the full scan.
 func (m *Model) RankContext(ctx context.Context, nl string, dialects []string) ([]int, error) {
-	type scored struct {
-		idx   int
-		score float64
-	}
-	s := make([]scored, len(dialects))
-	for i, d := range dialects {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		s[i] = scored{idx: i, score: m.Score(nl, d)}
-	}
-	// Insertion sort keeps determinism on ties (stable by index).
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j].score > s[j-1].score; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	out := make([]int, len(s))
-	for i, sc := range s {
-		out[i] = sc.idx
-	}
-	return out, nil
+	order, _, err := m.RankScoresContext(ctx, nl, dialects, nil, 1)
+	return order, err
 }

@@ -1,12 +1,14 @@
 package rerank_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/embed"
 	"repro/internal/nn"
 	"repro/internal/rerank"
 	"repro/internal/text"
+	"repro/internal/vector"
 )
 
 func newExtractor() *rerank.Extractor {
@@ -128,6 +130,97 @@ func TestTrainAndRank(t *testing.T) {
 	}
 	if correct < 3 {
 		t.Errorf("re-ranker got only %d/4 training lists right", correct)
+	}
+}
+
+// TestPrepPathBitIdentical pins the amortized scoring path — prepared
+// NL-side features plus precomputed dialect embeddings — to the legacy
+// per-pair path, feature by feature and bit by bit. The translate hot
+// path's determinism guarantee rests on this equivalence.
+func TestPrepPathBitIdentical(t *testing.T) {
+	x := newExtractor()
+	nls := []string{
+		"who is the oldest employee",
+		"employees older than 30",
+		"",
+		"how many employees are there",
+	}
+	dialects := []string{
+		"Find the name of employee. Return the top one result in descending order of the age of employee.",
+		"Find the number of employees.",
+		"",
+		"Find the name of employee. Return results only for employee that age is greater than value.",
+	}
+	dialVecs := make([]vector.Vec, len(dialects))
+	for i, d := range dialects {
+		dialVecs[i] = x.Encoder.Encode(d)
+	}
+	for _, nl := range nls {
+		plain := x.Prepare(nl)
+		withVec := x.PrepareVec(nl, x.Encoder.Encode(nl))
+		for di, d := range dialects {
+			want := x.Features(nl, d)
+			for name, got := range map[string][]float64{
+				"Prepare":            x.FeaturesPrep(plain, d, nil),
+				"Prepare+dialVec":    x.FeaturesPrep(plain, d, dialVecs[di]),
+				"PrepareVec+dialVec": x.FeaturesPrep(withVec, d, dialVecs[di]),
+			} {
+				if len(got) != len(want) {
+					t.Fatalf("%s: dim %d vs %d", name, len(got), len(want))
+				}
+				for fi := range want {
+					if got[fi] != want[fi] {
+						t.Errorf("nl=%q dial=%q %s feature %d: %v != %v",
+							nl, d, name, fi, got[fi], want[fi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBatchMatchesScore pins batched (and parallel) scoring and
+// ranking to the sequential per-pair API.
+func TestScoreBatchMatchesScore(t *testing.T) {
+	x := newExtractor()
+	m, err := rerank.New(x, 7)
+	if err != nil {
+		t.Fatalf("rerank.New: %v", err)
+	}
+	nl := "who is the oldest employee"
+	dialects := []string{
+		"Find the name of employee. Return the top one result in descending order of the age of employee.",
+		"Find the name of employee.",
+		"Find the number of employees.",
+		"Find the age of employee.",
+	}
+	dialVecs := make([]vector.Vec, len(dialects))
+	for i, d := range dialects {
+		dialVecs[i] = x.Encoder.Encode(d)
+	}
+	want := make([]float64, len(dialects))
+	for i, d := range dialects {
+		want[i] = m.Score(nl, d)
+	}
+	wantOrder := m.Rank(nl, dialects)
+	for _, workers := range []int{1, 4} {
+		order, scores, err := m.RankScoresContext(context.Background(), nl, dialects, dialVecs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if scores[i] != want[i] {
+				t.Errorf("workers=%d score %d: %v != %v", workers, i, scores[i], want[i])
+			}
+			if order[i] != wantOrder[i] {
+				t.Errorf("workers=%d order %d: %d != %d", workers, i, order[i], wantOrder[i])
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := m.RankScoresContext(ctx, nl, dialects, nil, 2); err == nil {
+		t.Error("cancelled rank must fail")
 	}
 }
 

@@ -1,0 +1,105 @@
+package sqlast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/generalize"
+	"repro/internal/schema"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlcheck"
+	"repro/internal/sqlparse"
+)
+
+// roundtripSamples are the seed sets the generalizer grows into pools.
+// Together they exercise every printable construct: joins, aggregates,
+// grouping, ordering, subqueries, set operations and compound keys.
+func roundtripSamples(db *schema.Database) []*sqlast.Query {
+	var srcs []string
+	switch db.Name {
+	case "flight_2":
+		srcs = []string{
+			"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+			"SELECT airline FROM airlines WHERE country = 'USA'",
+			"SELECT COUNT(*) FROM flights",
+			"SELECT airportName FROM airports WHERE city = 'Denver'",
+			"SELECT T1.airline FROM airlines AS T1 JOIN flights AS T2 ON T1.uid = T2.airline WHERE T2.sourceAirport = 'AHD'",
+			"SELECT country FROM airlines UNION SELECT country FROM airports",
+			"SELECT airline FROM airlines WHERE uid IN (SELECT airline FROM flights)",
+		}
+	default:
+		srcs = []string{
+			"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+			"SELECT name FROM employee WHERE age > 30",
+			"SELECT age FROM employee WHERE city = 'Austin'",
+			"SELECT city, COUNT(*) FROM employee GROUP BY city",
+			"SELECT AVG(bonus) FROM evaluation",
+			"SELECT city FROM employee GROUP BY city HAVING COUNT(*) > 2",
+			"SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)",
+			"SELECT name FROM employee UNION SELECT shop_name FROM shop",
+			"SELECT shop_name FROM shop ORDER BY number_products DESC LIMIT 1",
+			"SELECT name FROM employee WHERE age > 30 AND city = 'Austin'",
+			"SELECT T2.bonus FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id WHERE T1.name = 'John'",
+			"SELECT location FROM shop WHERE number_products > 50",
+		}
+	}
+	out := make([]*sqlast.Query, 0, len(srcs))
+	for _, s := range srcs {
+		out = append(out, sqlparse.MustParse(s))
+	}
+	return out
+}
+
+// TestPoolRoundTrip is the printer/parser contract over real workloads:
+// for every query the generalizer can put in a candidate pool,
+// print→parse→print is a fixed point, and the semantic analyzer reaches
+// the same verdict on the original tree and on its reparse. A drift in
+// either would mean persisted pools (gar prepare writes printed SQL)
+// change meaning when reloaded.
+func TestPoolRoundTrip(t *testing.T) {
+	dbs := []*schema.Database{schematest.Employee(), schematest.Flights()}
+	for _, db := range dbs {
+		t.Run(db.Name, func(t *testing.T) {
+			res := generalize.Generalize(db, roundtripSamples(db), generalize.Config{
+				TargetSize: 400,
+				MaxStall:   5000,
+				Seed:       42,
+				Rules:      generalize.AllRules(),
+			})
+			if len(res.Queries) < 25 {
+				t.Fatalf("pool too small to be meaningful: %d queries", len(res.Queries))
+			}
+			checker := sqlcheck.New(db)
+			for i, q := range res.Queries {
+				first := q.String()
+				q2, err := sqlparse.Parse(first)
+				if err != nil {
+					t.Fatalf("pool[%d]: printed query does not reparse: %v\n%s", i, err, first)
+				}
+				if second := q2.String(); second != first {
+					t.Fatalf("pool[%d]: print not a fixed point:\n first: %s\nsecond: %s", i, first, second)
+				}
+				if want, got := verdict(checker, q), verdict(checker, q2); want != got {
+					t.Fatalf("pool[%d]: sqlcheck verdict changed across round trip:\nquery: %s\n want: %s\n  got: %s",
+						i, first, want, got)
+				}
+			}
+			t.Logf("%s: %d pool queries round-tripped with stable verdicts", db.Name, len(res.Queries))
+		})
+	}
+}
+
+// verdict canonicalizes an analyzer run for comparison: every diagnostic
+// with rule, severity and message, in rule order.
+func verdict(a *sqlcheck.Analyzer, q *sqlast.Query) string {
+	diags := a.Check(q)
+	if len(diags) == 0 {
+		return "clean"
+	}
+	out := ""
+	for _, d := range diags {
+		out += fmt.Sprintf("%s;", d.String())
+	}
+	return out
+}

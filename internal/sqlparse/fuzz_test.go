@@ -1,0 +1,95 @@
+package sqlparse_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// fuzzSeeds is the seed corpus: the spec's sample queries (every SQL
+// construct the SPIDER subset supports), plus malformed shapes that
+// have historically been risky for recursive-descent parsers.
+func fuzzSeeds() []string {
+	return []string{
+		// Spec sample queries (the employee demo spec).
+		"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+		"SELECT name FROM employee WHERE age > 30",
+		"SELECT age FROM employee WHERE city = 'Austin'",
+		"SELECT city, COUNT(*) FROM employee GROUP BY city",
+		"SELECT AVG(bonus) FROM evaluation",
+		"SELECT COUNT(*) FROM employee",
+		"SELECT shop_name FROM shop ORDER BY number_products DESC LIMIT 1",
+		"SELECT name FROM employee ORDER BY age DESC LIMIT 1",
+		"SELECT city FROM employee",
+		// Set operations, subqueries, HAVING, BETWEEN, IN, EXISTS, NOT.
+		"SELECT name FROM employee UNION SELECT city FROM employee",
+		"SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)",
+		"SELECT city FROM employee GROUP BY city HAVING COUNT(*) > 2",
+		"SELECT name FROM employee WHERE age BETWEEN 20 AND 30",
+		"SELECT name FROM employee WHERE city IN (SELECT city FROM shop)",
+		"SELECT name FROM employee WHERE NOT EXISTS (SELECT * FROM shop)",
+		"SELECT name FROM employee WHERE NOT age IN (SELECT age FROM employee)",
+		"SELECT name FROM (SELECT name FROM employee) AS sub",
+		"SELECT name FROM employee WHERE name LIKE 'A'",
+		// Malformed and adversarial shapes.
+		"",
+		"SELECT",
+		"SELECT FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE (((((((",
+		"SELECT * FROM t WHERE NOT NOT NOT NOT a = 1",
+		"SELECT * FROM t UNION SELECT * FROM t UNION SELECT * FROM t",
+		"SELECT * FROM t;",
+		"SELECT * FROM t; SELECT * FROM u",
+		"'unterminated",
+		"SELECT \x00 FROM t",
+		strings.Repeat("(", 100),
+	}
+}
+
+// FuzzParse is the parser's no-panic contract: on arbitrary input,
+// Parse returns a query or an error — it never panics, never hangs,
+// and never overflows the stack. Accepted inputs must additionally
+// survive one print→parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := sqlparse.Parse(src)
+		if err != nil {
+			return // rejecting is always fine; panicking is not
+		}
+		printed := q.String()
+		q2, err := sqlparse.Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own printout %q: %v", src, printed, err)
+		}
+		if again := q2.String(); again != printed {
+			t.Fatalf("printout not a fixed point:\n first: %s\nsecond: %s", printed, again)
+		}
+	})
+}
+
+// TestParseDepthLimit pins the recursion guard: pathological nesting in
+// every recursive production must fail with an error, not a stack
+// overflow.
+func TestParseDepthLimit(t *testing.T) {
+	deep := []string{
+		strings.Repeat("SELECT * FROM t WHERE a IN (", 4000) + "SELECT b FROM u" + strings.Repeat(")", 4000),
+		strings.Repeat("SELECT * FROM t UNION ", 4000) + "SELECT * FROM t",
+		"SELECT * FROM t WHERE " + strings.Repeat("NOT ", 100000) + "a = 1",
+		"SELECT * FROM t WHERE " + strings.Repeat("(", 100000) + "a = 1" + strings.Repeat(")", 100000),
+	}
+	for _, src := range deep {
+		if _, err := sqlparse.Parse(src); err == nil {
+			t.Errorf("pathologically deep query accepted (len %d)", len(src))
+		}
+	}
+	// Reasonable nesting must still parse.
+	ok := "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee WHERE city IN (SELECT city FROM shop))"
+	if _, err := sqlparse.Parse(ok); err != nil {
+		t.Errorf("realistic nesting rejected: %v", err)
+	}
+}

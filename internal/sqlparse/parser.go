@@ -58,11 +58,32 @@ func MustParse(src string) *sqlast.Query {
 	return q
 }
 
+// maxDepth bounds grammar recursion (nested subqueries, chained set
+// operations, stacked NOTs and parenthesized conditions). Adversarial
+// inputs like "(((((..." or "NOT NOT NOT ..." must come back as parse
+// errors, never as a stack overflow — the parser sits on the serving
+// path. SPIDER-style queries nest a handful of levels at most.
+const maxDepth = 64
+
 type parser struct {
-	toks []sqltoken.Token
-	pos  int
-	src  string
+	toks  []sqltoken.Token
+	pos   int
+	src   string
+	depth int
 }
+
+// enter counts one level of grammar recursion; the matching exit MUST
+// be deferred. It fails (instead of letting the goroutine stack blow
+// up) past maxDepth.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return fmt.Errorf("sqlparse: query nesting exceeds %d levels", maxDepth)
+	}
+	return nil
+}
+
+func (p *parser) exit() { p.depth-- }
 
 func (p *parser) peek() sqltoken.Token { return p.toks[p.pos] }
 
@@ -112,6 +133,10 @@ func (p *parser) expectSymbol(sym string) error {
 }
 
 func (p *parser) parseQuery() (*sqlast.Query, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	sel, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -329,6 +354,10 @@ func (p *parser) parseAndCond() (sqlast.Expr, error) {
 }
 
 func (p *parser) parsePredicate() (sqlast.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.exit()
 	if p.keyword("NOT") {
 		if p.keyword("EXISTS") {
 			return p.parseExistsBody(true)

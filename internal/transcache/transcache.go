@@ -1,0 +1,186 @@
+// Package transcache is a generation-keyed LRU cache for the
+// translation hot path. Every entry is stamped with the pool generation
+// (internal/core bumps it on Prepare and Swap) that produced it, and a
+// lookup only hits when the caller's current generation matches — so a
+// hot reload invalidates the whole cache implicitly, with no
+// flush-coordination between the swap and in-flight readers, and a
+// stale entry can never be served across a snapshot swap.
+//
+// A nil *Cache is valid and never hits: Get misses, Put drops, Stats is
+// zero. That lets callers disable caching by simply not constructing
+// one.
+package transcache
+
+import "sync"
+
+// Stats is a point-in-time counter snapshot of a cache.
+type Stats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that found nothing (including entries
+	// rejected because their generation was stale).
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by capacity pressure or
+	// generation staleness.
+	Evictions uint64 `json:"evictions"`
+	// Len is the current number of live entries.
+	Len int `json:"size"`
+	// Capacity is the maximum number of entries.
+	Capacity int `json:"capacity"`
+}
+
+// entry is one cached value with its intrusive LRU links.
+type entry[V any] struct {
+	key        string
+	gen        uint64
+	val        V
+	prev, next *entry[V]
+}
+
+// Cache is a fixed-capacity LRU keyed by (generation, string). It is
+// safe for concurrent use.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*entry[V]
+	// head is most-recently used, tail least-recently used.
+	head, tail *entry[V]
+
+	hits, misses, evictions uint64
+}
+
+// New builds a cache bounded to capacity entries. A capacity below 1
+// returns nil — the valid never-hitting cache — so callers can pass a
+// "disabled" size straight through.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		return nil
+	}
+	return &Cache[V]{capacity: capacity, items: make(map[string]*entry[V], capacity)}
+}
+
+// Get returns the value cached under key for the given generation. An
+// entry written by an older (or newer) generation is treated as a miss
+// and evicted on the spot.
+func (c *Cache[V]) Get(gen uint64, key string) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	if e.gen != gen {
+		c.remove(e)
+		c.evictions++
+		c.misses++
+		return zero, false
+	}
+	c.moveToFront(e)
+	c.hits++
+	return e.val, true
+}
+
+// Put stores the value under key for the given generation, replacing
+// any existing entry for the key and evicting the least-recently used
+// entry when the cache is full.
+func (c *Cache[V]) Put(gen uint64, key string, val V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.gen, e.val = gen, val
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[V]{key: key, gen: gen, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.capacity {
+		c.remove(c.tail)
+		c.evictions++
+	}
+}
+
+// Purge drops every entry, keeping the counters.
+func (c *Cache[V]) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions += uint64(len(c.items))
+	c.items = make(map[string]*entry[V], c.capacity)
+	c.head, c.tail = nil, nil
+}
+
+// Stats returns a snapshot of the cache counters. A nil cache reports
+// the zero Stats.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       len(c.items),
+		Capacity:  c.capacity,
+	}
+}
+
+// pushFront links e as the most-recently-used entry. Callers hold mu.
+func (c *Cache[V]) pushFront(e *entry[V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// remove unlinks e and drops it from the map. Callers hold mu.
+func (c *Cache[V]) remove(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(c.items, e.key)
+}
+
+// moveToFront marks e most-recently used. Callers hold mu.
+func (c *Cache[V]) moveToFront(e *entry[V]) {
+	if c.head == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+}

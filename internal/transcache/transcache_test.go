@@ -1,0 +1,129 @@
+package transcache_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/transcache"
+)
+
+func TestHitMissAndStats(t *testing.T) {
+	c := transcache.New[string](4)
+	if _, ok := c.Get(1, "a"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put(1, "a", "va")
+	got, ok := c.Get(1, "a")
+	if !ok || got != "va" {
+		t.Fatalf("Get = %q, %v; want va, true", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Len != 1 || st.Capacity != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := transcache.New[int](8)
+	c.Put(1, "q", 42)
+	if _, ok := c.Get(2, "q"); ok {
+		t.Fatal("entry from generation 1 must not serve generation 2")
+	}
+	// The stale entry is evicted, not resurrected for its old generation.
+	if _, ok := c.Get(1, "q"); ok {
+		t.Fatal("stale entry must be evicted on the mismatching lookup")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 0 {
+		t.Errorf("stats after staleness eviction = %+v", st)
+	}
+	// A fresh Put under the new generation serves again.
+	c.Put(2, "q", 43)
+	if v, ok := c.Get(2, "q"); !ok || v != 43 {
+		t.Fatalf("Get after re-put = %d, %v", v, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := transcache.New[int](3)
+	c.Put(1, "a", 1)
+	c.Put(1, "b", 2)
+	c.Put(1, "c", 3)
+	// Touch "a" so "b" is the least recently used.
+	if _, ok := c.Get(1, "a"); !ok {
+		t.Fatal("a must hit")
+	}
+	c.Put(1, "d", 4)
+	if _, ok := c.Get(1, "b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(1, k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+	if st := c.Stats(); st.Len != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutReplacesInPlace(t *testing.T) {
+	c := transcache.New[int](2)
+	c.Put(1, "k", 1)
+	c.Put(1, "k", 2)
+	if st := c.Stats(); st.Len != 1 {
+		t.Fatalf("replacing put grew the cache: %+v", st)
+	}
+	if v, _ := c.Get(1, "k"); v != 2 {
+		t.Errorf("got %d, want replaced value 2", v)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := transcache.New[int](4)
+	c.Put(1, "a", 1)
+	c.Put(1, "b", 2)
+	c.Purge()
+	if st := c.Stats(); st.Len != 0 || st.Evictions != 2 {
+		t.Errorf("stats after purge = %+v", st)
+	}
+	if _, ok := c.Get(1, "a"); ok {
+		t.Error("purged entry must miss")
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *transcache.Cache[int]
+	c.Put(1, "k", 1)
+	if _, ok := c.Get(1, "k"); ok {
+		t.Error("nil cache must never hit")
+	}
+	c.Purge()
+	if st := c.Stats(); st != (transcache.Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+	if transcache.New[int](0) != nil {
+		t.Error("capacity < 1 must construct the disabled (nil) cache")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := transcache.New[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				c.Put(uint64(i%3), key, i)
+				c.Get(uint64(i%3), key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Len > 64 {
+		t.Errorf("cache exceeded capacity: %+v", st)
+	}
+}

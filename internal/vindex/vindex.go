@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/vector"
 )
 
@@ -39,8 +40,33 @@ type Index interface {
 	// SearchContext is Search with cancellation: the scan aborts (and
 	// returns the context error) when ctx is done.
 	SearchContext(ctx context.Context, q vector.Vec, k int) ([]Hit, error)
+	// SearchBatch answers one top-k query per embedding in qs with a
+	// single call: the per-query scans fan out across the available
+	// CPUs, and out[i] is exactly what SearchContext(ctx, qs[i], k)
+	// would return. Batching replaces the per-query loop the training
+	// and bulk-evaluation paths would otherwise run sequentially.
+	SearchBatch(ctx context.Context, qs []vector.Vec, k int) ([][]Hit, error)
 	// Len returns the number of stored vectors.
 	Len() int
+}
+
+// searchBatch fans a query batch across CPUs over any per-query search
+// function, keeping out[i] aligned with qs[i].
+func searchBatch(ctx context.Context, qs []vector.Vec, k int,
+	search func(ctx context.Context, q vector.Vec, k int) ([]Hit, error)) ([][]Hit, error) {
+	out := make([][]Hit, len(qs))
+	err := parallel.ForEach(ctx, len(qs), 0, func(i int) error {
+		hits, serr := search(ctx, qs[i], k)
+		if serr != nil {
+			return serr
+		}
+		out[i] = hits
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Flat is the exact brute-force index.
@@ -72,6 +98,11 @@ func (f *Flat) Search(q vector.Vec, k int) []Hit {
 // SearchContext implements Index.
 func (f *Flat) SearchContext(ctx context.Context, q vector.Vec, k int) ([]Hit, error) {
 	return topK(ctx, q, f.ids, f.vecs, k)
+}
+
+// SearchBatch implements Index.
+func (f *Flat) SearchBatch(ctx context.Context, qs []vector.Vec, k int) ([][]Hit, error) {
+	return searchBatch(ctx, qs, k, f.SearchContext)
 }
 
 // IVF is the clustered index: vectors are assigned to the nearest of
@@ -182,24 +213,96 @@ func (iv *IVF) SearchContext(ctx context.Context, q vector.Vec, k int) ([]Hit, e
 	return topK(ctx, q, ids, vecs, k)
 }
 
+// SearchBatch implements Index. The coarse quantizer is built once up
+// front so concurrent per-query scans never contend on the lazy build.
+func (iv *IVF) SearchBatch(ctx context.Context, qs []vector.Vec, k int) ([][]Hit, error) {
+	iv.Build()
+	return searchBatch(ctx, qs, k, iv.SearchContext)
+}
+
+// better is the ranking order of hits: score descending, ID ascending
+// on ties. It is a strict total order, which is what makes the bounded
+// heap selection below return exactly the prefix a full sort would.
+func better(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// topK scores every vector against q and returns the k best hits in
+// `better` order. For k well below the pool size it keeps a bounded
+// min-heap (worst hit at the root) instead of sorting the whole score
+// slice: O(n log k) with a k-sized footprint rather than O(n log n)
+// over the full pool, which is the dominant cost of first-stage
+// retrieval over large candidate pools.
 func topK(ctx context.Context, q vector.Vec, ids []int, vecs []vector.Vec, k int) ([]Hit, error) {
-	hits := make([]Hit, 0, len(ids))
+	if k <= 0 || k >= len(ids) {
+		hits := make([]Hit, 0, len(ids))
+		for i, v := range vecs {
+			if i&(ctxCheckStride-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			hits = append(hits, Hit{ID: ids[i], Score: vector.Dot(q, v)})
+		}
+		sort.Slice(hits, func(i, j int) bool { return better(hits[i], hits[j]) })
+		return hits, nil
+	}
+
+	// heap[0] is the worst of the k best seen so far (min-heap under
+	// `better`).
+	heap := make([]Hit, 0, k)
 	for i, v := range vecs {
 		if i&(ctxCheckStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		hits = append(hits, Hit{ID: ids[i], Score: vector.Dot(q, v)})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+		h := Hit{ID: ids[i], Score: vector.Dot(q, v)}
+		if len(heap) < k {
+			heap = append(heap, h)
+			siftUp(heap, len(heap)-1)
+			continue
 		}
-		return hits[i].ID < hits[j].ID
-	})
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
+		if better(h, heap[0]) {
+			heap[0] = h
+			siftDown(heap, 0)
+		}
 	}
-	return hits, nil
+	sort.Slice(heap, func(i, j int) bool { return better(heap[i], heap[j]) })
+	return heap, nil
+}
+
+// siftUp restores the min-heap property (worst hit at the root, under
+// `better`) after appending at position i.
+func siftUp(h []Hit, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !better(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap property after replacing the root.
+func siftDown(h []Hit, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && better(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && better(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }

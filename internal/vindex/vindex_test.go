@@ -1,6 +1,7 @@
 package vindex_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -127,5 +128,85 @@ func TestDeterministicTieBreak(t *testing.T) {
 	hits := idx.Search(vector.Vec{1, 0}, 2)
 	if hits[0].ID != 3 || hits[1].ID != 5 {
 		t.Errorf("tie break should order by id: %+v", hits)
+	}
+}
+
+// TestHeapSelectionMatchesFullSort pins the bounded-heap top-k to the
+// full-sort semantics across every k, including heavy score ties.
+func TestHeapSelectionMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	idx := vindex.NewFlat()
+	n := 300
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			// Duplicate vectors force exact score ties.
+			idx.Add(i, vector.Vec{1, 0, 0})
+		} else {
+			idx.Add(i, randomUnit(rng, 3))
+		}
+	}
+	q := randomUnit(rng, 3)
+	// k >= n takes the full-sort path; smaller k takes the heap path.
+	full := idx.Search(q, n)
+	for _, k := range []int{1, 2, 7, 50, 299} {
+		got := idx.Search(q, k)
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d hits", k, len(got))
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("k=%d: rank %d differs: heap %+v vs sort %+v", k, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	flat := vindex.NewFlat()
+	ivf := vindex.NewIVF(8, 8, 3)
+	for i := 0; i < 250; i++ {
+		v := randomUnit(rng, 12)
+		flat.Add(i, v)
+		ivf.Add(i, v)
+	}
+	qs := make([]vector.Vec, 40)
+	for i := range qs {
+		qs[i] = randomUnit(rng, 12)
+	}
+	for _, idx := range []vindex.Index{flat, ivf} {
+		batch, err := idx.SearchBatch(context.Background(), qs, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(qs) {
+			t.Fatalf("batch size %d, want %d", len(batch), len(qs))
+		}
+		for qi, q := range qs {
+			want, err := idx.SearchContext(context.Background(), q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch[qi]) != len(want) {
+				t.Fatalf("query %d: %d hits vs %d", qi, len(batch[qi]), len(want))
+			}
+			for i := range want {
+				if batch[qi][i] != want[i] {
+					t.Fatalf("query %d rank %d: batch %+v vs sequential %+v", qi, i, batch[qi][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchCancellation(t *testing.T) {
+	idx := vindex.NewFlat()
+	for i := 0; i < 100; i++ {
+		idx.Add(i, vector.Vec{1, 0})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := idx.SearchBatch(ctx, []vector.Vec{{1, 0}, {0, 1}}, 5); err == nil {
+		t.Fatal("cancelled batch search must fail")
 	}
 }
