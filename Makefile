@@ -54,8 +54,10 @@ cover:
 # stress runs the overload and resilience suites under the race
 # detector: burst admission (deterministic saturation via fault gates),
 # snapshot-swap races against live traffic, breaker trip/recover
-# cycles, the fault-injection matrix, and torn-write persistence.
+# cycles, the fault-injection matrix, torn-write persistence, and the
+# checkpoint crash/recovery drills (write/recover fault matrix, SIGKILL
+# mid-write crash matrix, SIGTERM restart round-trip).
 stress:
-	go test -race -timeout 5m -count=1 \
-		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism' \
-		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./gar/
+	go test -race -timeout 10m -count=1 \
+		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism|TestCheckpoint|TestCrash|TestRecover|TestStore|TestServeRestartSIGTERM|TestServeWarmStart|TestServeAllCorrupt' \
+		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./gar/

@@ -30,8 +30,10 @@
 //	gar -spec db.json            # interactive: one question per line
 //	gar -demo -q "how many employees are there"
 //	gar serve -demo -addr :8765  # HTTP JSON API (see serve.go)
+//	gar serve -demo -statedir /var/lib/gar   # durable checkpoints + warm start
 //	gar lint -spec db.json queries.sql   # semantic SQL checks (see lint.go)
 //	gar lint -demo -pool 500 -o json     # lint a generated candidate pool
+//	gar checkpoint list -statedir /var/lib/gar   # inspect/verify/prune state (see checkpoint.go)
 package main
 
 import (
@@ -91,6 +93,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "checkpoint" {
+		os.Exit(runCheckpoint(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	specPath := flag.String("spec", "", "path to the JSON database spec")
 	question := flag.String("q", "", "question to translate (omit for interactive mode)")
@@ -197,6 +202,25 @@ func buildSystemModels(s *spec, opts gar.Options, loadModels string) (*gar.Syste
 	if err := validateSpec(s); err != nil {
 		return nil, nil, nil, err
 	}
+	sys, content, err := newSystem(s, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	models, err := deploySystem(sys, s, opts, loadModels)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sys, content, models, nil
+}
+
+// newSystem assembles the database schema, system and content from the
+// spec without preparing or training anything: the shared front half of
+// a cold build and a checkpoint warm start (where the pool and models
+// come from the state directory instead).
+func newSystem(s *spec, opts gar.Options) (*gar.System, *gar.Content, error) {
+	if err := validateSpecSchema(s); err != nil {
+		return nil, nil, err
+	}
 	db := gar.NewDatabase(s.Database.Name)
 	for _, t := range s.Database.Tables {
 		tableOpts := []any{gar.Key(t.PrimaryKey...)}
@@ -232,7 +256,7 @@ func buildSystemModels(s *spec, opts gar.Options, loadModels string) (*gar.Syste
 
 	sys, err := gar.New(db, opts)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	var content *gar.Content
 	if len(s.Content) > 0 {
@@ -240,28 +264,39 @@ func buildSystemModels(s *spec, opts gar.Options, loadModels string) (*gar.Syste
 		for table, rows := range s.Content {
 			for _, row := range rows {
 				if err := content.Insert(table, row...); err != nil {
-					return nil, nil, nil, err
+					return nil, nil, err
 				}
 			}
 		}
 		sys.SetContent(content)
 	}
+	return sys, content, nil
+}
+
+// deploySystem runs the expensive back half of a cold build on an
+// assembled system: Prepare the candidate pool from the spec's samples,
+// then train (or load) and deploy the ranking models.
+func deploySystem(sys *gar.System, s *spec, opts gar.Options, loadModels string) (*gar.Models, error) {
+	if len(s.Samples) == 0 {
+		return nil, fmt.Errorf("spec: no sample queries (the candidate pool would be empty)")
+	}
 	if err := sys.Prepare(s.Samples); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	var models *gar.Models
+	var err error
 	if loadModels != "" {
 		models, err = gar.LoadModelsFile(loadModels)
 	} else {
 		models, err = gar.TrainModels([]gar.TrainingSet{{System: sys, Examples: specExamples(s)}}, opts)
 	}
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if err := sys.UseModels(models); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return sys, content, models, nil
+	return models, nil
 }
 
 // specExamples converts the spec's training examples.

@@ -20,6 +20,13 @@
 // retrieval-only degraded mode after repeated stage failures, and
 // POST /reload hot-swaps the candidate pool and models from the spec
 // with zero downtime (old snapshot serves until the atomic swap).
+//
+// With -statedir the serving state is durable: the server warm-starts
+// from the newest valid checkpoint (skipping Prepare and Train
+// entirely), checkpoints in the background after every state change,
+// flushes a final checkpoint on graceful shutdown, and prunes old
+// generations down to -keepckpt. /healthz reports the last checkpoint
+// generation and age.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +48,7 @@ import (
 	"repro/gar"
 	"repro/internal/admit"
 	"repro/internal/breaker"
+	"repro/internal/checkpoint"
 )
 
 // serveConfig holds the tunables of the HTTP service.
@@ -72,6 +81,11 @@ type serveConfig struct {
 	Reload func(ctx context.Context) error
 	// ReloadTimeout bounds one reload (default 5m).
 	ReloadTimeout time.Duration
+
+	// Ckpt, when set, is the background checkpointer persisting the
+	// serving state; /healthz reports its last generation, age and
+	// counters. nil when -statedir is not given.
+	Ckpt *gar.Checkpointer
 }
 
 type server struct {
@@ -214,6 +228,23 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"shed_queue_full": st.ShedQueueFull,
 			"shed_deadline":   st.ShedDeadline,
 		},
+	}
+	if s.cfg.Ckpt != nil {
+		cs := s.cfg.Ckpt.Stats()
+		ck := map[string]any{
+			"last_generation": cs.LastGeneration,
+			"writes":          cs.Writes,
+			"failures":        cs.Failures,
+			"pruned":          cs.Pruned,
+			"pending":         cs.Pending,
+		}
+		if cs.LastUnix > 0 {
+			ck["age_seconds"] = time.Now().Unix() - cs.LastUnix
+		}
+		if cs.LastError != "" {
+			ck["last_error"] = cs.LastError
+		}
+		body["checkpoint"] = ck
 	}
 	if !s.sys.Ready() {
 		body["status"] = "unavailable"
@@ -381,6 +412,57 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// buildServingSystem assembles the system runServe serves. Durable
+// state: with a state directory the newest valid checkpoint brings the
+// complete serving snapshot back in seconds — no Prepare, no Train.
+// Recovery falls back generation-by-generation past corrupt or
+// incompatible files; only when nothing valid exists does the server
+// cold-build from the spec (or, with a schema-only spec, start on a
+// clean empty state answering 503 until a reload). Without a state
+// directory it cold-builds directly and returns a nil store.
+func buildServingSystem(stateDir string, s *spec, opts gar.Options, loadModels string,
+	logf func(format string, args ...any)) (*gar.System, *checkpoint.Store, bool, error) {
+	if stateDir == "" {
+		sys, _, err := buildSystem(s, opts, loadModels)
+		return sys, nil, false, err
+	}
+	ckStore, err := checkpoint.Open(stateDir)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if removed, err := ckStore.CleanTemp(); err != nil {
+		logf("%v", err)
+	} else if len(removed) > 0 {
+		logf("removed %d abandoned temp file(s) from %s", len(removed), stateDir)
+	}
+	sys, _, err := newSystem(s, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	ck, skipped, err := sys.RecoverCheckpoint(ckStore)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	for _, sk := range skipped {
+		logf("skipping checkpoint %s: %v", sk.Path, sk.Err)
+	}
+	switch {
+	case ck != nil:
+		logf("warm start from checkpoint generation %d (%d candidates)",
+			ck.Manifest.Generation, sys.PoolSize())
+		return sys, ckStore, true, nil
+	case len(s.Samples) > 0:
+		logf("no recoverable checkpoint; cold-building from spec")
+		if _, err := deploySystem(sys, s, opts, loadModels); err != nil {
+			return nil, nil, false, err
+		}
+		return sys, ckStore, false, nil
+	default:
+		logf("no recoverable checkpoint and no sample queries; serving 503 until a reload provides state")
+		return sys, ckStore, false, nil
+	}
+}
+
 // runServe is the `gar serve` entry point.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("gar serve", flag.ExitOnError)
@@ -403,6 +485,8 @@ func runServe(args []string) {
 	workers := fs.Int("workers", 0, "parallel fan-out of encoding and re-rank scoring (0 = one per CPU)")
 	cacheSize := fs.Int("cachesize", 1024, "entries per translation cache (embeddings, results)")
 	noCache := fs.Bool("nocache", false, "disable the translation-path caches")
+	stateDir := fs.String("statedir", "", "durable serving-state directory: warm-start from the newest valid checkpoint and checkpoint after every state change")
+	keepCkpt := fs.Int("keepckpt", 3, "checkpoint generations retained in -statedir")
 	_ = fs.Parse(args)
 
 	opts := gar.Options{
@@ -425,11 +509,33 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	sys, _, err := buildSystem(s, opts, *loadModels)
+
+	sys, ckStore, warm, err := buildServingSystem(*stateDir, s, opts, *loadModels,
+		func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gar serve: "+format+"\n", args...)
+		})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "gar serve: %d candidate queries ready on %s\n", sys.PoolSize(), *addr)
+
+	// Background checkpointer: every published state change (cold
+	// build, reload swap, retrain) schedules a durable checkpoint;
+	// bursts coalesce and failed writes retry with jittered backoff.
+	var ckptr *gar.Checkpointer
+	if ckStore != nil {
+		ckptr = sys.NewCheckpointer(ckStore, gar.CheckpointerConfig{
+			Keep: *keepCkpt,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "gar serve: "+format+"\n", args...)
+			},
+		})
+		ckptr.Start()
+		if sys.Ready() && !warm {
+			// Persist the freshly cold-built state now, so a crash
+			// before the first reload already has something to recover.
+			ckptr.Notify()
+		}
+	}
 
 	// Reload re-reads the spec (and model file, if any), rebuilds a
 	// complete new state off to the side, and publishes it with one
@@ -471,14 +577,24 @@ func runServe(args []string) {
 			BreakerCooldown: *breakerCooldown,
 			NoBreaker:       *noBreaker,
 			Reload:          reload,
+			Ckpt:            ckptr,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	// Listen before announcing readiness so the logged address is the
+	// bound one (":0" resolves to a real port — the restart tests rely
+	// on reading it back).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gar serve: %d candidate queries ready on %s\n", sys.PoolSize(), ln.Addr())
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		fatal(err)
@@ -489,5 +605,19 @@ func runServe(args []string) {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fatal(err)
+	}
+	if ckptr != nil {
+		// Final flush: no more mutations can arrive, so stop the
+		// background writer and persist the last published state
+		// synchronously — the restart warm-starts from exactly what
+		// this process was serving.
+		ckptr.Stop()
+		fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer fcancel()
+		if err := ckptr.Flush(fctx); err != nil {
+			fmt.Fprintf(os.Stderr, "gar serve: final checkpoint flush failed: %v\n", err)
+		} else if st := ckptr.Stats(); st.Writes > 0 {
+			fmt.Fprintf(os.Stderr, "gar serve: final checkpoint flushed (generation %d)\n", st.LastGeneration)
+		}
 	}
 }

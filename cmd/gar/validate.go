@@ -9,6 +9,20 @@ import (
 // preparation runs, so a malformed spec fails fast with a message that
 // names the offending field instead of erroring deep inside Prepare.
 func validateSpec(s *spec) error {
+	if err := validateSpecSchema(s); err != nil {
+		return err
+	}
+	if len(s.Samples) == 0 {
+		return fmt.Errorf("spec: no sample queries (the candidate pool would be empty)")
+	}
+	return nil
+}
+
+// validateSpecSchema is validateSpec minus the sample-query
+// requirement: a schema-only spec is enough to warm-start a server
+// from a checkpoint, where the pool comes from the state directory
+// instead of a fresh Prepare.
+func validateSpecSchema(s *spec) error {
 	if s.Database.Name == "" {
 		return fmt.Errorf("spec: database.name is empty")
 	}
@@ -68,9 +82,6 @@ func validateSpec(s *spec) error {
 		if _, ok := tables[table]; !ok {
 			return fmt.Errorf("spec: content references missing table %q", table)
 		}
-	}
-	if len(s.Samples) == 0 {
-		return fmt.Errorf("spec: no sample queries (the candidate pool would be empty)")
 	}
 	return nil
 }

@@ -1,0 +1,88 @@
+package gar_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/gar"
+	"repro/internal/checkpoint"
+)
+
+// freshSystem builds an untrained system with the same options the
+// trainedSystem fixture uses — the warm-start target.
+func freshSystem(t *testing.T) *gar.System {
+	t.Helper()
+	sys, err := gar.New(companyDB(), gar.Options{GeneralizeSize: 400, RetrievalK: 10, Seed: 5,
+		EncoderEpochs: 10, RerankEpochs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestPublicAPICheckpoint exercises the whole facade surface: write a
+// checkpoint from a trained system, recover it into a fresh one, and
+// get identical translations without Prepare or Train.
+func TestPublicAPICheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := trainedSystem(t)
+	gen, err := sys.WriteCheckpoint(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != sys.Generation() {
+		t.Fatalf("wrote generation %d, want %d", gen, sys.Generation())
+	}
+
+	fresh := freshSystem(t)
+	ck, skipped, err := fresh.RecoverCheckpoint(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || len(skipped) != 0 {
+		t.Fatalf("recover: ck=%v skipped=%v", ck, skipped)
+	}
+	if !fresh.Ready() || fresh.Generation() != gen {
+		t.Fatalf("warm start failed: ready=%v gen=%d", fresh.Ready(), fresh.Generation())
+	}
+
+	for _, q := range []string{"how many employees are there", "who is the oldest employee"} {
+		a, err := sys.Translate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.Translate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SQL != b.SQL || a.Dialect != b.Dialect {
+			t.Fatalf("%q: warm-start answer %q (%q), want %q (%q)", q, b.SQL, b.Dialect, a.SQL, a.Dialect)
+		}
+	}
+}
+
+// TestPublicAPICheckpointNotReady: an untrained system has nothing
+// durable to write, and recovering from an empty store is a clean
+// no-checkpoint result, not an error.
+func TestPublicAPICheckpointNotReady(t *testing.T) {
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := freshSystem(t)
+	if _, err := sys.WriteCheckpoint(st); !errors.Is(err, gar.ErrNotReady) {
+		t.Fatalf("write from untrained system: %v, want ErrNotReady", err)
+	}
+	ck, skipped, err := sys.RecoverCheckpoint(st)
+	if err != nil || ck != nil || len(skipped) != 0 {
+		t.Fatalf("recover from empty store: ck=%v skipped=%v err=%v", ck, skipped, err)
+	}
+	if sys.Ready() {
+		t.Fatal("empty recovery marked the system ready")
+	}
+}

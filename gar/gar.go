@@ -31,6 +31,7 @@ import (
 	"os"
 
 	"repro/internal/breaker"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faults"
@@ -453,4 +454,78 @@ func LoadModelsFile(path string) (*Models, error) {
 	}
 	defer f.Close()
 	return LoadModels(f)
+}
+
+// Durable serving-state checkpoints. A checkpoint captures the complete
+// serving snapshot — candidate pool, dialect expressions, candidate
+// embeddings and trained models — as one versioned, checksummed file
+// (see internal/checkpoint), so a restarted process warm-starts in
+// seconds instead of re-running Prepare and Train.
+
+// ErrNotReady is returned by ExportCheckpoint while the system has no
+// translatable snapshot: nothing durable exists before the first
+// completed Train/UseModels/Swap.
+var ErrNotReady = core.ErrNotReady
+
+// CheckpointStats reports the background checkpointer's counters (last
+// written generation and time, write/failure/prune totals); serving
+// layers surface it in health endpoints.
+type CheckpointStats = core.CheckpointStats
+
+// CheckpointerConfig tunes the background checkpointer: retention,
+// burst coalescing, and retry backoff. The zero value is a sensible
+// serving default.
+type CheckpointerConfig = core.CheckpointerConfig
+
+// Checkpointer persists the serving snapshot in the background after
+// every Prepare/Train/Swap, coalescing bursts and retrying failures
+// with jittered exponential backoff; see NewCheckpointer.
+type Checkpointer = core.Checkpointer
+
+// ExportCheckpoint renders the published serving snapshot as a
+// checkpoint manifest plus sections, ready for checkpoint.Store.Write
+// (or Encode). It fails with ErrNotReady before the system is Ready.
+func (s *System) ExportCheckpoint() (checkpoint.Manifest, []checkpoint.Section, error) {
+	return s.inner.ExportCheckpoint()
+}
+
+// WriteCheckpoint exports the serving snapshot and persists it
+// crash-safely into the store, returning the checkpointed generation.
+func (s *System) WriteCheckpoint(st *checkpoint.Store) (uint64, error) {
+	m, sections, err := s.inner.ExportCheckpoint()
+	if err != nil {
+		return 0, err
+	}
+	if err := st.Write(m, sections); err != nil {
+		return 0, err
+	}
+	return m.Generation, nil
+}
+
+// RestoreCheckpoint rebuilds and atomically publishes the complete
+// serving snapshot from a decoded checkpoint: after it returns the
+// system is Ready and translates without running Prepare or Train. A
+// checkpoint for another database fails with checkpoint.ErrIncompatible
+// and an internally inconsistent one with checkpoint.ErrCorrupt; on any
+// failure the system is left untouched.
+func (s *System) RestoreCheckpoint(ck *checkpoint.Checkpoint) error {
+	return s.inner.RestoreCheckpoint(ck)
+}
+
+// RecoverCheckpoint walks the store's checkpoints newest-first and
+// restores the first one that fully validates against this system,
+// falling back generation-by-generation past anything torn, corrupt or
+// incompatible (each recorded in skipped). A nil returned checkpoint
+// with nil error means nothing recoverable exists and the system is
+// unchanged — the caller starts from a clean empty state.
+func (s *System) RecoverCheckpoint(st *checkpoint.Store) (*checkpoint.Checkpoint, []checkpoint.Skipped, error) {
+	return st.Recover(s.inner.RestoreCheckpoint)
+}
+
+// NewCheckpointer couples this system with a checkpoint store. Start
+// registers it on the system's publish hook so every Prepare, Train,
+// UseModels and Swap schedules a durable checkpoint; Flush writes one
+// synchronously (the graceful-shutdown path).
+func (s *System) NewCheckpointer(st *checkpoint.Store, cfg CheckpointerConfig) *Checkpointer {
+	return core.NewCheckpointer(s.inner, st, cfg)
 }

@@ -1,0 +1,258 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testSections() []Section {
+	return []Section{
+		{Name: "pool", Data: []byte("SELECT name FROM employee WHERE age > 'value'")},
+		{Name: "vecs", Data: []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+		{Name: "models", Data: bytes.Repeat([]byte("m"), 257)},
+		{Name: "empty", Data: nil},
+	}
+}
+
+func testManifest() Manifest {
+	return Manifest{Generation: 42, Database: "employee", CreatedUnix: 1_700_000_000}
+}
+
+func encodeTest(t *testing.T) []byte {
+	t.Helper()
+	data, err := Encode(testManifest(), testSections())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// decodeNoPanic guards every hostile-input decode: corruption must
+// surface as a typed error, never as a panic.
+func decodeNoPanic(t *testing.T, data []byte) (ck *Checkpoint, err error) {
+	t.Helper()
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.Fatalf("Decode panicked: %v", rec)
+		}
+	}()
+	return Decode(data)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := encodeTest(t)
+	ck, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	m := ck.Manifest
+	if m.FormatVersion != Format || m.Generation != 42 || m.Database != "employee" || m.CreatedUnix != 1_700_000_000 {
+		t.Fatalf("manifest mangled: %+v", m)
+	}
+	want := testSections()
+	if len(m.Sections) != len(want) {
+		t.Fatalf("section count = %d, want %d", len(m.Sections), len(want))
+	}
+	for i, s := range want {
+		if m.Sections[i].Name != s.Name {
+			t.Fatalf("section %d = %q, want %q (order must be preserved)", i, m.Sections[i].Name, s.Name)
+		}
+		if got := ck.Section(s.Name); !bytes.Equal(got, s.Data) {
+			t.Fatalf("section %q = %q, want %q", s.Name, got, s.Data)
+		}
+	}
+	if got := ck.Section("no-such"); got != nil {
+		t.Fatalf("missing section returned %q", got)
+	}
+	names := ck.SectionNames()
+	if len(names) != len(want) || names[0] != "pool" || names[3] != "empty" {
+		t.Fatalf("SectionNames = %v", names)
+	}
+}
+
+func TestDecodeManifestSkipsPayloads(t *testing.T) {
+	data := encodeTest(t)
+	// Corrupt a payload byte: DecodeManifest must not care, Decode must.
+	data[len(data)-1] ^= 0xFF
+	if _, err := DecodeManifest(data); err != nil {
+		t.Fatalf("DecodeManifest rejected a payload-only corruption: %v", err)
+	}
+	if _, err := decodeNoPanic(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode accepted a corrupt payload: %v", err)
+	}
+}
+
+func TestEncodeRejectsBadSections(t *testing.T) {
+	if _, err := Encode(testManifest(), []Section{{Name: "", Data: nil}}); err == nil {
+		t.Fatal("empty section name accepted")
+	}
+	if _, err := Encode(testManifest(), []Section{{Name: strings.Repeat("n", maxSectionName+1)}}); err == nil {
+		t.Fatal("oversized section name accepted")
+	}
+	many := make([]Section, maxSections+1)
+	for i := range many {
+		many[i].Name = string(rune('a'+i%26)) + strings.Repeat("x", i/26)
+	}
+	if _, err := Encode(testManifest(), many); err == nil {
+		t.Fatal("too many sections accepted")
+	}
+}
+
+// TestDecodeTruncationMatrix truncates a valid envelope at every
+// single offset: each prefix must be rejected with ErrCorrupt and must
+// never panic.
+func TestDecodeTruncationMatrix(t *testing.T) {
+	data := encodeTest(t)
+	for n := 0; n < len(data); n++ {
+		_, err := decodeNoPanic(t, data[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes gave untyped error: %v", n, err)
+		}
+	}
+}
+
+// TestDecodeBitFlipMatrix flips one bit at every byte of the envelope.
+// Each flip must either be rejected with a typed error or (never, for
+// this layout, but tolerated in principle for gob's slack bytes)
+// decode to exactly the original content — a silently wrong section is
+// the one forbidden outcome.
+func TestDecodeBitFlipMatrix(t *testing.T) {
+	data := encodeTest(t)
+	orig, err := Decode(data)
+	if err != nil {
+		t.Fatalf("baseline Decode: %v", err)
+	}
+	for i := range data {
+		flipped := append([]byte(nil), data...)
+		flipped[i] ^= 1 << (i % 8)
+		ck, err := decodeNoPanic(t, flipped)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+				t.Fatalf("flip at byte %d gave untyped error: %v", i, err)
+			}
+			continue
+		}
+		for _, s := range orig.Manifest.Sections {
+			if !bytes.Equal(ck.Section(s.Name), orig.Section(s.Name)) {
+				t.Fatalf("flip at byte %d silently changed section %q", i, s.Name)
+			}
+		}
+	}
+}
+
+func TestDecodeWrongVersionIsIncompatible(t *testing.T) {
+	m := testManifest()
+	m.FormatVersion = Format // Encode overwrites it; fake a future version below.
+	data, err := Encode(m, testSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the manifest with a bumped version by patching through the
+	// public API: decode, bump, re-encode manually is overkill — instead
+	// exercise the check by corrupting nothing and asserting current
+	// version passes, then build a v2 envelope via encodeWithVersion.
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	v2 := encodeWithVersion(t, 99)
+	_, err = decodeNoPanic(t, v2)
+	if !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("future format version error = %v, want ErrIncompatible", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("version mismatch must not read as corruption")
+	}
+}
+
+// encodeWithVersion builds an otherwise-valid envelope claiming an
+// arbitrary format version, bypassing Encode's version stamping.
+func encodeWithVersion(t *testing.T, version int) []byte {
+	t.Helper()
+	data, err := encodeRaw(Manifest{FormatVersion: version, Generation: 1, Database: "db"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeTrailingGarbageRejected(t *testing.T) {
+	data := append(encodeTest(t), "extra bytes"...)
+	if _, err := decodeNoPanic(t, data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+}
+
+func TestDecodeHostileManifests(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           nil,
+		"magic only":      []byte(magic),
+		"wrong magic":     bytes.Repeat([]byte("X"), 64),
+		"huge manifest":   append([]byte(magic), bytes.Repeat([]byte{0xFF}, 16)...),
+		"zero manifest":   append([]byte(magic), make([]byte, 16)...),
+		"garbage gob":     hostileGob(t),
+		"length overflow": hostileLength(t),
+	}
+	for name, data := range cases {
+		_, err := decodeNoPanic(t, data)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+			t.Fatalf("%s: untyped error %v", name, err)
+		}
+	}
+}
+
+// hostileGob claims a plausible manifest length over garbage bytes,
+// with a correct CRC so the garbage reaches the gob decoder.
+func hostileGob(t *testing.T) []byte {
+	t.Helper()
+	garbage := bytes.Repeat([]byte{0x7F, 0x01, 0xFF}, 11)
+	return frameManifestBytes(garbage)
+}
+
+// hostileLength declares sections whose lengths overflow the body.
+func hostileLength(t *testing.T) []byte {
+	t.Helper()
+	data, err := encodeRaw(Manifest{
+		FormatVersion: Format,
+		Sections:      []SectionInfo{{Name: "s", Length: 1 << 40, CRC: 0}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeNegativeAndDuplicateSections(t *testing.T) {
+	neg, err := encodeRaw(Manifest{
+		FormatVersion: Format,
+		Sections:      []SectionInfo{{Name: "s", Length: -5}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeNoPanic(t, neg); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative section length accepted: %v", err)
+	}
+
+	payload := []byte("dup")
+	dup, err := encodeRaw(Manifest{
+		FormatVersion: Format,
+		Sections: []SectionInfo{
+			{Name: "s", Length: 3, CRC: sectionCRC(payload)},
+			{Name: "s", Length: 3, CRC: sectionCRC(payload)},
+		},
+	}, append(payload, payload...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeNoPanic(t, dup); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate section accepted: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The SIGKILL crash matrix: a child process writes checkpoint
+// generations in a loop through the real temp+fsync+rename path, and
+// the parent kills it dead — no signal handler, no defer — at a
+// randomized moment. Whatever instant the kill lands on, recovery over
+// the surviving directory must find the newest fully-valid generation
+// (or nothing, if the very first write died early) and must never
+// accept a torn file or panic.
+
+const crashEnv = "GAR_CHECKPOINT_CRASH_CHILD"
+
+// TestCrashWriterHelper is the child body, only active when re-invoked
+// by TestCrashRecoverySIGKILL; as a normal test it is a no-op.
+func TestCrashWriterHelper(t *testing.T) {
+	dir := os.Getenv(crashEnv)
+	if dir == "" {
+		t.Skip("helper process body; run via TestCrashRecoverySIGKILL")
+	}
+	st, err := Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Write generations as fast as possible until killed. Payload size
+	// varies per generation so kills land at different file offsets.
+	for gen := uint64(1); ; gen++ {
+		payload := strings.Repeat(fmt.Sprintf("state-%d|", gen), 1+int(gen%97))
+		m := Manifest{Generation: gen, Database: "employee", CreatedUnix: int64(gen)}
+		sections := []Section{
+			{Name: "pool", Data: []byte(payload)},
+			{Name: "vecs", Data: []byte(strings.Repeat("v", int(gen%257)))},
+		}
+		if err := st.Write(m, sections); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX kill semantics required")
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash matrix skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Randomized-but-reproducible kill delays: spread across the write
+	// loop's warm-up and steady state so kills land mid-temp-write,
+	// mid-fsync, mid-rename, and between writes.
+	delays := []time.Duration{
+		500 * time.Microsecond, 1100 * time.Microsecond, 2300 * time.Microsecond,
+		4700 * time.Microsecond, 9500 * time.Microsecond, 19 * time.Millisecond,
+		37 * time.Millisecond, 61 * time.Millisecond,
+	}
+	for i, delay := range delays {
+		t.Run(fmt.Sprintf("kill-after-%s", delay), func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(exe, "-test.run=^TestCrashWriterHelper$", "-test.v")
+			cmd.Env = append(os.Environ(), crashEnv+"="+dir)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(delay + time.Duration(i)*300*time.Microsecond)
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_ = cmd.Wait() // expected: killed
+
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck, skipped, err := st.Recover(nil)
+			if err != nil {
+				t.Fatalf("Recover after SIGKILL: %v", err)
+			}
+			entries, err := st.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck == nil {
+				// Legitimate only when the kill beat the very first rename:
+				// no completed file may exist.
+				if len(entries) != len(skipped) {
+					t.Fatalf("no checkpoint recovered but %d files exist (%d skipped)", len(entries), len(skipped))
+				}
+				return
+			}
+			// The recovered checkpoint must be the newest valid one: every
+			// newer file on disk must be provably invalid (skipped).
+			for _, e := range entries {
+				if e.Generation <= ck.Manifest.Generation {
+					continue
+				}
+				found := false
+				for _, s := range skipped {
+					if s.Path == e.Path {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("generation %d is newer than recovered %d and was not proven invalid",
+						e.Generation, ck.Manifest.Generation)
+				}
+			}
+			// Content integrity: the pool section must be exactly what the
+			// writer produced for that generation.
+			gen := ck.Manifest.Generation
+			wantPool := strings.Repeat(fmt.Sprintf("state-%d|", gen), 1+int(gen%97))
+			if got := string(ck.Section("pool")); got != wantPool {
+				t.Fatalf("generation %d recovered with wrong pool (%d bytes, want %d)",
+					gen, len(got), len(wantPool))
+			}
+			if got := len(ck.Section("vecs")); got != int(gen%257) {
+				t.Fatalf("generation %d recovered with wrong vecs length %d", gen, got)
+			}
+			// With rename-last discipline, at most the in-flight generation
+			// can be torn; everything the writer finished renaming must
+			// validate. (Temp litter is fine — that's CleanTemp's job.)
+			if _, err := st.CleanTemp(); err != nil {
+				t.Fatalf("CleanTemp after crash: %v", err)
+			}
+		})
+	}
+}

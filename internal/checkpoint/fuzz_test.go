@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeeds are real envelopes (and near-misses) that seed both fuzz
+// targets, so coverage starts at the interesting boundaries instead of
+// random noise.
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	real, err := Encode(
+		Manifest{Generation: 7, Database: "employee", CreatedUnix: 1_700_000_000},
+		[]Section{
+			{Name: "pool", Data: []byte("SELECT name FROM employee WHERE age > 'value'")},
+			{Name: "vecs", Data: bytes.Repeat([]byte{0xAB}, 64)},
+		},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(real)
+	f.Add(real[:len(real)/2])
+	f.Add(real[:headerOverhead])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), real...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+	if v99, err := encodeRaw(Manifest{FormatVersion: 99, Generation: 1}, nil); err == nil {
+		f.Add(v99)
+	}
+}
+
+// FuzzDecode asserts the decoder's contract on arbitrary input: never
+// panic, never allocate unboundedly, and fail only with the two typed
+// sentinels — anything it does accept must re-encode to a decodable
+// envelope with identical content.
+func FuzzDecode(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Round-trip what was accepted: re-encoding the decoded content
+		// must produce an envelope that decodes back to the same sections.
+		sections := make([]Section, 0, len(ck.Manifest.Sections))
+		for _, s := range ck.Manifest.Sections {
+			sections = append(sections, Section{Name: s.Name, Data: ck.Section(s.Name)})
+		}
+		re, err := Encode(ck.Manifest, sections)
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		ck2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		for _, s := range ck.Manifest.Sections {
+			if !bytes.Equal(ck.Section(s.Name), ck2.Section(s.Name)) {
+				t.Fatalf("section %q changed across the round trip", s.Name)
+			}
+		}
+	})
+}
+
+// FuzzDecodeManifest asserts the cheap header path obeys the same
+// contract and never disagrees with the full decoder about the header.
+func FuzzDecodeManifest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+				t.Fatalf("untyped manifest error: %v", err)
+			}
+			// The full decoder must reject anything the header path rejects.
+			if _, derr := Decode(data); derr == nil {
+				t.Fatal("Decode accepted what DecodeManifest rejected")
+			}
+			return
+		}
+		if m.FormatVersion != Format {
+			t.Fatalf("accepted manifest with version %d", m.FormatVersion)
+		}
+		if len(m.Sections) > maxSections {
+			// Decode enforces this bound; the header path may pass it
+			// through, but the full decoder must still reject.
+			if _, derr := Decode(data); derr == nil {
+				t.Fatal("Decode accepted an over-long section table")
+			}
+		}
+	})
+}

@@ -154,6 +154,10 @@ type System struct {
 	// see SetRerankBreaker.
 	rerankBreaker atomic.Pointer[breaker.Breaker]
 
+	// publishHook, when set, runs after every snapshot publication; see
+	// SetPublishHook.
+	publishHook atomic.Pointer[func()]
+
 	// embedCache memoizes question embeddings and transCache whole
 	// translation results, both keyed by (pool generation, NL question).
 	// The generation key makes every Prepare/Swap an implicit flush: an
@@ -231,6 +235,31 @@ func (s *System) SetRerankBreaker(b *breaker.Breaker) {
 	s.rerankBreaker.Store(b)
 }
 
+// SetPublishHook registers fn to run after every snapshot publication
+// (Prepare, UseModels, Swap, SetContent, RestoreCheckpoint, …). The
+// hook runs on the mutator's goroutine with the write lock held, so it
+// must be fast, must not block, and must not call back into System
+// mutators — a non-blocking channel send is the intended shape. At most
+// one hook is installed; pass nil to remove it. The background
+// checkpointer uses this as its dirty signal.
+func (s *System) SetPublishHook(fn func()) {
+	if fn == nil {
+		s.publishHook.Store(nil)
+		return
+	}
+	s.publishHook.Store(&fn)
+}
+
+// publish is the single publication point of a new snapshot: the atomic
+// store makes it visible to readers, then the publish hook (if any) is
+// signalled. Callers hold writeMu.
+func (s *System) publish(next *state) {
+	s.state.Store(next)
+	if fn := s.publishHook.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
 // mutate publishes a new snapshot derived from the current one: fn
 // edits a shallow copy, and the single atomic store is the publication
 // point.
@@ -239,7 +268,7 @@ func (s *System) mutate(fn func(st *state)) {
 	defer s.writeMu.Unlock()
 	next := *s.state.Load()
 	fn(&next)
-	s.state.Store(&next)
+	s.publish(&next)
 	// Whatever changed (linker, injector, pool), results computed
 	// against the old state must not be served against the new one.
 	s.purgeCaches()
@@ -462,9 +491,17 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) (vin
 		vecs[i] = encoder.Encode(pool[i].Dialect)
 		return nil
 	})
+	return indexFromVecs(vecs, opts), vecs
+}
+
+// indexFromVecs assembles (and, for IVF, eagerly builds) a vector index
+// over already-computed embeddings. It is the shared tail of a fresh
+// snapshot build and a checkpoint restore — a warm start feeds the
+// persisted vectors straight in and never re-encodes the pool.
+func indexFromVecs(vecs []vector.Vec, opts Options) vindex.Index {
 	var index vindex.Index
 	if opts.UseIVF {
-		nlist := len(pool) / 64
+		nlist := len(vecs) / 64
 		if nlist < 4 {
 			nlist = 4
 		}
@@ -472,7 +509,7 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) (vin
 	} else {
 		index = vindex.NewFlat()
 	}
-	for i := range pool {
+	for i := range vecs {
 		index.Add(i, vecs[i])
 	}
 	// Train the coarse quantizer eagerly so the first online query does
@@ -480,7 +517,7 @@ func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) (vin
 	if iv, ok := index.(*vindex.IVF); ok {
 		iv.Build()
 	}
-	return index, vecs
+	return index
 }
 
 // newPipeline assembles the online pipeline for a pool with deployed
@@ -519,7 +556,7 @@ func (s *System) UseModels(m *Models) error {
 	next.encoder = m.Encoder
 	next.pipeline = newPipeline(cur.pool, cur.poolIdx, m, s.Opts)
 	next.trained = true
-	s.state.Store(&next)
+	s.publish(&next)
 	// Same pool generation, new models: flush explicitly.
 	s.purgeCaches()
 	return nil
@@ -552,7 +589,7 @@ func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
 	next.encoder = m.Encoder
 	next.pipeline = pipeline
 	next.trained = true
-	s.state.Store(&next)
+	s.publish(&next)
 	// The generation bump already invalidates every cached entry; the
 	// purge just releases their memory eagerly.
 	s.purgeCaches()

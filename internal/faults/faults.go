@@ -1,9 +1,11 @@
 // Package faults is a deterministic fault injector for the translation
-// path. Tests (and soak harnesses) register per-stage plans — inject an
-// error, a panic, or a delay at the retrieval, re-ranking or value
-// post-processing boundary — and the core pipeline fires the injector at
-// the top of each stage. Probabilistic plans draw from a seeded RNG, so
-// a given seed always produces the same fault schedule.
+// path and the durable-state path. Tests (and soak harnesses) register
+// per-stage plans — inject an error, a panic, or a delay at the
+// retrieval, re-ranking or value post-processing boundary, or a short
+// write, bit flip, fsync error or rename failure at the filesystem
+// points of a checkpoint write — and the instrumented code fires the
+// injector at each point. Probabilistic plans draw from a seeded RNG,
+// so a given seed always produces the same fault schedule.
 //
 // The zero of everything is safe: a nil *Injector never fires, and a
 // stage with no plan is a no-op.
@@ -29,6 +31,16 @@ const (
 	Postprocess Stage = "postprocess"
 )
 
+// The filesystem fault points of a durable checkpoint write, in write
+// order. FSWrite is a data point (fired through FireData, so plans can
+// truncate or corrupt the pending buffer); FSSync and FSRename are
+// plain error points fired before the fsync and the atomic rename.
+const (
+	FSWrite  Stage = "fs.write"
+	FSSync   Stage = "fs.sync"
+	FSRename Stage = "fs.rename"
+)
+
 // Kind selects what a Plan injects when it fires.
 type Kind int
 
@@ -44,6 +56,16 @@ const (
 	// channel is closed (or the context is done). Burst and admission
 	// tests use it to hold requests in-flight deterministically.
 	KindBlock
+	// KindShortWrite truncates the pending buffer of a data fault point
+	// (FireData) to the plan's Bytes prefix and fails the operation:
+	// the caller writes the prefix, then sees the error — exactly what
+	// a crash or a full disk mid-write leaves on disk.
+	KindShortWrite
+	// KindBitFlip flips one bit of the pending buffer of a data fault
+	// point (selected by the plan's Offset) and lets the operation
+	// succeed, modeling silent media corruption that only a checksum
+	// can catch.
+	KindBitFlip
 )
 
 // Plan describes one fault to inject at a stage boundary.
@@ -64,6 +86,12 @@ type Plan struct {
 	// P is the probability of firing on an eligible call, drawn from
 	// the injector's seeded RNG; outside (0,1) the plan always fires.
 	P float64
+	// Bytes is the prefix KindShortWrite plans let through before
+	// failing, clamped to the buffer length.
+	Bytes int
+	// Offset selects the corrupted bit of KindBitFlip plans: byte
+	// Offset modulo the buffer length, bit Offset modulo 8.
+	Offset int
 }
 
 type planState struct {
@@ -128,16 +156,12 @@ func (in *Injector) Block(stage Stage) (release func()) {
 	return func() { once.Do(func() { close(ch) }) }
 }
 
-// Fire is called by the pipeline at a stage boundary. It executes the
-// first triggering plan: returning an error, panicking, or sleeping.
-// A nil receiver or an unplanned stage is a no-op returning nil.
-func (in *Injector) Fire(ctx context.Context, stage Stage) error {
-	if in == nil {
-		return nil
-	}
+// choose records the call and picks the first triggering plan for the
+// stage, or nil.
+func (in *Injector) choose(stage Stage) *planState {
 	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.calls[stage]++
-	var chosen *planState
 	for _, ps := range in.plans[stage] {
 		ps.calls++
 		if ps.calls <= ps.After {
@@ -151,10 +175,22 @@ func (in *Injector) Fire(ctx context.Context, stage Stage) error {
 		}
 		ps.fired++
 		in.fired[stage]++
-		chosen = ps
-		break
+		return ps
 	}
-	in.mu.Unlock()
+	return nil
+}
+
+// Fire is called by the pipeline at a stage boundary. It executes the
+// first triggering plan: returning an error, panicking, or sleeping.
+// A nil receiver or an unplanned stage is a no-op returning nil.
+// Data-only kinds (short write, bit flip) degrade to plain errors at a
+// non-data point — a fault point without a buffer cannot corrupt one,
+// but the fault must not pass silently.
+func (in *Injector) Fire(ctx context.Context, stage Stage) error {
+	if in == nil {
+		return nil
+	}
+	chosen := in.choose(stage)
 	if chosen == nil {
 		return nil
 	}
@@ -181,11 +217,80 @@ func (in *Injector) Fire(ctx context.Context, stage Stage) error {
 		case <-chosen.Until:
 			return nil
 		}
-	default: // KindError
+	default: // KindError, and data-only kinds at a non-data point
 		if chosen.Err != nil {
 			return chosen.Err
 		}
 		return fmt.Errorf("faults: injected error at %s", stage)
+	}
+}
+
+// FireData is Fire for fault points that carry a pending byte buffer —
+// the filesystem write of a checkpoint. The returned slice is what the
+// caller must actually hand to the operation, and the returned error is
+// what the operation must report after consuming it:
+//
+//   - KindShortWrite returns the plan's Bytes-long prefix and an error:
+//     the caller writes the prefix, then fails, leaving a torn buffer
+//     behind exactly as a crash mid-write would;
+//   - KindBitFlip returns the buffer with one bit flipped and no error:
+//     the write "succeeds" and only a checksum can tell;
+//   - KindError fails before anything is written (empty buffer);
+//   - KindPanic panics as usual.
+//
+// Time-based kinds (delay, block) are not meaningful at a data point
+// and degrade to an immediate no-op. The input slice is never mutated;
+// corrupting kinds return a copy. A nil receiver or an unplanned stage
+// returns the buffer unchanged.
+func (in *Injector) FireData(stage Stage, data []byte) ([]byte, error) {
+	if in == nil {
+		return data, nil
+	}
+	chosen := in.choose(stage)
+	if chosen == nil {
+		return data, nil
+	}
+	planErr := func() error {
+		if chosen.Err != nil {
+			return chosen.Err
+		}
+		return fmt.Errorf("faults: injected error at %s", stage)
+	}
+	switch chosen.Kind {
+	case KindPanic:
+		msg := chosen.Message
+		if msg == "" {
+			msg = "injected panic"
+		}
+		panic(fmt.Sprintf("faults: %s: %s", stage, msg))
+	case KindShortWrite:
+		n := chosen.Bytes
+		if n < 0 {
+			n = 0
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		if chosen.Err != nil {
+			return data[:n], fmt.Errorf("faults: injected short write at %s (%d of %d bytes): %w",
+				stage, n, len(data), chosen.Err)
+		}
+		return data[:n], fmt.Errorf("faults: injected short write at %s (%d of %d bytes)", stage, n, len(data))
+	case KindBitFlip:
+		if len(data) == 0 {
+			return data, nil
+		}
+		off := chosen.Offset
+		if off < 0 {
+			off = -off
+		}
+		corrupted := append([]byte(nil), data...)
+		corrupted[off%len(data)] ^= 1 << (off % 8)
+		return corrupted, nil
+	case KindError:
+		return data[:0], planErr()
+	default: // KindDelay, KindBlock: no context at a data point
+		return data, nil
 	}
 }
 

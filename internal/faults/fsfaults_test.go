@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireDataNilAndUnplanned(t *testing.T) {
+	buf := []byte("checkpoint bytes")
+	var nilInj *Injector
+	if out, err := nilInj.FireData(FSWrite, buf); err != nil || !bytes.Equal(out, buf) {
+		t.Fatalf("nil injector mutated the buffer: %q, %v", out, err)
+	}
+	in := NewInjector(1)
+	out, err := in.FireData(FSWrite, buf)
+	if err != nil || !bytes.Equal(out, buf) {
+		t.Fatalf("unplanned stage mutated the buffer: %q, %v", out, err)
+	}
+	if in.Calls(FSWrite) != 1 || in.Fired(FSWrite) != 0 {
+		t.Fatalf("call accounting wrong: calls=%d fired=%d", in.Calls(FSWrite), in.Fired(FSWrite))
+	}
+}
+
+func TestFireDataShortWrite(t *testing.T) {
+	buf := []byte("0123456789")
+	in := NewInjector(1)
+	in.Inject(FSWrite, Plan{Kind: KindShortWrite, Bytes: 4})
+	out, err := in.FireData(FSWrite, buf)
+	if err == nil {
+		t.Fatal("short write did not fail the operation")
+	}
+	if !bytes.Equal(out, buf[:4]) {
+		t.Fatalf("short write prefix = %q, want %q", out, buf[:4])
+	}
+	if !strings.Contains(err.Error(), "short write") {
+		t.Fatalf("error does not identify the fault: %v", err)
+	}
+
+	// Bytes is clamped to the buffer, and a wrapped error surfaces.
+	sentinel := errors.New("disk full")
+	in2 := NewInjector(1)
+	in2.Inject(FSWrite, Plan{Kind: KindShortWrite, Bytes: 99, Err: sentinel})
+	out, err = in2.FireData(FSWrite, buf)
+	if !bytes.Equal(out, buf) {
+		t.Fatalf("clamped prefix = %q, want full buffer", out)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("wrapped error lost: %v", err)
+	}
+}
+
+func TestFireDataBitFlip(t *testing.T) {
+	buf := []byte("0123456789")
+	in := NewInjector(1)
+	in.Inject(FSWrite, Plan{Kind: KindBitFlip, Offset: 13})
+	out, err := in.FireData(FSWrite, buf)
+	if err != nil {
+		t.Fatalf("bit flip must let the operation succeed: %v", err)
+	}
+	if bytes.Equal(out, buf) {
+		t.Fatal("no bit was flipped")
+	}
+	if bytes.Equal(buf, []byte("0123456789")) == false {
+		t.Fatal("input buffer was mutated in place")
+	}
+	diff := 0
+	for i := range buf {
+		diff += bytesBitDiff(buf[i], out[i])
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+	// An empty buffer has nothing to corrupt and must not panic.
+	if out, err := in.FireData(FSWrite, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty buffer: %q, %v", out, err)
+	}
+}
+
+func bytesBitDiff(a, b byte) int {
+	x, n := a^b, 0
+	for x != 0 {
+		n += int(x & 1)
+		x >>= 1
+	}
+	return n
+}
+
+func TestFireDataErrorFailsBeforeWriting(t *testing.T) {
+	in := NewInjector(1)
+	sentinel := errors.New("boom")
+	in.Fail(FSSync, sentinel)
+	out, err := in.FireData(FSSync, []byte("abc"))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("error kind let %d bytes through", len(out))
+	}
+}
+
+func TestFireDataPanicAndTimeKinds(t *testing.T) {
+	in := NewInjector(1)
+	in.Panic(FSWrite, "torn world")
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic plan did not panic at a data point")
+			}
+		}()
+		_, _ = in.FireData(FSWrite, []byte("x"))
+	}()
+
+	// Delay/block kinds are meaningless at a data point: no-op, no hang.
+	in2 := NewInjector(1)
+	in2.Inject(FSWrite, Plan{Kind: KindBlock, Until: make(chan struct{})})
+	if out, err := in2.FireData(FSWrite, []byte("x")); err != nil || string(out) != "x" {
+		t.Fatalf("block kind at data point: %q, %v", out, err)
+	}
+}
+
+func TestFireDataSharesPlanSelection(t *testing.T) {
+	// After/Times/P selection is the same machinery as Fire: a plan that
+	// skips the first call and fires once behaves identically here.
+	in := NewInjector(1)
+	in.Inject(FSWrite, Plan{Kind: KindBitFlip, After: 1, Times: 1})
+	buf := []byte("abcdef")
+	if out, _ := in.FireData(FSWrite, buf); !bytes.Equal(out, buf) {
+		t.Fatal("plan fired before After")
+	}
+	if out, _ := in.FireData(FSWrite, buf); bytes.Equal(out, buf) {
+		t.Fatal("plan did not fire after After")
+	}
+	if out, _ := in.FireData(FSWrite, buf); !bytes.Equal(out, buf) {
+		t.Fatal("plan fired past Times")
+	}
+	if in.Fired(FSWrite) != 1 {
+		t.Fatalf("fired = %d, want 1", in.Fired(FSWrite))
+	}
+}
+
+// TestFireDataEdgeClamps pins the defensive clamps: negative Bytes and
+// Offset are tolerated, a data-point error with no configured Err still
+// names the stage, and a plan with no panic message gets the default.
+func TestFireDataEdgeClamps(t *testing.T) {
+	// Negative Bytes clamps to an empty prefix.
+	in := NewInjector(1)
+	in.Inject(FSWrite, Plan{Kind: KindShortWrite, Bytes: -5})
+	out, err := in.FireData(FSWrite, []byte("abc"))
+	if err == nil || len(out) != 0 {
+		t.Fatalf("negative Bytes: %q, %v", out, err)
+	}
+
+	// Negative Offset flips a bit anyway (magnitude is used).
+	in2 := NewInjector(1)
+	in2.Inject(FSWrite, Plan{Kind: KindBitFlip, Offset: -9})
+	buf := []byte("abc")
+	out, err = in2.FireData(FSWrite, buf)
+	if err != nil || bytes.Equal(out, buf) {
+		t.Fatalf("negative Offset did not corrupt: %q, %v", out, err)
+	}
+
+	// KindError with no Err still produces a stage-naming message.
+	in3 := NewInjector(1)
+	in3.Inject(FSSync, Plan{Kind: KindError})
+	if _, err := in3.FireData(FSSync, []byte("x")); err == nil || !strings.Contains(err.Error(), string(FSSync)) {
+		t.Fatalf("default error does not name the stage: %v", err)
+	}
+
+	// A panic plan with no message panics with the default.
+	in4 := NewInjector(1)
+	in4.Inject(FSWrite, Plan{Kind: KindPanic})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(fmt.Sprint(r), "injected panic") {
+				t.Errorf("default panic message missing: %v", r)
+			}
+		}()
+		_, _ = in4.FireData(FSWrite, []byte("x"))
+	}()
+}
+
+// TestFireEdgeBranches covers the same defaults on the non-data Fire
+// path: default panic message, and a delay cut short by a dead context.
+func TestFireEdgeBranches(t *testing.T) {
+	in := NewInjector(1)
+	in.Inject(FSWrite, Plan{Kind: KindPanic})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(fmt.Sprint(r), "injected panic") {
+				t.Errorf("default panic message missing: %v", r)
+			}
+		}()
+		_ = in.Fire(context.Background(), FSWrite)
+	}()
+
+	in2 := NewInjector(1)
+	in2.Inject(FSSync, Plan{Kind: KindDelay, Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := in2.Fire(ctx, FSSync); !errors.Is(err, context.Canceled) {
+		t.Fatalf("delay under dead context: %v", err)
+	}
+}

@@ -127,3 +127,34 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("cache exceeded capacity: %+v", st)
 	}
 }
+
+// TestGenerationContinuityAcrossRestart models the warm-start path: a
+// restored system adopts the checkpoint's generation (internal/core
+// takes the max of the live and restored generation), so entries cached
+// before a restart-shaped generation jump stay unservable and the cache
+// works normally at the adopted generation — including backwards jumps,
+// which must also invalidate rather than resurrect.
+func TestGenerationContinuityAcrossRestart(t *testing.T) {
+	c := transcache.New[string](8)
+	c.Put(3, "q", "pre-restart")
+
+	// Restore adopted a much later generation: the old entry never hits.
+	const adopted = 17
+	if _, ok := c.Get(adopted, "q"); ok {
+		t.Fatal("pre-restart entry served at the adopted generation")
+	}
+	c.Put(adopted, "q", "post-restart")
+	if v, ok := c.Get(adopted, "q"); !ok || v != "post-restart" {
+		t.Fatalf("Get at adopted generation = %q, %v", v, ok)
+	}
+
+	// A backwards jump (older checkpoint restored after the cache saw a
+	// newer generation) is equally stale — never resurrected.
+	if _, ok := c.Get(adopted-1, "q"); ok {
+		t.Fatal("newer entry served at an older generation")
+	}
+	st := c.Stats()
+	if st.Len != 0 {
+		t.Fatalf("stale entries linger after mismatched lookups: %+v", st)
+	}
+}
