@@ -54,10 +54,12 @@ cover:
 # stress runs the overload and resilience suites under the race
 # detector: burst admission (deterministic saturation via fault gates),
 # snapshot-swap races against live traffic, breaker trip/recover
-# cycles, the fault-injection matrix, torn-write persistence, and the
+# cycles, the fault-injection matrix, torn-write persistence, the
 # checkpoint crash/recovery drills (write/recover fault matrix, SIGKILL
-# mid-write crash matrix, SIGTERM restart round-trip).
+# mid-write crash matrix, SIGTERM restart round-trip), and the fleet
+# suite (tenant isolation under faults, per-tenant burst shedding,
+# LRU eviction/warm-reactivation churn, fleet restart round-trip).
 stress:
 	go test -race -timeout 10m -count=1 \
-		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism|TestCheckpoint|TestCrash|TestRecover|TestStore|TestServeRestartSIGTERM|TestServeWarmStart|TestServeAllCorrupt' \
-		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./gar/
+		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism|TestCheckpoint|TestCrash|TestRecover|TestStore|TestServeRestartSIGTERM|TestServeWarmStart|TestServeAllCorrupt|TestFleet|TestServeFleet' \
+		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./internal/fleet/ ./gar/

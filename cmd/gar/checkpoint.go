@@ -10,6 +10,11 @@
 // file fails validation; prune keeps the newest -keep generations and
 // sweeps temp files abandoned by interrupted writes.
 //
+// Both layouts are understood: a single-tenant directory holding
+// checkpoint files directly, and the multi-tenant tree of fleet mode
+// ({statedir}/{tenant}/...), where every verb walks each tenant
+// subdirectory and reports per tenant.
+//
 // Exit codes: 0 clean, 1 invalid checkpoints found (verify), 2 usage or
 // I/O error.
 package main
@@ -26,6 +31,9 @@ import (
 
 // checkpointReport is one file's row in list/verify output.
 type checkpointReport struct {
+	// Tenant is the state-tree subdirectory the file belongs to; empty
+	// in a single-tenant directory.
+	Tenant      string `json:"tenant,omitempty"`
 	Generation  uint64 `json:"generation"`
 	Path        string `json:"path"`
 	Size        int64  `json:"size"`
@@ -35,6 +43,44 @@ type checkpointReport struct {
 	Database    string `json:"database,omitempty"`
 	CreatedUnix int64  `json:"created_unix,omitempty"`
 	Sections    int    `json:"sections,omitempty"`
+}
+
+// tenantStore pairs a store with the tenant name it serves; name is
+// empty for the single-tenant layout.
+type tenantStore struct {
+	name string
+	st   *checkpoint.Store
+}
+
+// openStateTree resolves a -statedir into the stores to operate on: the
+// directory itself when it holds checkpoint files directly (or holds
+// nothing at all), plus one store per tenant subdirectory of a
+// multi-tenant tree. A mixed directory reports both.
+func openStateTree(stateDir string) ([]tenantStore, error) {
+	root, err := checkpoint.Open(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	rootEntries, err := root.List()
+	if err != nil {
+		return nil, err
+	}
+	tenants, err := checkpoint.ListTenants(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	var stores []tenantStore
+	if len(rootEntries) > 0 || len(tenants) == 0 {
+		stores = append(stores, tenantStore{st: root})
+	}
+	for _, name := range tenants {
+		st, err := checkpoint.OpenTenant(stateDir, name)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, tenantStore{name: name, st: st})
+	}
+	return stores, nil
 }
 
 // runCheckpoint is the `gar checkpoint` entry point, separated from
@@ -57,7 +103,7 @@ func runCheckpoint(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "gar checkpoint: provide -statedir")
 		return 2
 	}
-	st, err := checkpoint.Open(*stateDir)
+	stores, err := openStateTree(*stateDir)
 	if err != nil {
 		fmt.Fprintf(stderr, "gar checkpoint: %v\n", err)
 		return 2
@@ -65,10 +111,16 @@ func runCheckpoint(args []string, stdout, stderr io.Writer) int {
 
 	switch verb {
 	case "list", "verify":
-		reports, invalid, err := inspectStore(st)
-		if err != nil {
-			fmt.Fprintf(stderr, "gar checkpoint: %v\n", err)
-			return 2
+		var reports []checkpointReport
+		invalid := 0
+		for _, ts := range stores {
+			rs, bad, err := inspectStore(ts)
+			if err != nil {
+				fmt.Fprintf(stderr, "gar checkpoint: %v\n", err)
+				return 2
+			}
+			reports = append(reports, rs...)
+			invalid += bad
 		}
 		if *output == "json" {
 			enc := json.NewEncoder(stdout)
@@ -83,24 +135,30 @@ func runCheckpoint(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	case "prune":
-		removed, err := st.Prune(*keep)
-		if err != nil {
-			fmt.Fprintf(stderr, "gar checkpoint: %v\n", err)
-			return 2
+		for _, ts := range stores {
+			prefix := ""
+			if ts.name != "" {
+				prefix = "tenant " + ts.name + ": "
+			}
+			removed, err := ts.st.Prune(*keep)
+			if err != nil {
+				fmt.Fprintf(stderr, "gar checkpoint: %s%v\n", prefix, err)
+				return 2
+			}
+			tmps, terr := ts.st.CleanTemp()
+			if terr != nil {
+				fmt.Fprintf(stderr, "gar checkpoint: %s%v\n", prefix, terr)
+				return 2
+			}
+			for _, p := range removed {
+				fmt.Fprintf(stdout, "%spruned %s\n", prefix, p)
+			}
+			for _, p := range tmps {
+				fmt.Fprintf(stdout, "%sremoved temp %s\n", prefix, p)
+			}
+			fmt.Fprintf(stdout, "%skept newest %d generation(s); removed %d checkpoint(s), %d temp file(s)\n",
+				prefix, *keep, len(removed), len(tmps))
 		}
-		tmps, terr := st.CleanTemp()
-		if terr != nil {
-			fmt.Fprintf(stderr, "gar checkpoint: %v\n", terr)
-			return 2
-		}
-		for _, p := range removed {
-			fmt.Fprintf(stdout, "pruned %s\n", p)
-		}
-		for _, p := range tmps {
-			fmt.Fprintf(stdout, "removed temp %s\n", p)
-		}
-		fmt.Fprintf(stdout, "kept newest %d generation(s); removed %d checkpoint(s), %d temp file(s)\n",
-			*keep, len(removed), len(tmps))
 		return 0
 	default:
 		fmt.Fprintf(stderr, "gar checkpoint: unknown verb %q (want list, verify or prune)\n", verb)
@@ -108,10 +166,10 @@ func runCheckpoint(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
-// inspectStore fully validates every checkpoint in the store, newest
-// first, and counts the invalid ones.
-func inspectStore(st *checkpoint.Store) ([]checkpointReport, int, error) {
-	entries, err := st.List()
+// inspectStore fully validates every checkpoint in one tenant's store,
+// newest first, and counts the invalid ones.
+func inspectStore(ts tenantStore) ([]checkpointReport, int, error) {
+	entries, err := ts.st.List()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -119,6 +177,7 @@ func inspectStore(st *checkpoint.Store) ([]checkpointReport, int, error) {
 	invalid := 0
 	for _, e := range entries {
 		r := checkpointReport{
+			Tenant:     ts.name,
 			Generation: e.Generation,
 			Path:       e.Path,
 			Size:       e.Size,
@@ -148,13 +207,22 @@ func printCheckpointReports(w io.Writer, reports []checkpointReport) {
 		fmt.Fprintln(w, "no checkpoints")
 		return
 	}
+	tenant := ""
 	for _, r := range reports {
+		if r.Tenant != tenant {
+			tenant = r.Tenant
+			fmt.Fprintf(w, "tenant %s:\n", tenant)
+		}
+		indent := ""
+		if r.Tenant != "" {
+			indent = "  "
+		}
 		if r.Valid {
-			fmt.Fprintf(w, "gen %-6d %8d bytes  %s  ok       db=%s sections=%d\n",
-				r.Generation, r.Size, r.ModTime, r.Database, r.Sections)
+			fmt.Fprintf(w, "%sgen %-6d %8d bytes  %s  ok       db=%s sections=%d\n",
+				indent, r.Generation, r.Size, r.ModTime, r.Database, r.Sections)
 		} else {
-			fmt.Fprintf(w, "gen %-6d %8d bytes  %s  INVALID  %s\n",
-				r.Generation, r.Size, r.ModTime, r.Error)
+			fmt.Fprintf(w, "%sgen %-6d %8d bytes  %s  INVALID  %s\n",
+				indent, r.Generation, r.Size, r.ModTime, r.Error)
 		}
 	}
 }

@@ -27,6 +27,12 @@
 // flushes a final checkpoint on graceful shutdown, and prunes old
 // generations down to -keepckpt. /healthz reports the last checkpoint
 // generation and age.
+//
+// With -specdir the same process serves a multi-tenant fleet — one
+// isolated System per {tenant}.json spec, routed by path
+// (POST /db/{name}/translate) with a bounded LRU working set,
+// per-tenant admission budgets and breakers, and per-tenant state
+// under -statedir/{tenant}/. See serve_fleet.go.
 package main
 
 import (
@@ -49,6 +55,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/breaker"
 	"repro/internal/checkpoint"
+	"repro/internal/fleet"
 )
 
 // serveConfig holds the tunables of the HTTP service.
@@ -110,6 +117,8 @@ type candidateJSON struct {
 }
 
 type translateResponse struct {
+	// Tenant names the database that answered; set in fleet mode only.
+	Tenant     string          `json:"tenant,omitempty"`
 	SQL        string          `json:"sql"`
 	Dialect    string          `json:"dialect"`
 	Degraded   bool            `json:"degraded,omitempty"`
@@ -181,23 +190,13 @@ func recoverMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// breakerJSON reports the re-rank breaker for health endpoints.
-func (s *server) breakerJSON() map[string]any {
+// breakerJSON reports the re-rank breaker for health endpoints; the
+// snapshot's own MarshalJSON renders the wire shape.
+func (s *server) breakerJSON() any {
 	if s.br == nil {
 		return map[string]any{"state": "disabled"}
 	}
-	snap := s.br.Snapshot()
-	out := map[string]any{
-		"state": snap.State.String(),
-		"trips": snap.Trips,
-	}
-	if snap.ConsecutiveFailures > 0 {
-		out["consecutive_failures"] = snap.ConsecutiveFailures
-	}
-	if snap.CooldownRemaining > 0 {
-		out["cooldown_remaining_ms"] = float64(snap.CooldownRemaining.Microseconds()) / 1000
-	}
-	return out
+	return s.br.Snapshot()
 }
 
 // handleHealthz reports live service health: pool and generation,
@@ -327,19 +326,8 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "no snapshot published"})
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
-	var req translateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		status := http.StatusBadRequest
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		writeJSON(w, status, errorJSON{Error: "bad request body: " + err.Error()})
-		return
-	}
-	if strings.TrimSpace(req.Question) == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty question"})
+	req, ok := decodeTranslate(w, r, s.cfg.MaxBody)
+	if !ok {
 		return
 	}
 
@@ -352,13 +340,7 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	// out.
 	release, err := s.ctl.Acquire(ctx)
 	if err != nil {
-		if shed, ok := admit.AsShed(err); ok {
-			w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
-			writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error()})
-			return
-		}
-		// The context ended while queued: client gone or deadline hit.
-		writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: err.Error()})
+		writeAdmitError(w, err)
 		return
 	}
 	defer release()
@@ -366,20 +348,60 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.sys.TranslateContext(ctx, req.Question)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
-		case errors.Is(err, context.Canceled):
-			// The client went away; the status is moot but 499-style
-			// handling keeps logs honest.
-			status = http.StatusGatewayTimeout
-		}
-		writeJSON(w, status, errorJSON{Error: err.Error()})
+		writeTranslateError(w, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, translateJSON(res, s.cfg.TopK, start, ""))
+}
 
+// decodeTranslate reads and validates a translate request body, writing
+// the error response itself when the body is unusable.
+func decodeTranslate(w http.ResponseWriter, r *http.Request, maxBody int64) (translateRequest, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req translateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorJSON{Error: "bad request body: " + err.Error()})
+		return req, false
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty question"})
+		return req, false
+	}
+	return req, true
+}
+
+// writeAdmitError maps an admission failure: sheds answer 429 with a
+// Retry-After hint; a context that ended while queued (client gone or
+// deadline hit) answers 504.
+func writeAdmitError(w http.ResponseWriter, err error) {
+	if shed, ok := admit.AsShed(err); ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: err.Error()})
+}
+
+// writeTranslateError maps a pipeline failure; deadline and
+// cancellation (the client went away — 499-style handling keeps logs
+// honest) map to 504.
+func writeTranslateError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// translateJSON renders a pipeline result, capping candidates at topK.
+func translateJSON(res *gar.Result, topK int, start time.Time, tenant string) translateResponse {
 	out := translateResponse{
+		Tenant:     tenant,
 		SQL:        res.SQL,
 		Dialect:    res.Dialect,
 		Degraded:   res.Degraded,
@@ -388,12 +410,12 @@ func (s *server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for i, c := range res.Candidates {
-		if i >= s.cfg.TopK {
+		if i >= topK {
 			break
 		}
 		out.Candidates = append(out.Candidates, candidateJSON{SQL: c.SQL, Dialect: c.Dialect, Score: c.Score})
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 // retryAfterSeconds renders a Retry-After header value (whole seconds,
@@ -487,6 +509,11 @@ func runServe(args []string) {
 	noCache := fs.Bool("nocache", false, "disable the translation-path caches")
 	stateDir := fs.String("statedir", "", "durable serving-state directory: warm-start from the newest valid checkpoint and checkpoint after every state change")
 	keepCkpt := fs.Int("keepckpt", 3, "checkpoint generations retained in -statedir")
+	specDir := fs.String("specdir", "", "directory of per-tenant JSON database specs ({tenant}.json): serve a multi-tenant fleet")
+	maxTenants := fs.Int("maxtenants", 8, "fleet mode: tenants resident in memory at once (LRU eviction beyond)")
+	tenantIdle := fs.Duration("tenantidle", 15*time.Minute, "fleet mode: evict tenants idle this long (0 disables)")
+	tenantInFlight := fs.Int("tenantinflight", 0, "fleet mode: per-tenant concurrent translations (0 = maxinflight/maxtenants)")
+	tenantQueue := fs.Int("tenantqueue", 0, "fleet mode: per-tenant queue depth (0 = maxqueue/maxtenants)")
 	_ = fs.Parse(args)
 
 	opts := gar.Options{
@@ -503,6 +530,37 @@ func runServe(args []string) {
 		// Each stage gets a slice of the remaining deadline so a slow
 		// re-rank degrades early instead of starving post-processing.
 		opts.StageBudget = gar.StageBudget{Retrieval: 0.5, Rerank: 0.6, Postprocess: 0.9}
+	}
+
+	if *specDir != "" {
+		if *specPath != "" || *demo {
+			fatal(fmt.Errorf("gar serve: -specdir is exclusive with -spec and -demo"))
+		}
+		runServeFleet(fleetServeParams{
+			Addr:    *addr,
+			SpecDir: *specDir,
+			Opts:    opts,
+			Cfg: serveConfig{
+				Timeout: *timeout,
+				MaxBody: *maxBody,
+				TopK:    *topK,
+			},
+			Fleet: fleet.Config{
+				MaxActive:       *maxTenants,
+				IdleAfter:       *tenantIdle,
+				MaxInFlight:     *maxInFlight,
+				MaxQueue:        *maxQueue,
+				TenantInFlight:  *tenantInFlight,
+				TenantQueue:     *tenantQueue,
+				RetryAfter:      *retryAfter,
+				BreakerFailures: *breakerFailures,
+				BreakerCooldown: *breakerCooldown,
+				NoBreaker:       *noBreaker,
+				StateDir:        *stateDir,
+				Keep:            *keepCkpt,
+			},
+		})
+		return
 	}
 
 	s, err := loadSpec(*specPath, *demo)
@@ -601,7 +659,10 @@ func runServe(args []string) {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "gar serve: draining connections")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// One shutdown window covers the whole sequence — drain in-flight
+	// requests, then flush the final checkpoint — so a slow drain
+	// cannot silently double the time to exit.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fatal(err)
@@ -611,13 +672,14 @@ func runServe(args []string) {
 		// background writer and persist the last published state
 		// synchronously — the restart warm-starts from exactly what
 		// this process was serving.
-		ckptr.Stop()
-		fctx, fcancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer fcancel()
-		if err := ckptr.Flush(fctx); err != nil {
+		if err := ckptr.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "gar serve: final checkpoint flush failed: %v\n", err)
 		} else if st := ckptr.Stats(); st.Writes > 0 {
 			fmt.Fprintf(os.Stderr, "gar serve: final checkpoint flushed (generation %d)\n", st.LastGeneration)
 		}
 	}
 }
+
+// shutdownTimeout bounds the whole graceful-shutdown sequence: the
+// request drain and the final checkpoint flushes share it.
+const shutdownTimeout = 10 * time.Second

@@ -150,13 +150,13 @@ func TestServeStateServerHelper(t *testing.T) {
 	runServe([]string{"-demo", "-addr", "127.0.0.1:0", "-statedir", dir, "-pool", "200"})
 }
 
-// serveChild starts a server subprocess on the given state directory
-// and returns once it announces readiness, along with its address and
-// a way to collect everything it logged.
-func serveChild(t *testing.T, exe, dir string) (cmd *exec.Cmd, addr string, logs func() string) {
+// serveChild starts a server subprocess — the named helper test with
+// the given environment — and returns once it announces readiness,
+// along with its address and a way to collect everything it logged.
+func serveChild(t *testing.T, exe, helper string, env ...string) (cmd *exec.Cmd, addr string, logs func() string) {
 	t.Helper()
-	cmd = exec.Command(exe, "-test.run=^TestServeStateServerHelper$", "-test.v")
-	cmd.Env = append(os.Environ(), serveStateEnv+"="+dir)
+	cmd = exec.Command(exe, "-test.run=^"+helper+"$", "-test.v")
+	cmd.Env = append(os.Environ(), env...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +249,7 @@ func TestServeRestartSIGTERM(t *testing.T) {
 	dir := t.TempDir()
 	const question = "who is the oldest employee"
 
-	cmd, addr, logs := serveChild(t, exe, dir)
+	cmd, addr, logs := serveChild(t, exe, "TestServeStateServerHelper", serveStateEnv+"="+dir)
 	first := translateOver(t, addr, question)
 	stopServeChild(t, cmd, logs)
 	if out := logs(); !strings.Contains(out, "final checkpoint flushed") {
@@ -261,7 +261,7 @@ func TestServeRestartSIGTERM(t *testing.T) {
 		t.Fatalf("state directory empty after shutdown (err=%v)", err)
 	}
 
-	cmd2, addr2, logs2 := serveChild(t, exe, dir)
+	cmd2, addr2, logs2 := serveChild(t, exe, "TestServeStateServerHelper", serveStateEnv+"="+dir)
 	defer func() { _ = cmd2.Process.Kill() }()
 	if out := logs2(); !strings.Contains(out, "warm start from checkpoint generation") {
 		t.Fatalf("second start did not warm-start; logs:\n%s", out)

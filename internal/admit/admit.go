@@ -183,20 +183,24 @@ func (c *Controller) admit() func() {
 }
 
 // Stats is a point-in-time view of the controller for health
-// endpoints.
+// endpoints. The JSON field names match the serving /healthz surface.
 type Stats struct {
 	// InFlight is the number of requests currently holding a slot.
-	InFlight int
+	InFlight int `json:"in_flight"`
 	// Queued is the number of requests currently waiting.
-	Queued int
+	Queued int `json:"queued"`
 	// PeakInFlight is the high-water mark of InFlight.
-	PeakInFlight int
+	PeakInFlight int `json:"peak_in_flight"`
+	// MaxInFlight and MaxQueue echo the configured capacities, so a
+	// health reader can judge the live numbers against the budget.
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueue    int `json:"max_queue"`
 	// Admitted counts requests that got a slot.
-	Admitted uint64
+	Admitted uint64 `json:"admitted"`
 	// ShedQueueFull counts sheds due to a full queue.
-	ShedQueueFull uint64
+	ShedQueueFull uint64 `json:"shed_queue_full"`
 	// ShedDeadline counts sheds due to an expiring deadline.
-	ShedDeadline uint64
+	ShedDeadline uint64 `json:"shed_deadline"`
 }
 
 // Stats reports current counters.
@@ -205,9 +209,32 @@ func (c *Controller) Stats() Stats {
 		InFlight:      int(c.inFlight.Load()),
 		Queued:        int(c.queued.Load()),
 		PeakInFlight:  int(c.peak.Load()),
+		MaxInFlight:   c.cfg.MaxInFlight,
+		MaxQueue:      c.cfg.MaxQueue,
 		Admitted:      c.admitted.Load(),
 		ShedQueueFull: c.shedFull.Load(),
 		ShedDeadline:  c.shedLate.Load(),
+	}
+}
+
+// Drain blocks until the controller is empty — no request holding a
+// slot and none waiting in the queue — or until ctx ends, returning the
+// context's error in that case. Graceful shutdown and tenant eviction
+// call it after stopping new arrivals, so the state behind the
+// controller is only torn down once every admitted request has
+// finished.
+func (c *Controller) Drain(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if c.inFlight.Load() == 0 && c.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
 	}
 }
 

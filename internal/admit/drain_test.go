@@ -1,0 +1,49 @@
+package admit_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+)
+
+// TestDrain pins the shutdown primitive: Drain blocks while any
+// request holds a slot, honors its context, and returns promptly once
+// the controller is empty.
+func TestDrain(t *testing.T) {
+	c := admit.New(admit.Config{MaxInFlight: 1, MaxQueue: 1})
+	if c.MaxInFlight() != 1 || c.MaxQueue() != 1 {
+		t.Fatalf("configured bounds = %d/%d, want 1/1", c.MaxInFlight(), c.MaxQueue())
+	}
+	if st := c.Stats(); st.MaxInFlight != 1 || st.MaxQueue != 1 {
+		t.Fatalf("stats bounds = %+v, want 1/1", st)
+	}
+
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := c.Drain(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with a request in flight = %v, want deadline exceeded", err)
+	}
+
+	rel()
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain on an empty controller = %v", err)
+	}
+}
+
+// TestShedErrorMessage pins the error surface clients and logs see.
+func TestShedErrorMessage(t *testing.T) {
+	e := &admit.ShedError{Cause: admit.ErrQueueFull, RetryAfter: time.Second}
+	if msg := e.Error(); msg != "admit: request shed: "+admit.ErrQueueFull.Error() {
+		t.Fatalf("shed error message = %q", msg)
+	}
+	if _, ok := admit.AsShed(errors.New("unrelated")); ok {
+		t.Fatal("AsShed matched an unrelated error")
+	}
+}

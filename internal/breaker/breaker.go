@@ -21,6 +21,7 @@
 package breaker
 
 import (
+	"encoding/json"
 	"errors"
 	"sync"
 	"time"
@@ -209,6 +210,23 @@ type Snapshot struct {
 	// CooldownRemaining is how long an open breaker stays closed to
 	// probes; zero otherwise.
 	CooldownRemaining time.Duration
+}
+
+// MarshalJSON renders the snapshot the way health endpoints report a
+// breaker: the state by name, the trip count, and the streak/cooldown
+// fields only when they carry signal.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	m := map[string]any{
+		"state": s.State.String(),
+		"trips": s.Trips,
+	}
+	if s.ConsecutiveFailures > 0 {
+		m["consecutive_failures"] = s.ConsecutiveFailures
+	}
+	if s.CooldownRemaining > 0 {
+		m["cooldown_remaining_ms"] = float64(s.CooldownRemaining.Microseconds()) / 1000
+	}
+	return json.Marshal(m)
 }
 
 // Snapshot captures the breaker state for reporting.

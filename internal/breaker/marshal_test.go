@@ -1,0 +1,48 @@
+package breaker_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotMarshalJSON pins the health-endpoint rendering: the state
+// by name, the trip count always, and the streak/cooldown fields only
+// while they carry signal.
+func TestSnapshotMarshalJSON(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+
+	closed, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(closed); s != `{"state":"closed","trips":0}` {
+		t.Fatalf("closed snapshot = %s", s)
+	}
+
+	b.Record(false)
+	streak, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(streak); !strings.Contains(s, `"consecutive_failures":1`) {
+		t.Fatalf("failing snapshot = %s", s)
+	}
+
+	for i := 0; i < 2; i++ {
+		b.Record(false)
+	}
+	open, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(open)
+	if !strings.Contains(s, `"state":"open"`) || !strings.Contains(s, `"trips":1`) {
+		t.Fatalf("open snapshot = %s", s)
+	}
+	if !strings.Contains(s, `"cooldown_remaining_ms":1000`) {
+		t.Fatalf("open snapshot missing cooldown: %s", s)
+	}
+}

@@ -1,0 +1,72 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrTenantName reports a tenant name that cannot be used as a state
+// subdirectory.
+var ErrTenantName = errors.New("checkpoint: invalid tenant name")
+
+// ValidTenantName reports whether name is usable as one path element of
+// a multi-tenant state tree. Tenant names arrive from URLs and end up
+// on the filesystem, so the rule is deliberately strict: ASCII letters,
+// digits, '-', '_' and non-leading '.', at most 128 bytes. Everything
+// that could escape the tree (separators, "..", hidden names) is
+// rejected.
+func ValidTenantName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	if strings.HasPrefix(name, ".") {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// OpenTenant opens (creating it if needed) the per-tenant store
+// {root}/{name} of a multi-tenant state tree.
+func OpenTenant(root, name string) (*Store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("checkpoint: empty state directory for tenant %q", name)
+	}
+	if !ValidTenantName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrTenantName, name)
+	}
+	return Open(filepath.Join(root, name))
+}
+
+// ListTenants returns, sorted, the tenant names of a multi-tenant state
+// tree: every subdirectory of root whose name is a valid tenant name.
+// A root that does not exist lists empty — a fleet that has never
+// flushed simply has no tenants on disk yet.
+func ListTenants(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listing tenants: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && ValidTenantName(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

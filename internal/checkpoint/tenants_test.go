@@ -1,0 +1,84 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// TestValidTenantName pins the filesystem-safety rule for names that
+// arrive from URLs: only plain ASCII path elements survive.
+func TestValidTenantName(t *testing.T) {
+	valid := []string{"a", "spider", "Spider-2.0", "db_01", "x.y"}
+	for _, name := range valid {
+		if !checkpoint.ValidTenantName(name) {
+			t.Errorf("ValidTenantName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{
+		"", ".", "..", ".hidden", "a/b", `a\b`, "a b", "naïve", "a:b",
+		strings.Repeat("x", 129),
+	}
+	for _, name := range invalid {
+		if checkpoint.ValidTenantName(name) {
+			t.Errorf("ValidTenantName(%q) = true, want false", name)
+		}
+	}
+}
+
+// TestOpenTenant covers the per-tenant store constructor and its two
+// refusals: no root, and a name that could escape the tree.
+func TestOpenTenant(t *testing.T) {
+	root := t.TempDir()
+	st, err := checkpoint.OpenTenant(root, "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("fresh tenant store: entries=%v err=%v", entries, err)
+	}
+	if fi, err := os.Stat(filepath.Join(root, "acme")); err != nil || !fi.IsDir() {
+		t.Fatalf("tenant subdirectory not created: %v", err)
+	}
+
+	if _, err := checkpoint.OpenTenant("", "acme"); err == nil {
+		t.Fatal("empty root accepted")
+	}
+	if _, err := checkpoint.OpenTenant(root, "../escape"); !errors.Is(err, checkpoint.ErrTenantName) {
+		t.Fatalf("traversal name error = %v, want ErrTenantName", err)
+	}
+}
+
+// TestListTenants pins the tree walk: valid subdirectories sorted,
+// files and invalid names skipped, and a never-flushed root listing
+// empty without error.
+func TestListTenants(t *testing.T) {
+	root := t.TempDir()
+	for _, name := range []string{"globex", "acme", ".hidden"} {
+		if err := os.Mkdir(filepath.Join(root, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray file is not a tenant.
+	if err := os.WriteFile(filepath.Join(root, "gen-1.ckpt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := checkpoint.ListTenants(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"acme", "globex"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("ListTenants = %v, want %v", names, want)
+	}
+
+	names, err = checkpoint.ListTenants(filepath.Join(root, "never-flushed"))
+	if err != nil || names != nil {
+		t.Fatalf("nonexistent root: names=%v err=%v, want nil, nil", names, err)
+	}
+}

@@ -163,6 +163,15 @@ func (c *Checkpointer) Stop() {
 	<-done
 }
 
+// Shutdown stops the background writer and synchronously flushes the
+// current serving state, bounded by ctx — the graceful-shutdown and
+// tenant-eviction sequence in one call. A stopped checkpointer may be
+// started again (an aborted eviction does exactly that).
+func (c *Checkpointer) Shutdown(ctx context.Context) error {
+	c.Stop()
+	return c.Flush(ctx)
+}
+
 // Flush synchronously checkpoints the current serving state, retrying
 // with backoff until it succeeds or ctx ends. A system with nothing to
 // persist (not Ready yet) flushes trivially.
