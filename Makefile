@@ -8,8 +8,10 @@ vet:
 	go vet ./...
 
 # garlint builds the repository's custom vet tool (see cmd/garlint);
-# lint runs its analyzers (nopanic, ctxpass, mustonly) over every
-# package through the go vet driver.
+# lint runs its seven analyzers (nopanic, ctxpass, mustonly, snaponce,
+# lockhold, goexit, errlost) over every package through the go vet
+# driver. Add -suppressions/-json/-github after the package list to
+# reshape the report.
 garlint:
 	go build -o bin/garlint ./cmd/garlint
 

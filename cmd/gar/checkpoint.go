@@ -125,7 +125,10 @@ func runCheckpoint(args []string, stdout, stderr io.Writer) int {
 		if *output == "json" {
 			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
-			_ = enc.Encode(reports)
+			if err := enc.Encode(reports); err != nil {
+				fmt.Fprintf(stderr, "gar checkpoint: %v\n", err)
+				return 2
+			}
 		} else {
 			printCheckpointReports(stdout, reports)
 		}

@@ -428,6 +428,7 @@ func retryAfterSeconds(d time.Duration) string {
 	return strconv.Itoa(secs)
 }
 
+//garlint:allow errlost -- a response-encode failure means the client hung up; there is no one left to tell
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -514,7 +515,12 @@ func runServe(args []string) {
 	tenantIdle := fs.Duration("tenantidle", 15*time.Minute, "fleet mode: evict tenants idle this long (0 disables)")
 	tenantInFlight := fs.Int("tenantinflight", 0, "fleet mode: per-tenant concurrent translations (0 = maxinflight/maxtenants)")
 	tenantQueue := fs.Int("tenantqueue", 0, "fleet mode: per-tenant queue depth (0 = maxqueue/maxtenants)")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		// Unreachable with ExitOnError, but the error stays handled if
+		// the flag set's policy ever changes.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opts := gar.Options{
 		GeneralizeSize:  *pool,

@@ -1,6 +1,7 @@
 // Command garlint is the repository's custom vet tool. It runs the
-// analyzers of internal/lint (nopanic, ctxpass, mustonly) under the go
-// command's unitchecker protocol:
+// analyzers of internal/lint (nopanic, ctxpass, mustonly, snaponce,
+// lockhold, goexit, errlost) under the go command's unitchecker
+// protocol:
 //
 //	go build -o bin/garlint ./cmd/garlint
 //	go vet -vettool=bin/garlint ./...
@@ -11,7 +12,15 @@
 // file describing one typechecked package (file set, import map and
 // export data locations). Diagnostics go to stderr as
 // "file:line:col: [analyzer] message" and a nonzero exit marks the
-// package as failing.
+// package as failing. Three output flags reshape that report:
+//
+//	-json          one JSON object per package: diagnostics plus the
+//	               per-analyzer //garlint:allow suppression tally
+//	-github        GitHub Actions workflow annotations
+//	               (::error file=...,line=...::message), so CI findings
+//	               land on the offending diff line
+//	-suppressions  append the per-analyzer suppression counts to the
+//	               plain-text report
 //
 // Unlike x/tools' unitchecker this implementation is dependency-free:
 // packages are typechecked with go/types against the export data the
@@ -56,9 +65,23 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// outputMode selects how run renders its report.
+type outputMode struct {
+	// json emits one JSON object per package instead of text lines.
+	json bool
+	// github emits GitHub Actions ::error annotations.
+	github bool
+	// suppressions appends the //garlint:allow tally to the text report.
+	suppressions bool
+}
+
 func main() {
 	printFlags := flag.Bool("flags", false, "print the analyzer flags as JSON and exit")
 	version := flag.String("V", "", "print the tool version (go vet protocol; pass 'full')")
+	var mode outputMode
+	flag.BoolVar(&mode.json, "json", false, "emit diagnostics and suppression counts as JSON")
+	flag.BoolVar(&mode.github, "github", false, "emit diagnostics as GitHub Actions annotations")
+	flag.BoolVar(&mode.suppressions, "suppressions", false, "report //garlint:allow suppression counts per analyzer")
 	enabled := map[string]*bool{}
 	for _, a := range lint.All() {
 		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
@@ -71,7 +94,7 @@ func main() {
 	case *version != "":
 		emitVersion()
 	case flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg"):
-		os.Exit(run(flag.Arg(0), enabled))
+		os.Exit(run(flag.Arg(0), enabled, mode))
 	default:
 		fmt.Fprintln(os.Stderr, "garlint: run me via `go vet -vettool=$(command -v garlint) ./...`")
 		os.Exit(1)
@@ -86,7 +109,11 @@ func emitFlags() {
 		Bool  bool   `json:"Bool"`
 		Usage string `json:"Usage"`
 	}
-	var defs []flagDef
+	defs := []flagDef{
+		{Name: "json", Bool: true, Usage: "emit diagnostics and suppression counts as JSON"},
+		{Name: "github", Bool: true, Usage: "emit diagnostics as GitHub Actions annotations"},
+		{Name: "suppressions", Bool: true, Usage: "report //garlint:allow suppression counts per analyzer"},
+	}
 	for _, a := range lint.All() {
 		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
 	}
@@ -95,8 +122,7 @@ func emitFlags() {
 		fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(data)
-	os.Stdout.Write([]byte("\n"))
+	fmt.Printf("%s\n", data)
 }
 
 // emitVersion answers `-V=full`. The line doubles as the go command's
@@ -104,17 +130,26 @@ func emitFlags() {
 // behavior does: hash the executable itself.
 func emitVersion() {
 	h := sha256.New()
-	if exe, err := os.Executable(); err == nil {
-		if f, err := os.Open(exe); err == nil {
-			io.Copy(h, f)
-			f.Close()
+	exe, err := os.Executable()
+	if err == nil {
+		var f *os.File
+		if f, err = os.Open(exe); err == nil {
+			_, err = io.Copy(h, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
 		}
+	}
+	if err != nil {
+		// An unreadable executable still needs a version line; fold the
+		// failure into the hash so the cache key stays honest.
+		fmt.Fprintf(h, "unreadable executable: %v", err)
 	}
 	fmt.Printf("garlint version %x\n", h.Sum(nil)[:12])
 }
 
 // run analyzes the package described by one vet.cfg file.
-func run(cfgPath string, enabled map[string]*bool) int {
+func run(cfgPath string, enabled map[string]*bool, mode outputMode) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
@@ -178,7 +213,8 @@ func run(cfgPath string, enabled map[string]*bool) int {
 			analyzers = append(analyzers, a)
 		}
 	}
-	diags := lint.Run(fset, files, pkg, info, analyzers)
+	res := lint.Run(fset, files, pkg, info, analyzers)
+	diags := res.Diags
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -189,13 +225,63 @@ func run(cfgPath string, enabled map[string]*bool) int {
 		}
 		return a.Column < b.Column
 	})
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
-	}
+	report(&cfg, diags, res.Suppressed, mode)
 	if len(diags) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// report renders one package's findings to stderr in the selected mode.
+func report(cfg *vetConfig, diags []lint.Diagnostic, suppressed map[string]int, mode outputMode) {
+	if mode.json {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := struct {
+			Package     string         `json:"package"`
+			Diagnostics []jsonDiag     `json:"diagnostics"`
+			Suppressed  map[string]int `json:"suppressed,omitempty"`
+		}{Package: cfg.ImportPath, Diagnostics: []jsonDiag{}, Suppressed: suppressed}
+		for _, d := range diags {
+			out.Diagnostics = append(out.Diagnostics, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "garlint: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s\n", data)
+		return
+	}
+	for _, d := range diags {
+		if mode.github {
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d,title=garlint/%s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if mode.suppressions && len(suppressed) > 0 {
+		names := make([]string, 0, len(suppressed))
+		for name := range suppressed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, suppressed[name]))
+		}
+		fmt.Fprintf(os.Stderr, "garlint: %s: suppressed by %s: %s\n",
+			cfg.ImportPath, lint.AllowDirective, strings.Join(parts, " "))
+	}
 }
 
 // inModule reports whether the import path belongs to this module.

@@ -69,7 +69,7 @@ func Explode() {
 }
 `)
 	var code int
-	out := captureStderr(t, func() { code = run(cfgPath, nil) })
+	out := captureStderr(t, func() { code = run(cfgPath, nil, outputMode{}) })
 	if code != 2 {
 		t.Fatalf("run = %d, want 2; stderr:\n%s", code, out)
 	}
@@ -92,7 +92,7 @@ func MustExplode() {
 	panic("boom")
 }
 `)
-	if code := run(cfgPath, nil); code != 0 {
+	if code := run(cfgPath, nil, outputMode{}); code != 0 {
 		t.Fatalf("run = %d, want 0", code)
 	}
 }
@@ -108,7 +108,7 @@ func Explode() {
 	on := true
 	enabled := map[string]*bool{"nopanic": &off, "ctxpass": &on, "mustonly": &on}
 	var code int
-	captureStderr(t, func() { code = run(cfgPath, enabled) })
+	captureStderr(t, func() { code = run(cfgPath, enabled, outputMode{}) })
 	if code != 0 {
 		t.Fatalf("run with nopanic disabled = %d, want 0", code)
 	}
@@ -138,7 +138,7 @@ func Explode() { panic("boom") }
 	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code := run(cfgPath, nil); code != 0 {
+	if code := run(cfgPath, nil, outputMode{}); code != 0 {
 		t.Fatalf("run on foreign package = %d, want 0", code)
 	}
 	if _, err := os.Stat(vetx); err != nil {
@@ -162,7 +162,7 @@ func Broken() undefinedType { return nil }
 	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code := run(cfgPath, nil); code != 0 {
+	if code := run(cfgPath, nil, outputMode{}); code != 0 {
 		t.Fatalf("run = %d, want 0 with SucceedOnTypecheckFailure", code)
 	}
 
@@ -172,7 +172,7 @@ func Broken() undefinedType { return nil }
 		t.Fatal(err)
 	}
 	var code int
-	out := captureStderr(t, func() { code = run(cfgPath, nil) })
+	out := captureStderr(t, func() { code = run(cfgPath, nil, outputMode{}) })
 	if code == 0 {
 		t.Fatalf("run = 0, want failure on typecheck error; stderr:\n%s", out)
 	}
@@ -207,8 +207,18 @@ func TestVetToolProtocol(t *testing.T) {
 	if err := json.Unmarshal(out, &defs); err != nil {
 		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
 	}
-	if len(defs) != 3 {
-		t.Errorf("-flags lists %d analyzers, want 3", len(defs))
+	// Three output-mode flags plus the seven analyzer toggles.
+	if len(defs) != 10 {
+		t.Errorf("-flags lists %d flags, want 10", len(defs))
+	}
+	byName := map[string]bool{}
+	for _, d := range defs {
+		byName[d.Name] = true
+	}
+	for _, want := range []string{"json", "github", "suppressions", "nopanic", "ctxpass", "mustonly", "snaponce", "lockhold", "goexit", "errlost"} {
+		if !byName[want] {
+			t.Errorf("-flags missing %q", want)
+		}
 	}
 
 	out, err = exec.Command(tool, "-V=full").Output()
@@ -224,5 +234,79 @@ func TestVetToolProtocol(t *testing.T) {
 	vet.Dir = root
 	if out, err := vet.CombinedOutput(); err != nil {
 		t.Errorf("go vet -vettool failed on clean package: %v\n%s", err, out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	cfgPath, _ := writeVetCfg(t, t.TempDir(), `package fixture
+
+//garlint:allow nopanic -- fixture: exercising the suppression tally
+func waved() { panic("ok") }
+
+func Explode() {
+	panic("boom")
+}
+`)
+	var code int
+	out := captureStderr(t, func() { code = run(cfgPath, nil, outputMode{json: true}) })
+	if code != 2 {
+		t.Fatalf("run = %d, want 2; stderr:\n%s", code, out)
+	}
+	var rep struct {
+		Package     string
+		Diagnostics []struct {
+			File     string
+			Line     int
+			Col      int
+			Analyzer string
+			Message  string
+		}
+		Suppressed map[string]int
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if rep.Package != "repro/fixture" {
+		t.Errorf("package = %q, want repro/fixture", rep.Package)
+	}
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Analyzer != "nopanic" || rep.Diagnostics[0].Line != 7 {
+		t.Errorf("diagnostics = %+v, want one nopanic finding at line 7", rep.Diagnostics)
+	}
+	if rep.Suppressed["nopanic"] != 1 {
+		t.Errorf("suppressed = %v, want nopanic=1", rep.Suppressed)
+	}
+}
+
+func TestRunGitHubAnnotations(t *testing.T) {
+	cfgPath, _ := writeVetCfg(t, t.TempDir(), `package fixture
+
+func Explode() {
+	panic("boom")
+}
+`)
+	var code int
+	out := captureStderr(t, func() { code = run(cfgPath, nil, outputMode{github: true}) })
+	if code != 2 {
+		t.Fatalf("run = %d, want 2; stderr:\n%s", code, out)
+	}
+	if !strings.Contains(out, "::error file=") || !strings.Contains(out, ",line=4,") ||
+		!strings.Contains(out, "title=garlint/nopanic") {
+		t.Errorf("stderr is not a GitHub annotation:\n%s", out)
+	}
+}
+
+func TestRunSuppressionsReport(t *testing.T) {
+	cfgPath, _ := writeVetCfg(t, t.TempDir(), `package fixture
+
+//garlint:allow nopanic -- fixture: deliberate panic behind a directive
+func waved() { panic("ok") }
+`)
+	var code int
+	out := captureStderr(t, func() { code = run(cfgPath, nil, outputMode{suppressions: true}) })
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr:\n%s", code, out)
+	}
+	if !strings.Contains(out, "suppressed by //garlint:allow: nopanic=1") {
+		t.Errorf("stderr missing suppression tally:\n%s", out)
 	}
 }

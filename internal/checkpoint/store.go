@@ -86,8 +86,7 @@ func (st *Store) Write(m Manifest, sections []Section) error {
 	}
 	defer func() {
 		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			discardTemp(tmp)
 		}
 	}()
 
@@ -119,11 +118,27 @@ func (st *Store) Write(m Manifest, sections []Section) error {
 		return fmt.Errorf("checkpoint: renaming into place: %w", err)
 	}
 	tmp = nil // renamed away; nothing to clean up
-	if d, err := os.Open(st.dir); err == nil {
+	syncDir(st.dir)
+	return nil
+}
+
+// discardTemp closes and removes a temp file after a failure that is
+// already being reported.
+//
+//garlint:allow errlost -- best-effort cleanup on a path that is already failing; the original error is the one to surface
+func discardTemp(f *os.File) {
+	_ = f.Close()
+	_ = os.Remove(f.Name())
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+//
+//garlint:allow errlost -- durability hint after the rename has already landed; there is nothing left to unwind
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
 	}
-	return nil
 }
 
 // Entry is one checkpoint file found in the state directory. Presence

@@ -483,7 +483,7 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 // stores, handed to the pipeline so re-rank scoring never re-encodes a
 // dialect.
 //
-//garlint:allow ctxpass -- snapshot build; no caller context to thread
+//garlint:allow ctxpass errlost -- snapshot build: no caller context to thread, and the ForEach body never returns an error
 func buildIndex(pool []ltr.Candidate, encoder *embed.Encoder, opts Options) (vindex.Index, []vector.Vec) {
 	vecs := make([]vector.Vec, len(pool))
 	// The body never fails and the context cannot be cancelled.

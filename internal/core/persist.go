@@ -89,8 +89,7 @@ func (m *Models) SaveFile(path string) error {
 	}
 	defer func() {
 		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			discardTemp(tmp)
 		}
 	}()
 	if err := m.Save(tmp); err != nil {
@@ -107,11 +106,27 @@ func (m *Models) SaveFile(path string) error {
 	}
 	tmp = nil // renamed away; nothing to clean up
 	// Fsync the directory so the rename itself survives a crash.
+	syncDir(dir)
+	return nil
+}
+
+// discardTemp closes and removes a temp file after a failure that is
+// already being reported.
+//
+//garlint:allow errlost -- best-effort cleanup on a path that is already failing; the original error is the one to surface
+func discardTemp(f *os.File) {
+	_ = f.Close()
+	_ = os.Remove(f.Name())
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+//
+//garlint:allow errlost -- durability hint after the rename has already landed; there is nothing left to unwind
+func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
 	}
-	return nil
 }
 
 // verifyEnvelope checks the magic, length and trailing checksum and

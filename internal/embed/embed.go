@@ -82,6 +82,7 @@ func (e *Encoder) Dim() int { return e.cfg.Dim }
 // dialect expressions plus the training NL queries).
 func (e *Encoder) FitIDF(corpus []string) { e.idf = text.NewIDF(corpus) }
 
+//garlint:allow errlost -- hash.Hash.Write never returns an error by its documented contract
 func (e *Encoder) bucket(s string) int {
 	h := fnv.New32a()
 	h.Write([]byte(s))

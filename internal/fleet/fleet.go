@@ -399,6 +399,8 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
 // working-set slot (marking the LRU idle tenant for eviction when the
 // set is full) and launches the single-flight activation goroutine. A
 // full set with no evictable tenant sheds with *SaturatedError.
+//
+//garlint:allow goexit -- deliberately detached single-flight activation: waiters join via t.done, the work is bounded by ActivateTimeout, and activate closes the channel on every path
 func (r *Registry) beginActivation(t *tenant) error {
 	r.capMu.Lock()
 	t.mu.Lock()

@@ -23,7 +23,7 @@ func runCtxPass(p *Pass) {
 		test := p.IsTestFile(f)
 		for _, fn := range funcDecls(f) {
 			hasCtx := receivesContext(p, fn)
-			allowed := Allowed(p.Analyzer.Name, fn.Doc)
+			allowed := p.Allowed(fn.Doc)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {

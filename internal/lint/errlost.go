@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrLost forbids discarding errors. An error assigned to the blank
+// identifier or returned by a call used as a bare statement vanishes —
+// in a serving stack that hides failed fsyncs, dropped checkpoints and
+// half-applied state transitions. The error must be handled, returned,
+// or the discard declared safe with "//garlint:allow errlost -- reason"
+// on the enclosing function. Calls whose errors are nil by documented
+// contract are excluded: fmt Print/Fprint variants and methods on
+// bytes.Buffer and strings.Builder. Deferred and go calls are out of
+// scope (the result has no receiver there by construction), as are test
+// files.
+var ErrLost = &Analyzer{
+	Name: "errlost",
+	Doc:  "forbid discarding errors via _ assignment or unchecked call statements",
+	Run:  runErrLost,
+}
+
+func runErrLost(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, fn := range funcDecls(f) {
+			if p.Allowed(fn.Doc) {
+				continue
+			}
+			checkErrLost(p, fn)
+		}
+	}
+}
+
+func checkErrLost(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := x.X.(*ast.CallExpr)
+			if !ok || errExcluded(p, call) {
+				break
+			}
+			if returnsError(p, call) {
+				p.Reportf(call.Pos(), "result of %s contains an error that is never checked in %s; handle it or return it",
+					calleeName(call), fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			checkBlankErr(p, fn, x)
+		}
+		return true
+	})
+}
+
+// checkBlankErr reports error-typed results assigned to the blank
+// identifier, in both `x, _ := f()` (one call, tuple result) and
+// one-to-one `_ = expr` forms.
+func checkBlankErr(p *Pass, fn *ast.FuncDecl, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || errExcluded(p, call) {
+			return
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error from %s discarded with _ in %s; handle it or declare the discard with %s errlost -- <reason>",
+					calleeName(call), fn.Name.Name, AllowDirective)
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		tv, ok := p.Info.Types[rhs]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && errExcluded(p, call) {
+			continue
+		}
+		p.Reportf(lhs.Pos(), "error discarded with _ in %s; handle it or declare the discard with %s errlost -- <reason>",
+			fn.Name.Name, AllowDirective)
+	}
+}
+
+// returnsError reports whether the call produces at least one
+// error-typed result.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// errExcluded reports whether the call's error is nil by documented
+// contract: fmt's Print/Fprint family and methods on bytes.Buffer or
+// strings.Builder.
+func errExcluded(p *Pass, call *ast.CallExpr) bool {
+	var fnObj *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fnObj, _ = p.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fnObj, _ = p.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fnObj == nil {
+		return false
+	}
+	sig, ok := fnObj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		if fnObj.Pkg() != nil && fnObj.Pkg().Path() == "fmt" {
+			name := fnObj.Name()
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		}
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	recv := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return recv == "bytes.Buffer" || recv == "strings.Builder"
+}
+
+// calleeName renders the called function for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return "call"
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoExit requires every spawned goroutine to have a join path the
+// spawner (or a supervisor) can observe: a sync.WaitGroup Done, a send
+// on or close of a channel, or a context.Done() subscription that bounds
+// its lifetime. A goroutine with none of these is fire-and-forget — it
+// can outlive shutdown, leak, or swallow a failure nobody waits for.
+// Deliberate detachment must be declared with a
+// "//garlint:allow goexit -- reason" directive on the enclosing
+// function. For `go f(args...)` calls of named functions the analyzer
+// accepts a context.Context or channel argument as the join path, since
+// the body is out of intra-procedural reach.
+var GoExit = &Analyzer{
+	Name: "goexit",
+	Doc:  "require every go statement to be joined via WaitGroup, channel, or context lifetime",
+	Run:  runGoExit,
+}
+
+func runGoExit(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, fn := range funcDecls(f) {
+			if p.Allowed(fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goJoined(p, g.Call) {
+					p.Reportf(g.Pos(), "goroutine in %s has no join path (WaitGroup, channel, or ctx.Done()); add one or declare fire-and-forget with %s goexit -- <reason>",
+						fn.Name.Name, AllowDirective)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// goJoined reports whether the spawned call has an observable join path.
+func goJoined(p *Pass, call *ast.CallExpr) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return funcLitJoined(p, lit)
+	}
+	// Named function: the body is out of reach, so accept a lifetime
+	// handle among the arguments — a context or a channel the callee can
+	// signal on or be cancelled through.
+	for _, arg := range call.Args {
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isContextType(tv.Type) || isChanType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLitJoined scans a goroutine body for a join signal: wg.Done(),
+// close(ch), a channel send, or a receive/select on a Done() channel.
+// Nested goroutines are judged at their own go statements.
+func funcLitJoined(p *Pass, lit *ast.FuncLit) bool {
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			// Receiving at all means the goroutine parks on a channel
+			// the spawner side controls — most commonly <-ctx.Done()
+			// or a work queue whose close terminates it.
+			if x.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					joined = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					joined = true
+				}
+			}
+		case *ast.RangeStmt:
+			// range over a channel terminates when the spawner closes it.
+			if tv, ok := p.Info.Types[x.X]; ok && tv.Type != nil && isChanType(tv.Type) {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// isChanType reports whether t is (or points to) a channel type.
+func isChanType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -8,9 +8,21 @@
 //	nopanic  — no panic in library packages outside Must* helpers
 //	ctxpass  — no context.Background()/TODO() where a context is in scope
 //	mustonly — Must* helpers callable only from tests and wrappers
+//	snaponce — an atomic.Pointer snapshot is Load()ed exactly once per
+//	           function and the loaded value, never the pointer, is
+//	           passed down (the single-generation serving invariant)
+//	lockhold — no blocking operation (channel send/recv, select without
+//	           default, time.Sleep, file or network I/O) while a
+//	           sync.Mutex or RWMutex is held
+//	goexit   — every `go` statement is joined: a WaitGroup, a done
+//	           channel, or a ctx.Done() cancellation path
+//	errlost  — no discarded error values: neither `_ =` assignments nor
+//	           bare call statements may drop an error
 //
 // A function can opt out of one analyzer with a directive in its doc
-// comment, which doubles as documentation of why the exemption is safe:
+// comment. The reason after " -- " is mandatory — a directive without
+// one (or naming an unknown analyzer) is itself a diagnostic, so every
+// exemption documents why it is safe:
 //
 //	//garlint:allow ctxpass -- compatibility wrapper, see RetrieveContext
 //	func (r *Retriever) Retrieve(q string) []int { ... }
@@ -38,7 +50,7 @@ type Analyzer struct {
 
 // All returns the full analyzer set in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoPanic, CtxPass, MustOnly}
+	return []*Analyzer{NoPanic, CtxPass, MustOnly, SnapOnce, LockHold, GoExit, ErrLost}
 }
 
 // Pass carries one package's parsed and typechecked form through one
@@ -52,6 +64,9 @@ type Pass struct {
 
 	// Diags accumulates the findings in report order.
 	Diags []Diagnostic
+	// Suppressed counts findings (or whole-function skips) waved off by
+	// an applicable //garlint:allow directive during this pass.
+	Suppressed int
 }
 
 // Diagnostic is one analyzer finding at a resolved source position.
@@ -75,6 +90,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Allowed reports whether doc carries a //garlint:allow directive for
+// this pass's analyzer, counting the suppression when it does. The
+// directive's reason is validated separately by Run, so a reasonless
+// directive still suppresses — and still fails the build through its
+// own diagnostic.
+func (p *Pass) Allowed(doc *ast.CommentGroup) bool {
+	if !Allowed(p.Analyzer.Name, doc) {
+		return false
+	}
+	p.Suppressed++
+	return true
+}
+
 // IsTestFile reports whether the file is a _test.go file.
 func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
@@ -92,40 +120,119 @@ func NewInfo() *types.Info {
 	}
 }
 
+// Result is the outcome of one Run: the combined diagnostics of every
+// analyzer (plus directive-hygiene findings under the pseudo-analyzer
+// "allow") and the suppression tally per analyzer.
+type Result struct {
+	Diags []Diagnostic
+	// Suppressed maps analyzer name → findings or function skips waved
+	// off by //garlint:allow directives. Analyzers with zero
+	// suppressions are absent.
+	Suppressed map[string]int
+}
+
 // Run typechecks nothing — the caller provides pkg/info — and executes
-// every analyzer in order, returning the combined diagnostics.
-func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+// every analyzer in order, then validates the //garlint:allow
+// directives themselves (every directive must name known analyzers and
+// carry a reason), returning the combined result.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) Result {
+	res := Result{Suppressed: map[string]int{}}
 	for _, a := range analyzers {
 		p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
 		a.Run(p)
-		out = append(out, p.Diags...)
+		res.Diags = append(res.Diags, p.Diags...)
+		if p.Suppressed > 0 {
+			res.Suppressed[a.Name] += p.Suppressed
+		}
 	}
-	return out
+	res.Diags = append(res.Diags, CheckDirectives(fset, files)...)
+	return res
+}
+
+// AllowDirective is the required comment prefix of an exemption.
+const AllowDirective = "//garlint:allow"
+
+// parseAllow splits one comment line into the analyzer names and the
+// free-form reason of an allow directive. ok is false when the line is
+// not a directive at all. The reason separator is " -- " (canonical) or
+// " // ".
+func parseAllow(text string) (names []string, reason string, ok bool) {
+	rest, ok := strings.CutPrefix(text, AllowDirective)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "", false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+2:])
+		rest = rest[:i]
+	} else if i := strings.Index(rest, "//"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+2:])
+		rest = rest[:i]
+	}
+	return strings.Fields(rest), reason, true
 }
 
 // Allowed reports whether the doc comment carries a
-// "//garlint:allow <name>" directive for the analyzer. Everything after
-// " -- " is a free-form justification and is ignored.
+// "//garlint:allow <name>" directive for the analyzer.
 func Allowed(analyzer string, doc *ast.CommentGroup) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		rest, ok := strings.CutPrefix(c.Text, "//garlint:allow")
-		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		names, _, ok := parseAllow(c.Text)
+		if !ok {
 			continue
 		}
-		if i := strings.Index(rest, "--"); i >= 0 {
-			rest = rest[:i]
-		}
-		for _, name := range strings.Fields(rest) {
+		for _, name := range names {
 			if name == analyzer {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// CheckDirectives validates every //garlint:allow directive of the
+// files: each must name at least one known analyzer, only known
+// analyzers, and carry a non-empty reason after " -- ". Violations are
+// reported under the pseudo-analyzer "allow", so a sloppy exemption
+// fails the build exactly like the finding it would hide.
+func CheckDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "allow",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				names, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				if len(names) == 0 {
+					report(c.Pos(), "allow directive names no analyzer")
+					continue
+				}
+				for _, name := range names {
+					if !known[name] {
+						report(c.Pos(), "allow directive names unknown analyzer %q", name)
+					}
+				}
+				if reason == "" {
+					report(c.Pos(), "allow directive for %s is missing its reason (use %s %s -- <why this is safe>)",
+						strings.Join(names, ", "), AllowDirective, strings.Join(names, " "))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // isMustName reports whether name follows the Must* convention: the

@@ -2,6 +2,9 @@ package lint_test
 
 import (
 	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -46,6 +49,22 @@ func TestMustOnly(t *testing.T) {
 	linttest.Run(t, lint.MustOnly, fixture("mustonly", "lib"))
 }
 
+func TestSnapOnce(t *testing.T) {
+	linttest.Run(t, lint.SnapOnce, fixture("snaponce", "lib"))
+}
+
+func TestLockHold(t *testing.T) {
+	linttest.Run(t, lint.LockHold, fixture("lockhold", "lib"))
+}
+
+func TestGoExit(t *testing.T) {
+	linttest.Run(t, lint.GoExit, fixture("goexit", "lib"))
+}
+
+func TestErrLost(t *testing.T) {
+	linttest.Run(t, lint.ErrLost, fixture("errlost", "lib"))
+}
+
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range lint.All() {
@@ -57,7 +76,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"nopanic", "ctxpass", "mustonly"} {
+	for _, want := range []string{"nopanic", "ctxpass", "mustonly", "snaponce", "lockhold", "goexit", "errlost"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}
@@ -75,6 +94,7 @@ func TestAllowedDirective(t *testing.T) {
 		{"//garlint:allow nopanic", "nopanic", true},
 		{"//garlint:allow nopanic ctxpass", "ctxpass", true},
 		{"//garlint:allow nopanic -- reason mentioning ctxpass", "ctxpass", false},
+		{"//garlint:allow nopanic // legacy separator mentioning ctxpass", "ctxpass", false},
 		{"//garlint:allow", "nopanic", false},
 		{"// garlint:allow nopanic", "nopanic", false}, // not a directive: space after //
 		{"//garlint:allownopanic", "nopanic", false},
@@ -87,6 +107,75 @@ func TestAllowedDirective(t *testing.T) {
 	}
 	if lint.Allowed("nopanic", nil) {
 		t.Error("Allowed with nil doc should be false")
+	}
+}
+
+// parseSrc typechecks an inline dependency-free source string.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := lint.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+func TestCheckDirectives(t *testing.T) {
+	const src = `package p
+
+//garlint:allow nopanic
+func a() { panic("suppressed but flagged for the missing reason") }
+
+//garlint:allow bogus -- not an analyzer
+func b() {}
+
+//garlint:allow
+func c() {}
+
+//garlint:allow ctxpass nopanic -- a reasoned multi-name directive is fine
+func d() {}
+`
+	fset, files, _, _ := parseSrc(t, src)
+	diags := lint.CheckDirectives(fset, files)
+	wants := []string{
+		"missing its reason",
+		`unknown analyzer "bogus"`,
+		"names no analyzer",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d directive diagnostics, want %d: %v", len(diags), len(wants), diags)
+	}
+	for i, d := range diags {
+		if d.Analyzer != "allow" {
+			t.Errorf("diag %d analyzer = %q, want \"allow\"", i, d.Analyzer)
+		}
+		if !strings.Contains(d.Message, wants[i]) {
+			t.Errorf("diag %d = %q, want it to contain %q", i, d.Message, wants[i])
+		}
+	}
+}
+
+func TestRunCountsSuppressions(t *testing.T) {
+	const src = `package p
+
+//garlint:allow nopanic -- fixture: panic is the point here
+func f() { panic("waved off") }
+
+func g() { panic("reported") }
+`
+	fset, files, pkg, info := parseSrc(t, src)
+	res := lint.Run(fset, files, pkg, info, []*lint.Analyzer{lint.NoPanic})
+	if len(res.Diags) != 1 || !strings.Contains(res.Diags[0].Message, "panic in library function g") {
+		t.Fatalf("Diags = %v, want the one finding in g", res.Diags)
+	}
+	if res.Suppressed["nopanic"] != 1 {
+		t.Errorf("Suppressed[nopanic] = %d, want 1", res.Suppressed["nopanic"])
 	}
 }
 

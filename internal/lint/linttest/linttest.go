@@ -78,7 +78,7 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 		t.Fatalf("linttest: typechecking %s: %v", dir, err)
 	}
 
-	diags := lint.Run(fset, files, pkg, info, []*lint.Analyzer{a})
+	diags := lint.Run(fset, files, pkg, info, []*lint.Analyzer{a}).Diags
 	for _, d := range diags {
 		if !consume(wants, d) {
 			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)

@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHold forbids blocking operations while a sync.Mutex or RWMutex is
+// held: channel sends and receives, select without a default case,
+// time.Sleep, WaitGroup/Cond waits, and file or network I/O through the
+// standard library. A goroutine parked inside a critical section stalls
+// every other goroutine contending for the lock — in a serving stack
+// that converts one slow request into a convoy. The tracking is
+// intra-procedural: Lock/Unlock pairs (including `defer Unlock`) are
+// followed through straight-line code, branches, and loops; a lock
+// released on one terminating branch stays held on the fall-through
+// path. Calls into non-stdlib functions are not assumed blocking, so a
+// deliberately held lock around an opaque call (a serialized writer,
+// say) stays clean. Test files and functions with a
+// "//garlint:allow lockhold" directive are exempt.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "forbid blocking operations (channel ops, selects, sleeps, I/O) while a mutex is held",
+	Run:  runLockHold,
+}
+
+func runLockHold(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, fn := range funcDecls(f) {
+			if p.Allowed(fn.Doc) {
+				continue
+			}
+			c := &lockChecker{p: p, fn: fn}
+			c.body(fn.Body)
+		}
+	}
+}
+
+// lockState maps a held lock's receiver expression (e.g. "s.mu") to the
+// position of the Lock call that acquired it.
+type lockState map[string]token.Pos
+
+func (ls lockState) clone() lockState {
+	cp := make(lockState, len(ls))
+	for k, v := range ls {
+		cp[k] = v
+	}
+	return cp
+}
+
+// names renders the held set for diagnostics, sorted for determinism.
+func (ls lockState) names() string {
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+type lockChecker struct {
+	p  *Pass
+	fn *ast.FuncDecl
+}
+
+// body analyzes one function (or function-literal) body from an empty
+// lock state. Nested function literals are analyzed as their own
+// scopes: a closure does not run under the locks of the point where it
+// is written.
+func (c *lockChecker) body(b *ast.BlockStmt) {
+	c.block(b.List, lockState{})
+	ast.Inspect(b, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != b {
+			c.block(lit.Body.List, lockState{})
+			return false
+		}
+		return true
+	})
+}
+
+// block runs the statements sequentially against held, reporting
+// whether the path terminates (return/branch).
+func (c *lockChecker) block(stmts []ast.Stmt, held lockState) bool {
+	for _, s := range stmts {
+		if c.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held lockState) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if key, op, ok := c.mutexOp(call); ok {
+				if op == "Lock" || op == "RLock" {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return false
+			}
+		}
+		c.exprs(held, x.X)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.report(x.Pos(), held, "channel send")
+		}
+		c.exprs(held, x.Chan, x.Value)
+	case *ast.AssignStmt:
+		c.exprs(held, x.Rhs...)
+		c.exprs(held, x.Lhs...)
+	case *ast.IncDecStmt:
+		c.exprs(held, x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(held, vs.Values...)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// Deferred code runs at return; a deferred Unlock means the
+		// lock is (intentionally) held for the rest of the function,
+		// which the current state already reflects.
+		return false
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's locks; only the
+		// argument expressions evaluate here and now.
+		c.exprs(held, x.Call.Args...)
+	case *ast.ReturnStmt:
+		c.exprs(held, x.Results...)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return c.block(x.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, held)
+		}
+		c.exprs(held, x.Cond)
+		thenHeld := held.clone()
+		thenTerm := c.block(x.Body.List, thenHeld)
+		elseHeld := held.clone()
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = c.stmt(x.Else, elseHeld)
+		}
+		mergeHeld(held, thenHeld, thenTerm, elseHeld, elseTerm)
+		return thenTerm && elseTerm && x.Else != nil
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, held)
+		}
+		c.exprs(held, x.Cond)
+		c.block(x.Body.List, held.clone()) // loop bodies are assumed lock-balanced
+	case *ast.RangeStmt:
+		c.exprs(held, x.X)
+		c.block(x.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.stmt(x.Init, held)
+		}
+		c.exprs(held, x.Tag)
+		c.caseBodies(x.Body, held)
+	case *ast.TypeSwitchStmt:
+		c.caseBodies(x.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(x) {
+			c.report(x.Pos(), held, "select without default")
+		}
+		for _, cl := range x.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				// The comm op itself was judged at select level; the
+				// case bodies run after it completes.
+				c.block(comm.Body, held.clone())
+			}
+		}
+	}
+	return false
+}
+
+// caseBodies analyzes each case clause of a switch against a private
+// copy of the held set.
+func (c *lockChecker) caseBodies(body *ast.BlockStmt, held lockState) {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			c.exprs(held, cc.List...)
+			c.block(cc.Body, held.clone())
+		}
+	}
+}
+
+// mergeHeld folds the two branch outcomes back into held: a lock is
+// still held after the branch only if every non-terminating path kept
+// it (terminating paths do not reach the code after the branch).
+func mergeHeld(held, a lockState, aTerm bool, b lockState, bTerm bool) {
+	var keep lockState
+	switch {
+	case aTerm && bTerm:
+		return // both paths left; held stays as the entry state
+	case aTerm:
+		keep = b
+	case bTerm:
+		keep = a
+	default:
+		keep = lockState{}
+		for k, v := range a {
+			if _, ok := b[k]; ok {
+				keep[k] = v
+			}
+		}
+	}
+	for k := range held {
+		if _, ok := keep[k]; !ok {
+			delete(held, k)
+		}
+	}
+	for k, v := range keep {
+		if _, ok := held[k]; !ok {
+			held[k] = v
+		}
+	}
+}
+
+// exprs scans expressions for blocking operations while locks are held.
+// Function literals are skipped — they run later, in their own scope.
+func (c *lockChecker) exprs(held lockState, es ...ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					c.report(x.Pos(), held, "channel receive")
+				}
+			case *ast.CallExpr:
+				if what := c.blockingCall(x); what != "" {
+					c.report(x.Pos(), held, what)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *lockChecker) report(pos token.Pos, held lockState, what string) {
+	c.p.Reportf(pos, "%s while %s is held in %s; release the lock before blocking",
+		what, held.names(), c.fn.Name.Name)
+}
+
+// mutexOp resolves a call to (R)Lock/(R)Unlock on a sync.Mutex or
+// sync.RWMutex (directly or promoted through embedding), returning the
+// receiver expression key and the method name.
+func (c *lockChecker) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fnObj, okFn := c.p.Info.Uses[sel.Sel].(*types.Func)
+	if !okFn {
+		return "", "", false
+	}
+	sig, okSig := fnObj.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, okPtr := t.(*types.Pointer); okPtr {
+		t = ptr.Elem()
+	}
+	named, okNamed := t.(*types.Named)
+	if !okNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if name := obj.Name(); name != "Mutex" && name != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingFuncs lists known-blocking package-level stdlib functions.
+var blockingFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"ReadFile": true, "WriteFile": true, "ReadDir": true,
+		"Remove": true, "RemoveAll": true, "Rename": true,
+		"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+		"Stat": true, "Lstat": true, "Truncate": true,
+	},
+	"net":      {"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+	"io":       {"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true, "ReadFull": true, "WriteString": true},
+}
+
+// blockingMethods lists known-blocking methods by receiver type.
+var blockingMethods = map[string]map[string]bool{
+	"sync.WaitGroup": {"Wait": true},
+	"sync.Cond":      {"Wait": true},
+	"os.File": {
+		"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+		"Sync": true, "Close": true, "Seek": true,
+	},
+	"net/http.Client": {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true},
+	"os/exec.Cmd":     {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true, "Start": false},
+}
+
+// blockingCall describes a call to a known-blocking stdlib function, or
+// returns "" when the call is not known to block.
+func (c *lockChecker) blockingCall(call *ast.CallExpr) string {
+	var fnObj *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fnObj, _ = c.p.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fnObj, _ = c.p.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fnObj == nil || fnObj.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fnObj.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if names, ok := blockingFuncs[fnObj.Pkg().Path()]; ok && names[fnObj.Name()] {
+			return "call to " + fnObj.Pkg().Path() + "." + fnObj.Name()
+		}
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	recv := obj.Pkg().Path() + "." + obj.Name()
+	if names, ok := blockingMethods[recv]; ok && names[fnObj.Name()] {
+		return "call to (" + recv + ")." + fnObj.Name()
+	}
+	return ""
+}
+
+// selectHasDefault reports whether the select has a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

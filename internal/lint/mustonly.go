@@ -25,7 +25,7 @@ func runMustOnly(p *Pass) {
 		// package-level var initializer runs once at startup, where a
 		// panic is an acceptable configuration failure.
 		for _, fn := range funcDecls(f) {
-			if isMustName(fn.Name.Name) || Allowed(p.Analyzer.Name, fn.Doc) {
+			if isMustName(fn.Name.Name) || p.Allowed(fn.Doc) {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {

@@ -31,7 +31,7 @@ func runNoPanic(p *Pass) {
 			continue
 		}
 		for _, fn := range funcDecls(f) {
-			if isMustName(fn.Name.Name) || Allowed(p.Analyzer.Name, fn.Doc) {
+			if isMustName(fn.Name.Name) || p.Allowed(fn.Doc) {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {

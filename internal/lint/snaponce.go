@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapOnce enforces the single-generation serving invariant from the
+// copy-on-write snapshot design: a request-path function must observe
+// exactly one published snapshot, so an atomic.Pointer must be
+// .Load()ed once and the loaded value — never the pointer — passed
+// down. Two loads in one function (or a load inside a loop) can
+// straddle a concurrent Swap and mix generations; handing the pointer
+// itself to a callee invites the callee to re-load. Functions that also
+// CompareAndSwap the same pointer are exempt — a CAS retry loop
+// re-loads by design — as are test files and functions carrying a
+// "//garlint:allow snaponce" directive.
+var SnapOnce = &Analyzer{
+	Name: "snaponce",
+	Doc:  "load an atomic.Pointer snapshot exactly once and pass the value, not the pointer",
+	Run:  runSnapOnce,
+}
+
+func runSnapOnce(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, fn := range funcDecls(f) {
+			if p.Allowed(fn.Doc) {
+				continue
+			}
+			checkSnapOnce(p, fn)
+		}
+	}
+}
+
+// checkSnapOnce analyzes one function body.
+func checkSnapOnce(p *Pass, fn *ast.FuncDecl) {
+	// loads[key] collects the Load call sites per receiver expression;
+	// cas[key] marks receivers the function CompareAndSwaps (retry
+	// loops re-load legitimately).
+	loads := map[string][]*ast.CallExpr{}
+	inLoop := map[*ast.CallExpr]bool{}
+	cas := map[string]bool{}
+
+	var walk func(n ast.Node, loop bool)
+	walk = func(n ast.Node, loop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.ForStmt:
+				if x.Init != nil {
+					walk(x.Init, loop)
+				}
+				walk(x.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.FuncLit:
+				// A closure is its own request scope (it may run once
+				// per call); analyze it independently of the enclosing
+				// loop context.
+				return false
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || !isAtomicPointer(p, sel.X) {
+					break
+				}
+				key := types.ExprString(sel.X)
+				switch sel.Sel.Name {
+				case "Load":
+					loads[key] = append(loads[key], x)
+					inLoop[x] = loop
+				case "CompareAndSwap", "Swap":
+					cas[key] = true
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+
+	// Passing the pointer down: any call argument whose type is
+	// atomic.Pointer[T] or *atomic.Pointer[T].
+	ast.Inspect(fn.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if isAtomicPointer(p, arg) {
+				p.Reportf(arg.Pos(), "%s passes the atomic pointer %s down; pass the Load()ed snapshot value instead",
+					fn.Name.Name, types.ExprString(arg))
+			}
+		}
+		return true
+	})
+
+	for key, sites := range loads {
+		if cas[key] {
+			continue
+		}
+		if len(sites) > 1 {
+			for _, site := range sites[1:] {
+				p.Reportf(site.Pos(), "%s loads snapshot %s %d times; a request must observe one generation — load once and pass the value down",
+					fn.Name.Name, key, len(sites))
+			}
+			continue
+		}
+		if inLoop[sites[0]] {
+			p.Reportf(sites[0].Pos(), "%s loads snapshot %s inside a loop; each iteration may observe a different generation — load once before the loop",
+				fn.Name.Name, key)
+		}
+	}
+}
+
+// isAtomicPointer reports whether the expression's type is
+// sync/atomic.Pointer[T] (or a pointer to one).
+func isAtomicPointer(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

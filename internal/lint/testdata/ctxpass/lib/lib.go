@@ -39,3 +39,14 @@ func LookupCtx(ctx context.Context, key string) string {
 	_ = ctx
 	return key
 }
+
+// Derive only calls non-root context constructors: clean.
+func Derive(ctx context.Context) context.Context {
+	return context.WithValue(ctx, struct{}{}, 1)
+}
+
+// Clock calls a non-context selector function: ignored.
+func Clock(ctx context.Context) time.Time {
+	_ = ctx
+	return time.Now()
+}

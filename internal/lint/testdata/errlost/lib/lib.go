@@ -1,0 +1,119 @@
+// Package lib exercises the errlost analyzer: no error may be dropped
+// via _ or an unchecked call statement.
+package lib
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Write handles its error; nothing to report.
+func Write(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Dropped discards the error with a blank assignment.
+func Dropped(path string, b []byte) {
+	_ = os.WriteFile(path, b, 0o644) // want "error discarded with _ in Dropped"
+}
+
+// TupleDrop discards the error half of a multi-value result.
+func TupleDrop(f *os.File, b []byte) int {
+	n, _ := f.Write(b) // want "error from f.Write discarded with _ in TupleDrop"
+	return n
+}
+
+// Unchecked drops a returned error on the floor.
+func Unchecked(f *os.File) {
+	f.Close() // want "result of f.Close contains an error that is never checked in Unchecked"
+}
+
+// Say prints to stdout and stderr; fmt's Print family is excluded by
+// contract.
+func Say(v any) {
+	fmt.Println(v)
+	fmt.Fprintf(os.Stderr, "%v\n", v)
+}
+
+// Build uses in-memory writers whose errors are nil by contract.
+func Build(parts []string) string {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	for _, p := range parts {
+		sb.WriteString(p)
+		buf.WriteString(p)
+	}
+	return sb.String() + buf.String()
+}
+
+// ReadAll's deferred Close is out of scope: deferred calls have no
+// receiver for the result by construction.
+func ReadAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+//garlint:allow errlost -- best-effort cleanup, failure only delays GC
+func Cleanup(path string) {
+	_ = os.Remove(path)
+}
+
+func act() error { return nil }
+func quiet()     {}
+
+// BareCalls drops errors from plain and tuple-returning statements.
+func BareCalls(f *os.File, b []byte) {
+	act()       // want "result of act contains an error that is never checked in BareCalls"
+	f.Write(b)  // want "result of f.Write contains an error that is never checked in BareCalls"
+	quiet()     // no result at all: fine
+}
+
+// VarDrop discards an error value, not just a call result.
+func VarDrop() {
+	e := act()
+	_ = e // want "error discarded with _ in VarDrop"
+}
+
+// PairDrop discards one error in a one-to-one multi-assignment.
+func PairDrop() int {
+	n, _ := 1, act() // want "error discarded with _ in PairDrop"
+	return n
+}
+
+// FuncVar drops the error from a func-typed variable call.
+func FuncVar() {
+	fn := act
+	fn() // want "result of fn contains an error that is never checked in FuncVar"
+}
+
+// LitCall drops the error from an immediately-invoked literal.
+func LitCall() {
+	func() error { return nil }() // want "result of call contains an error that is never checked in LitCall"
+}
+
+// NonErrorBlanks are fine: nothing error-typed is discarded.
+func NonErrorBlanks(m map[string]int, buf *bytes.Buffer, a, b int) (int, int) {
+	_, ok := m["k"]
+	_ = ok
+	n, _ := buf.WriteString("x")
+	_ = n
+	a, b = b, a
+	return a, b
+}
+
+// ByteDrop discards a contract-nil error: excluded even through _.
+func ByteDrop(buf *bytes.Buffer) {
+	_ = buf.WriteByte('x')
+}
+
+// AnonIface drops an error from a method on an anonymous interface.
+func AnonIface(c interface{ Close() error }) {
+	c.Close() // want "result of c.Close contains an error that is never checked in AnonIface"
+}

@@ -1,0 +1,110 @@
+// Package lib exercises the goexit analyzer: every spawned goroutine
+// needs an observable join path.
+package lib
+
+import (
+	"context"
+	"sync"
+)
+
+// Fan joins its workers through a WaitGroup.
+func Fan(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Async signals completion on a result channel.
+func Async() <-chan int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return ch
+}
+
+// Watch is lifetime-bound: it parks on ctx.Done().
+func Watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Drain terminates when the spawner closes the channel it ranges over.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Start hands the callee a context, which is its cancellation path.
+func Start(ctx context.Context) {
+	go loop(ctx)
+}
+
+func loop(ctx context.Context) { <-ctx.Done() }
+
+func spin() {}
+
+// Orphan's goroutine has no join path at all.
+func Orphan() {
+	go func() { // want "goroutine in Orphan has no join path"
+		spin()
+	}()
+}
+
+// NamedOrphan spawns a named function with no lifetime handle among the
+// arguments.
+func NamedOrphan() {
+	go spin() // want "goroutine in NamedOrphan has no join path"
+}
+
+//garlint:allow goexit -- detached best-effort warmup, bounded by process lifetime
+func Warm() {
+	go spin()
+}
+
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// Feed hands the callee the channel it drains; closing it joins.
+func Feed(ch chan int) {
+	go worker(ch)
+}
+
+func pump(ch *chan int) { close(*ch) }
+
+// FeedPtr passes a pointer to the channel; still a join handle.
+func FeedPtr(ch *chan int) {
+	go pump(ch)
+}
+
+// SliceOrphan ranges over a slice, which is not a join path.
+func SliceOrphan(items []int) {
+	go func() { // want "goroutine in SliceOrphan has no join path"
+		for range items {
+		}
+	}()
+}
+
+// Signal closes a done channel from the goroutine: that is its join.
+func Signal(done chan struct{}) {
+	go func() {
+		spin()
+		close(done)
+	}()
+}
+
+// Nested spawns from inside a goroutine; each go statement is judged
+// at its own site, and neither has a join path.
+func Nested() {
+	go func() { // want "goroutine in Nested has no join path"
+		go spin() // want "goroutine in Nested has no join path"
+	}()
+}

@@ -1,0 +1,6 @@
+package lib
+
+// Test files are exempt: a detached goroutine here is not a finding.
+func orphanInTest() {
+	go spin()
+}

@@ -1,0 +1,311 @@
+// Package lib exercises the lockhold analyzer: no blocking operation
+// while a sync.Mutex or RWMutex is held.
+package lib
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Put is the blessed shape: release before the send.
+func (q *Q) Put(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// SendHeld parks on a channel send inside the critical section.
+func (q *Q) SendHeld(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want "channel send while q.mu is held in SendHeld"
+}
+
+// RecvHeld parks on a receive inside the critical section.
+func (q *Q) RecvHeld() int {
+	q.mu.Lock()
+	v := <-q.ch // want "channel receive while q.mu is held in RecvHeld"
+	q.mu.Unlock()
+	return v
+}
+
+// SleepHeld sleeps with the lock held.
+func (q *Q) SleepHeld() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while q.mu is held in SleepHeld"
+	q.mu.Unlock()
+}
+
+// SelectHeld parks in a default-less select.
+func (q *Q) SelectHeld() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want "select without default while q.mu is held in SelectHeld"
+	case <-q.ch:
+	}
+}
+
+// TrySend cannot park: the select has a default case.
+func (q *Q) TrySend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// EarlyUnlock releases only on the error path; the fall-through still
+// holds the lock when it reaches the send.
+func (q *Q) EarlyUnlock(fail bool) {
+	q.mu.Lock()
+	if fail {
+		q.mu.Unlock()
+		return
+	}
+	q.ch <- 1 // want "channel send while q.mu is held in EarlyUnlock"
+	q.mu.Unlock()
+}
+
+// BranchUnlock releases on every path before blocking.
+func (q *Q) BranchUnlock(fail bool) {
+	q.mu.Lock()
+	if fail {
+		q.mu.Unlock()
+	} else {
+		q.mu.Unlock()
+	}
+	q.ch <- 1
+}
+
+// WriteHeld does file I/O inside the critical section.
+func (q *Q) WriteHeld(f *os.File, b []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, err := f.Write(b) // want "call to \\(os.File\\).Write while q.mu is held in WriteHeld"
+	return err
+}
+
+// WaitHeld joins a WaitGroup with the lock held.
+func (q *Q) WaitHeld(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait() // want "call to \\(sync.WaitGroup\\).Wait while q.mu is held in WaitHeld"
+	q.mu.Unlock()
+}
+
+// CloseLater's deferred closure and Spawn's goroutine run outside the
+// spawner's critical section, so their channel ops are clean.
+func (q *Q) CloseLater() {
+	q.mu.Lock()
+	defer func() { q.ch <- 0 }()
+	q.mu.Unlock()
+}
+
+func (q *Q) Spawn(done chan struct{}) {
+	q.mu.Lock()
+	go func() {
+		q.ch <- 1
+		close(done)
+	}()
+	q.mu.Unlock()
+}
+
+type R struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+// ReadPark blocks under a read lock, which stalls writers just the same.
+func (r *R) ReadPark() int {
+	r.mu.RLock()
+	v := <-r.ch // want "channel receive while r.mu is held in ReadPark"
+	r.mu.RUnlock()
+	return v
+}
+
+//garlint:allow lockhold -- serialized writer by design; single caller, bounded queue
+func (q *Q) Flush(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v
+}
+
+func sink(int)   {}
+func helper() {}
+
+// Switches, loops and labels: the held set follows every body.
+func (q *Q) Branches(mode int, items []int) {
+	q.mu.Lock()
+	switch mode {
+	case 0:
+		q.ch <- 0 // want "channel send while q.mu is held in Branches"
+	case 1:
+		helper()
+	}
+	var v any = mode
+	switch v.(type) {
+	case int:
+		time.Sleep(time.Millisecond) // want "call to time.Sleep while q.mu is held in Branches"
+	}
+	for i := 0; i < len(items); i++ {
+		q.ch <- i // want "channel send while q.mu is held in Branches"
+	}
+	for range items {
+		helper()
+	}
+loop:
+	for {
+		break loop
+	}
+	var n = len(items)
+	sink(n)
+	q.mu.Unlock()
+}
+
+// GoArgs evaluates the spawn arguments in the spawner, lock held.
+func (q *Q) GoArgs(done chan struct{}) {
+	q.mu.Lock()
+	go func(v int) {
+		sink(v)
+		close(done)
+	}(<-q.ch) // want "channel receive while q.mu is held in GoArgs"
+	q.mu.Unlock()
+}
+
+// BothLock acquires on both branches; the lock is held at the join.
+func (q *Q) BothLock(fail bool) {
+	if fail {
+		q.mu.Lock()
+	} else {
+		q.mu.Lock()
+	}
+	q.ch <- 1 // want "channel send while q.mu is held in BothLock"
+	q.mu.Unlock()
+}
+
+// notMutex has a Lock method but is not a sync mutex: ignored.
+type notMutex struct{}
+
+func (notMutex) Lock()   {}
+func (notMutex) Unlock() {}
+
+func (q *Q) CustomLock(m notMutex) {
+	m.Lock()
+	q.ch <- 1
+	m.Unlock()
+}
+
+// CondWait parks on a condition variable while holding another mutex.
+func (q *Q) CondWait(c *sync.Cond) {
+	q.mu.Lock()
+	c.Wait() // want "call to \\(sync.Cond\\).Wait while q.mu is held in CondWait"
+	q.mu.Unlock()
+}
+
+// InitIf threads the held set through an if with an init statement.
+func (q *Q) InitIf(probe func() bool) {
+	q.mu.Lock()
+	if ok := probe(); ok {
+		q.n++
+	}
+	q.mu.Unlock()
+}
+
+// SwitchInit threads the held set through a switch init statement.
+func (q *Q) SwitchInit(mode int) {
+	q.mu.Lock()
+	switch m := mode + 1; m {
+	case 1:
+		time.Sleep(time.Millisecond) // want "call to time.Sleep while q.mu is held in SwitchInit"
+	}
+	q.mu.Unlock()
+}
+
+// BothReturn terminates on both branches; nothing follows the if.
+func (q *Q) BothReturn(fail bool) {
+	q.mu.Lock()
+	if fail {
+		q.mu.Unlock()
+		return
+	} else {
+		q.mu.Unlock()
+		return
+	}
+}
+
+// ElseReturn keeps the lock on the fall-through branch only.
+func (q *Q) ElseReturn(fail bool) {
+	q.mu.Lock()
+	if !fail {
+		q.n++
+	} else {
+		q.mu.Unlock()
+		return
+	}
+	q.ch <- 1 // want "channel send while q.mu is held in ElseReturn"
+	q.mu.Unlock()
+}
+
+// Closure builds a func value under the lock; its body runs later,
+// outside the critical section.
+func (q *Q) Closure() func() {
+	q.mu.Lock()
+	f := func() { q.ch <- 1 }
+	q.mu.Unlock()
+	return f
+}
+
+// VarCall invokes a plain func value: unknown, assumed non-blocking.
+func (q *Q) VarCall(fn func()) {
+	q.mu.Lock()
+	fn()
+	q.mu.Unlock()
+}
+
+// ReadHeld drains a reader inside the critical section.
+func (q *Q) ReadHeld(r io.Reader) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, _ = io.ReadAll(r) // want "call to io.ReadAll while q.mu is held in ReadHeld"
+}
+
+// W's Lock field shadows the method name with a plain func value.
+type W struct {
+	mu   sync.Mutex
+	Lock func()
+}
+
+func (w *W) FieldLock() {
+	w.mu.Lock()
+	w.Lock()
+	w.mu.Unlock()
+}
+
+// CondLocker locks through the sync.Locker interface, which the
+// analyzer does not model.
+func CondLocker(c *sync.Cond) {
+	c.L.Lock()
+	c.L.Unlock()
+}
+
+func (q *Q) bump() { q.n++ }
+
+// MethodCalls invokes non-blocking methods while held: the universe
+// error receiver and the package-local receiver are both ignored.
+func (q *Q) MethodCalls(err error) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.bump()
+	return err.Error()
+}

@@ -33,3 +33,20 @@ var defaultLimit = MustAtoi("64")
 
 // Limit exposes the var so the fixture compiles without unused errors.
 func Limit() int { return defaultLimit + len(generate()) }
+
+// MustLoad panics on failure; calling it bare from Fetch is a finding.
+func MustLoad() int { return 1 }
+
+func Fetch() int {
+	return MustLoad() + func() int { return 0 }() // want "call to MustLoad in Fetch"
+}
+
+type loader struct{}
+
+// MustOpen panics on failure by convention.
+func (loader) MustOpen() int { return 2 }
+
+// Open calls a Must* method through a selector: a finding.
+func Open(l loader) int {
+	return l.MustOpen() // want "call to MustOpen in Open"
+}

@@ -1,0 +1,94 @@
+// Package lib exercises the snaponce analyzer: atomic.Pointer
+// snapshots must be loaded once per request path and passed by value.
+package lib
+
+import "sync/atomic"
+
+type state struct{ gen int }
+
+// System mirrors the serving stack's copy-on-write layout.
+type System struct {
+	state atomic.Pointer[state]
+}
+
+func use(st *state) int { return st.gen }
+
+// Serve is the blessed shape: one Load, value passed down.
+func (s *System) Serve() int {
+	st := s.state.Load()
+	return use(st)
+}
+
+// DoubleLoad observes two generations in one request.
+func (s *System) DoubleLoad() int {
+	a := s.state.Load()
+	b := s.state.Load() // want "DoubleLoad loads snapshot s.state 2 times"
+	return a.gen + b.gen
+}
+
+// LoopLoad may observe a different generation each iteration.
+func (s *System) LoopLoad(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.state.Load().gen // want "LoopLoad loads snapshot s.state inside a loop"
+	}
+	return total
+}
+
+// CASRetry re-loads in a retry loop; the CompareAndSwap on the same
+// pointer exempts it.
+func (s *System) CASRetry() {
+	for {
+		cur := s.state.Load()
+		next := &state{gen: cur.gen + 1}
+		if s.state.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+func reload(p *atomic.Pointer[state]) *state { return p.Load() }
+
+// PassDown hands the pointer itself to a callee, inviting a re-load.
+func (s *System) PassDown() *state {
+	return reload(&s.state) // want "PassDown passes the atomic pointer &s.state down"
+}
+
+//garlint:allow snaponce -- administrative dump, sampling two generations is intended
+func (s *System) Dump() (int, int) {
+	return s.state.Load().gen, s.state.Load().gen
+}
+
+// RangeLoad may observe a different generation each iteration.
+func (s *System) RangeLoad(items []int) int {
+	total := 0
+	for range items {
+		total += s.state.Load().gen // want "RangeLoad loads snapshot s.state inside a loop"
+	}
+	return total
+}
+
+// Indirect loads through a pointer to the atomic pointer: one load,
+// clean, and exercises the pointer-receiver shape.
+func Indirect(ap *atomic.Pointer[state]) int {
+	return ap.Load().gen
+}
+
+// Closure is its own request scope; one load per invocation.
+func (s *System) Closure() func() int {
+	return func() int { return s.state.Load().gen }
+}
+
+type box struct{ v int }
+
+// Other calls a method on a non-atomic receiver: ignored.
+func (s *System) Other(b *box) int {
+	return b.get() + s.state.Load().gen
+}
+
+func (b *box) get() int { return b.v }
+
+// AnonLoad calls Load on an anonymous interface: not an atomic pointer.
+func AnonLoad(src interface{ Load() *state }) int {
+	return src.Load().gen
+}

@@ -1,0 +1,6 @@
+package lib
+
+// Test files are exempt: double loads here are not findings.
+func (s *System) doubleLoadInTest() (int, int) {
+	return s.state.Load().gen, s.state.Load().gen
+}

@@ -172,7 +172,7 @@ type Ranked struct {
 // Retrieve runs the first stage only: the top-k pool ids by encoder
 // similarity.
 //
-//garlint:allow ctxpass -- compatibility wrapper over RetrieveContext
+//garlint:allow ctxpass errlost -- compatibility wrapper over RetrieveContext; the fresh root context and the dropped error are the legacy signature
 func (p *Pipeline) Retrieve(nl string, k int) []vindex.Hit {
 	hits, _ := p.RetrieveContext(context.Background(), nl, k)
 	return hits
@@ -290,7 +290,7 @@ func (p *Pipeline) RerankVecContext(ctx context.Context, nl string, qvec vector.
 // Rank runs the full two-stage pipeline and returns the candidates in
 // final ranked order.
 //
-//garlint:allow ctxpass -- compatibility wrapper over RankContext
+//garlint:allow ctxpass errlost -- compatibility wrapper over RankContext; the fresh root context and the dropped error are the legacy signature
 func (p *Pipeline) Rank(nl string) []Ranked {
 	out, _ := p.RankContext(context.Background(), nl)
 	return out

@@ -387,7 +387,7 @@ func (m *Model) Train(lists []TrainingList, cfg nn.TrainConfig) []float64 {
 // Rank scores all candidates for the NL query and returns the indexes in
 // descending score order.
 //
-//garlint:allow ctxpass -- compatibility wrapper over RankContext
+//garlint:allow ctxpass errlost -- compatibility wrapper over RankContext; the fresh root context and the dropped error are the legacy signature
 func (m *Model) Rank(nl string, dialects []string) []int {
 	order, _ := m.RankContext(context.Background(), nl, dialects)
 	return order

@@ -2,6 +2,7 @@ package sqlcheck
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/schema"
@@ -551,6 +552,104 @@ func (SubqueryShape) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
 		}
 		sqlast.WalkExprs(sub.Select.Where, visit)
 		sqlast.WalkExprs(sub.Select.Having, visit)
+	})
+	return out
+}
+
+// DistinctAgg enforces DISTINCT-aggregate coherence within a block:
+// DISTINCT over * is not valid SQL, DISTINCT under MIN/MAX cannot change
+// the result, a DISTINCT aggregate over a grouped column is degenerate
+// (every group holds exactly one value of its grouping key), and the
+// same function applied to the same column both with and without
+// DISTINCT duplicates a candidate that differs only in COUNT
+// multiplicity. The generalizer's aggregate enumeration produces exactly
+// these shapes, so the rule prunes them before ranking.
+type DistinctAgg struct{}
+
+// ID implements Rule.
+func (DistinctAgg) ID() string { return "distinct-agg" }
+
+// Doc implements Rule.
+func (DistinctAgg) Doc() string {
+	return "DISTINCT aggregates must be coherent: no DISTINCT *, no DISTINCT under MIN/MAX, no grouped or distinct/plain-mixed argument"
+}
+
+// Check implements Rule.
+func (DistinctAgg) Check(db *schema.Database, q *sqlast.Query) []Diagnostic {
+	var out []Diagnostic
+	report := func(msg, clause string) {
+		out = append(out, Diagnostic{Rule: "distinct-agg", Severity: Error, Message: msg, Clause: clause})
+	}
+	walkBlocks(db, q, func(s *sqlast.Select, scope []ent) {
+		inGroup := func(c *sqlast.ColumnRef) bool {
+			for _, g := range s.GroupBy {
+				if strings.EqualFold(g.Column, c.Column) &&
+					(g.Table == "" || c.Table == "" || strings.EqualFold(g.Table, c.Table)) {
+					return true
+				}
+			}
+			return false
+		}
+		// seen records, per (function, argument column), which DISTINCT
+		// modifiers appeared anywhere in the block.
+		type aggKey struct {
+			fn  sqlast.AggFunc
+			col string
+		}
+		seen := map[aggKey]map[bool]*sqlast.Agg{}
+		visit := func(e sqlast.Expr) {
+			sqlast.WalkExprs(e, func(e sqlast.Expr) {
+				a, ok := e.(*sqlast.Agg)
+				if !ok {
+					return
+				}
+				if a.Distinct {
+					if a.Arg == nil || a.Arg.IsStar() {
+						report("DISTINCT * is not a valid aggregate argument", sqlast.ExprString(a))
+						return
+					}
+					if a.Func == sqlast.Min || a.Func == sqlast.Max {
+						report(fmt.Sprintf("DISTINCT under %s has no effect", a.Func), sqlast.ExprString(a))
+					}
+					if inGroup(a.Arg) {
+						report(fmt.Sprintf("%s(DISTINCT %s) over a grouped column is degenerate: each group holds one value",
+							a.Func, a.Arg.Column), sqlast.ExprString(a))
+					}
+				}
+				if a.Arg == nil || a.Arg.IsStar() {
+					return
+				}
+				key := aggKey{fn: a.Func, col: strings.ToLower(a.Arg.Table + "." + a.Arg.Column)}
+				if seen[key] == nil {
+					seen[key] = map[bool]*sqlast.Agg{}
+				}
+				seen[key][a.Distinct] = a
+			})
+		}
+		for _, it := range s.Items {
+			visit(it.Expr)
+		}
+		visit(s.Having)
+		for _, o := range s.OrderBy {
+			visit(o.Expr)
+		}
+		keys := make([]aggKey, 0, len(seen))
+		for key := range seen {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].fn != keys[j].fn {
+				return keys[i].fn < keys[j].fn
+			}
+			return keys[i].col < keys[j].col
+		})
+		for _, key := range keys {
+			mods := seen[key]
+			if d, ok := mods[true]; ok && mods[false] != nil {
+				report(fmt.Sprintf("%s is aggregated by %s both with and without DISTINCT in one block",
+					d.Arg.Column, key.fn), sqlast.ExprString(d))
+			}
+		}
 	})
 	return out
 }

@@ -81,12 +81,14 @@ const RuleBinding = "schema-bind"
 
 // SemanticRules returns the default rule set applied to bound queries:
 // join-graph connectivity, predicate type compatibility, aggregate /
-// GROUP BY coherence, ORDER BY scope resolution and subquery shape.
+// GROUP BY coherence, DISTINCT-aggregate coherence, ORDER BY scope
+// resolution and subquery shape.
 func SemanticRules() []Rule {
 	return []Rule{
 		JoinConnectivity{},
 		TypeCompat{},
 		AggGroup{},
+		DistinctAgg{},
 		OrderScope{},
 		SubqueryShape{},
 	}

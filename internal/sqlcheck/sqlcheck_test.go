@@ -126,6 +126,28 @@ func TestAggGroupRule(t *testing.T) {
 	wantRule(t, "SELECT name FROM employee ORDER BY COUNT(*) DESC", "agg-group")
 }
 
+func TestDistinctAggRule(t *testing.T) {
+	// Same column aggregated by the same function with and without
+	// DISTINCT in one block.
+	wantRule(t, "SELECT COUNT(DISTINCT city), COUNT(city) FROM employee", "distinct-agg")
+	// DISTINCT cannot change a MIN/MAX result.
+	wantRule(t, "SELECT MIN(DISTINCT age) FROM employee", "distinct-agg")
+	// DISTINCT aggregate over the grouping key is degenerate.
+	wantRule(t, "SELECT city, COUNT(DISTINCT city) FROM employee GROUP BY city", "distinct-agg")
+
+	// Coherent DISTINCT aggregates stay clean.
+	for _, src := range []string{
+		"SELECT COUNT(DISTINCT city) FROM employee",
+		"SELECT COUNT(DISTINCT city), COUNT(*) FROM employee",
+		"SELECT city, COUNT(DISTINCT name) FROM employee GROUP BY city",
+		"SELECT COUNT(DISTINCT city), SUM(age) FROM employee",
+	} {
+		if diags := check(t, src); sqlcheck.HasErrors(diags) {
+			t.Errorf("valid query %q flagged: %v", src, diags)
+		}
+	}
+}
+
 func TestOrderScopeRule(t *testing.T) {
 	// DISTINCT projection does not include the sort key.
 	wantRule(t, "SELECT DISTINCT name FROM employee ORDER BY age", "order-scope")

@@ -89,7 +89,7 @@ func (f *Flat) Len() int { return len(f.ids) }
 
 // Search implements Index.
 //
-//garlint:allow ctxpass -- compatibility wrapper over SearchContext
+//garlint:allow ctxpass errlost -- compatibility wrapper over SearchContext; the fresh root context and the dropped error are the legacy signature
 func (f *Flat) Search(q vector.Vec, k int) []Hit {
 	hits, _ := topK(context.Background(), q, f.ids, f.vecs, k)
 	return hits
@@ -167,7 +167,7 @@ func (iv *IVF) Build() {
 
 // Search implements Index.
 //
-//garlint:allow ctxpass -- compatibility wrapper over SearchContext
+//garlint:allow ctxpass errlost -- compatibility wrapper over SearchContext; the fresh root context and the dropped error are the legacy signature
 func (iv *IVF) Search(q vector.Vec, k int) []Hit {
 	hits, _ := iv.SearchContext(context.Background(), q, k)
 	return hits
