@@ -58,10 +58,12 @@ cover:
 # snapshot-swap races against live traffic, breaker trip/recover
 # cycles, the fault-injection matrix, torn-write persistence, the
 # checkpoint crash/recovery drills (write/recover fault matrix, SIGKILL
-# mid-write crash matrix, SIGTERM restart round-trip), and the fleet
+# mid-write crash matrix, SIGTERM restart round-trip), the fleet
 # suite (tenant isolation under faults, per-tenant burst shedding,
-# LRU eviction/warm-reactivation churn, fleet restart round-trip).
+# LRU eviction/warm-reactivation churn, fleet restart round-trip), and
+# the online learning loop (feedback WAL fault matrix and SIGKILL
+# crash drill, shadow-gated promotion, rollback under live traffic).
 stress:
 	go test -race -timeout 10m -count=1 \
-		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism|TestCheckpoint|TestCrash|TestRecover|TestStore|TestServeRestartSIGTERM|TestServeWarmStart|TestServeAllCorrupt|TestFleet|TestServeFleet' \
-		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./internal/fleet/ ./gar/
+		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism|TestCheckpoint|TestCrash|TestRecover|TestStore|TestServeRestartSIGTERM|TestServeWarmStart|TestServeAllCorrupt|TestFleet|TestServeFleet|TestFeedback|TestTrainer|TestOnline|TestServeFeedback' \
+		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./internal/fleet/ ./internal/feedback/ ./gar/

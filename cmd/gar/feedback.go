@@ -1,0 +1,191 @@
+// The feedback mode inspects and maintains the feedback WALs written
+// by `gar serve -feedback` (see internal/feedback):
+//
+//	gar feedback list -statedir dir [-o json]
+//	gar feedback verify -statedir dir [-o json]
+//	gar feedback compact -statedir dir
+//
+// list shows every WAL segment with its size, record count and
+// sequence range; verify is list with an exit code — 1 when any
+// segment is corrupt, carries an impossible frame or has an unreadable
+// header (a torn tail is reported but is not a failure: crashes
+// produce torn tails by design and recovery truncates them); compact
+// rewrites each log into a single deduplicated segment.
+//
+// Both layouts are understood: the single-tenant {statedir}/feedback
+// log and the multi-tenant tree ({statedir}/{tenant}/feedback), where
+// every verb walks each tenant and reports per tenant.
+//
+// Exit codes: 0 clean, 1 corruption found (verify), 2 usage or I/O
+// error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checkpoint"
+	"repro/internal/feedback"
+)
+
+// feedbackReport is one WAL segment's row in list/verify output.
+type feedbackReport struct {
+	// Tenant is the state-tree subdirectory the log belongs to; empty
+	// for the single-tenant layout.
+	Tenant string `json:"tenant,omitempty"`
+	feedback.SegmentReport
+}
+
+// tenantFeedbackDir pairs a feedback directory with the tenant it
+// serves; name is empty for the single-tenant layout.
+type tenantFeedbackDir struct {
+	name string
+	dir  string
+}
+
+// feedbackTree resolves a -statedir into the feedback logs to operate
+// on: {statedir}/feedback when present, plus {statedir}/{tenant}/feedback
+// for every tenant subdirectory that has one. Directories without a
+// log are skipped — a fleet where only some tenants saw feedback lists
+// only those.
+func feedbackTree(stateDir string) ([]tenantFeedbackDir, error) {
+	var dirs []tenantFeedbackDir
+	single := filepath.Join(stateDir, "feedback")
+	if st, err := os.Stat(single); err == nil && st.IsDir() {
+		dirs = append(dirs, tenantFeedbackDir{dir: single})
+	}
+	tenants, err := checkpoint.ListTenants(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range tenants {
+		dir := filepath.Join(stateDir, name, "feedback")
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			dirs = append(dirs, tenantFeedbackDir{name: name, dir: dir})
+		}
+	}
+	return dirs, nil
+}
+
+// runFeedback is the `gar feedback` entry point, separated from
+// os.Exit for testability.
+func runFeedback(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "gar feedback: want a verb: list, verify or compact")
+		return 2
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("gar feedback "+verb, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	stateDir := fs.String("statedir", "", "serving-state directory to operate on")
+	output := fs.String("o", "text", "output format: text or json")
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+	if *stateDir == "" {
+		fmt.Fprintln(stderr, "gar feedback: provide -statedir")
+		return 2
+	}
+	dirs, err := feedbackTree(*stateDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "gar feedback: %v\n", err)
+		return 2
+	}
+
+	switch verb {
+	case "list", "verify":
+		var reports []feedbackReport
+		bad := 0
+		for _, td := range dirs {
+			segs, err := feedback.Inspect(td.dir)
+			if err != nil {
+				fmt.Fprintf(stderr, "gar feedback: %v\n", err)
+				return 2
+			}
+			for _, seg := range segs {
+				if seg.Err != "" || seg.Corrupt > 0 || seg.Lost {
+					bad++
+				}
+				reports = append(reports, feedbackReport{Tenant: td.name, SegmentReport: seg})
+			}
+		}
+		if *output == "json" {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reports); err != nil {
+				fmt.Fprintf(stderr, "gar feedback: %v\n", err)
+				return 2
+			}
+		} else {
+			printFeedbackReports(stdout, reports)
+		}
+		if verb == "verify" && bad > 0 {
+			fmt.Fprintf(stderr, "gar feedback: %d of %d segments carry corruption\n", bad, len(reports))
+			return 1
+		}
+		return 0
+	case "compact":
+		for _, td := range dirs {
+			prefix := ""
+			if td.name != "" {
+				prefix = "tenant " + td.name + ": "
+			}
+			l, err := feedback.Open(td.dir, feedback.Config{})
+			if err != nil {
+				fmt.Fprintf(stderr, "gar feedback: %s%v\n", prefix, err)
+				return 2
+			}
+			kept, removed, err := l.Compact()
+			cerr := l.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "gar feedback: %s%v\n", prefix, err)
+				return 2
+			}
+			if cerr != nil {
+				fmt.Fprintf(stderr, "gar feedback: %s%v\n", prefix, cerr)
+				return 2
+			}
+			fmt.Fprintf(stdout, "%scompacted: %d record(s) kept, %d segment(s) removed\n", prefix, kept, removed)
+		}
+		return 0
+	default:
+		fmt.Fprintf(stderr, "gar feedback: unknown verb %q (want list, verify or compact)\n", verb)
+		return 2
+	}
+}
+
+func printFeedbackReports(w io.Writer, reports []feedbackReport) {
+	if len(reports) == 0 {
+		fmt.Fprintln(w, "no feedback segments")
+		return
+	}
+	tenant := ""
+	for _, r := range reports {
+		if r.Tenant != tenant {
+			tenant = r.Tenant
+			fmt.Fprintf(w, "tenant %s:\n", tenant)
+		}
+		indent := ""
+		if r.Tenant != "" {
+			indent = "  "
+		}
+		switch {
+		case r.Err != "":
+			fmt.Fprintf(w, "%s%-28s %8d bytes  INVALID  %s\n",
+				indent, filepath.Base(r.Path), r.Size, r.Err)
+		case r.Corrupt > 0 || r.Lost:
+			fmt.Fprintf(w, "%s%-28s %8d bytes  %5d record(s) seq %d..%d  CORRUPT (%d bad frame(s), lost=%v)\n",
+				indent, filepath.Base(r.Path), r.Size, r.Records, r.FirstSeq, r.LastSeq, r.Corrupt, r.Lost)
+		case r.TornBytes > 0:
+			fmt.Fprintf(w, "%s%-28s %8d bytes  %5d record(s) seq %d..%d  torn tail (%d byte(s))\n",
+				indent, filepath.Base(r.Path), r.Size, r.Records, r.FirstSeq, r.LastSeq, r.TornBytes)
+		default:
+			fmt.Fprintf(w, "%s%-28s %8d bytes  %5d record(s) seq %d..%d  ok\n",
+				indent, filepath.Base(r.Path), r.Size, r.Records, r.FirstSeq, r.LastSeq)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/feedback"
+)
+
+// feedbackFixtureLog opens a WAL at dir and appends n records.
+func feedbackFixtureLog(t *testing.T, dir string, n int) {
+	t.Helper()
+	l, err := feedback.Open(dir, feedback.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(feedback.Record{
+			Question: "how many employees are there",
+			SQL:      "SELECT COUNT(*) FROM employee",
+			Source:   feedback.SourceCorrected,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunFeedbackCLI drives the `gar feedback` verbs over a state tree
+// holding both layouts at once: the single-tenant {statedir}/feedback
+// log next to a tenant's {statedir}/acme/feedback log. list walks
+// both, verify localizes damage with exit 1, compact rewrites each log
+// into one segment, and usage errors exit 2.
+func TestRunFeedbackCLI(t *testing.T) {
+	dir := t.TempDir()
+	feedbackFixtureLog(t, filepath.Join(dir, "feedback"), 2)
+	feedbackFixtureLog(t, filepath.Join(dir, "acme", "feedback"), 3)
+
+	var out, errOut bytes.Buffer
+	if code := runFeedback([]string{"list", "-statedir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("list exit %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "tenant acme:") {
+		t.Fatalf("list missing the tenant header:\n%s", text)
+	}
+	if n := strings.Count(text, "ok"); n != 2 {
+		t.Fatalf("list saw %d clean segments, want 2:\n%s", n, text)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := runFeedback([]string{"verify", "-statedir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("verify on clean tree exit %d: %s", code, errOut.String())
+	}
+
+	// Damage the tenant's segment mid-payload: verify must flag exactly
+	// that log and exit 1, while list keeps reporting everything.
+	segs, err := filepath.Glob(filepath.Join(dir, "acme", "feedback", "seg-*.fwal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("tenant segments = %v (err %v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := runFeedback([]string{"verify", "-statedir", dir, "-o", "json"}, &out, &errOut); code != 1 {
+		t.Fatalf("verify exit %d, want 1: %s", code, errOut.String())
+	}
+	var reports []feedbackReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("verify saw %d rows, want 2: %+v", len(reports), reports)
+	}
+	for _, r := range reports {
+		damaged := r.Corrupt > 0 || r.Lost || r.Err != ""
+		if (r.Tenant == "acme") != damaged {
+			t.Errorf("verify verdict misplaced: %+v", r)
+		}
+	}
+
+	// Compact each log; the damaged record is dropped, the survivors
+	// land in one fresh segment per log, and verify is clean again.
+	out.Reset()
+	errOut.Reset()
+	if code := runFeedback([]string{"compact", "-statedir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("compact exit %d: %s", code, errOut.String())
+	}
+	text = out.String()
+	if !strings.Contains(text, "compacted: 2 record(s) kept") ||
+		!strings.Contains(text, "tenant acme: compacted: 2 record(s) kept") {
+		t.Fatalf("compact output:\n%s", text)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := runFeedback([]string{"verify", "-statedir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("verify after compact exit %d: %s\n%s", code, errOut.String(), out.String())
+	}
+
+	// Usage errors exit 2.
+	if code := runFeedback(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-verb exit %d, want 2", code)
+	}
+	if code := runFeedback([]string{"list"}, &out, &errOut); code != 2 {
+		t.Fatalf("no-statedir exit %d, want 2", code)
+	}
+	if code := runFeedback([]string{"bogus", "-statedir", dir}, &out, &errOut); code != 2 {
+		t.Fatalf("bad-verb exit %d, want 2", code)
+	}
+}

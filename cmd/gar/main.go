@@ -98,6 +98,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "checkpoint" {
 		os.Exit(runCheckpoint(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "feedback" {
+		os.Exit(runFeedback(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	specPath := flag.String("spec", "", "path to the JSON database spec")
 	question := flag.String("q", "", "question to translate (omit for interactive mode)")
 	demo := flag.Bool("demo", false, "use the built-in employee demo database")
@@ -188,6 +191,16 @@ func loadSpec(specPath string, demo bool) (*spec, error) {
 		return nil, fmt.Errorf("provide -spec file.json or -demo")
 	}
 	return s, nil
+}
+
+// specBase is the spec's corpus in the shape the online trainer folds
+// feedback into.
+func specBase(s *spec) gar.BaseData {
+	base := gar.BaseData{Samples: s.Samples}
+	for _, ex := range s.Examples {
+		base.Examples = append(base.Examples, gar.Example{Question: ex.Question, SQL: ex.SQL})
+	}
+	return base
 }
 
 // buildSystem assembles, prepares and deploys a system from the spec.

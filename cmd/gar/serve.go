@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/breaker"
 	"repro/internal/checkpoint"
+	"repro/internal/feedback"
 	"repro/internal/fleet"
 )
 
@@ -93,6 +95,11 @@ type serveConfig struct {
 	// serving state; /healthz reports its last generation, age and
 	// counters. nil when -statedir is not given.
 	Ckpt *gar.Checkpointer
+
+	// Feedback, when set, enables POST /feedback: the durable WAL, the
+	// background trainer and the accept/reject tallies. nil when
+	// -feedback is not given.
+	Feedback *feedbackState
 }
 
 type server struct {
@@ -174,6 +181,7 @@ func newServeHandler(sys *gar.System, cfg serveConfig) http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/feedback", s.handleFeedback)
 	return recoverMiddleware(mux)
 }
 
@@ -244,6 +252,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ck["last_error"] = cs.LastError
 		}
 		body["checkpoint"] = ck
+	}
+	if s.cfg.Feedback != nil {
+		body["feedback"] = s.cfg.Feedback.healthJSON()
 	}
 	if !s.sys.Ready() {
 		body["status"] = "unavailable"
@@ -515,6 +526,10 @@ func runServe(args []string) {
 	tenantIdle := fs.Duration("tenantidle", 15*time.Minute, "fleet mode: evict tenants idle this long (0 disables)")
 	tenantInFlight := fs.Int("tenantinflight", 0, "fleet mode: per-tenant concurrent translations (0 = maxinflight/maxtenants)")
 	tenantQueue := fs.Int("tenantqueue", 0, "fleet mode: per-tenant queue depth (0 = maxqueue/maxtenants)")
+	feedbackOn := fs.Bool("feedback", false, "accept POST /feedback into a durable WAL and retrain in the background (requires -statedir)")
+	shadowThreshold := fs.Float64("shadowthreshold", 0, "how much worse (shadow top-1 exact match) a retrained candidate may score and still be promoted")
+	trainInterval := fs.Duration("traininterval", 30*time.Second, "quiet window after feedback arrives before a background retrain starts")
+	trainBudget := fs.Int("trainbudget", 1, "fleet mode: tenants allowed to retrain concurrently")
 	if err := fs.Parse(args); err != nil {
 		// Unreachable with ExitOnError, but the error stays handled if
 		// the flag set's policy ever changes.
@@ -536,6 +551,10 @@ func runServe(args []string) {
 		// Each stage gets a slice of the remaining deadline so a slow
 		// re-rank degrades early instead of starving post-processing.
 		opts.StageBudget = gar.StageBudget{Retrieval: 0.5, Rerank: 0.6, Postprocess: 0.9}
+	}
+
+	if *feedbackOn && *stateDir == "" {
+		fatal(fmt.Errorf("gar serve: -feedback requires -statedir (the WAL lives in the state directory)"))
 	}
 
 	if *specDir != "" {
@@ -564,6 +583,10 @@ func runServe(args []string) {
 				NoBreaker:       *noBreaker,
 				StateDir:        *stateDir,
 				Keep:            *keepCkpt,
+				Feedback:        *feedbackOn,
+				TrainInterval:   *trainInterval,
+				ShadowThreshold: *shadowThreshold,
+				TrainBudget:     *trainBudget,
 			},
 		})
 		return
@@ -599,6 +622,39 @@ func runServe(args []string) {
 			// before the first reload already has something to recover.
 			ckptr.Notify()
 		}
+	}
+
+	// Online feedback loop: a durable WAL inside the state directory
+	// plus a background trainer that folds accepted feedback into the
+	// spec's corpus, retrains off the serving path, and promotes only
+	// through the shadow gate (with checkpoint-backed rollback).
+	var fb *feedbackState
+	if *feedbackOn {
+		flog, err := feedback.Open(filepath.Join(*stateDir, "feedback"), feedback.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		base := func() (gar.BaseData, error) {
+			fresh, err := loadSpec(*specPath, *demo)
+			if err != nil {
+				return gar.BaseData{}, err
+			}
+			return specBase(fresh), nil
+		}
+		trainer := sys.NewTrainer(flog, ckStore, base, gar.TrainerConfig{
+			Interval:        *trainInterval,
+			ShadowThreshold: *shadowThreshold,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "gar serve: "+format+"\n", args...)
+			},
+		})
+		trainer.Start()
+		if flog.LastSeq() > 0 {
+			// Feedback recorded before the last shutdown may not have
+			// been trained on yet; wake the trainer to fold it in.
+			trainer.Notify()
+		}
+		fb = &feedbackState{log: flog, trainer: trainer}
 	}
 
 	// Reload re-reads the spec (and model file, if any), rebuilds a
@@ -642,6 +698,7 @@ func runServe(args []string) {
 			NoBreaker:       *noBreaker,
 			Reload:          reload,
 			Ckpt:            ckptr,
+			Feedback:        fb,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -673,6 +730,13 @@ func runServe(args []string) {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fatal(err)
 	}
+	if fb != nil {
+		// Stop the trainer before the final checkpoint flush so no
+		// promotion publishes after the state that is supposed to be
+		// last. Pending feedback is already fsynced in the WAL; the next
+		// process trains on it.
+		fb.trainer.Stop()
+	}
 	if ckptr != nil {
 		// Final flush: no more mutations can arrive, so stop the
 		// background writer and persist the last published state
@@ -682,6 +746,11 @@ func runServe(args []string) {
 			fmt.Fprintf(os.Stderr, "gar serve: final checkpoint flush failed: %v\n", err)
 		} else if st := ckptr.Stats(); st.Writes > 0 {
 			fmt.Fprintf(os.Stderr, "gar serve: final checkpoint flushed (generation %d)\n", st.LastGeneration)
+		}
+	}
+	if fb != nil {
+		if err := fb.log.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gar serve: closing feedback log: %v\n", err)
 		}
 	}
 }

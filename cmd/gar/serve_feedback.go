@@ -1,0 +1,209 @@
+// The feedback endpoint of the online learning loop:
+//
+//	POST /feedback            {"question": "...", "chosen": 0}
+//	POST /feedback            {"question": "...", "sql": "SELECT ..."}
+//	POST /db/{name}/feedback  (fleet mode, same bodies)
+//
+// A submission either endorses one of the candidates a /translate
+// response offered ("chosen", an index into its candidates array) or
+// supplies a corrected SQL text. Corrections are validated — re-parsed
+// and re-bound against the schema — before anything is written;
+// invalid SQL is rejected with 422 and never reaches disk. Accepted
+// records are appended to the durable feedback WAL (fsynced before the
+// 202 acknowledgement) and wake the background trainer; see
+// internal/feedback and gar.Trainer.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/gar"
+	"repro/internal/feedback"
+	"repro/internal/fleet"
+)
+
+type feedbackRequest struct {
+	Question string `json:"question"`
+	// Chosen endorses one candidate of a prior /translate response for
+	// the same question: its index in the candidates array.
+	Chosen *int `json:"chosen,omitempty"`
+	// SQL supplies a corrected query instead. Exactly one of Chosen and
+	// SQL must be set.
+	SQL string `json:"sql,omitempty"`
+}
+
+type feedbackResponse struct {
+	Tenant   string `json:"tenant,omitempty"`
+	Accepted bool   `json:"accepted"`
+	Seq      uint64 `json:"seq"`
+	Source   string `json:"source"`
+}
+
+// feedbackState couples the single-tenant server's WAL, trainer and
+// accept/reject tallies (fleet mode keeps the same state per tenant in
+// the registry).
+type feedbackState struct {
+	log      *feedback.Log
+	trainer  *gar.Trainer
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// healthJSON is the /healthz feedback block, shaped like fleet mode's
+// per-tenant row.
+func (fb *feedbackState) healthJSON() fleet.FeedbackHealth {
+	return fleet.FeedbackHealth{
+		Accepted: fb.accepted.Load(),
+		Rejected: fb.rejected.Load(),
+		WAL:      fb.log.Stats(),
+		Trainer:  fb.trainer.Stats(),
+	}
+}
+
+// decodeFeedback reads and validates a feedback request body, writing
+// the error response itself when the body is unusable.
+func decodeFeedback(w http.ResponseWriter, r *http.Request, maxBody int64) (feedbackRequest, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorJSON{Error: "bad request body: " + err.Error()})
+		return req, false
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty question"})
+		return req, false
+	}
+	if (req.Chosen == nil) == (req.SQL == "") {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "provide exactly one of chosen or sql"})
+		return req, false
+	}
+	return req, true
+}
+
+// acceptFeedback validates one decoded submission against the serving
+// system and, if it survives, durably records it and wakes the
+// trainer. It reports the HTTP status and body; countRejected is
+// bumped for submissions refused at validation (not for transport or
+// storage errors — those are the server's fault, not the client's).
+func acceptFeedback(ctx context.Context, sys *gar.System, flog *feedback.Log, trainer *gar.Trainer,
+	req feedbackRequest, tenant string, countRejected func()) (int, any) {
+	rec := feedback.Record{
+		Question:   req.Question,
+		Generation: sys.Generation(),
+	}
+	if req.Chosen != nil {
+		// Endorsing a candidate: re-translate the question on the live
+		// snapshot and index into its candidates, so the endorsed SQL is
+		// exactly what the system offered.
+		res, err := sys.TranslateContext(ctx, req.Question)
+		if err != nil {
+			return http.StatusInternalServerError, errorJSON{Error: "translating question: " + err.Error()}
+		}
+		if *req.Chosen < 0 || *req.Chosen >= len(res.Candidates) {
+			countRejected()
+			return http.StatusUnprocessableEntity,
+				errorJSON{Error: "chosen index out of range (the question has " +
+					strconv.Itoa(len(res.Candidates)) + " candidates)"}
+		}
+		rec.SQL = res.Candidates[*req.Chosen].SQL
+		rec.Source = feedback.SourceChosen
+	} else {
+		// A correction: re-parse and re-bind against the schema before
+		// anything touches disk.
+		if err := sys.ValidateSQL(req.SQL); err != nil {
+			countRejected()
+			return http.StatusUnprocessableEntity, errorJSON{Error: err.Error()}
+		}
+		rec.SQL = req.SQL
+		rec.Source = feedback.SourceCorrected
+	}
+
+	seq, err := flog.Append(rec)
+	if err != nil {
+		// Not acknowledged: the record is not durable, the client should
+		// retry. No sequence number was consumed.
+		return http.StatusInternalServerError, errorJSON{Error: "feedback not recorded: " + err.Error()}
+	}
+	rec.Seq = seq
+	trainer.ObserveFeedback(ctx, rec)
+	trainer.Notify()
+	return http.StatusAccepted, feedbackResponse{
+		Tenant:   tenant,
+		Accepted: true,
+		Seq:      seq,
+		Source:   rec.Source,
+	}
+}
+
+// handleFeedback is the single-tenant POST /feedback endpoint.
+func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "use POST"})
+		return
+	}
+	fb := s.cfg.Feedback
+	if fb == nil {
+		writeJSON(w, http.StatusNotImplemented, errorJSON{Error: "feedback not enabled (start with -feedback)"})
+		return
+	}
+	if !s.sys.Ready() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "no snapshot published"})
+		return
+	}
+	req, ok := decodeFeedback(w, r, s.cfg.MaxBody)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	status, body := acceptFeedback(ctx, s.sys, fb.log, fb.trainer, req, "",
+		func() { fb.rejected.Add(1) })
+	if status == http.StatusAccepted {
+		fb.accepted.Add(1)
+	}
+	writeJSON(w, status, body)
+}
+
+// handleFeedback is the fleet POST /db/{name}/feedback endpoint.
+func (s *fleetServer) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	req, ok := decodeFeedback(w, r, s.cfg.MaxBody)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	h, err := s.reg.Acquire(ctx, name)
+	if err != nil {
+		writeAcquireError(w, err)
+		return
+	}
+	defer h.Release()
+	if h.FeedbackLog() == nil || h.Trainer() == nil {
+		writeJSON(w, http.StatusNotImplemented, errorJSON{Error: "feedback not enabled for this fleet"})
+		return
+	}
+	if !h.Sys().Ready() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "tenant " + name + ": no snapshot published"})
+		return
+	}
+	status, body := acceptFeedback(ctx, h.Sys(), h.FeedbackLog(), h.Trainer(), req, name,
+		func() { h.CountFeedback(false) })
+	if status == http.StatusAccepted {
+		h.CountFeedback(true)
+	}
+	writeJSON(w, status, body)
+}

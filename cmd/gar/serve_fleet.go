@@ -98,6 +98,17 @@ func (s *specDirSource) Reload(ctx context.Context, name string, sys *gar.System
 	return err
 }
 
+// FeedbackBase loads the tenant's committed corpus for the online
+// trainer; implementing fleet.FeedbackSource opts the fleet into the
+// feedback loop.
+func (s *specDirSource) FeedbackBase(name string) (gar.BaseData, error) {
+	sp, err := s.load(name)
+	if err != nil {
+		return gar.BaseData{}, err
+	}
+	return specBase(sp), nil
+}
+
 // tenantNames lists the tenants of a spec directory: the stem of every
 // *.json file.
 func tenantNames(dir string) ([]string, error) {
@@ -141,6 +152,7 @@ func newFleetHandler(reg *fleet.Registry, cfg serveConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /db/{name}/translate", s.handleTranslate)
 	mux.HandleFunc("POST /db/{name}/reload", s.handleReload)
+	mux.HandleFunc("POST /db/{name}/feedback", s.handleFeedback)
 	mux.HandleFunc("GET /db/{name}/healthz", s.handleTenantHealthz)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

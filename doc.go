@@ -37,6 +37,19 @@
 // in library code, context propagation, and Must* helpers confined to
 // tests and generators.
 //
+// The serving loop can also learn online. internal/feedback is a
+// durable append-only WAL (CRC-64 frames, fsync before acknowledgement,
+// crash recovery that truncates torn tails) for user feedback posted to
+// /feedback — an endorsed candidate or a corrected SQL text, validated
+// by re-parse and re-bind before it is recorded. A background
+// gar.Trainer folds accepted pairs into the training set and retrains
+// off the serving path; a retrained candidate is shadow-scored against
+// the live snapshot on held-out feedback and only promoted when it is
+// no worse, with a checkpointed rollback point and a post-promotion
+// regression detector that restores the prior generation automatically.
+// `gar feedback list|verify|compact` inspect and maintain the logs. See
+// the README's "Online learning & safe promotion" section.
+//
 // The internal packages implement
 // every substrate the paper depends on — SQL parsing and execution,
 // SPIDER-style normalization and difficulty classification, the

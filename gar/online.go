@@ -1,0 +1,86 @@
+package gar
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/feedback"
+	"repro/internal/sqlparse"
+)
+
+// Online learning: the feedback WAL, the background trainer and the
+// shadow-promotion gate, re-exported for serving layers. The flow is
+//
+//	POST /feedback → ValidateSQL → Log.Append (fsync before ack)
+//	              → Trainer.ObserveFeedback + Trainer.Notify
+//	Trainer loop  → fold WAL into base corpus → retrain off-path
+//	              → shadow-score vs live → promote or reject
+//	              → regression detector → automatic rollback
+//
+// See internal/feedback (durability) and internal/core (trainer) for
+// the mechanics.
+
+// Trainer is the background retraining loop: it folds accepted
+// feedback into the base corpus, trains a candidate ranker off the
+// serving path, shadow-scores it against the live ranker and promotes
+// it only if no worse beyond TrainerConfig.ShadowThreshold; after a
+// promotion a regression detector can roll the system back to the
+// pre-promotion checkpoint.
+type Trainer = core.Trainer
+
+// TrainerConfig tunes the trainer; the zero value serves.
+type TrainerConfig = core.TrainerConfig
+
+// TrainerStats is a health snapshot of the trainer's counters.
+type TrainerStats = core.TrainerStats
+
+// ShadowVerdict is one shadow-scoring decision.
+type ShadowVerdict = core.ShadowVerdict
+
+// BaseData is the committed corpus a retraining cycle starts from: the
+// sample SQL the pool is generalized from and the supervised examples
+// the models were originally fit on. Accepted feedback is folded on
+// top of it each cycle.
+type BaseData struct {
+	Samples  []string
+	Examples []Example
+}
+
+// NewTrainer couples this system with its feedback log, an optional
+// checkpoint store (nil disables rollback arming) and a loader for the
+// base corpus. The loader runs at the start of every cycle, so spec
+// edits on disk are picked up without a restart.
+func (s *System) NewTrainer(log *feedback.Log, st *checkpoint.Store, base func() (BaseData, error), cfg TrainerConfig) *Trainer {
+	inner := func() (core.TrainingData, error) {
+		bd, err := base()
+		if err != nil {
+			return core.TrainingData{}, err
+		}
+		queries, err := parseAll(bd.Samples)
+		if err != nil {
+			return core.TrainingData{}, err
+		}
+		converted, err := convertExamples(bd.Examples)
+		if err != nil {
+			return core.TrainingData{}, err
+		}
+		return core.TrainingData{Samples: queries, Examples: converted}, nil
+	}
+	return core.NewTrainer(s.inner, log, st, inner, cfg)
+}
+
+// ValidateSQL checks that a feedback SQL string parses and binds
+// against this system's database schema — the accept-time gate of the
+// feedback endpoint: only queries that could in principle join the
+// candidate pool are durably recorded.
+func (s *System) ValidateSQL(sql string) error {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return fmt.Errorf("gar: feedback SQL: %w", err)
+	}
+	if err := s.db.Bind(q); err != nil {
+		return fmt.Errorf("gar: feedback SQL: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package gar_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/gar"
+	"repro/internal/feedback"
+)
+
+func TestOnlineTrainerPublicAPI(t *testing.T) {
+	sys := trainedSystem(t)
+	log, err := feedback.Open(filepath.Join(t.TempDir(), "feedback"), feedback.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+
+	// The accept-time gate: bad SQL never reaches the WAL.
+	if err := sys.ValidateSQL("SELEC nope"); err == nil || !strings.Contains(err.Error(), "feedback SQL") {
+		t.Fatalf("unparseable SQL accepted: %v", err)
+	}
+	if err := sys.ValidateSQL("SELECT x FROM nosuch"); err == nil {
+		t.Fatal("unbindable SQL accepted")
+	}
+	if err := sys.ValidateSQL("SELECT COUNT(*) FROM employee"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := log.Append(feedback.Record{
+		Question: "total employee count",
+		SQL:      "SELECT COUNT(*) FROM employee",
+		Source:   feedback.SourceChosen,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	base := func() (gar.BaseData, error) {
+		return gar.BaseData{Samples: samples(), Examples: examples()}, nil
+	}
+	tr := sys.NewTrainer(log, nil, base, gar.TrainerConfig{ShadowThreshold: 0.25})
+	gen := sys.Generation()
+	if err := tr.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Retrains != 1 || st.Promotions != 1 {
+		t.Fatalf("public trainer stats: %+v", st)
+	}
+	if sys.Generation() <= gen {
+		t.Fatalf("promotion did not bump generation: %d -> %d", gen, sys.Generation())
+	}
+	res, err := sys.Translate("how many employees are there")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := gar.ExactMatch(res.SQL, "SELECT COUNT(*) FROM employee"); !ok {
+		t.Fatalf("translation regressed after online retrain: %s", res.SQL)
+	}
+}
+
+// A base loader that fails must fail the cycle, not panic it.
+func TestOnlineTrainerBaseError(t *testing.T) {
+	sys := trainedSystem(t)
+	log, err := feedback.Open(filepath.Join(t.TempDir(), "feedback"), feedback.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if _, err := log.Append(feedback.Record{Question: "q", SQL: "SELECT city FROM employee", Source: feedback.SourceChosen}); err != nil {
+		t.Fatal(err)
+	}
+	bad := func() (gar.BaseData, error) {
+		return gar.BaseData{Samples: []string{"SELEC broken"}, Examples: nil}, nil
+	}
+	tr := sys.NewTrainer(log, nil, bad, gar.TrainerConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := tr.Flush(ctx); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("broken base corpus: %v", err)
+	}
+	if st := tr.Stats(); st.Failures == 0 || st.Promotions != 0 {
+		t.Fatalf("stats after base error: %+v", st)
+	}
+}

@@ -18,9 +18,14 @@ var ErrTenantName = errors.New("checkpoint: invalid tenant name")
 // on the filesystem, so the rule is deliberately strict: ASCII letters,
 // digits, '-', '_' and non-leading '.', at most 128 bytes. Everything
 // that could escape the tree (separators, "..", hidden names) is
-// rejected.
+// rejected. The literal name "feedback" is reserved: single-tenant
+// serving keeps its feedback WAL at {statedir}/feedback, so a tenant
+// by that name would collide with the log tree.
 func ValidTenantName(name string) bool {
 	if name == "" || len(name) > 128 {
+		return false
+	}
+	if name == "feedback" {
 		return false
 	}
 	if strings.HasPrefix(name, ".") {

@@ -22,6 +22,7 @@ func TestValidTenantName(t *testing.T) {
 	}
 	invalid := []string{
 		"", ".", "..", ".hidden", "a/b", `a\b`, "a b", "naïve", "a:b",
+		"feedback", // reserved: the single-tenant feedback WAL directory
 		strings.Repeat("x", 129),
 	}
 	for _, name := range invalid {

@@ -220,12 +220,19 @@ func (s *System) RestoreCheckpoint(ck *checkpoint.Checkpoint) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	next := *s.state.Load()
-	// Generation continuity: the restored snapshot keeps the generation
-	// it was checkpointed at, so health endpoints, Result.Generation and
-	// the generation-keyed caches line up across the restart; a system
-	// that has already moved past it never goes backwards.
+	// Generation continuity: on recovery into a fresh system the
+	// restored snapshot keeps the generation it was checkpointed at, so
+	// health endpoints, Result.Generation and the generation-keyed
+	// caches line up across the restart. A system that has already
+	// moved past the checkpoint (a rollback) instead advances to a
+	// fresh generation: a generation number must never name two
+	// different snapshots, or a translation in flight on the outgoing
+	// snapshot could repopulate the caches under the restored
+	// generation after the purge below.
 	if ck.Manifest.Generation > next.gen {
 		next.gen = ck.Manifest.Generation
+	} else if ck.Manifest.Generation < next.gen {
+		next.gen++
 	}
 	next.pool = pool
 	next.poolIdx = poolIdx

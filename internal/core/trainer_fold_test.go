@@ -1,0 +1,77 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/feedback"
+	"repro/internal/ltr"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// foldFeedback must be replay-idempotent: folding the same WAL twice —
+// or a WAL with recovered duplicates — yields an identical corpus, so
+// a crash-recovered log retrains to the same candidate.
+func TestFoldFeedbackIdempotent(t *testing.T) {
+	sys := New(schematest.Employee(), Options{})
+	base := TrainingData{
+		Samples: []*sqlast.Query{
+			sqlparse.MustParse("SELECT name FROM employee"),
+		},
+		Examples: []ltr.Example{
+			{NL: "list names", Gold: sqlparse.MustParse("SELECT name FROM employee")},
+		},
+	}
+	records := []feedback.Record{
+		{Seq: 1, Question: "count employees", SQL: "SELECT COUNT(*) FROM employee", Source: feedback.SourceChosen},
+		{Seq: 2, Question: "all cities", SQL: "SELECT city FROM employee", Source: feedback.SourceCorrected},
+		// Duplicate of the base example: must not grow the corpus.
+		{Seq: 3, Question: "list names", SQL: "SELECT name FROM employee", Source: feedback.SourceChosen},
+		// Unparseable / unbindable records are skipped, not fatal.
+		{Seq: 4, Question: "bad", SQL: "SELEC nope", Source: feedback.SourceCorrected},
+		{Seq: 5, Question: "bad table", SQL: "SELECT x FROM nosuch", Source: feedback.SourceCorrected},
+	}
+
+	s1, e1, p1 := foldFeedback(sys, base, records)
+	s2, e2, p2 := foldFeedback(sys, base, append(append([]feedback.Record(nil), records...), records...))
+	if !reflect.DeepEqual(printAll(s1), printAll(s2)) {
+		t.Fatalf("samples not idempotent:\n once:  %v\n twice: %v", printAll(s1), printAll(s2))
+	}
+	if len(e1) != len(e2) || len(p1) != len(p2) {
+		t.Fatalf("examples/pairs not idempotent: %d/%d vs %d/%d", len(e1), len(p1), len(e2), len(p2))
+	}
+	// base sample + count + city; the duplicate and the two invalid
+	// records add nothing.
+	if len(s1) != 3 {
+		t.Fatalf("folded samples = %v, want 3", printAll(s1))
+	}
+	// base example + count + city (the name duplicate is deduped).
+	if len(e1) != 3 || len(p1) != 2 {
+		t.Fatalf("folded examples/pairs = %d/%d, want 3/2", len(e1), len(p1))
+	}
+	if p1[0].NL != "count employees" || p1[1].NL != "all cities" {
+		t.Fatalf("pairs out of log order: %q, %q", p1[0].NL, p1[1].NL)
+	}
+}
+
+func printAll(qs []*sqlast.Query) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.String()
+	}
+	return out
+}
+
+func TestShadowEvalSetHoldout(t *testing.T) {
+	base := []ltr.Example{{NL: "a"}, {NL: "b"}}
+	pairs := []ltr.Example{{NL: "p1"}, {NL: "p2"}, {NL: "p3"}}
+	got := shadowEvalSet(base, pairs, 2)
+	if len(got) != 4 || got[2].NL != "p2" || got[3].NL != "p3" {
+		t.Fatalf("holdout kept the wrong pairs: %+v", got)
+	}
+	if all := shadowEvalSet(base, pairs, 10); len(all) != 5 {
+		t.Fatalf("holdout larger than pairs must keep all: %d", len(all))
+	}
+}

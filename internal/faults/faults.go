@@ -41,6 +41,12 @@ const (
 	FSRename Stage = "fs.rename"
 )
 
+// Train is the fault point of a background retraining cycle, fired
+// after the trainer claims its budget slot and before any training
+// work. A panic plan here proves the trainer's isolation boundary: a
+// crashing cycle must degrade to "keep serving the old ranker".
+const Train Stage = "train"
+
 // Kind selects what a Plan injects when it fires.
 type Kind int
 

@@ -1,0 +1,148 @@
+package feedback
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The SIGKILL crash matrix: a child process appends feedback records
+// in a loop through the real write+fsync path, printing each sequence
+// number only after Append acknowledged it, and the parent kills it
+// dead — no signal handler, no defer — at a randomized moment. A
+// restart over the surviving directory must recover every acknowledged
+// record: the fsync-before-ack discipline is exactly the guarantee
+// under test. (An un-acknowledged trailing record may also survive —
+// the kill can land between the fsync and the ack — which is the safe
+// direction: the client saw an error and retries.)
+
+const crashEnv = "GAR_FEEDBACK_CRASH_CHILD"
+
+// TestCrashFeedbackHelper is the child body, only active when
+// re-invoked by TestCrashFeedbackSIGKILL; as a normal test it no-ops.
+func TestCrashFeedbackHelper(t *testing.T) {
+	dir := os.Getenv(crashEnv)
+	if dir == "" {
+		t.Skip("helper process body; run via TestCrashFeedbackSIGKILL")
+	}
+	l, err := Open(dir, Config{MaxSegmentBytes: 4096})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Append as fast as possible until killed. Record size varies so
+	// kills land at different file offsets, and the small segment cap
+	// makes some kills land mid-rotation.
+	for i := 0; ; i++ {
+		rec := Record{
+			Question: fmt.Sprintf("crash question %d %s", i, strings.Repeat("pad", i%41)),
+			SQL:      fmt.Sprintf("SELECT %d FROM t", i),
+			Source:   SourceChosen,
+		}
+		seq, err := l.Append(rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// The ack line goes out only after the fsynced append returned.
+		fmt.Printf("acked %d\n", seq)
+	}
+}
+
+func TestCrashFeedbackSIGKILL(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX kill semantics required")
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash matrix skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := []time.Duration{
+		500 * time.Microsecond, 1100 * time.Microsecond, 2300 * time.Microsecond,
+		4700 * time.Microsecond, 9500 * time.Microsecond, 19 * time.Millisecond,
+		37 * time.Millisecond, 61 * time.Millisecond,
+	}
+	for i, delay := range delays {
+		t.Run(fmt.Sprintf("kill-after-%s", delay), func(t *testing.T) {
+			dir := t.TempDir()
+			var out bytes.Buffer
+			cmd := exec.Command(exe, "-test.run=^TestCrashFeedbackHelper$", "-test.v")
+			cmd.Env = append(os.Environ(), crashEnv+"="+dir)
+			cmd.Stdout = &out
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(delay + time.Duration(i)*300*time.Microsecond)
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_ = cmd.Wait() // expected: killed
+
+			// Only complete, well-formed ack lines count: the kill can
+			// shear the final line mid-write.
+			var acked []uint64
+			sc := bufio.NewScanner(bytes.NewReader(out.Bytes()))
+			for sc.Scan() {
+				line := sc.Text()
+				rest, ok := strings.CutPrefix(line, "acked ")
+				if !ok {
+					continue
+				}
+				seq, perr := strconv.ParseUint(rest, 10, 64)
+				if perr != nil {
+					continue
+				}
+				acked = append(acked, seq)
+			}
+
+			l, err := Open(dir, Config{})
+			if err != nil {
+				t.Fatalf("Open after SIGKILL: %v", err)
+			}
+			defer l.Close()
+			st := l.Stats()
+			if st.CorruptSkipped != 0 {
+				t.Fatalf("SIGKILL produced corrupt (not torn) records: %+v", st)
+			}
+			recs, err := l.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			have := map[uint64]bool{}
+			for _, rec := range recs {
+				have[rec.Seq] = true
+				// Content integrity: the record must be exactly what the
+				// writer produced for that sequence number.
+				i := int(rec.Seq - 1)
+				wantQ := fmt.Sprintf("crash question %d %s", i, strings.Repeat("pad", i%41))
+				if rec.Question != wantQ {
+					t.Fatalf("record %d recovered with wrong question %q", rec.Seq, rec.Question)
+				}
+			}
+			for _, seq := range acked {
+				if !have[seq] {
+					t.Fatalf("acknowledged record %d lost after SIGKILL (recovered %d of %d acked)",
+						seq, len(recs), len(acked))
+				}
+			}
+			// At most one un-acked trailing record may have survived.
+			if len(recs) > len(acked)+1 {
+				t.Fatalf("recovered %d records but only %d were acked", len(recs), len(acked))
+			}
+			// The recovered log keeps working.
+			if _, err := l.Append(Record{Question: "after", SQL: "SELECT 1", Source: SourceChosen}); err != nil {
+				t.Fatalf("append after crash recovery: %v", err)
+			}
+		})
+	}
+}

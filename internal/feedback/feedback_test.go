@@ -1,0 +1,534 @@
+package feedback
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mkRecord(i int) Record {
+	return Record{
+		TimeUnix:   int64(1000 + i),
+		Question:   fmt.Sprintf("how many widgets of kind %d", i),
+		SQL:        fmt.Sprintf("SELECT count(*) FROM widget WHERE kind = %d", i),
+		Source:     SourceChosen,
+		Generation: uint64(i % 3),
+	}
+}
+
+func appendN(t *testing.T, l *Log, n int) []Record {
+	t.Helper()
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := mkRecord(i)
+		seq, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		rec.Seq = seq
+		out = append(out, rec)
+	}
+	return out
+}
+
+func seqs(recs []Record) []uint64 {
+	out := make([]uint64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Seq
+	}
+	return out
+}
+
+func TestFeedbackRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendN(t, l, 7)
+	got, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Question != want[i].Question || got[i].SQL != want[i].SQL {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	st := l.Stats()
+	if st.Appended != 7 || st.Records != 7 || st.LastSeq != 7 || st.Segments != 1 {
+		t.Fatalf("stats after append: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything survives, sequence numbering continues.
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got2, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, got) {
+		t.Fatalf("reopen changed the replay:\n got %+v\nwant %+v", got2, got)
+	}
+	seq, err := l2.Append(mkRecord(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 8 {
+		t.Fatalf("sequence after reopen = %d, want 8", seq)
+	}
+}
+
+func TestFeedbackReplayIdempotence(t *testing.T) {
+	// Property: replaying the same log twice yields the identical record
+	// set, across random record shapes, rotations and a compaction.
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	l, err := Open(dir, Config{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	n := 40
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Question: strings.Repeat("q", 1+rng.Intn(60)) + fmt.Sprint(i),
+			SQL:      "SELECT " + strings.Repeat("x", rng.Intn(90)),
+			Source:   SourceCorrected,
+		}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if i == 25 {
+			if _, _, err := l.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	first, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("two replays of the same log differ")
+	}
+	if len(first) != n {
+		t.Fatalf("replayed %d records, want %d", len(first), n)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i].Seq <= first[i-1].Seq {
+			t.Fatalf("replay not strictly increasing at %d: %v", i, seqs(first))
+		}
+	}
+}
+
+func TestFeedbackRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := appendN(t, l, 20)
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	got, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != st.Segments {
+		t.Fatalf("on-disk segments %d != stats %d", len(segs), st.Segments)
+	}
+}
+
+func TestFeedbackTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+
+	// Simulate a crash mid-append: a partial frame at the tail.
+	segs, _ := listSegments(dir)
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 50, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Stats()
+	if st.TornTruncated != 1 {
+		t.Fatalf("TornTruncated = %d, want 1 (stats %+v)", st.TornTruncated, st)
+	}
+	got, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(got))
+	}
+	// The repaired segment accepts appends again.
+	if seq, err := l2.Append(mkRecord(4)); err != nil || seq != 4 {
+		t.Fatalf("append after torn-tail repair: seq=%d err=%v", seq, err)
+	}
+	if l2.Stats().Segments != 1 {
+		t.Fatalf("torn-tail repair should not rotate: %+v", l2.Stats())
+	}
+}
+
+func TestFeedbackCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := appendN(t, l, 5)
+	l.Close()
+
+	// Flip one payload bit of the middle record on disk.
+	segs, _ := listSegments(dir)
+	path := segs[0].path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk to the third frame and corrupt its payload.
+	off := len(magic)
+	for i := 0; i < 2; i++ {
+		off += frameOverhead + int(binary.BigEndian.Uint32(data[off:off+4]))
+	}
+	data[off+frameOverhead+5] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Stats()
+	if st.CorruptSkipped != 1 {
+		t.Fatalf("CorruptSkipped = %d, want 1", st.CorruptSkipped)
+	}
+	got, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{recs[0].Seq, recs[1].Seq, recs[3].Seq, recs[4].Seq}; !reflect.DeepEqual(seqs(got), want) {
+		t.Fatalf("surviving seqs = %v, want %v", seqs(got), want)
+	}
+	// A damaged newest segment is sealed: appends go to a fresh one and
+	// the damage never spreads.
+	if st.SealedSegments != 1 {
+		t.Fatalf("SealedSegments = %d, want 1", st.SealedSegments)
+	}
+	if _, err := l2.Append(mkRecord(9)); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Stats().Segments != 2 {
+		t.Fatalf("append after sealed segment should rotate: %+v", l2.Stats())
+	}
+}
+
+func TestFeedbackImpossibleLength(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4)
+	l.Close()
+
+	segs, _ := listSegments(dir)
+	path := segs[0].path
+	data, _ := os.ReadFile(path)
+	off := len(magic)
+	for i := 0; i < 2; i++ {
+		off += frameOverhead + int(binary.BigEndian.Uint32(data[off:off+4]))
+	}
+	binary.BigEndian.PutUint32(data[off:off+4], maxRecordLen+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records before the destroyed boundary survive; the rest of the
+	// segment is unreachable and the segment is sealed, not truncated.
+	if want := []uint64{1, 2}; !reflect.DeepEqual(seqs(got), want) {
+		t.Fatalf("surviving seqs = %v, want %v", seqs(got), want)
+	}
+	if st := l2.Stats(); st.SealedSegments != 1 {
+		t.Fatalf("SealedSegments = %d, want 1 (%+v)", st.SealedSegments, st)
+	}
+	reports, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Lost {
+		t.Fatalf("Inspect should flag the lost tail: %+v", reports[0])
+	}
+}
+
+func TestFeedbackBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	l.Close()
+	segs, _ := listSegments(dir)
+	data, _ := os.ReadFile(segs[0].path)
+	copy(data, "XXXXXXXX")
+	os.WriteFile(segs[0].path, data, 0o644)
+
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("bad-header segment yielded %d records", len(got))
+	}
+	reports, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Err == "" {
+		t.Fatal("Inspect should report the bad header")
+	}
+	if _, serr := scanSegment(data); !errors.Is(serr, ErrCorrupt) {
+		t.Fatalf("header error should wrap ErrCorrupt, got %v", serr)
+	}
+}
+
+func TestFeedbackCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := appendN(t, l, 15)
+	before, _ := l.Records()
+	kept, removed, err := l.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != len(want) || removed < 2 {
+		t.Fatalf("Compact kept=%d removed=%d", kept, removed)
+	}
+	after, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("Compact changed the replay")
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("Segments after Compact = %d, want 1", st.Segments)
+	}
+	// Appends continue on the compacted segment with the same numbering.
+	seq, err := l.Append(mkRecord(77))
+	if err != nil || seq != uint64(len(want)+1) {
+		t.Fatalf("append after Compact: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestFeedbackCompactCrashDuplicates(t *testing.T) {
+	// A crash between a compaction's rename and its deletes leaves the
+	// old segments beside the compacted one; replay must deduplicate.
+	dir := t.TempDir()
+	l, err := Open(dir, Config{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 12)
+	want, _ := l.Records()
+	segs, _ := listSegments(dir)
+	// Preserve the old segments, compact, then restore them.
+	saved := map[string][]byte{}
+	for _, s := range segs {
+		data, _ := os.ReadFile(s.path)
+		saved[s.path] = data
+	}
+	if _, _, err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	for path, data := range saved {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got, err := l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("duplicated segments changed the replay: got %v want %v", seqs(got), seqs(want))
+	}
+	if st := l2.Stats(); st.ReplayDuplicate == 0 {
+		t.Fatalf("expected replay duplicates to be counted: %+v", st)
+	}
+	// A re-run of Compact finishes the interrupted one.
+	if _, removed, err := l2.Compact(); err != nil || removed == 0 {
+		t.Fatalf("re-run Compact: removed=%d err=%v", removed, err)
+	}
+	got2, _ := l2.Records()
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("finishing the compaction changed the replay")
+	}
+}
+
+func TestFeedbackClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, err := l.Append(mkRecord(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, err := l.Records(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Records after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := l.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFeedbackOpenErrors(t *testing.T) {
+	if _, err := Open("", Config{}); err == nil {
+		t.Fatal("Open(\"\") should fail")
+	}
+	// Temp litter from an interrupted rotation is swept at Open.
+	dir := t.TempDir()
+	litter := filepath.Join(dir, ".fwal-123.tmp")
+	if err := os.WriteFile(litter, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := os.Stat(litter); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp litter not swept at Open")
+	}
+}
+
+func TestFeedbackOversizeRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(Record{Question: "q", SQL: strings.Repeat("s", maxRecordLen+1)}); err == nil {
+		t.Fatal("oversize record should be rejected")
+	}
+	if l.LastSeq() != 0 {
+		t.Fatal("rejected record consumed a sequence number")
+	}
+}
+
+func TestFeedbackInspect(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10)
+	l.Close()
+	reports, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 2 {
+		t.Fatalf("expected multiple segment reports, got %d", len(reports))
+	}
+	total := 0
+	var last uint64
+	for _, rep := range reports {
+		if rep.Err != "" || rep.Corrupt != 0 || rep.TornBytes != 0 {
+			t.Fatalf("healthy segment reported damage: %+v", rep)
+		}
+		total += rep.Records
+		if rep.Records > 0 {
+			if rep.FirstSeq <= last && last != 0 {
+				t.Fatalf("segment seq ranges overlap: %+v", reports)
+			}
+			last = rep.LastSeq
+		}
+	}
+	if total != 10 {
+		t.Fatalf("Inspect saw %d records, want 10", total)
+	}
+	if _, err := Inspect(filepath.Join(dir, "nope")); err != nil {
+		t.Fatalf("Inspect of a missing dir should list empty, got %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/breaker"
 	"repro/internal/checkpoint"
+	"repro/internal/feedback"
 )
 
 // ErrUnknownTenant reports a request for a name the registry does not
@@ -78,6 +80,14 @@ type Source interface {
 	Reload(ctx context.Context, name string, sys *gar.System) error
 }
 
+// FeedbackSource is the optional Source extension the online feedback
+// loop needs: the committed base corpus each retraining cycle folds
+// accepted feedback into. A registry with Config.Feedback set only
+// attaches feedback logs and trainers when its Source implements it.
+type FeedbackSource interface {
+	FeedbackBase(name string) (gar.BaseData, error)
+}
+
 // Config tunes a Registry. The zero value gets serving defaults.
 type Config struct {
 	// MaxActive bounds the working set: how many tenants may be
@@ -117,6 +127,20 @@ type Config struct {
 	ActivateTimeout   time.Duration
 	EvictFlushTimeout time.Duration
 
+	// Feedback enables the per-tenant online learning loop: a durable
+	// feedback WAL at {StateDir}/{tenant}/feedback plus a background
+	// trainer per resident tenant. Requires StateDir and a Source that
+	// implements FeedbackSource; otherwise it is silently inert.
+	Feedback bool
+	// TrainInterval and ShadowThreshold forward to every tenant's
+	// trainer (see gar.TrainerConfig).
+	TrainInterval   time.Duration
+	ShadowThreshold float64
+	// TrainBudget bounds how many tenants may retrain concurrently
+	// (default 1): retraining is CPU-heavy, so tenants take turns
+	// instead of starving the serving path.
+	TrainBudget int
+
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 	// Clock overrides the idle/LRU time source (tests inject a fake).
@@ -150,6 +174,9 @@ func (c *Config) fill() {
 	}
 	if c.EvictFlushTimeout <= 0 {
 		c.EvictFlushTimeout = 30 * time.Second
+	}
+	if c.TrainBudget <= 0 {
+		c.TrainBudget = 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -214,11 +241,18 @@ type tenant struct {
 	// reloadMu serializes reloads of this tenant only.
 	reloadMu sync.Mutex
 
+	// fbAccepted and fbRejected tally feedback submissions across the
+	// tenant's whole lifetime (they survive eviction, like the breaker).
+	fbAccepted atomic.Uint64
+	fbRejected atomic.Uint64
+
 	mu       sync.Mutex
 	state    tenantState
 	done     chan struct{} // closes when the current transition settles
 	sys      *gar.System   // non-nil while active/evicting
 	ckptr    *gar.Checkpointer
+	flog     *feedback.Log // non-nil while active/evicting with feedback on
+	trainer  *gar.Trainer
 	refs     int // outstanding handles pinning the tenant
 	lastUsed time.Time
 	lastErr  error
@@ -238,13 +272,34 @@ type Registry struct {
 	capMu  sync.Mutex // serializes working-set accounting
 	active int        // tenants in activating|active|evicting
 
+	// trainSem is the fleet-wide retraining budget: TrainBudget tokens,
+	// one held per in-flight training cycle.
+	trainSem chan struct{}
+
 	shedSaturated atomic.Uint64
 }
 
 // New creates an empty registry; add tenants with Register.
 func New(src Source, cfg Config) *Registry {
 	cfg.fill()
-	return &Registry{src: src, cfg: cfg, tenants: map[string]*tenant{}}
+	return &Registry{
+		src:      src,
+		cfg:      cfg,
+		tenants:  map[string]*tenant{},
+		trainSem: make(chan struct{}, cfg.TrainBudget),
+	}
+}
+
+// trainGate claims one slot of the fleet-wide retraining budget,
+// blocking (up to ctx) while TrainBudget other tenants are mid-cycle.
+// It is every tenant trainer's Gate.
+func (r *Registry) trainGate(ctx context.Context) (func(), error) {
+	select {
+	case r.trainSem <- struct{}{}:
+		return func() { <-r.trainSem }, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("fleet: waiting for training budget: %w", ctx.Err())
+	}
 }
 
 // Register adds a tenant name to the registry, cold; the first Acquire
@@ -310,10 +365,12 @@ func (r *Registry) all() []*tenant {
 // outstanding the tenant cannot be evicted. Release it when the
 // request finishes (Release is idempotent).
 type Handle struct {
-	r    *Registry
-	t    *tenant
-	sys  *gar.System
-	once sync.Once
+	r       *Registry
+	t       *tenant
+	sys     *gar.System
+	flog    *feedback.Log
+	trainer *gar.Trainer
+	once    sync.Once
 }
 
 // Tenant is the handle's tenant name.
@@ -321,6 +378,24 @@ func (h *Handle) Tenant() string { return h.t.name }
 
 // Sys is the pinned serving system.
 func (h *Handle) Sys() *gar.System { return h.sys }
+
+// FeedbackLog is the tenant's durable feedback WAL, nil when the
+// online feedback loop is not enabled for this fleet.
+func (h *Handle) FeedbackLog() *feedback.Log { return h.flog }
+
+// Trainer is the tenant's background trainer, nil when the online
+// feedback loop is not enabled.
+func (h *Handle) Trainer() *gar.Trainer { return h.trainer }
+
+// CountFeedback tallies one feedback submission outcome for the
+// tenant's health counters.
+func (h *Handle) CountFeedback(accepted bool) {
+	if accepted {
+		h.t.fbAccepted.Add(1)
+	} else {
+		h.t.fbRejected.Add(1)
+	}
+}
 
 // Admit runs the tenant's admission controller; the semantics are
 // admit.Controller.Acquire's.
@@ -364,7 +439,7 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
 		case stateActive:
 			t.refs++
 			t.lastUsed = r.cfg.Clock()
-			h := &Handle{r: r, t: t, sys: t.sys}
+			h := &Handle{r: r, t: t, sys: t.sys, flog: t.flog, trainer: t.trainer}
 			t.mu.Unlock()
 			return h, nil
 		case stateActivating, stateEvicting:
@@ -494,26 +569,28 @@ func (r *Registry) activate(t *tenant, victim *tenant) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ActivateTimeout)
 	defer cancel()
-	sys, warm, ckptr, err := r.buildTenant(ctx, t)
+	b, err := r.buildTenant(ctx, t)
 	if err != nil {
 		r.failActivation(t, err)
 		return
 	}
 	t.mu.Lock()
-	t.sys = sys
-	t.ckptr = ckptr
+	t.sys = b.sys
+	t.ckptr = b.ckptr
+	t.flog = b.flog
+	t.trainer = b.trainer
 	t.state = stateActive
 	t.lastUsed = r.cfg.Clock()
 	t.counters.Activations++
-	if warm {
+	if b.warm {
 		t.counters.WarmStarts++
-	} else if sys.Ready() {
+	} else if b.sys.Ready() {
 		t.counters.ColdBuilds++
 	}
 	close(t.done)
 	t.mu.Unlock()
 	r.cfg.Logf("fleet: tenant %s activated (warm=%v, generation %d, pool %d)",
-		t.name, warm, sys.Generation(), sys.PoolSize())
+		t.name, b.warm, b.sys.Generation(), b.sys.PoolSize())
 }
 
 // failActivation returns a tenant to cold, releasing its working-set
@@ -533,20 +610,31 @@ func (r *Registry) failActivation(t *tenant, err error) {
 	r.cfg.Logf("fleet: tenant %s activation failed: %v", t.name, err)
 }
 
+// builtTenant is the product of one activation build.
+type builtTenant struct {
+	sys     *gar.System
+	warm    bool
+	ckptr   *gar.Checkpointer
+	flog    *feedback.Log
+	trainer *gar.Trainer
+}
+
 // buildTenant assembles a tenant's serving system: schema shell from
 // the source, then a checkpoint warm start when the state tree has one,
-// a source Deploy otherwise, and finally the tenant's breaker and a
-// running background checkpointer.
-func (r *Registry) buildTenant(ctx context.Context, t *tenant) (sys *gar.System, warm bool, ckptr *gar.Checkpointer, err error) {
-	sys, err = r.src.Cold(t.name)
+// a source Deploy otherwise, and finally the tenant's breaker, a
+// running background checkpointer and (when the feedback loop is on)
+// the tenant's feedback WAL and background trainer.
+func (r *Registry) buildTenant(ctx context.Context, t *tenant) (builtTenant, error) {
+	sys, err := r.src.Cold(t.name)
 	if err != nil {
-		return nil, false, nil, err
+		return builtTenant{}, err
 	}
+	b := builtTenant{sys: sys}
 	var store *checkpoint.Store
 	if r.cfg.StateDir != "" {
 		store, err = checkpoint.OpenTenant(r.cfg.StateDir, t.name)
 		if err != nil {
-			return nil, false, nil, err
+			return builtTenant{}, err
 		}
 		if removed, cerr := store.CleanTemp(); cerr != nil {
 			r.cfg.Logf("fleet: tenant %s: %v", t.name, cerr)
@@ -555,16 +643,16 @@ func (r *Registry) buildTenant(ctx context.Context, t *tenant) (sys *gar.System,
 		}
 		ck, skipped, rerr := sys.RecoverCheckpoint(store)
 		if rerr != nil {
-			return nil, false, nil, rerr
+			return builtTenant{}, rerr
 		}
 		for _, sk := range skipped {
 			r.cfg.Logf("fleet: tenant %s: skipping checkpoint %s: %v", t.name, sk.Path, sk.Err)
 		}
-		warm = ck != nil
+		b.warm = ck != nil
 	}
-	if !warm {
+	if !b.warm {
 		if _, err = r.src.Deploy(ctx, t.name, sys); err != nil {
-			return nil, false, nil, err
+			return builtTenant{}, err
 		}
 	}
 	if t.br != nil {
@@ -572,18 +660,45 @@ func (r *Registry) buildTenant(ctx context.Context, t *tenant) (sys *gar.System,
 	}
 	if store != nil {
 		name := t.name
-		ckptr = sys.NewCheckpointer(store, gar.CheckpointerConfig{
+		b.ckptr = sys.NewCheckpointer(store, gar.CheckpointerConfig{
 			Keep: r.cfg.Keep,
 			Logf: func(format string, args ...any) {
 				r.cfg.Logf("fleet: tenant "+name+": "+format, args...)
 			},
 		})
-		ckptr.Start()
-		if !warm && sys.Ready() {
-			ckptr.Notify() // persist the freshly built state
+		b.ckptr.Start()
+		if !b.warm && sys.Ready() {
+			b.ckptr.Notify() // persist the freshly built state
 		}
 	}
-	return sys, warm, ckptr, nil
+	if fsrc, ok := r.src.(FeedbackSource); ok && r.cfg.Feedback && store != nil {
+		// The WAL lives inside the tenant's own state directory, so an
+		// eviction+reactivation (or a restart) replays the same records.
+		flog, ferr := feedback.Open(filepath.Join(store.Dir(), "feedback"), feedback.Config{})
+		if ferr != nil {
+			return builtTenant{}, fmt.Errorf("fleet: tenant %s feedback log: %w", t.name, ferr)
+		}
+		name := t.name
+		b.flog = flog
+		b.trainer = sys.NewTrainer(flog, store,
+			func() (gar.BaseData, error) { return fsrc.FeedbackBase(name) },
+			gar.TrainerConfig{
+				Interval:        r.cfg.TrainInterval,
+				ShadowThreshold: r.cfg.ShadowThreshold,
+				Gate:            r.trainGate,
+				Logf: func(format string, args ...any) {
+					r.cfg.Logf("fleet: tenant "+name+": "+format, args...)
+				},
+			})
+		b.trainer.Start()
+		if b.flog.LastSeq() > 0 {
+			// Feedback recorded before the last shutdown (or eviction)
+			// may not have been trained on yet; wake the trainer to
+			// fold it in.
+			b.trainer.Notify()
+		}
+	}
+	return b, nil
 }
 
 // finishEvict makes an evicting tenant's state durable and drops its
@@ -596,14 +711,24 @@ func (r *Registry) buildTenant(ctx context.Context, t *tenant) (sys *gar.System,
 // EvictFlushTimeout
 func (r *Registry) finishEvict(t *tenant) error {
 	t.mu.Lock()
-	ckptr := t.ckptr
+	ckptr, trainer, flog := t.ckptr, t.trainer, t.flog
 	t.mu.Unlock()
+	if trainer != nil {
+		// Stop the trainer before the final state flush so no promotion
+		// can publish after the checkpoint that is supposed to be last.
+		// An in-flight cycle finishes first; pending feedback stays in
+		// the WAL and trains on re-activation.
+		trainer.Stop()
+	}
 	if ckptr != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.EvictFlushTimeout)
 		err := ckptr.Shutdown(ctx)
 		cancel()
 		if err != nil {
 			ckptr.Start()
+			if trainer != nil {
+				trainer.Start()
+			}
 			r.capMu.Lock()
 			t.mu.Lock()
 			t.state = stateActive
@@ -616,10 +741,17 @@ func (r *Registry) finishEvict(t *tenant) error {
 			return err
 		}
 	}
+	if flog != nil {
+		if err := flog.Close(); err != nil {
+			r.cfg.Logf("fleet: tenant %s: closing feedback log: %v", t.name, err)
+		}
+	}
 	r.capMu.Lock()
 	t.mu.Lock()
 	t.sys = nil
 	t.ckptr = nil
+	t.flog = nil
+	t.trainer = nil
 	t.state = stateCold
 	t.counters.Evictions++
 	close(t.done)
@@ -756,8 +888,22 @@ func (r *Registry) shutdownTenant(ctx context.Context, t *tenant) error {
 		firstErr = fmt.Errorf("fleet: draining tenant %s: %w", t.name, err)
 	}
 	t.mu.Lock()
-	ckptr := t.ckptr
+	ckptr, trainer, flog := t.ckptr, t.trainer, t.flog
 	t.mu.Unlock()
+	if trainer != nil {
+		// No final training flush: the WAL is the source of truth and
+		// the next process trains on whatever this one did not get to.
+		trainer.Stop()
+	}
+	if flog != nil {
+		defer func() {
+			// The WAL's acknowledged records are already fsynced; a close
+			// failure here costs nothing but is worth a log line.
+			if err := flog.Close(); err != nil {
+				r.cfg.Logf("fleet: tenant %s: closing feedback log: %v", t.name, err)
+			}
+		}()
+	}
 	if ckptr != nil {
 		// Flush even when the drain timed out: a truncated drain must
 		// not also cost the tenant its durability.

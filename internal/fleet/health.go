@@ -4,7 +4,19 @@ import (
 	"repro/gar"
 	"repro/internal/admit"
 	"repro/internal/breaker"
+	"repro/internal/feedback"
 )
+
+// FeedbackHealth is the online-learning block of a health row: the
+// accept/reject tallies of the feedback endpoint, the WAL's footprint,
+// and the trainer's counters (state, promotions, shadow verdicts,
+// rollbacks). The single-tenant server reuses it for /healthz.
+type FeedbackHealth struct {
+	Accepted uint64           `json:"accepted"`
+	Rejected uint64           `json:"rejected"`
+	WAL      feedback.Stats   `json:"wal"`
+	Trainer  gar.TrainerStats `json:"trainer"`
+}
 
 // TenantHealth is one tenant's row in the fleet health roll-up.
 type TenantHealth struct {
@@ -25,6 +37,9 @@ type TenantHealth struct {
 	Admission  admit.Stats          `json:"admission"`
 	Breaker    *breaker.Snapshot    `json:"breaker,omitempty"`
 	Checkpoint *gar.CheckpointStats `json:"checkpoint,omitempty"`
+	// Feedback is the online-learning block, absent while the tenant is
+	// not resident or the feedback loop is disabled.
+	Feedback *FeedbackHealth `json:"feedback,omitempty"`
 	// Counters are the lifecycle tallies; LastError the most recent
 	// activation or eviction failure.
 	Counters  Counters `json:"counters"`
@@ -57,6 +72,7 @@ func (r *Registry) tenantHealth(t *tenant) TenantHealth {
 		Counters: t.counters,
 	}
 	sys, ckptr := t.sys, t.ckptr
+	flog, trainer := t.flog, t.trainer
 	resident := t.state == stateActive || t.state == stateEvicting
 	if t.lastErr != nil {
 		h.LastError = t.lastErr.Error()
@@ -72,6 +88,14 @@ func (r *Registry) tenantHealth(t *tenant) TenantHealth {
 	if ckptr != nil {
 		cs := ckptr.Stats()
 		h.Checkpoint = &cs
+	}
+	if flog != nil && trainer != nil {
+		h.Feedback = &FeedbackHealth{
+			Accepted: t.fbAccepted.Load(),
+			Rejected: t.fbRejected.Load(),
+			WAL:      flog.Stats(),
+			Trainer:  trainer.Stats(),
+		}
 	}
 	if t.br != nil && resident {
 		snap := t.br.Snapshot()
