@@ -1,5 +1,5 @@
 # The tier-1 gate: everything a PR must keep green.
-.PHONY: verify test build vet lint garlint race bench bench-translate bench-smoke cover stress
+.PHONY: verify test build vet lint garlint race bench bench-translate bench-smoke cover qualgate stress
 
 build:
 	go build ./...
@@ -25,10 +25,10 @@ race:
 	go test -race ./...
 
 # verify is the full robustness gate: build, static checks (go vet plus
-# the custom garlint analyzers), and the whole suite (including the
+# the custom garlint analyzers), the whole suite (including the
 # fault-injection matrix and the concurrent translate stress test)
-# under the race detector.
-verify: build vet lint race
+# under the race detector, and the translation-quality ratchet.
+verify: build vet lint race qualgate
 
 bench:
 	go test -bench=. -benchmem
@@ -52,6 +52,17 @@ bench-smoke:
 # `go run ./cmd/covergate -write`.
 cover:
 	go run ./cmd/covergate -floors coverage_floors.json
+
+# qualgate is the translation-quality ratchet: it retrains the committed
+# benchmark suites from seed, measures top-1/top-k accuracy and
+# translate latency for both the LTR-only and execution-guided
+# pipelines, and fails on any accuracy drop (exact — training is
+# deterministic) or a p50 regression beyond max(3x baseline, 250ms).
+# On failure the measured-vs-committed diff lands in
+# BASELINE_quality_diff.json. After a deliberate improvement, ratchet
+# with `go run ./cmd/garbench -baseline -write`.
+qualgate:
+	go run ./cmd/garbench -baseline
 
 # stress runs the overload and resilience suites under the race
 # detector: burst admission (deterministic saturation via fault gates),

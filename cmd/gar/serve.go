@@ -100,6 +100,10 @@ type serveConfig struct {
 	// background trainer and the accept/reject tallies. nil when
 	// -feedback is not given.
 	Feedback *feedbackState
+
+	// ExecGuide mirrors the system's execution-guided reranking switch;
+	// /healthz reports the stage's counters when it is on.
+	ExecGuide bool
 }
 
 type server struct {
@@ -255,6 +259,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Feedback != nil {
 		body["feedback"] = s.cfg.Feedback.healthJSON()
+	}
+	if s.cfg.ExecGuide {
+		es := s.sys.ExecGuideStats()
+		body["execguide"] = map[string]any{
+			"enabled":  true,
+			"executed": es.Executed,
+			"demoted":  es.Demoted,
+			"errors":   es.Errors,
+			"timeouts": es.Timeouts,
+		}
 	}
 	if !s.sys.Ready() {
 		body["status"] = "unavailable"
@@ -516,6 +530,8 @@ func runServe(args []string) {
 	breakerCooldown := fs.Duration("breakcooldown", 2*time.Second, "how long a tripped breaker stays open before probing")
 	noBreaker := fs.Bool("nobreaker", false, "disable the re-rank circuit breaker")
 	noStageBudget := fs.Bool("nostagebudget", false, "disable per-stage deadline budgets")
+	execGuide := fs.Bool("execguide", false, "execution-guided reranking: execute top candidates on a seeded sample instance and demote failures")
+	execBudget := fs.Duration("execbudget", 25*time.Millisecond, "per-candidate execution budget under -execguide")
 	workers := fs.Int("workers", 0, "parallel fan-out of encoding and re-rank scoring (0 = one per CPU)")
 	cacheSize := fs.Int("cachesize", 1024, "entries per translation cache (embeddings, results)")
 	noCache := fs.Bool("nocache", false, "disable the translation-path caches")
@@ -546,11 +562,13 @@ func runServe(args []string) {
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		NoCache:         *noCache,
+		ExecGuide:       *execGuide,
+		ExecBudget:      *execBudget,
 	}
 	if !*noStageBudget {
 		// Each stage gets a slice of the remaining deadline so a slow
 		// re-rank degrades early instead of starving post-processing.
-		opts.StageBudget = gar.StageBudget{Retrieval: 0.5, Rerank: 0.6, Postprocess: 0.9}
+		opts.StageBudget = gar.StageBudget{Retrieval: 0.5, Rerank: 0.6, Postprocess: 0.7, ExecGuide: 0.9}
 	}
 
 	if *feedbackOn && *stateDir == "" {
@@ -566,9 +584,10 @@ func runServe(args []string) {
 			SpecDir: *specDir,
 			Opts:    opts,
 			Cfg: serveConfig{
-				Timeout: *timeout,
-				MaxBody: *maxBody,
-				TopK:    *topK,
+				Timeout:   *timeout,
+				MaxBody:   *maxBody,
+				TopK:      *topK,
+				ExecGuide: *execGuide,
 			},
 			Fleet: fleet.Config{
 				MaxActive:       *maxTenants,
@@ -699,6 +718,7 @@ func runServe(args []string) {
 			Reload:          reload,
 			Ckpt:            ckptr,
 			Feedback:        fb,
+			ExecGuide:       *execGuide,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

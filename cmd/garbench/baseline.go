@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/qualgate"
+)
+
+// baselineDiff is the artifact written when the quality gate fails: the
+// freshly measured numbers next to every violation, so CI can upload
+// one file that explains the failure without re-running the suite.
+type baselineDiff struct {
+	Current    *qualgate.Baseline   `json:"current"`
+	Violations []qualgate.Violation `json:"violations"`
+}
+
+// runQualityBaseline measures the committed benchmark suites and either
+// ratchets the baseline file (write=true) or gates against it. On gate
+// failure the measured numbers and violations are written to diffPath
+// and a non-nil error is returned.
+func runQualityBaseline(baselinePath string, write bool, diffPath string) error {
+	ctx := context.Background()
+	fmt.Fprintln(os.Stderr, "qualgate: training and measuring committed suites...")
+	cur, err := qualgate.MeasureAll(ctx)
+	if err != nil {
+		return err
+	}
+	printBaseline(cur)
+
+	if write {
+		if err := qualgate.Write(baselinePath, cur); err != nil {
+			return err
+		}
+		fmt.Printf("qualgate: wrote baseline for %d suites to %s\n", len(cur.Databases), baselinePath)
+		return nil
+	}
+
+	base, err := qualgate.Load(baselinePath)
+	if err != nil {
+		return fmt.Errorf("%w (run with -baseline -write to create it)", err)
+	}
+	violations := qualgate.Compare(base, cur, qualgate.DefaultThresholds())
+	if len(violations) == 0 {
+		fmt.Printf("qualgate: %d suites at or above the committed baseline\n", len(base.Databases))
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "qualgate: FAIL "+v.String())
+	}
+	if diffPath != "" {
+		blob, merr := json.MarshalIndent(baselineDiff{Current: cur, Violations: violations}, "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(diffPath, append(blob, '\n'), 0o644)
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "qualgate: writing diff artifact: %v\n", merr)
+		} else {
+			fmt.Fprintf(os.Stderr, "qualgate: diff artifact written to %s\n", diffPath)
+		}
+	}
+	return fmt.Errorf("quality gate: %d violation(s) against %s", len(violations), baselinePath)
+}
+
+func printBaseline(b *qualgate.Baseline) {
+	names := make([]string, 0, len(b.Databases))
+	for name := range b.Databases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		db := b.Databases[name]
+		fmt.Printf("%s: pool=%d\n", name, db.Pool)
+		fmt.Printf("  ltr:         top1 %d/%d  top%d %d/%d  p50 %.2fms p95 %.2fms\n",
+			db.LTR.Top1, db.LTR.Questions, db.LTR.K, db.LTR.TopK, db.LTR.Questions,
+			db.LTR.P50ms, db.LTR.P95ms)
+		fmt.Printf("  exec-guided: top1 %d/%d  top%d %d/%d  p50 %.2fms p95 %.2fms\n",
+			db.ExecGuided.Top1, db.ExecGuided.Questions, db.ExecGuided.K, db.ExecGuided.TopK,
+			db.ExecGuided.Questions, db.ExecGuided.P50ms, db.ExecGuided.P95ms)
+	}
+}

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	garbench [-scale small|full] [-exp id[,id...]] [-seed n]
+//	garbench -baseline [-write]    # translation-quality gate / ratchet
 package main
 
 import (
@@ -30,7 +31,19 @@ func main() {
 	bench := flag.String("bench", "", "run a micro-benchmark instead of experiments (id: translate)")
 	iters := flag.Int("iters", 5, "benchmark iterations over the question set")
 	benchOut := flag.String("benchout", "BENCH_translate.json", "benchmark JSON output path")
+	baseline := flag.Bool("baseline", false, "run the translation-quality gate against the committed baseline")
+	baselineFile := flag.String("baselinefile", "BASELINE_quality.json", "committed quality-baseline path")
+	baselineWrite := flag.Bool("write", false, "with -baseline: ratchet the baseline file from current measurements")
+	baselineDiffOut := flag.String("baselinediff", "BASELINE_quality_diff.json", "with -baseline: diff artifact written on gate failure")
 	flag.Parse()
+
+	if *baseline {
+		if err := runQualityBaseline(*baselineFile, *baselineWrite, *baselineDiffOut); err != nil {
+			fmt.Fprintf(os.Stderr, "qualgate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench != "" {
 		if *bench != "translate" {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/breaker"
 	"repro/internal/checkpoint"
@@ -77,6 +78,16 @@ type Options struct {
 	CacheSize int
 	// NoCache disables the translation-path caches entirely.
 	NoCache bool
+	// ExecGuide enables execution-guided reranking: after the learned
+	// ranking, the top ExecTopK candidates are executed against a small
+	// deterministic sample instance seeded from the schema (and the
+	// content, when set) and candidates that error, exceed ExecBudget,
+	// or return degenerate results are demoted. Off by default.
+	ExecGuide bool
+	// ExecBudget caps one candidate's execution wall time (default
+	// 25ms); ExecTopK is how many top candidates execute (default 8).
+	ExecBudget time.Duration
+	ExecTopK   int
 }
 
 // StageBudget holds the per-stage deadline fractions; see
@@ -85,6 +96,7 @@ type StageBudget struct {
 	Retrieval   float64
 	Rerank      float64
 	Postprocess float64
+	ExecGuide   float64
 }
 
 func (o Options) internal() core.Options {
@@ -100,10 +112,14 @@ func (o Options) internal() core.Options {
 			Retrieval:   o.StageBudget.Retrieval,
 			Rerank:      o.StageBudget.Rerank,
 			Postprocess: o.StageBudget.Postprocess,
+			ExecGuide:   o.StageBudget.ExecGuide,
 		},
-		Workers:   o.Workers,
-		CacheSize: o.CacheSize,
-		NoCache:   o.NoCache,
+		Workers:    o.Workers,
+		CacheSize:  o.CacheSize,
+		NoCache:    o.NoCache,
+		ExecGuide:  o.ExecGuide,
+		ExecBudget: o.ExecBudget,
+		ExecTopK:   o.ExecTopK,
 	}
 }
 
@@ -225,6 +241,15 @@ type CacheStats = core.CacheStats
 
 // CacheStats returns a point-in-time snapshot of the cache counters.
 func (s *System) CacheStats() CacheStats { return s.inner.CacheStats() }
+
+// ExecGuideStats reports the execution-guided reranking counters
+// (candidates executed, demoted, errors, timeouts); all-zero while
+// Options.ExecGuide is off. Serving layers surface it in /healthz.
+type ExecGuideStats = core.ExecGuideStats
+
+// ExecGuideStats returns a point-in-time snapshot of the exec-guide
+// counters.
+func (s *System) ExecGuideStats() ExecGuideStats { return s.inner.ExecGuideStats() }
 
 // SetRerankBreaker installs a circuit breaker on the re-ranking stage:
 // after repeated stage failures or timeouts the stage is skipped

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/embed"
 	"repro/internal/engine"
+	"repro/internal/execguide"
 	"repro/internal/faults"
 	"repro/internal/generalize"
 	"repro/internal/ltr"
@@ -44,6 +45,7 @@ type StageBudget struct {
 	Retrieval   float64
 	Rerank      float64
 	Postprocess float64
+	ExecGuide   float64
 }
 
 // Options configures a GAR system. The zero value gives the paper's
@@ -87,6 +89,18 @@ type Options struct {
 	// NoCache disables the translation-path caches entirely (the
 	// benchmark's cold path, and a debugging escape hatch).
 	NoCache bool
+	// ExecGuide enables execution-guided reranking: after value
+	// post-processing the top ExecTopK candidates are executed against
+	// a deterministic seeded sample instance and candidates that error,
+	// exceed ExecBudget, or return degenerate results are demoted (see
+	// internal/execguide). Off by default.
+	ExecGuide bool
+	// ExecBudget caps one candidate's execution wall time under
+	// ExecGuide (default 25ms).
+	ExecBudget time.Duration
+	// ExecTopK is how many of the best-ranked candidates ExecGuide
+	// executes (default 8).
+	ExecTopK int
 }
 
 func (o *Options) fill() {
@@ -108,6 +122,12 @@ func (o *Options) fill() {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 1024
 	}
+	if o.ExecBudget <= 0 {
+		o.ExecBudget = 25 * time.Millisecond
+	}
+	if o.ExecTopK <= 0 {
+		o.ExecTopK = 8
+	}
 }
 
 // state is one immutable published snapshot of the system: the
@@ -126,6 +146,10 @@ type state struct {
 	encoder   *embed.Encoder
 	pipeline  *ltr.Pipeline
 	linker    *values.Linker
+	// guide, when non-nil, is the execution-guided reranking stage's
+	// seeded sample instance; rebuilt by SetContent so seeded rows draw
+	// from the spec's value index.
+	guide     *execguide.Guide
 	prepStats generalize.Stats
 	trained   bool
 	inj       *faults.Injector
@@ -148,6 +172,11 @@ type System struct {
 
 	// writeMu serializes mutators; readers never take it.
 	writeMu sync.Mutex
+	// samples and content feed the exec-guide's seeded sample instance
+	// (literal harvesting and cell values); both are writeMu-guarded and
+	// only read to rebuild the guide inside a mutation.
+	samples []*sqlast.Query
+	content *engine.Instance
 	// state is the published snapshot; see the state type.
 	state atomic.Pointer[state]
 	// rerankBreaker, when set, circuit-breaks the re-ranking stage;
@@ -157,6 +186,13 @@ type System struct {
 	// publishHook, when set, runs after every snapshot publication; see
 	// SetPublishHook.
 	publishHook atomic.Pointer[func()]
+
+	// Exec-guide counters, maintained lock-free by the translate path;
+	// see ExecGuideStats.
+	execExecuted atomic.Uint64
+	execDemoted  atomic.Uint64
+	execErrors   atomic.Uint64
+	execTimeouts atomic.Uint64
 
 	// embedCache memoizes question embeddings and transCache whole
 	// translation results, both keyed by (pool generation, NL question).
@@ -176,7 +212,11 @@ func New(db *schema.Database, opts Options) *System {
 	} else {
 		s.builder = dialect.New(db)
 	}
-	s.state.Store(&state{linker: values.NewLinker(db, nil)})
+	st := &state{linker: values.NewLinker(db, nil)}
+	if opts.ExecGuide {
+		st.guide = execguide.New(db, nil, execguide.Seeds{}, s.guideConfig())
+	}
+	s.state.Store(st)
 	if !opts.NoCache {
 		s.embedCache = transcache.New[vector.Vec](s.Opts.CacheSize)
 		s.transCache = transcache.New[*Translation](s.Opts.CacheSize)
@@ -208,11 +248,38 @@ func (s *System) purgeCaches() {
 	s.transCache.Purge()
 }
 
+// guideConfig maps the exec-guide options onto the guide's tunables.
+func (s *System) guideConfig() execguide.Config {
+	return execguide.Config{TopK: s.Opts.ExecTopK, Budget: s.Opts.ExecBudget}
+}
+
+// buildGuide reseeds the exec-guide sample instance from the current
+// content and sample queries: content donates realistic cell values,
+// the samples donate the literal filter values candidates are likely to
+// carry after value post-processing. Callers must hold writeMu (samples
+// and content are writeMu-guarded); the build itself is a few dozen
+// row inserts and stays cheap enough to run inside the mutation.
+func (s *System) buildGuide() *execguide.Guide {
+	if !s.Opts.ExecGuide {
+		return nil
+	}
+	return execguide.New(s.DB, s.content, execguide.HarvestSeeds(s.DB, s.samples), s.guideConfig())
+}
+
 // SetContent attaches a populated instance used for value linking in the
-// post-processing step (cell-value → column hints).
+// post-processing step (cell-value → column hints). Under ExecGuide the
+// execution guide's sample instance is reseeded from the same content,
+// so executed candidates see realistic cell values.
 func (s *System) SetContent(content *engine.Instance) {
+	// The linker rebuild is the expensive part and only reads the
+	// content; run it outside the snapshot mutation.
+	linker := values.NewLinker(s.DB, content)
 	s.mutate(func(st *state) {
-		st.linker = values.NewLinker(s.DB, content)
+		st.linker = linker
+		s.content = content
+		if guide := s.buildGuide(); guide != nil {
+			st.guide = guide
+		}
 	})
 }
 
@@ -308,6 +375,10 @@ func (s *System) Prepare(samples []*sqlast.Query) {
 		st.encoder = nil
 		st.pipeline = nil
 		st.trained = false
+		s.samples = samples
+		if guide := s.buildGuide(); guide != nil {
+			st.guide = guide
+		}
 	})
 }
 
@@ -468,6 +539,7 @@ func TrainModels(sets []TrainingSet, opts Options) (*Models, error) {
 			PoolIdx:  poolIdxs[i],
 			K:        opts.RetrievalK,
 			DialVecs: vecs,
+			Costs:    poolCosts(pools[i]),
 			Workers:  opts.Workers,
 		}
 		lists = append(lists, pipe.BuildLists(sets[i].Examples, opts.RerankTrainK)...)
@@ -520,6 +592,17 @@ func indexFromVecs(vecs []vector.Vec, opts Options) vindex.Index {
 	return index
 }
 
+// poolCosts computes the static estimated-cost feature of every pool
+// candidate (see execguide.CostFeature); the re-ranker reads it as an
+// input feature, so every pipeline this package builds carries it.
+func poolCosts(pool []ltr.Candidate) []float64 {
+	out := make([]float64, len(pool))
+	for i, c := range pool {
+		out[i] = execguide.CostFeature(c.SQL)
+	}
+	return out
+}
+
 // newPipeline assembles the online pipeline for a pool with deployed
 // models (the slow part is embedding + indexing the pool).
 func newPipeline(pool []ltr.Candidate, poolIdx *ltr.PoolIndex, m *Models, opts Options) *ltr.Pipeline {
@@ -533,6 +616,7 @@ func newPipeline(pool []ltr.Candidate, poolIdx *ltr.PoolIndex, m *Models, opts O
 		SkipRerank: opts.NoRerank,
 		Reranker:   m.Reranker,
 		DialVecs:   vecs,
+		Costs:      poolCosts(pool),
 		Workers:    opts.Workers,
 	}
 }
@@ -589,6 +673,10 @@ func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
 	next.encoder = m.Encoder
 	next.pipeline = pipeline
 	next.trained = true
+	s.samples = samples
+	if guide := s.buildGuide(); guide != nil {
+		next.guide = guide
+	}
 	s.publish(&next)
 	// The generation bump already invalidates every cached entry; the
 	// purge just releases their memory eagerly.
@@ -623,12 +711,17 @@ type Translation struct {
 	// Generation is the pool generation of the snapshot that served
 	// this translation; every candidate comes from that one snapshot.
 	Generation uint64
-	// Degraded reports that a non-fatal stage (re-ranking or value
-	// post-processing) failed and a documented fallback was used; the
-	// result is still usable but of reduced quality.
+	// Degraded reports that a non-fatal stage (re-ranking, value
+	// post-processing or execution guidance) failed and a documented
+	// fallback was used; the result is still usable but of reduced
+	// quality.
 	Degraded bool
 	// Warnings describes each degradation that occurred.
 	Warnings []string
+	// Verdicts is the execution evidence of the exec-guide stage, one
+	// entry per executed candidate indexed into the PRE-reorder ranked
+	// list; nil when Options.ExecGuide is off or the stage degraded.
+	Verdicts []execguide.Verdict
 }
 
 // Translate runs the full online pipeline on an NL query: two-stage
@@ -810,6 +903,52 @@ func (s *System) TranslateContext(ctx context.Context, nl string) (*Translation,
 		degrade(StagePostprocess, err)
 	}
 
+	// Stage 4: execution-guided reranking (off by default). The top
+	// ExecTopK candidates run against the seeded sample instance and
+	// candidates with execution evidence against them are demoted; on
+	// any stage failure the pre-execution LTR order stands.
+	if s.Opts.ExecGuide && st.guide != nil && len(processed) > 0 {
+		var verdicts []execguide.Verdict
+		ectx, ecancel := stageCtx(ctx, s.Opts.StageBudget.ExecGuide)
+		err = runStage(ectx, StageExecGuide, func() error {
+			if ferr := inj.Fire(ectx, faults.ExecGuide); ferr != nil {
+				return ferr
+			}
+			queries := make([]*sqlast.Query, len(processed))
+			for i := range processed {
+				queries[i] = processed[i].SQL
+			}
+			var gerr error
+			verdicts, gerr = st.guide.Inspect(ectx, queries)
+			return gerr
+		})
+		ecancel()
+		if err != nil {
+			degrade(StageExecGuide, err)
+		} else {
+			order := execguide.Reorder(len(processed), verdicts)
+			reordered := make([]Candidate, 0, len(processed))
+			for _, idx := range order {
+				reordered = append(reordered, processed[idx])
+			}
+			processed = reordered
+			out.Verdicts = verdicts
+			s.execExecuted.Add(uint64(len(verdicts)))
+			for _, v := range verdicts {
+				switch {
+				case v.Outcome == execguide.Timeout:
+					s.execTimeouts.Add(1)
+					s.execDemoted.Add(1)
+				case v.Outcome == execguide.Error:
+					s.execErrors.Add(1)
+					s.execDemoted.Add(1)
+				case v.Outcome.DemotionClass() > 0:
+					s.execDemoted.Add(1)
+				}
+			}
+		}
+	}
+
 	out.Ranked = processed
 	if len(out.Ranked) > 0 {
 		out.Top = &out.Ranked[0]
@@ -830,10 +969,34 @@ func copyTranslation(t *Translation) *Translation {
 	cp := *t
 	cp.Ranked = append([]Candidate(nil), t.Ranked...)
 	cp.Warnings = append([]string(nil), t.Warnings...)
+	cp.Verdicts = append([]execguide.Verdict(nil), t.Verdicts...)
 	if len(cp.Ranked) > 0 {
 		cp.Top = &cp.Ranked[0]
 	}
 	return &cp
+}
+
+// ExecGuideStats is a point-in-time snapshot of the exec-guide stage's
+// counters, all zero while Options.ExecGuide is off.
+type ExecGuideStats struct {
+	// Executed counts candidates run against the sample instance.
+	Executed uint64 `json:"executed"`
+	// Demoted counts candidates demoted on execution evidence
+	// (errors, timeouts and degenerate results).
+	Demoted uint64 `json:"demoted"`
+	// Errors and Timeouts break the hard demotions down.
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// ExecGuideStats reports the exec-guide counters.
+func (s *System) ExecGuideStats() ExecGuideStats {
+	return ExecGuideStats{
+		Executed: s.execExecuted.Load(),
+		Demoted:  s.execDemoted.Load(),
+		Errors:   s.execErrors.Load(),
+		Timeouts: s.execTimeouts.Load(),
+	}
 }
 
 // RetrievalContains reports whether the gold query appears in the

@@ -28,6 +28,18 @@ func renderTranslation(tr *core.Translation) string {
 		sb.WriteString("\t")
 		sb.WriteString(c.SQL.String())
 	}
+	// Execution evidence is part of the contract too: the same demotion
+	// decisions must fall out regardless of worker count.
+	for _, v := range tr.Verdicts {
+		sb.WriteString("\nverdict=")
+		sb.WriteString(strconv.Itoa(v.Index))
+		sb.WriteString("\t")
+		sb.WriteString(v.Outcome.String())
+		sb.WriteString("\trows=")
+		sb.WriteString(strconv.Itoa(v.Rows))
+		sb.WriteString("\t")
+		sb.WriteString(v.Detail)
+	}
 	return sb.String()
 }
 
@@ -93,6 +105,95 @@ func TestParallelTranslateDeterminism(t *testing.T) {
 	// Then under contention: every concurrent call must still match the
 	// sequential reference exactly.
 	const goroutines, rounds = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := questions[(g+r)%len(questions)]
+				tr, err := par.Translate(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := renderTranslation(tr); got != want[q] {
+					errs <- errDiverged{q: q}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestParallelTranslateDeterminismExecGuided extends the determinism
+// contract to the execution-guided fourth stage: with ExecGuide on, the
+// one-worker and eight-worker systems must produce byte-identical
+// translations including the per-candidate verdicts and the reordering
+// they imply — executing candidates against the seeded sample instance
+// must not introduce any scheduling-dependent behavior.
+func TestParallelTranslateDeterminismExecGuided(t *testing.T) {
+	opts := core.Options{
+		GeneralizeSize: 300,
+		RetrievalK:     10,
+		EncoderEpochs:  12,
+		RerankEpochs:   40,
+		Seed:           42,
+		NoCache:        true,
+		ExecGuide:      true,
+	}
+	seqOpts, parOpts := opts, opts
+	seqOpts.Workers = 1
+	parOpts.Workers = 8
+
+	seq := core.New(schematest.Employee(), seqOpts)
+	seq.Prepare(employeeSamples())
+	if err := seq.Train(employeeExamples()); err != nil {
+		t.Fatal(err)
+	}
+	par := core.New(schematest.Employee(), parOpts)
+	par.Prepare(employeeSamples())
+	if err := par.Train(employeeExamples()); err != nil {
+		t.Fatal(err)
+	}
+
+	questions := []string{
+		"find the name of the employee who got the highest one time bonus",
+		"which employees are older than 30",
+		"how many employees live in each city",
+		"what is the average bonus",
+		"which shop has the most products",
+	}
+
+	want := make(map[string]string, len(questions))
+	for _, q := range questions {
+		tr, err := seq.Translate(q)
+		if err != nil {
+			t.Fatalf("sequential translate %q: %v", q, err)
+		}
+		if len(tr.Verdicts) == 0 {
+			t.Fatalf("exec-guided sequential translate %q produced no verdicts", q)
+		}
+		want[q] = renderTranslation(tr)
+	}
+
+	for _, q := range questions {
+		tr, err := par.Translate(q)
+		if err != nil {
+			t.Fatalf("parallel translate %q: %v", q, err)
+		}
+		if got := renderTranslation(tr); got != want[q] {
+			t.Fatalf("exec-guided parallel output diverged for %q:\n--- sequential ---\n%s\n--- parallel ---\n%s", q, want[q], got)
+		}
+	}
+
+	const goroutines, rounds = 8, 3
 	var wg sync.WaitGroup
 	errs := make(chan error, goroutines)
 	for g := 0; g < goroutines; g++ {

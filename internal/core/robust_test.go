@@ -138,6 +138,88 @@ func TestFaultMatrix(t *testing.T) {
 	}
 }
 
+// TestFaultMatrixExecGuide extends the matrix to the fourth boundary:
+// a fault in the execution-guided stage is never fatal — the result is
+// flagged Degraded, the warning names the stage, no verdicts are
+// attached, and the candidates fall back to the pre-execution LTR
+// order, byte-identical to what an ExecGuide-off system produces from
+// the same seed.
+func TestFaultMatrixExecGuide(t *testing.T) {
+	sys := trainedSystem(t, core.Options{ExecGuide: true})
+	ref := trainedSystem(t, core.Options{})
+	const q = "which employees are older than 30"
+
+	clean, err := sys.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degraded || len(clean.Verdicts) == 0 {
+		t.Fatalf("clean exec-guided translation unhealthy: degraded=%v verdicts=%d",
+			clean.Degraded, len(clean.Verdicts))
+	}
+	refClean, err := ref.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := renderOrder(refClean.Ranked)
+
+	injectedErr := errors.New("injected failure")
+	for _, kind := range []string{"error", "panic", "deadline"} {
+		t.Run(kind, func(t *testing.T) {
+			inj := faults.NewInjector(1)
+			ctx := context.Background()
+			switch kind {
+			case "error":
+				inj.Fail(faults.ExecGuide, injectedErr)
+			case "panic":
+				inj.Panic(faults.ExecGuide, "kaboom")
+			case "deadline":
+				inj.Delay(faults.ExecGuide, time.Hour)
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 30*time.Millisecond)
+				defer cancel()
+			}
+			sys.SetFaultInjector(inj)
+			defer sys.SetFaultInjector(nil)
+
+			tr, err := sys.TranslateContext(ctx, q)
+			if inj.Fired(faults.ExecGuide) == 0 {
+				t.Fatal("fault plan never fired")
+			}
+			if err != nil {
+				t.Fatalf("execguide failure was fatal: %v", err)
+			}
+			if !tr.Degraded {
+				t.Fatal("result not flagged Degraded")
+			}
+			if !strings.Contains(strings.Join(tr.Warnings, "; "), string(faults.ExecGuide)) {
+				t.Fatalf("warnings do not name the execguide stage: %v", tr.Warnings)
+			}
+			if len(tr.Verdicts) != 0 {
+				t.Fatalf("degraded execguide result still carries verdicts: %v", tr.Verdicts)
+			}
+			if kind == "deadline" {
+				// The whole-translate deadline may cut later work short;
+				// candidate-order equality is only guaranteed for the
+				// stage-local failures.
+				return
+			}
+			if got := renderOrder(tr.Ranked); got != wantOrder {
+				t.Fatalf("degraded candidates are not the pre-execution LTR order:\n got %s\nwant %s", got, wantOrder)
+			}
+		})
+	}
+}
+
+func renderOrder(cands []core.Candidate) string {
+	var sb strings.Builder
+	for _, c := range cands {
+		sb.WriteString(c.SQL.String())
+		sb.WriteString(" | ")
+	}
+	return sb.String()
+}
+
 // TestTranslateContextCancelled asserts an already-cancelled context is
 // fatal before any stage runs.
 func TestTranslateContextCancelled(t *testing.T) {

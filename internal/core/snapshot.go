@@ -214,6 +214,7 @@ func (s *System) RestoreCheckpoint(ck *checkpoint.Checkpoint) error {
 		SkipRerank: s.Opts.NoRerank,
 		Reranker:   m.Reranker,
 		DialVecs:   vecs,
+		Costs:      poolCosts(pool),
 		Workers:    s.Opts.Workers,
 	}
 

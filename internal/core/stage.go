@@ -13,6 +13,7 @@ const (
 	StageRetrieval   = string(faults.Retrieval)
 	StageRerank      = string(faults.Rerank)
 	StagePostprocess = string(faults.Postprocess)
+	StageExecGuide   = string(faults.ExecGuide)
 )
 
 // StageError is a typed pipeline-stage failure: it records which stage

@@ -1,0 +1,52 @@
+package execguide
+
+import "repro/internal/sqlast"
+
+// EstimateCost is a static cost proxy for a candidate: per SELECT block
+// (top level, compound arms, and every nested subquery) the number of
+// scanned relations weighted by the projection width, so a three-way
+// join selecting many columns estimates far above a single-table count.
+// It deliberately ignores data statistics — the signal separates
+// structurally heavy candidates from light ones, which is all the
+// re-ranker's cost feature needs.
+func EstimateCost(q *sqlast.Query) float64 {
+	var cost float64
+	sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+		s := sub.Select
+		if s == nil {
+			return
+		}
+		scans := float64(len(s.From.Tables))
+		if scans == 0 {
+			scans = 1
+		}
+		// Joins multiply the scanned space; the nested-loop engine pays
+		// the product, the proxy charges the join count linearly.
+		scans += float64(len(s.From.Joins))
+		width := float64(len(s.Items)) + 1
+		blockCost := scans * width
+		if len(s.GroupBy) > 0 {
+			blockCost += 2
+		}
+		if len(s.OrderBy) > 0 {
+			blockCost += 1
+		}
+		cost += blockCost
+	})
+	return cost
+}
+
+// costScale normalizes EstimateCost into [0, 1): a single-table
+// single-column query lands near 0.3, heavy multi-join candidates
+// saturate toward 1.
+const costScale = 8.0
+
+// CostFeature maps the raw estimate into [0, 1) for use as a re-ranker
+// input feature. A nil query costs 0.
+func CostFeature(q *sqlast.Query) float64 {
+	if q == nil {
+		return 0
+	}
+	c := EstimateCost(q)
+	return c / (c + costScale)
+}

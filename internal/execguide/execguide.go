@@ -1,0 +1,508 @@
+// Package execguide implements execution-guided reranking: after the
+// learned two-stage ranking has ordered the candidates, the top-k are
+// executed against a small deterministic sample instance seeded from
+// the database schema (and, when available, the spec's content values),
+// and candidates whose execution errors, times out, or returns a
+// degenerate result are demoted below the candidates that executed
+// cleanly. This is the execution-guided trick from the text-to-SQL
+// literature (cf. T5QL's ranking and METASQL's multi-ranking): the
+// learned ranker proposes, the engine disposes.
+//
+// The package also supplies the estimated-cost signal (join count ×
+// scan width proxy) that the LTR pipeline feeds to the re-ranker as a
+// static feature; see EstimateCost/CostFeature.
+//
+// Everything here is deterministic: the sample instance depends only on
+// the schema and the content values, candidates are executed in rank
+// order, and the demotion rules are pure functions of the execution
+// outcomes — so exec-guided rankings are byte-identical across worker
+// counts and runs.
+package execguide
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// errBudget marks a per-candidate budget expiry, distinct from the
+// caller's context ending (which aborts the whole sweep).
+var errBudget = errors.New("execguide: candidate budget exceeded")
+
+// Config tunes the guide. The zero value gives serving defaults.
+type Config struct {
+	// TopK is how many of the best-ranked candidates are executed
+	// (default 8). Candidates beyond TopK are never demoted — execution
+	// evidence exists only for the head of the list.
+	TopK int
+	// Budget caps one candidate's execution wall time (default 25ms). A
+	// candidate that exceeds it is marked Timeout and demoted; the
+	// runaway execution is abandoned, so a pathological candidate can
+	// never stall the translation beyond TopK × Budget.
+	Budget time.Duration
+	// Rows is the number of rows seeded per table (default 6).
+	Rows int
+}
+
+func (c *Config) fill() {
+	if c.TopK <= 0 {
+		c.TopK = 8
+	}
+	if c.Budget <= 0 {
+		c.Budget = 25 * time.Millisecond
+	}
+	if c.Rows <= 0 {
+		c.Rows = 6
+	}
+}
+
+// Guide executes ranked candidates against a deterministic seeded
+// sample instance and classifies the outcomes. A Guide is immutable
+// after New and safe for concurrent use (engine execution only reads
+// the instance).
+type Guide struct {
+	cfg  Config
+	inst *engine.Instance
+}
+
+// New builds a guide for the database. content, when non-nil, donates
+// its distinct text cell values per column (the same value index the
+// value linker uses); seeds carries literals harvested from the spec's
+// sample queries (see HarvestSeeds), so seeded rows contain the values
+// a post-processed candidate is likely to filter on. Without either,
+// synthetic per-column values are used. Seeding is pure: the same
+// schema, content and seeds always produce the same instance.
+func New(db *schema.Database, content *engine.Instance, seeds Seeds, cfg Config) *Guide {
+	cfg.fill()
+	text := mergeText(contentValues(db, content), seeds.Text)
+	g := &Guide{cfg: cfg, inst: seedInstance(db, text, seeds.Number, cfg.Rows)}
+	return g
+}
+
+// mergeText unions content values with harvested literals per column,
+// keeping the result sorted and distinct.
+func mergeText(content map[string][]string, harvested map[string][]string) map[string][]string {
+	if len(harvested) == 0 {
+		return content
+	}
+	out := make(map[string][]string, len(content)+len(harvested))
+	for k, vs := range content {
+		out[k] = vs
+	}
+	for k, vs := range harvested {
+		set := make(map[string]bool, len(out[k])+len(vs))
+		for _, v := range out[k] {
+			set[v] = true
+		}
+		for _, v := range vs {
+			set[v] = true
+		}
+		merged := make([]string, 0, len(set))
+		for v := range set {
+			merged = append(merged, v)
+		}
+		sort.Strings(merged)
+		out[k] = merged
+	}
+	return out
+}
+
+// Instance exposes the seeded sample instance (read-only use: property
+// tests execute pool queries against it directly).
+func (g *Guide) Instance() *engine.Instance { return g.inst }
+
+// contentValues collects the sorted distinct text values of every
+// column of the content instance, keyed by lower-cased "table.column".
+func contentValues(db *schema.Database, content *engine.Instance) map[string][]string {
+	if content == nil {
+		return nil
+	}
+	seen := make(map[string]map[string]bool)
+	for tname, td := range content.Tables {
+		if db.Table(tname) == nil {
+			continue
+		}
+		for _, row := range td.Rows {
+			for ci, v := range row {
+				if v.Null || v.IsNum || v.Str == "" || ci >= len(td.Columns) {
+					continue
+				}
+				key := strings.ToLower(tname + "." + td.Columns[ci])
+				if seen[key] == nil {
+					seen[key] = make(map[string]bool)
+				}
+				seen[key][v.Str] = true
+			}
+		}
+	}
+	out := make(map[string][]string, len(seen))
+	for key, set := range seen {
+		vals := make([]string, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		out[key] = vals
+	}
+	return out
+}
+
+// seeder resolves the deterministic value of (table, column, row),
+// following single-column foreign keys so join columns line up across
+// tables: the child row copies the parent row's key value.
+type seeder struct {
+	db   *schema.Database
+	vals map[string][]string
+	nums map[string][]float64
+	rows int
+}
+
+// value is a pure function of its arguments. depth guards FK cycles.
+func (s *seeder) value(t *schema.Table, col *schema.Column, row, colIdx, depth int) engine.Value {
+	if depth < 8 {
+		for _, fk := range s.db.ForeignKeys {
+			if !strings.EqualFold(fk.FromTable, t.Name) || !strings.EqualFold(fk.FromColumn, col.Name) {
+				continue
+			}
+			pt := s.db.Table(fk.ToTable)
+			if pt == nil {
+				break
+			}
+			pc := pt.Column(fk.ToColumn)
+			if pc == nil {
+				break
+			}
+			var pIdx int
+			for i, c := range pt.Columns {
+				if c == pc {
+					pIdx = i
+				}
+			}
+			return s.value(pt, pc, row, pIdx, depth+1)
+		}
+	}
+	isKey := t.IsKey(col.Name)
+	key := strings.ToLower(t.Name + "." + col.Name)
+	if col.Type == schema.Number {
+		if isKey {
+			// Distinct ascending ids; FK copies above hit the same row
+			// index, so every child row joins to exactly one parent.
+			return engine.Num(float64(row + 1))
+		}
+		if nums := straddle(s.nums[key]); len(nums) > 0 {
+			// Harvested comparison literals, each straddled by ±1, so a
+			// candidate filtering with <, = or > against a spec value
+			// finds both matching and non-matching rows; padded to one
+			// distinct value per row so a filtered projection of this
+			// column never collapses to a false constant.
+			for len(nums) < s.rows {
+				nums = append(nums, nums[len(nums)-1]+2)
+			}
+			return engine.Num(nums[row%len(nums)])
+		}
+		// Repeating small values so GROUP BY and duplicate detection
+		// have something to chew on.
+		return engine.Num(float64((row%3)*5 + colIdx + 1))
+	}
+	vals := s.vals[key]
+	if isKey {
+		if len(vals) >= s.rows {
+			return engine.Str(vals[row])
+		}
+		// Key columns must stay distinct per row.
+		return engine.Str(fmt.Sprintf("%s_%s_%d", strings.ToLower(t.Name), strings.ToLower(col.Name), row+1))
+	}
+	// Non-key text: the masked-literal text first — value post-processing
+	// cannot always instantiate a placeholder (no content to link
+	// against), and a filter on 'value' must still be satisfiable — then
+	// the harvested/content values, padded with synthetic filler to one
+	// distinct value per row. Distinct rows keep a filtered projection
+	// from looking constant by accident.
+	cycle := make([]string, 0, s.rows)
+	cycle = append(cycle, sqlast.PlaceholderValue)
+	for _, v := range vals {
+		if v != sqlast.PlaceholderValue {
+			cycle = append(cycle, v)
+		}
+	}
+	for n := 1; len(cycle) < s.rows; n++ {
+		cycle = append(cycle, fmt.Sprintf("%s_%d", strings.ToLower(col.Name), n))
+	}
+	return engine.Str(cycle[row%len(cycle)])
+}
+
+// straddle expands each harvested numeric literal v into v-1, v, v+1
+// (sorted, distinct), so every comparison direction is satisfiable.
+func straddle(vals []float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	set := make(map[float64]bool, 3*len(vals))
+	for _, v := range vals {
+		set[v-1] = true
+		set[v] = true
+		set[v+1] = true
+	}
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// seedInstance builds the deterministic sample instance: rows rows per
+// table, values resolved by the seeder.
+func seedInstance(db *schema.Database, vals map[string][]string, nums map[string][]float64, rows int) *engine.Instance {
+	inst := engine.NewInstance(db)
+	s := &seeder{db: db, vals: vals, nums: nums, rows: rows}
+	for _, t := range db.Tables {
+		for row := 0; row < rows; row++ {
+			tuple := make([]engine.Value, len(t.Columns))
+			for ci, c := range t.Columns {
+				tuple[ci] = s.value(t, c, row, ci, 0)
+			}
+			if err := inst.Insert(t.Name, tuple...); err != nil {
+				// Unreachable by construction (the tuple matches the
+				// schema's column count); skipping the row keeps New
+				// infallible without masking a real engine change.
+				break
+			}
+		}
+	}
+	return inst
+}
+
+// Outcome classifies one executed candidate.
+type Outcome int
+
+// Outcomes, from best to worst. OK keeps the candidate's rank;
+// Empty/Constant/Duplicate demote it below every clean candidate
+// (degenerate but executable); Error/Timeout demote it to the bottom.
+const (
+	OK Outcome = iota
+	Empty
+	Constant
+	Duplicate
+	Error
+	Timeout
+)
+
+// String names the outcome for goldens and health output.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Empty:
+		return "empty"
+	case Constant:
+		return "constant"
+	case Duplicate:
+		return "duplicate"
+	case Error:
+		return "error"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// DemotionClass buckets the outcome: 0 keeps the learned rank, 1 is a
+// soft demotion (degenerate result), 2 a hard demotion (no result).
+func (o Outcome) DemotionClass() int {
+	switch o {
+	case Empty, Constant, Duplicate:
+		return 1
+	case Error, Timeout:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Verdict is the execution evidence for one candidate.
+type Verdict struct {
+	// Index is the candidate's position in the ranked list handed to
+	// Inspect.
+	Index int
+	// Outcome classifies the execution.
+	Outcome Outcome
+	// Rows is the result cardinality (0 unless the execution finished).
+	Rows int
+	// Detail explains non-OK outcomes (the error text, the duplicate's
+	// better-ranked index, …).
+	Detail string
+}
+
+// execResult carries one candidate's raw execution out of its goroutine.
+type execResult struct {
+	res *engine.Result
+	err error
+}
+
+// Inspect executes the first min(TopK, len(queries)) candidates in rank
+// order against the sample instance and classifies each one. It fails
+// only when ctx ends before the sweep completes; per-candidate
+// failures are verdicts, not errors.
+func (g *Guide) Inspect(ctx context.Context, queries []*sqlast.Query) ([]Verdict, error) {
+	k := g.cfg.TopK
+	if k > len(queries) {
+		k = len(queries)
+	}
+	verdicts := make([]Verdict, k)
+	results := make([]*engine.Result, k)
+	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		verdicts[i] = Verdict{Index: i}
+		res, err := g.execOne(ctx, queries[i])
+		switch {
+		case errors.Is(err, errBudget):
+			verdicts[i].Outcome = Timeout
+			verdicts[i].Detail = fmt.Sprintf("exceeded %v budget", g.cfg.Budget)
+		case err != nil:
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			verdicts[i].Outcome = Error
+			verdicts[i].Detail = err.Error()
+		default:
+			results[i] = res
+			verdicts[i].Rows = len(res.Rows)
+		}
+	}
+	classify(queries, verdicts, results)
+	return verdicts, nil
+}
+
+// execOne runs one candidate under the per-candidate budget. The
+// execution runs on its own goroutine with a recover boundary (an
+// engine bug must become a verdict, not a crash); on timeout the
+// goroutine is abandoned — the buffered channel lets it finish and be
+// collected without anyone listening.
+func (g *Guide) execOne(ctx context.Context, q *sqlast.Query) (*engine.Result, error) {
+	done := make(chan execResult, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				done <- execResult{err: fmt.Errorf("execguide: candidate panicked: %v", rec)}
+			}
+		}()
+		res, err := g.inst.Exec(q)
+		done <- execResult{res: res, err: err}
+	}()
+	timer := time.NewTimer(g.cfg.Budget)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.res, r.err
+	case <-timer.C:
+		return nil, errBudget
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// classify applies the degenerate-result rules to the executed
+// candidates, in rank order so "duplicate of a better-ranked candidate"
+// is well defined. The rules:
+//
+//   - Empty: the candidate returned zero rows while some sibling
+//     executed cleanly with rows — relative emptiness is the signal, a
+//     question whose every candidate is empty demotes none of them;
+//   - Constant: every column of a multi-row result holds one distinct
+//     value — the query degenerated to a constant;
+//   - Duplicate: the result equals a better-ranked clean candidate's
+//     result (ordered comparison iff the candidate has ORDER BY) — the
+//     lower-ranked copy adds nothing.
+func classify(queries []*sqlast.Query, verdicts []Verdict, results []*engine.Result) {
+	anyRows := false
+	for i := range verdicts {
+		if results[i] != nil && len(results[i].Rows) > 0 {
+			anyRows = true
+		}
+	}
+	for i := range verdicts {
+		if results[i] == nil {
+			continue // Error/Timeout already classified.
+		}
+		res := results[i]
+		switch {
+		case len(res.Rows) == 0:
+			if anyRows {
+				verdicts[i].Outcome = Empty
+				verdicts[i].Detail = "empty result while sibling candidates return rows"
+			}
+		case constantColumns(res):
+			verdicts[i].Outcome = Constant
+			verdicts[i].Detail = "every column is a single repeated value"
+		default:
+			for j := 0; j < i; j++ {
+				if results[j] == nil || verdicts[j].Outcome != OK {
+					continue
+				}
+				if engine.ResultsEqual(results[j], res, hasOrderBy(queries[i])) {
+					verdicts[i].Outcome = Duplicate
+					verdicts[i].Detail = fmt.Sprintf("result equals better-ranked candidate %d", j)
+					break
+				}
+			}
+		}
+	}
+}
+
+// constantColumns reports whether a result with at least two rows holds
+// exactly one distinct value in every column.
+func constantColumns(res *engine.Result) bool {
+	if len(res.Rows) < 2 {
+		return false
+	}
+	first := res.Rows[0]
+	for _, row := range res.Rows[1:] {
+		for ci := range row {
+			if ci < len(first) && !row[ci].Equal(first[ci]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasOrderBy reports whether the query's top-level block orders its
+// output, which decides ordered vs multiset result comparison.
+func hasOrderBy(q *sqlast.Query) bool {
+	return q != nil && q.Select != nil && len(q.Select.OrderBy) > 0
+}
+
+// Reorder turns execution verdicts into a new ranking of n candidates:
+// clean candidates keep their learned order, candidates beyond the
+// executed head follow unchanged (no evidence, no demotion), softly
+// demoted candidates (degenerate results) come next, and hard-demoted
+// ones (error/timeout) sink to the bottom. Within each band the learned
+// order is preserved, so the permutation is deterministic.
+func Reorder(n int, verdicts []Verdict) []int {
+	demoted := make(map[int]int, len(verdicts))
+	for _, v := range verdicts {
+		if v.Index < n {
+			demoted[v.Index] = v.Outcome.DemotionClass()
+		}
+	}
+	out := make([]int, 0, n)
+	for band := 0; band <= 2; band++ {
+		for i := 0; i < n; i++ {
+			if demoted[i] == band {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}

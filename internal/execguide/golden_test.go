@@ -1,0 +1,106 @@
+package execguide
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/generalize"
+	"repro/internal/schema"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden verdict files from current classifications")
+
+// TestGoldenVerdicts pins the demotion verdict of every query in the
+// committed generalized pools (employee: the paper's 34-query running
+// example; flights: the Fig. 7 scenario). Any change to seeding,
+// harvesting or classification shows up as a golden diff and must be
+// reviewed — regenerate deliberately with:
+//
+//	go test ./internal/execguide -run TestGoldenVerdicts -update
+func TestGoldenVerdicts(t *testing.T) {
+	cases := []struct {
+		name    string
+		db      *schema.Database
+		samples []string
+	}{
+		{"employee", schematest.Employee(), []string{
+			"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+			"SELECT name FROM employee WHERE age > 30",
+			"SELECT age FROM employee WHERE city = 'Austin'",
+			"SELECT city, COUNT(*) FROM employee GROUP BY city",
+			"SELECT AVG(bonus) FROM evaluation",
+			"SELECT COUNT(*) FROM employee",
+			"SELECT shop_name FROM shop ORDER BY number_products DESC LIMIT 1",
+			"SELECT name FROM employee ORDER BY age DESC LIMIT 1",
+			"SELECT city FROM employee",
+		}},
+		{"flights", schematest.Flights(), []string{
+			"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+			"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.sourceAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+			"SELECT COUNT(*) FROM flights",
+			"SELECT city FROM airports",
+			"SELECT airportName FROM airports WHERE city = 'Austin'",
+			"SELECT airline FROM airlines WHERE country = 'USA'",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			samples := make([]*sqlast.Query, len(c.samples))
+			for i, s := range c.samples {
+				samples[i] = sqlparse.MustParse(s)
+			}
+			res := generalize.Generalize(c.db, samples, generalize.Config{
+				TargetSize: 300,
+				Seed:       42,
+				Rules:      generalize.AllRules(),
+			})
+			g := New(c.db, nil, HarvestSeeds(c.db, samples), Config{
+				TopK:   len(res.Queries),
+				Budget: time.Second,
+			})
+			verdicts, err := g.Inspect(context.Background(), res.Queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "# verdicts for the %s pool (%d queries), seed 42\n", c.name, len(res.Queries))
+			for i, v := range verdicts {
+				fmt.Fprintf(&sb, "%02d\t%s\trows=%d\t%s", i, v.Outcome, v.Rows, res.Queries[i])
+				if v.Detail != "" {
+					fmt.Fprintf(&sb, "\t# %s", v.Detail)
+				}
+				sb.WriteByte('\n')
+			}
+			got := sb.String()
+
+			path := filepath.Join("testdata", c.name+"_pool.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Errorf("verdicts diverged from %s (regenerate with -update if deliberate):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package execguide
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Seeds are per-column literal values harvested from the spec's sample
+// queries, keyed by lower-cased "table.column". They drive the sample
+// instance's cell values so a post-processed candidate's literal filter
+// (WHERE city = 'Austin') can actually match seeded rows: without them
+// every value-filtering candidate returns empty and execution evidence
+// degenerates to "everything with a filter looks broken".
+type Seeds struct {
+	Text   map[string][]string
+	Number map[string][]float64
+}
+
+// HarvestSeeds walks the sample queries and collects every literal
+// compared against a column (comparisons and BETWEEN bounds), resolved
+// through the block's table aliases. Masked placeholders are skipped —
+// the pool is value-masked, the unmasked spec samples are the intended
+// input. The result is deterministic: values are sorted and distinct.
+func HarvestSeeds(db *schema.Database, queries []*sqlast.Query) Seeds {
+	text := make(map[string]map[string]bool)
+	num := make(map[string]map[float64]bool)
+	for _, q := range queries {
+		sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+			sel := sub.Select
+			if sel == nil {
+				return
+			}
+			record := func(colSide, litSide sqlast.Expr) {
+				col, ok := colSide.(*sqlast.ColumnRef)
+				if !ok || col.IsStar() {
+					return
+				}
+				lit, ok := litSide.(*sqlast.Lit)
+				if !ok || lit.Kind == sqlast.PlaceholderLit {
+					return
+				}
+				key := resolveColumn(db, sel, col)
+				if key == "" {
+					return
+				}
+				if lit.Kind == sqlast.NumberLit {
+					if f, err := strconv.ParseFloat(lit.Text, 64); err == nil {
+						if num[key] == nil {
+							num[key] = make(map[float64]bool)
+						}
+						num[key][f] = true
+					}
+					return
+				}
+				if text[key] == nil {
+					text[key] = make(map[string]bool)
+				}
+				text[key][lit.Text] = true
+			}
+			harvest := func(e sqlast.Expr) {
+				sqlast.WalkExprs(e, func(n sqlast.Expr) {
+					switch x := n.(type) {
+					case *sqlast.Binary:
+						record(x.L, x.R)
+						record(x.R, x.L)
+					case *sqlast.Between:
+						record(x.X, x.Lo)
+						record(x.X, x.Hi)
+					}
+				})
+			}
+			harvest(sel.Where)
+			harvest(sel.Having)
+		})
+	}
+	out := Seeds{
+		Text:   make(map[string][]string, len(text)),
+		Number: make(map[string][]float64, len(num)),
+	}
+	for key, set := range text {
+		vals := make([]string, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		out.Text[key] = vals
+	}
+	for key, set := range num {
+		vals := make([]float64, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		out.Number[key] = vals
+	}
+	return out
+}
+
+// resolveColumn maps a (possibly aliased, possibly unqualified) column
+// reference to its "table.column" seed key, or "" when it cannot be
+// resolved against this block's FROM clause and the schema.
+func resolveColumn(db *schema.Database, sel *sqlast.Select, col *sqlast.ColumnRef) string {
+	if col.Table != "" {
+		for _, t := range sel.From.Tables {
+			if t.Name == "" {
+				continue
+			}
+			if strings.EqualFold(t.Alias, col.Table) || strings.EqualFold(t.Name, col.Table) {
+				if st := db.Table(t.Name); st != nil && st.Column(col.Column) != nil {
+					return strings.ToLower(t.Name + "." + col.Column)
+				}
+				return ""
+			}
+		}
+		return ""
+	}
+	for _, t := range sel.From.Tables {
+		if t.Name == "" {
+			continue
+		}
+		if st := db.Table(t.Name); st != nil && st.Column(col.Column) != nil {
+			return strings.ToLower(t.Name + "." + col.Column)
+		}
+	}
+	return ""
+}

@@ -31,6 +31,12 @@ const (
 	Postprocess Stage = "postprocess"
 )
 
+// ExecGuide is the execution-guided reranking boundary, fired after
+// value post-processing when Options.ExecGuide is on. Like rerank and
+// postprocess it is non-fatal: a fault here must degrade to the
+// pre-execution LTR order.
+const ExecGuide Stage = "execguide"
+
 // The filesystem fault points of a durable checkpoint write, in write
 // order. FSWrite is a data point (fired through FireData, so plans can
 // truncate or corrupt the pending buffer); FSSync and FSRename are

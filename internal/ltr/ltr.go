@@ -156,6 +156,12 @@ type Pipeline struct {
 	// every retrieved dialect on every request. Must be embeddings under
 	// the same encoder the re-ranker's extractor holds.
 	DialVecs []vector.Vec
+	// Costs, when non-nil, holds each pool candidate's estimated-cost
+	// feature (execguide.CostFeature of its SQL, normalized to [0,1)),
+	// aligned with Pool. Snapshot builds compute them once; the
+	// re-ranker consumes them as a static input feature. Nil scores
+	// every candidate with a zero cost feature.
+	Costs []float64
 	// Workers bounds the fan-out of batched scoring and retrieval
 	// (0 = one per CPU, 1 = sequential).
 	Workers int
@@ -253,10 +259,17 @@ func (p *Pipeline) RerankVecContext(ctx context.Context, nl string, qvec vector.
 	if p.DialVecs != nil {
 		dialVecs = make([]vector.Vec, len(hits))
 	}
+	var costs []float64
+	if p.Costs != nil {
+		costs = make([]float64, len(hits))
+	}
 	for i, h := range hits {
 		dialects[i] = p.Pool[h.ID].Dialect
 		if dialVecs != nil {
 			dialVecs[i] = p.DialVecs[h.ID]
+		}
+		if costs != nil {
+			costs[i] = p.Costs[h.ID]
 		}
 	}
 	// The cached query embedding substitutes for the extractor's own
@@ -269,7 +282,7 @@ func (p *Pipeline) RerankVecContext(ctx context.Context, nl string, qvec vector.
 	} else {
 		prep = p.Reranker.X.Prepare(nl)
 	}
-	order, scores, err := p.Reranker.RankScoresPrepContext(ctx, prep, dialects, dialVecs, p.Workers)
+	order, scores, err := p.Reranker.RankScoresPrepContext(ctx, prep, dialects, dialVecs, costs, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -345,10 +358,16 @@ func (p *Pipeline) BuildLists(examples []Example, k int) []rerank.TrainingList {
 				sawGold = true
 			}
 			list.Labels = append(list.Labels, label)
+			if p.Costs != nil {
+				list.Costs = append(list.Costs, p.Costs[h.ID])
+			}
 		}
 		if !sawGold {
 			list.Dialects = append(list.Dialects, p.Pool[goldIdx].Dialect)
 			list.Labels = append(list.Labels, 1)
+			if p.Costs != nil {
+				list.Costs = append(list.Costs, p.Costs[goldIdx])
+			}
 		}
 		lists = append(lists, list)
 	}

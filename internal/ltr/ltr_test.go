@@ -1,12 +1,16 @@
 package ltr_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/embed"
 	"repro/internal/ltr"
+	"repro/internal/rerank"
 	"repro/internal/sqlast"
 	"repro/internal/sqlparse"
+	"repro/internal/text"
+	"repro/internal/vector"
 	"repro/internal/vindex"
 )
 
@@ -178,5 +182,90 @@ func TestBuildTripletsSkipsMissingGold(t *testing.T) {
 	trips := ltr.BuildTriplets(examples, p, nil, 4, 1)
 	if len(trips) != 0 {
 		t.Errorf("triplets built for a data-preparation miss: %d", len(trips))
+	}
+}
+
+// TestRerankVecContextCostAware drives the full second stage with a
+// live re-ranker: ranked output must be a permutation of the retrieved
+// hits in descending score order, the precomputed-embedding and
+// precomputed-cost paths must be bit-identical to the plain path, and
+// the cost vector must actually reach the model (perturbing it moves a
+// score).
+func TestRerankVecContextCostAware(t *testing.T) {
+	pipe, examples := trainedPipeline(t, false)
+	var corpus []string
+	for _, c := range pipe.Pool {
+		corpus = append(corpus, c.Dialect)
+	}
+	x := &rerank.Extractor{IDF: text.NewIDF(corpus), Encoder: pipe.Encoder}
+	m, err := rerank.New(x, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Reranker = m
+
+	nl := examples[3].NL
+	hits := pipe.Retrieve(nl, 3)
+
+	plain, err := pipe.RerankContext(context.Background(), nl, hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(hits) {
+		t.Fatalf("reranked %d of %d hits", len(plain), len(hits))
+	}
+	for i := 1; i < len(plain); i++ {
+		if plain[i].Score > plain[i-1].Score {
+			t.Fatal("reranked output not in descending score order")
+		}
+	}
+
+	// Precomputed dialect embeddings and a cached query vector must not
+	// change a single bit.
+	pipe.DialVecs = make([]vector.Vec, len(pipe.Pool))
+	for i, c := range pipe.Pool {
+		pipe.DialVecs[i] = pipe.Encoder.Encode(c.Dialect)
+	}
+	qvec := pipe.Encoder.Encode(nl)
+	cached, err := pipe.RerankVecContext(context.Background(), nl, qvec, hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached) != len(plain) {
+		t.Fatal("cached path changed the candidate count")
+	}
+	for i := range plain {
+		if cached[i].ID != plain[i].ID || cached[i].Score != plain[i].Score {
+			t.Fatalf("cached path diverged at %d: %+v vs %+v", i, cached[i], plain[i])
+		}
+	}
+
+	// A zero cost vector is the same as no cost vector; a perturbed one
+	// must move at least the perturbed candidate's score.
+	pipe.Costs = make([]float64, len(pipe.Pool))
+	zeroCost, err := pipe.RerankVecContext(context.Background(), nl, qvec, hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if zeroCost[i].Score != plain[i].Score {
+			t.Fatalf("zero cost vector changed score %d", i)
+		}
+	}
+	for i := range pipe.Costs {
+		pipe.Costs[i] = 0.9
+	}
+	costly, err := pipe.RerankVecContext(context.Background(), nl, qvec, hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range costly {
+		if costly[i].Score != zeroCost[i].Score {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("cost vector did not reach the scoring path")
 	}
 }

@@ -1,0 +1,184 @@
+// Package qualgate is the translation-quality ratchet: it measures
+// top-1/top-k accuracy and translate latency of the committed benchmark
+// suites, persists them as a committed baseline (BASELINE_quality.json),
+// and fails the build when a change regresses accuracy or inflates
+// latency beyond a leniency threshold.
+//
+// The design mirrors cmd/covergate's coverage floors: the baseline is a
+// small committed JSON file, `garbench -baseline` checks the current
+// tree against it, and `garbench -baseline -write` ratchets it after a
+// deliberate improvement. Accuracy is compared exactly — training is
+// seeded and deterministic, so any accuracy delta is a real behavior
+// change, not noise. Latency is compared leniently (a multiplicative
+// factor plus an absolute grace) because CI machines vary.
+//
+// Each suite is measured twice from one trained model set: once with
+// the plain LTR pipeline and once with execution-guided reranking on,
+// so the gate also enforces the invariant that execution guidance never
+// costs top-1 accuracy on the committed benchmark.
+package qualgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Metrics is one measured pipeline configuration over one suite.
+type Metrics struct {
+	// Questions is the benchmark size; Top1 and TopK count questions
+	// whose gold query matched the first candidate / any of the first K.
+	Questions int `json:"questions"`
+	Top1      int `json:"top1"`
+	TopK      int `json:"topk"`
+	K         int `json:"k"`
+	// P50ms and P95ms are translate-latency percentiles over the
+	// measured passes (cache disabled, so every pass pays full cost).
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+}
+
+// DBBaseline is the committed quality record of one benchmark suite.
+type DBBaseline struct {
+	// Pool is the generalized candidate-pool size, recorded so a pool
+	// regression (rule loss) is visible in the baseline diff.
+	Pool int `json:"pool"`
+	// LTR is the pipeline as shipped (retrieval + re-rank + values);
+	// ExecGuided adds the execution-guided fourth stage.
+	LTR        Metrics `json:"ltr"`
+	ExecGuided Metrics `json:"exec_guided"`
+}
+
+// Baseline is the BASELINE_quality.json schema.
+type Baseline struct {
+	// Version guards the schema; Seed is the training seed every
+	// measurement runs under, committed so the numbers are reproducible.
+	Version   int                   `json:"version"`
+	Seed      int64                 `json:"seed"`
+	Databases map[string]DBBaseline `json:"databases"`
+}
+
+// BaselineVersion is the current schema version.
+const BaselineVersion = 1
+
+// Thresholds controls how leniently Compare treats each metric.
+type Thresholds struct {
+	// AccuracyTolerance is how many matched questions a configuration
+	// may lose before failing. Zero: training is deterministic, any
+	// drop is a real regression.
+	AccuracyTolerance int
+	// LatencyFactor and LatencyGraceMS bound p50 latency: a suite fails
+	// only above max(baseline.P50ms × LatencyFactor, LatencyGraceMS),
+	// so slow CI hardware does not flake the gate.
+	LatencyFactor  float64
+	LatencyGraceMS float64
+}
+
+// DefaultThresholds are the gate's committed settings: exact accuracy,
+// 3× / 250ms latency leniency.
+func DefaultThresholds() Thresholds {
+	return Thresholds{AccuracyTolerance: 0, LatencyFactor: 3.0, LatencyGraceMS: 250}
+}
+
+// Violation is one failed comparison, formatted for gate output.
+type Violation struct {
+	Database string `json:"database"`
+	Metric   string `json:"metric"`
+	Detail   string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Database, v.Metric, v.Detail)
+}
+
+// Load reads a committed baseline file.
+func Load(path string) (*Baseline, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return nil, fmt.Errorf("qualgate: parse %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("qualgate: %s has schema version %d, this build expects %d (regenerate with -write)",
+			path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Write persists a baseline with stable formatting for clean diffs.
+func Write(path string, b *Baseline) error {
+	blob, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Compare checks a freshly measured baseline against the committed one
+// and returns every violation: accuracy drops beyond the tolerance,
+// p50 latency beyond the leniency bound, a shrunken candidate pool, a
+// suite that disappeared, and the exec-guided ≥ LTR top-1 invariant on
+// the current numbers. Violations are sorted for stable output.
+func Compare(base, cur *Baseline, t Thresholds) []Violation {
+	var out []Violation
+	add := func(db, metric, format string, args ...any) {
+		out = append(out, Violation{Database: db, Metric: metric, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	names := make([]string, 0, len(base.Databases))
+	for name := range base.Databases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Databases[name]
+		c, ok := cur.Databases[name]
+		if !ok {
+			add(name, "suite", "benchmark suite no longer measured (baseline expects it)")
+			continue
+		}
+		if c.Pool < b.Pool {
+			add(name, "pool", "candidate pool shrank from %d to %d", b.Pool, c.Pool)
+		}
+		compareMetrics(name, "ltr", b.LTR, c.LTR, t, add)
+		compareMetrics(name, "exec_guided", b.ExecGuided, c.ExecGuided, t, add)
+		// The tentpole invariant, checked on current numbers so it holds
+		// even when the committed baseline predates a pipeline change:
+		// executing candidates must never cost top-1 accuracy.
+		if c.ExecGuided.Top1 < c.LTR.Top1 {
+			add(name, "invariant", "exec-guided top-1 %d/%d fell below LTR-only %d/%d",
+				c.ExecGuided.Top1, c.ExecGuided.Questions, c.LTR.Top1, c.LTR.Questions)
+		}
+	}
+	return out
+}
+
+func compareMetrics(db, cfg string, b, c Metrics, t Thresholds,
+	add func(db, metric, format string, args ...any)) {
+	if c.Questions != b.Questions {
+		add(db, cfg+".questions", "benchmark size changed from %d to %d (regenerate the baseline with -write)",
+			b.Questions, c.Questions)
+		// Accuracy counts are incomparable across different sizes.
+		return
+	}
+	if c.Top1 < b.Top1-t.AccuracyTolerance {
+		add(db, cfg+".top1", "accuracy dropped from %d/%d to %d/%d",
+			b.Top1, b.Questions, c.Top1, c.Questions)
+	}
+	if c.TopK < b.TopK-t.AccuracyTolerance {
+		add(db, cfg+".topk", "top-%d accuracy dropped from %d/%d to %d/%d",
+			b.K, b.TopK, b.Questions, c.TopK, c.Questions)
+	}
+	limit := b.P50ms * t.LatencyFactor
+	if limit < t.LatencyGraceMS {
+		limit = t.LatencyGraceMS
+	}
+	if c.P50ms > limit {
+		add(db, cfg+".p50", "p50 latency %.2fms exceeds %.2fms (baseline %.2fms × %.1f, grace %.0fms)",
+			c.P50ms, limit, b.P50ms, t.LatencyFactor, t.LatencyGraceMS)
+	}
+}

@@ -1,0 +1,300 @@
+package qualgate
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBaseline() *Baseline {
+	return &Baseline{
+		Version: BaselineVersion,
+		Seed:    42,
+		Databases: map[string]DBBaseline{
+			"employee": {
+				Pool:       34,
+				LTR:        Metrics{Questions: 9, Top1: 9, TopK: 9, K: 5, P50ms: 10, P95ms: 20},
+				ExecGuided: Metrics{Questions: 9, Top1: 9, TopK: 9, K: 5, P50ms: 12, P95ms: 24},
+			},
+			"flights": {
+				Pool:       19,
+				LTR:        Metrics{Questions: 7, Top1: 6, TopK: 7, K: 5, P50ms: 8, P95ms: 16},
+				ExecGuided: Metrics{Questions: 7, Top1: 6, TopK: 6, K: 5, P50ms: 9, P95ms: 18},
+			},
+		},
+	}
+}
+
+// clone returns a deep copy so tests can mutate "current" freely.
+func clone(b *Baseline) *Baseline {
+	out := *b
+	out.Databases = make(map[string]DBBaseline, len(b.Databases))
+	for k, v := range b.Databases {
+		out.Databases[k] = v
+	}
+	return &out
+}
+
+func violationSet(t *testing.T, vs []Violation) map[string]bool {
+	t.Helper()
+	set := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		set[v.Database+"/"+v.Metric] = true
+	}
+	return set
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base := sampleBaseline()
+	if vs := Compare(base, clone(base), DefaultThresholds()); len(vs) != 0 {
+		t.Fatalf("identical baselines must pass, got %v", vs)
+	}
+}
+
+// TestCompareDetectsRankerRegression is the gate's reason to exist: a
+// deliberate ranker regression (what an inverted scoring function would
+// produce — gold falls out of the top slots) must fail the comparison.
+func TestCompareDetectsRankerRegression(t *testing.T) {
+	base := sampleBaseline()
+	cur := clone(base)
+	db := cur.Databases["employee"]
+	db.LTR.Top1 = 2
+	db.LTR.TopK = 5
+	db.ExecGuided.Top1 = 2
+	db.ExecGuided.TopK = 5
+	cur.Databases["employee"] = db
+
+	vs := Compare(base, cur, DefaultThresholds())
+	set := violationSet(t, vs)
+	for _, want := range []string{
+		"employee/ltr.top1", "employee/ltr.topk",
+		"employee/exec_guided.top1", "employee/exec_guided.topk",
+	} {
+		if !set[want] {
+			t.Errorf("missing violation %s in %v", want, vs)
+		}
+	}
+	if set["flights/ltr.top1"] {
+		t.Errorf("untouched suite must not be flagged: %v", vs)
+	}
+}
+
+func TestCompareAccuracyTolerance(t *testing.T) {
+	base := sampleBaseline()
+	cur := clone(base)
+	db := cur.Databases["employee"]
+	db.LTR.Top1--
+	cur.Databases["employee"] = db
+
+	if vs := Compare(base, cur, Thresholds{AccuracyTolerance: 1, LatencyFactor: 3, LatencyGraceMS: 250}); len(vs) != 0 {
+		t.Fatalf("one-question drop within tolerance 1 must pass, got %v", vs)
+	}
+	if vs := Compare(base, cur, DefaultThresholds()); len(vs) != 1 || vs[0].Metric != "ltr.top1" {
+		t.Fatalf("default zero tolerance must flag the drop, got %v", vs)
+	}
+}
+
+func TestCompareLatencyLeniency(t *testing.T) {
+	base := sampleBaseline()
+
+	// Within the absolute grace: 10ms baseline, 200ms current — over 3×
+	// but under the 250ms grace floor, so slow CI hardware passes.
+	cur := clone(base)
+	db := cur.Databases["employee"]
+	db.LTR.P50ms = 200
+	cur.Databases["employee"] = db
+	if vs := Compare(base, cur, DefaultThresholds()); len(vs) != 0 {
+		t.Fatalf("p50 under the grace floor must pass, got %v", vs)
+	}
+
+	// Beyond both factor and grace: fails.
+	db.LTR.P50ms = 300
+	cur.Databases["employee"] = db
+	vs := Compare(base, cur, DefaultThresholds())
+	if len(vs) != 1 || vs[0].Metric != "ltr.p50" {
+		t.Fatalf("p50 beyond max(3x, 250ms) must fail, got %v", vs)
+	}
+
+	// Large baseline: the multiplicative bound takes over above the grace.
+	big := clone(base)
+	db = big.Databases["employee"]
+	db.LTR.P50ms = 200
+	big.Databases["employee"] = db
+	cur = clone(big)
+	db.LTR.P50ms = 599
+	cur.Databases["employee"] = db
+	if vs := Compare(big, cur, DefaultThresholds()); len(vs) != 0 {
+		t.Fatalf("p50 within 3x of a 200ms baseline must pass, got %v", vs)
+	}
+	db.LTR.P50ms = 601
+	cur.Databases["employee"] = db
+	if vs := Compare(big, cur, DefaultThresholds()); len(vs) != 1 {
+		t.Fatalf("p50 beyond 3x of a 200ms baseline must fail, got %v", vs)
+	}
+}
+
+func TestComparePoolShrinkAndMissingSuite(t *testing.T) {
+	base := sampleBaseline()
+	cur := clone(base)
+	db := cur.Databases["employee"]
+	db.Pool = 20
+	cur.Databases["employee"] = db
+	delete(cur.Databases, "flights")
+
+	set := violationSet(t, Compare(base, cur, DefaultThresholds()))
+	if !set["employee/pool"] {
+		t.Error("pool shrink not flagged")
+	}
+	if !set["flights/suite"] {
+		t.Error("missing suite not flagged")
+	}
+}
+
+func TestCompareQuestionsChanged(t *testing.T) {
+	base := sampleBaseline()
+	cur := clone(base)
+	db := cur.Databases["employee"]
+	db.LTR.Questions = 12
+	db.LTR.Top1 = 3 // would look like a drop; must not be double-reported
+	cur.Databases["employee"] = db
+
+	vs := Compare(base, cur, DefaultThresholds())
+	if len(vs) != 1 || vs[0].Metric != "ltr.questions" {
+		t.Fatalf("size change must yield exactly one violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "-write") {
+		t.Errorf("size-change violation should point at -write: %q", vs[0].Detail)
+	}
+}
+
+func TestCompareExecGuidedInvariant(t *testing.T) {
+	base := sampleBaseline()
+	cur := clone(base)
+	db := cur.Databases["flights"]
+	db.ExecGuided.Top1 = 5 // below current LTR's 6
+	cur.Databases["flights"] = db
+
+	set := violationSet(t, Compare(base, cur, DefaultThresholds()))
+	if !set["flights/invariant"] {
+		t.Error("exec-guided top-1 below LTR-only must violate the invariant")
+	}
+	// exec_guided.top1 also dropped vs baseline — both findings expected.
+	if !set["flights/exec_guided.top1"] {
+		t.Error("accuracy drop must also be flagged")
+	}
+}
+
+func TestCompareNewSuiteInCurrentIsAllowed(t *testing.T) {
+	base := sampleBaseline()
+	cur := clone(base)
+	cur.Databases["concerts"] = DBBaseline{Pool: 10}
+	if vs := Compare(base, cur, DefaultThresholds()); len(vs) != 0 {
+		t.Fatalf("a new suite not yet in the baseline must pass, got %v", vs)
+	}
+}
+
+func TestLoadWriteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	want := sampleBaseline()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Compare(want, got, DefaultThresholds()); len(vs) != 0 {
+		t.Fatalf("round-tripped baseline diverged: %v", vs)
+	}
+	if got.Seed != want.Seed || got.Version != want.Version {
+		t.Fatalf("header diverged: %+v vs %+v", got, want)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(blob), "\n") {
+		t.Error("baseline file must end with a newline for clean diffs")
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := sampleBaseline()
+	b.Version = BaselineVersion + 1
+	if err := Write(path, b); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("want schema-version error, got %v", err)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Database: "employee", Metric: "ltr.top1", Detail: "dropped"}
+	if got := v.String(); got != "employee: ltr.top1: dropped" {
+		t.Fatalf("unexpected format %q", got)
+	}
+}
+
+// TestCommittedBaselineParses guards the committed artifact itself: the
+// repo-root BASELINE_quality.json must load under the current schema and
+// satisfy the exec-guided invariant on its own numbers.
+func TestCommittedBaselineParses(t *testing.T) {
+	b, err := Load(filepath.Join("..", "..", "BASELINE_quality.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Databases) == 0 {
+		t.Fatal("committed baseline has no suites")
+	}
+	for name, db := range b.Databases {
+		if db.ExecGuided.Top1 < db.LTR.Top1 {
+			t.Errorf("%s: committed exec-guided top-1 %d below LTR %d", name, db.ExecGuided.Top1, db.LTR.Top1)
+		}
+		if db.LTR.Questions == 0 || db.Pool == 0 {
+			t.Errorf("%s: committed baseline looks empty: %+v", name, db)
+		}
+	}
+}
+
+// TestMeasureSuiteEmployee is the end-to-end check of the measurement
+// harness itself: the employee suite trains from seed and the measured
+// numbers satisfy the committed baseline's shape — full question count,
+// non-degenerate accuracy, and the exec-guided top-1 invariant.
+func TestMeasureSuiteEmployee(t *testing.T) {
+	var employee *Suite
+	for _, s := range Suites() {
+		if s.Name == "employee" {
+			s := s
+			employee = &s
+		}
+	}
+	if employee == nil {
+		t.Fatal("employee suite missing from Suites()")
+	}
+	db, err := MeasureSuite(context.Background(), *employee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Pool == 0 {
+		t.Fatal("measured pool is empty")
+	}
+	for name, m := range map[string]Metrics{"ltr": db.LTR, "exec_guided": db.ExecGuided} {
+		if m.Questions != len(employee.Questions) {
+			t.Errorf("%s: measured %d questions, suite has %d", name, m.Questions, len(employee.Questions))
+		}
+		if m.Top1 == 0 || m.TopK < m.Top1 || m.K != 5 {
+			t.Errorf("%s: degenerate accuracy %+v", name, m)
+		}
+		if m.P50ms <= 0 || m.P95ms < m.P50ms {
+			t.Errorf("%s: implausible latency percentiles %+v", name, m)
+		}
+	}
+	if db.ExecGuided.Top1 < db.LTR.Top1 {
+		t.Errorf("exec-guided top-1 %d below LTR %d", db.ExecGuided.Top1, db.LTR.Top1)
+	}
+}

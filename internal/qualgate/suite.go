@@ -1,0 +1,210 @@
+package qualgate
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ltr"
+	"repro/internal/norm"
+	"repro/internal/schema"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+	"repro/internal/sqlparse"
+)
+
+// Suite is one committed benchmark: a schema fixture, its sample
+// queries (the generalization input) and the NL questions whose gold
+// query is the aligned sample.
+type Suite struct {
+	Name      string
+	DB        *schema.Database
+	Samples   []string
+	Questions []string
+	// JoinAnnotations turns on GAR-J verbalization; the flights suite
+	// needs it to keep the two airport join directions apart.
+	JoinAnnotations bool
+}
+
+// Seed is the deterministic training seed every measurement runs
+// under. Committed into the baseline so the numbers are reproducible.
+const Seed = 42
+
+// topK is the rank depth of the TopK metric.
+const topK = 5
+
+// measureIters is how many passes over the question set feed the
+// latency percentiles. Accuracy is identical across passes (the
+// pipeline is deterministic), so only latency benefits from more.
+const measureIters = 3
+
+// Suites returns the committed benchmark suites: the paper's employee
+// running example and the Fig. 7 flights scenario with join
+// annotations.
+func Suites() []Suite {
+	return []Suite{
+		{
+			Name: "employee",
+			DB:   schematest.Employee(),
+			Samples: []string{
+				"SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+				"SELECT name FROM employee WHERE age > 30",
+				"SELECT age FROM employee WHERE city = 'Austin'",
+				"SELECT city, COUNT(*) FROM employee GROUP BY city",
+				"SELECT AVG(bonus) FROM evaluation",
+				"SELECT COUNT(*) FROM employee",
+				"SELECT shop_name FROM shop ORDER BY number_products DESC LIMIT 1",
+				"SELECT name FROM employee ORDER BY age DESC LIMIT 1",
+				"SELECT city FROM employee",
+			},
+			Questions: []string{
+				"find the name of the employee who got the highest one time bonus",
+				"which employees are older than 30",
+				"what is the age of employees living in Austin",
+				"how many employees live in each city",
+				"what is the average bonus",
+				"how many employees are there",
+				"which shop has the most products",
+				"who is the oldest employee",
+				"list the cities employees live in",
+			},
+		},
+		{
+			Name: "flights",
+			DB:   schematest.Flights(),
+			Samples: []string{
+				"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.destAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+				"SELECT T1.city FROM airports AS T1 JOIN flights AS T2 ON T1.airportCode = T2.sourceAirport GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+				"SELECT COUNT(*) FROM flights",
+				"SELECT city FROM airports",
+				"SELECT airportName FROM airports WHERE city = 'Austin'",
+				"SELECT airline FROM airlines WHERE country = 'USA'",
+				"SELECT COUNT(*) FROM airports",
+			},
+			Questions: []string{
+				"which city has the most arriving flights",
+				"which city has the most departing flights",
+				"how many flights are there",
+				"list all airport cities",
+				"what are the names of airports in Austin",
+				"which airlines are from the USA",
+				"how many airports are there",
+			},
+			JoinAnnotations: true,
+		},
+	}
+}
+
+// measureOptions are the per-suite system options: small but fully
+// trained, mirroring the repository's end-to-end test configuration so
+// the gate's cost stays in CI range. Caching is off — every measured
+// pass pays the complete pipeline.
+func measureOptions(s Suite) core.Options {
+	return core.Options{
+		GeneralizeSize:  300,
+		RetrievalK:      10,
+		Seed:            Seed,
+		EncoderEpochs:   12,
+		RerankEpochs:    40,
+		NoCache:         true,
+		JoinAnnotations: s.JoinAnnotations,
+	}
+}
+
+// MeasureSuite prepares and trains one suite once, then measures the
+// benchmark twice from the same models: LTR-only and with
+// execution-guided reranking enabled.
+func MeasureSuite(ctx context.Context, s Suite) (DBBaseline, error) {
+	samples := make([]*sqlast.Query, len(s.Samples))
+	examples := make([]ltr.Example, len(s.Samples))
+	for i, raw := range s.Samples {
+		q, err := sqlparse.Parse(raw)
+		if err != nil {
+			return DBBaseline{}, fmt.Errorf("qualgate: %s sample %d: %w", s.Name, i, err)
+		}
+		samples[i] = q
+		examples[i] = ltr.Example{NL: s.Questions[i], Gold: q}
+	}
+
+	opts := measureOptions(s)
+	sys := core.New(s.DB, opts)
+	sys.Prepare(samples)
+	models, err := core.TrainModels([]core.TrainingSet{{Sys: sys, Examples: examples}}, opts)
+	if err != nil {
+		return DBBaseline{}, fmt.Errorf("qualgate: %s: training: %w", s.Name, err)
+	}
+	if err := sys.UseModels(models); err != nil {
+		return DBBaseline{}, fmt.Errorf("qualgate: %s: %w", s.Name, err)
+	}
+
+	// The exec-guided system shares the trained models; Prepare is
+	// deterministic under the same options, so both systems serve the
+	// identical pool and the two measurements differ only in stage 4.
+	eopts := opts
+	eopts.ExecGuide = true
+	esys := core.New(s.DB, eopts)
+	esys.Prepare(samples)
+	if err := esys.UseModels(models); err != nil {
+		return DBBaseline{}, fmt.Errorf("qualgate: %s (exec-guided): %w", s.Name, err)
+	}
+
+	out := DBBaseline{Pool: sys.PoolSize()}
+	if out.LTR, err = measureSystem(ctx, sys, s, samples); err != nil {
+		return DBBaseline{}, err
+	}
+	if out.ExecGuided, err = measureSystem(ctx, esys, s, samples); err != nil {
+		return DBBaseline{}, err
+	}
+	return out, nil
+}
+
+// measureSystem runs every question measureIters times, reporting
+// accuracy from the first pass (the pipeline is deterministic) and
+// latency percentiles over all passes.
+func measureSystem(ctx context.Context, sys *core.System, s Suite, golds []*sqlast.Query) (Metrics, error) {
+	m := Metrics{Questions: len(s.Questions), K: topK}
+	lat := make([]float64, 0, measureIters*len(s.Questions))
+	for it := 0; it < measureIters; it++ {
+		for i, nl := range s.Questions {
+			t0 := time.Now()
+			tr, err := sys.TranslateContext(ctx, nl)
+			lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+			if err != nil {
+				return Metrics{}, fmt.Errorf("qualgate: %s: translating %q: %w", s.Name, nl, err)
+			}
+			if it > 0 {
+				continue
+			}
+			gold := sys.BindGold(golds[i])
+			if tr.Top != nil && norm.ExactMatch(tr.Top.SQL, gold) {
+				m.Top1++
+			}
+			for r := 0; r < len(tr.Ranked) && r < topK; r++ {
+				if norm.ExactMatch(tr.Ranked[r].SQL, gold) {
+					m.TopK++
+					break
+				}
+			}
+		}
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	m.P50ms = pct(0.50)
+	m.P95ms = pct(0.95)
+	return m, nil
+}
+
+// MeasureAll measures every committed suite into a complete baseline.
+func MeasureAll(ctx context.Context) (*Baseline, error) {
+	b := &Baseline{Version: BaselineVersion, Seed: Seed, Databases: map[string]DBBaseline{}}
+	for _, s := range Suites() {
+		db, err := MeasureSuite(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		b.Databases[s.Name] = db
+	}
+	return b, nil
+}

@@ -21,7 +21,7 @@ import (
 )
 
 // FeatureDim is the size of the cross-pair feature vector.
-const FeatureDim = 20
+const FeatureDim = 21
 
 // Extractor computes cross-pair features. The IDF statistics come from
 // the dialect corpus; the encoder contributes its learned similarity.
@@ -112,12 +112,21 @@ func (x *Extractor) Features(nl, dial string) []float64 {
 }
 
 // FeaturesPrep computes the feature vector for one prepared question
-// against one candidate dialect. dialVec, when non-nil, must be the
-// encoder embedding of dial (pipelines precompute one per pool
-// candidate at snapshot-build time); nil falls back to encoding dial
-// on the spot. Either way the resulting features are bit-identical to
-// Features(nl, dial) — the determinism suite depends on that.
+// against one candidate dialect, with a zero cost feature. dialVec,
+// when non-nil, must be the encoder embedding of dial (pipelines
+// precompute one per pool candidate at snapshot-build time); nil falls
+// back to encoding dial on the spot. Either way the resulting features
+// are bit-identical to Features(nl, dial) — the determinism suite
+// depends on that.
 func (x *Extractor) FeaturesPrep(p *Prep, dial string, dialVec vector.Vec) []float64 {
+	return x.FeaturesPrepCost(p, dial, dialVec, 0)
+}
+
+// FeaturesPrepCost is FeaturesPrep with the candidate's estimated-cost
+// feature (execguide.CostFeature of its SQL, normalized to [0,1); 0
+// when no cost signal is available). The cost is a static property of
+// the candidate, so pipelines compute it once per pool entry.
+func (x *Extractor) FeaturesPrepCost(p *Prep, dial string, dialVec vector.Vec, cost float64) []float64 {
 	dToks := text.Tokenize(dial)
 	dContent := text.CanonTokens(dial)
 
@@ -177,7 +186,9 @@ func (x *Extractor) FeaturesPrep(p *Prep, dial string, dialVec vector.Vec) []flo
 	default:
 		f = append(f, float64(vector.Dot(p.vec, x.Encoder.Encode(dial))))
 	}
-	// 19: bias.
+	// 19: estimated execution cost of the candidate's SQL.
+	f = append(f, cost)
+	// 20: bias.
 	f = append(f, 1)
 	return f
 }
@@ -297,22 +308,34 @@ func (m *Model) Score(nl, dial string) float64 {
 // dialVec, when non-nil, must be the encoder embedding of dial. The
 // score is bit-identical to Score(nl, dial).
 func (m *Model) ScorePrep(p *Prep, dial string, dialVec vector.Vec) float64 {
-	return m.Net.Score(m.X.FeaturesPrep(p, dial, dialVec))
+	return m.ScorePrepCost(p, dial, dialVec, 0)
+}
+
+// ScorePrepCost is ScorePrep with the candidate's estimated-cost
+// feature.
+func (m *Model) ScorePrepCost(p *Prep, dial string, dialVec vector.Vec, cost float64) float64 {
+	return m.Net.Score(m.X.FeaturesPrepCost(p, dial, dialVec, cost))
 }
 
 // ScoreBatchContext scores the prepared question against every
 // candidate, fanning the forward passes across workers (0 means one
-// per CPU). dialVecs is either nil or aligned with dialects. scores[i]
-// is bit-identical to Score(nl, dialects[i]) regardless of the worker
-// count — each score depends only on its own (Prep, dialect) pair.
-func (m *Model) ScoreBatchContext(ctx context.Context, p *Prep, dialects []string, dialVecs []vector.Vec, workers int) ([]float64, error) {
+// per CPU). dialVecs and costs are each either nil or aligned with
+// dialects (nil costs scores every pair with a zero cost feature).
+// scores[i] is bit-identical to the sequential per-pair score
+// regardless of the worker count — each score depends only on its own
+// (Prep, dialect, cost) triple.
+func (m *Model) ScoreBatchContext(ctx context.Context, p *Prep, dialects []string, dialVecs []vector.Vec, costs []float64, workers int) ([]float64, error) {
 	scores := make([]float64, len(dialects))
 	err := parallel.ForEach(ctx, len(dialects), workers, func(i int) error {
 		var dv vector.Vec
 		if dialVecs != nil {
 			dv = dialVecs[i]
 		}
-		scores[i] = m.ScorePrep(p, dialects[i], dv)
+		var cost float64
+		if costs != nil {
+			cost = costs[i]
+		}
+		scores[i] = m.ScorePrepCost(p, dialects[i], dv, cost)
 		return nil
 	})
 	if err != nil {
@@ -325,8 +348,8 @@ func (m *Model) ScoreBatchContext(ctx context.Context, p *Prep, dialects []strin
 // and returns both the descending-score index order and the raw score
 // per original candidate index, so callers never re-score a candidate
 // they already ranked.
-func (m *Model) RankScoresPrepContext(ctx context.Context, p *Prep, dialects []string, dialVecs []vector.Vec, workers int) ([]int, []float64, error) {
-	scores, err := m.ScoreBatchContext(ctx, p, dialects, dialVecs, workers)
+func (m *Model) RankScoresPrepContext(ctx context.Context, p *Prep, dialects []string, dialVecs []vector.Vec, costs []float64, workers int) ([]int, []float64, error) {
+	scores, err := m.ScoreBatchContext(ctx, p, dialects, dialVecs, costs, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -334,8 +357,8 @@ func (m *Model) RankScoresPrepContext(ctx context.Context, p *Prep, dialects []s
 }
 
 // RankScoresContext is RankScoresPrepContext over a raw NL question.
-func (m *Model) RankScoresContext(ctx context.Context, nl string, dialects []string, dialVecs []vector.Vec, workers int) ([]int, []float64, error) {
-	return m.RankScoresPrepContext(ctx, m.X.Prepare(nl), dialects, dialVecs, workers)
+func (m *Model) RankScoresContext(ctx context.Context, nl string, dialects []string, dialVecs []vector.Vec, costs []float64, workers int) ([]int, []float64, error) {
+	return m.RankScoresPrepContext(ctx, m.X.Prepare(nl), dialects, dialVecs, costs, workers)
 }
 
 // rankOrder returns candidate indexes in descending score order using
@@ -363,11 +386,15 @@ func rankOrder(scores []float64) []int {
 }
 
 // TrainingList is one listwise group: an NL query with candidate
-// dialects and their binary (or graded) relevance labels.
+// dialects and their binary (or graded) relevance labels. Costs, when
+// non-nil, must align with Dialects and carries each candidate's
+// estimated-cost feature, so training sees the same inputs serving
+// will.
 type TrainingList struct {
 	NL       string
 	Dialects []string
 	Labels   []float64
+	Costs    []float64
 }
 
 // Train fits the model on listwise groups.
@@ -376,8 +403,12 @@ func (m *Model) Train(lists []TrainingList, cfg nn.TrainConfig) []float64 {
 	for _, l := range lists {
 		list := nn.List{Labels: l.Labels}
 		p := m.X.Prepare(l.NL)
-		for _, d := range l.Dialects {
-			list.Features = append(list.Features, m.X.FeaturesPrep(p, d, nil))
+		for i, d := range l.Dialects {
+			var cost float64
+			if l.Costs != nil {
+				cost = l.Costs[i]
+			}
+			list.Features = append(list.Features, m.X.FeaturesPrepCost(p, d, nil, cost))
 		}
 		nnLists = append(nnLists, list)
 	}
@@ -397,6 +428,6 @@ func (m *Model) Rank(nl string, dialects []string) []int {
 // every forward pass, so a deadline set over a large candidate list
 // aborts mid-scoring instead of completing the full scan.
 func (m *Model) RankContext(ctx context.Context, nl string, dialects []string) ([]int, error) {
-	order, _, err := m.RankScoresContext(ctx, nl, dialects, nil, 1)
+	order, _, err := m.RankScoresContext(ctx, nl, dialects, nil, nil, 1)
 	return order, err
 }

@@ -204,7 +204,7 @@ func TestScoreBatchMatchesScore(t *testing.T) {
 	}
 	wantOrder := m.Rank(nl, dialects)
 	for _, workers := range []int{1, 4} {
-		order, scores, err := m.RankScoresContext(context.Background(), nl, dialects, dialVecs, workers)
+		order, scores, err := m.RankScoresContext(context.Background(), nl, dialects, dialVecs, nil, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -219,7 +219,7 @@ func TestScoreBatchMatchesScore(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := m.RankScoresContext(ctx, nl, dialects, nil, 2); err == nil {
+	if _, _, err := m.RankScoresContext(ctx, nl, dialects, nil, nil, 2); err == nil {
 		t.Error("cancelled rank must fail")
 	}
 }
@@ -245,5 +245,48 @@ func TestRankDeterministicAndComplete(t *testing.T) {
 	}
 	if len(seen) != 3 {
 		t.Error("rank is not a permutation")
+	}
+}
+
+// TestCostFeaturePath pins the cost-feature plumbing: ScorePrep is
+// ScorePrepCost at zero cost, a non-zero cost lands in feature 19 and
+// changes the score, and batched scoring with a costs slice matches the
+// sequential per-pair path bit for bit.
+func TestCostFeaturePath(t *testing.T) {
+	x := newExtractor()
+	m, err := rerank.New(x, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := "who is the oldest employee"
+	dialects := []string{
+		"Find the name of employee. Return the top one result in descending order of the age of employee.",
+		"Find the number of employees.",
+		"Find the age of employee.",
+	}
+	costs := []float64{0.2, 0.8, 0}
+	p := x.Prepare(nl)
+
+	for i, d := range dialects {
+		f := x.FeaturesPrepCost(p, d, nil, costs[i])
+		if got := f[19]; got != costs[i] {
+			t.Errorf("feature 19 = %v, want cost %v", got, costs[i])
+		}
+		if got, want := m.ScorePrep(p, d, nil), m.ScorePrepCost(p, d, nil, 0); got != want {
+			t.Errorf("ScorePrep %v != ScorePrepCost(0) %v", got, want)
+		}
+	}
+	if m.ScorePrepCost(p, dialects[1], nil, 0.8) == m.ScorePrepCost(p, dialects[1], nil, 0) {
+		t.Error("non-zero cost did not move the score")
+	}
+
+	batch, err := m.ScoreBatchContext(context.Background(), p, dialects, nil, costs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dialects {
+		if want := m.ScorePrepCost(p, d, nil, costs[i]); batch[i] != want {
+			t.Errorf("batched score %d: %v != sequential %v", i, batch[i], want)
+		}
 	}
 }
