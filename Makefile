@@ -39,12 +39,19 @@ bench:
 bench-translate:
 	go run ./cmd/garbench -bench translate -iters 5 -benchout BENCH_translate.json
 
-# bench-smoke is the CI smoke run: one short iteration proving the
+# bench-generalize regenerates the committed BENCH_generalize.json: the
+# budget-governed streaming pool build at 1k/10k/100k records, with
+# byte-identical-replay, budget-peak, and heap-vs-budget assertions.
+bench-generalize:
+	go run ./cmd/garbench -bench generalize -iters 3 -benchout BENCH_generalize.json
+
+# bench-smoke is the CI smoke run: one short iteration proving each
 # benchmark harness still builds, runs, and passes its equality
-# assertion; the JSON goes to a scratch path so CI never dirties the
+# assertions; the JSON goes to a scratch path so CI never dirties the
 # committed numbers.
 bench-smoke:
 	go run ./cmd/garbench -bench translate -iters 1 -benchout /tmp/BENCH_translate.json
+	go run ./cmd/garbench -bench generalize -iters 1 -benchout /tmp/BENCH_generalize.json
 
 # cover is the coverage gate: per-package floors live in
 # coverage_floors.json and a package may not fall more than one point
@@ -77,4 +84,4 @@ qualgate:
 stress:
 	go test -race -timeout 10m -count=1 \
 		-run 'TestServeBurst|TestServeReload|TestServeNotReady|TestServeHealthzDegraded|TestSwap|TestRerankBreaker|TestStageBudget|TestPrepareDuringTraffic|TestBreaker|TestAcquire|TestShed|TestQueued|TestBurst|TestBlockGate|TestFault|TestConcurrent|TestLoadModels|TestModelPersistence|TestParallelTranslateDeterminism|TestCheckpoint|TestCrash|TestRecover|TestStore|TestServeRestartSIGTERM|TestServeWarmStart|TestServeAllCorrupt|TestFleet|TestServeFleet|TestFeedback|TestTrainer|TestOnline|TestServeFeedback' \
-		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./internal/fleet/ ./internal/feedback/ ./gar/
+		./cmd/gar/ ./internal/core/ ./internal/admit/ ./internal/breaker/ ./internal/faults/ ./internal/checkpoint/ ./internal/fleet/ ./internal/feedback/ ./internal/spill/ ./internal/memgov/ ./gar/

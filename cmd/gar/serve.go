@@ -58,6 +58,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/feedback"
 	"repro/internal/fleet"
+	"repro/internal/spill"
 )
 
 // serveConfig holds the tunables of the HTTP service.
@@ -269,6 +270,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"errors":   es.Errors,
 			"timeouts": es.Timeouts,
 		}
+	}
+	if ms := s.sys.MemStats(); ms.Budget != nil {
+		// Resource governance: live budget usage, the published
+		// snapshot's footprint, spill gauges, and the degradation record.
+		body["memory"] = ms
 	}
 	if !s.sys.Ready() {
 		body["status"] = "unavailable"
@@ -542,6 +548,8 @@ func runServe(args []string) {
 	tenantIdle := fs.Duration("tenantidle", 15*time.Minute, "fleet mode: evict tenants idle this long (0 disables)")
 	tenantInFlight := fs.Int("tenantinflight", 0, "fleet mode: per-tenant concurrent translations (0 = maxinflight/maxtenants)")
 	tenantQueue := fs.Int("tenantqueue", 0, "fleet mode: per-tenant queue depth (0 = maxqueue/maxtenants)")
+	memLimit := fs.Int64("memlimit", 0, "serving-state memory budget in bytes: pool, embeddings and caches spill or degrade instead of growing past it (0 = unbounded)")
+	tenantMemLimit := fs.Int64("tenantmemlimit", 0, "fleet mode: per-tenant share of -memlimit in bytes (0 = memlimit/maxtenants)")
 	feedbackOn := fs.Bool("feedback", false, "accept POST /feedback into a durable WAL and retrain in the background (requires -statedir)")
 	shadowThreshold := fs.Float64("shadowthreshold", 0, "how much worse (shadow top-1 exact match) a retrained candidate may score and still be promoted")
 	trainInterval := fs.Duration("traininterval", 30*time.Second, "quiet window after feedback arrives before a background retrain starts")
@@ -574,10 +582,25 @@ func runServe(args []string) {
 	if *feedbackOn && *stateDir == "" {
 		fatal(fmt.Errorf("gar serve: -feedback requires -statedir (the WAL lives in the state directory)"))
 	}
+	if *memLimit != 0 && *memLimit < minMemLimit {
+		fatal(fmt.Errorf("gar serve: -memlimit %d bytes is below the %d-byte (1 MiB) floor: a budget that small cannot hold even a minimal serving snapshot; raise it or pass 0 for unbounded", *memLimit, minMemLimit))
+	}
 
 	if *specDir != "" {
 		if *specPath != "" || *demo {
 			fatal(fmt.Errorf("gar serve: -specdir is exclusive with -spec and -demo"))
+		}
+		if *memLimit > 0 {
+			// The fleet splits the process budget across resident
+			// tenants; a share below the floor would start every tenant
+			// degraded-by-construction.
+			share := *tenantMemLimit
+			if share <= 0 {
+				share = *memLimit / int64(max(*maxTenants, 1))
+			}
+			if share < minMemLimit {
+				fatal(fmt.Errorf("gar serve: the per-tenant memory share (%d bytes) is below the %d-byte (1 MiB) floor; raise -memlimit or -tenantmemlimit, or lower -maxtenants", share, minMemLimit))
+			}
 		}
 		runServeFleet(fleetServeParams{
 			Addr:    *addr,
@@ -606,9 +629,34 @@ func runServe(args []string) {
 				TrainInterval:   *trainInterval,
 				ShadowThreshold: *shadowThreshold,
 				TrainBudget:     *trainBudget,
+				MemLimit:        *memLimit,
+				TenantMemLimit:  *tenantMemLimit,
 			},
 		})
 		return
+	}
+
+	if *memLimit > 0 {
+		opts.MemBudget = *memLimit
+		// Spill lives beside the durable state when there is any, in a
+		// private temp directory otherwise. Runs are per-build scratch:
+		// anything present at startup was orphaned by a previous
+		// process, so sweep before the first build can write.
+		spillDir := ""
+		if *stateDir != "" {
+			spillDir = filepath.Join(*stateDir, "spill")
+		} else if d, err := os.MkdirTemp("", "gar-spill-"); err != nil {
+			fatal(fmt.Errorf("gar serve: creating spill directory: %w", err))
+		} else {
+			spillDir = d
+			defer os.RemoveAll(d)
+		}
+		if removed, err := spill.Sweep(spillDir); err != nil {
+			fmt.Fprintf(os.Stderr, "gar serve: sweeping spill directory: %v\n", err)
+		} else if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr, "gar serve: removed %d orphaned spill file(s) from %s\n", len(removed), spillDir)
+		}
+		opts.SpillDir = spillDir
 	}
 
 	s, err := loadSpec(*specPath, *demo)
@@ -778,3 +826,9 @@ func runServe(args []string) {
 // shutdownTimeout bounds the whole graceful-shutdown sequence: the
 // request drain and the final checkpoint flushes share it.
 const shutdownTimeout = 10 * time.Second
+
+// minMemLimit is the smallest admissible -memlimit (1 MiB). Below it
+// not even a minimal snapshot — schema bindings, a handful of
+// candidates and their embeddings — fits, so the server would start
+// degraded by construction; that configuration is rejected up front.
+const minMemLimit = 1 << 20

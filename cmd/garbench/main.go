@@ -28,9 +28,9 @@ func main() {
 	scale := flag.String("scale", "small", "experiment scale: small or full")
 	exp := flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
 	seed := flag.Int64("seed", 0, "override the benchmark seed (0 keeps the default)")
-	bench := flag.String("bench", "", "run a micro-benchmark instead of experiments (id: translate)")
+	bench := flag.String("bench", "", "run a micro-benchmark instead of experiments (id: translate, generalize)")
 	iters := flag.Int("iters", 5, "benchmark iterations over the question set")
-	benchOut := flag.String("benchout", "BENCH_translate.json", "benchmark JSON output path")
+	benchOut := flag.String("benchout", "", "benchmark JSON output path (default BENCH_<id>.json)")
 	baseline := flag.Bool("baseline", false, "run the translation-quality gate against the committed baseline")
 	baselineFile := flag.String("baselinefile", "BASELINE_quality.json", "committed quality-baseline path")
 	baselineWrite := flag.Bool("write", false, "with -baseline: ratchet the baseline file from current measurements")
@@ -46,11 +46,21 @@ func main() {
 	}
 
 	if *bench != "" {
-		if *bench != "translate" {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (want: translate)\n", *bench)
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_" + *bench + ".json"
+		}
+		var err error
+		switch *bench {
+		case "translate":
+			err = runTranslateBench(*iters, out)
+		case "generalize":
+			err = runGeneralizeBench(*iters, out)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (want: translate, generalize)\n", *bench)
 			os.Exit(1)
 		}
-		if err := runTranslateBench(*iters, *benchOut); err != nil {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/ltr"
+	"repro/internal/memgov"
 	"repro/internal/norm"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
@@ -88,6 +89,20 @@ type Options struct {
 	// 25ms); ExecTopK is how many top candidates execute (default 8).
 	ExecBudget time.Duration
 	ExecTopK   int
+	// MemBudget caps the bytes of retained state (candidate pool,
+	// dialect embeddings, translation caches) this system may hold;
+	// 0 disables memory governance. Pool builds that hit the budget
+	// spill to SpillDir or degrade to a truncated pool — they never
+	// OOM-kill the process. See SetResources for fleet-managed budgets.
+	MemBudget int64
+	// SpillDir is where streaming pool builds overflow candidate
+	// records once the RAM buffer budget trips. Empty disables
+	// spilling: buffer pressure then truncates the pool instead.
+	SpillDir string
+	// SpillBufferBytes caps the in-RAM record buffer of a pool build
+	// before it overflows to SpillDir. 0 derives a quarter of the
+	// effective budget limit.
+	SpillBufferBytes int64
 }
 
 // StageBudget holds the per-stage deadline fractions; see
@@ -114,12 +129,15 @@ func (o Options) internal() core.Options {
 			Postprocess: o.StageBudget.Postprocess,
 			ExecGuide:   o.StageBudget.ExecGuide,
 		},
-		Workers:    o.Workers,
-		CacheSize:  o.CacheSize,
-		NoCache:    o.NoCache,
-		ExecGuide:  o.ExecGuide,
-		ExecBudget: o.ExecBudget,
-		ExecTopK:   o.ExecTopK,
+		Workers:          o.Workers,
+		CacheSize:        o.CacheSize,
+		NoCache:          o.NoCache,
+		ExecGuide:        o.ExecGuide,
+		ExecBudget:       o.ExecBudget,
+		ExecTopK:         o.ExecTopK,
+		MemBudget:        o.MemBudget,
+		SpillDir:         o.SpillDir,
+		SpillBufferBytes: o.SpillBufferBytes,
 	}
 }
 
@@ -250,6 +268,42 @@ type ExecGuideStats = core.ExecGuideStats
 // ExecGuideStats returns a point-in-time snapshot of the exec-guide
 // counters.
 func (s *System) ExecGuideStats() ExecGuideStats { return s.inner.ExecGuideStats() }
+
+// MemBudget is a hierarchical byte budget (see internal/memgov):
+// reservations charge every level of a process → tenant → operation
+// chain, and any level's denial makes the caller spill, truncate or
+// skip instead of allocating. A nil budget is fully inert.
+type MemBudget = memgov.Budget
+
+// MemBudgetStats is one budget level's gauge snapshot (limit, used,
+// peak, denials), shaped for health endpoints.
+type MemBudgetStats = memgov.Stats
+
+// NewMemBudget creates a root memory budget; limit <= 0 never denies
+// (a pure meter). Derive per-tenant shares with Child.
+func NewMemBudget(name string, limit int64) *MemBudget { return memgov.New(name, limit) }
+
+// MemStats is the resource-governance gauge block of one system:
+// budget accounting, published-snapshot bytes, spill gauges and the
+// degradation record of the current pool's build.
+type MemStats = core.MemStats
+
+// MemStats reports the system's resource-governance gauges, lock-free.
+func (s *System) MemStats() MemStats { return s.inner.MemStats() }
+
+// SetResources installs the memory budget and spill directory used by
+// every subsequent pool build, overriding the Options the system was
+// created with. The fleet calls it right after constructing a tenant's
+// system so each tenant charges its own share of the process budget.
+func (s *System) SetResources(budget *MemBudget, spillDir string) {
+	s.inner.SetResources(budget, spillDir)
+}
+
+// ReleaseMemory returns the published snapshot's budget reservations.
+// Call it when the system is being discarded (the fleet's eviction
+// path); without it the dropped snapshot's bytes would charge a shared
+// budget forever.
+func (s *System) ReleaseMemory() { s.inner.ReleaseMemory() }
 
 // SetRerankBreaker installs a circuit breaker on the re-ranking stage:
 // after repeated stage failures or timeouts the stage is skipped

@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/generalize"
 	"repro/internal/ltr"
+	"repro/internal/memgov"
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/rerank"
@@ -101,6 +102,19 @@ type Options struct {
 	// ExecTopK is how many of the best-ranked candidates ExecGuide
 	// executes (default 8).
 	ExecTopK int
+	// MemBudget caps the bytes of retained state (candidate pool,
+	// dialect embeddings, pool-build buffers) this system may hold;
+	// 0 means unbudgeted. The fleet overrides it per tenant through
+	// SetResources.
+	MemBudget int64
+	// SpillDir is where streaming pool builds spill candidate records
+	// once the RAM buffer budget trips. Empty disables spilling:
+	// buffer pressure then truncates the pool instead (Degraded).
+	SpillDir string
+	// SpillBufferBytes caps the in-RAM record buffer of a streaming
+	// pool build before it overflows to SpillDir. 0 derives a quarter
+	// of the effective budget limit.
+	SpillBufferBytes int64
 }
 
 func (o *Options) fill() {
@@ -151,8 +165,11 @@ type state struct {
 	// from the spec's value index.
 	guide     *execguide.Guide
 	prepStats generalize.Stats
-	trained   bool
-	inj       *faults.Injector
+	// info is the resource-governance record of the build that produced
+	// this snapshot's pool: degradation flag and reason, spill gauges.
+	info    buildInfo
+	trained bool
+	inj     *faults.Injector
 }
 
 // System is a GAR instance bound to one database.
@@ -194,6 +211,22 @@ type System struct {
 	execErrors   atomic.Uint64
 	execTimeouts atomic.Uint64
 
+	// resources carries the memory budget and spill directory every
+	// pool build reads; installed by New from Options, overridden per
+	// tenant by SetResources.
+	resources atomic.Pointer[resources]
+	// snapMem accounts the published snapshot's candidate-pool bytes
+	// and vecMem its dialect-embedding bytes, both against the budget.
+	// They are writeMu-guarded and replaced at each publication that
+	// rebuilds the matching half (a model redeploy replaces only the
+	// embeddings); snapBytes mirrors their sum for lock-free gauges.
+	snapMem   *memgov.Reservation
+	vecMem    *memgov.Reservation
+	snapBytes atomic.Int64
+	// memDegradedBuilds counts snapshot builds that finished degraded
+	// under resource pressure; see MemStats.
+	memDegradedBuilds atomic.Uint64
+
 	// embedCache memoizes question embeddings and transCache whole
 	// translation results, both keyed by (pool generation, NL question).
 	// The generation key makes every Prepare/Swap an implicit flush: an
@@ -217,9 +250,15 @@ func New(db *schema.Database, opts Options) *System {
 		st.guide = execguide.New(db, nil, execguide.Seeds{}, s.guideConfig())
 	}
 	s.state.Store(st)
+	var budget *memgov.Budget
+	if opts.MemBudget > 0 {
+		budget = memgov.New("system", opts.MemBudget)
+	}
+	s.resources.Store(&resources{budget: budget, spillDir: opts.SpillDir, bufBytes: opts.SpillBufferBytes})
 	if !opts.NoCache {
 		s.embedCache = transcache.New[vector.Vec](s.Opts.CacheSize)
 		s.transCache = transcache.New[*Translation](s.Opts.CacheSize)
+		s.governCaches(budget)
 	}
 	return s
 }
@@ -341,21 +380,6 @@ func (s *System) mutate(fn func(st *state)) {
 	s.purgeCaches()
 }
 
-// buildPool runs generalization and dialect rendering; it only reads
-// immutable fields (DB, Opts, builder) and so runs outside any lock.
-func (s *System) buildPool(samples []*sqlast.Query) ([]ltr.Candidate, *ltr.PoolIndex, generalize.Stats) {
-	res := generalize.Generalize(s.DB, samples, generalize.Config{
-		TargetSize: s.Opts.GeneralizeSize,
-		Seed:       s.Opts.Seed,
-		Rules:      generalize.AllRules(),
-	})
-	pool := make([]ltr.Candidate, 0, len(res.Queries))
-	for _, q := range res.Queries {
-		pool = append(pool, ltr.Candidate{SQL: q, Dialect: s.expression(q)})
-	}
-	return pool, ltr.NewPoolIndex(pool), res.Stats
-}
-
 // Prepare runs the offline data preparation process (Fig. 2 steps 1-2):
 // generalizes the sample queries and renders each generalized query as a
 // dialect expression, building the candidate pool. The new pool starts
@@ -366,20 +390,25 @@ func (s *System) Prepare(samples []*sqlast.Query) {
 	// Generalization is the expensive part; with copy-on-write
 	// snapshots it runs off to the side and in-flight translations keep
 	// serving the old snapshot untouched.
-	pool, idx, stats := s.buildPool(samples)
-	s.mutate(func(st *state) {
-		st.gen++
-		st.prepStats = stats
-		st.pool = pool
-		st.poolIdx = idx
-		st.encoder = nil
-		st.pipeline = nil
-		st.trained = false
-		s.samples = samples
-		if guide := s.buildGuide(); guide != nil {
-			st.guide = guide
-		}
-	})
+	build := s.buildPoolGoverned(samples)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	next := *s.state.Load()
+	next.gen++
+	next.prepStats = build.stats
+	next.pool = build.pool
+	next.poolIdx = build.idx
+	next.info = build.info
+	next.encoder = nil
+	next.pipeline = nil
+	next.trained = false
+	s.samples = samples
+	if guide := s.buildGuide(); guide != nil {
+		next.guide = guide
+	}
+	s.adoptSnapMem(build.mem, nil)
+	s.publish(&next)
+	s.purgeCaches()
 }
 
 // expression renders a candidate for ranking: a dialect expression, or
@@ -603,24 +632,6 @@ func poolCosts(pool []ltr.Candidate) []float64 {
 	return out
 }
 
-// newPipeline assembles the online pipeline for a pool with deployed
-// models (the slow part is embedding + indexing the pool).
-func newPipeline(pool []ltr.Candidate, poolIdx *ltr.PoolIndex, m *Models, opts Options) *ltr.Pipeline {
-	index, vecs := buildIndex(pool, m.Encoder, opts)
-	return &ltr.Pipeline{
-		Encoder:    m.Encoder,
-		Index:      index,
-		Pool:       pool,
-		PoolIdx:    poolIdx,
-		K:          opts.RetrievalK,
-		SkipRerank: opts.NoRerank,
-		Reranker:   m.Reranker,
-		DialVecs:   vecs,
-		Costs:      poolCosts(pool),
-		Workers:    opts.Workers,
-	}
-}
-
 // UseModels deploys pre-trained models on this (prepared) system:
 // the candidate pool is embedded and indexed with the trained encoder
 // and the pipeline is assembled. This is how a system for an unseen
@@ -636,10 +647,25 @@ func (s *System) UseModels(m *Models) error {
 	if len(cur.pool) == 0 {
 		return fmt.Errorf("core: UseModels before Prepare (empty candidate pool)")
 	}
+	// The embeddings get their own account against the budget; the pool
+	// keeps the reservation Prepare adopted (shrunk on truncation).
+	pipeline, pool, poolIdx, vecMem, truncated, err := newPipelineGoverned(
+		cur.pool, cur.poolIdx, m, s.Opts, s.resources.Load().budget, s.snapMem)
+	if err != nil {
+		return err
+	}
 	next := *cur
+	next.pool = pool
+	next.poolIdx = poolIdx
 	next.encoder = m.Encoder
-	next.pipeline = newPipeline(cur.pool, cur.poolIdx, m, s.Opts)
+	next.pipeline = pipeline
 	next.trained = true
+	if truncated {
+		next.info.degrade(fmt.Sprintf("snapshot truncated to %d of %d candidates under memory budget",
+			len(pool), len(cur.pool)))
+		s.memDegradedBuilds.Add(1)
+	}
+	s.adoptSnapMem(s.snapMem, vecMem)
 	s.publish(&next)
 	// Same pool generation, new models: flush explicitly.
 	s.purgeCaches()
@@ -657,11 +683,22 @@ func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
 	if m == nil || m.Encoder == nil {
 		return 0, fmt.Errorf("core: Swap without models")
 	}
-	pool, idx, stats := s.buildPool(samples)
-	if len(pool) == 0 {
+	build := s.buildPoolGoverned(samples)
+	if len(build.pool) == 0 {
+		build.mem.Release()
 		return 0, fmt.Errorf("core: Swap produced an empty candidate pool for %s", s.DB.Name)
 	}
-	pipeline := newPipeline(pool, idx, m, s.Opts)
+	pipeline, pool, idx, vecMem, truncated, err := newPipelineGoverned(
+		build.pool, build.idx, m, s.Opts, s.resources.Load().budget, build.mem)
+	if err != nil {
+		build.mem.Release()
+		return 0, err
+	}
+	if truncated {
+		build.info.degrade(fmt.Sprintf("snapshot truncated to %d of %d candidates under memory budget",
+			len(pool), len(build.pool)))
+		s.memDegradedBuilds.Add(1)
+	}
 
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -669,7 +706,8 @@ func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
 	next.gen++
 	next.pool = pool
 	next.poolIdx = idx
-	next.prepStats = stats
+	next.prepStats = build.stats
+	next.info = build.info
 	next.encoder = m.Encoder
 	next.pipeline = pipeline
 	next.trained = true
@@ -677,6 +715,7 @@ func (s *System) Swap(samples []*sqlast.Query, m *Models) (uint64, error) {
 	if guide := s.buildGuide(); guide != nil {
 		next.guide = guide
 	}
+	s.adoptSnapMem(build.mem, vecMem)
 	s.publish(&next)
 	// The generation bump already invalidates every cached entry; the
 	// purge just releases their memory eagerly.

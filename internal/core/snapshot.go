@@ -203,6 +203,27 @@ func (s *System) RestoreCheckpoint(ck *checkpoint.Checkpoint) error {
 		}
 	}
 
+	// Account the restored snapshot against the memory budget before
+	// anything is published. A budget too small for the checkpoint is a
+	// plain error (not corruption): falling back a generation would not
+	// help — older checkpoints are the same size — so the caller should
+	// fall through to a cold build, which streams and spills under the
+	// same budget instead of materializing the checkpoint whole.
+	budget := s.resources.Load().budget
+	poolMem, vecMem := budget.Hold(), budget.Hold()
+	var poolBytes, vecsBytes int64
+	for i := range pool {
+		poolBytes += candBytesOf(pool[i])
+		vecsBytes += vecBytes(vecs[i])
+	}
+	if err := poolMem.Grow(poolBytes); err != nil {
+		return fmt.Errorf("core: memory budget cannot hold the checkpointed pool: %w", err)
+	}
+	if err := vecMem.Grow(vecsBytes); err != nil {
+		poolMem.Release()
+		return fmt.Errorf("core: memory budget cannot hold the checkpointed embeddings: %w", err)
+	}
+
 	poolIdx := ltr.NewPoolIndex(pool)
 	index := indexFromVecs(vecs, s.Opts)
 	pipeline := &ltr.Pipeline{
@@ -238,9 +259,13 @@ func (s *System) RestoreCheckpoint(ck *checkpoint.Checkpoint) error {
 	next.pool = pool
 	next.poolIdx = poolIdx
 	next.prepStats = stats
+	// A restored snapshot carries no build degradation: it was complete
+	// when checkpointed, and the budget above accepted it whole.
+	next.info = buildInfo{}
 	next.encoder = m.Encoder
 	next.pipeline = pipeline
 	next.trained = true
+	s.adoptSnapMem(poolMem, vecMem)
 	s.publish(&next)
 	s.purgeCaches()
 	return nil

@@ -47,6 +47,13 @@ const (
 	FSRename Stage = "fs.rename"
 )
 
+// FSRead is the data fault point of a durable-state read — fired with
+// each spill frame's payload as it comes off disk, before the checksum
+// is verified. Bit-flip plans model media rot the CRC must catch;
+// error plans model a failing disk mid-merge. Like the write points it
+// is exercised through FireData.
+const FSRead Stage = "fs.read"
+
 // Train is the fault point of a background retraining cycle, fired
 // after the trainer claims its budget slot and before any training
 // work. A panic plan here proves the trainer's isolation boundary: a

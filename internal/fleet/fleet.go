@@ -34,6 +34,7 @@ import (
 	"repro/internal/breaker"
 	"repro/internal/checkpoint"
 	"repro/internal/feedback"
+	"repro/internal/spill"
 )
 
 // ErrUnknownTenant reports a request for a name the registry does not
@@ -114,9 +115,20 @@ type Config struct {
 	BreakerCooldown time.Duration
 	NoBreaker       bool
 
+	// MemLimit caps the process-wide bytes of retained tenant state
+	// (candidate pools, embeddings, translation caches); 0 disables
+	// memory governance. Tenants that hit their share spill pool
+	// builds to disk or degrade to truncated pools instead of growing.
+	MemLimit int64
+	// TenantMemLimit caps each tenant's share of MemLimit (default
+	// MemLimit/MaxActive). 0 with MemLimit set bounds tenants only by
+	// the process root.
+	TenantMemLimit int64
+
 	// StateDir is the root of the multi-tenant checkpoint tree
 	// ({StateDir}/{tenant}/...); empty disables durability — evicting a
 	// tenant then drops state that a re-activation must rebuild.
+	// Memory-governed pool builds spill under {StateDir}/{tenant}/spill.
 	StateDir string
 	// Keep is the per-tenant checkpoint retention (default 3).
 	Keep int
@@ -162,6 +174,9 @@ func (c *Config) fill() {
 	}
 	if c.TenantQueue <= 0 {
 		c.TenantQueue = max(1, c.MaxQueue/c.MaxActive)
+	}
+	if c.TenantMemLimit <= 0 && c.MemLimit > 0 {
+		c.TenantMemLimit = c.MemLimit / int64(c.MaxActive)
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -237,6 +252,11 @@ type tenant struct {
 	name string
 	ctl  *admit.Controller
 	br   *breaker.Breaker // nil when breakers are disabled
+	// budget is this tenant's share of the fleet memory budget; like
+	// the controller and breaker it is created at Register and survives
+	// eviction, so peak/denial history is a per-tenant fact. Nil when
+	// memory governance is disabled.
+	budget *gar.MemBudget
 
 	// reloadMu serializes reloads of this tenant only.
 	reloadMu sync.Mutex
@@ -276,18 +296,26 @@ type Registry struct {
 	// one held per in-flight training cycle.
 	trainSem chan struct{}
 
+	// memRoot is the process-wide memory budget every tenant's share
+	// chains to; nil when Config.MemLimit is unset.
+	memRoot *gar.MemBudget
+
 	shedSaturated atomic.Uint64
 }
 
 // New creates an empty registry; add tenants with Register.
 func New(src Source, cfg Config) *Registry {
 	cfg.fill()
-	return &Registry{
+	r := &Registry{
 		src:      src,
 		cfg:      cfg,
 		tenants:  map[string]*tenant{},
 		trainSem: make(chan struct{}, cfg.TrainBudget),
 	}
+	if cfg.MemLimit > 0 {
+		r.memRoot = gar.NewMemBudget("fleet", cfg.MemLimit)
+	}
+	return r
 }
 
 // trainGate claims one slot of the fleet-wide retraining budget,
@@ -331,6 +359,9 @@ func (r *Registry) Register(name string) error {
 			FailureThreshold: r.cfg.BreakerFailures,
 			Cooldown:         r.cfg.BreakerCooldown,
 		})
+	}
+	if r.memRoot != nil {
+		t.budget = r.memRoot.Child(name, r.cfg.TenantMemLimit)
 	}
 	r.tenants[name] = t
 	return nil
@@ -629,6 +660,21 @@ func (r *Registry) buildTenant(ctx context.Context, t *tenant) (builtTenant, err
 	if err != nil {
 		return builtTenant{}, err
 	}
+	if t.budget != nil {
+		// Pool builds charge this tenant's share of the fleet budget and
+		// spill under the tenant's own state directory. Orphaned spill
+		// files from a crashed previous run are scratch: sweep them now.
+		spillDir := ""
+		if r.cfg.StateDir != "" {
+			spillDir = filepath.Join(r.cfg.StateDir, t.name, "spill")
+			if removed, serr := spill.Sweep(spillDir); serr != nil {
+				r.cfg.Logf("fleet: tenant %s: sweeping spill dir: %v", t.name, serr)
+			} else if len(removed) > 0 {
+				r.cfg.Logf("fleet: tenant %s: removed %d orphaned spill file(s)", t.name, len(removed))
+			}
+		}
+		sys.SetResources(t.budget, spillDir)
+	}
 	b := builtTenant{sys: sys}
 	var store *checkpoint.Store
 	if r.cfg.StateDir != "" {
@@ -748,6 +794,7 @@ func (r *Registry) finishEvict(t *tenant) error {
 	}
 	r.capMu.Lock()
 	t.mu.Lock()
+	sys := t.sys
 	t.sys = nil
 	t.ckptr = nil
 	t.flog = nil
@@ -758,6 +805,12 @@ func (r *Registry) finishEvict(t *tenant) error {
 	t.mu.Unlock()
 	r.active--
 	r.capMu.Unlock()
+	if sys != nil {
+		// The state is durable (flushed above) and the snapshot is about
+		// to be garbage; return its bytes to the shared budget so the
+		// slot's memory is actually reusable by the incoming tenant.
+		sys.ReleaseMemory()
+	}
 	r.cfg.Logf("fleet: tenant %s evicted", t.name)
 	return nil
 }

@@ -37,6 +37,10 @@ type TenantHealth struct {
 	Admission  admit.Stats          `json:"admission"`
 	Breaker    *breaker.Snapshot    `json:"breaker,omitempty"`
 	Checkpoint *gar.CheckpointStats `json:"checkpoint,omitempty"`
+	// Memory is the tenant's resource-governance block (budget usage,
+	// snapshot bytes, spill gauges, degradation record), absent while
+	// the tenant is not resident.
+	Memory *gar.MemStats `json:"memory,omitempty"`
 	// Feedback is the online-learning block, absent while the tenant is
 	// not resident or the feedback loop is disabled.
 	Feedback *FeedbackHealth `json:"feedback,omitempty"`
@@ -60,6 +64,9 @@ type Health struct {
 	// ShedSaturated counts activations shed because the working set was
 	// full with every tenant pinned.
 	ShedSaturated uint64 `json:"shed_saturated"`
+	// Memory is the process-wide memory budget's gauges, absent when
+	// memory governance is disabled.
+	Memory *gar.MemBudgetStats `json:"memory,omitempty"`
 	// Tenants holds the per-tenant rows, keyed by name.
 	Tenants map[string]TenantHealth `json:"tenants"`
 }
@@ -84,6 +91,8 @@ func (r *Registry) tenantHealth(t *tenant) TenantHealth {
 		h.Ready = sys.Ready()
 		h.Generation = sys.Generation()
 		h.Pool = sys.PoolSize()
+		ms := sys.MemStats()
+		h.Memory = &ms
 	}
 	if ckptr != nil {
 		cs := ckptr.Stats()
@@ -107,6 +116,10 @@ func (r *Registry) tenantHealth(t *tenant) TenantHealth {
 	case !h.Ready:
 		h.Status = "unavailable"
 	case h.Breaker != nil && h.Breaker.State != breaker.Closed:
+		h.Status = "degraded"
+	case h.Memory != nil && h.Memory.Degraded:
+		// The pool was truncated (or spilled and partially lost) under
+		// resource pressure: the tenant serves, at reduced quality.
 		h.Status = "degraded"
 	default:
 		h.Status = "ok"
@@ -138,6 +151,7 @@ func (r *Registry) Health() Health {
 		Active:        active,
 		MaxActive:     r.cfg.MaxActive,
 		ShedSaturated: r.shedSaturated.Load(),
+		Memory:        r.memRoot.Stats(),
 		Tenants:       make(map[string]TenantHealth, len(tenants)),
 	}
 	anyReady, degraded := false, false

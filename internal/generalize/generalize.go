@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/component"
+	"repro/internal/memgov"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/sqlcheck"
@@ -67,6 +68,14 @@ type Config struct {
 	// components that are often the only path to valid queries several
 	// swaps away.
 	RawFrontier bool
+	// Budget, when set, accounts the search frontier's retained bytes
+	// against a memgov budget. A denied reservation ends the search
+	// early instead of growing further: the run keeps everything
+	// accepted so far and flags the result Degraded. The trajectory up
+	// to the stopping point is byte-identical to an unbudgeted run with
+	// the same seed, because accounting never alters which candidates
+	// are tried or accepted — it only decides when to stop.
+	Budget *memgov.Budget
 }
 
 // Stats reports what happened during a run.
@@ -85,7 +94,8 @@ type Stats struct {
 type Result struct {
 	// Queries is the generalized set: the masked, alias-resolved samples
 	// followed by all generated queries. Every query is bound against
-	// the database (column references qualified).
+	// the database (column references qualified). Streaming runs leave
+	// it nil — the sink saw every query already.
 	Queries []*sqlast.Query
 	Stats   Stats
 	// PrunedByRule counts, per sqlcheck rule ID, the queries the
@@ -94,7 +104,21 @@ type Result struct {
 	// by the full-rule output filter. The sum over all rules equals
 	// Stats.RejectedSemantic.
 	PrunedByRule map[string]int
+	// Degraded reports that the memory budget ended the search early:
+	// the emitted pool is a truncated prefix of what an unbudgeted run
+	// would produce, not a failure.
+	Degraded bool
+	// DegradeReason carries the first budget denial's message.
+	DegradeReason string
 }
+
+// Sink consumes the emitted pool queries of a streaming run, in pool
+// order (masked alias-resolved samples first, then generated queries
+// in acceptance order). A sink error aborts the run and is returned
+// from Stream verbatim. The query stays owned by the generalizer's
+// frontier; sinks that retain it beyond the call must account for (or
+// copy) it themselves.
+type Sink func(q *sqlast.Query) error
 
 // limits are the Rule 2 caps collected from the sample set.
 type limits struct {
@@ -106,8 +130,43 @@ type limits struct {
 	compound    bool
 }
 
-// Generalize runs the compositional generalization algorithm.
+// Generalize runs the compositional generalization algorithm and
+// materializes the whole pool in RAM. It is the collecting wrapper
+// around Stream; large or budget-governed runs should use Stream
+// directly so candidates can flow to disk instead of accumulating.
 func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Result {
+	var queries []*sqlast.Query
+	res, err := Stream(db, samples, cfg, func(q *sqlast.Query) error {
+		queries = append(queries, q)
+		return nil
+	})
+	if err != nil {
+		// Only a sink error reaches here and the collecting sink cannot
+		// fail; return what the run produced regardless.
+		return res
+	}
+	res.Queries = queries
+	return res
+}
+
+// queryBytes estimates the bytes one frontier tree retains, derived
+// from its fingerprint so the estimate is deterministic across runs.
+// memgov is an accountant, not an allocator: the multiplier reflects
+// that an AST node graph weighs roughly an order of magnitude more
+// than its printed form.
+func queryBytes(fp string) int64 { return int64(len(fp))*8 + 256 }
+
+// Stream runs the compositional generalization algorithm as a
+// streaming producer: every emitted pool query flows through sink the
+// moment it is accepted (pruning, dedup and the full-rule output
+// filter all applied incrementally), instead of materializing in a
+// result slice. Emission order and content are byte-identical to
+// Generalize with the same configuration. Result.Queries stays nil.
+//
+// The returned error is a sink error, and nothing else: budget
+// denials end the search gracefully (Result.Degraded) and are never
+// returned as errors.
+func Stream(db *schema.Database, samples []*sqlast.Query, cfg Config, sink Sink) (*Result, error) {
 	if cfg.MaxStall <= 0 {
 		cfg.MaxStall = 500
 	}
@@ -120,6 +179,17 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{PrunedByRule: map[string]int{}}
+	// The frontier reservation covers the trees the search retains; it
+	// is released when the run returns because the frontier dies with
+	// it — sinks account separately for whatever they keep.
+	frontier := cfg.Budget.Hold()
+	defer frontier.Release()
+	degrade := func(err error) {
+		res.Degraded = true
+		if res.DegradeReason == "" {
+			res.DegradeReason = err.Error()
+		}
+	}
 	// Two analyzer configurations drive the semantic pruning. The
 	// in-search check applies the Algorithm 1 aggregate-coherence
 	// conditions: candidates that fail it are discarded before entering
@@ -134,6 +204,22 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 	searchCheck := sqlcheck.New(db, sqlcheck.AggGroup{Core: true})
 	checker := sqlcheck.New(db)
 
+	// emit applies the full-rule output filter incrementally — each
+	// frontier tree is vetted exactly once, at acceptance, with the
+	// same verdict and order the end-of-run filter used to produce —
+	// and hands survivors to the sink.
+	emit := func(q *sqlast.Query) error {
+		if !cfg.RawFrontier {
+			if diag := sqlcheck.FirstError(checker.CheckBound(q)); diag != nil {
+				res.Stats.RejectedSemantic++
+				res.Stats.FilteredOutput++
+				res.PrunedByRule[diag.Rule]++
+				return nil
+			}
+		}
+		return sink(q)
+	}
+
 	// Normalize samples: bind, resolve aliases (skipped for self-joins),
 	// mask literal values.
 	var trees []*sqlast.Query
@@ -147,11 +233,18 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 		if seen[fp] {
 			continue
 		}
+		if err := frontier.Grow(queryBytes(fp)); err != nil {
+			degrade(err)
+			break
+		}
 		seen[fp] = true
 		trees = append(trees, q)
+		if err := emit(q); err != nil {
+			return res, err
+		}
 	}
-	if len(trees) == 0 {
-		return res
+	if len(trees) == 0 || res.Degraded {
+		return res, nil
 	}
 
 	lim := collectLimits(trees)
@@ -218,29 +311,22 @@ func Generalize(db *schema.Database, samples []*sqlast.Query, cfg Config) *Resul
 			res.Stats.Duplicates++
 			continue
 		}
+		if err := frontier.Grow(queryBytes(fp)); err != nil {
+			// The budget refused further frontier growth: stop here and
+			// keep everything already emitted — a truncated pool is the
+			// graceful form of this failure, not an error.
+			degrade(err)
+			break
+		}
 		seen[fp] = true
 		trees = append(trees, cand)
 		res.Stats.Generated++
 		stall = 0
-	}
-	if cfg.RawFrontier {
-		res.Queries = trees
-		return res
-	}
-	// Output filter: the full rule set vets every frontier query
-	// (samples included); failures are counted per rule and withheld
-	// from the emitted pool.
-	res.Queries = make([]*sqlast.Query, 0, len(trees))
-	for _, q := range trees {
-		if diag := sqlcheck.FirstError(checker.CheckBound(q)); diag != nil {
-			res.Stats.RejectedSemantic++
-			res.Stats.FilteredOutput++
-			res.PrunedByRule[diag.Rule]++
-			continue
+		if err := emit(cand); err != nil {
+			return res, err
 		}
-		res.Queries = append(res.Queries, q)
 	}
-	return res
+	return res, nil
 }
 
 // prepare binds, alias-resolves and masks one sample; returns nil when

@@ -1,0 +1,124 @@
+package generalize_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/generalize"
+	"repro/internal/memgov"
+	"repro/internal/schema/schematest"
+	"repro/internal/sqlast"
+)
+
+// TestStreamMatchesGeneralize pins the streaming contract: Stream with
+// a collecting sink emits exactly the queries Generalize materializes,
+// in the same order, with the same stats.
+func TestStreamMatchesGeneralize(t *testing.T) {
+	db := schematest.Employee()
+	want := generalize.Generalize(db, employeeSamples(), defaultCfg(3, 150))
+
+	var got []*sqlast.Query
+	res, err := generalize.Stream(db, employeeSamples(), defaultCfg(3, 150),
+		func(q *sqlast.Query) error {
+			got = append(got, q)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != nil {
+		t.Error("Stream materialized Queries; the sink owns emission")
+	}
+	if len(got) != len(want.Queries) {
+		t.Fatalf("stream emitted %d queries, Generalize kept %d", len(got), len(want.Queries))
+	}
+	for i := range got {
+		if sqlast.Fingerprint(got[i]) != sqlast.Fingerprint(want.Queries[i]) {
+			t.Fatalf("emission %d diverged:\n%s\nvs\n%s", i, got[i], want.Queries[i])
+		}
+	}
+	if res.Stats != want.Stats {
+		t.Errorf("stats diverged: stream %+v, generalize %+v", res.Stats, want.Stats)
+	}
+}
+
+// TestStreamSinkErrorStopsRun pins error propagation: the only error
+// Stream returns is the sink's, and it stops the run at the failing
+// emission.
+func TestStreamSinkErrorStopsRun(t *testing.T) {
+	db := schematest.Employee()
+	boom := errors.New("sink full")
+	emitted := 0
+	_, err := generalize.Stream(db, employeeSamples(), defaultCfg(3, 150),
+		func(q *sqlast.Query) error {
+			emitted++
+			if emitted == 3 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+	if emitted != 3 {
+		t.Fatalf("run continued past the failing sink call: %d emissions", emitted)
+	}
+}
+
+// TestStreamBudgetDenialDegrades pins graceful degradation: a frontier
+// budget too small for the search ends the run early with Degraded set
+// and a reason — never an error — and the budget is fully released
+// when the run returns.
+func TestStreamBudgetDenialDegrades(t *testing.T) {
+	db := schematest.Employee()
+	budget := memgov.New("generalize", 4<<10)
+	cfg := defaultCfg(3, 500)
+	cfg.Budget = budget
+	var got []*sqlast.Query
+	res, err := generalize.Stream(db, employeeSamples(), cfg,
+		func(q *sqlast.Query) error {
+			got = append(got, q)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("budget denial surfaced as an error: %v", err)
+	}
+	if !res.Degraded || res.DegradeReason == "" {
+		t.Fatalf("denial not flagged: %+v", res)
+	}
+	if len(got) == 0 {
+		t.Fatal("degraded run emitted nothing")
+	}
+	if budget.Used() != 0 {
+		t.Errorf("frontier reservation leaked: %d bytes", budget.Used())
+	}
+	if budget.Denied() == 0 {
+		t.Error("no denial recorded on the budget")
+	}
+
+	// A budget too small for even one sample degrades during intake.
+	tiny := memgov.New("generalize", 64)
+	cfg.Budget = tiny
+	res, err = generalize.Stream(db, employeeSamples(), cfg,
+		func(q *sqlast.Query) error { return nil })
+	if err != nil || !res.Degraded {
+		t.Fatalf("intake denial not flagged: res %+v err %v", res, err)
+	}
+}
+
+// TestFrequencyPreservation pins the Rule 4 switch through both pool
+// shapes: with frequency preservation the donor pool keeps duplicate
+// components, without it the pool is deduplicated — both must still
+// produce a valid generalized set.
+func TestFrequencyPreservation(t *testing.T) {
+	db := schematest.Employee()
+	for _, freq := range []bool{true, false} {
+		cfg := defaultCfg(5, 120)
+		cfg.Rules.Frequency = freq
+		res := generalize.Generalize(db, employeeSamples(), cfg)
+		if len(res.Queries) <= len(employeeSamples()) {
+			t.Errorf("frequency=%v generated nothing beyond the samples (%d queries)",
+				freq, len(res.Queries))
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package memgov
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReserveRelease(t *testing.T) {
+	b := New("root", 100)
+	if err := b.Reserve(60); err != nil {
+		t.Fatalf("reserve 60: %v", err)
+	}
+	if got := b.Used(); got != 60 {
+		t.Fatalf("used = %d, want 60", got)
+	}
+	if err := b.Reserve(41); err == nil {
+		t.Fatal("reserve past the limit succeeded")
+	} else if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("denial is %v, want ErrBudgetExceeded", err)
+	}
+	// A denial must not leave a partial charge behind.
+	if got := b.Used(); got != 60 {
+		t.Fatalf("used after denial = %d, want 60", got)
+	}
+	if err := b.Reserve(40); err != nil {
+		t.Fatalf("reserve exactly to the limit: %v", err)
+	}
+	b.Release(100)
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after release = %d, want 0", got)
+	}
+	if got := b.Peak(); got != 100 {
+		t.Fatalf("peak = %d, want 100", got)
+	}
+	if got := b.Denied(); got != 1 {
+		t.Fatalf("denied = %d, want 1", got)
+	}
+}
+
+func TestHierarchyChargesEveryLevel(t *testing.T) {
+	root := New("process", 1000)
+	tenant := root.Child("tenant", 300)
+	op := tenant.Child("op", 0) // bounded only by ancestors
+
+	if err := op.Reserve(200); err != nil {
+		t.Fatalf("reserve: %v", err)
+	}
+	for _, tc := range []struct {
+		b    *Budget
+		want int64
+	}{{op, 200}, {tenant, 200}, {root, 200}} {
+		if got := tc.b.Used(); got != tc.want {
+			t.Fatalf("%s used = %d, want %d", tc.b.Name(), got, tc.want)
+		}
+	}
+
+	// The tenant limit denies even though op and root would accept, and
+	// the rollback must undo the op-level charge.
+	err := op.Reserve(150)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("denial is %v, want *BudgetError", err)
+	}
+	if be.Budget != "tenant" {
+		t.Fatalf("denying level = %q, want tenant", be.Budget)
+	}
+	if be.Requested != 150 || be.Limit != 300 || be.Used != 200 {
+		t.Fatalf("denial detail = %+v", be)
+	}
+	if got := op.Used(); got != 200 {
+		t.Fatalf("op used after rollback = %d, want 200", got)
+	}
+	if got := root.Used(); got != 200 {
+		t.Fatalf("root used after rollback = %d, want 200", got)
+	}
+	if got := tenant.Denied(); got != 1 {
+		t.Fatalf("tenant denied = %d, want 1", got)
+	}
+	if got := op.Denied(); got != 0 {
+		t.Fatalf("op denied = %d, want 0 (it did not refuse)", got)
+	}
+
+	op.Release(200)
+	if got := root.Used(); got != 0 {
+		t.Fatalf("root used after release = %d, want 0", got)
+	}
+}
+
+func TestEffectiveLimit(t *testing.T) {
+	root := New("process", 1000)
+	tenant := root.Child("tenant", 300)
+	op := tenant.Child("op", 0)
+	if got := op.EffectiveLimit(); got != 300 {
+		t.Fatalf("effective = %d, want 300", got)
+	}
+	if got := New("meter", 0).EffectiveLimit(); got != 0 {
+		t.Fatalf("unlimited effective = %d, want 0", got)
+	}
+	if got := root.Child("big", 5000).EffectiveLimit(); got != 1000 {
+		t.Fatalf("parent-bounded effective = %d, want 1000", got)
+	}
+}
+
+func TestNilBudgetIsInert(t *testing.T) {
+	var b *Budget
+	if err := b.Reserve(1 << 40); err != nil {
+		t.Fatalf("nil reserve: %v", err)
+	}
+	b.Release(1 << 40)
+	if b.Child("x", 10) != nil {
+		t.Fatal("nil.Child must stay nil")
+	}
+	if b.Stats() != nil {
+		t.Fatal("nil.Stats must be nil")
+	}
+	if b.Used() != 0 || b.Peak() != 0 || b.Denied() != 0 || b.Limit() != 0 {
+		t.Fatal("nil gauges must read zero")
+	}
+	r := b.Hold()
+	if r != nil {
+		t.Fatal("nil.Hold must be nil")
+	}
+	if err := r.Grow(100); err != nil {
+		t.Fatalf("nil reservation grow: %v", err)
+	}
+	r.Release()
+	if r.Bytes() != 0 {
+		t.Fatal("nil reservation bytes must be 0")
+	}
+}
+
+func TestReservationReleaseIdempotent(t *testing.T) {
+	b := New("root", 100)
+	r := b.Hold()
+	if err := r.Grow(30); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := r.Grow(30); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if err := r.Grow(50); err == nil {
+		t.Fatal("grow past the limit succeeded")
+	}
+	if got := r.Bytes(); got != 60 {
+		t.Fatalf("reservation bytes = %d, want 60", got)
+	}
+	r.Release()
+	r.Release() // second release must be a no-op
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after double release = %d, want 0", got)
+	}
+	if err := r.Grow(10); err != nil {
+		t.Fatalf("grow after release: %v", err)
+	}
+	r.Release()
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used = %d, want 0", got)
+	}
+}
+
+func TestReleaseClampsAtZero(t *testing.T) {
+	b := New("root", 100)
+	b.Release(50) // imbalanced, but must not wedge the budget
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used = %d, want 0", got)
+	}
+	if err := b.Reserve(100); err != nil {
+		t.Fatalf("reserve after clamp: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New("tenant", 100)
+	if err := b.Reserve(70); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(30)
+	if err := b.Reserve(200); err == nil {
+		t.Fatal("want denial")
+	}
+	s := b.Stats()
+	if s.Name != "tenant" || s.Limit != 100 || s.Used != 40 || s.Peak != 70 || s.Denied != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestConcurrentReserve hammers one hierarchy from many goroutines:
+// accounting must stay exact (every success paired with a release ends
+// at zero) and usage may only overshoot the limit by the bytes of
+// reservations in flight (add-then-check briefly charges before a
+// denial rolls back).
+func TestConcurrentReserve(t *testing.T) {
+	root := New("process", 1<<20)
+	tenants := []*Budget{
+		root.Child("a", 1<<18),
+		root.Child("b", 1<<18),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := tenants[w%len(tenants)]
+			r := b.Hold()
+			for i := 0; i < 2000; i++ {
+				if err := r.Grow(512); err == nil && i%3 == 0 {
+					r.Release()
+					r = b.Hold()
+				}
+				if u := b.Used(); u > b.Limit()+8*512 {
+					t.Errorf("tenant over limit: %d > %d", u, b.Limit())
+					return
+				}
+			}
+			r.Release()
+		}(w)
+	}
+	wg.Wait()
+	if got := root.Used(); got != 0 {
+		t.Fatalf("root used after all releases = %d, want 0", got)
+	}
+	for _, tb := range tenants {
+		if got := tb.Used(); got != 0 {
+			t.Fatalf("%s used = %d, want 0", tb.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The SIGKILL crash matrix: a child process writes spill runs in a
+// loop through the real temp+fsync+rename path and the parent kills it
+// dead at a randomized moment. Whatever instant the kill lands on,
+// every run that made it to its final name must validate completely
+// (rename-last means a finished run is all-or-nothing), and the
+// startup sweep must remove the temp the kill orphaned.
+
+const crashEnv = "GAR_SPILL_CRASH_CHILD"
+
+// TestCrashSpillHelper is the child body, only active when re-invoked
+// by TestCrashSpillSIGKILL; as a normal test it is a no-op.
+func TestCrashSpillHelper(t *testing.T) {
+	dir := os.Getenv(crashEnv)
+	if dir == "" {
+		t.Skip("helper process body; run via TestCrashSpillSIGKILL")
+	}
+	// Write runs as fast as possible until killed. Frame sizes vary per
+	// run so kills land at different file offsets.
+	for run := uint64(1); ; run++ {
+		w, err := Create(dir, "crash", nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for f := uint64(0); f < 1+run%17; f++ {
+			payload := strings.Repeat(fmt.Sprintf("run-%d-frame-%d|", run, f), 1+int(run%97))
+			if err := w.Append(Record(f, []byte(payload))); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if _, err := w.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func TestCrashSpillSIGKILL(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX kill semantics required")
+	}
+	if testing.Short() {
+		t.Skip("subprocess crash matrix skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := []time.Duration{
+		700 * time.Microsecond, 1500 * time.Microsecond, 3100 * time.Microsecond,
+		6300 * time.Microsecond, 13 * time.Millisecond, 29 * time.Millisecond,
+		53 * time.Millisecond,
+	}
+	for i, delay := range delays {
+		t.Run(fmt.Sprintf("kill-after-%s", delay), func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(exe, "-test.run=^TestCrashSpillHelper$", "-test.v")
+			cmd.Env = append(os.Environ(), crashEnv+"="+dir)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(delay + time.Duration(i)*400*time.Microsecond)
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_ = cmd.Wait() // expected: killed
+
+			// Every finished run must validate end to end: the rename
+			// only happened after the fsync, so a surviving .spill file
+			// is complete by construction.
+			runs, err := filepath.Glob(filepath.Join(dir, "*"+runSuffix))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, path := range runs {
+				r, err := Open(path, nil)
+				if err != nil {
+					t.Fatalf("finished run %s failed to open: %v", filepath.Base(path), err)
+				}
+				frames := 0
+				for {
+					rec, err := r.Next()
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						t.Fatalf("finished run %s frame %d: %v", filepath.Base(path), frames, err)
+					}
+					if _, _, err := SplitRecord(rec); err != nil {
+						t.Fatalf("finished run %s frame %d: %v", filepath.Base(path), frames, err)
+					}
+					frames++
+				}
+				if r.Torn() {
+					t.Fatalf("finished run %s is torn: rename-last discipline violated", filepath.Base(path))
+				}
+				if frames == 0 {
+					t.Fatalf("finished run %s holds no frames", filepath.Base(path))
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// The startup sweep removes whatever temp the kill orphaned.
+			if _, err := CleanTemp(dir); err != nil {
+				t.Fatalf("CleanTemp after crash: %v", err)
+			}
+			tmps, err := filepath.Glob(filepath.Join(dir, tmpPattern))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tmps) != 0 {
+				t.Fatalf("temps survived the sweep: %v", tmps)
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Spill records replayed through Merge carry an 8-byte big-endian
+// sequence number prefix: the emission order of the streaming
+// generalizer. Runs are written in emission order, so every run is
+// sorted by sequence and an external merge reconstructs the exact
+// global order without holding more than one record per run in RAM.
+
+// Record prefixes a payload with its sequence number, producing the
+// frame body a merged run stores.
+func Record(seq uint64, payload []byte) []byte {
+	rec := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(rec[:8], seq)
+	copy(rec[8:], payload)
+	return rec
+}
+
+// SplitRecord splits a frame body back into sequence and payload.
+func SplitRecord(rec []byte) (uint64, []byte, error) {
+	if len(rec) < 8 {
+		return 0, nil, fmt.Errorf("%w: record of %d bytes lacks a sequence header", ErrCorrupt, len(rec))
+	}
+	return binary.BigEndian.Uint64(rec[:8]), rec[8:], nil
+}
+
+// Merge is the external-merge iterator over sorted spill runs: it
+// yields records across all runs in ascending sequence order, holding
+// one buffered record per run. Duplicate sequences — the signature of
+// a record flushed into two runs around a retry — are deduplicated
+// (first instance wins); a sequence that goes backwards within one run
+// is ErrCorrupt, because runs are written in emission order and a
+// regression means the file lies.
+//
+// A run that ends in a torn tail simply stops contributing (Torn
+// reports it); the merge continues over the remaining runs, which is
+// the degraded-but-never-panicking contract of spill replay.
+type Merge struct {
+	srcs []*mergeSrc
+	last uint64
+	any  bool  // a record has been emitted (so last is meaningful)
+	err  error // sticky: a failed read-ahead surfaces on the next call
+}
+
+type mergeSrc struct {
+	r       *Reader
+	seq     uint64
+	payload []byte
+	primed  bool // seq/payload hold a pending record
+	started bool // at least one record has been read (so seq ordering is enforceable)
+	done    bool
+}
+
+// NewMerge starts a merge over the given readers. Readers stay owned
+// by the caller (close them after the merge).
+func NewMerge(readers ...*Reader) *Merge {
+	m := &Merge{}
+	for _, r := range readers {
+		m.srcs = append(m.srcs, &mergeSrc{r: r})
+	}
+	return m
+}
+
+// advance primes src with its next record, enforcing per-run order.
+func (src *mergeSrc) advance() error {
+	for {
+		frame, err := src.r.Next()
+		if errors.Is(err, io.EOF) {
+			src.done = true
+			src.primed = false
+			return nil
+		}
+		if err != nil {
+			src.done = true
+			src.primed = false
+			return err
+		}
+		seq, payload, err := SplitRecord(frame)
+		if err != nil {
+			src.done = true
+			src.primed = false
+			return err
+		}
+		if src.started {
+			if seq < src.seq {
+				src.done = true
+				src.primed = false
+				return fmt.Errorf("%w: %s: sequence %d after %d", ErrCorrupt,
+					filepath.Base(src.r.Path()), seq, src.seq)
+			}
+			if seq == src.seq && src.primed {
+				continue // duplicate within one run: first wins
+			}
+		}
+		src.seq, src.payload, src.primed, src.started = seq, payload, true, true
+		return nil
+	}
+}
+
+// Next returns the next record in global sequence order, or io.EOF
+// when every run is exhausted. A read error from any run ends the
+// merge with that error — but never swallows a record already in
+// hand: a failed read-ahead is surfaced on the following call, so the
+// caller keeps the full intact prefix before degrading.
+func (m *Merge) Next() (uint64, []byte, error) {
+	if m.err != nil {
+		return 0, nil, m.err
+	}
+	// Prime lazily so construction cannot fail.
+	for _, src := range m.srcs {
+		if !src.primed && !src.done {
+			if err := src.advance(); err != nil {
+				m.err = err
+				return 0, nil, err
+			}
+		}
+	}
+	for {
+		var best *mergeSrc
+		for _, src := range m.srcs {
+			if src.primed && (best == nil || src.seq < best.seq) {
+				best = src
+			}
+		}
+		if best == nil {
+			return 0, nil, io.EOF
+		}
+		seq, payload := best.seq, best.payload
+		// Consume the winner and any cross-run duplicates of its
+		// sequence in the same step.
+		for _, src := range m.srcs {
+			if src.primed && src.seq == seq {
+				src.primed = false
+				if err := src.advance(); err != nil && m.err == nil {
+					m.err = err
+				}
+			}
+		}
+		if m.any && seq == m.last {
+			if m.err != nil {
+				return 0, nil, m.err
+			}
+			continue // duplicate that surfaced across steps
+		}
+		m.last, m.any = seq, true
+		return seq, payload, nil
+	}
+}
+
+// Torn reports whether any run ended at a torn tail.
+func (m *Merge) Torn() bool {
+	for _, src := range m.srcs {
+		if src.r.Torn() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func writeSeqRun(t *testing.T, dir string, seqs ...uint64) string {
+	t.Helper()
+	w, err := Create(dir, "merge", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range seqs {
+		if err := w.Append(Record(seq, []byte(fmt.Sprintf("rec-%d", seq)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func openRun(t *testing.T, path string, inj *faults.Injector) *Reader {
+	t.Helper()
+	r, err := Open(path, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func drainMerge(t *testing.T, m *Merge) ([]uint64, error) {
+	t.Helper()
+	var out []uint64
+	for {
+		seq, payload, err := m.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if want := fmt.Sprintf("rec-%d", seq); string(payload) != want {
+			t.Fatalf("seq %d carries payload %q, want %q", seq, payload, want)
+		}
+		out = append(out, seq)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	seq, payload, err := SplitRecord(Record(42, []byte("hello")))
+	if err != nil || seq != 42 || string(payload) != "hello" {
+		t.Fatalf("split = %d, %q, %v", seq, payload, err)
+	}
+	if _, _, err := SplitRecord([]byte("short")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short record = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMergeOrdersAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeqRun(t, dir, 1, 4, 7, 10)
+	b := writeSeqRun(t, dir, 2, 3, 8)
+	c := writeSeqRun(t, dir, 5, 6, 9)
+	m := NewMerge(openRun(t, a, nil), openRun(t, b, nil), openRun(t, c, nil))
+	got, err := drainMerge(t, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("merged order = %v", got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("merged %d records, want 10", len(got))
+	}
+	if m.Torn() {
+		t.Fatal("clean merge reported torn")
+	}
+}
+
+func TestMergeDedupsAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	// Sequence 3 and 5 land in both runs — the retry-flush signature.
+	a := writeSeqRun(t, dir, 1, 3, 5)
+	b := writeSeqRun(t, dir, 2, 3, 4, 5, 6)
+	got, err := drainMerge(t, NewMerge(openRun(t, a, nil), openRun(t, b, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeDedupsWithinRun(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeqRun(t, dir, 1, 2, 2, 3)
+	got, err := drainMerge(t, NewMerge(openRun(t, a, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("merged = %v, want 1,2,3", got)
+	}
+}
+
+func TestMergeRejectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeqRun(t, dir, 5, 4)
+	_, err := drainMerge(t, NewMerge(openRun(t, a, nil)))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("regressing run merged with %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	dir := t.TempDir()
+	empty := writeSeqRun(t, dir)
+	single := writeSeqRun(t, dir, 9)
+	got, err := drainMerge(t, NewMerge(openRun(t, empty, nil), openRun(t, single, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("merged = %v, want [9]", got)
+	}
+	if _, err := drainMerge(t, NewMerge()); err != nil {
+		t.Fatalf("empty merge: %v", err)
+	}
+}
+
+// TestMergeTornRunDegrades cuts one run's tail: the merge must keep
+// yielding everything else plus the torn run's intact prefix, report
+// Torn, and never error.
+func TestMergeTornRunDegrades(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeqRun(t, dir, 1, 3, 5)
+	b := writeSeqRun(t, dir, 2, 4, 6)
+	data, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMerge(openRun(t, a, nil), openRun(t, b, nil))
+	got, err := drainMerge(t, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3, 4, 5} // 6 died in the torn tail
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	if !m.Torn() {
+		t.Fatal("torn run not reported")
+	}
+}
+
+// TestMergeReadFault injects a mid-merge read fault: the merge ends
+// with the error and the caller keeps the prefix — degradation, not a
+// panic.
+func TestMergeReadFault(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeqRun(t, dir, 1, 2, 3, 4)
+	inj := faults.NewInjector(1).Inject(faults.FSRead, faults.Plan{Kind: faults.KindBitFlip, After: 2})
+	m := NewMerge(openRun(t, a, inj))
+	got, err := drainMerge(t, m)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("merge error = %v, want ErrCorrupt", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefix before the fault = %v, want 2 records", got)
+	}
+}

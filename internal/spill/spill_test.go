@@ -1,0 +1,354 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func writeRun(t *testing.T, dir string, payloads ...string) string {
+	t.Helper()
+	w, err := Create(dir, "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readAll(t *testing.T, path string) ([]string, bool) {
+	t.Helper()
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []string
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, r.Torn()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(p))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payloads := []string{"alpha", "", "gamma with some longer text", strings.Repeat("x", 70000)}
+	path := writeRun(t, dir, payloads...)
+	if filepath.Ext(path) != runSuffix {
+		t.Fatalf("final path %q lacks run suffix", path)
+	}
+	got, torn := readAll(t, path)
+	if torn {
+		t.Fatal("clean run reported torn")
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("read %d frames, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if got[i] != payloads[i] {
+			t.Fatalf("frame %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+	// No temp litter after a clean finish.
+	tmps, err := filepath.Glob(filepath.Join(dir, tmpPattern))
+	if err != nil || len(tmps) != 0 {
+		t.Fatalf("temp litter after finish: %v (%v)", tmps, err)
+	}
+}
+
+func TestUniqueRunNames(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRun(t, dir, "one")
+	b := writeRun(t, dir, "two")
+	if a == b {
+		t.Fatalf("two runs share the path %q", a)
+	}
+}
+
+// TestTornTail truncates a finished run at every byte offset inside
+// its final frame: reads must surface every intact frame, then stop
+// with a clean EOF and the torn flag — never an error, never a panic.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRun(t, dir, "first-frame", "second-frame", "third-frame")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(data)
+	lastFrame := frameHeader + len("third-frame")
+	for cut := full - lastFrame + 1; cut < full; cut++ {
+		truncated := filepath.Join(dir, fmt.Sprintf("cut-%d%s", cut, runSuffix))
+		if err := os.WriteFile(truncated, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, torn := readAll(t, truncated)
+		if !torn {
+			t.Fatalf("cut at %d: torn not reported", cut)
+		}
+		if len(got) != 2 || got[0] != "first-frame" || got[1] != "second-frame" {
+			t.Fatalf("cut at %d: surviving frames = %q", cut, got)
+		}
+	}
+}
+
+func TestCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRun(t, dir, "payload-one", "payload-two")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the first payload: the CRC must catch it.
+	data[len(magic)+frameHeader+3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip read = %v, want ErrCorrupt", err)
+	}
+	// A poisoned reader stays ended.
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("read after corruption = %v, want EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty" + runSuffix: nil,
+		"short" + runSuffix: []byte("GAR"),
+		"wrong" + runSuffix: []byte("NOTSPILLxxxxxxxx"),
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(p, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: Open = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Fatalf("abort left %d entries behind", len(des))
+	}
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("finish after abort succeeded")
+	}
+}
+
+// TestFaultMatrixWrite drives the write-side fault points — short
+// write, bit flip, sync failure, rename failure — and checks the
+// crash-safety contract: a failed Finish leaves no run and no temp
+// file; a bit-flipped frame produces a run whose corruption is caught
+// at read time by the CRC.
+func TestFaultMatrixWrite(t *testing.T) {
+	cases := []struct {
+		name    string
+		inj     func() *faults.Injector
+		wantRun bool // Finish succeeds
+	}{
+		{"short-write", func() *faults.Injector {
+			return faults.NewInjector(1).Inject(faults.FSWrite, faults.Plan{Kind: faults.KindShortWrite, Bytes: 7})
+		}, false},
+		{"write-error", func() *faults.Injector {
+			return faults.NewInjector(1).Fail(faults.FSWrite, errors.New("disk full"))
+		}, false},
+		{"sync-fail", func() *faults.Injector {
+			return faults.NewInjector(1).Fail(faults.FSSync, errors.New("fsync eio"))
+		}, false},
+		{"rename-fail", func() *faults.Injector {
+			return faults.NewInjector(1).Fail(faults.FSRename, errors.New("rename eio"))
+		}, false},
+		{"bit-flip", func() *faults.Injector {
+			return faults.NewInjector(1).Inject(faults.FSWrite, faults.Plan{Kind: faults.KindBitFlip, Offset: frameHeader + 2})
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := Create(dir, "test", tc.inj())
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendErr := w.Append([]byte("governed-payload"))
+			path, finErr := w.Finish()
+			if tc.wantRun {
+				if finErr != nil {
+					t.Fatalf("finish: %v", finErr)
+				}
+				r, err := Open(path, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Close()
+				if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("bit-flipped frame read = %v, want ErrCorrupt", err)
+				}
+				return
+			}
+			if appendErr == nil && finErr == nil {
+				t.Fatal("neither append nor finish reported the fault")
+			}
+			// Failed runs must vanish entirely: no temp, no final.
+			des, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(des) != 0 {
+				t.Fatalf("failed run left %d entries behind", len(des))
+			}
+		})
+	}
+}
+
+// TestFaultMatrixRead drives the read-side fault point: a bit flip on
+// the way in must be caught by the CRC, an injected read error must
+// surface as a plain error — and neither may panic.
+func TestFaultMatrixRead(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRun(t, dir, "frame-a", "frame-b")
+
+	t.Run("bit-flip", func(t *testing.T) {
+		inj := faults.NewInjector(1).Inject(faults.FSRead, faults.Plan{Kind: faults.KindBitFlip, Offset: 2})
+		r, err := Open(path, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("read = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("read-error", func(t *testing.T) {
+		inj := faults.NewInjector(1).Fail(faults.FSRead, errors.New("eio"))
+		r, err := Open(path, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		_, err = r.Next()
+		if err == nil || errors.Is(err, ErrCorrupt) {
+			t.Fatalf("read = %v, want a plain injected error", err)
+		}
+	})
+	t.Run("late-fault-keeps-earlier-frames", func(t *testing.T) {
+		inj := faults.NewInjector(1).Inject(faults.FSRead, faults.Plan{Kind: faults.KindBitFlip, After: 1})
+		r, err := Open(path, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		p, err := r.Next()
+		if err != nil || string(p) != "frame-a" {
+			t.Fatalf("first frame = %q, %v", p, err)
+		}
+		if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("second frame = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestCleanTempAndSweep(t *testing.T) {
+	dir := t.TempDir()
+	run := writeRun(t, dir, "keepable")
+	// Orphan a temp by hand, as a crash mid-write would.
+	orphan := filepath.Join(dir, tmpPrefix+"orphan"+tmpSuffix)
+	if err := os.WriteFile(orphan, []byte(magic+"partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unrelated := filepath.Join(dir, "unrelated.txt")
+	if err := os.WriteFile(unrelated, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := CleanTemp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != orphan {
+		t.Fatalf("CleanTemp removed %v, want just the orphan temp", removed)
+	}
+	if _, err := os.Stat(run); err != nil {
+		t.Fatalf("CleanTemp touched a finished run: %v", err)
+	}
+
+	removed, err = Sweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != run {
+		t.Fatalf("Sweep removed %v, want the finished run", removed)
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Fatalf("Sweep touched an unrelated file: %v", err)
+	}
+
+	// Empty and missing directories are fine.
+	if _, err := CleanTemp(""); err != nil {
+		t.Fatalf("CleanTemp(\"\"): %v", err)
+	}
+	if _, err := Sweep(filepath.Join(dir, "missing")); err != nil {
+		t.Fatalf("Sweep(missing): %v", err)
+	}
+}
+
+func TestWriterGauges(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if err := w.Append([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames() != 1 {
+		t.Fatalf("frames = %d", w.Frames())
+	}
+	want := int64(len(magic) + frameHeader + 5)
+	if w.Bytes() != want {
+		t.Fatalf("bytes = %d, want %d", w.Bytes(), want)
+	}
+}

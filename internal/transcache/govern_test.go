@@ -1,0 +1,164 @@
+package transcache_test
+
+import (
+	"testing"
+
+	"repro/internal/memgov"
+	"repro/internal/transcache"
+)
+
+// sized values make the accounting arithmetic exact: each entry costs
+// len(key) + 96 overhead + n value bytes.
+func sizeOf(n int64) int64 { return n }
+
+// TestGovernAccounting pins the byte accounting contract: every live
+// entry's estimated size is reserved against the budget, and every
+// eviction path — replacement, capacity, generation staleness, Purge —
+// returns exactly what it reserved.
+func TestGovernAccounting(t *testing.T) {
+	b := memgov.New("cache", 1<<20)
+	c := transcache.New[int64](4)
+	c.Govern(b, sizeOf)
+
+	const entry = 1 + 96 + 100 // key "a", overhead, value size
+	c.Put(1, "a", 100)
+	if st := c.Stats(); st.Bytes != entry || b.Used() != entry {
+		t.Fatalf("one entry: cache bytes %d, budget used %d, want %d", st.Bytes, b.Used(), entry)
+	}
+
+	// Replacing a key releases the old reservation before the new one.
+	c.Put(1, "a", 200)
+	want := int64(1 + 96 + 200)
+	if st := c.Stats(); st.Bytes != want || b.Used() != want {
+		t.Fatalf("replaced entry: cache bytes %d, budget used %d, want %d", st.Bytes, b.Used(), want)
+	}
+
+	// A stale-generation hit evicts and refunds.
+	if _, ok := c.Get(2, "a"); ok {
+		t.Fatal("stale generation must miss")
+	}
+	if st := c.Stats(); st.Bytes != 0 || b.Used() != 0 {
+		t.Fatalf("stale eviction leaked: cache bytes %d, budget used %d", st.Bytes, b.Used())
+	}
+
+	// Capacity eviction refunds the victim.
+	for i := int64(0); i < 5; i++ {
+		c.Put(3, string(rune('a'+i)), 10)
+	}
+	st := c.Stats()
+	if st.Len != 4 {
+		t.Fatalf("capacity 4 holds %d entries", st.Len)
+	}
+	if st.Bytes != b.Used() || st.Bytes != 4*(1+96+10) {
+		t.Fatalf("capacity churn: cache bytes %d, budget used %d", st.Bytes, b.Used())
+	}
+
+	c.Purge()
+	if st := c.Stats(); st.Bytes != 0 || b.Used() != 0 {
+		t.Fatalf("purge leaked: cache bytes %d, budget used %d", st.Bytes, b.Used())
+	}
+}
+
+// TestGovernBudgetPressure pins the shed-don't-fail contract: when the
+// budget refuses an insert the cache evicts LRU entries until the new
+// entry fits, and if even an empty cache cannot fit it the insert is
+// dropped and counted — never an error, never an overrun.
+func TestGovernBudgetPressure(t *testing.T) {
+	// Room for exactly two 100-byte-value entries (197 each).
+	b := memgov.New("cache", 420)
+	c := transcache.New[int64](16)
+	c.Govern(b, sizeOf)
+
+	c.Put(1, "a", 100)
+	c.Put(1, "b", 100)
+	if st := c.Stats(); st.Len != 2 {
+		t.Fatalf("two entries should fit: %+v", st)
+	}
+
+	// "a" is LRU; inserting "c" must shed it.
+	c.Put(1, "c", 100)
+	if _, ok := c.Get(1, "a"); ok {
+		t.Fatal("LRU entry survived budget pressure")
+	}
+	if _, ok := c.Get(1, "c"); !ok {
+		t.Fatal("new entry lost under budget pressure")
+	}
+	st := c.Stats()
+	if st.Len != 2 || st.Bytes > 420 || b.Used() > 420 {
+		t.Fatalf("budget overrun: %+v, used %d", st, b.Used())
+	}
+
+	// An entry larger than the whole budget is dropped, not stored;
+	// survivors keep serving.
+	c.Put(1, "huge", 4096)
+	st = c.Stats()
+	if st.Denied == 0 {
+		t.Errorf("oversized insert not counted as denied: %+v", st)
+	}
+	if _, ok := c.Get(1, "huge"); ok {
+		t.Fatal("oversized entry stored despite budget")
+	}
+	if b.Used() > 420 {
+		t.Fatalf("budget overrun after denied insert: %d", b.Used())
+	}
+
+	// Replacing a key with an oversized value drops the key entirely
+	// rather than keeping a stale value under the new generation.
+	c.Put(2, "c", 4096)
+	if _, ok := c.Get(2, "c"); ok {
+		t.Fatal("oversized replacement stored")
+	}
+	if _, ok := c.Get(1, "c"); ok {
+		t.Fatal("stale value survived a denied replacement")
+	}
+	if st := c.Stats(); st.Bytes != b.Used() {
+		t.Fatalf("accounting diverged: cache %d, budget %d", st.Bytes, b.Used())
+	}
+}
+
+// TestGovernReplaceUnderPressure pins the replacement corner: growing
+// the LRU entry in place must shed its *neighbors* (never the entry
+// being replaced), and a replacement that cannot fit even after
+// shedding everything else drops the key rather than resurrecting the
+// stale value.
+func TestGovernReplaceUnderPressure(t *testing.T) {
+	b := memgov.New("cache", 420)
+	c := transcache.New[int64](16)
+	c.Govern(b, sizeOf)
+
+	c.Put(1, "a", 100)
+	c.Put(1, "b", 100)
+	// "a" is the LRU tail; growing it to 250 bytes forces the shed loop
+	// to skip over "a" itself and evict "b".
+	c.Put(1, "a", 250)
+	if got, ok := c.Get(1, "a"); !ok || got != 250 {
+		t.Fatalf("grown entry = %d, %v; want 250, true", got, ok)
+	}
+	if _, ok := c.Get(1, "b"); ok {
+		t.Fatal("neighbor survived a shed that required its bytes")
+	}
+	if used := b.Used(); used != 1+96+250 {
+		t.Fatalf("budget used %d after in-place growth", used)
+	}
+
+	// Growing past the whole budget drops the key outright.
+	c.Put(1, "a", 4096)
+	if _, ok := c.Get(1, "a"); ok {
+		t.Fatal("stale value served after an impossible replacement")
+	}
+	st := c.Stats()
+	if st.Denied == 0 || st.Len != 0 || b.Used() != 0 {
+		t.Fatalf("denied replacement leaked: %+v, used %d", st, b.Used())
+	}
+}
+
+// TestGovernNilCache pins that governance on the nil (disabled) cache
+// is inert, like every other nil-cache operation.
+func TestGovernNilCache(t *testing.T) {
+	var c *transcache.Cache[int64]
+	c.Govern(memgov.New("cache", 100), sizeOf)
+	c.Put(1, "a", 10)
+	if st := c.Stats(); st != (transcache.Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}

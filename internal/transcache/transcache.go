@@ -11,7 +11,11 @@
 // one.
 package transcache
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/memgov"
+)
 
 // Stats is a point-in-time counter snapshot of a cache.
 type Stats struct {
@@ -20,13 +24,18 @@ type Stats struct {
 	// Misses counts lookups that found nothing (including entries
 	// rejected because their generation was stale).
 	Misses uint64 `json:"misses"`
-	// Evictions counts entries dropped by capacity pressure or
-	// generation staleness.
+	// Evictions counts entries dropped by capacity pressure, budget
+	// pressure or generation staleness.
 	Evictions uint64 `json:"evictions"`
 	// Len is the current number of live entries.
 	Len int `json:"size"`
 	// Capacity is the maximum number of entries.
 	Capacity int `json:"capacity"`
+	// Bytes is the accounted size of the live entries (0 ungoverned).
+	Bytes int64 `json:"bytes"`
+	// Denied counts inserts dropped because the budget refused them
+	// even after the cache evicted everything else.
+	Denied uint64 `json:"denied"`
 }
 
 // entry is one cached value with its intrusive LRU links.
@@ -34,6 +43,7 @@ type entry[V any] struct {
 	key        string
 	gen        uint64
 	val        V
+	bytes      int64
 	prev, next *entry[V]
 }
 
@@ -46,7 +56,13 @@ type Cache[V any] struct {
 	// head is most-recently used, tail least-recently used.
 	head, tail *entry[V]
 
-	hits, misses, evictions uint64
+	// budget/sizeOf, when installed by Govern, account each entry's
+	// estimated bytes; bytes is the cache's live total.
+	budget *memgov.Budget
+	sizeOf func(V) int64
+	bytes  int64
+
+	hits, misses, evictions, denied uint64
 }
 
 // New builds a cache bounded to capacity entries. A capacity below 1
@@ -85,21 +101,81 @@ func (c *Cache[V]) Get(gen uint64, key string) (V, bool) {
 	return e.val, true
 }
 
+// Govern installs byte accounting against budget: each entry's
+// estimated size (sizeOf plus key overhead) is reserved on insert and
+// released on eviction. When the budget refuses an insert, the cache
+// sheds least-recently-used entries until the reservation fits; if it
+// empties first the insert is dropped and counted in Stats.Denied — a
+// cache entry is never worth failing a request over. Install before
+// the first Put; existing entries are not retro-accounted.
+func (c *Cache[V]) Govern(budget *memgov.Budget, sizeOf func(V) int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget, c.sizeOf = budget, sizeOf
+}
+
+// entryBytes estimates one entry's accounted size; 0 when ungoverned,
+// so the budget path costs nothing until Govern installs it.
+func (c *Cache[V]) entryBytes(key string, val V) int64 {
+	if c.sizeOf == nil {
+		return 0
+	}
+	return int64(len(key)) + 96 + c.sizeOf(val)
+}
+
+// reserveEvicting reserves sz against the budget, shedding LRU entries
+// (never keep) until it fits or nothing is left to shed. Callers hold
+// mu.
+func (c *Cache[V]) reserveEvicting(sz int64, keep *entry[V]) bool {
+	for {
+		if c.budget.Reserve(sz) == nil {
+			c.bytes += sz
+			return true
+		}
+		victim := c.tail
+		if victim != nil && victim == keep {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return false
+		}
+		c.remove(victim)
+		c.evictions++
+	}
+}
+
 // Put stores the value under key for the given generation, replacing
-// any existing entry for the key and evicting the least-recently used
-// entry when the cache is full.
+// any existing entry for the key and evicting least-recently used
+// entries under capacity or budget pressure.
 func (c *Cache[V]) Put(gen uint64, key string, val V) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sz := c.entryBytes(key, val)
 	if e, ok := c.items[key]; ok {
-		e.gen, e.val = gen, val
+		c.budget.Release(e.bytes)
+		c.bytes -= e.bytes
+		e.bytes = 0
+		if !c.reserveEvicting(sz, e) {
+			c.remove(e)
+			c.evictions++
+			c.denied++
+			return
+		}
+		e.gen, e.val, e.bytes = gen, val, sz
 		c.moveToFront(e)
 		return
 	}
-	e := &entry[V]{key: key, gen: gen, val: val}
+	if !c.reserveEvicting(sz, nil) {
+		c.denied++
+		return
+	}
+	e := &entry[V]{key: key, gen: gen, val: val, bytes: sz}
 	c.items[key] = e
 	c.pushFront(e)
 	if len(c.items) > c.capacity {
@@ -116,6 +192,8 @@ func (c *Cache[V]) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.evictions += uint64(len(c.items))
+	c.budget.Release(c.bytes)
+	c.bytes = 0
 	c.items = make(map[string]*entry[V], c.capacity)
 	c.head, c.tail = nil, nil
 }
@@ -134,6 +212,8 @@ func (c *Cache[V]) Stats() Stats {
 		Evictions: c.evictions,
 		Len:       len(c.items),
 		Capacity:  c.capacity,
+		Bytes:     c.bytes,
+		Denied:    c.denied,
 	}
 }
 
@@ -149,8 +229,12 @@ func (c *Cache[V]) pushFront(e *entry[V]) {
 	}
 }
 
-// remove unlinks e and drops it from the map. Callers hold mu.
+// remove unlinks e, drops it from the map and returns its accounted
+// bytes to the budget. Callers hold mu.
 func (c *Cache[V]) remove(e *entry[V]) {
+	c.budget.Release(e.bytes)
+	c.bytes -= e.bytes
+	e.bytes = 0
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
